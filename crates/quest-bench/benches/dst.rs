@@ -1,0 +1,44 @@
+//! Criterion bench: Dempster-Shafer combination cost vs frame size and
+//! number of focal sets (part of experiment E6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quest_dst::{dempster_combine, Frame, MassFunction};
+
+fn mass_with(frame: Frame, n_singletons: usize, uncertainty: f64) -> MassFunction {
+    let mut m = MassFunction::new(frame);
+    for i in 0..n_singletons {
+        m.add_singleton(i, 1.0 + i as f64).expect("singleton in frame");
+    }
+    m.set_uncertainty(uncertainty).expect("valid uncertainty");
+    m
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dst_combine");
+    for n in [4usize, 16, 64] {
+        let frame = Frame::new(n).expect("frame");
+        let m1 = mass_with(frame, n, 0.2);
+        let m2 = mass_with(frame, n / 2, 0.4);
+        g.bench_with_input(BenchmarkId::new("singletons", n), &n, |b, _| {
+            b.iter(|| dempster_combine(std::hint::black_box(&m1), std::hint::black_box(&m2)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pignistic(c: &mut Criterion) {
+    let frame = Frame::new(64).expect("frame");
+    let m = mass_with(frame, 64, 0.3);
+    c.bench_function("dst_pignistic_64", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..64 {
+                acc += m.pignistic(std::hint::black_box(i)).expect("in frame");
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_combine, bench_pignistic);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench — experiment E1's latency column: end-to-end search cost
+//! on each dataset, and scaling on the IMDB shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quest_bench::{engine_for, Dataset};
+use quest_core::{FullAccessWrapper, Quest, QuestConfig};
+use quest_data::imdb::{self, ImdbScale};
+
+fn bench_search_per_dataset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e_search");
+    g.sample_size(20);
+    for (ds, q) in [
+        (Dataset::Imdb, "fleming wind"),
+        (Dataset::Mondial, "po italy"),
+        (Dataset::Dblp, "bergamaschi keyword"),
+    ] {
+        let engine = engine_for(ds);
+        g.bench_with_input(BenchmarkId::new("dataset", ds.name()), &q, |b, q| {
+            b.iter(|| engine.search(std::hint::black_box(q)).expect("search"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_search_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e_scaling_imdb");
+    g.sample_size(10);
+    for movies in [500usize, 5_000, 25_000] {
+        let db = imdb::generate(&ImdbScale { movies, seed: 42 }).expect("generate");
+        let engine =
+            Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
+        g.bench_with_input(BenchmarkId::new("movies", movies), &movies, |b, _| {
+            b.iter(|| engine.search(std::hint::black_box("leigh wind")).expect("search"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_search_per_dataset, bench_search_scaling);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion bench — experiment E6: per-module cost of the Figure 1
+//! pipeline pieces (list Viterbi, EM epoch, emission computation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quest_core::forward::ForwardModule;
+use quest_core::semantics::SemanticRules;
+use quest_core::{FullAccessWrapper, KeywordQuery};
+use quest_data::imdb::{self, ImdbScale};
+use quest_hmm::{baum_welch_step, list_viterbi, Hmm};
+
+fn wrapper() -> FullAccessWrapper {
+    FullAccessWrapper::new(
+        imdb::generate(&ImdbScale { movies: 1_000, seed: 42 }).expect("generate"),
+    )
+}
+
+fn bench_list_viterbi(c: &mut Criterion) {
+    let w = wrapper();
+    let fwd = ForwardModule::new(&w, &SemanticRules::default()).expect("forward");
+    let q = KeywordQuery::parse("leigh wind drama").expect("parse");
+    let em = fwd.emissions(&w, &q);
+    let mut g = c.benchmark_group("list_viterbi");
+    for k in [1usize, 5, 20] {
+        g.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| fwd.top_k_apriori(std::hint::black_box(&em), k).expect("decodes"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_emissions(c: &mut Criterion) {
+    let w = wrapper();
+    let fwd = ForwardModule::new(&w, &SemanticRules::default()).expect("forward");
+    let q = KeywordQuery::parse("leigh wind drama").expect("parse");
+    c.bench_function("emissions_3kw", |b| {
+        b.iter(|| fwd.emissions(std::hint::black_box(&w), std::hint::black_box(&q)))
+    });
+}
+
+fn bench_em_epoch(c: &mut Criterion) {
+    // Synthetic 64-state HMM, 20 sequences of length 4.
+    let n = 64usize;
+    let hmm0 = Hmm::uniform(n).expect("model");
+    let batch: Vec<Vec<Vec<f64>>> = (0..20)
+        .map(|s| {
+            (0..4)
+                .map(|t| (0..n).map(|i| if (i + s + t) % 7 == 0 { 0.9 } else { 0.05 }).collect())
+                .collect()
+        })
+        .collect();
+    c.bench_function("baum_welch_epoch_64st", |b| {
+        b.iter(|| {
+            let mut m = hmm0.clone();
+            baum_welch_step(&mut m, std::hint::black_box(&batch)).expect("em step")
+        })
+    });
+}
+
+fn bench_raw_list_viterbi(c: &mut Criterion) {
+    // Pure HMM cost without the engine: 128 states, 5 observations.
+    let n = 128usize;
+    let hmm = Hmm::uniform(n).expect("model");
+    let em: Vec<Vec<f64>> = (0..5)
+        .map(|t| (0..n).map(|i| 1.0 / (1.0 + ((i * 7 + t * 13) % 97) as f64)).collect())
+        .collect();
+    c.bench_function("raw_list_viterbi_128st_k10", |b| {
+        b.iter(|| list_viterbi(&hmm, std::hint::black_box(&em), 10).expect("decodes"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_list_viterbi,
+    bench_emissions,
+    bench_em_epoch,
+    bench_raw_list_viterbi
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench — experiments E3/E6: top-k Steiner enumeration on the
+//! three schema graphs, vs the instance-graph build cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quest_bench::Dataset;
+use quest_core::backward::{BackwardModule, SchemaGraphWeights};
+use quest_core::baseline::InstanceGraph;
+use quest_core::{FullAccessWrapper, SourceWrapper};
+
+fn bench_schema_steiner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schema_steiner_top5");
+    for ds in Dataset::ALL {
+        let db = ds.generate_default();
+        let w = FullAccessWrapper::new(db);
+        let backward = BackwardModule::new(&w, &SchemaGraphWeights::default());
+        // Terminals: the first two text attributes of different tables.
+        let catalog = w.catalog();
+        let mut attrs = Vec::new();
+        let mut seen_tables = std::collections::HashSet::new();
+        for a in catalog.attributes() {
+            if a.full_text && seen_tables.insert(a.table) {
+                attrs.push(a.id);
+            }
+            if attrs.len() == 3 {
+                break;
+            }
+        }
+        g.bench_with_input(BenchmarkId::new("dataset", ds.name()), &attrs, |b, attrs| {
+            b.iter(|| backward.interpretations_for_attrs(std::hint::black_box(attrs), 5))
+        });
+    }
+    g.finish();
+}
+
+fn bench_instance_graph_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("instance_graph_build");
+    g.sample_size(10);
+    for movies in [1_000usize, 5_000] {
+        let db = quest_data::imdb::generate(&quest_data::imdb::ImdbScale {
+            movies,
+            seed: 42,
+        })
+        .expect("generate");
+        g.bench_with_input(BenchmarkId::new("movies", movies), &db, |b, db| {
+            b.iter(|| InstanceGraph::build(std::hint::black_box(db)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schema_steiner, bench_instance_graph_build);
+criterion_main!(benches);

@@ -1,0 +1,647 @@
+//! Regenerates every experiment table in EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p quest-bench --bin experiments [e1|e2|e3|e4|e5|e7|e8|all]`
+//!
+//! (E6 — per-module microbenches — lives in the criterion benches:
+//! `cargo bench -p quest-bench`.)
+
+use std::time::Duration;
+
+use quest_bench::{engine_for, evaluate, fmt_dur, time, Dataset, Table};
+use quest_core::backward::{BackwardModule, SchemaGraphWeights};
+use quest_core::baseline::{banks_search, discover_statements, InstanceGraph};
+use quest_core::eval::{aggregate, statements_equivalent};
+use quest_core::forward::ForwardModule;
+use quest_core::query_builder::build_query;
+use quest_core::semantics::SemanticRules;
+use quest_core::{
+    AnnotationSet, Configuration, DeepWebWrapper, FullAccessWrapper, KeywordQuery, Quest,
+    QuestConfig, SourceWrapper,
+};
+use quest_data::workload::WorkloadQuery;
+use quest_data::{imdb, FeedbackOracle};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let run = |name: &str| which == "all" || which == name;
+    if run("e1") {
+        e1_scaling();
+    }
+    if run("e2") {
+        e2_module_comparison();
+    }
+    if run("e3") {
+        e3_schema_vs_instance();
+    }
+    if run("e4") {
+        e4_dst_sensitivity();
+    }
+    if run("e5") {
+        e5_deep_web();
+    }
+    if run("e7") {
+        e7_k_sweep();
+    }
+    if run("e8") {
+        e8_mi_ablation();
+    }
+    if run("e9") {
+        e9_rules_ablation();
+    }
+}
+
+// ---------------------------------------------------------------- E9
+
+/// E9 — a-priori heuristic rules ablation: knock each semantic relationship
+/// down to the unrelated floor and measure the damage (DESIGN.md's "design
+/// choices" ablation; paper §3: the rules "foster the transition between
+/// database terms belonging to the same table and belonging to tables
+/// connected through foreign keys").
+fn e9_rules_ablation() {
+    println!("\n## E9 — a-priori semantic-rule ablation (MRR per dataset)\n");
+    let base = SemanticRules::default();
+    let floor = base.unrelated;
+    let variants: Vec<(&str, SemanticRules)> = vec![
+        ("full rules", base.clone()),
+        ("no aggregation", SemanticRules { aggregation: floor, ..base.clone() }),
+        ("no inclusion (FK)", SemanticRules { inclusion: floor, ..base.clone() }),
+        ("no same-table", SemanticRules { same_table: floor, ..base.clone() }),
+        ("no generalization", SemanticRules { generalization: floor, ..base.clone() }),
+        (
+            "flat (all = floor)",
+            SemanticRules {
+                aggregation: floor,
+                inclusion: floor,
+                same_table: floor,
+                generalization: floor,
+                identity: floor,
+                ..base.clone()
+            },
+        ),
+    ];
+    let mut t = Table::new(&["rules", "imdb", "mondial", "dblp"]);
+    for (label, rules) in &variants {
+        let mut cells = vec![label.to_string()];
+        for ds in Dataset::ALL {
+            let db = ds.generate_default();
+            let cfg = QuestConfig { rules: rules.clone(), ..Default::default() };
+            let engine = Quest::new(FullAccessWrapper::new(db), cfg).expect("build");
+            let m = evaluate(&engine, &ds.workload());
+            cells.push(format!("{:.3}", m.mrr));
+        }
+        t.row(cells);
+    }
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------- E1
+
+/// E1 — end-to-end effectiveness and latency on the IMDB-shaped database at
+/// growing scale (demo message 1).
+fn e1_scaling() {
+    println!("\n## E1 — schema-based keyword→SQL at scale (IMDB-shaped)\n");
+    let mut t = Table::new(&[
+        "movies", "total rows", "setup", "avg query", "emissions", "forward", "backward",
+        "combine", "hit@1", "hit@3", "MRR",
+    ]);
+    for movies in [500usize, 5_000, 25_000] {
+        let (db, gen_t) =
+            time(|| imdb::generate(&imdb::ImdbScale { movies, seed: 42 }).expect("generate"));
+        let rows = db.total_rows();
+        let (engine, setup_t) = time(|| {
+            Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build")
+        });
+        let wl = imdb::workload();
+        let mut stage = [Duration::ZERO; 4];
+        let mut total = Duration::ZERO;
+        let mut n = 0u32;
+        for wq in &wl {
+            if let Ok(out) = engine.search(&wq.raw) {
+                let s = &out.timings;
+                stage[0] += s.emissions;
+                stage[1] += s.forward_apriori + s.forward_feedback;
+                stage[2] += s.backward;
+                stage[3] += s.combine_configs + s.combine_explanations;
+                total += s.total();
+                n += 1;
+            }
+        }
+        let m = evaluate(&engine, &wl);
+        let per = |d: Duration| fmt_dur(d / n.max(1));
+        t.row(vec![
+            movies.to_string(),
+            rows.to_string(),
+            fmt_dur(gen_t + setup_t),
+            per(total),
+            per(stage[0]),
+            per(stage[1]),
+            per(stage[2]),
+            per(stage[3]),
+            format!("{:.2}", m.hit_at_1),
+            format!("{:.2}", m.hit_at_3),
+            format!("{:.3}", m.mrr),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------- E2
+
+/// E2 — the same queries through each module separately vs combined
+/// (demo message 2).
+fn e2_module_comparison() {
+    println!("\n## E2 — per-module partial results vs DST combination\n");
+    let mut t = Table::new(&["dataset", "mode", "hit@1", "hit@3", "MRR"]);
+    for ds in Dataset::ALL {
+        let db = ds.generate_default();
+        let w = FullAccessWrapper::new(db);
+        let wl = ds.workload();
+        let catalog_owned = w.catalog().clone();
+        let catalog = &catalog_owned;
+
+        let forward = ForwardModule::new(&w, &SemanticRules::default()).expect("forward");
+        let backward = BackwardModule::new(&w, &SchemaGraphWeights::default());
+
+        // Train a feedback copy with two passes of perfect oracle feedback.
+        let mut trained = forward.clone();
+        let mut oracle = FeedbackOracle::perfect(11);
+        for _ in 0..2 {
+            for wq in &wl {
+                let (cfg, _) = oracle.feedback_for(catalog, wq);
+                trained.record_feedback(&cfg, true).expect("feedback");
+            }
+        }
+
+        let k = 5usize;
+        // Rank explanations per mode and evaluate against gold.
+        type ModeFn<'a> = Box<dyn Fn(&WorkloadQuery) -> Vec<bool> + 'a>;
+        let modes: Vec<(&str, ModeFn<'_>)> = vec![
+            (
+                "a-priori only",
+                Box::new(|wq: &WorkloadQuery| {
+                    let q = wq.parse();
+                    let em = forward.emissions(&w, &q);
+                    let configs = forward.top_k_apriori(&em, k).unwrap_or_default();
+                    mask_for_configs(catalog, &backward, &q, &configs, wq, k)
+                }),
+            ),
+            (
+                "feedback only",
+                Box::new(|wq: &WorkloadQuery| {
+                    let q = wq.parse();
+                    let em = trained.emissions(&w, &q);
+                    let configs = trained.top_k_feedback(&em, k).unwrap_or_default();
+                    mask_for_configs(catalog, &backward, &q, &configs, wq, k)
+                }),
+            ),
+            (
+                "backward only",
+                Box::new(|wq: &WorkloadQuery| {
+                    // Candidates from the a-priori list, ranked purely by
+                    // interpretation (join path) score.
+                    let q = wq.parse();
+                    let em = forward.emissions(&w, &q);
+                    let configs = forward.top_k_apriori(&em, k).unwrap_or_default();
+                    let gold = wq.gold.to_statement(catalog).expect("gold");
+                    let mut scored: Vec<(f64, bool)> = Vec::new();
+                    for cfg in &configs {
+                        for interp in
+                            backward.interpretations(catalog, cfg, k).unwrap_or_default()
+                        {
+                            if let Ok(stmt) = build_query(
+                                catalog,
+                                backward.schema_graph(),
+                                &q,
+                                cfg,
+                                &interp,
+                                None,
+                            ) {
+                                scored
+                                    .push((interp.score, statements_equivalent(&stmt, &gold)));
+                            }
+                        }
+                    }
+                    scored.sort_by(|a, b| {
+                        b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    scored.into_iter().take(k).map(|(_, hit)| hit).collect()
+                }),
+            ),
+        ];
+
+        for (name, f) in &modes {
+            let masks: Vec<Vec<bool>> = wl.iter().map(f.as_ref()).collect();
+            let m = aggregate(&masks);
+            t.row(vec![
+                ds.name().into(),
+                (*name).into(),
+                format!("{:.2}", m.hit_at_1),
+                format!("{:.2}", m.hit_at_3),
+                format!("{:.3}", m.mrr),
+            ]);
+        }
+
+        // Combined: the full engine, trained identically.
+        let mut engine =
+            Quest::new(w.clone(), QuestConfig::default()).expect("engine builds");
+        let mut oracle = FeedbackOracle::perfect(11);
+        for _ in 0..2 {
+            for wq in &wl {
+                let (cfg, _) = oracle.feedback_for(engine.wrapper().catalog(), wq);
+                engine.feedback_configuration(&cfg, true).expect("feedback");
+            }
+        }
+        let m = evaluate(&engine, &wl);
+        t.row(vec![
+            ds.name().into(),
+            "combined (QUEST)".into(),
+            format!("{:.2}", m.hit_at_1),
+            format!("{:.2}", m.hit_at_3),
+            format!("{:.3}", m.mrr),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+/// Rank a configuration list (scores as given), expand each to its best
+/// interpretation, and compare the statements to gold.
+fn mask_for_configs(
+    catalog: &relstore::Catalog,
+    backward: &BackwardModule,
+    q: &KeywordQuery,
+    configs: &[Configuration],
+    wq: &WorkloadQuery,
+    k: usize,
+) -> Vec<bool> {
+    let gold = wq.gold.to_statement(catalog).expect("gold resolves");
+    configs
+        .iter()
+        .take(k)
+        .map(|cfg| {
+            backward
+                .interpretations(catalog, cfg, 1)
+                .ok()
+                .and_then(|is| is.into_iter().next())
+                .and_then(|interp| {
+                    build_query(catalog, backward.schema_graph(), q, cfg, &interp, None).ok()
+                })
+                .map(|stmt| statements_equivalent(&stmt, &gold))
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- E3
+
+/// E3 — schema-level Steiner trees vs instance-level baselines at growing
+/// instance size (demo message 3).
+fn e3_schema_vs_instance() {
+    println!("\n## E3 — schema-level Steiner vs instance-level baselines (IMDB-shaped)\n");
+    let mut t = Table::new(&[
+        "movies", "schema nodes", "schema edges", "QUEST top-5 ST", "instance nodes",
+        "instance edges", "IG build", "BANKS top-5", "DISCOVER CNs", "DISCOVER time",
+    ]);
+    for movies in [200usize, 1_000, 5_000, 20_000] {
+        let db = imdb::generate(&imdb::ImdbScale { movies, seed: 42 }).expect("generate");
+        let w = FullAccessWrapper::new(db);
+        let backward = BackwardModule::new(&w, &SchemaGraphWeights::default());
+        let catalog = w.catalog();
+
+        // QUEST: top-5 Steiner trees for the actor-join query's terminals.
+        let attrs = [
+            catalog.attr_id("person", "name").expect("attr"),
+            catalog.attr_id("movie", "title").expect("attr"),
+        ];
+        let (_, st_t) = time(|| {
+            backward.interpretations_for_attrs(&attrs, 5).expect("steiner")
+        });
+
+        // Instance graph + BANKS.
+        let (ig, ig_t) = time(|| InstanceGraph::build(w.database()));
+        let q = KeywordQuery::parse("leigh wind").expect("parse");
+        let (banks, banks_t) = time(|| banks_search(w.database(), &ig, &q, 5).expect("banks"));
+        let _ = banks;
+
+        // DISCOVER candidate networks.
+        let (cns, cn_t) = time(|| discover_statements(w.database(), &q, 4, Some(10)));
+
+        t.row(vec![
+            movies.to_string(),
+            backward.schema_graph().node_count().to_string(),
+            backward.schema_graph().edge_count().to_string(),
+            fmt_dur(st_t),
+            ig.node_count().to_string(),
+            ig.edge_count().to_string(),
+            fmt_dur(ig_t),
+            fmt_dur(banks_t),
+            cns.len().to_string(),
+            fmt_dur(cn_t),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nschema graph is instance-size independent; the tuple graph and BANKS grow with the data.");
+}
+
+// ---------------------------------------------------------------- E4
+
+/// E4 — DST sensitivity: uncertainty sweep and the feedback learning curve
+/// (demo message 4 + abstract claim).
+fn e4_dst_sensitivity() {
+    println!("\n## E4a — forward/backward uncertainty sweep (IMDB-shaped, MRR)\n");
+    let mut t = Table::new(&["O_C \\ O_I", "0.1", "0.3", "0.5", "0.7", "0.9"]);
+    let db = imdb::generate(&imdb::ImdbScale { movies: 1_000, seed: 42 }).expect("generate");
+    let w = FullAccessWrapper::new(db);
+    let wl = imdb::workload();
+    for o_c in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let mut cells = vec![format!("{o_c:.1}")];
+        for o_i in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let cfg = QuestConfig { o_c, o_i, ..Default::default() };
+            let engine = Quest::new(w.clone(), cfg).expect("build");
+            let m = evaluate(&engine, &wl);
+            cells.push(format!("{:.3}", m.mrr));
+        }
+        t.row(cells);
+    }
+    print!("{}", t.render());
+
+    println!("\n## E4b — accuracy vs amount of (noisy) feedback\n");
+    let mut t = Table::new(&[
+        "feedbacks", "O_Cf eff", "feedback-only MRR", "combined MRR",
+    ]);
+    let forward0 = ForwardModule::new(&w, &SemanticRules::default()).expect("forward");
+    let backward = BackwardModule::new(&w, &SchemaGraphWeights::default());
+    let catalog_owned = w.catalog().clone();
+    let catalog = &catalog_owned;
+    let mut engine = Quest::new(w.clone(), QuestConfig::default()).expect("build");
+    let mut fwd = forward0;
+    let mut oracle_a = FeedbackOracle::new(0.2, 21);
+    let mut oracle_b = FeedbackOracle::new(0.2, 21);
+    let steps = [0usize, 12, 24, 60, 120];
+    let mut given = 0usize;
+    for target in steps {
+        while given < target {
+            let wq = &wl[given % wl.len()];
+            let (cfg_a, _) = oracle_a.feedback_for(catalog, wq);
+            fwd.record_feedback(&cfg_a, true).expect("feedback");
+            let (cfg_b, _) = oracle_b.feedback_for(catalog, wq);
+            engine.feedback_configuration(&cfg_b, true).expect("feedback");
+            given += 1;
+        }
+        // Feedback-only ranking quality.
+        let masks: Vec<Vec<bool>> = wl
+            .iter()
+            .map(|wq| {
+                let q = wq.parse();
+                let em = fwd.emissions(&w, &q);
+                let configs = fwd.top_k_feedback(&em, 5).unwrap_or_default();
+                mask_for_configs(catalog, &backward, &q, &configs, wq, 5)
+            })
+            .collect();
+        let fb_only = aggregate(&masks);
+        let combined = evaluate(&engine, &wl);
+        t.row(vec![
+            target.to_string(),
+            format!("{:.3}", engine.effective_o_cf()),
+            format!("{:.3}", fb_only.mrr),
+            format!("{:.3}", combined.mrr),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------- E5
+
+/// E5 — full access vs Deep-Web wrapper on all three datasets.
+fn e5_deep_web() {
+    println!("\n## E5 — full access vs hidden source (Deep-Web wrapper)\n");
+    let mut t = Table::new(&["dataset", "access", "hit@1", "hit@3", "hit@k", "MRR"]);
+    for ds in Dataset::ALL {
+        let wl = ds.workload();
+        // Full access.
+        let full = engine_for(ds);
+        let m = evaluate(&full, &wl);
+        t.row(vec![
+            ds.name().into(),
+            "full".into(),
+            format!("{:.2}", m.hit_at_1),
+            format!("{:.2}", m.hit_at_3),
+            format!("{:.2}", m.hit_at_k),
+            format!("{:.3}", m.mrr),
+        ]);
+        // Hidden.
+        let db = ds.generate_default();
+        let ann = annotations_for(ds, db.catalog());
+        let deep = Quest::new_deep(db, ann);
+        let catalog = deep.wrapper().catalog();
+        let masks: Vec<Vec<bool>> = wl
+            .iter()
+            .map(|wq| {
+                let gold = wq.gold.to_statement(catalog).expect("gold");
+                deep.search(&wq.raw)
+                    .map(|o| {
+                        o.explanations
+                            .iter()
+                            .map(|e| statements_equivalent(&e.statement, &gold))
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            })
+            .collect();
+        let m = aggregate(&masks);
+        t.row(vec![
+            ds.name().into(),
+            "deep web".into(),
+            format!("{:.2}", m.hit_at_1),
+            format!("{:.2}", m.hit_at_3),
+            format!("{:.2}", m.hit_at_k),
+            format!("{:.3}", m.mrr),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+/// Helper trait-ish constructor to keep E5 readable.
+trait QuestDeep {
+    fn new_deep(db: relstore::Database, ann: AnnotationSet) -> Quest<DeepWebWrapper>;
+}
+impl QuestDeep for Quest<DeepWebWrapper> {
+    fn new_deep(db: relstore::Database, ann: AnnotationSet) -> Quest<DeepWebWrapper> {
+        Quest::new(DeepWebWrapper::new(db, ann, 50), QuestConfig::default()).expect("build")
+    }
+}
+
+/// Plausible owner-published annotations per dataset.
+fn annotations_for(ds: Dataset, c: &relstore::Catalog) -> AnnotationSet {
+    let mut ann = AnnotationSet::new();
+    let mut pat = |t: &str, a: &str, p: &str| {
+        let attr = c.attr_id(t, a).expect("attr exists");
+        ann.set_pattern(attr, p).expect("pattern compiles");
+    };
+    match ds {
+        Dataset::Imdb => {
+            pat("movie", "year", r"(18|19|20)\d{2}");
+            pat("person", "birth_year", r"(18|19|20)\d{2}");
+            pat("person", "name", r"[A-Za-z' ]+");
+            pat("movie", "title", r"[A-Za-z0-9' ]+");
+            pat("company", "name", r"[A-Z][a-z]+ Pictures");
+            let genre = c.attr_id("genre", "name").expect("attr");
+            ann.add_examples(genre, ["Drama", "Comedy", "Thriller", "Noir", "Western"]);
+        }
+        Dataset::Mondial => {
+            // A geographic form endpoint typically exposes its vocabularies
+            // as dropdown lists: publish them as example values.
+            let mut ex = |t: &str, a: &str, values: &[&str]| {
+                let attr = c.attr_id(t, a).expect("attr exists");
+                ann.add_examples(attr, values.iter().copied());
+            };
+            ex("country", "name", quest_data::corpus::COUNTRIES);
+            ex("city", "name", quest_data::corpus::CITIES);
+            ex("river", "name", quest_data::corpus::RIVERS);
+            ex("mountain", "name", quest_data::corpus::MOUNTAINS);
+            ex("language", "name", quest_data::corpus::LANGUAGES);
+            ex("religion", "name", quest_data::corpus::RELIGIONS);
+            let org = c.attr_id("organization", "abbreviation").expect("attr");
+            ann.add_examples(
+                org,
+                quest_data::corpus::ORGANIZATIONS.iter().map(|(_, abbr)| *abbr),
+            );
+        }
+        Dataset::Dblp => {
+            pat("author", "name", r"[A-Za-z' ]+");
+            pat("publication", "title", r"[A-Za-z0-9 ]+");
+            pat("publication", "year", r"(19|20)\d{2}");
+            let venue = c.attr_id("venue", "name").expect("attr");
+            ann.add_examples(venue, quest_data::corpus::VENUES.iter().copied());
+            let aff = c.attr_id("author", "affiliation").expect("attr");
+            ann.add_examples(
+                aff,
+                quest_data::corpus::UNIVERSITIES
+                    .iter()
+                    .map(|u| format!("University of {u}")),
+            );
+            let kind = c.attr_id("venue", "kind").expect("attr");
+            ann.add_examples(kind, ["journal", "conference"]);
+        }
+    }
+    ann
+}
+
+// ---------------------------------------------------------------- E7
+
+/// E7 — list Viterbi k sweep: accuracy and latency vs k.
+fn e7_k_sweep() {
+    println!("\n## E7 — top-k sweep (IMDB-shaped)\n");
+    let mut t = Table::new(&["k", "avg query", "hit@1", "hit@k", "MRR"]);
+    let db = imdb::generate(&imdb::ImdbScale { movies: 1_000, seed: 42 }).expect("generate");
+    let w = FullAccessWrapper::new(db);
+    let wl = imdb::workload();
+    for k in [1usize, 3, 5, 10, 20] {
+        let cfg = QuestConfig { k, ..Default::default() };
+        let engine = Quest::new(w.clone(), cfg).expect("build");
+        let lat = quest_bench::mean_query_latency(&engine, &wl);
+        let m = evaluate(&engine, &wl);
+        t.row(vec![
+            k.to_string(),
+            fmt_dur(lat),
+            format!("{:.2}", m.hit_at_1),
+            format!("{:.2}", m.hit_at_k),
+            format!("{:.3}", m.mrr),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------- E8
+
+/// E8 — mutual-information edge weights vs uniform weights.
+///
+/// Two measurements:
+/// * on the standard datasets, the fraction of top-3 interpretations whose
+///   SQL returns tuples (both weightings do well — the generated joins are
+///   dense);
+/// * on the *sparse-directors* IMDB variant, where the direct person↔movie
+///   FK is empty in the instance while the `cast_info` path is populated:
+///   MI weighting routes around the dead join, uniform weighting walks
+///   straight into it ("we want to consider only join-paths actually
+///   existing in the database instance", paper §1).
+fn e8_mi_ablation() {
+    println!("\n## E8a — non-empty interpretations, standard datasets (top-3)\n");
+    let mi_weights = SchemaGraphWeights { mi_penalty: 4.0, ..Default::default() };
+    let mut t = Table::new(&["dataset", "weighting", "non-empty", "of total"]);
+    for ds in Dataset::ALL {
+        let db = ds.generate_default();
+        let w = FullAccessWrapper::new(db);
+        for (label, backward) in [
+            ("MI", BackwardModule::new(&w, &mi_weights)),
+            ("uniform", BackwardModule::new_uniform(&w)),
+        ] {
+            let (non_empty, total) = non_empty_stats(&w, &backward, &ds.workload(), 3, false);
+            t.row(vec![
+                ds.name().into(),
+                label.into(),
+                format!("{:.1}%", 100.0 * non_empty as f64 / total.max(1) as f64),
+                format!("{non_empty}/{total}"),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+
+    println!("\n## E8b — top-1 interpretation non-empty, sparse-directors IMDB\n");
+    let mut t = Table::new(&["weighting", "top-1 non-empty", "of queries"]);
+    let db = imdb::generate_sparse_directors(&imdb::ImdbScale { movies: 1_000, seed: 42 })
+        .expect("generate sparse");
+    let w = FullAccessWrapper::new(db);
+    // Only the person↔movie joining queries discriminate the two paths.
+    let joining: Vec<WorkloadQuery> = imdb::workload()
+        .into_iter()
+        .filter(|wq| {
+            wq.gold.tables.contains(&"person".to_string())
+                && wq.gold.tables.contains(&"movie".to_string())
+        })
+        .collect();
+    for (label, backward) in [
+        ("MI", BackwardModule::new(&w, &mi_weights)),
+        ("uniform", BackwardModule::new_uniform(&w)),
+    ] {
+        let (non_empty, total) = non_empty_stats(&w, &backward, &joining, 1, true);
+        t.row(vec![
+            label.into(),
+            format!("{:.1}%", 100.0 * non_empty as f64 / total.max(1) as f64),
+            format!("{non_empty}/{total}"),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+/// Count non-empty interpretations among each gold configuration's top-k.
+/// With `value_terms_only`, predicates from the gold config are kept but the
+/// configuration used for routing is the gold one (pure backward test).
+fn non_empty_stats(
+    w: &FullAccessWrapper,
+    backward: &BackwardModule,
+    workload: &[WorkloadQuery],
+    k: usize,
+    top1_only: bool,
+) -> (usize, usize) {
+    let catalog = w.catalog();
+    let mut non_empty = 0usize;
+    let mut total = 0usize;
+    for wq in workload {
+        let q = wq.parse();
+        let Ok(cfg) = wq.gold.to_configuration(catalog) else { continue };
+        let interps = backward.interpretations(catalog, &cfg, k).unwrap_or_default();
+        let take = if top1_only { 1 } else { k };
+        for interp in interps.into_iter().take(take) {
+            let Ok(stmt) =
+                build_query(catalog, backward.schema_graph(), &q, &cfg, &interp, None)
+            else {
+                continue;
+            };
+            total += 1;
+            if w.has_results(&stmt).unwrap_or(false) {
+                non_empty += 1;
+            }
+        }
+    }
+    (non_empty, total)
+}

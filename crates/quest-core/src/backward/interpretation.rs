@@ -1,0 +1,236 @@
+//! Interpretations: join paths materializing a configuration's semantics.
+//!
+//! "Each join-path is a materialization of certain semantics that likely
+//! represents the semantics that the user had in mind ... We refer to these
+//! join-paths as interpretations" (paper §1).
+
+use quest_graph::SteinerTree;
+use relstore::sql::JoinCondition;
+use relstore::{Catalog, TableId};
+
+use crate::backward::schema_graph::{SchemaEdgeKind, SchemaGraph};
+
+/// A join path (schema-level Steiner tree) with a confidence score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interpretation {
+    /// The Steiner tree over the schema graph.
+    pub tree: SteinerTree,
+    /// Confidence derived from the tree cost: `1 / (1 + cost)`.
+    pub score: f64,
+}
+
+impl Interpretation {
+    /// Wrap a tree, deriving its score from the cost.
+    pub fn from_tree(tree: SteinerTree) -> Interpretation {
+        let score = 1.0 / (1.0 + tree.cost());
+        Interpretation { tree, score }
+    }
+
+    /// Distinct tables traversed by this join path.
+    pub fn tables(&self, schema: &SchemaGraph, catalog: &Catalog) -> Vec<TableId> {
+        let mut ts: Vec<TableId> = self
+            .tree
+            .nodes()
+            .into_iter()
+            .map(|n| catalog.attribute(schema.attr_of(n)).table)
+            .collect();
+        ts.sort();
+        ts.dedup();
+        ts
+    }
+
+    /// The SQL equi-join conditions implied by the tree's foreign-key edges
+    /// (intra-table edges require no join).
+    pub fn join_conditions(&self, schema: &SchemaGraph) -> Vec<JoinCondition> {
+        self.tree
+            .edges()
+            .iter()
+            .filter_map(|&(a, b)| match schema.edge_kind(a, b) {
+                Some(SchemaEdgeKind::ForeignKey(fk)) => Some(JoinCondition {
+                    left: fk.from,
+                    right: fk.to,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Identity key for deduplication: the canonical edge list.
+    pub fn key(&self) -> &[(quest_graph::NodeId, quest_graph::NodeId)] {
+        self.tree.edges()
+    }
+
+    /// Render the join path as text, e.g.
+    /// `movie.director_id=person.id; movie.id-movie.title`.
+    pub fn describe(&self, schema: &SchemaGraph, catalog: &Catalog) -> String {
+        if self.tree.is_empty() {
+            let t = self
+                .tree
+                .terminals()
+                .first()
+                .map(|n| catalog.table(catalog.attribute(schema.attr_of(*n)).table).name.clone())
+                .unwrap_or_default();
+            return format!("single table {t}");
+        }
+        self.tree
+            .edges()
+            .iter()
+            .map(|&(a, b)| match schema.edge_kind(a, b) {
+                // FK edges render in declaration order (fk.from = fk.to),
+                // independent of node-id canonicalization.
+                Some(SchemaEdgeKind::ForeignKey(fk)) => format!(
+                    "{}={}",
+                    catalog.qualified_name(fk.from),
+                    catalog.qualified_name(fk.to)
+                ),
+                _ => format!(
+                    "{}-{}",
+                    catalog.qualified_name(schema.attr_of(a)),
+                    catalog.qualified_name(schema.attr_of(b))
+                ),
+            })
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+/// Deduplicate interpretations by tree identity, keeping best scores,
+/// descending.
+pub fn dedup_interpretations(mut items: Vec<Interpretation>) -> Vec<Interpretation> {
+    items.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out: Vec<Interpretation> = Vec::new();
+    for i in items {
+        if !out.iter().any(|o| o.key() == i.key()) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backward::schema_graph::SchemaGraphWeights;
+    use crate::wrapper::{FullAccessWrapper, SourceWrapper};
+    use quest_graph::NodeId;
+    use relstore::{DataType, Database, Row};
+
+    fn setup() -> (FullAccessWrapper, SchemaGraph) {
+        let mut c = Catalog::new();
+        c.define_table("person")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("name", DataType::Text)
+            .unwrap()
+            .finish();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .col_opts("director_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("movie", "director_id", "person").unwrap();
+        let mut d = Database::new(c).unwrap();
+        d.insert("person", Row::new(vec![1.into(), "Fleming".into()])).unwrap();
+        d.insert("movie", Row::new(vec![10.into(), "Wind".into(), 1.into()])).unwrap();
+        d.finalize();
+        let w = FullAccessWrapper::new(d);
+        let g = SchemaGraph::build(&w, &SchemaGraphWeights::default());
+        (w, g)
+    }
+
+    fn tree_over(
+        g: &SchemaGraph,
+        w: &FullAccessWrapper,
+        pairs: &[(&str, &str, &str, &str)],
+        terms: &[(&str, &str)],
+    ) -> SteinerTree {
+        let c = w.catalog();
+        let edges: Vec<(NodeId, NodeId)> = pairs
+            .iter()
+            .map(|(t1, a1, t2, a2)| {
+                (
+                    g.node_of(c.attr_id(t1, a1).unwrap()),
+                    g.node_of(c.attr_id(t2, a2).unwrap()),
+                )
+            })
+            .collect();
+        let terminals = terms
+            .iter()
+            .map(|(t, a)| g.node_of(c.attr_id(t, a).unwrap()))
+            .collect();
+        SteinerTree::new(edges, 2.0, terminals)
+    }
+
+    #[test]
+    fn join_conditions_from_fk_edges() {
+        let (w, g) = setup();
+        let tree = tree_over(
+            &g,
+            &w,
+            &[
+                ("movie", "title", "movie", "id"),
+                ("movie", "director_id", "movie", "id"),
+                ("movie", "director_id", "person", "id"),
+                ("person", "id", "person", "name"),
+            ],
+            &[("movie", "title"), ("person", "name")],
+        );
+        let interp = Interpretation::from_tree(tree);
+        let joins = interp.join_conditions(&g);
+        assert_eq!(joins.len(), 1);
+        let c = w.catalog();
+        assert_eq!(joins[0].left, c.attr_id("movie", "director_id").unwrap());
+        assert_eq!(joins[0].right, c.attr_id("person", "id").unwrap());
+        assert_eq!(
+            interp.tables(&g, c),
+            vec![c.table_id("person").unwrap(), c.table_id("movie").unwrap()]
+        );
+        let desc = interp.describe(&g, c);
+        assert!(desc.contains("movie.director_id=person.id"));
+        assert!(desc.contains("movie.id-movie.title"));
+    }
+
+    #[test]
+    fn score_decreases_with_cost() {
+        let (w, g) = setup();
+        let cheap = Interpretation::from_tree(tree_over(
+            &g,
+            &w,
+            &[("movie", "title", "movie", "id")],
+            &[("movie", "title"), ("movie", "id")],
+        ));
+        let costly = Interpretation::from_tree(SteinerTree::new(vec![], 10.0, vec![]));
+        assert!(cheap.score > costly.score);
+        let _ = w;
+    }
+
+    #[test]
+    fn dedup_keeps_best() {
+        let (w, g) = setup();
+        let t = tree_over(
+            &g,
+            &w,
+            &[("movie", "title", "movie", "id")],
+            &[("movie", "title")],
+        );
+        let a = Interpretation { tree: t.clone(), score: 0.9 };
+        let b = Interpretation { tree: t, score: 0.4 };
+        let out = dedup_interpretations(vec![b, a]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].score, 0.9);
+    }
+
+    #[test]
+    fn single_table_description() {
+        let (w, g) = setup();
+        let c = w.catalog();
+        let n = g.node_of(c.attr_id("movie", "title").unwrap());
+        let interp = Interpretation::from_tree(SteinerTree::new(vec![], 0.0, vec![n]));
+        assert_eq!(interp.describe(&g, c), "single table movie");
+    }
+}

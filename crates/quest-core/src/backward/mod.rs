@@ -1,0 +1,261 @@
+//! The backward module: configuration → top-k interpretations.
+//!
+//! "The backward module adopts a Steiner Tree-based technique to select, for
+//! each configuration, the top-k paths joining the involved database schema
+//! elements" (paper §3). The tree is grown over the attribute-level
+//! [`SchemaGraph`] — not the instance — which keeps the graph small,
+//! update-stable, uniform in edge semantics, and computable without instance
+//! access (the paper's four advantages).
+
+pub mod interpretation;
+pub mod schema_graph;
+pub mod summary;
+
+use quest_graph::{top_k_steiner, GraphError, SteinerConfig};
+use relstore::Catalog;
+
+use crate::error::QuestError;
+use crate::forward::Configuration;
+use crate::wrapper::SourceWrapper;
+
+pub use interpretation::{dedup_interpretations, Interpretation};
+pub use schema_graph::{hub_attr, SchemaEdgeKind, SchemaGraph, SchemaGraphWeights};
+pub use summary::{render_summary, summarize, SchemaSummary, SummaryWeights, TableImportance};
+
+/// The backward module: owns the schema graph.
+#[derive(Debug, Clone)]
+pub struct BackwardModule {
+    schema: SchemaGraph,
+}
+
+impl BackwardModule {
+    /// Build from a wrapper with the given weights.
+    pub fn new<W: SourceWrapper + ?Sized>(wrapper: &W, weights: &SchemaGraphWeights) -> Self {
+        BackwardModule { schema: SchemaGraph::build(wrapper, weights) }
+    }
+
+    /// Build with the E8 ablation (uniform FK weights).
+    pub fn new_uniform<W: SourceWrapper + ?Sized>(wrapper: &W) -> Self {
+        BackwardModule { schema: SchemaGraph::build_uniform(wrapper) }
+    }
+
+    /// The schema graph.
+    pub fn schema_graph(&self) -> &SchemaGraph {
+        &self.schema
+    }
+
+    /// Terminal nodes of a configuration: the anchor attribute of each
+    /// distinct mapped term (paper: the tree joins "the database elements
+    /// discovered during the first task").
+    pub fn terminals(&self, catalog: &Catalog, config: &Configuration) -> Vec<quest_graph::NodeId> {
+        let mut nodes: Vec<quest_graph::NodeId> = config
+            .terms
+            .iter()
+            .map(|t| self.schema.node_of(t.anchor_attr(catalog)))
+            .collect();
+        nodes.sort();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Top-k interpretations for one configuration, best first. A
+    /// configuration whose elements cannot be joined (disconnected schema)
+    /// yields no interpretations rather than an error — it simply produces
+    /// no explanations downstream.
+    pub fn interpretations(
+        &self,
+        catalog: &Catalog,
+        config: &Configuration,
+        k: usize,
+    ) -> Result<Vec<Interpretation>, QuestError> {
+        let terminals = self.terminals(catalog, config);
+        if terminals.is_empty() {
+            return Ok(Vec::new());
+        }
+        let cfg = SteinerConfig::top_k(k);
+        match top_k_steiner(self.schema.graph(), &terminals, &cfg) {
+            Ok(trees) => Ok(dedup_interpretations(
+                trees.into_iter().map(Interpretation::from_tree).collect(),
+            )),
+            Err(GraphError::Disconnected) => Ok(Vec::new()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Convenience: interpretations keyed by terminal attributes only (used
+    /// by benchmarks that bypass the forward step).
+    pub fn interpretations_for_attrs(
+        &self,
+        attrs: &[relstore::AttrId],
+        k: usize,
+    ) -> Result<Vec<Interpretation>, QuestError> {
+        let mut terminals: Vec<_> = attrs.iter().map(|a| self.schema.node_of(*a)).collect();
+        terminals.sort();
+        terminals.dedup();
+        if terminals.is_empty() {
+            return Ok(Vec::new());
+        }
+        match top_k_steiner(self.schema.graph(), &terminals, &SteinerConfig::top_k(k)) {
+            Ok(trees) => Ok(dedup_interpretations(
+                trees.into_iter().map(Interpretation::from_tree).collect(),
+            )),
+            Err(GraphError::Disconnected) => Ok(Vec::new()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// The distinct tables a configuration's interpretation would span if it
+    /// used only its own terms (diagnostics).
+    pub fn config_tables(&self, catalog: &Catalog, config: &Configuration) -> usize {
+        config.tables(catalog).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::DbTerm;
+    use crate::wrapper::FullAccessWrapper;
+    use relstore::{DataType, Database, Row};
+
+    fn wrapper() -> FullAccessWrapper {
+        let mut c = Catalog::new();
+        c.define_table("person")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("name", DataType::Text)
+            .unwrap()
+            .finish();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .col_opts("director_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        // An island table with no FK at all.
+        c.define_table("island")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("label", DataType::Text)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("movie", "director_id", "person").unwrap();
+        let mut d = Database::new(c).unwrap();
+        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()])).unwrap();
+        d.insert("movie", Row::new(vec![10.into(), "Wind".into(), 1.into()])).unwrap();
+        d.insert("island", Row::new(vec![1.into(), "Atlantis".into()])).unwrap();
+        d.finalize();
+        FullAccessWrapper::new(d)
+    }
+
+    #[test]
+    fn cross_table_configuration_joins_via_fk() {
+        let w = wrapper();
+        let c = w.catalog();
+        let b = BackwardModule::new(&w, &SchemaGraphWeights::default());
+        let cfg = Configuration::new(
+            vec![
+                DbTerm::Domain(c.attr_id("movie", "title").unwrap()),
+                DbTerm::Domain(c.attr_id("person", "name").unwrap()),
+            ],
+            1.0,
+        );
+        let interps = b.interpretations(c, &cfg, 3).unwrap();
+        assert!(!interps.is_empty());
+        let joins = interps[0].join_conditions(b.schema_graph());
+        assert_eq!(joins.len(), 1, "one FK hop expected");
+        assert!(interps[0].score > 0.0);
+    }
+
+    #[test]
+    fn single_table_configuration_is_trivial() {
+        let w = wrapper();
+        let c = w.catalog();
+        let b = BackwardModule::new(&w, &SchemaGraphWeights::default());
+        let title = c.attr_id("movie", "title").unwrap();
+        let cfg = Configuration::new(vec![DbTerm::Domain(title)], 1.0);
+        let interps = b.interpretations(c, &cfg, 3).unwrap();
+        assert_eq!(interps.len(), 1);
+        assert!(interps[0].tree.is_empty());
+        assert_eq!(interps[0].score, 1.0);
+    }
+
+    #[test]
+    fn disconnected_terms_yield_no_interpretations() {
+        let w = wrapper();
+        let c = w.catalog();
+        let b = BackwardModule::new(&w, &SchemaGraphWeights::default());
+        let cfg = Configuration::new(
+            vec![
+                DbTerm::Domain(c.attr_id("movie", "title").unwrap()),
+                DbTerm::Domain(c.attr_id("island", "label").unwrap()),
+            ],
+            1.0,
+        );
+        assert!(b.interpretations(c, &cfg, 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn table_terms_anchor_at_primary_key() {
+        let w = wrapper();
+        let c = w.catalog();
+        let b = BackwardModule::new(&w, &SchemaGraphWeights::default());
+        let cfg = Configuration::new(
+            vec![
+                DbTerm::Table(c.table_id("movie").unwrap()),
+                DbTerm::Domain(c.attr_id("person", "name").unwrap()),
+            ],
+            1.0,
+        );
+        let terms = b.terminals(c, &cfg);
+        assert_eq!(terms.len(), 2);
+        let interps = b.interpretations(c, &cfg, 2).unwrap();
+        assert!(!interps.is_empty());
+    }
+
+    #[test]
+    fn interpretations_sorted_and_distinct() {
+        let w = wrapper();
+        let c = w.catalog();
+        let b = BackwardModule::new(&w, &SchemaGraphWeights::default());
+        let cfg = Configuration::new(
+            vec![
+                DbTerm::Domain(c.attr_id("movie", "title").unwrap()),
+                DbTerm::Domain(c.attr_id("person", "name").unwrap()),
+            ],
+            1.0,
+        );
+        let interps = b.interpretations(c, &cfg, 5).unwrap();
+        for wpair in interps.windows(2) {
+            assert!(wpair[0].score >= wpair[1].score);
+        }
+        for (i, a) in interps.iter().enumerate() {
+            for bb in interps.iter().skip(i + 1) {
+                assert_ne!(a.key(), bb.key());
+            }
+        }
+    }
+
+    #[test]
+    fn attrs_entry_point() {
+        let w = wrapper();
+        let c = w.catalog();
+        let b = BackwardModule::new(&w, &SchemaGraphWeights::default());
+        let interps = b
+            .interpretations_for_attrs(
+                &[
+                    c.attr_id("movie", "title").unwrap(),
+                    c.attr_id("person", "name").unwrap(),
+                ],
+                2,
+            )
+            .unwrap();
+        assert!(!interps.is_empty());
+        assert!(b.interpretations_for_attrs(&[], 2).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! The schema graph: QUEST's backward search space.
+//!
+//! "We model the relational schema as a weighted graph where there is a node
+//! for each attribute in the database and edges connecting (i) the node
+//! representing the primary key of a table with all the other attributes in
+//! the same table, and (ii) nodes associated with couples of primary-foreign
+//! keys" (paper §3). Foreign-key edges are weighted with a mutual-information
+//! based distance so that Steiner trees prefer join paths that actually
+//! contain tuples; when the instance is hidden, a neutral default applies.
+
+use std::collections::HashMap;
+
+use quest_graph::{Graph, NodeId};
+use relstore::{AttrId, Catalog, ForeignKey, TableId};
+
+use crate::wrapper::SourceWrapper;
+
+/// Why an edge exists in the schema graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchemaEdgeKind {
+    /// Primary key ↔ sibling attribute of the same table.
+    IntraTable(TableId),
+    /// Primary key ↔ foreign key across tables.
+    ForeignKey(ForeignKey),
+}
+
+/// Edge-weight parameters.
+#[derive(Debug, Clone)]
+pub struct SchemaGraphWeights {
+    /// Weight of intra-table (PK ↔ attribute) edges.
+    pub intra_table: f64,
+    /// Base weight of PK ↔ FK edges.
+    pub fk_base: f64,
+    /// Extra distance added to an FK edge scaled by `1 - NMI`: uninformative
+    /// (likely-empty) joins become long.
+    pub mi_penalty: f64,
+    /// NMI assumed when instance statistics are unavailable (hidden source).
+    pub default_nmi: f64,
+}
+
+impl Default for SchemaGraphWeights {
+    fn default() -> Self {
+        SchemaGraphWeights {
+            intra_table: 1.0,
+            fk_base: 1.0,
+            mi_penalty: 2.0,
+            default_nmi: 0.5,
+        }
+    }
+}
+
+/// The attribute-level schema graph.
+#[derive(Debug, Clone)]
+pub struct SchemaGraph {
+    graph: Graph,
+    kinds: HashMap<(NodeId, NodeId), SchemaEdgeKind>,
+}
+
+impl SchemaGraph {
+    /// Build the graph from a wrapper's catalog, weighting FK edges with the
+    /// wrapper's join statistics when available.
+    pub fn build<W: SourceWrapper + ?Sized>(
+        wrapper: &W,
+        weights: &SchemaGraphWeights,
+    ) -> SchemaGraph {
+        let catalog = wrapper.catalog();
+        let mut graph = Graph::with_nodes(catalog.attribute_count());
+        let mut kinds = HashMap::new();
+
+        for table in catalog.tables() {
+            let hub = hub_attr(catalog, table.id);
+            for &attr in &table.attributes {
+                if attr == hub {
+                    continue;
+                }
+                let a = node(hub);
+                let b = node(attr);
+                graph
+                    .add_edge(a, b, weights.intra_table)
+                    .expect("catalog attribute ids are valid graph nodes");
+                kinds.insert(key(a, b), SchemaEdgeKind::IntraTable(table.id));
+            }
+        }
+        for fk in catalog.foreign_keys() {
+            let nmi = wrapper
+                .join_informativeness(*fk)
+                .unwrap_or(weights.default_nmi)
+                .clamp(0.0, 1.0);
+            let w = weights.fk_base + weights.mi_penalty * (1.0 - nmi);
+            let a = node(fk.from);
+            let b = node(fk.to);
+            graph
+                .add_edge(a, b, w)
+                .expect("catalog attribute ids are valid graph nodes");
+            kinds.insert(key(a, b), SchemaEdgeKind::ForeignKey(*fk));
+        }
+        SchemaGraph { graph, kinds }
+    }
+
+    /// Build with uniform FK weights — the E8 ablation: mutual information
+    /// is ignored by zeroing its penalty, so every FK edge costs `fk_base`.
+    pub fn build_uniform<W: SourceWrapper + ?Sized>(wrapper: &W) -> SchemaGraph {
+        let weights = SchemaGraphWeights { mi_penalty: 0.0, ..Default::default() };
+        SchemaGraph::build(wrapper, &weights)
+    }
+
+    /// The underlying weighted graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Graph node of an attribute.
+    pub fn node_of(&self, attr: AttrId) -> NodeId {
+        node(attr)
+    }
+
+    /// Attribute of a graph node.
+    pub fn attr_of(&self, n: NodeId) -> AttrId {
+        AttrId(n.0)
+    }
+
+    /// Kind of an edge, by endpoints (order-insensitive).
+    pub fn edge_kind(&self, a: NodeId, b: NodeId) -> Option<SchemaEdgeKind> {
+        self.kinds.get(&key(a, b)).copied()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+}
+
+/// The hub attribute of a table: its single-attribute primary key, or the
+/// first key attribute for composite keys.
+pub fn hub_attr(catalog: &Catalog, table: TableId) -> AttrId {
+    catalog
+        .single_pk(table)
+        .unwrap_or_else(|| catalog.table(table).primary_key[0])
+}
+
+fn node(attr: AttrId) -> NodeId {
+    NodeId(attr.0)
+}
+
+fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wrapper::FullAccessWrapper;
+    use relstore::{DataType, Database, Row};
+
+    fn wrapper() -> FullAccessWrapper {
+        let mut c = Catalog::new();
+        c.define_table("person")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("name", DataType::Text)
+            .unwrap()
+            .finish();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .col_opts("director_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("movie", "director_id", "person").unwrap();
+        let mut d = Database::new(c).unwrap();
+        d.insert("person", Row::new(vec![1.into(), "Fleming".into()])).unwrap();
+        d.insert("movie", Row::new(vec![10.into(), "Wind".into(), 1.into()])).unwrap();
+        d.finalize();
+        FullAccessWrapper::new(d)
+    }
+
+    #[test]
+    fn structure_matches_paper() {
+        let w = wrapper();
+        let g = SchemaGraph::build(&w, &SchemaGraphWeights::default());
+        // 5 attributes -> 5 nodes.
+        assert_eq!(g.node_count(), 5);
+        // person: id-name; movie: id-title, id-director_id; fk: director_id-person.id
+        assert_eq!(g.edge_count(), 4);
+        let c = w.catalog();
+        let pid = g.node_of(c.attr_id("person", "id").unwrap());
+        let dir = g.node_of(c.attr_id("movie", "director_id").unwrap());
+        assert!(matches!(g.edge_kind(pid, dir), Some(SchemaEdgeKind::ForeignKey(_))));
+        let mid = g.node_of(c.attr_id("movie", "id").unwrap());
+        let title = g.node_of(c.attr_id("movie", "title").unwrap());
+        assert!(matches!(g.edge_kind(mid, title), Some(SchemaEdgeKind::IntraTable(_))));
+        assert_eq!(g.edge_kind(pid, title), None);
+    }
+
+    #[test]
+    fn fk_weight_reflects_mutual_information() {
+        let w = wrapper();
+        let weights = SchemaGraphWeights::default();
+        let g = SchemaGraph::build(&w, &weights);
+        let c = w.catalog();
+        let pid = g.node_of(c.attr_id("person", "id").unwrap());
+        let dir = g.node_of(c.attr_id("movie", "director_id").unwrap());
+        // Single row referencing the single person: nmi = 0 (one referenced
+        // key) -> full penalty... referenced_rows == 1 so hmax = 0 -> nmi 0.
+        let e = g
+            .graph()
+            .edges()
+            .iter()
+            .find(|e| key(e.a, e.b) == key(pid, dir))
+            .unwrap();
+        assert!((e.weight - (weights.fk_base + weights.mi_penalty)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_build_flattens_fk_weights() {
+        let w = wrapper();
+        let g = SchemaGraph::build_uniform(&w);
+        for e in g.graph().edges() {
+            assert!((e.weight - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn attr_node_round_trip() {
+        let w = wrapper();
+        let g = SchemaGraph::build(&w, &SchemaGraphWeights::default());
+        let c = w.catalog();
+        let a = c.attr_id("movie", "title").unwrap();
+        assert_eq!(g.attr_of(g.node_of(a)), a);
+    }
+}

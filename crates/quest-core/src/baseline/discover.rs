@@ -1,0 +1,292 @@
+//! DISCOVER-style candidate network enumeration.
+//!
+//! The schema-based baseline (Hristidis & Papakonstantinou): keywords select
+//! *non-free* tuple sets (tables with matches); candidate networks are
+//! connected subtrees of the table-level schema graph covering all non-free
+//! tables, up to a size bound. Every candidate network compiles to a join
+//! expression whose evaluation returns the answers. Unlike QUEST, the
+//! enumeration is exhaustive and unweighted — the comparison point for
+//! demo message 3 alongside BANKS.
+
+use std::collections::HashSet;
+
+use relstore::sql::{JoinCondition, Predicate, Projection, SelectStatement};
+use relstore::{AttrId, Catalog, Database, TableId};
+
+use crate::keyword::KeywordQuery;
+
+/// A candidate network: a connected set of tables covering all keyword
+/// tables, with the FK joins connecting them.
+#[derive(Debug, Clone)]
+pub struct CandidateNetwork {
+    /// Tables in the network.
+    pub tables: Vec<TableId>,
+    /// FK join conditions connecting them (a spanning tree).
+    pub joins: Vec<JoinCondition>,
+}
+
+impl CandidateNetwork {
+    /// Number of joined tables.
+    pub fn size(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Compile to SQL with the given keyword predicates.
+    pub fn to_statement(
+        &self,
+        predicates: Vec<Predicate>,
+        limit: Option<usize>,
+    ) -> SelectStatement {
+        SelectStatement {
+            projection: Projection::Star,
+            from: self.tables.clone(),
+            joins: self.joins.clone(),
+            predicates,
+            distinct: true,
+            limit,
+        }
+    }
+}
+
+/// Per-keyword matched attributes (the non-free tuple sets): attributes
+/// whose index matches the keyword.
+pub fn keyword_attrs(db: &Database, query: &KeywordQuery) -> Vec<Vec<AttrId>> {
+    query
+        .keywords
+        .iter()
+        .map(|kw| {
+            db.catalog()
+                .attributes()
+                .iter()
+                .filter(|a| a.full_text && db.search_score(a.id, &kw.normalized) > 0.0)
+                .map(|a| a.id)
+                .collect()
+        })
+        .collect()
+}
+
+/// Enumerate candidate networks covering `required` tables, with at most
+/// `max_size` tables total. Returns all minimal connected covers (each
+/// network is a tree over the table graph).
+pub fn enumerate_networks(
+    catalog: &Catalog,
+    required: &[TableId],
+    max_size: usize,
+) -> Vec<CandidateNetwork> {
+    let mut required: Vec<TableId> = required.to_vec();
+    required.sort();
+    required.dedup();
+    if required.is_empty() {
+        return Vec::new();
+    }
+    if required.len() == 1 {
+        return vec![CandidateNetwork { tables: required, joins: Vec::new() }];
+    }
+
+    // Table-level adjacency from FKs.
+    let mut adj: Vec<(TableId, TableId, JoinCondition)> = Vec::new();
+    for fk in catalog.foreign_keys() {
+        let a = catalog.attribute(fk.from).table;
+        let b = catalog.attribute(fk.to).table;
+        if a != b {
+            adj.push((a, b, JoinCondition { left: fk.from, right: fk.to }));
+        }
+    }
+
+    // DFS over partial trees: grow from the first required table.
+    let mut results: Vec<CandidateNetwork> = Vec::new();
+    let mut seen_keys: HashSet<Vec<TableId>> = HashSet::new();
+    let start = required[0];
+    let mut stack: Vec<(Vec<TableId>, Vec<JoinCondition>)> = vec![(vec![start], Vec::new())];
+    while let Some((tables, joins)) = stack.pop() {
+        if required.iter().all(|t| tables.contains(t)) {
+            let mut key = tables.clone();
+            key.sort();
+            if seen_keys.insert(key.clone()) {
+                results.push(CandidateNetwork { tables, joins });
+            }
+            continue;
+        }
+        if tables.len() >= max_size {
+            continue;
+        }
+        for (a, b, jc) in &adj {
+            let (inside, outside) = if tables.contains(a) && !tables.contains(b) {
+                (*a, *b)
+            } else if tables.contains(b) && !tables.contains(a) {
+                (*b, *a)
+            } else {
+                continue;
+            };
+            let _ = inside;
+            let mut nt = tables.clone();
+            nt.push(outside);
+            let mut nj = joins.clone();
+            nj.push(*jc);
+            stack.push((nt, nj));
+        }
+    }
+    results.sort_by_key(|cn| cn.size());
+    results
+}
+
+/// Full DISCOVER-style pipeline: find per-keyword attributes, enumerate
+/// networks over the matched tables, compile each to SQL.
+pub fn discover_statements(
+    db: &Database,
+    query: &KeywordQuery,
+    max_size: usize,
+    limit: Option<usize>,
+) -> Vec<SelectStatement> {
+    let attr_sets = keyword_attrs(db, query);
+    if attr_sets.iter().any(|s| s.is_empty()) {
+        return Vec::new();
+    }
+    // One attribute choice per keyword: take the cross product, capped.
+    const MAX_COMBOS: usize = 64;
+    let mut combos: Vec<Vec<AttrId>> = vec![Vec::new()];
+    for set in &attr_sets {
+        let mut next = Vec::new();
+        for combo in &combos {
+            for a in set {
+                let mut c = combo.clone();
+                c.push(*a);
+                next.push(c);
+                if next.len() >= MAX_COMBOS {
+                    break;
+                }
+            }
+            if next.len() >= MAX_COMBOS {
+                break;
+            }
+        }
+        combos = next;
+    }
+
+    let mut out = Vec::new();
+    for combo in combos {
+        let tables: Vec<TableId> = combo
+            .iter()
+            .map(|a| db.catalog().attribute(*a).table)
+            .collect();
+        for cn in enumerate_networks(db.catalog(), &tables, max_size) {
+            let predicates: Vec<Predicate> = combo
+                .iter()
+                .zip(query.keywords.iter())
+                .map(|(a, kw)| Predicate::Contains {
+                    attr: *a,
+                    keyword: kw.normalized.clone(),
+                })
+                .collect();
+            out.push(cn.to_statement(predicates, limit));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{DataType, Row};
+
+    fn db() -> Database {
+        let mut c = Catalog::new();
+        c.define_table("person")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("name", DataType::Text)
+            .unwrap()
+            .finish();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .col_opts("director_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.define_table("casting")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col_opts("movie_id", DataType::Int, true, false)
+            .unwrap()
+            .col_opts("person_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("movie", "director_id", "person").unwrap();
+        c.add_foreign_key("casting", "movie_id", "movie").unwrap();
+        c.add_foreign_key("casting", "person_id", "person").unwrap();
+        let mut d = Database::new(c).unwrap();
+        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()])).unwrap();
+        d.insert("person", Row::new(vec![2.into(), "Vivien Leigh".into()])).unwrap();
+        d.insert("movie", Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into()]))
+            .unwrap();
+        d.insert("casting", Row::new(vec![100.into(), 10.into(), 2.into()])).unwrap();
+        d.finalize();
+        d
+    }
+
+    #[test]
+    fn single_table_network_is_trivial() {
+        let d = db();
+        let movie = d.catalog().table_id("movie").unwrap();
+        let nets = enumerate_networks(d.catalog(), &[movie], 3);
+        assert_eq!(nets.len(), 1);
+        assert!(nets[0].joins.is_empty());
+    }
+
+    #[test]
+    fn two_table_networks_include_both_paths() {
+        let d = db();
+        let movie = d.catalog().table_id("movie").unwrap();
+        let person = d.catalog().table_id("person").unwrap();
+        let nets = enumerate_networks(d.catalog(), &[movie, person], 3);
+        // Direct FK (movie-person) and via casting (movie-casting-person).
+        assert!(nets.len() >= 2, "got {} networks", nets.len());
+        assert_eq!(nets[0].size(), 2);
+        assert!(nets.iter().any(|n| n.size() == 3));
+        // Networks are returned smallest first.
+        for w in nets.windows(2) {
+            assert!(w[0].size() <= w[1].size());
+        }
+    }
+
+    #[test]
+    fn size_bound_prunes() {
+        let d = db();
+        let movie = d.catalog().table_id("movie").unwrap();
+        let person = d.catalog().table_id("person").unwrap();
+        let nets = enumerate_networks(d.catalog(), &[movie, person], 2);
+        assert!(nets.iter().all(|n| n.size() <= 2));
+    }
+
+    #[test]
+    fn discover_pipeline_produces_executable_sql() {
+        let d = db();
+        let q = KeywordQuery::parse("wind leigh").unwrap();
+        let stmts = discover_statements(&d, &q, 3, Some(10));
+        assert!(!stmts.is_empty());
+        // At least one statement returns the Wind/Leigh pair via casting.
+        let hits = stmts
+            .iter()
+            .filter(|s| relstore::sql::execute(&d, s).map(|r| !r.is_empty()).unwrap_or(false))
+            .count();
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn unknown_keyword_short_circuits() {
+        let d = db();
+        let q = KeywordQuery::parse("wind zzzz").unwrap();
+        assert!(discover_statements(&d, &q, 3, None).is_empty());
+    }
+
+    #[test]
+    fn empty_required_set() {
+        let d = db();
+        assert!(enumerate_networks(d.catalog(), &[], 3).is_empty());
+    }
+}

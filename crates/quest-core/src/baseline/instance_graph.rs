@@ -1,0 +1,163 @@
+//! The instance-level data graph used by classic graph-based keyword search.
+//!
+//! "Graph-based techniques treat relational databases as graphs, where nodes
+//! are tuples and edges relationships between those tuples ... the main
+//! issues are related to the large size of the graphs induced by the
+//! database instance" (paper §1). QUEST's demonstration message 3 contrasts
+//! its schema-level Steiner trees with exactly this representation, so we
+//! build it faithfully: one node per tuple, one edge per matching
+//! foreign-key pair.
+
+use std::collections::HashMap;
+
+use quest_graph::{Graph, NodeId};
+use relstore::{Database, TupleRef};
+
+/// The tuple-level graph of a database instance.
+#[derive(Debug, Clone)]
+pub struct InstanceGraph {
+    graph: Graph,
+    tuples: Vec<TupleRef>,
+    node_of: HashMap<TupleRef, NodeId>,
+}
+
+impl InstanceGraph {
+    /// Build the graph from a database: nodes are tuples, edges connect a
+    /// referencing row to its referenced row for every foreign key.
+    pub fn build(db: &Database) -> InstanceGraph {
+        let catalog = db.catalog();
+        let mut tuples = Vec::with_capacity(db.total_rows());
+        let mut node_of = HashMap::with_capacity(db.total_rows());
+        for table in catalog.tables() {
+            for (rid, _) in db.table_data(table.id).iter() {
+                let t = TupleRef { table: table.id, row: rid };
+                node_of.insert(t, NodeId(tuples.len() as u32));
+                tuples.push(t);
+            }
+        }
+        let mut graph = Graph::with_nodes(tuples.len());
+        for fk in catalog.foreign_keys() {
+            let from_attr = catalog.attribute(fk.from);
+            let to_table = catalog.attribute(fk.to).table;
+            let referenced = db.table_data(to_table);
+            for (rid, row) in db.table_data(from_attr.table).iter() {
+                let v = row.get(from_attr.position);
+                if v.is_null() {
+                    continue;
+                }
+                if let Some(target) = referenced.lookup_pk(std::slice::from_ref(v)) {
+                    let a = node_of[&TupleRef { table: from_attr.table, row: rid }];
+                    let b = node_of[&TupleRef { table: to_table, row: target }];
+                    if a != b {
+                        let _ = graph.add_edge(a, b, 1.0);
+                    }
+                }
+            }
+        }
+        InstanceGraph { graph, tuples, node_of }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Node of a tuple.
+    pub fn node_of(&self, t: TupleRef) -> Option<NodeId> {
+        self.node_of.get(&t).copied()
+    }
+
+    /// Tuple of a node.
+    pub fn tuple_of(&self, n: NodeId) -> TupleRef {
+        self.tuples[n.0 as usize]
+    }
+
+    /// Number of tuple nodes.
+    pub fn node_count(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Number of FK edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{Catalog, DataType, Row};
+
+    fn db() -> Database {
+        let mut c = Catalog::new();
+        c.define_table("person")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("name", DataType::Text)
+            .unwrap()
+            .finish();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .col_opts("director_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("movie", "director_id", "person").unwrap();
+        let mut d = Database::new(c).unwrap();
+        d.insert("person", Row::new(vec![1.into(), "Fleming".into()])).unwrap();
+        d.insert("person", Row::new(vec![2.into(), "Curtiz".into()])).unwrap();
+        d.insert("movie", Row::new(vec![10.into(), "Wind".into(), 1.into()])).unwrap();
+        d.insert("movie", Row::new(vec![11.into(), "Casablanca".into(), 2.into()])).unwrap();
+        d.insert("movie", Row::new(vec![12.into(), "Oz".into(), 1.into()])).unwrap();
+        d.finalize();
+        d
+    }
+
+    #[test]
+    fn one_node_per_tuple_one_edge_per_fk_pair() {
+        let d = db();
+        let g = InstanceGraph::build(&d);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 3); // three movies, each with a director
+    }
+
+    #[test]
+    fn grows_with_instance_not_schema() {
+        let mut d = db();
+        for i in 0..100i64 {
+            d.insert(
+                "movie",
+                Row::new(vec![(100 + i).into(), format!("Film {i}").into(), 1.into()]),
+            )
+            .unwrap();
+        }
+        d.finalize();
+        let g = InstanceGraph::build(&d);
+        assert_eq!(g.node_count(), 105);
+        assert_eq!(g.edge_count(), 103);
+    }
+
+    #[test]
+    fn null_fks_produce_no_edges() {
+        let mut d = db();
+        d.insert("movie", Row::new(vec![99.into(), "Orphan".into(), relstore::Value::Null]))
+            .unwrap();
+        d.finalize();
+        let g = InstanceGraph::build(&d);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn tuple_node_round_trip() {
+        let d = db();
+        let g = InstanceGraph::build(&d);
+        let movie = d.catalog().table_id("movie").unwrap();
+        let t = TupleRef { table: movie, row: relstore::RowId(0) };
+        let n = g.node_of(t).unwrap();
+        assert_eq!(g.tuple_of(n), t);
+    }
+}

@@ -1,0 +1,18 @@
+//! Instance-level baselines from the BANKS/DISCOVER lineage.
+//!
+//! QUEST's demonstration (message 3) argues that Steiner trees over *schema*
+//! graphs are effective and scalable compared to the classic approaches that
+//! operate on the instance. These baselines make the comparison concrete:
+//!
+//! * [`InstanceGraph`] + [`banks_search`] — graph-based: one node per tuple,
+//!   backward expanding search (BANKS);
+//! * [`discover_statements`] — schema-based but exhaustive and unweighted:
+//!   candidate network enumeration (DISCOVER).
+
+pub mod banks;
+pub mod discover;
+pub mod instance_graph;
+
+pub use banks::{banks_search, keyword_tuple_groups, TupleTree};
+pub use discover::{discover_statements, enumerate_networks, keyword_attrs, CandidateNetwork};
+pub use instance_graph::InstanceGraph;

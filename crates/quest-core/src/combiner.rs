@@ -1,0 +1,307 @@
+//! The combiner module: Dempster-Shafer aggregation of partial results.
+//!
+//! Implements Algorithm 1's `CombinerDST`: for each evidence source, add the
+//! scores of its ranked hypotheses as singleton masses (`addEvidence`),
+//! assign the source's uncertainty degree to the universe
+//! (`setUncertainty`), `normalize`, then apply Dempster's rule of
+//! combination. Used twice (paper §3): first to merge the a-priori and
+//! feedback configuration lists (`O_Cap`, `O_Cf`), then to merge combined
+//! configurations with the backward module's interpretations (`O_C`, `O_I`).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use quest_dst::{dempster_combine, DstError, Frame, MassFunction, MAX_ELEMENTS};
+
+use crate::error::QuestError;
+
+/// Validated uncertainty degree in [0, 1].
+fn check_uncertainty(o: f64, name: &str) -> Result<f64, QuestError> {
+    if !o.is_finite() || !(0.0..=1.0).contains(&o) {
+        return Err(QuestError::BadParameter(format!(
+            "uncertainty {name} = {o} outside [0, 1]"
+        )));
+    }
+    Ok(o)
+}
+
+/// Combine two ranked hypothesis lists over a shared (implicit) frame.
+///
+/// Each list is a set of `(hypothesis, score)` pairs; scores need not be
+/// normalized. `o1`/`o2` are the sources' uncertainty degrees. An empty list
+/// behaves as a vacuous (fully ignorant) source. Returns hypotheses ranked
+/// by pignistic probability, descending.
+///
+/// The union of hypotheses is capped at [`MAX_ELEMENTS`]; beyond that, the
+/// lowest-scored hypotheses are dropped (QUEST's lists are top-k with small
+/// k, so the cap is never met in practice).
+pub fn combine_ranked<T>(
+    list1: &[(T, f64)],
+    o1: f64,
+    list2: &[(T, f64)],
+    o2: f64,
+) -> Result<Vec<(T, f64)>, QuestError>
+where
+    T: Clone + Eq + Hash,
+{
+    let o1 = check_uncertainty(o1, "O1")?;
+    let o2 = check_uncertainty(o2, "O2")?;
+
+    // Build the shared universe: union of hypotheses, best score first.
+    let mut best: HashMap<&T, f64> = HashMap::new();
+    for (t, s) in list1.iter().chain(list2.iter()) {
+        let e = best.entry(t).or_insert(f64::NEG_INFINITY);
+        if *s > *e {
+            *e = *s;
+        }
+    }
+    let mut universe: Vec<&T> = best.keys().copied().collect();
+    universe.sort_by(|a, b| {
+        best[*b]
+            .partial_cmp(&best[*a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    universe.truncate(MAX_ELEMENTS);
+    if universe.is_empty() {
+        return Ok(Vec::new());
+    }
+    let index: HashMap<&T, usize> = universe.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+
+    let frame = Frame::new(universe.len())?;
+    let m1 = evidence_mass(frame, list1, &index, o1)?;
+    let m2 = evidence_mass(frame, list2, &index, o2)?;
+    let combined = match dempster_combine(&m1, &m2) {
+        Ok(c) => c.mass,
+        // Totally conflicting sources: fall back to the less uncertain one.
+        Err(DstError::TotalConflict) => {
+            if o1 <= o2 {
+                m1
+            } else {
+                m2
+            }
+        }
+        Err(e) => return Err(e.into()),
+    };
+
+    let mut out: Vec<(T, f64)> = universe
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Ok(((*t).clone(), combined.pignistic(i)?)))
+        .collect::<Result<_, DstError>>()?;
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(out)
+}
+
+/// `addEvidence` + `setUncertainty` + `normalize` for one source.
+fn evidence_mass<T: Eq + Hash>(
+    frame: Frame,
+    list: &[(T, f64)],
+    index: &HashMap<&T, usize>,
+    uncertainty: f64,
+) -> Result<MassFunction, QuestError> {
+    let mut m = MassFunction::new(frame);
+    let mut added = false;
+    for (t, s) in list {
+        let Some(&i) = index.get(t) else { continue }; // truncated by cap
+        if *s > 0.0 {
+            m.add_singleton(i, *s)?;
+            added = true;
+        }
+    }
+    if !added {
+        return Ok(MassFunction::vacuous(frame));
+    }
+    m.set_uncertainty(uncertainty)?;
+    Ok(m)
+}
+
+/// Second-level combination (configurations × interpretations →
+/// explanations).
+///
+/// Explanations are `(configuration index, interpretation)` pairs. The
+/// forward source supports *sets*: its evidence for configuration `c` is a
+/// focal set containing every explanation derived from `c`. The backward
+/// source scores each explanation individually (singletons). Returns the
+/// pignistic score per explanation, aligned with `explanations`.
+pub fn combine_explanation_scores(
+    config_scores: &[f64],
+    explanations: &[(usize, f64)],
+    o_c: f64,
+    o_i: f64,
+) -> Result<Vec<f64>, QuestError> {
+    let o_c = check_uncertainty(o_c, "O_C")?;
+    let o_i = check_uncertainty(o_i, "O_I")?;
+    if explanations.is_empty() {
+        return Ok(Vec::new());
+    }
+    if explanations.len() > MAX_ELEMENTS {
+        return Err(QuestError::BadParameter(format!(
+            "too many explanations for one frame: {} (max {MAX_ELEMENTS})",
+            explanations.len()
+        )));
+    }
+    let frame = Frame::new(explanations.len())?;
+
+    // Forward source: mass on the set of explanations sharing a config.
+    let mut fwd = MassFunction::new(frame);
+    let mut any_fwd = false;
+    for (ci, &score) in config_scores.iter().enumerate() {
+        if score <= 0.0 {
+            continue;
+        }
+        let mut set = quest_dst::FocalSet::EMPTY;
+        for (ei, (eci, _)) in explanations.iter().enumerate() {
+            if *eci == ci {
+                set = set.union(frame.singleton(ei)?);
+            }
+        }
+        if !set.is_empty() {
+            fwd.add_evidence(set, score)?;
+            any_fwd = true;
+        }
+    }
+    let fwd = if any_fwd {
+        let mut f = fwd;
+        f.set_uncertainty(o_c)?;
+        f
+    } else {
+        MassFunction::vacuous(frame)
+    };
+
+    // Backward source: singleton per explanation.
+    let mut bwd = MassFunction::new(frame);
+    let mut any_bwd = false;
+    for (ei, (_, score)) in explanations.iter().enumerate() {
+        if *score > 0.0 {
+            bwd.add_singleton(ei, *score)?;
+            any_bwd = true;
+        }
+    }
+    let bwd = if any_bwd {
+        let mut b = bwd;
+        b.set_uncertainty(o_i)?;
+        b
+    } else {
+        MassFunction::vacuous(frame)
+    };
+
+    let combined = match dempster_combine(&fwd, &bwd) {
+        Ok(c) => c.mass,
+        Err(DstError::TotalConflict) => {
+            if o_c <= o_i {
+                fwd
+            } else {
+                bwd
+            }
+        }
+        Err(e) => return Err(e.into()),
+    };
+    (0..explanations.len())
+        .map(|i| combined.pignistic(i).map_err(Into::into))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_promotes_shared_hypothesis() {
+        let l1 = [("a", 0.6), ("b", 0.4)];
+        let l2 = [("a", 0.5), ("c", 0.5)];
+        let out = combine_ranked(&l1, 0.2, &l2, 0.2).unwrap();
+        assert_eq!(out[0].0, "a");
+        assert_eq!(out.len(), 3);
+        let total: f64 = out.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_source_is_ignorant_not_veto() {
+        let l1 = [("a", 0.7), ("b", 0.3)];
+        let l2: [(&str, f64); 0] = [];
+        let out = combine_ranked(&l1, 0.1, &l2, 0.5).unwrap();
+        assert_eq!(out[0].0, "a");
+        // Ranking follows the only informative source.
+        assert!(out[0].1 > out[1].1);
+    }
+
+    #[test]
+    fn both_empty_yields_empty() {
+        let l: [(&str, f64); 0] = [];
+        assert!(combine_ranked(&l, 0.1, &l, 0.1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn uncertainty_tilts_toward_confident_source() {
+        let l1 = [("a", 1.0)];
+        let l2 = [("b", 1.0)];
+        // Source 1 confident, source 2 mostly ignorant.
+        let out = combine_ranked(&l1, 0.1, &l2, 0.9).unwrap();
+        assert_eq!(out[0].0, "a");
+        // Flip the uncertainties: ranking flips.
+        let out = combine_ranked(&l1, 0.9, &l2, 0.1).unwrap();
+        assert_eq!(out[0].0, "b");
+    }
+
+    #[test]
+    fn total_conflict_falls_back() {
+        let l1 = [("a", 1.0)];
+        let l2 = [("b", 1.0)];
+        // Zero ignorance on both: total conflict; the less uncertain wins
+        // (ties resolve to source 1).
+        let out = combine_ranked(&l1, 0.0, &l2, 0.0).unwrap();
+        assert_eq!(out[0].0, "a");
+    }
+
+    #[test]
+    fn invalid_uncertainty_rejected() {
+        let l = [("a", 1.0)];
+        assert!(combine_ranked(&l, -0.1, &l, 0.1).is_err());
+        assert!(combine_ranked(&l, 0.1, &l, 1.5).is_err());
+        assert!(combine_ranked(&l, f64::NAN, &l, 0.1).is_err());
+    }
+
+    #[test]
+    fn explanation_combination_respects_both_sources() {
+        // Two configs; config 0 strong. Three explanations: e0,e1 from c0
+        // (backward prefers e1), e2 from c1.
+        let config_scores = [0.8, 0.2];
+        let explanations = [(0usize, 0.3), (0, 0.7), (1, 0.9)];
+        let scores =
+            combine_explanation_scores(&config_scores, &explanations, 0.2, 0.2).unwrap();
+        assert_eq!(scores.len(), 3);
+        // e1 wins: strong config AND strong interpretation.
+        assert!(scores[1] > scores[0]);
+        assert!(scores[1] > scores[2]);
+        let total: f64 = scores.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backward_ignorance_defers_to_forward() {
+        let config_scores = [0.9, 0.1];
+        let explanations = [(0usize, 0.1), (1, 0.9)];
+        // Backward fully ignorant: forward config order dominates.
+        let scores =
+            combine_explanation_scores(&config_scores, &explanations, 0.1, 1.0).unwrap();
+        assert!(scores[0] > scores[1]);
+        // Forward fully ignorant: backward order dominates.
+        let scores =
+            combine_explanation_scores(&config_scores, &explanations, 1.0, 0.1).unwrap();
+        assert!(scores[1] > scores[0]);
+    }
+
+    #[test]
+    fn empty_explanations_ok() {
+        assert!(combine_explanation_scores(&[0.5], &[], 0.1, 0.1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn config_without_explanations_is_skipped() {
+        // Config 1 produced no interpretations (empty join path).
+        let scores = combine_explanation_scores(&[0.5, 0.5], &[(0, 0.6)], 0.2, 0.2).unwrap();
+        assert_eq!(scores.len(), 1);
+        assert!(scores[0] > 0.0);
+    }
+}

@@ -1,0 +1,477 @@
+//! The QUEST engine: Algorithm 1 end to end.
+//!
+//! ```text
+//! Cap ← HMM_a_priori(q, k)  |  Cf ← HMM_feedback(q, k)
+//! C   ← CombinerDST(Cap, Cf, O_Cap, O_Cf)
+//! I   ← ST(q, C, k)
+//! E   ← CombinerDST(C, I, O_C, O_I)
+//! E   ← QueryBuilder(E)
+//! ```
+
+use std::time::{Duration, Instant};
+
+use relstore::sql::ResultSet;
+use relstore::StoreError;
+
+use crate::backward::{BackwardModule, Interpretation, SchemaGraphWeights};
+use crate::combiner::{combine_explanation_scores, combine_ranked};
+use crate::error::QuestError;
+use crate::explain::Explanation;
+use crate::forward::{Configuration, ForwardModule};
+use crate::keyword::KeywordQuery;
+use crate::query_builder::build_query;
+use crate::semantics::SemanticRules;
+use crate::term::DbTerm;
+use crate::wrapper::SourceWrapper;
+
+/// Engine parameters: the `k` and the four uncertainty degrees of
+/// Algorithm 1, plus tuning knobs.
+#[derive(Debug, Clone)]
+pub struct QuestConfig {
+    /// Results kept at every stage (top-k configurations, interpretations
+    /// per configuration, and final explanations).
+    pub k: usize,
+    /// Uncertainty of the a-priori operating mode (`O_Cap`).
+    pub o_cap: f64,
+    /// Floor uncertainty of the feedback operating mode (`O_Cf`); see
+    /// `adaptive_feedback`.
+    pub o_cf: f64,
+    /// Uncertainty of the (combined) forward approach (`O_C`).
+    pub o_c: f64,
+    /// Uncertainty of the backward approach (`O_I`).
+    pub o_i: f64,
+    /// When true, the effective `O_Cf` starts at 1 (vacuous) with no
+    /// feedback and decays toward the configured floor as validated searches
+    /// accumulate — the paper's adaptation story (§3).
+    pub adaptive_feedback: bool,
+    /// A-priori transition heuristics.
+    pub rules: SemanticRules,
+    /// Schema-graph edge weights.
+    pub weights: SchemaGraphWeights,
+    /// LIMIT applied to generated SQL.
+    pub result_limit: Option<usize>,
+    /// Drop explanations whose SQL returns no tuples (requires an endpoint
+    /// probe per explanation).
+    pub prune_empty: bool,
+}
+
+impl Default for QuestConfig {
+    fn default() -> Self {
+        QuestConfig {
+            k: 5,
+            o_cap: 0.3,
+            o_cf: 0.2,
+            o_c: 0.3,
+            o_i: 0.3,
+            adaptive_feedback: true,
+            rules: SemanticRules::default(),
+            weights: SchemaGraphWeights::default(),
+            result_limit: Some(100),
+            prune_empty: false,
+        }
+    }
+}
+
+impl QuestConfig {
+    /// Validate all uncertainty degrees and k.
+    pub fn validate(&self) -> Result<(), QuestError> {
+        for (name, v) in [
+            ("O_Cap", self.o_cap),
+            ("O_Cf", self.o_cf),
+            ("O_C", self.o_c),
+            ("O_I", self.o_i),
+        ] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(QuestError::BadParameter(format!("{name} = {v} outside [0, 1]")));
+            }
+        }
+        if self.k == 0 {
+            return Err(QuestError::BadParameter("k must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Wall-clock cost of each pipeline stage of one search.
+#[derive(Debug, Clone, Default)]
+pub struct StageTimings {
+    /// Emission computation (index probes / metadata matching).
+    pub emissions: Duration,
+    /// A-priori list Viterbi.
+    pub forward_apriori: Duration,
+    /// Feedback list Viterbi.
+    pub forward_feedback: Duration,
+    /// First DST combination (configurations).
+    pub combine_configs: Duration,
+    /// Steiner tree enumeration.
+    pub backward: Duration,
+    /// Second DST combination + query building.
+    pub combine_explanations: Duration,
+}
+
+impl StageTimings {
+    /// Total pipeline time.
+    pub fn total(&self) -> Duration {
+        self.emissions
+            + self.forward_apriori
+            + self.forward_feedback
+            + self.combine_configs
+            + self.backward
+            + self.combine_explanations
+    }
+}
+
+/// Everything one search produced, including the per-module partial results
+/// the demo compares (§4, message 2).
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The parsed query.
+    pub query: KeywordQuery,
+    /// A-priori configurations (partial result).
+    pub apriori_configs: Vec<Configuration>,
+    /// Feedback configurations (partial result; empty before training).
+    pub feedback_configs: Vec<Configuration>,
+    /// DST-combined configurations.
+    pub configurations: Vec<Configuration>,
+    /// Ranked explanations (the answer).
+    pub explanations: Vec<Explanation>,
+    /// Per-stage timings.
+    pub timings: StageTimings,
+    /// Effective `O_Cf` used (after adaptation).
+    pub effective_o_cf: f64,
+}
+
+/// The QUEST search engine over one wrapped source.
+#[derive(Debug, Clone)]
+pub struct Quest<W: SourceWrapper> {
+    wrapper: W,
+    forward: ForwardModule,
+    backward: BackwardModule,
+    config: QuestConfig,
+}
+
+impl<W: SourceWrapper> Quest<W> {
+    /// Build the engine: extracts the vocabulary, builds the a-priori HMM
+    /// and the schema graph (the paper's setup phase).
+    pub fn new(wrapper: W, config: QuestConfig) -> Result<Quest<W>, QuestError> {
+        config.validate()?;
+        let forward = ForwardModule::new(&wrapper, &config.rules)?;
+        let backward = BackwardModule::new(&wrapper, &config.weights);
+        Ok(Quest { wrapper, forward, backward, config })
+    }
+
+    /// The wrapped source.
+    pub fn wrapper(&self) -> &W {
+        &self.wrapper
+    }
+
+    /// The forward module.
+    pub fn forward(&self) -> &ForwardModule {
+        &self.forward
+    }
+
+    /// The backward module.
+    pub fn backward(&self) -> &BackwardModule {
+        &self.backward
+    }
+
+    /// Engine parameters.
+    pub fn config(&self) -> &QuestConfig {
+        &self.config
+    }
+
+    /// Mutable engine parameters (e.g. to sweep uncertainty degrees).
+    pub fn config_mut(&mut self) -> &mut QuestConfig {
+        &mut self.config
+    }
+
+    /// Effective feedback uncertainty: vacuous at zero feedback, decaying
+    /// toward the configured floor as validated searches accumulate.
+    pub fn effective_o_cf(&self) -> f64 {
+        if !self.config.adaptive_feedback {
+            return self.config.o_cf;
+        }
+        let n = self.forward.feedback_count() as f64;
+        let floor = self.config.o_cf;
+        floor + (1.0 - floor) * (-n / 10.0).exp()
+    }
+
+    /// Run Algorithm 1 on a raw query string.
+    pub fn search(&self, raw_query: &str) -> Result<SearchOutcome, QuestError> {
+        let query = KeywordQuery::parse(raw_query)?;
+        self.search_query(&query)
+    }
+
+    /// Run Algorithm 1 on a parsed query.
+    pub fn search_query(&self, query: &KeywordQuery) -> Result<SearchOutcome, QuestError> {
+        let k = self.config.k;
+        let mut timings = StageTimings::default();
+
+        // Emissions (shared by both operating modes).
+        let t0 = Instant::now();
+        let emissions = self.forward.emissions(&self.wrapper, query);
+        timings.emissions = t0.elapsed();
+
+        // Forward, both modes.
+        let t0 = Instant::now();
+        let apriori = self.forward.top_k_apriori(&emissions, k)?;
+        timings.forward_apriori = t0.elapsed();
+        let t0 = Instant::now();
+        let feedback = self.forward.top_k_feedback(&emissions, k)?;
+        timings.forward_feedback = t0.elapsed();
+        if apriori.is_empty() && feedback.is_empty() {
+            return Err(QuestError::NoConfiguration);
+        }
+
+        // First combination: C ← CombinerDST(Cap, Cf, O_Cap, O_Cf).
+        let t0 = Instant::now();
+        let o_cf = self.effective_o_cf();
+        let l1: Vec<(Vec<DbTerm>, f64)> =
+            apriori.iter().map(|c| (c.terms.clone(), c.score)).collect();
+        let l2: Vec<(Vec<DbTerm>, f64)> =
+            feedback.iter().map(|c| (c.terms.clone(), c.score)).collect();
+        let combined = combine_ranked(&l1, self.config.o_cap, &l2, o_cf)?;
+        let mut configurations: Vec<Configuration> = combined
+            .into_iter()
+            .take(k)
+            .map(|(terms, score)| Configuration::new(terms, score))
+            .collect();
+        timings.combine_configs = t0.elapsed();
+
+        // Backward: I ← ST(q, C, k).
+        let t0 = Instant::now();
+        let catalog = self.wrapper.catalog();
+        let mut pairs: Vec<(usize, Interpretation)> = Vec::new();
+        for (ci, cfg) in configurations.iter().enumerate() {
+            for interp in self.backward.interpretations(catalog, cfg, k)? {
+                pairs.push((ci, interp));
+            }
+        }
+        timings.backward = t0.elapsed();
+
+        // Second combination + query building.
+        let t0 = Instant::now();
+        let config_scores: Vec<f64> = configurations.iter().map(|c| c.score).collect();
+        let pair_scores: Vec<(usize, f64)> =
+            pairs.iter().map(|(ci, i)| (*ci, i.score)).collect();
+        let scores = combine_explanation_scores(
+            &config_scores,
+            &pair_scores,
+            self.config.o_c,
+            self.config.o_i,
+        )?;
+        let mut explanations: Vec<Explanation> = Vec::with_capacity(pairs.len());
+        for ((ci, interp), score) in pairs.into_iter().zip(scores) {
+            let cfg = &configurations[ci];
+            let stmt = build_query(
+                catalog,
+                self.backward.schema_graph(),
+                query,
+                cfg,
+                &interp,
+                self.config.result_limit,
+            )?;
+            explanations.push(Explanation {
+                configuration: cfg.clone(),
+                interpretation: interp,
+                statement: stmt,
+                score,
+            });
+        }
+        explanations.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        if self.config.prune_empty {
+            explanations.retain(|e| self.wrapper.has_results(&e.statement).unwrap_or(true));
+        }
+        explanations.truncate(k);
+        timings.combine_explanations = t0.elapsed();
+
+        // Keep partial configuration lists sorted for the demo comparisons.
+        configurations.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        Ok(SearchOutcome {
+            query: query.clone(),
+            apriori_configs: apriori,
+            feedback_configs: feedback,
+            configurations,
+            explanations,
+            timings,
+            effective_o_cf: o_cf,
+        })
+    }
+
+    /// Execute an explanation's SQL through the wrapper.
+    pub fn execute(&self, explanation: &Explanation) -> Result<ResultSet, StoreError> {
+        self.wrapper.execute(&explanation.statement)
+    }
+
+    /// Record user feedback on an explanation. Positive feedback validates
+    /// its configuration; negative feedback discounts it. Remembers the
+    /// query emissions for optional EM refinement.
+    pub fn feedback(
+        &mut self,
+        query: &KeywordQuery,
+        explanation: &Explanation,
+        positive: bool,
+    ) -> Result<(), QuestError> {
+        let emissions = self.forward.emissions(&self.wrapper, query);
+        self.forward.remember_query(emissions);
+        self.forward.record_feedback(&explanation.configuration, positive)
+    }
+
+    /// Directly record a validated configuration (used by training oracles).
+    pub fn feedback_configuration(
+        &mut self,
+        config: &Configuration,
+        positive: bool,
+    ) -> Result<(), QuestError> {
+        self.forward.record_feedback(config, positive)
+    }
+
+    /// Run Baum-Welch refinement over remembered queries.
+    pub fn refine_feedback_model(&mut self, max_iters: usize) -> Result<usize, QuestError> {
+        self.forward.refine_with_em(max_iters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wrapper::FullAccessWrapper;
+    use relstore::{Catalog, DataType, Database, Row};
+
+    fn engine() -> Quest<FullAccessWrapper> {
+        let mut c = Catalog::new();
+        c.define_table("person")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("name", DataType::Text)
+            .unwrap()
+            .finish();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .col_opts("director_id", DataType::Int, true, false)
+            .unwrap()
+            .col_opts("year", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("movie", "director_id", "person").unwrap();
+        let mut d = Database::new(c).unwrap();
+        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()])).unwrap();
+        d.insert("person", Row::new(vec![2.into(), "Michael Curtiz".into()])).unwrap();
+        d.insert(
+            "movie",
+            Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into(), 1939.into()]),
+        )
+        .unwrap();
+        d.insert(
+            "movie",
+            Row::new(vec![11.into(), "Casablanca".into(), 2.into(), 1942.into()]),
+        )
+        .unwrap();
+        d.finalize();
+        Quest::new(FullAccessWrapper::new(d), QuestConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_single_table() {
+        let q = engine();
+        let out = q.search("casablanca").unwrap();
+        assert!(!out.explanations.is_empty());
+        let best = &out.explanations[0];
+        let rs = q.execute(best).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert!(best.sql(q.wrapper().catalog()).contains("casablanca"));
+    }
+
+    #[test]
+    fn end_to_end_join_query() {
+        let q = engine();
+        let out = q.search("wind fleming").unwrap();
+        let best = &out.explanations[0];
+        let sql = best.sql(q.wrapper().catalog());
+        assert!(sql.contains("movie.director_id = person.id"), "{sql}");
+        let rs = q.execute(best).unwrap();
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn partial_results_are_exposed() {
+        let q = engine();
+        let out = q.search("casablanca director").unwrap();
+        assert!(!out.apriori_configs.is_empty());
+        assert!(out.feedback_configs.is_empty()); // no training yet
+        assert!(!out.configurations.is_empty());
+        assert!(out.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn adaptive_o_cf_decays_with_feedback() {
+        let mut q = engine();
+        assert!((q.effective_o_cf() - 1.0).abs() < 1e-9, "vacuous before feedback");
+        let query = KeywordQuery::parse("casablanca").unwrap();
+        let out = q.search_query(&query).unwrap();
+        let best = out.explanations[0].clone();
+        for _ in 0..20 {
+            q.feedback(&query, &best, true).unwrap();
+        }
+        let o = q.effective_o_cf();
+        assert!(o < 0.4, "o_cf should approach the floor, got {o}");
+        // With adaptation off, the raw floor applies.
+        q.config_mut().adaptive_feedback = false;
+        assert_eq!(q.effective_o_cf(), 0.2);
+    }
+
+    #[test]
+    fn feedback_changes_final_ranking() {
+        let mut q = engine();
+        let query = KeywordQuery::parse("fleming 1939").unwrap();
+        let before = q.search_query(&query).unwrap();
+        // Validate the best explanation repeatedly; the combined list must
+        // eventually contain its configuration at rank 1 by feedback alone.
+        let target = before.explanations[0].configuration.clone();
+        for _ in 0..10 {
+            q.feedback_configuration(&target, true).unwrap();
+        }
+        let after = q.search_query(&query).unwrap();
+        assert!(!after.feedback_configs.is_empty());
+        assert_eq!(after.feedback_configs[0].terms, target.terms);
+    }
+
+    #[test]
+    fn prune_empty_filters_resultless_sql() {
+        let mut q = engine();
+        q.config_mut().prune_empty = true;
+        let out = q.search("casablanca fleming").unwrap();
+        // Casablanca was directed by Curtiz, not Fleming: the join
+        // explanation is empty and must be pruned; whatever remains returns
+        // rows or nothing survives.
+        for e in &out.explanations {
+            assert!(q.wrapper().has_results(&e.statement).unwrap_or(false));
+        }
+        use crate::wrapper::SourceWrapper;
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = QuestConfig { o_cap: 1.5, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = QuestConfig { k: 0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        assert!(QuestConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        let q = engine();
+        assert!(matches!(q.search("   "), Err(QuestError::EmptyQuery)));
+    }
+}

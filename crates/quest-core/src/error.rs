@@ -1,0 +1,87 @@
+//! Unified error type for the QUEST engine.
+
+use std::fmt;
+
+/// Errors raised by the QUEST engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuestError {
+    /// The keyword query normalized to nothing.
+    EmptyQuery,
+    /// The query has more keywords than the engine supports.
+    TooManyKeywords {
+        /// Maximum supported.
+        max: usize,
+        /// Received.
+        got: usize,
+    },
+    /// No configuration could be found for the query.
+    NoConfiguration,
+    /// Storage engine error.
+    Store(relstore::StoreError),
+    /// HMM error.
+    Hmm(quest_hmm::HmmError),
+    /// Graph / Steiner error.
+    Graph(quest_graph::GraphError),
+    /// Dempster-Shafer error.
+    Dst(quest_dst::DstError),
+    /// Configuration parameter out of range.
+    BadParameter(String),
+}
+
+impl fmt::Display for QuestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuestError::EmptyQuery => write!(f, "keyword query is empty after normalization"),
+            QuestError::TooManyKeywords { max, got } => {
+                write!(f, "too many keywords: {got} (max {max})")
+            }
+            QuestError::NoConfiguration => write!(f, "no configuration found for the query"),
+            QuestError::Store(e) => write!(f, "store: {e}"),
+            QuestError::Hmm(e) => write!(f, "hmm: {e}"),
+            QuestError::Graph(e) => write!(f, "graph: {e}"),
+            QuestError::Dst(e) => write!(f, "dst: {e}"),
+            QuestError::BadParameter(m) => write!(f, "bad parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QuestError {}
+
+impl From<relstore::StoreError> for QuestError {
+    fn from(e: relstore::StoreError) -> Self {
+        QuestError::Store(e)
+    }
+}
+impl From<quest_hmm::HmmError> for QuestError {
+    fn from(e: quest_hmm::HmmError) -> Self {
+        QuestError::Hmm(e)
+    }
+}
+impl From<quest_graph::GraphError> for QuestError {
+    fn from(e: quest_graph::GraphError) -> Self {
+        QuestError::Graph(e)
+    }
+}
+impl From<quest_dst::DstError> for QuestError {
+    fn from(e: quest_dst::DstError) -> Self {
+        QuestError::Dst(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: QuestError = relstore::StoreError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("store"));
+        let e: QuestError = quest_hmm::HmmError::Empty.into();
+        assert!(e.to_string().contains("hmm"));
+        let e: QuestError = quest_graph::GraphError::NoTerminals.into();
+        assert!(e.to_string().contains("graph"));
+        let e: QuestError = quest_dst::DstError::ZeroMass.into();
+        assert!(e.to_string().contains("dst"));
+        assert!(QuestError::TooManyKeywords { max: 8, got: 9 }.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,181 @@
+//! Evaluation metrics against gold-standard SQL.
+//!
+//! The demo paper reports no numeric tables, so the reproduction pins its
+//! claims to standard retrieval metrics over workloads with known intended
+//! SQL: hit@k (precision at rank), mean reciprocal rank, and per-stage
+//! accuracy. Two statements are considered the same answer when they are
+//! *semantically equivalent* for QUEST's purposes: same table set, same join
+//! set, and same keyword predicates — projection differences are cosmetic.
+
+use std::collections::HashSet;
+
+use relstore::sql::{Predicate, SelectStatement};
+
+/// Whether two statements denote the same answer (table set, join set and
+/// predicate multiset all equal; projection and LIMIT ignored).
+pub fn statements_equivalent(a: &SelectStatement, b: &SelectStatement) -> bool {
+    let ta: HashSet<_> = a.from.iter().copied().collect();
+    let tb: HashSet<_> = b.from.iter().copied().collect();
+    if ta != tb {
+        return false;
+    }
+    let ja: HashSet<_> = a.joins.iter().map(|j| ordered(j.left.0, j.right.0)).collect();
+    let jb: HashSet<_> = b.joins.iter().map(|j| ordered(j.left.0, j.right.0)).collect();
+    if ja != jb {
+        return false;
+    }
+    let mut pa = predicate_keys(&a.predicates);
+    let mut pb = predicate_keys(&b.predicates);
+    pa.sort();
+    pb.sort();
+    pa == pb
+}
+
+fn ordered(a: u32, b: u32) -> (u32, u32) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn predicate_keys(ps: &[Predicate]) -> Vec<String> {
+    ps.iter()
+        .map(|p| match p {
+            Predicate::Contains { attr, keyword } => format!("c:{}:{}", attr.0, keyword),
+            Predicate::Compare { attr, op, value } => {
+                format!("x:{}:{}:{}", attr.0, op.sql(), value.to_sql_literal())
+            }
+            Predicate::IsNull { attr, negated } => format!("n:{}:{}", attr.0, negated),
+        })
+        .collect()
+}
+
+/// Rank (1-based) of the first relevant item, given a relevance mask over a
+/// ranked list.
+pub fn first_hit_rank(relevant: &[bool]) -> Option<usize> {
+    relevant.iter().position(|r| *r).map(|p| p + 1)
+}
+
+/// Reciprocal rank of a single ranked list (0 when no hit).
+pub fn reciprocal_rank(relevant: &[bool]) -> f64 {
+    first_hit_rank(relevant).map_or(0.0, |r| 1.0 / r as f64)
+}
+
+/// Hit@k: whether any of the first `k` items is relevant.
+pub fn hit_at_k(relevant: &[bool], k: usize) -> bool {
+    relevant.iter().take(k).any(|r| *r)
+}
+
+/// Aggregated workload metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkloadMetrics {
+    /// Number of queries evaluated.
+    pub queries: usize,
+    /// Fraction with a relevant answer at rank 1.
+    pub hit_at_1: f64,
+    /// Fraction with a relevant answer in the top 3.
+    pub hit_at_3: f64,
+    /// Fraction with a relevant answer anywhere in the returned list.
+    pub hit_at_k: f64,
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+}
+
+/// Aggregate per-query relevance masks into workload metrics.
+pub fn aggregate(masks: &[Vec<bool>]) -> WorkloadMetrics {
+    let n = masks.len();
+    if n == 0 {
+        return WorkloadMetrics::default();
+    }
+    let mut m = WorkloadMetrics { queries: n, ..Default::default() };
+    for mask in masks {
+        if hit_at_k(mask, 1) {
+            m.hit_at_1 += 1.0;
+        }
+        if hit_at_k(mask, 3) {
+            m.hit_at_3 += 1.0;
+        }
+        if hit_at_k(mask, mask.len().max(1)) {
+            m.hit_at_k += 1.0;
+        }
+        m.mrr += reciprocal_rank(mask);
+    }
+    let nf = n as f64;
+    m.hit_at_1 /= nf;
+    m.hit_at_3 /= nf;
+    m.hit_at_k /= nf;
+    m.mrr /= nf;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::sql::{JoinCondition, Projection};
+    use relstore::{AttrId, TableId};
+
+    fn stmt(tables: &[u32], joins: &[(u32, u32)], kws: &[(u32, &str)]) -> SelectStatement {
+        SelectStatement {
+            projection: Projection::Star,
+            from: tables.iter().map(|t| TableId(*t)).collect(),
+            joins: joins
+                .iter()
+                .map(|(a, b)| JoinCondition { left: AttrId(*a), right: AttrId(*b) })
+                .collect(),
+            predicates: kws
+                .iter()
+                .map(|(a, k)| Predicate::Contains { attr: AttrId(*a), keyword: k.to_string() })
+                .collect(),
+            distinct: true,
+            limit: None,
+        }
+    }
+
+    #[test]
+    fn equivalence_ignores_order_projection_limit() {
+        let a = stmt(&[0, 1], &[(4, 0)], &[(3, "wind"), (1, "flem")]);
+        let mut b = stmt(&[1, 0], &[(0, 4)], &[(1, "flem"), (3, "wind")]);
+        b.projection = Projection::Attrs(vec![AttrId(3)]);
+        b.limit = Some(5);
+        b.distinct = false;
+        assert!(statements_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn equivalence_detects_differences() {
+        let a = stmt(&[0, 1], &[(4, 0)], &[(3, "wind")]);
+        let b = stmt(&[0, 1], &[(4, 0)], &[(3, "oz")]);
+        assert!(!statements_equivalent(&a, &b));
+        let c = stmt(&[0], &[], &[(3, "wind")]);
+        assert!(!statements_equivalent(&a, &c));
+        let d = stmt(&[0, 1], &[], &[(3, "wind")]);
+        assert!(!statements_equivalent(&a, &d));
+    }
+
+    #[test]
+    fn rank_metrics() {
+        assert_eq!(first_hit_rank(&[false, true, false]), Some(2));
+        assert_eq!(first_hit_rank(&[false, false]), None);
+        assert_eq!(reciprocal_rank(&[false, true]), 0.5);
+        assert_eq!(reciprocal_rank(&[]), 0.0);
+        assert!(hit_at_k(&[false, true], 2));
+        assert!(!hit_at_k(&[false, true], 1));
+    }
+
+    #[test]
+    fn aggregation() {
+        let masks = vec![
+            vec![true, false],
+            vec![false, true],
+            vec![false, false],
+            vec![false, false, true],
+        ];
+        let m = aggregate(&masks);
+        assert_eq!(m.queries, 4);
+        assert!((m.hit_at_1 - 0.25).abs() < 1e-12);
+        assert!((m.hit_at_3 - 0.75).abs() < 1e-12);
+        assert!((m.mrr - (1.0 + 0.5 + 0.0 + 1.0 / 3.0) / 4.0).abs() < 1e-12);
+        assert_eq!(aggregate(&[]), WorkloadMetrics::default());
+    }
+}

@@ -1,0 +1,166 @@
+//! Explanations: the ranked output of QUEST.
+//!
+//! "We refer to these combinations as explanations, since they provide the
+//! results of a keyword query in terms of data and its semantic
+//! interpretations" (paper §1). An [`Explanation`] bundles the configuration,
+//! the interpretation, the generated SQL and the combined score; its
+//! rendering reproduces the demo GUI's presentation (Figure 2): the SQL, the
+//! keyword mapping, the join path, and an ASCII drawing of the schema
+//! portion involved.
+
+use relstore::sql::{render_sql, SelectStatement};
+use relstore::Catalog;
+
+use crate::backward::{Interpretation, SchemaEdgeKind, SchemaGraph};
+use crate::forward::Configuration;
+use crate::keyword::KeywordQuery;
+
+/// One ranked answer: an executable SQL query plus its provenance.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The keyword → term mapping that produced it.
+    pub configuration: Configuration,
+    /// The join path connecting the mapped terms.
+    pub interpretation: Interpretation,
+    /// The generated statement.
+    pub statement: SelectStatement,
+    /// Combined (pignistic) score in [0, 1].
+    pub score: f64,
+}
+
+impl Explanation {
+    /// The SQL text of this explanation.
+    pub fn sql(&self, catalog: &Catalog) -> String {
+        render_sql(catalog, &self.statement)
+    }
+
+    /// Multi-line presentation: SQL, mapping, join path, schema portion.
+    pub fn render(
+        &self,
+        catalog: &Catalog,
+        schema: &SchemaGraph,
+        query: &KeywordQuery,
+    ) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("score {:.4}\n", self.score));
+        out.push_str(&format!("  SQL:      {}\n", self.sql(catalog)));
+        out.push_str(&format!(
+            "  mapping:  {}\n",
+            self.configuration.describe(catalog, query)
+        ));
+        out.push_str(&format!(
+            "  path:     {}\n",
+            self.interpretation.describe(schema, catalog)
+        ));
+        out.push_str("  schema portion:\n");
+        out.push_str(&self.render_schema_portion(catalog, schema));
+        out
+    }
+
+    /// ASCII drawing of the database portion touched by the query: tables as
+    /// boxes, FK edges as arrows (the Figure 2 "graphical representation of
+    /// the portion of the database involved by the query").
+    pub fn render_schema_portion(&self, catalog: &Catalog, schema: &SchemaGraph) -> String {
+        let tables = self.interpretation.tables(schema, catalog);
+        if tables.is_empty() {
+            let tables = self.configuration.tables(catalog);
+            return tables
+                .iter()
+                .map(|t| format!("    [{}]\n", catalog.table(*t).name))
+                .collect();
+        }
+        let mut lines = String::new();
+        for t in &tables {
+            lines.push_str(&format!("    [{}]\n", catalog.table(*t).name));
+        }
+        for &(a, b) in self.interpretation.tree.edges() {
+            if let Some(SchemaEdgeKind::ForeignKey(fk)) = schema.edge_kind(a, b) {
+                let from = catalog.attribute(fk.from);
+                let to = catalog.attribute(fk.to);
+                lines.push_str(&format!(
+                    "    [{}] --{}={}--> [{}]\n",
+                    catalog.table(from.table).name,
+                    from.name,
+                    to.name,
+                    catalog.table(to.table).name,
+                ));
+            }
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backward::{BackwardModule, SchemaGraphWeights};
+    use crate::query_builder::build_query;
+    use crate::term::DbTerm;
+    use crate::wrapper::{FullAccessWrapper, SourceWrapper};
+    use relstore::{DataType, Database, Row};
+
+    fn explanation() -> (FullAccessWrapper, BackwardModule, KeywordQuery, Explanation) {
+        let mut c = Catalog::new();
+        c.define_table("person")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("name", DataType::Text)
+            .unwrap()
+            .finish();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .col_opts("director_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("movie", "director_id", "person").unwrap();
+        let mut d = Database::new(c).unwrap();
+        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()])).unwrap();
+        d.insert("movie", Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into()]))
+            .unwrap();
+        d.finalize();
+        let w = FullAccessWrapper::new(d);
+        let b = BackwardModule::new(&w, &SchemaGraphWeights::default());
+        let cat = w.catalog();
+        let q = KeywordQuery::parse("wind fleming").unwrap();
+        let cfg = Configuration::new(
+            vec![
+                DbTerm::Domain(cat.attr_id("movie", "title").unwrap()),
+                DbTerm::Domain(cat.attr_id("person", "name").unwrap()),
+            ],
+            0.8,
+        );
+        let interp = b.interpretations(cat, &cfg, 1).unwrap().remove(0);
+        let stmt = build_query(cat, b.schema_graph(), &q, &cfg, &interp, None).unwrap();
+        let e = Explanation {
+            configuration: cfg,
+            interpretation: interp,
+            statement: stmt,
+            score: 0.42,
+        };
+        (w, b, q, e)
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let (w, b, q, e) = explanation();
+        let text = e.render(w.catalog(), b.schema_graph(), &q);
+        assert!(text.contains("score 0.4200"));
+        assert!(text.contains("SELECT"));
+        assert!(text.contains("wind -> movie.title::value"));
+        assert!(text.contains("movie.director_id=person.id"));
+        assert!(text.contains("[movie] --director_id=id--> [person]"));
+    }
+
+    #[test]
+    fn sql_is_executable() {
+        let (w, _, _, e) = explanation();
+        let rs = w.execute(&e.statement).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert!(e.sql(w.catalog()).starts_with("SELECT"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Configurations: keyword → database-term mappings.
+//!
+//! "The first step is to determine how the keywords in the query can
+//! correspond to the structural elements of the database. This type of
+//! correspondences are referred to as configurations. Of course, each
+//! correspondence comes with some degree of uncertainty that is typically
+//! expressed with a weight" (paper §1).
+
+use relstore::Catalog;
+
+use crate::keyword::KeywordQuery;
+use crate::term::DbTerm;
+
+/// One mapping of every query keyword to a database term, with a confidence
+/// score (the forward HMM's path probability).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Configuration {
+    /// One term per keyword, in keyword order.
+    pub terms: Vec<DbTerm>,
+    /// Non-negative confidence; comparable only within one ranked list.
+    pub score: f64,
+}
+
+impl Configuration {
+    /// Build from aligned terms and a score.
+    pub fn new(terms: Vec<DbTerm>, score: f64) -> Configuration {
+        Configuration { terms, score }
+    }
+
+    /// Identity key: two configurations with the same term sequence are the
+    /// same hypothesis regardless of score.
+    pub fn key(&self) -> &[DbTerm] {
+        &self.terms
+    }
+
+    /// Human-readable rendering aligned with the query keywords.
+    pub fn describe(&self, catalog: &Catalog, query: &KeywordQuery) -> String {
+        self.terms
+            .iter()
+            .zip(query.keywords.iter())
+            .map(|(t, k)| format!("{} -> {}", k.raw, t.describe(catalog)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// The distinct tables touched by this configuration.
+    pub fn tables(&self, catalog: &Catalog) -> Vec<relstore::TableId> {
+        let mut ts: Vec<_> = self.terms.iter().map(|t| t.table(catalog)).collect();
+        ts.sort();
+        ts.dedup();
+        ts
+    }
+}
+
+/// Deduplicate a ranked list of configurations by term sequence, keeping the
+/// best score for each, preserving descending score order.
+pub fn dedup_configurations(mut configs: Vec<Configuration>) -> Vec<Configuration> {
+    configs.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out: Vec<Configuration> = Vec::with_capacity(configs.len());
+    for c in configs {
+        if !out.iter().any(|o| o.key() == c.key()) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{DataType, TableId};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .finish();
+        c
+    }
+
+    #[test]
+    fn describe_aligns_keywords_and_terms() {
+        let c = catalog();
+        let q = KeywordQuery::parse("casablanca movie").unwrap();
+        let title = c.attr_id("movie", "title").unwrap();
+        let cfg = Configuration::new(
+            vec![DbTerm::Domain(title), DbTerm::Table(TableId(0))],
+            0.5,
+        );
+        let d = cfg.describe(&c, &q);
+        assert!(d.contains("casablanca -> movie.title::value"));
+        assert!(d.contains("movie -> movie"));
+        assert_eq!(cfg.tables(&c), vec![TableId(0)]);
+    }
+
+    #[test]
+    fn dedup_keeps_best_scores_in_order() {
+        let title = relstore::AttrId(1);
+        let a = Configuration::new(vec![DbTerm::Domain(title)], 0.9);
+        let b = Configuration::new(vec![DbTerm::Attribute(title)], 0.7);
+        let a_dup = Configuration::new(vec![DbTerm::Domain(title)], 0.3);
+        let out = dedup_configurations(vec![a_dup, b.clone(), a.clone()]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], a);
+        assert_eq!(out[1], b);
+    }
+}

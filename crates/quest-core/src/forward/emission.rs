@@ -1,0 +1,137 @@
+//! Emission likelihoods: how well a keyword fits each HMM state.
+//!
+//! "The emission probability distribution describes the likelihood for a
+//! keyword to be 'generated' by a specific state" (paper §3). For *domain*
+//! states the likelihood is the wrapper's search function (full-text score,
+//! or the annotation/ontology surrogate on hidden sources); for *table* and
+//! *attribute* states it is name similarity between the keyword and the
+//! element's identifier (optionally extended with annotation aliases).
+
+use quest_hmm::Emissions;
+
+use crate::keyword::{Keyword, KeywordQuery};
+use crate::matcher::name_similarity;
+use crate::term::{normalize_identifier, DbTerm, Vocabulary};
+use crate::wrapper::SourceWrapper;
+
+/// Uniform floor applied when a keyword matches no state at all, keeping the
+/// observation sequence decodable (the keyword then contributes no
+/// discrimination but does not veto the query).
+pub const EMISSION_FLOOR: f64 = 1e-6;
+
+/// Compute the dense emission matrix for a query over the vocabulary states.
+pub fn emissions_for_query<W: SourceWrapper + ?Sized>(
+    wrapper: &W,
+    vocab: &Vocabulary,
+    query: &KeywordQuery,
+) -> Emissions {
+    query
+        .keywords
+        .iter()
+        .map(|kw| emission_row(wrapper, vocab, kw))
+        .collect()
+}
+
+/// Emission likelihoods of one keyword across all states.
+pub fn emission_row<W: SourceWrapper + ?Sized>(
+    wrapper: &W,
+    vocab: &Vocabulary,
+    keyword: &Keyword,
+) -> Vec<f64> {
+    let catalog = wrapper.catalog();
+    let ontology = wrapper.ontology();
+    let mut row: Vec<f64> = Vec::with_capacity(vocab.len());
+    for s in 0..vocab.len() {
+        let score = match vocab.term(s) {
+            DbTerm::Domain(a) => wrapper.value_score(a, keyword),
+            DbTerm::Table(_) | DbTerm::Attribute(_) => {
+                let mut best = name_similarity(&keyword.normalized, vocab.name(s), ontology);
+                if let (DbTerm::Attribute(a), Some(anns)) =
+                    (vocab.term(s), wrapper.annotations())
+                {
+                    if let Some(ann) = anns.get(a) {
+                        for alias in &ann.aliases {
+                            let alias_norm = normalize_identifier(alias);
+                            best = best.max(
+                                name_similarity(&keyword.normalized, &alias_norm, ontology)
+                                    * 0.95,
+                            );
+                        }
+                    }
+                }
+                let _ = catalog;
+                best
+            }
+        };
+        row.push(score.clamp(0.0, 1.0));
+    }
+    if row.iter().all(|&v| v <= 0.0) {
+        row.iter_mut().for_each(|v| *v = EMISSION_FLOOR);
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wrapper::FullAccessWrapper;
+    use relstore::{Catalog, DataType, Database, Row};
+
+    fn wrapper() -> (FullAccessWrapper, Vocabulary) {
+        let mut c = Catalog::new();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .finish();
+        let mut d = Database::new(c).unwrap();
+        d.insert("movie", Row::new(vec![1.into(), "Casablanca".into()])).unwrap();
+        d.finalize();
+        let v = Vocabulary::from_catalog(d.catalog());
+        (FullAccessWrapper::new(d), v)
+    }
+
+    #[test]
+    fn value_keyword_hits_domain_state() {
+        let (w, v) = wrapper();
+        let q = KeywordQuery::parse("casablanca").unwrap();
+        let e = emissions_for_query(&w, &v, &q);
+        assert_eq!(e.len(), 1);
+        let title = w.catalog().attr_id("movie", "title").unwrap();
+        let dom = v.state(DbTerm::Domain(title)).unwrap();
+        let tab = v.state(DbTerm::Table(w.catalog().table_id("movie").unwrap())).unwrap();
+        assert!(e[0][dom] > 0.0);
+        assert_eq!(e[0][tab], 0.0); // "casablanca" is not similar to "movie"
+    }
+
+    #[test]
+    fn schema_keyword_hits_metadata_states() {
+        let (w, v) = wrapper();
+        let q = KeywordQuery::parse("film title").unwrap();
+        let e = emissions_for_query(&w, &v, &q);
+        let tab = v.state(DbTerm::Table(w.catalog().table_id("movie").unwrap())).unwrap();
+        let title = w.catalog().attr_id("movie", "title").unwrap();
+        let attr = v.state(DbTerm::Attribute(title)).unwrap();
+        assert!(e[0][tab] > 0.8, "film ~ movie via ontology");
+        assert!(e[1][attr] > 0.9, "title == title");
+    }
+
+    #[test]
+    fn unknown_keyword_gets_floor() {
+        let (w, v) = wrapper();
+        let q = KeywordQuery::parse("qqqqzzzz").unwrap();
+        let e = emissions_for_query(&w, &v, &q);
+        assert!(e[0].iter().all(|&x| x == EMISSION_FLOOR));
+    }
+
+    #[test]
+    fn rows_are_bounded() {
+        let (w, v) = wrapper();
+        let q = KeywordQuery::parse("casablanca film title").unwrap();
+        for row in emissions_for_query(&w, &v, &q) {
+            assert!(row.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! The forward module: keyword query → top-k configurations.
+//!
+//! Runs the list Viterbi algorithm over an HMM whose states are database
+//! terms, in two operating modes (paper §3):
+//!
+//! * **a-priori** — transitions from heuristic semantic rules over the
+//!   schema, no training required;
+//! * **feedback-based** — transitions learned from user-validated searches,
+//!   combining count-based supervised updates (list Viterbi training) with
+//!   optional Baum-Welch EM refinement over past query emissions.
+
+pub mod configuration;
+pub mod emission;
+
+use quest_hmm::{list_viterbi, train, Emissions, Hmm, SupervisedTrainer};
+use relstore::Catalog;
+
+use crate::error::QuestError;
+use crate::keyword::KeywordQuery;
+use crate::semantics::{apriori_weights, SemanticRules};
+use crate::term::Vocabulary;
+use crate::wrapper::SourceWrapper;
+
+pub use configuration::{dedup_configurations, Configuration};
+pub use emission::{emission_row, emissions_for_query, EMISSION_FLOOR};
+
+/// Smoothing used by the feedback trainer.
+const FEEDBACK_SMOOTHING: f64 = 0.05;
+
+/// The forward module.
+#[derive(Debug, Clone)]
+pub struct ForwardModule {
+    vocab: Vocabulary,
+    apriori: Hmm,
+    trainer: SupervisedTrainer,
+    feedback_hmm: Option<Hmm>,
+    feedback_count: usize,
+    /// Emission histories retained for EM refinement.
+    history: Vec<Emissions>,
+}
+
+impl ForwardModule {
+    /// Build the module from a catalog using the given semantic rules and
+    /// the wrapper's ontology for generalization matching.
+    pub fn new<W: SourceWrapper + ?Sized>(
+        wrapper: &W,
+        rules: &SemanticRules,
+    ) -> Result<ForwardModule, QuestError> {
+        let catalog = wrapper.catalog();
+        let vocab = Vocabulary::from_catalog(catalog);
+        if vocab.is_empty() {
+            return Err(QuestError::BadParameter("empty catalog".into()));
+        }
+        let (init, trans) = apriori_weights(catalog, wrapper.ontology(), &vocab, rules);
+        let apriori = Hmm::from_weights(init, trans)?;
+        let trainer = SupervisedTrainer::new(vocab.len(), FEEDBACK_SMOOTHING)?;
+        Ok(ForwardModule {
+            vocab,
+            apriori,
+            trainer,
+            feedback_hmm: None,
+            feedback_count: 0,
+            history: Vec::new(),
+        })
+    }
+
+    /// The HMM state vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The a-priori model.
+    pub fn apriori_hmm(&self) -> &Hmm {
+        &self.apriori
+    }
+
+    /// The feedback model, once any feedback has been recorded.
+    pub fn feedback_hmm(&self) -> Option<&Hmm> {
+        self.feedback_hmm.as_ref()
+    }
+
+    /// Number of feedback observations recorded.
+    pub fn feedback_count(&self) -> usize {
+        self.feedback_count
+    }
+
+    /// Emission matrix for a query through the wrapper.
+    pub fn emissions<W: SourceWrapper + ?Sized>(
+        &self,
+        wrapper: &W,
+        query: &KeywordQuery,
+    ) -> Emissions {
+        emissions_for_query(wrapper, &self.vocab, query)
+    }
+
+    /// Top-k configurations in the a-priori mode.
+    pub fn top_k_apriori(
+        &self,
+        emissions: &Emissions,
+        k: usize,
+    ) -> Result<Vec<Configuration>, QuestError> {
+        self.decode(&self.apriori, emissions, k)
+    }
+
+    /// Top-k configurations in the feedback mode. Empty before any feedback.
+    pub fn top_k_feedback(
+        &self,
+        emissions: &Emissions,
+        k: usize,
+    ) -> Result<Vec<Configuration>, QuestError> {
+        match &self.feedback_hmm {
+            Some(hmm) => self.decode(hmm, emissions, k),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    fn decode(
+        &self,
+        hmm: &Hmm,
+        emissions: &Emissions,
+        k: usize,
+    ) -> Result<Vec<Configuration>, QuestError> {
+        let paths = list_viterbi(hmm, emissions, k)?;
+        let configs = paths
+            .into_iter()
+            .map(|p| {
+                let terms = p.states.iter().map(|&s| self.vocab.term(s)).collect();
+                Configuration::new(terms, p.log_prob.exp())
+            })
+            .collect();
+        Ok(dedup_configurations(configs))
+    }
+
+    /// Record user feedback on a configuration: `positive` marks a validated
+    /// explanation, negative feedback discounts the transitions (paper §3:
+    /// the parameter "should be decreased when 'negative' feedbacks are
+    /// obtained").
+    pub fn record_feedback(
+        &mut self,
+        config: &Configuration,
+        positive: bool,
+    ) -> Result<(), QuestError> {
+        let states: Vec<usize> = config
+            .terms
+            .iter()
+            .map(|t| {
+                self.vocab
+                    .state(*t)
+                    .ok_or_else(|| QuestError::BadParameter("term outside vocabulary".into()))
+            })
+            .collect::<Result<_, _>>()?;
+        if positive {
+            self.trainer.observe(&states)?;
+        } else {
+            self.trainer.observe_negative(&states, 0.5)?;
+        }
+        self.feedback_count += 1;
+        self.feedback_hmm = Some(self.trainer.build()?);
+        Ok(())
+    }
+
+    /// Retain a query's emission matrix for later EM refinement.
+    pub fn remember_query(&mut self, emissions: Emissions) {
+        self.history.push(emissions);
+    }
+
+    /// Refine the feedback model with Baum-Welch EM over the remembered
+    /// query emissions ("an Expectation-Maximization on-line training
+    /// algorithm to a dataset composed of previous searches", paper §3).
+    /// No-op when no feedback model exists yet or no history was kept.
+    pub fn refine_with_em(&mut self, max_iters: usize) -> Result<usize, QuestError> {
+        let Some(hmm) = self.feedback_hmm.as_mut() else {
+            return Ok(0);
+        };
+        if self.history.is_empty() {
+            return Ok(0);
+        }
+        let report = train(hmm, &self.history, max_iters, 1e-6)?;
+        Ok(report.iterations)
+    }
+
+    /// Access the catalog-independent state count (for diagnostics).
+    pub fn state_count(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Catalog consistency check helper for tests and debug assertions.
+    pub fn check_catalog(&self, catalog: &Catalog) -> bool {
+        self.vocab.len() == catalog.table_count() + 2 * catalog.attribute_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::DbTerm;
+    use crate::wrapper::FullAccessWrapper;
+    use relstore::{DataType, Database, Row};
+
+    fn wrapper() -> FullAccessWrapper {
+        let mut c = Catalog::new();
+        c.define_table("person")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("name", DataType::Text)
+            .unwrap()
+            .finish();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .col_opts("director_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("movie", "director_id", "person").unwrap();
+        let mut d = Database::new(c).unwrap();
+        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()])).unwrap();
+        d.insert("person", Row::new(vec![2.into(), "Michael Curtiz".into()])).unwrap();
+        d.insert(
+            "movie",
+            Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into()]),
+        )
+        .unwrap();
+        d.insert("movie", Row::new(vec![11.into(), "Casablanca".into(), 2.into()]))
+            .unwrap();
+        d.finalize();
+        FullAccessWrapper::new(d)
+    }
+
+    #[test]
+    fn apriori_maps_value_and_schema_keywords() {
+        let w = wrapper();
+        let fwd = ForwardModule::new(&w, &SemanticRules::default()).unwrap();
+        assert!(fwd.check_catalog(w.catalog()));
+        let q = KeywordQuery::parse("casablanca director").unwrap();
+        let e = fwd.emissions(&w, &q);
+        let top = fwd.top_k_apriori(&e, 5).unwrap();
+        assert!(!top.is_empty());
+        let title = w.catalog().attr_id("movie", "title").unwrap();
+        // Best configuration: casablanca -> movie.title::value.
+        assert_eq!(top[0].terms[0], DbTerm::Domain(title));
+        // Scores are descending.
+        for pair in top.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn feedback_mode_empty_before_training() {
+        let w = wrapper();
+        let fwd = ForwardModule::new(&w, &SemanticRules::default()).unwrap();
+        let q = KeywordQuery::parse("casablanca").unwrap();
+        let e = fwd.emissions(&w, &q);
+        assert!(fwd.top_k_feedback(&e, 3).unwrap().is_empty());
+        assert_eq!(fwd.feedback_count(), 0);
+    }
+
+    #[test]
+    fn feedback_shifts_ranking() {
+        let w = wrapper();
+        let mut fwd = ForwardModule::new(&w, &SemanticRules::default()).unwrap();
+        let q = KeywordQuery::parse("fleming wind").unwrap();
+        let e = fwd.emissions(&w, &q);
+        let name = w.catalog().attr_id("person", "name").unwrap();
+        let title = w.catalog().attr_id("movie", "title").unwrap();
+        let validated = Configuration::new(
+            vec![DbTerm::Domain(name), DbTerm::Domain(title)],
+            1.0,
+        );
+        for _ in 0..5 {
+            fwd.record_feedback(&validated, true).unwrap();
+        }
+        assert_eq!(fwd.feedback_count(), 5);
+        let top = fwd.top_k_feedback(&e, 3).unwrap();
+        assert!(!top.is_empty());
+        assert_eq!(top[0].terms, validated.terms);
+    }
+
+    #[test]
+    fn negative_feedback_demotes() {
+        let w = wrapper();
+        let mut fwd = ForwardModule::new(&w, &SemanticRules::default()).unwrap();
+        let name = w.catalog().attr_id("person", "name").unwrap();
+        let title = w.catalog().attr_id("movie", "title").unwrap();
+        let good = Configuration::new(vec![DbTerm::Domain(name), DbTerm::Domain(title)], 1.0);
+        let bad = Configuration::new(vec![DbTerm::Attribute(name), DbTerm::Domain(title)], 1.0);
+        fwd.record_feedback(&good, true).unwrap();
+        fwd.record_feedback(&bad, true).unwrap();
+        // Retract the bad one.
+        fwd.record_feedback(&bad, false).unwrap();
+        let q = KeywordQuery::parse("fleming wind").unwrap();
+        let e = fwd.emissions(&w, &q);
+        let top = fwd.top_k_feedback(&e, 2).unwrap();
+        assert_eq!(top[0].terms, good.terms);
+    }
+
+    #[test]
+    fn em_refinement_runs() {
+        let w = wrapper();
+        let mut fwd = ForwardModule::new(&w, &SemanticRules::default()).unwrap();
+        let q = KeywordQuery::parse("casablanca director").unwrap();
+        let e = fwd.emissions(&w, &q);
+        fwd.remember_query(e.clone());
+        // No feedback model yet: refinement is a no-op.
+        assert_eq!(fwd.refine_with_em(5).unwrap(), 0);
+        let title = w.catalog().attr_id("movie", "title").unwrap();
+        let cfg = Configuration::new(
+            vec![DbTerm::Domain(title), DbTerm::Attribute(title)],
+            1.0,
+        );
+        fwd.record_feedback(&cfg, true).unwrap();
+        let iters = fwd.refine_with_em(5).unwrap();
+        assert!(iters > 0);
+        // Model remains a valid distribution after EM.
+        let hmm = fwd.feedback_hmm().unwrap();
+        assert!((hmm.initial_dist().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_empty_catalog() {
+        let c = Catalog::new();
+        let d = Database::new(c).unwrap();
+        let w = FullAccessWrapper::new(d);
+        assert!(ForwardModule::new(&w, &SemanticRules::default()).is_err());
+    }
+}

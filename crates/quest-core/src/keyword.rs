@@ -1,0 +1,149 @@
+//! Keyword query parsing.
+//!
+//! A keyword query is a sequence of keywords; double-quoted spans form a
+//! single phrase keyword ("gone with the wind"). Keywords are normalized
+//! through the same tokenizer the indexes use, so a keyword matches at query
+//! time exactly what was indexed at setup time.
+
+use relstore::index::normalize_keyword;
+
+use crate::error::QuestError;
+
+/// Upper bound on keywords per query (the Steiner bitmask and the HMM list
+/// width keep this small; real keyword queries are 2-5 terms).
+pub const MAX_KEYWORDS: usize = 8;
+
+/// One keyword of a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Keyword {
+    /// The raw text as the user typed it.
+    pub raw: String,
+    /// Normalized form used for index lookups and matching.
+    pub normalized: String,
+    /// Whether the keyword was quoted as a phrase.
+    pub phrase: bool,
+}
+
+/// A parsed keyword query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeywordQuery {
+    /// Keywords in user order (order matters: it is the HMM observation
+    /// sequence).
+    pub keywords: Vec<Keyword>,
+    /// The original query string.
+    pub raw: String,
+}
+
+impl KeywordQuery {
+    /// Parse a raw query string.
+    ///
+    /// Unquoted whitespace-separated words become individual keywords;
+    /// double-quoted spans become phrase keywords. Words that normalize away
+    /// (stopwords, punctuation) are dropped. Errors if nothing remains or
+    /// more than [`MAX_KEYWORDS`] keywords survive.
+    pub fn parse(raw: &str) -> Result<KeywordQuery, QuestError> {
+        let mut keywords = Vec::new();
+        let mut rest = raw;
+        while !rest.is_empty() {
+            rest = rest.trim_start();
+            if rest.is_empty() {
+                break;
+            }
+            if let Some(stripped) = rest.strip_prefix('"') {
+                let end = stripped.find('"').unwrap_or(stripped.len());
+                let phrase = &stripped[..end];
+                push_keyword(&mut keywords, phrase, true);
+                rest = &stripped[(end + 1).min(stripped.len())..];
+            } else {
+                let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+                let word = &rest[..end];
+                push_keyword(&mut keywords, word, false);
+                rest = &rest[end..];
+            }
+        }
+        if keywords.is_empty() {
+            return Err(QuestError::EmptyQuery);
+        }
+        if keywords.len() > MAX_KEYWORDS {
+            return Err(QuestError::TooManyKeywords { max: MAX_KEYWORDS, got: keywords.len() });
+        }
+        Ok(KeywordQuery { keywords, raw: raw.to_string() })
+    }
+
+    /// Number of keywords.
+    pub fn len(&self) -> usize {
+        self.keywords.len()
+    }
+
+    /// Whether the query is empty (never true after a successful parse).
+    pub fn is_empty(&self) -> bool {
+        self.keywords.is_empty()
+    }
+
+    /// The normalized keyword strings in order.
+    pub fn normalized(&self) -> Vec<&str> {
+        self.keywords.iter().map(|k| k.normalized.as_str()).collect()
+    }
+}
+
+fn push_keyword(out: &mut Vec<Keyword>, raw: &str, phrase: bool) {
+    if let Some(normalized) = normalize_keyword(raw) {
+        out.push(Keyword { raw: raw.to_string(), normalized, phrase });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_keywords() {
+        let q = KeywordQuery::parse("Casablanca director").unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.normalized(), vec!["casablanca", "director"]);
+        assert!(!q.keywords[0].phrase);
+    }
+
+    #[test]
+    fn parses_phrases() {
+        let q = KeywordQuery::parse("\"gone with the wind\" director").unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.keywords[0].normalized, "gone wind");
+        assert!(q.keywords[0].phrase);
+    }
+
+    #[test]
+    fn unterminated_quote_is_tolerated() {
+        let q = KeywordQuery::parse("\"new york").unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.keywords[0].normalized, "new york");
+    }
+
+    #[test]
+    fn stopwords_dropped_empty_rejected() {
+        assert_eq!(KeywordQuery::parse("the of and"), Err(QuestError::EmptyQuery));
+        assert_eq!(KeywordQuery::parse("   "), Err(QuestError::EmptyQuery));
+        assert_eq!(KeywordQuery::parse(""), Err(QuestError::EmptyQuery));
+    }
+
+    #[test]
+    fn too_many_keywords_rejected() {
+        let raw = (0..9).map(|i| format!("kw{i}")).collect::<Vec<_>>().join(" ");
+        assert!(matches!(
+            KeywordQuery::parse(&raw),
+            Err(QuestError::TooManyKeywords { got: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn keyword_order_preserved() {
+        let q = KeywordQuery::parse("zebra apple mango").unwrap();
+        assert_eq!(q.normalized(), vec!["zebra", "apple", "mango"]);
+    }
+
+    #[test]
+    fn punctuation_normalizes() {
+        let q = KeywordQuery::parse("O'Hara, (1939)").unwrap();
+        assert_eq!(q.normalized(), vec!["o hara", "1939"]);
+    }
+}

@@ -1,0 +1,52 @@
+//! # quest-core — the QUEST keyword search engine
+//!
+//! A from-scratch reproduction of *QUEST: A Keyword Search System for
+//! Relational Data based on Semantic and Machine Learning Techniques*
+//! (Bergamaschi et al., PVLDB 6(12), 2013). QUEST translates keyword
+//! queries into ranked SQL queries through three steps:
+//!
+//! 1. **forward** ([`forward::ForwardModule`]) — map keywords to database
+//!    terms with a Hidden Markov Model (top-k list Viterbi), in an
+//!    *a-priori* mode driven by semantic heuristics ([`semantics`]) and a
+//!    *feedback-based* mode trained on validated searches;
+//! 2. **backward** ([`backward::BackwardModule`]) — join the mapped terms
+//!    with top-k Steiner trees over the attribute-level schema graph,
+//!    weighted by mutual information so join paths are likely non-empty;
+//! 3. **combiner** ([`combiner`]) — merge all evidence with Dempster-Shafer
+//!    theory into ranked, executable [`explain::Explanation`]s.
+//!
+//! Sources are reached through [`wrapper::SourceWrapper`]s: full access
+//! (indexes + statistics) or Deep-Web (metadata, patterns and ontologies
+//! only). Instance-level baselines from the BANKS/DISCOVER lineage live in
+//! [`baseline`] for the paper's comparative demonstrations.
+
+#![warn(missing_docs)]
+
+pub mod backward;
+pub mod baseline;
+pub mod combiner;
+pub mod engine;
+pub mod error;
+pub mod eval;
+pub mod explain;
+pub mod forward;
+pub mod keyword;
+pub mod matcher;
+pub mod query_builder;
+pub mod semantics;
+pub mod term;
+pub mod wrapper;
+
+pub use backward::{BackwardModule, Interpretation, SchemaGraph, SchemaGraphWeights};
+pub use combiner::{combine_explanation_scores, combine_ranked};
+pub use engine::{Quest, QuestConfig, SearchOutcome, StageTimings};
+pub use error::QuestError;
+pub use explain::Explanation;
+pub use forward::{Configuration, ForwardModule};
+pub use keyword::{Keyword, KeywordQuery, MAX_KEYWORDS};
+pub use semantics::{Relationship, SemanticRules};
+pub use term::{DbTerm, Vocabulary};
+pub use wrapper::{
+    annotations::AnnotationSet, ontology::MiniOntology, DeepWebWrapper, FullAccessWrapper,
+    SourceWrapper,
+};

@@ -1,0 +1,204 @@
+//! Query builder: explanation → executable SQL.
+//!
+//! The final step of Algorithm 1 (`QueryBuilder(E)`): a configuration fixes
+//! which attributes carry which keywords, an interpretation fixes the join
+//! path, and together they determine a SELECT-PROJECT-JOIN statement.
+
+use relstore::sql::{JoinCondition, Predicate, Projection, SelectStatement};
+use relstore::{AttrId, Catalog, TableId};
+
+use crate::backward::{Interpretation, SchemaGraph};
+use crate::error::QuestError;
+use crate::forward::Configuration;
+use crate::keyword::KeywordQuery;
+use crate::term::DbTerm;
+
+/// Build the SQL statement of one explanation.
+///
+/// * FROM — the tables traversed by the interpretation's join path (plus any
+///   configuration table not on the path, connected or not);
+/// * JOIN — the interpretation's foreign-key edges;
+/// * WHERE — a `Contains` predicate per keyword mapped to a *domain* term;
+/// * SELECT — the attributes named by attribute terms, the domain-mapped
+///   attributes, and all attributes of tables named by table terms.
+pub fn build_query(
+    catalog: &Catalog,
+    schema: &SchemaGraph,
+    query: &KeywordQuery,
+    config: &Configuration,
+    interpretation: &Interpretation,
+    limit: Option<usize>,
+) -> Result<SelectStatement, QuestError> {
+    if config.terms.len() != query.len() {
+        return Err(QuestError::BadParameter(format!(
+            "configuration arity {} does not match query arity {}",
+            config.terms.len(),
+            query.len()
+        )));
+    }
+
+    // FROM: tables on the join path ∪ tables of the configuration.
+    let mut from: Vec<TableId> = interpretation.tables(schema, catalog);
+    for t in config.tables(catalog) {
+        if !from.contains(&t) {
+            from.push(t);
+        }
+    }
+    if from.is_empty() {
+        return Err(QuestError::NoConfiguration);
+    }
+
+    let joins: Vec<JoinCondition> = interpretation.join_conditions(schema);
+
+    // WHERE: keyword containment for domain terms.
+    let mut predicates: Vec<Predicate> = Vec::new();
+    for (kw, term) in query.keywords.iter().zip(&config.terms) {
+        if let DbTerm::Domain(a) = term {
+            predicates.push(Predicate::Contains {
+                attr: *a,
+                keyword: kw.normalized.clone(),
+            });
+        }
+    }
+
+    // SELECT list.
+    let mut attrs: Vec<AttrId> = Vec::new();
+    let push = |a: AttrId, attrs: &mut Vec<AttrId>| {
+        if !attrs.contains(&a) {
+            attrs.push(a);
+        }
+    };
+    for term in &config.terms {
+        match term {
+            DbTerm::Attribute(a) | DbTerm::Domain(a) => push(*a, &mut attrs),
+            DbTerm::Table(t) => {
+                for a in &catalog.table(*t).attributes {
+                    push(*a, &mut attrs);
+                }
+            }
+        }
+    }
+    let projection = if attrs.is_empty() {
+        Projection::Star
+    } else {
+        Projection::Attrs(attrs)
+    };
+
+    Ok(SelectStatement {
+        projection,
+        from,
+        joins,
+        predicates,
+        distinct: true,
+        limit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backward::{BackwardModule, SchemaGraphWeights};
+    use crate::wrapper::{FullAccessWrapper, SourceWrapper};
+    use relstore::sql::render_sql;
+    use relstore::{DataType, Database, Row};
+
+    fn setup() -> (FullAccessWrapper, BackwardModule) {
+        let mut c = Catalog::new();
+        c.define_table("person")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("name", DataType::Text)
+            .unwrap()
+            .finish();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .col_opts("director_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("movie", "director_id", "person").unwrap();
+        let mut d = Database::new(c).unwrap();
+        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()])).unwrap();
+        d.insert("movie", Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into()]))
+            .unwrap();
+        d.finalize();
+        let w = FullAccessWrapper::new(d);
+        let b = BackwardModule::new(&w, &SchemaGraphWeights::default());
+        (w, b)
+    }
+
+    #[test]
+    fn cross_table_query_builds_join_sql() {
+        let (w, b) = setup();
+        let c = w.catalog();
+        let q = KeywordQuery::parse("wind fleming").unwrap();
+        let title = c.attr_id("movie", "title").unwrap();
+        let name = c.attr_id("person", "name").unwrap();
+        let cfg = Configuration::new(vec![DbTerm::Domain(title), DbTerm::Domain(name)], 1.0);
+        let interp = b.interpretations(c, &cfg, 1).unwrap().remove(0);
+        let stmt = build_query(c, b.schema_graph(), &q, &cfg, &interp, Some(10)).unwrap();
+        let sql = render_sql(c, &stmt);
+        assert!(sql.contains("movie.director_id = person.id"), "{sql}");
+        assert!(sql.contains("movie.title LIKE '%wind%'"), "{sql}");
+        // "fleming" stems to "flem"; the LIKE pattern carries the stemmed
+        // token and still substring-matches the stored value.
+        assert!(sql.contains("person.name LIKE '%flem%'"), "{sql}");
+        assert!(sql.contains("LIMIT 10"), "{sql}");
+        // Statement actually executes and returns the matching pair.
+        let rs = w.execute(&stmt).unwrap();
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn table_term_projects_whole_table() {
+        let (w, b) = setup();
+        let c = w.catalog();
+        let q = KeywordQuery::parse("film wind").unwrap();
+        let movie = c.table_id("movie").unwrap();
+        let title = c.attr_id("movie", "title").unwrap();
+        let cfg = Configuration::new(vec![DbTerm::Table(movie), DbTerm::Domain(title)], 1.0);
+        let interp = b.interpretations(c, &cfg, 1).unwrap().remove(0);
+        let stmt = build_query(c, b.schema_graph(), &q, &cfg, &interp, None).unwrap();
+        match &stmt.projection {
+            Projection::Attrs(attrs) => assert_eq!(attrs.len(), 3), // movie has 3 attrs
+            _ => panic!("expected attribute projection"),
+        }
+        // The table keyword adds no WHERE predicate.
+        assert_eq!(stmt.predicates.len(), 1);
+        let rs = w.execute(&stmt).unwrap();
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn attribute_term_projects_without_filter() {
+        let (w, b) = setup();
+        let c = w.catalog();
+        let q = KeywordQuery::parse("title wind").unwrap();
+        let title = c.attr_id("movie", "title").unwrap();
+        let cfg = Configuration::new(
+            vec![DbTerm::Attribute(title), DbTerm::Domain(title)],
+            1.0,
+        );
+        let interp = b.interpretations(c, &cfg, 1).unwrap().remove(0);
+        let stmt = build_query(c, b.schema_graph(), &q, &cfg, &interp, None).unwrap();
+        assert_eq!(stmt.predicates.len(), 1);
+        assert_eq!(stmt.from.len(), 1);
+        assert!(stmt.joins.is_empty());
+        let _ = w;
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let (w, b) = setup();
+        let c = w.catalog();
+        let q = KeywordQuery::parse("wind fleming").unwrap();
+        let title = c.attr_id("movie", "title").unwrap();
+        let cfg = Configuration::new(vec![DbTerm::Domain(title)], 1.0);
+        let interp = b.interpretations(c, &cfg, 1).unwrap().remove(0);
+        assert!(build_query(c, b.schema_graph(), &q, &cfg, &interp, None).is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! A-priori semantic heuristics.
+//!
+//! In the a-priori operating mode "the transition probabilities are computed
+//! by using heuristic rules that take into account the semantic relationships
+//! that exist among the database terms (aggregation, generalization and
+//! inclusion relationships). The goal of these rules is to foster the
+//! transition between database terms belonging to the same table and
+//! belonging to tables connected through foreign keys" (paper §3).
+//!
+//! This module classifies term pairs into those relationships and assigns
+//! the transition weights the a-priori HMM is built from.
+
+use relstore::{Catalog, TableId};
+
+use crate::term::{DbTerm, Vocabulary};
+use crate::wrapper::ontology::MiniOntology;
+
+/// The semantic relationship between two database terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relationship {
+    /// Same element (self transition).
+    Identity,
+    /// Aggregation: a table and one of its attributes/domains, or an
+    /// attribute and its own domain.
+    Aggregation,
+    /// Same-table siblings (two attributes or domains of one table).
+    SameTable,
+    /// Inclusion: terms linked through a primary/foreign key pair.
+    Inclusion,
+    /// Generalization: tables whose names are ontology synonyms (modelling
+    /// is-a naming conventions).
+    Generalization,
+    /// No recognized relationship.
+    Unrelated,
+}
+
+/// Transition weights per relationship, plus initial-state weights.
+/// These are *weights*, normalized into distributions by `Hmm::from_weights`.
+#[derive(Debug, Clone)]
+pub struct SemanticRules {
+    /// Self transitions (rare: two keywords meaning the same element).
+    pub identity: f64,
+    /// Table → its attribute, attribute → its domain, etc.
+    pub aggregation: f64,
+    /// Siblings within one table.
+    pub same_table: f64,
+    /// Across a PK/FK link.
+    pub inclusion: f64,
+    /// Synonymous table names.
+    pub generalization: f64,
+    /// Anything else (smoothing floor; must be positive for ergodicity).
+    pub unrelated: f64,
+    /// Initial weight of table states.
+    pub init_table: f64,
+    /// Initial weight of attribute states.
+    pub init_attribute: f64,
+    /// Initial weight of domain states (keywords are most often values).
+    pub init_domain: f64,
+}
+
+impl Default for SemanticRules {
+    fn default() -> Self {
+        SemanticRules {
+            identity: 0.05,
+            aggregation: 1.0,
+            same_table: 0.5,
+            inclusion: 0.7,
+            generalization: 0.3,
+            unrelated: 0.02,
+            init_table: 1.0,
+            init_attribute: 0.8,
+            init_domain: 1.2,
+        }
+    }
+}
+
+impl SemanticRules {
+    /// Weight of a relationship.
+    pub fn weight(&self, rel: Relationship) -> f64 {
+        match rel {
+            Relationship::Identity => self.identity,
+            Relationship::Aggregation => self.aggregation,
+            Relationship::SameTable => self.same_table,
+            Relationship::Inclusion => self.inclusion,
+            Relationship::Generalization => self.generalization,
+            Relationship::Unrelated => self.unrelated,
+        }
+    }
+
+    /// Initial weight of a term.
+    pub fn initial_weight(&self, term: DbTerm) -> f64 {
+        match term {
+            DbTerm::Table(_) => self.init_table,
+            DbTerm::Attribute(_) => self.init_attribute,
+            DbTerm::Domain(_) => self.init_domain,
+        }
+    }
+}
+
+/// Whether two tables are connected by at least one foreign key (either
+/// direction).
+pub fn tables_fk_connected(catalog: &Catalog, a: TableId, b: TableId) -> bool {
+    catalog.foreign_keys().iter().any(|fk| {
+        let ft = catalog.attribute(fk.from).table;
+        let tt = catalog.attribute(fk.to).table;
+        (ft == a && tt == b) || (ft == b && tt == a)
+    })
+}
+
+/// Classify the semantic relationship between two terms.
+pub fn classify(
+    catalog: &Catalog,
+    ontology: &MiniOntology,
+    vocab: &Vocabulary,
+    from: DbTerm,
+    to: DbTerm,
+) -> Relationship {
+    if from == to {
+        return Relationship::Identity;
+    }
+    let ta = from.table(catalog);
+    let tb = to.table(catalog);
+    if ta == tb {
+        // Attribute and its own domain, or table and its members.
+        let aggregation = match (from, to) {
+            (DbTerm::Attribute(x), DbTerm::Domain(y))
+            | (DbTerm::Domain(x), DbTerm::Attribute(y)) => x == y,
+            (DbTerm::Table(_), _) | (_, DbTerm::Table(_)) => true,
+            _ => false,
+        };
+        return if aggregation {
+            Relationship::Aggregation
+        } else {
+            Relationship::SameTable
+        };
+    }
+    if tables_fk_connected(catalog, ta, tb) {
+        return Relationship::Inclusion;
+    }
+    // Generalization heuristic: synonymous table names.
+    if let (Some(sa), Some(sb)) = (
+        vocab.state(DbTerm::Table(ta)),
+        vocab.state(DbTerm::Table(tb)),
+    ) {
+        if ontology.are_synonyms(vocab.name(sa), vocab.name(sb)) {
+            return Relationship::Generalization;
+        }
+    }
+    Relationship::Unrelated
+}
+
+/// Build the full a-priori transition weight matrix (row-major, `n*n`) and
+/// the initial weight vector over the vocabulary's states.
+pub fn apriori_weights(
+    catalog: &Catalog,
+    ontology: &MiniOntology,
+    vocab: &Vocabulary,
+    rules: &SemanticRules,
+) -> (Vec<f64>, Vec<f64>) {
+    let n = vocab.len();
+    let mut initial = Vec::with_capacity(n);
+    for s in 0..n {
+        initial.push(rules.initial_weight(vocab.term(s)));
+    }
+    let mut trans = vec![0.0; n * n];
+    for i in 0..n {
+        let from = vocab.term(i);
+        for j in 0..n {
+            let to = vocab.term(j);
+            let rel = classify(catalog, ontology, vocab, from, to);
+            trans[i * n + j] = rules.weight(rel);
+        }
+    }
+    (initial, trans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::DataType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.define_table("person")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("name", DataType::Text)
+            .unwrap()
+            .finish();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .col_opts("director_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.define_table("country")
+            .unwrap()
+            .pk("code", DataType::Text)
+            .unwrap()
+            .col("name", DataType::Text)
+            .unwrap()
+            .finish();
+        c.define_table("nation")
+            .unwrap()
+            .pk("code", DataType::Text)
+            .unwrap()
+            .col("label", DataType::Text)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("movie", "director_id", "person").unwrap();
+        c
+    }
+
+    fn setup() -> (Catalog, MiniOntology, Vocabulary) {
+        let c = catalog();
+        let v = Vocabulary::from_catalog(&c);
+        (c, MiniOntology::builtin(), v)
+    }
+
+    #[test]
+    fn classifies_aggregation() {
+        let (c, o, v) = setup();
+        let movie = c.table_id("movie").unwrap();
+        let title = c.attr_id("movie", "title").unwrap();
+        assert_eq!(
+            classify(&c, &o, &v, DbTerm::Table(movie), DbTerm::Attribute(title)),
+            Relationship::Aggregation
+        );
+        assert_eq!(
+            classify(&c, &o, &v, DbTerm::Attribute(title), DbTerm::Domain(title)),
+            Relationship::Aggregation
+        );
+    }
+
+    #[test]
+    fn classifies_same_table_siblings() {
+        let (c, o, v) = setup();
+        let title = c.attr_id("movie", "title").unwrap();
+        let year = c.attr_id("movie", "director_id").unwrap();
+        assert_eq!(
+            classify(&c, &o, &v, DbTerm::Attribute(title), DbTerm::Attribute(year)),
+            Relationship::SameTable
+        );
+        assert_eq!(
+            classify(&c, &o, &v, DbTerm::Domain(title), DbTerm::Attribute(year)),
+            Relationship::SameTable
+        );
+    }
+
+    #[test]
+    fn classifies_inclusion_over_fk() {
+        let (c, o, v) = setup();
+        let title = c.attr_id("movie", "title").unwrap();
+        let pname = c.attr_id("person", "name").unwrap();
+        assert_eq!(
+            classify(&c, &o, &v, DbTerm::Domain(title), DbTerm::Domain(pname)),
+            Relationship::Inclusion
+        );
+    }
+
+    #[test]
+    fn classifies_generalization_by_synonymy() {
+        let (c, o, v) = setup();
+        let country = c.table_id("country").unwrap();
+        let nation = c.table_id("nation").unwrap();
+        assert_eq!(
+            classify(&c, &o, &v, DbTerm::Table(country), DbTerm::Table(nation)),
+            Relationship::Generalization
+        );
+    }
+
+    #[test]
+    fn unrelated_pairs() {
+        let (c, o, v) = setup();
+        let movie = c.table_id("movie").unwrap();
+        let country = c.table_id("country").unwrap();
+        assert_eq!(
+            classify(&c, &o, &v, DbTerm::Table(movie), DbTerm::Table(country)),
+            Relationship::Unrelated
+        );
+    }
+
+    #[test]
+    fn identity_and_weights() {
+        let (c, o, v) = setup();
+        let movie = c.table_id("movie").unwrap();
+        assert_eq!(
+            classify(&c, &o, &v, DbTerm::Table(movie), DbTerm::Table(movie)),
+            Relationship::Identity
+        );
+        let r = SemanticRules::default();
+        assert!(r.weight(Relationship::Aggregation) > r.weight(Relationship::SameTable));
+        assert!(r.weight(Relationship::Inclusion) > r.weight(Relationship::Unrelated));
+        assert!(r.weight(Relationship::Unrelated) > 0.0, "ergodicity floor");
+    }
+
+    #[test]
+    fn weight_matrix_shape_and_positivity() {
+        let (c, o, v) = setup();
+        let (init, trans) = apriori_weights(&c, &o, &v, &SemanticRules::default());
+        assert_eq!(init.len(), v.len());
+        assert_eq!(trans.len(), v.len() * v.len());
+        assert!(init.iter().all(|w| *w > 0.0));
+        assert!(trans.iter().all(|w| *w > 0.0));
+    }
+
+    #[test]
+    fn fk_connectivity_is_symmetric() {
+        let (c, _, _) = setup();
+        let movie = c.table_id("movie").unwrap();
+        let person = c.table_id("person").unwrap();
+        let country = c.table_id("country").unwrap();
+        assert!(tables_fk_connected(&c, movie, person));
+        assert!(tables_fk_connected(&c, person, movie));
+        assert!(!tables_fk_connected(&c, movie, country));
+    }
+}

@@ -1,0 +1,203 @@
+//! Database terms and the HMM state vocabulary.
+//!
+//! The forward module's HMM "contains a state for each database element,
+//! i.e., there is a state for each table, attribute and attribute domain"
+//! (paper §3). A [`DbTerm`] is one such element; the [`Vocabulary`] assigns
+//! every term a dense state index and carries the display names used for
+//! keyword-to-name matching.
+
+use std::collections::HashMap;
+
+use relstore::{AttrId, Catalog, TableId};
+
+/// A database element a keyword can map to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DbTerm {
+    /// The name of a table ("the user means this relation").
+    Table(TableId),
+    /// The name of an attribute ("the user means this column").
+    Attribute(AttrId),
+    /// A value in the domain of an attribute ("the keyword is data stored in
+    /// this column").
+    Domain(AttrId),
+}
+
+impl DbTerm {
+    /// The attribute that anchors this term in the schema graph: the
+    /// attribute itself for attribute/domain terms, the table's primary key
+    /// for table terms.
+    pub fn anchor_attr(&self, catalog: &Catalog) -> AttrId {
+        match self {
+            DbTerm::Table(t) => catalog
+                .single_pk(*t)
+                .unwrap_or_else(|| catalog.table(*t).attributes[0]),
+            DbTerm::Attribute(a) | DbTerm::Domain(a) => *a,
+        }
+    }
+
+    /// The table this term lives in.
+    pub fn table(&self, catalog: &Catalog) -> TableId {
+        match self {
+            DbTerm::Table(t) => *t,
+            DbTerm::Attribute(a) | DbTerm::Domain(a) => catalog.attribute(*a).table,
+        }
+    }
+
+    /// Human-readable rendering, e.g. `movie`, `movie.title`,
+    /// `movie.title::value`.
+    pub fn describe(&self, catalog: &Catalog) -> String {
+        match self {
+            DbTerm::Table(t) => catalog.table(*t).name.clone(),
+            DbTerm::Attribute(a) => catalog.qualified_name(*a),
+            DbTerm::Domain(a) => format!("{}::value", catalog.qualified_name(*a)),
+        }
+    }
+}
+
+/// Dense numbering of all database terms: the HMM state space.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    terms: Vec<DbTerm>,
+    index: HashMap<DbTerm, usize>,
+    /// Normalized name tokens per state (for metadata matching).
+    names: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Extract the vocabulary from a catalog: one `Table` term per table,
+    /// one `Attribute` and one `Domain` term per attribute.
+    pub fn from_catalog(catalog: &Catalog) -> Vocabulary {
+        let mut terms = Vec::new();
+        let mut names = Vec::new();
+        for t in catalog.tables() {
+            terms.push(DbTerm::Table(t.id));
+            names.push(normalize_identifier(&t.name));
+        }
+        for a in catalog.attributes() {
+            terms.push(DbTerm::Attribute(a.id));
+            names.push(normalize_identifier(&a.name));
+        }
+        for a in catalog.attributes() {
+            terms.push(DbTerm::Domain(a.id));
+            names.push(normalize_identifier(&a.name));
+        }
+        let index = terms.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+        Vocabulary { terms, index, names }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the vocabulary is empty (empty catalog).
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Term of a state index.
+    pub fn term(&self, state: usize) -> DbTerm {
+        self.terms[state]
+    }
+
+    /// State index of a term.
+    pub fn state(&self, term: DbTerm) -> Option<usize> {
+        self.index.get(&term).copied()
+    }
+
+    /// All terms in state order.
+    pub fn terms(&self) -> &[DbTerm] {
+        &self.terms
+    }
+
+    /// Normalized identifier name of a state (for similarity matching).
+    pub fn name(&self, state: usize) -> &str {
+        &self.names[state]
+    }
+}
+
+/// Normalize a SQL identifier for matching: lowercase, underscores and
+/// camelCase boundaries become spaces, then the shared tokenizer pipeline.
+pub fn normalize_identifier(ident: &str) -> String {
+    let mut spaced = String::with_capacity(ident.len() + 4);
+    let chars: Vec<char> = ident.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c == '_' || c == '-' {
+            spaced.push(' ');
+        } else {
+            if c.is_uppercase() && i > 0 && chars[i - 1].is_lowercase() {
+                spaced.push(' ');
+            }
+            spaced.push(c);
+        }
+    }
+    relstore::index::tokenize(&spaced).join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::DataType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.define_table("person")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("fullName", DataType::Text)
+            .unwrap()
+            .finish();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .col_opts("director_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("movie", "director_id", "person").unwrap();
+        c
+    }
+
+    #[test]
+    fn vocabulary_covers_all_elements() {
+        let c = catalog();
+        let v = Vocabulary::from_catalog(&c);
+        // 2 tables + 5 attributes + 5 domains
+        assert_eq!(v.len(), 12);
+        let t = DbTerm::Table(c.table_id("movie").unwrap());
+        let s = v.state(t).unwrap();
+        assert_eq!(v.term(s), t);
+        assert_eq!(v.name(s), "movy"); // stemmed
+    }
+
+    #[test]
+    fn identifier_normalization() {
+        assert_eq!(normalize_identifier("director_id"), "director id");
+        assert_eq!(normalize_identifier("fullName"), "full name");
+        assert_eq!(normalize_identifier("Title"), "title");
+        assert_eq!(normalize_identifier("birth-date"), "birth date");
+    }
+
+    #[test]
+    fn anchor_attributes() {
+        let c = catalog();
+        let movie = c.table_id("movie").unwrap();
+        let title = c.attr_id("movie", "title").unwrap();
+        assert_eq!(DbTerm::Table(movie).anchor_attr(&c), c.attr_id("movie", "id").unwrap());
+        assert_eq!(DbTerm::Attribute(title).anchor_attr(&c), title);
+        assert_eq!(DbTerm::Domain(title).anchor_attr(&c), title);
+        assert_eq!(DbTerm::Domain(title).table(&c), movie);
+    }
+
+    #[test]
+    fn describe_terms() {
+        let c = catalog();
+        let title = c.attr_id("movie", "title").unwrap();
+        assert_eq!(DbTerm::Attribute(title).describe(&c), "movie.title");
+        assert_eq!(DbTerm::Domain(title).describe(&c), "movie.title::value");
+        assert_eq!(DbTerm::Table(c.table_id("person").unwrap()).describe(&c), "person");
+    }
+}

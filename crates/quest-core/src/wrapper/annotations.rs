@@ -1,0 +1,220 @@
+//! Schema annotations for sources without full access.
+//!
+//! When full-text indexes cannot be instantiated, "the user is supported in
+//! the definition of a schema enriched with the specification, for each
+//! attribute, of metadata such as data-type, and regular expression of
+//! admissible values" (paper §3). An [`AnnotationSet`] carries that
+//! enrichment: per attribute, an optional admissible-value pattern, optional
+//! example values, and free-text aliases that extend name matching.
+
+use std::collections::HashMap;
+
+use relstore::{AttrId, Catalog};
+
+use crate::wrapper::pattern::{Pattern, PatternError};
+
+/// Annotation of one attribute.
+#[derive(Debug, Clone, Default)]
+pub struct AttributeAnnotation {
+    /// Pattern of admissible values (full-string match).
+    pub value_pattern: Option<Pattern>,
+    /// A few example values (normalized at match time).
+    pub examples: Vec<String>,
+    /// Alternative names users may employ for this attribute.
+    pub aliases: Vec<String>,
+}
+
+/// Per-attribute annotations for a schema.
+#[derive(Debug, Clone, Default)]
+pub struct AnnotationSet {
+    by_attr: HashMap<AttrId, AttributeAnnotation>,
+}
+
+impl AnnotationSet {
+    /// Empty set.
+    pub fn new() -> AnnotationSet {
+        AnnotationSet::default()
+    }
+
+    /// Set the admissible-value pattern of an attribute.
+    pub fn set_pattern(&mut self, attr: AttrId, pattern: &str) -> Result<(), PatternError> {
+        let p = Pattern::compile(pattern)?;
+        self.by_attr.entry(attr).or_default().value_pattern = Some(p);
+        Ok(())
+    }
+
+    /// Add example values for an attribute.
+    pub fn add_examples<S: Into<String>>(&mut self, attr: AttrId, examples: impl IntoIterator<Item = S>) {
+        let ann = self.by_attr.entry(attr).or_default();
+        ann.examples.extend(examples.into_iter().map(Into::into));
+    }
+
+    /// Add name aliases for an attribute.
+    pub fn add_aliases<S: Into<String>>(&mut self, attr: AttrId, aliases: impl IntoIterator<Item = S>) {
+        let ann = self.by_attr.entry(attr).or_default();
+        ann.aliases.extend(aliases.into_iter().map(Into::into));
+    }
+
+    /// Annotation of an attribute, if any.
+    pub fn get(&self, attr: AttrId) -> Option<&AttributeAnnotation> {
+        self.by_attr.get(&attr)
+    }
+
+    /// Number of annotated attributes.
+    pub fn len(&self) -> usize {
+        self.by_attr.len()
+    }
+
+    /// Whether no attribute is annotated.
+    pub fn is_empty(&self) -> bool {
+        self.by_attr.is_empty()
+    }
+
+    /// Heuristic admissibility of `raw_keyword` as a value of `attr`,
+    /// in [0, 1], using only metadata — no instance access:
+    ///
+    /// * a matching value pattern scores 0.9 (partial match 0.6);
+    /// * equality with an example value scores 0.8, and a keyword appearing
+    ///   as a token of an example (e.g. "modena" in "University of Modena")
+    ///   scores 0.7;
+    /// * otherwise, data-type compatibility alone scores a weak prior
+    ///   (numeric keyword ↔ numeric column 0.3, free text ↔ text column 0.2).
+    pub fn admissibility(&self, catalog: &Catalog, attr: AttrId, raw_keyword: &str) -> f64 {
+        let kw = raw_keyword.trim();
+        if kw.is_empty() {
+            return 0.0;
+        }
+        if let Some(ann) = self.by_attr.get(&attr) {
+            if let Some(p) = &ann.value_pattern {
+                if p.is_match(kw) {
+                    return 0.9;
+                }
+                if p.is_partial_match(kw) {
+                    return 0.6;
+                }
+                // An explicit pattern that fails is strong negative evidence.
+                return 0.0;
+            }
+            if ann.examples.iter().any(|e| e.eq_ignore_ascii_case(kw)) {
+                return 0.8;
+            }
+            let kw_lower = kw.to_lowercase();
+            if ann.examples.iter().any(|e| {
+                e.to_lowercase().split_whitespace().any(|tok| tok == kw_lower)
+            }) {
+                return 0.7;
+            }
+        }
+        type_prior(catalog, attr, kw)
+    }
+}
+
+/// Type-compatibility prior used when no annotation decides.
+fn type_prior(catalog: &Catalog, attr: AttrId, kw: &str) -> f64 {
+    use relstore::DataType::*;
+    let a = catalog.attribute(attr);
+    let numeric = kw.chars().all(|c| c.is_ascii_digit() || c == '.' || c == '-')
+        && kw.chars().any(|c| c.is_ascii_digit());
+    match a.data_type {
+        Int | Float => {
+            if numeric {
+                0.3
+            } else {
+                0.0
+            }
+        }
+        Text => {
+            if numeric {
+                0.05
+            } else {
+                0.2
+            }
+        }
+        Date => {
+            if relstore::Value::parse(kw, Date).is_some_and(|v| !v.is_null()) {
+                0.4
+            } else {
+                0.0
+            }
+        }
+        Bool => match kw.to_ascii_lowercase().as_str() {
+            "true" | "false" | "yes" | "no" => 0.4,
+            _ => 0.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::DataType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .col_opts("year", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c
+    }
+
+    #[test]
+    fn pattern_decides_admissibility() {
+        let c = catalog();
+        let year = c.attr_id("movie", "year").unwrap();
+        let mut ann = AnnotationSet::new();
+        ann.set_pattern(year, r"(19|20)\d{2}").unwrap();
+        assert_eq!(ann.admissibility(&c, year, "1939"), 0.9);
+        assert_eq!(ann.admissibility(&c, year, "1839"), 0.0);
+        assert_eq!(ann.admissibility(&c, year, "casablanca"), 0.0);
+    }
+
+    #[test]
+    fn examples_match_case_insensitively() {
+        let c = catalog();
+        let title = c.attr_id("movie", "title").unwrap();
+        let mut ann = AnnotationSet::new();
+        ann.add_examples(title, ["Casablanca", "Vertigo"]);
+        assert_eq!(ann.admissibility(&c, title, "casablanca"), 0.8);
+        // Unknown text still gets the type prior for text columns.
+        assert_eq!(ann.admissibility(&c, title, "metropolis"), 0.2);
+    }
+
+    #[test]
+    fn type_priors_without_annotations() {
+        let c = catalog();
+        let ann = AnnotationSet::new();
+        let year = c.attr_id("movie", "year").unwrap();
+        let title = c.attr_id("movie", "title").unwrap();
+        assert_eq!(ann.admissibility(&c, year, "1939"), 0.3);
+        assert_eq!(ann.admissibility(&c, year, "wind"), 0.0);
+        assert_eq!(ann.admissibility(&c, title, "wind"), 0.2);
+        assert_eq!(ann.admissibility(&c, title, "1939"), 0.05);
+        assert_eq!(ann.admissibility(&c, title, ""), 0.0);
+    }
+
+    #[test]
+    fn invalid_pattern_is_reported() {
+        let c = catalog();
+        let year = c.attr_id("movie", "year").unwrap();
+        let mut ann = AnnotationSet::new();
+        assert!(ann.set_pattern(year, "[oops").is_err());
+        assert!(ann.is_empty());
+        let _ = c;
+    }
+
+    #[test]
+    fn aliases_are_stored() {
+        let c = catalog();
+        let year = c.attr_id("movie", "year").unwrap();
+        let mut ann = AnnotationSet::new();
+        ann.add_aliases(year, ["released", "release year"]);
+        assert_eq!(ann.get(year).unwrap().aliases.len(), 2);
+        assert_eq!(ann.len(), 1);
+    }
+}

@@ -1,0 +1,332 @@
+//! Source wrappers: QUEST's only gateway to the data.
+//!
+//! "QUEST is conceived as a tool working on top of a traditional DBMS,
+//! however, it does not rely on a specific implementation of [the search]
+//! function: a wrapper has been implemented for cases where this function is
+//! not available" (paper §1). The [`SourceWrapper`] trait abstracts the two
+//! regimes:
+//!
+//! * [`FullAccessWrapper`] — owned databases: full-text index scores,
+//!   instance statistics, unrestricted SQL execution;
+//! * [`DeepWebWrapper`] — hidden sources: emission scores from annotations /
+//!   patterns / ontology only, no statistics, and a result-limited endpoint
+//!   that requires at least one bound value (a form, in Deep-Web terms).
+
+pub mod annotations;
+pub mod ontology;
+pub mod pattern;
+
+use relstore::sql::{execute, has_results, ResultSet, SelectStatement};
+use relstore::{AttrId, Catalog, Database, ForeignKey, StoreError};
+
+use crate::keyword::Keyword;
+use annotations::AnnotationSet;
+use ontology::MiniOntology;
+
+pub use annotations::AttributeAnnotation;
+pub use pattern::{Pattern, PatternError};
+
+/// Uniform access to a relational source, full or hidden.
+pub trait SourceWrapper {
+    /// The source's schema catalog (always available: extracted from source
+    /// catalogues or user-defined for hidden sources).
+    fn catalog(&self) -> &Catalog;
+
+    /// Likelihood in [0, 1] that `keyword` is a value of `attr` — the
+    /// paper's search function over full-text indexes, or its metadata-based
+    /// surrogate for hidden sources.
+    fn value_score(&self, attr: AttrId, keyword: &Keyword) -> f64;
+
+    /// Normalized mutual information of a foreign-key join, when instance
+    /// statistics are available.
+    fn join_informativeness(&self, fk: ForeignKey) -> Option<f64>;
+
+    /// Execute a generated SQL statement.
+    fn execute(&self, stmt: &SelectStatement) -> Result<ResultSet, StoreError>;
+
+    /// Whether the statement returns at least one row.
+    fn has_results(&self, stmt: &SelectStatement) -> Result<bool, StoreError>;
+
+    /// Whether the instance is directly readable (indexes, statistics).
+    fn has_instance_access(&self) -> bool;
+
+    /// Row count of a table, when the instance is readable.
+    fn table_rows(&self, _table: relstore::TableId) -> Option<u64> {
+        None
+    }
+
+    /// The ontology used for semantic name matching.
+    fn ontology(&self) -> &MiniOntology;
+
+    /// Schema annotations, when defined.
+    fn annotations(&self) -> Option<&AnnotationSet> {
+        None
+    }
+}
+
+/// Wrapper over a fully accessible database.
+#[derive(Debug, Clone)]
+pub struct FullAccessWrapper {
+    db: Database,
+    ontology: MiniOntology,
+}
+
+impl FullAccessWrapper {
+    /// Wrap a database. Runs the setup phase (`finalize`) if the caller has
+    /// not already.
+    pub fn new(mut db: Database) -> FullAccessWrapper {
+        if !db.is_finalized() {
+            db.finalize();
+        }
+        FullAccessWrapper { db, ontology: MiniOntology::builtin() }
+    }
+
+    /// Replace the ontology.
+    pub fn with_ontology(mut self, ontology: MiniOntology) -> FullAccessWrapper {
+        self.ontology = ontology;
+        self
+    }
+
+    /// The wrapped database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+}
+
+impl SourceWrapper for FullAccessWrapper {
+    fn catalog(&self) -> &Catalog {
+        self.db.catalog()
+    }
+
+    fn value_score(&self, attr: AttrId, keyword: &Keyword) -> f64 {
+        self.db.search_score(attr, &keyword.normalized)
+    }
+
+    fn join_informativeness(&self, fk: ForeignKey) -> Option<f64> {
+        self.db.fk_stats(fk).map(|s| s.nmi)
+    }
+
+    fn execute(&self, stmt: &SelectStatement) -> Result<ResultSet, StoreError> {
+        execute(&self.db, stmt)
+    }
+
+    fn has_results(&self, stmt: &SelectStatement) -> Result<bool, StoreError> {
+        has_results(&self.db, stmt)
+    }
+
+    fn has_instance_access(&self) -> bool {
+        true
+    }
+
+    fn table_rows(&self, table: relstore::TableId) -> Option<u64> {
+        Some(self.db.row_count(table) as u64)
+    }
+
+    fn ontology(&self) -> &MiniOntology {
+        &self.ontology
+    }
+}
+
+/// Wrapper simulating a Deep-Web source: schema and annotations are visible,
+/// the instance is reachable only through a result-limited query endpoint.
+#[derive(Debug, Clone)]
+pub struct DeepWebWrapper {
+    db: Database,
+    annotations: AnnotationSet,
+    ontology: MiniOntology,
+    result_limit: usize,
+}
+
+impl DeepWebWrapper {
+    /// Wrap a database as a hidden source with the given annotations.
+    /// `result_limit` caps every endpoint response (typical form endpoints
+    /// return one page).
+    pub fn new(db: Database, annotations: AnnotationSet, result_limit: usize) -> DeepWebWrapper {
+        DeepWebWrapper {
+            db,
+            annotations,
+            ontology: MiniOntology::builtin(),
+            result_limit: result_limit.max(1),
+        }
+    }
+
+    /// Replace the ontology.
+    pub fn with_ontology(mut self, ontology: MiniOntology) -> DeepWebWrapper {
+        self.ontology = ontology;
+        self
+    }
+}
+
+impl SourceWrapper for DeepWebWrapper {
+    fn catalog(&self) -> &Catalog {
+        self.db.catalog()
+    }
+
+    fn value_score(&self, attr: AttrId, keyword: &Keyword) -> f64 {
+        // No index: decide from metadata only. Use the raw keyword — the
+        // pattern describes surface forms, not stemmed tokens.
+        self.annotations.admissibility(self.db.catalog(), attr, &keyword.raw)
+    }
+
+    fn join_informativeness(&self, _fk: ForeignKey) -> Option<f64> {
+        None
+    }
+
+    fn execute(&self, stmt: &SelectStatement) -> Result<ResultSet, StoreError> {
+        if stmt.predicates.is_empty() {
+            return Err(StoreError::InvalidQuery(
+                "deep web endpoint requires at least one bound value".into(),
+            ));
+        }
+        let mut limited = stmt.clone();
+        let cap = limited.limit.map_or(self.result_limit, |l| l.min(self.result_limit));
+        limited.limit = Some(cap);
+        execute(&self.db, &limited)
+    }
+
+    fn has_results(&self, stmt: &SelectStatement) -> Result<bool, StoreError> {
+        if stmt.predicates.is_empty() {
+            return Err(StoreError::InvalidQuery(
+                "deep web endpoint requires at least one bound value".into(),
+            ));
+        }
+        has_results(&self.db, stmt)
+    }
+
+    fn has_instance_access(&self) -> bool {
+        false
+    }
+
+    fn ontology(&self) -> &MiniOntology {
+        &self.ontology
+    }
+
+    fn annotations(&self) -> Option<&AnnotationSet> {
+        Some(&self.annotations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyword::KeywordQuery;
+    use relstore::sql::Predicate;
+    use relstore::{DataType, Row};
+
+    fn db() -> Database {
+        let mut c = Catalog::new();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .col_opts("year", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        let mut d = Database::new(c).unwrap();
+        d.insert("movie", Row::new(vec![1.into(), "Casablanca".into(), 1942.into()]))
+            .unwrap();
+        d.insert(
+            "movie",
+            Row::new(vec![2.into(), "Gone with the Wind".into(), 1939.into()]),
+        )
+        .unwrap();
+        d.finalize();
+        d
+    }
+
+    fn kw(s: &str) -> Keyword {
+        KeywordQuery::parse(s).unwrap().keywords.remove(0)
+    }
+
+    #[test]
+    fn full_wrapper_scores_from_index() {
+        let w = FullAccessWrapper::new(db());
+        let title = w.catalog().attr_id("movie", "title").unwrap();
+        assert!(w.value_score(title, &kw("casablanca")) > 0.0);
+        assert_eq!(w.value_score(title, &kw("nonexistent")), 0.0);
+        assert!(w.has_instance_access());
+    }
+
+    #[test]
+    fn full_wrapper_finalizes_lazily() {
+        let mut c = Catalog::new();
+        c.define_table("t").unwrap().pk("id", DataType::Int).unwrap().finish();
+        let d = Database::new(c).unwrap(); // not finalized
+        let w = FullAccessWrapper::new(d);
+        assert!(w.database().is_finalized());
+    }
+
+    #[test]
+    fn deep_web_scores_from_annotations() {
+        let d = db();
+        let year = d.catalog().attr_id("movie", "year").unwrap();
+        let title = d.catalog().attr_id("movie", "title").unwrap();
+        let mut ann = AnnotationSet::new();
+        ann.set_pattern(year, r"(19|20)\d{2}").unwrap();
+        let w = DeepWebWrapper::new(d, ann, 10);
+        assert_eq!(w.value_score(year, &kw("1939")), 0.9);
+        assert_eq!(w.value_score(year, &kw("wind")), 0.0);
+        // Text attribute falls back to the type prior.
+        assert_eq!(w.value_score(title, &kw("wind")), 0.2);
+        assert!(!w.has_instance_access());
+        assert!(w.join_informativeness(ForeignKey {
+            from: year,
+            to: title
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn deep_web_endpoint_requires_binding() {
+        let d = db();
+        let movie = d.catalog().table_id("movie").unwrap();
+        let title = d.catalog().attr_id("movie", "title").unwrap();
+        let w = DeepWebWrapper::new(d, AnnotationSet::new(), 1);
+        let open_scan = SelectStatement::scan(movie);
+        assert!(w.execute(&open_scan).is_err());
+        assert!(w.has_results(&open_scan).is_err());
+        let mut bound = SelectStatement::scan(movie);
+        bound.predicates.push(Predicate::Contains { attr: title, keyword: "wind".into() });
+        let rs = w.execute(&bound).unwrap();
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn deep_web_limits_results() {
+        let d = db();
+        let movie = d.catalog().table_id("movie").unwrap();
+        let year = d.catalog().attr_id("movie", "year").unwrap();
+        let w = DeepWebWrapper::new(d, AnnotationSet::new(), 1);
+        let mut stmt = SelectStatement::scan(movie);
+        stmt.predicates.push(Predicate::Compare {
+            attr: year,
+            op: relstore::sql::CompareOp::Ge,
+            value: relstore::Value::Int(1900),
+        });
+        // Two rows qualify; the endpoint caps at 1.
+        assert_eq!(w.execute(&stmt).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn full_wrapper_exposes_join_stats() {
+        let mut c = Catalog::new();
+        c.define_table("b").unwrap().pk("id", DataType::Int).unwrap().finish();
+        c.define_table("a")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col_opts("b_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("a", "b_id", "b").unwrap();
+        let mut d = Database::new(c).unwrap();
+        d.insert("b", Row::new(vec![1.into()])).unwrap();
+        d.insert("a", Row::new(vec![1.into(), 1.into()])).unwrap();
+        d.finalize();
+        let fk = d.catalog().foreign_keys()[0];
+        let w = FullAccessWrapper::new(d);
+        assert!(w.join_informativeness(fk).is_some());
+    }
+}

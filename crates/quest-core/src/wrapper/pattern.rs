@@ -1,0 +1,465 @@
+//! A small regular-expression engine for schema annotations.
+//!
+//! The wrapper "exploits regular expressions, schema annotations, database
+//! metadata and external ontologies to guess the attributes that can be
+//! associated with each keyword" (paper §1). Deep-Web sources expose no
+//! index, so the only way to decide whether a keyword *could* be a value of
+//! an attribute is to match it against the attribute's declared pattern of
+//! admissible values.
+//!
+//! Supported syntax (full-string match): literals, `.`, classes `\d` `\w`
+//! `\s` and their uppercase negations, bracket classes `[a-z0-9_]` with
+//! leading `^` negation, quantifiers `*` `+` `?` and `{m,n}`, alternation
+//! `|`, and grouping `(...)`. Matching is backtracking over a parsed AST —
+//! plenty for admissible-value patterns like `\d{4}` or `[A-Z][a-z]+( [A-Z][a-z]+)*`.
+
+use std::fmt;
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    source: String,
+    root: Node,
+}
+
+/// Parse/compile errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the source.
+    pub position: usize,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Sequence of nodes.
+    Seq(Vec<Node>),
+    /// Alternation.
+    Alt(Vec<Node>),
+    /// Single character matcher.
+    Char(CharClass),
+    /// Quantified node: min, max (None = unbounded).
+    Repeat(Box<Node>, usize, Option<usize>),
+    /// Empty match.
+    Empty,
+}
+
+#[derive(Debug, Clone)]
+enum CharClass {
+    Literal(char),
+    Any,
+    Digit(bool),
+    Word(bool),
+    Space(bool),
+    /// Bracket class: ranges plus negation flag.
+    Set { ranges: Vec<(char, char)>, negated: bool },
+}
+
+impl CharClass {
+    fn matches(&self, c: char) -> bool {
+        match self {
+            CharClass::Literal(l) => *l == c,
+            CharClass::Any => true,
+            CharClass::Digit(neg) => c.is_ascii_digit() != *neg,
+            CharClass::Word(neg) => (c.is_alphanumeric() || c == '_') != *neg,
+            CharClass::Space(neg) => c.is_whitespace() != *neg,
+            CharClass::Set { ranges, negated } => {
+                ranges.iter().any(|(lo, hi)| *lo <= c && c <= *hi) != *negated
+            }
+        }
+    }
+}
+
+impl Pattern {
+    /// Compile a pattern.
+    pub fn compile(source: &str) -> Result<Pattern, PatternError> {
+        let chars: Vec<char> = source.chars().collect();
+        let mut p = Parser { chars: &chars, pos: 0 };
+        let root = p.parse_alt()?;
+        if p.pos != p.chars.len() {
+            return Err(PatternError {
+                message: format!("unexpected character `{}`", p.chars[p.pos]),
+                position: p.pos,
+            });
+        }
+        Ok(Pattern { source: source.to_string(), root })
+    }
+
+    /// The source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Whether the pattern matches the *entire* input.
+    pub fn is_match(&self, input: &str) -> bool {
+        let chars: Vec<char> = input.chars().collect();
+        match_node(&self.root, &chars, 0, &mut |pos| pos == chars.len())
+    }
+
+    /// Whether the pattern matches anywhere inside the input.
+    pub fn is_partial_match(&self, input: &str) -> bool {
+        let chars: Vec<char> = input.chars().collect();
+        (0..=chars.len()).any(|start| match_node(&self.root, &chars, start, &mut |_| true))
+    }
+}
+
+/// Backtracking matcher in continuation-passing style: `k(pos)` is invoked
+/// for every position the node can finish at.
+fn match_node(node: &Node, input: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match node {
+        Node::Empty => k(pos),
+        Node::Char(c) => {
+            if pos < input.len() && c.matches(input[pos]) {
+                k(pos + 1)
+            } else {
+                false
+            }
+        }
+        Node::Seq(nodes) => match_seq(nodes, input, pos, k),
+        Node::Alt(alts) => alts.iter().any(|a| match_node(a, input, pos, k)),
+        Node::Repeat(inner, min, max) => match_repeat(inner, *min, *max, input, pos, 0, k),
+    }
+}
+
+fn match_seq(
+    nodes: &[Node],
+    input: &[char],
+    pos: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    match nodes.split_first() {
+        None => k(pos),
+        Some((head, tail)) => {
+            match_node(head, input, pos, &mut |p| match_seq(tail, input, p, k))
+        }
+    }
+}
+
+fn match_repeat(
+    inner: &Node,
+    min: usize,
+    max: Option<usize>,
+    input: &[char],
+    pos: usize,
+    count: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    // Greedy: try one more repetition first, then yield.
+    let can_more = max.is_none_or(|m| count < m);
+    if can_more
+        && match_node(inner, input, pos, &mut |p| {
+            // Zero-width progress guard: stop expanding on empty matches.
+            if p == pos {
+                return false;
+            }
+            match_repeat(inner, min, max, input, p, count + 1, k)
+        })
+    {
+        return true;
+    }
+    if count >= min {
+        return k(pos);
+    }
+    false
+}
+
+struct Parser<'a> {
+    chars: &'a [char],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> PatternError {
+        PatternError { message: message.into(), position: self.pos }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alt(&mut self) -> Result<Node, PatternError> {
+        let mut alts = vec![self.parse_seq()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            alts.push(self.parse_seq()?);
+        }
+        Ok(if alts.len() == 1 {
+            alts.pop().expect("len checked")
+        } else {
+            Node::Alt(alts)
+        })
+    }
+
+    fn parse_seq(&mut self) -> Result<Node, PatternError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_quantified()?);
+        }
+        Ok(match items.len() {
+            0 => Node::Empty,
+            1 => items.pop().expect("len checked"),
+            _ => Node::Seq(items),
+        })
+    }
+
+    fn parse_quantified(&mut self) -> Result<Node, PatternError> {
+        let atom = self.parse_atom()?;
+        match self.peek() {
+            Some('*') => {
+                self.bump();
+                Ok(Node::Repeat(Box::new(atom), 0, None))
+            }
+            Some('+') => {
+                self.bump();
+                Ok(Node::Repeat(Box::new(atom), 1, None))
+            }
+            Some('?') => {
+                self.bump();
+                Ok(Node::Repeat(Box::new(atom), 0, Some(1)))
+            }
+            Some('{') => {
+                self.bump();
+                let min = self.parse_number()?;
+                let max = if self.peek() == Some(',') {
+                    self.bump();
+                    if self.peek() == Some('}') {
+                        None
+                    } else {
+                        Some(self.parse_number()?)
+                    }
+                } else {
+                    Some(min)
+                };
+                if self.bump() != Some('}') {
+                    return Err(self.err("expected `}`"));
+                }
+                if let Some(m) = max {
+                    if m < min {
+                        return Err(self.err("max repeat below min"));
+                    }
+                }
+                Ok(Node::Repeat(Box::new(atom), min, max))
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<usize, PatternError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected number"));
+        }
+        let s: String = self.chars[start..self.pos].iter().collect();
+        s.parse().map_err(|_| self.err("number too large"))
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, PatternError> {
+        match self.bump() {
+            None => Err(self.err("unexpected end of pattern")),
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("unterminated group"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Node::Char(CharClass::Any)),
+            Some('\\') => {
+                let c = self.bump().ok_or_else(|| self.err("dangling escape"))?;
+                Ok(Node::Char(match c {
+                    'd' => CharClass::Digit(false),
+                    'D' => CharClass::Digit(true),
+                    'w' => CharClass::Word(false),
+                    'W' => CharClass::Word(true),
+                    's' => CharClass::Space(false),
+                    'S' => CharClass::Space(true),
+                    other => CharClass::Literal(other),
+                }))
+            }
+            Some(c @ ('*' | '+' | '?' | '{' | '}')) => {
+                Err(self.err(format!("quantifier `{c}` with nothing to repeat")))
+            }
+            Some(c) => Ok(Node::Char(CharClass::Literal(c))),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, PatternError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges = Vec::new();
+        loop {
+            let c = self.bump().ok_or_else(|| self.err("unterminated class"))?;
+            if c == ']' {
+                if ranges.is_empty() {
+                    return Err(self.err("empty class"));
+                }
+                break;
+            }
+            let lo = if c == '\\' {
+                let esc = self.bump().ok_or_else(|| self.err("dangling escape in class"))?;
+                // Character-class escapes expand to their ranges.
+                match esc {
+                    'd' => {
+                        ranges.push(('0', '9'));
+                        continue;
+                    }
+                    'w' => {
+                        ranges.extend([('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]);
+                        continue;
+                    }
+                    's' => {
+                        ranges.extend([(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')]);
+                        continue;
+                    }
+                    other => other,
+                }
+            } else {
+                c
+            };
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump(); // '-'
+                let hi = self.bump().ok_or_else(|| self.err("unterminated range"))?;
+                if hi < lo {
+                    return Err(self.err("inverted range"));
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        Ok(Node::Char(CharClass::Set { ranges, negated }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, input: &str) -> bool {
+        Pattern::compile(pat).unwrap().is_match(input)
+    }
+
+    #[test]
+    fn literals_and_any() {
+        assert!(m("abc", "abc"));
+        assert!(!m("abc", "abx"));
+        assert!(!m("abc", "abcd"));
+        assert!(m("a.c", "abc"));
+        assert!(m("a.c", "axc"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(m(r"\d\d\d\d", "1939"));
+        assert!(!m(r"\d\d\d\d", "19a9"));
+        assert!(m(r"\w+", "hello_world1"));
+        assert!(!m(r"\w+", "hello world"));
+        assert!(m(r"\s", " "));
+        assert!(m(r"\D+", "abc"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(m("a*", ""));
+        assert!(m("a*", "aaaa"));
+        assert!(m("a+b", "aab"));
+        assert!(!m("a+b", "b"));
+        assert!(m("colou?r", "color"));
+        assert!(m("colou?r", "colour"));
+        assert!(m(r"\d{4}", "2013"));
+        assert!(!m(r"\d{4}", "201"));
+        assert!(!m(r"\d{4}", "20134"));
+        assert!(m(r"\d{2,4}", "201"));
+        assert!(m(r"a{2,}", "aaaaa"));
+        assert!(!m(r"a{2,}", "a"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("cat|dog", "dog"));
+        assert!(!m("cat|dog", "cow"));
+        assert!(m("(ab)+", "ababab"));
+        assert!(m("gr(e|a)y", "gray"));
+        assert!(m("[A-Z][a-z]+( [A-Z][a-z]+)*", "New York City"));
+        assert!(!m("[A-Z][a-z]+( [A-Z][a-z]+)*", "new york"));
+    }
+
+    #[test]
+    fn bracket_classes() {
+        assert!(m("[abc]+", "cab"));
+        assert!(!m("[abc]+", "cad"));
+        assert!(m("[a-z0-9]+", "abc123"));
+        assert!(m("[^0-9]+", "abc"));
+        assert!(!m("[^0-9]+", "a1"));
+        assert!(m(r"[\d.]+", "3.14"));
+    }
+
+    #[test]
+    fn partial_match() {
+        let p = Pattern::compile(r"\d{4}").unwrap();
+        assert!(p.is_partial_match("released in 1939!"));
+        assert!(!p.is_partial_match("no digits here"));
+        assert!(!p.is_match("released in 1939!"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Pattern::compile("(ab").is_err());
+        assert!(Pattern::compile("[a-").is_err());
+        assert!(Pattern::compile("*a").is_err());
+        assert!(Pattern::compile("a{3,1}").is_err());
+        assert!(Pattern::compile("a{x}").is_err());
+        assert!(Pattern::compile("[]").is_err());
+        assert!(Pattern::compile("[z-a]").is_err());
+        assert!(Pattern::compile("ab)").is_err());
+    }
+
+    #[test]
+    fn realistic_annotation_patterns() {
+        // Year of release.
+        assert!(m(r"(19|20)\d{2}", "1939"));
+        assert!(m(r"(19|20)\d{2}", "2013"));
+        assert!(!m(r"(19|20)\d{2}", "1839"));
+        // ISBN-ish code.
+        assert!(m(r"\d{3}-\d-\d{3}-\d{5}", "978-3-540-12345"));
+        // Person name.
+        let name = r"[A-Z][a-z]+( [A-Z][a-z']+)+";
+        assert!(m(name, "Victor Fleming"));
+        assert!(!m(name, "victor fleming"));
+    }
+
+    #[test]
+    fn no_pathological_blowup() {
+        // Zero-width repeat guard terminates.
+        assert!(m("(a*)*b", "aaab"));
+        assert!(!m("(a*)*c", "aaab"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for quest-core: the pattern engine against a naive
+//! reference semantics, the DST combiner's ranking laws, and keyword
+//! parsing robustness.
+
+use proptest::prelude::*;
+use quest_core::combiner::{combine_explanation_scores, combine_ranked};
+use quest_core::wrapper::Pattern;
+use quest_core::KeywordQuery;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn literal_patterns_match_exactly_themselves(s in "[a-zA-Z0-9]{1,12}", other in "[a-zA-Z0-9]{1,12}") {
+        let p = Pattern::compile(&s).expect("literal compiles");
+        prop_assert!(p.is_match(&s));
+        if s != other {
+            prop_assert!(!p.is_match(&other));
+        }
+    }
+
+    #[test]
+    fn digit_class_semantics(n in 0u32..99999) {
+        let s = n.to_string();
+        let p = Pattern::compile(r"\d+").expect("compiles");
+        prop_assert!(p.is_match(&s));
+        let padded = format!("{s}x");
+        prop_assert!(!p.is_match(&padded));
+        let exact = Pattern::compile(&format!(r"\d{{{}}}", s.len())).expect("compiles");
+        prop_assert!(exact.is_match(&s));
+    }
+
+    #[test]
+    fn star_accepts_any_repetition(c in "[a-z]", reps in 0usize..20) {
+        let p = Pattern::compile(&format!("{c}*")).expect("compiles");
+        prop_assert!(p.is_match(&c.repeat(reps)));
+    }
+
+    #[test]
+    fn bounded_repeat_counts(min in 0usize..4, extra in 0usize..4, reps in 0usize..10) {
+        let max = min + extra;
+        let p = Pattern::compile(&format!("a{{{min},{max}}}")).expect("compiles");
+        let s = "a".repeat(reps);
+        prop_assert_eq!(p.is_match(&s), reps >= min && reps <= max);
+    }
+
+    #[test]
+    fn alternation_is_union(a in "[a-z]{1,6}", b in "[a-z]{1,6}", probe in "[a-z]{1,6}") {
+        let p = Pattern::compile(&format!("{a}|{b}")).expect("compiles");
+        prop_assert_eq!(p.is_match(&probe), probe == a || probe == b);
+    }
+
+    #[test]
+    fn partial_match_implied_by_full(s in "[a-z]{1,8}", pad in "[a-z]{0,5}") {
+        let p = Pattern::compile(&s).expect("compiles");
+        let padded = format!("{pad}{s}{pad}");
+        prop_assert!(p.is_partial_match(&padded));
+    }
+
+    #[test]
+    fn combiner_output_is_ranked_distribution(
+        s1 in proptest::collection::vec(0.01f64..1.0, 1..6),
+        s2 in proptest::collection::vec(0.01f64..1.0, 1..6),
+        o1 in 0.05f64..0.95,
+        o2 in 0.05f64..0.95,
+    ) {
+        let l1: Vec<(usize, f64)> = s1.iter().enumerate().collect::<Vec<_>>()
+            .iter().map(|(i, s)| (*i, **s)).collect();
+        let l2: Vec<(usize, f64)> = s2.iter().enumerate().map(|(i, s)| (i + 3, *s)).collect();
+        let out = combine_ranked(&l1, o1, &l2, o2).expect("combines");
+        let total: f64 = out.iter().map(|(_, s)| s).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for w in out.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1 - 1e-12);
+        }
+        // Every input hypothesis appears exactly once.
+        let mut keys: Vec<usize> = out.iter().map(|(k, _)| *k).collect();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), out.len());
+    }
+
+    #[test]
+    fn explanation_scores_form_distribution(
+        cfg_scores in proptest::collection::vec(0.01f64..1.0, 1..4),
+        interp_scores in proptest::collection::vec((0usize..4, 0.01f64..1.0), 1..8),
+        o_c in 0.05f64..0.95,
+        o_i in 0.05f64..0.95,
+    ) {
+        // Clamp config indexes into range.
+        let n = cfg_scores.len();
+        let expl: Vec<(usize, f64)> = interp_scores
+            .iter()
+            .map(|(ci, s)| (ci % n, *s))
+            .collect();
+        let scores = combine_explanation_scores(&cfg_scores, &expl, o_c, o_i).expect("combines");
+        prop_assert_eq!(scores.len(), expl.len());
+        let total: f64 = scores.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for s in &scores {
+            prop_assert!(*s >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn keyword_parse_never_panics(s in "\\PC{0,60}") {
+        // Any printable garbage either parses or errors; no panics.
+        let _ = KeywordQuery::parse(&s);
+    }
+
+    #[test]
+    fn parsed_keywords_are_normalized_and_bounded(s in "[a-zA-Z ,.'\"-]{1,60}") {
+        if let Ok(q) = KeywordQuery::parse(&s) {
+            prop_assert!(q.len() >= 1);
+            prop_assert!(q.len() <= quest_core::MAX_KEYWORDS);
+            for kw in &q.keywords {
+                prop_assert!(!kw.normalized.is_empty());
+                prop_assert_eq!(kw.normalized.clone(), kw.normalized.to_lowercase());
+            }
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! DBLP-shaped dataset: "many instances ... in a non-trivial schema"
+//! (paper §4: ~1M people, ~800k papers, >2M authorship rows in the real
+//! DBLP). Five tables — authors, venues, publications, the many-to-many
+//! `authorship` relation, and citations — scalable to large row counts.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use relstore::{Catalog, DataType, Database, Row, StoreError};
+
+use crate::corpus::{FIRST_NAMES, LAST_NAMES, PAPER_WORDS, UNIVERSITIES, VENUES};
+use crate::workload::{GoldSpec, GoldTerm, WorkloadQuery};
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct DblpScale {
+    /// Number of generated publications (anchors added on top).
+    pub publications: usize,
+    /// Authors per publication (average; the real ratio is ~2.5).
+    pub authors_per_paper: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpScale {
+    fn default() -> Self {
+        DblpScale { publications: 1_000, authors_per_paper: 3, seed: 42 }
+    }
+}
+
+impl DblpScale {
+    /// Scale with a publication count and default ratios.
+    pub fn with_publications(publications: usize) -> DblpScale {
+        DblpScale { publications, ..Default::default() }
+    }
+}
+
+/// Build the DBLP-shaped schema.
+pub fn schema() -> Result<Catalog, StoreError> {
+    let mut c = Catalog::new();
+    c.define_table("author")?
+        .pk("id", DataType::Int)?
+        .col("name", DataType::Text)?
+        .col("affiliation", DataType::Text)?
+        .finish();
+    c.define_table("venue")?
+        .pk("id", DataType::Int)?
+        .col("name", DataType::Text)?
+        .col("kind", DataType::Text)?
+        .finish();
+    c.define_table("publication")?
+        .pk("id", DataType::Int)?
+        .col("title", DataType::Text)?
+        .col_opts("year", DataType::Int, true, true)?
+        .col_opts("venue_id", DataType::Int, true, false)?
+        .finish();
+    c.define_table("authorship")?
+        .pk("id", DataType::Int)?
+        .col_opts("author_id", DataType::Int, false, false)?
+        .col_opts("publication_id", DataType::Int, false, false)?
+        .col_opts("position", DataType::Int, true, false)?
+        .finish();
+    c.define_table("citation")?
+        .pk("id", DataType::Int)?
+        .col_opts("citing_id", DataType::Int, false, false)?
+        .col_opts("cited_id", DataType::Int, false, false)?
+        .finish();
+    c.add_foreign_key("publication", "venue_id", "venue")?;
+    c.add_foreign_key("authorship", "author_id", "author")?;
+    c.add_foreign_key("authorship", "publication_id", "publication")?;
+    c.add_foreign_key("citation", "citing_id", "publication")?;
+    c.add_foreign_key("citation", "cited_id", "publication")?;
+    Ok(c)
+}
+
+/// Generate the database at the given scale.
+pub fn generate(scale: &DblpScale) -> Result<Database, StoreError> {
+    let mut db = Database::new(schema()?)?;
+    let mut rng = SmallRng::seed_from_u64(scale.seed);
+
+    // Venues: fixed.
+    for (i, v) in VENUES.iter().enumerate() {
+        let kind = if i % 3 == 0 { "journal" } else { "conference" };
+        db.insert("venue", Row::new(vec![(i as i64).into(), (*v).into(), kind.into()]))?;
+    }
+
+    // Anchor authors.
+    let anchor_authors = [
+        ("Sonia Bergamaschi", "Modena"),
+        ("Francesco Guerra", "Modena"),
+        ("Yannis Velegrakis", "Trento"),
+        ("Raquel Trillo", "Zaragoza"),
+    ];
+    for (i, (name, aff)) in anchor_authors.iter().enumerate() {
+        db.insert(
+            "author",
+            Row::new(vec![
+                (i as i64).into(),
+                (*name).into(),
+                format!("University of {aff}").into(),
+            ]),
+        )?;
+    }
+    let n_authors = anchor_authors.len()
+        + (scale.publications * scale.authors_per_paper / 2).max(1);
+    for i in anchor_authors.len()..n_authors {
+        let name = format!(
+            "{} {}",
+            FIRST_NAMES[rng.random_range(0..FIRST_NAMES.len())],
+            LAST_NAMES[rng.random_range(0..LAST_NAMES.len())]
+        );
+        let aff = format!(
+            "University of {}",
+            UNIVERSITIES[rng.random_range(0..UNIVERSITIES.len())]
+        );
+        db.insert("author", Row::new(vec![(i as i64).into(), name.into(), aff.into()]))?;
+    }
+
+    // Anchor publication: the QUEST paper itself, at VLDB (index 0).
+    db.insert(
+        "publication",
+        Row::new(vec![
+            0.into(),
+            "Keyword Search over Relational Databases".into(),
+            2013.into(),
+            0.into(),
+        ]),
+    )?;
+    let first_gen = 1usize;
+    for i in first_gen..first_gen + scale.publications {
+        let title = compose_title(&mut rng);
+        let year = 1995 + rng.random_range(0..20) as i64;
+        let venue = rng.random_range(0..VENUES.len()) as i64;
+        db.insert(
+            "publication",
+            Row::new(vec![(i as i64).into(), title.into(), year.into(), venue.into()]),
+        )?;
+    }
+    let n_pubs = first_gen + scale.publications;
+
+    // Authorship: anchors author the anchor paper; generated papers get
+    // 1..=2*avg random authors.
+    let mut as_id: i64 = 0;
+    for (pos, a) in [0i64, 1, 2].iter().enumerate() {
+        db.insert(
+            "authorship",
+            Row::new(vec![as_id.into(), (*a).into(), 0.into(), (pos as i64).into()]),
+        )?;
+        as_id += 1;
+    }
+    for p in first_gen..n_pubs {
+        let n = 1 + rng.random_range(0..scale.authors_per_paper * 2);
+        let mut used: Vec<i64> = Vec::new();
+        for pos in 0..n {
+            let a = rng.random_range(0..n_authors) as i64;
+            if used.contains(&a) {
+                continue;
+            }
+            used.push(a);
+            db.insert(
+                "authorship",
+                Row::new(vec![as_id.into(), a.into(), (p as i64).into(), (pos as i64).into()]),
+            )?;
+            as_id += 1;
+        }
+    }
+
+    // Citations: each generated paper cites up to 3 earlier papers.
+    let mut cit_id: i64 = 0;
+    for p in first_gen..n_pubs {
+        let n = rng.random_range(0..4);
+        for _ in 0..n {
+            let cited = rng.random_range(0..p) as i64;
+            db.insert(
+                "citation",
+                Row::new(vec![cit_id.into(), (p as i64).into(), cited.into()]),
+            )?;
+            cit_id += 1;
+        }
+    }
+    db.finalize();
+    Ok(db)
+}
+
+fn compose_title(rng: &mut SmallRng) -> String {
+    let a = PAPER_WORDS[rng.random_range(0..PAPER_WORDS.len())];
+    let b = PAPER_WORDS[rng.random_range(0..PAPER_WORDS.len())];
+    let c = PAPER_WORDS[rng.random_range(0..PAPER_WORDS.len())];
+    match rng.random_range(0..3) {
+        0 => format!("{a} {b} in {c}"),
+        1 => format!("Efficient {a} {b}"),
+        _ => format!("On {a} for {b} {c}"),
+    }
+}
+
+/// The DBLP workload: 10 queries over authors, venues and citations.
+pub fn workload() -> Vec<WorkloadQuery> {
+    vec![
+        WorkloadQuery {
+            raw: "bergamaschi".into(),
+            gold: GoldSpec {
+                tables: vec!["author".into()],
+                joins: vec![],
+                contains: vec![("author".into(), "name".into(), "bergamaschi".into())],
+                terms: vec![GoldTerm::value("author", "name")],
+            },
+        },
+        WorkloadQuery {
+            raw: "bergamaschi keyword".into(),
+            gold: GoldSpec {
+                tables: vec!["author".into(), "authorship".into(), "publication".into()],
+                joins: vec![
+                    ("authorship".into(), "author_id".into(), "author".into()),
+                    ("authorship".into(), "publication_id".into(), "publication".into()),
+                ],
+                contains: vec![
+                    ("author".into(), "name".into(), "bergamaschi".into()),
+                    ("publication".into(), "title".into(), "keyword".into()),
+                ],
+                terms: vec![
+                    GoldTerm::value("author", "name"),
+                    GoldTerm::value("publication", "title"),
+                ],
+            },
+        },
+        WorkloadQuery {
+            raw: "vldb 2013".into(),
+            gold: GoldSpec {
+                tables: vec!["venue".into(), "publication".into()],
+                joins: vec![("publication".into(), "venue_id".into(), "venue".into())],
+                contains: vec![
+                    ("venue".into(), "name".into(), "vldb".into()),
+                    ("publication".into(), "year".into(), "2013".into()),
+                ],
+                terms: vec![
+                    GoldTerm::value("venue", "name"),
+                    GoldTerm::value("publication", "year"),
+                ],
+            },
+        },
+        WorkloadQuery {
+            raw: "guerra modena".into(),
+            gold: GoldSpec {
+                tables: vec!["author".into()],
+                joins: vec![],
+                contains: vec![
+                    ("author".into(), "name".into(), "guerra".into()),
+                    ("author".into(), "affiliation".into(), "modena".into()),
+                ],
+                terms: vec![
+                    GoldTerm::value("author", "name"),
+                    GoldTerm::value("author", "affiliation"),
+                ],
+            },
+        },
+        WorkloadQuery {
+            raw: "author paper".into(),
+            gold: GoldSpec {
+                tables: vec!["author".into(), "authorship".into(), "publication".into()],
+                joins: vec![
+                    ("authorship".into(), "author_id".into(), "author".into()),
+                    ("authorship".into(), "publication_id".into(), "publication".into()),
+                ],
+                contains: vec![],
+                terms: vec![GoldTerm::table("author"), GoldTerm::table("publication")],
+            },
+        },
+        WorkloadQuery {
+            raw: "velegrakis vldb".into(),
+            gold: GoldSpec {
+                tables: vec![
+                    "author".into(),
+                    "authorship".into(),
+                    "publication".into(),
+                    "venue".into(),
+                ],
+                joins: vec![
+                    ("authorship".into(), "author_id".into(), "author".into()),
+                    ("authorship".into(), "publication_id".into(), "publication".into()),
+                    ("publication".into(), "venue_id".into(), "venue".into()),
+                ],
+                contains: vec![
+                    ("author".into(), "name".into(), "velegrakis".into()),
+                    ("venue".into(), "name".into(), "vldb".into()),
+                ],
+                terms: vec![
+                    GoldTerm::value("author", "name"),
+                    GoldTerm::value("venue", "name"),
+                ],
+            },
+        },
+        WorkloadQuery {
+            raw: "publication year".into(),
+            gold: GoldSpec {
+                tables: vec!["publication".into()],
+                joins: vec![],
+                contains: vec![],
+                terms: vec![
+                    GoldTerm::table("publication"),
+                    GoldTerm::attr("publication", "year"),
+                ],
+            },
+        },
+        WorkloadQuery {
+            raw: "trillo zaragoza".into(),
+            gold: GoldSpec {
+                tables: vec!["author".into()],
+                joins: vec![],
+                contains: vec![
+                    ("author".into(), "name".into(), "trillo".into()),
+                    ("author".into(), "affiliation".into(), "zaragoza".into()),
+                ],
+                terms: vec![
+                    GoldTerm::value("author", "name"),
+                    GoldTerm::value("author", "affiliation"),
+                ],
+            },
+        },
+        WorkloadQuery {
+            raw: "journal steiner".into(),
+            gold: GoldSpec {
+                tables: vec!["venue".into(), "publication".into()],
+                joins: vec![("publication".into(), "venue_id".into(), "venue".into())],
+                contains: vec![
+                    ("venue".into(), "kind".into(), "journal".into()),
+                    ("publication".into(), "title".into(), "steiner".into()),
+                ],
+                terms: vec![
+                    GoldTerm::value("venue", "kind"),
+                    GoldTerm::value("publication", "title"),
+                ],
+            },
+        },
+        WorkloadQuery {
+            raw: "conference 2005".into(),
+            gold: GoldSpec {
+                tables: vec!["venue".into(), "publication".into()],
+                joins: vec![("publication".into(), "venue_id".into(), "venue".into())],
+                contains: vec![
+                    ("venue".into(), "kind".into(), "conference".into()),
+                    ("publication".into(), "year".into(), "2005".into()),
+                ],
+                terms: vec![
+                    GoldTerm::value("venue", "kind"),
+                    GoldTerm::value("publication", "year"),
+                ],
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape() {
+        let c = schema().unwrap();
+        assert_eq!(c.table_count(), 5);
+        assert_eq!(c.foreign_keys().len(), 5);
+    }
+
+    #[test]
+    fn generator_scales_and_validates() {
+        let db = generate(&DblpScale { publications: 100, authors_per_paper: 3, seed: 1 })
+            .unwrap();
+        assert!(db.validate_foreign_keys().is_ok());
+        let pubs = db.catalog().table_id("publication").unwrap();
+        assert_eq!(db.row_count(pubs), 101);
+        let auth = db.catalog().table_id("authorship").unwrap();
+        assert!(db.row_count(auth) > 100, "m:n relation should dominate");
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = DblpScale { publications: 30, authors_per_paper: 2, seed: 9 };
+        let a = generate(&s).unwrap();
+        let b = generate(&s).unwrap();
+        assert_eq!(a.total_rows(), b.total_rows());
+    }
+
+    #[test]
+    fn workload_gold_queries_return_rows() {
+        let db = generate(&DblpScale { publications: 300, authors_per_paper: 3, seed: 42 })
+            .unwrap();
+        for wq in workload() {
+            assert!(wq.is_well_formed(), "arity mismatch in {}", wq.raw);
+            let stmt = wq.gold.to_statement(db.catalog()).unwrap();
+            let rs = relstore::sql::execute(&db, &stmt).unwrap();
+            assert!(!rs.is_empty(), "gold SQL of `{}` returns no rows", wq.raw);
+        }
+    }
+}

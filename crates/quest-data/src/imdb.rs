@@ -1,0 +1,503 @@
+//! IMDB-shaped dataset: "a simple star schema but ... millions of instances"
+//! (paper §4). Seven tables centered on `movie`, scalable row counts, and a
+//! fixed set of anchor rows that the workload's gold SQL refers to.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use relstore::{Catalog, DataType, Database, Row, StoreError, Value};
+
+use crate::corpus::{COMPANY_STEMS, FIRST_NAMES, GENRES, LAST_NAMES, TITLE_WORDS};
+use crate::workload::{GoldSpec, GoldTerm, WorkloadQuery};
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct ImdbScale {
+    /// Number of generated movies (in addition to the anchors).
+    pub movies: usize,
+    /// RNG seed (same seed + scale = identical database).
+    pub seed: u64,
+}
+
+impl Default for ImdbScale {
+    fn default() -> Self {
+        ImdbScale { movies: 1_000, seed: 42 }
+    }
+}
+
+impl ImdbScale {
+    /// Scale with a given movie count and the default seed.
+    pub fn with_movies(movies: usize) -> ImdbScale {
+        ImdbScale { movies, ..Default::default() }
+    }
+}
+
+/// Build the IMDB-shaped schema.
+pub fn schema() -> Result<Catalog, StoreError> {
+    let mut c = Catalog::new();
+    c.define_table("person")?
+        .pk("id", DataType::Int)?
+        .col("name", DataType::Text)?
+        .col_opts("birth_year", DataType::Int, true, true)?
+        .finish();
+    c.define_table("genre")?
+        .pk("id", DataType::Int)?
+        .col("name", DataType::Text)?
+        .finish();
+    c.define_table("company")?
+        .pk("id", DataType::Int)?
+        .col("name", DataType::Text)?
+        .col("country", DataType::Text)?
+        .finish();
+    c.define_table("movie")?
+        .pk("id", DataType::Int)?
+        .col("title", DataType::Text)?
+        .col_opts("year", DataType::Int, true, true)?
+        .col_opts("rating", DataType::Float, true, false)?
+        .col_opts("director_id", DataType::Int, true, false)?
+        .finish();
+    c.define_table("cast_info")?
+        .pk("id", DataType::Int)?
+        .col_opts("movie_id", DataType::Int, false, false)?
+        .col_opts("person_id", DataType::Int, false, false)?
+        .col("role", DataType::Text)?
+        .finish();
+    c.define_table("movie_genre")?
+        .pk("id", DataType::Int)?
+        .col_opts("movie_id", DataType::Int, false, false)?
+        .col_opts("genre_id", DataType::Int, false, false)?
+        .finish();
+    c.define_table("movie_company")?
+        .pk("id", DataType::Int)?
+        .col_opts("movie_id", DataType::Int, false, false)?
+        .col_opts("company_id", DataType::Int, false, false)?
+        .finish();
+    c.add_foreign_key("movie", "director_id", "person")?;
+    c.add_foreign_key("cast_info", "movie_id", "movie")?;
+    c.add_foreign_key("cast_info", "person_id", "person")?;
+    c.add_foreign_key("movie_genre", "movie_id", "movie")?;
+    c.add_foreign_key("movie_genre", "genre_id", "genre")?;
+    c.add_foreign_key("movie_company", "movie_id", "movie")?;
+    c.add_foreign_key("movie_company", "company_id", "company")?;
+    Ok(c)
+}
+
+/// Generate the database at the given scale. Anchor rows (known movies,
+/// people, companies referenced by the workload) are always present.
+pub fn generate(scale: &ImdbScale) -> Result<Database, StoreError> {
+    generate_opts(scale, false)
+}
+
+/// Variant for the E8 ablation: the `movie.director_id` column is NULL
+/// everywhere, so the direct person↔movie join path is *empty in the
+/// instance* while the path through `cast_info` is fully populated. A
+/// mutual-information-weighted schema graph learns to avoid the dead FK; a
+/// uniformly weighted one prefers it (it is the shorter path).
+pub fn generate_sparse_directors(scale: &ImdbScale) -> Result<Database, StoreError> {
+    generate_opts(scale, true)
+}
+
+fn generate_opts(scale: &ImdbScale, sparse_directors: bool) -> Result<Database, StoreError> {
+    let mut db = Database::new(schema()?)?;
+    let mut rng = SmallRng::seed_from_u64(scale.seed);
+
+    // Genres: fixed, small.
+    for (i, g) in GENRES.iter().enumerate() {
+        db.insert("genre", Row::new(vec![(i as i64).into(), (*g).into()]))?;
+    }
+
+    // Companies.
+    for (i, stem) in COMPANY_STEMS.iter().enumerate() {
+        db.insert(
+            "company",
+            Row::new(vec![
+                (i as i64).into(),
+                format!("{stem} Pictures").into(),
+                "USA".into(),
+            ]),
+        )?;
+    }
+
+    // Anchor people (ids 0..4).
+    let anchors_people = [
+        "Victor Fleming",
+        "Michael Curtiz",
+        "Vivien Leigh",
+        "Humphrey Bogart",
+        "Ingrid Bergman",
+    ];
+    for (i, name) in anchors_people.iter().enumerate() {
+        db.insert(
+            "person",
+            Row::new(vec![(i as i64).into(), (*name).into(), (1890 + i as i64).into()]),
+        )?;
+    }
+    // Generated people.
+    let n_people = anchors_people.len() + scale.movies.max(1);
+    for i in anchors_people.len()..n_people {
+        let name = format!(
+            "{} {}",
+            FIRST_NAMES[rng.random_range(0..FIRST_NAMES.len())],
+            LAST_NAMES[rng.random_range(0..LAST_NAMES.len())]
+        );
+        let birth = 1880 + rng.random_range(0..100) as i64;
+        db.insert("person", Row::new(vec![(i as i64).into(), name.into(), birth.into()]))?;
+    }
+
+    // Anchor movies (ids 0..2).
+    let anchor_movies: [(&str, i64, f64, i64); 3] = [
+        ("Gone with the Wind", 1939, 8.2, 0),
+        ("Casablanca", 1942, 8.5, 1),
+        ("The Wizard of Oz", 1939, 8.1, 0),
+    ];
+    for (i, (title, year, rating, director)) in anchor_movies.iter().enumerate() {
+        let director_v = if sparse_directors { Value::Null } else { (*director).into() };
+        db.insert(
+            "movie",
+            Row::new(vec![
+                (i as i64).into(),
+                (*title).into(),
+                (*year).into(),
+                (*rating).into(),
+                director_v,
+            ]),
+        )?;
+    }
+    // Generated movies.
+    let first_gen = anchor_movies.len();
+    for i in first_gen..first_gen + scale.movies {
+        let title = compose_title(&mut rng);
+        let year = 1920 + rng.random_range(0..90) as i64;
+        let rating = (rng.random_range(10..100) as f64) / 10.0;
+        let director = if sparse_directors {
+            Value::Null
+        } else {
+            Value::Int(rng.random_range(0..n_people) as i64)
+        };
+        db.insert(
+            "movie",
+            Row::new(vec![
+                (i as i64).into(),
+                title.into(),
+                year.into(),
+                Value::float(rating),
+                director,
+            ]),
+        )?;
+    }
+    let n_movies = first_gen + scale.movies;
+
+    // Anchor cast: Leigh in Wind, Bogart & Bergman in Casablanca.
+    let mut cast_id: i64 = 0;
+    for (movie, person, role) in
+        [(0i64, 2i64, "Scarlett"), (1, 3, "Rick"), (1, 4, "Ilsa")]
+    {
+        db.insert(
+            "cast_info",
+            Row::new(vec![cast_id.into(), movie.into(), person.into(), role.into()]),
+        )?;
+        cast_id += 1;
+    }
+    // Generated cast: ~3 per movie.
+    for m in first_gen..n_movies {
+        for _ in 0..3 {
+            let p = rng.random_range(0..n_people) as i64;
+            let role = FIRST_NAMES[rng.random_range(0..FIRST_NAMES.len())];
+            db.insert(
+                "cast_info",
+                Row::new(vec![cast_id.into(), (m as i64).into(), p.into(), role.into()]),
+            )?;
+            cast_id += 1;
+        }
+    }
+
+    // Genres: anchors are Drama (0); generated movies get one random genre.
+    let mut mg_id: i64 = 0;
+    for (m, g) in [(0i64, 0i64), (1, 0), (2, 11)] {
+        db.insert("movie_genre", Row::new(vec![mg_id.into(), m.into(), g.into()]))?;
+        mg_id += 1;
+    }
+    for m in first_gen..n_movies {
+        let g = rng.random_range(0..GENRES.len()) as i64;
+        db.insert("movie_genre", Row::new(vec![mg_id.into(), (m as i64).into(), g.into()]))?;
+        mg_id += 1;
+    }
+
+    // Companies: Wind by Selznick (0); generated movies one random company.
+    let mut mc_id: i64 = 0;
+    db.insert("movie_company", Row::new(vec![mc_id.into(), 0.into(), 0.into()]))?;
+    mc_id += 1;
+    for m in first_gen..n_movies {
+        let comp = rng.random_range(0..COMPANY_STEMS.len()) as i64;
+        db.insert(
+            "movie_company",
+            Row::new(vec![mc_id.into(), (m as i64).into(), comp.into()]),
+        )?;
+        mc_id += 1;
+    }
+
+    db.finalize();
+    Ok(db)
+}
+
+fn compose_title(rng: &mut SmallRng) -> String {
+    let a = TITLE_WORDS[rng.random_range(0..TITLE_WORDS.len())];
+    let b = TITLE_WORDS[rng.random_range(0..TITLE_WORDS.len())];
+    match rng.random_range(0..3) {
+        0 => format!("The {a}"),
+        1 => format!("{a} of the {b}"),
+        _ => format!("The {a} {b}"),
+    }
+}
+
+/// The IMDB workload: 12 curated keyword queries with gold SQL, mixing
+/// single-table lookups, FK joins, many-to-many joins and schema-term
+/// keywords.
+pub fn workload() -> Vec<WorkloadQuery> {
+    vec![
+        // Q1: single value.
+        WorkloadQuery {
+            raw: "casablanca".into(),
+            gold: GoldSpec {
+                tables: vec!["movie".into()],
+                joins: vec![],
+                contains: vec![("movie".into(), "title".into(), "casablanca".into())],
+                terms: vec![GoldTerm::value("movie", "title")],
+            },
+        },
+        // Q2: phrase value.
+        WorkloadQuery {
+            raw: "\"gone with the wind\"".into(),
+            gold: GoldSpec {
+                tables: vec!["movie".into()],
+                joins: vec![],
+                contains: vec![("movie".into(), "title".into(), "gone wind".into())],
+                terms: vec![GoldTerm::value("movie", "title")],
+            },
+        },
+        // Q3: director join.
+        WorkloadQuery {
+            raw: "fleming wind".into(),
+            gold: GoldSpec {
+                tables: vec!["movie".into(), "person".into()],
+                joins: vec![("movie".into(), "director_id".into(), "person".into())],
+                contains: vec![
+                    ("person".into(), "name".into(), "fleming".into()),
+                    ("movie".into(), "title".into(), "wind".into()),
+                ],
+                terms: vec![
+                    GoldTerm::value("person", "name"),
+                    GoldTerm::value("movie", "title"),
+                ],
+            },
+        },
+        // Q4: actor join through cast_info (two hops).
+        WorkloadQuery {
+            raw: "leigh wind".into(),
+            gold: GoldSpec {
+                tables: vec!["movie".into(), "person".into(), "cast_info".into()],
+                joins: vec![
+                    ("cast_info".into(), "movie_id".into(), "movie".into()),
+                    ("cast_info".into(), "person_id".into(), "person".into()),
+                ],
+                contains: vec![
+                    ("person".into(), "name".into(), "leigh".into()),
+                    ("movie".into(), "title".into(), "wind".into()),
+                ],
+                terms: vec![
+                    GoldTerm::value("person", "name"),
+                    GoldTerm::value("movie", "title"),
+                ],
+            },
+        },
+        // Q5: schema terms only.
+        WorkloadQuery {
+            raw: "movie year".into(),
+            gold: GoldSpec {
+                tables: vec!["movie".into()],
+                joins: vec![],
+                contains: vec![],
+                terms: vec![GoldTerm::table("movie"), GoldTerm::attr("movie", "year")],
+            },
+        },
+        // Q6: genre join with a numeric value.
+        WorkloadQuery {
+            raw: "drama 1939".into(),
+            gold: GoldSpec {
+                tables: vec!["movie".into(), "genre".into(), "movie_genre".into()],
+                joins: vec![
+                    ("movie_genre".into(), "movie_id".into(), "movie".into()),
+                    ("movie_genre".into(), "genre_id".into(), "genre".into()),
+                ],
+                contains: vec![
+                    ("genre".into(), "name".into(), "drama".into()),
+                    ("movie".into(), "year".into(), "1939".into()),
+                ],
+                terms: vec![
+                    GoldTerm::value("genre", "name"),
+                    GoldTerm::value("movie", "year"),
+                ],
+            },
+        },
+        // Q7: production company join.
+        WorkloadQuery {
+            raw: "selznick wind".into(),
+            gold: GoldSpec {
+                tables: vec!["movie".into(), "company".into(), "movie_company".into()],
+                joins: vec![
+                    ("movie_company".into(), "movie_id".into(), "movie".into()),
+                    ("movie_company".into(), "company_id".into(), "company".into()),
+                ],
+                contains: vec![
+                    ("company".into(), "name".into(), "selznick".into()),
+                    ("movie".into(), "title".into(), "wind".into()),
+                ],
+                terms: vec![
+                    GoldTerm::value("company", "name"),
+                    GoldTerm::value("movie", "title"),
+                ],
+            },
+        },
+        // Q8: single person value.
+        WorkloadQuery {
+            raw: "curtiz".into(),
+            gold: GoldSpec {
+                tables: vec!["person".into()],
+                joins: vec![],
+                contains: vec![("person".into(), "name".into(), "curtiz".into())],
+                terms: vec![GoldTerm::value("person", "name")],
+            },
+        },
+        // Q9: synonym table term + value ("film" ~ "movie" via ontology).
+        WorkloadQuery {
+            raw: "film casablanca".into(),
+            gold: GoldSpec {
+                tables: vec!["movie".into()],
+                joins: vec![],
+                contains: vec![("movie".into(), "title".into(), "casablanca".into())],
+                terms: vec![GoldTerm::table("movie"), GoldTerm::value("movie", "title")],
+            },
+        },
+        // Q10: person value + attribute term crossing a join.
+        WorkloadQuery {
+            raw: "bergman title".into(),
+            gold: GoldSpec {
+                tables: vec!["movie".into(), "person".into(), "cast_info".into()],
+                joins: vec![
+                    ("cast_info".into(), "movie_id".into(), "movie".into()),
+                    ("cast_info".into(), "person_id".into(), "person".into()),
+                ],
+                contains: vec![("person".into(), "name".into(), "bergman".into())],
+                terms: vec![
+                    GoldTerm::value("person", "name"),
+                    GoldTerm::attr("movie", "title"),
+                ],
+            },
+        },
+        // Q11: ambiguous year (many movies share it) with a title word.
+        WorkloadQuery {
+            raw: "oz 1939".into(),
+            gold: GoldSpec {
+                tables: vec!["movie".into()],
+                joins: vec![],
+                contains: vec![
+                    ("movie".into(), "title".into(), "oz".into()),
+                    ("movie".into(), "year".into(), "1939".into()),
+                ],
+                terms: vec![
+                    GoldTerm::value("movie", "title"),
+                    GoldTerm::value("movie", "year"),
+                ],
+            },
+        },
+        // Q12: director attribute wording.
+        WorkloadQuery {
+            raw: "casablanca director".into(),
+            gold: GoldSpec {
+                tables: vec!["movie".into(), "person".into()],
+                joins: vec![("movie".into(), "director_id".into(), "person".into())],
+                contains: vec![("movie".into(), "title".into(), "casablanca".into())],
+                terms: vec![
+                    GoldTerm::value("movie", "title"),
+                    GoldTerm::attr("movie", "director_id"),
+                ],
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = generate(&ImdbScale { movies: 50, seed: 7 }).unwrap();
+        let b = generate(&ImdbScale { movies: 50, seed: 7 }).unwrap();
+        let movie = a.catalog().table_id("movie").unwrap();
+        assert_eq!(a.row_count(movie), b.row_count(movie));
+        let ta = a.table_data(movie);
+        let tb = b.table_data(movie);
+        for ((_, ra), (_, rb)) in ta.iter().zip(tb.iter()) {
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let small = generate(&ImdbScale { movies: 10, seed: 1 }).unwrap();
+        let large = generate(&ImdbScale { movies: 100, seed: 1 }).unwrap();
+        assert!(large.total_rows() > small.total_rows() * 5);
+        assert!(small.validate_foreign_keys().is_ok());
+    }
+
+    #[test]
+    fn anchors_present_at_any_scale() {
+        let db = generate(&ImdbScale { movies: 5, seed: 99 }).unwrap();
+        let title = db.catalog().attr_id("movie", "title").unwrap();
+        assert!(db.search_score(title, "casablanca") > 0.0);
+        assert!(db.search_score(title, "wind") > 0.0);
+        let name = db.catalog().attr_id("person", "name").unwrap();
+        assert!(db.search_score(name, "fleming") > 0.0);
+    }
+
+    #[test]
+    fn workload_is_well_formed_and_gold_is_nonempty() {
+        let db = generate(&ImdbScale { movies: 20, seed: 42 }).unwrap();
+        for wq in workload() {
+            assert!(wq.is_well_formed(), "arity mismatch in {}", wq.raw);
+            let stmt = wq.gold.to_statement(db.catalog()).unwrap();
+            let rs = relstore::sql::execute(&db, &stmt).unwrap();
+            assert!(!rs.is_empty(), "gold SQL of `{}` returns no rows", wq.raw);
+            wq.gold.to_configuration(db.catalog()).unwrap();
+        }
+    }
+
+    #[test]
+    fn sparse_variant_kills_director_path_only() {
+        let db = generate_sparse_directors(&ImdbScale { movies: 50, seed: 42 }).unwrap();
+        let c = db.catalog();
+        // The direct FK join person<-movie is empty...
+        let dir_fk = c
+            .foreign_keys()
+            .iter()
+            .find(|fk| c.attribute(fk.from).name == "director_id")
+            .copied()
+            .unwrap();
+        assert!(db.fk_stats(dir_fk).unwrap().is_empty_join());
+        // ...but the cast_info joins are populated.
+        let cast_fk = c
+            .foreign_keys()
+            .iter()
+            .find(|fk| c.attribute(fk.from).name == "person_id")
+            .copied()
+            .unwrap();
+        assert!(db.fk_stats(cast_fk).unwrap().pairs > 50);
+    }
+
+    #[test]
+    fn star_schema_shape() {
+        let c = schema().unwrap();
+        assert_eq!(c.table_count(), 7);
+        assert_eq!(c.foreign_keys().len(), 7);
+    }
+}

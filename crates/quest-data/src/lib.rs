@@ -1,0 +1,28 @@
+//! # quest-data — datasets, workloads and oracles for the QUEST demo
+//!
+//! Deterministic generators reproducing the *shape* of the three databases
+//! the paper demonstrates on (§4):
+//!
+//! * [`imdb`] — "a simple star schema but ... millions of instances":
+//!   7 tables around `movie`, scalable row counts;
+//! * [`mondial`] — "few instances but a very complex schema where tables are
+//!   connected through many paths": 15 tables of geographic facts;
+//! * [`dblp`] — "many instances ... in a non-trivial schema": authors,
+//!   publications, venues, authorship and citations.
+//!
+//! Each dataset ships a curated keyword [`workload`](crate::workload) with
+//! gold-standard SQL and gold keyword→term mappings, plus a synthetic
+//! [`oracle::FeedbackOracle`] that replays user validations (optionally
+//! noisy) into the engine's training path.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod dblp;
+pub mod imdb;
+pub mod mondial;
+pub mod oracle;
+pub mod workload;
+
+pub use oracle::FeedbackOracle;
+pub use workload::{GoldSpec, GoldTerm, WorkloadQuery};

@@ -1,0 +1,536 @@
+//! Mondial-shaped dataset: "few instances but a very complex schema where
+//! tables are connected through many paths" (paper §4). Fifteen tables of
+//! geographic facts; row counts are small and bounded by the corpora, but
+//! the join graph is dense (country is reachable from almost everywhere).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use relstore::{Catalog, DataType, Database, Row, StoreError};
+
+use crate::corpus::{CITIES, COUNTRIES, LANGUAGES, MOUNTAINS, ORGANIZATIONS, RELIGIONS, RIVERS};
+use crate::workload::{GoldSpec, GoldTerm, WorkloadQuery};
+
+/// Generation parameters (Mondial is small by nature; the seed only affects
+/// numeric facts and cross-references).
+#[derive(Debug, Clone)]
+pub struct MondialScale {
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MondialScale {
+    fn default() -> Self {
+        MondialScale { seed: 42 }
+    }
+}
+
+/// Build the Mondial-shaped schema (15 tables, 17 foreign keys).
+pub fn schema() -> Result<Catalog, StoreError> {
+    let mut c = Catalog::new();
+    c.define_table("country")?
+        .pk("code", DataType::Text)?
+        .col("name", DataType::Text)?
+        .col_opts("population", DataType::Int, true, false)?
+        .col_opts("area", DataType::Float, true, false)?
+        .finish();
+    c.define_table("province")?
+        .pk("id", DataType::Int)?
+        .col("name", DataType::Text)?
+        .col_opts("country_code", DataType::Text, false, false)?
+        .col_opts("population", DataType::Int, true, false)?
+        .finish();
+    c.define_table("city")?
+        .pk("id", DataType::Int)?
+        .col("name", DataType::Text)?
+        .col_opts("country_code", DataType::Text, false, false)?
+        .col_opts("province_id", DataType::Int, true, false)?
+        .col_opts("population", DataType::Int, true, false)?
+        .finish();
+    c.define_table("capital")?
+        .pk("id", DataType::Int)?
+        .col_opts("country_code", DataType::Text, false, false)?
+        .col_opts("city_id", DataType::Int, false, false)?
+        .finish();
+    c.define_table("organization")?
+        .pk("id", DataType::Int)?
+        .col("name", DataType::Text)?
+        .col("abbreviation", DataType::Text)?
+        .col_opts("established", DataType::Int, true, true)?
+        .finish();
+    c.define_table("is_member")?
+        .pk("id", DataType::Int)?
+        .col_opts("organization_id", DataType::Int, false, false)?
+        .col_opts("country_code", DataType::Text, false, false)?
+        .col("member_type", DataType::Text)?
+        .finish();
+    c.define_table("language")?
+        .pk("id", DataType::Int)?
+        .col("name", DataType::Text)?
+        .finish();
+    c.define_table("spoken")?
+        .pk("id", DataType::Int)?
+        .col_opts("language_id", DataType::Int, false, false)?
+        .col_opts("country_code", DataType::Text, false, false)?
+        .col_opts("percentage", DataType::Float, true, false)?
+        .finish();
+    c.define_table("religion")?
+        .pk("id", DataType::Int)?
+        .col("name", DataType::Text)?
+        .finish();
+    c.define_table("practiced")?
+        .pk("id", DataType::Int)?
+        .col_opts("religion_id", DataType::Int, false, false)?
+        .col_opts("country_code", DataType::Text, false, false)?
+        .col_opts("percentage", DataType::Float, true, false)?
+        .finish();
+    c.define_table("river")?
+        .pk("id", DataType::Int)?
+        .col("name", DataType::Text)?
+        .col_opts("length", DataType::Float, true, false)?
+        .finish();
+    c.define_table("flows_through")?
+        .pk("id", DataType::Int)?
+        .col_opts("river_id", DataType::Int, false, false)?
+        .col_opts("country_code", DataType::Text, false, false)?
+        .finish();
+    c.define_table("mountain")?
+        .pk("id", DataType::Int)?
+        .col("name", DataType::Text)?
+        .col_opts("height", DataType::Float, true, false)?
+        .finish();
+    c.define_table("located_in")?
+        .pk("id", DataType::Int)?
+        .col_opts("mountain_id", DataType::Int, false, false)?
+        .col_opts("country_code", DataType::Text, false, false)?
+        .finish();
+    c.define_table("borders")?
+        .pk("id", DataType::Int)?
+        .col_opts("country1", DataType::Text, false, false)?
+        .col_opts("country2", DataType::Text, false, false)?
+        .col_opts("length", DataType::Float, true, false)?
+        .finish();
+
+    c.add_foreign_key("province", "country_code", "country")?;
+    c.add_foreign_key("city", "country_code", "country")?;
+    c.add_foreign_key("city", "province_id", "province")?;
+    c.add_foreign_key("capital", "country_code", "country")?;
+    c.add_foreign_key("capital", "city_id", "city")?;
+    c.add_foreign_key("is_member", "organization_id", "organization")?;
+    c.add_foreign_key("is_member", "country_code", "country")?;
+    c.add_foreign_key("spoken", "language_id", "language")?;
+    c.add_foreign_key("spoken", "country_code", "country")?;
+    c.add_foreign_key("practiced", "religion_id", "religion")?;
+    c.add_foreign_key("practiced", "country_code", "country")?;
+    c.add_foreign_key("flows_through", "river_id", "river")?;
+    c.add_foreign_key("flows_through", "country_code", "country")?;
+    c.add_foreign_key("located_in", "mountain_id", "mountain")?;
+    c.add_foreign_key("located_in", "country_code", "country")?;
+    c.add_foreign_key("borders", "country1", "country")?;
+    c.add_foreign_key("borders", "country2", "country")?;
+    Ok(c)
+}
+
+/// Country code: first two letters, uppercased, disambiguated by index.
+fn code(name: &str, i: usize) -> String {
+    let base: String = name.chars().take(2).collect::<String>().to_uppercase();
+    format!("{base}{i:02}")
+}
+
+/// Generate the database.
+pub fn generate(scale: &MondialScale) -> Result<Database, StoreError> {
+    let mut db = Database::new(schema()?)?;
+    let mut rng = SmallRng::seed_from_u64(scale.seed);
+
+    let codes: Vec<String> = COUNTRIES
+        .iter()
+        .enumerate()
+        .map(|(i, n)| code(n, i))
+        .collect();
+
+    for (i, name) in COUNTRIES.iter().enumerate() {
+        let pop = 1_000_000 + rng.random_range(0..80_000_000) as i64;
+        let area = 10_000.0 + rng.random_range(0..500_000) as f64;
+        db.insert(
+            "country",
+            Row::new(vec![codes[i].clone().into(), (*name).into(), pop.into(), area.into()]),
+        )?;
+    }
+
+    // Two provinces per country.
+    let mut prov_id: i64 = 0;
+    let mut provinces_of: Vec<Vec<i64>> = vec![Vec::new(); COUNTRIES.len()];
+    for (ci, name) in COUNTRIES.iter().enumerate() {
+        for p in 0..2 {
+            let pname = format!("{name} Province {}", p + 1);
+            let pop = 100_000 + rng.random_range(0..5_000_000) as i64;
+            db.insert(
+                "province",
+                Row::new(vec![prov_id.into(), pname.into(), codes[ci].clone().into(), pop.into()]),
+            )?;
+            provinces_of[ci].push(prov_id);
+            prov_id += 1;
+        }
+    }
+
+    // Cities: distribute the corpus over countries round-robin; city 0 of
+    // each country becomes its capital.
+    let mut first_city_of: Vec<Option<i64>> = vec![None; COUNTRIES.len()];
+    for (i, cname) in CITIES.iter().enumerate() {
+        let city_id = i as i64;
+        let ci = i % COUNTRIES.len();
+        let prov = provinces_of[ci][i % 2];
+        let pop = 50_000 + rng.random_range(0..3_000_000) as i64;
+        db.insert(
+            "city",
+            Row::new(vec![
+                city_id.into(),
+                (*cname).into(),
+                codes[ci].clone().into(),
+                prov.into(),
+                pop.into(),
+            ]),
+        )?;
+        if first_city_of[ci].is_none() {
+            first_city_of[ci] = Some(city_id);
+        }
+    }
+    let mut cap_id: i64 = 0;
+    for (ci, city) in first_city_of.iter().enumerate() {
+        if let Some(city) = city {
+            db.insert(
+                "capital",
+                Row::new(vec![cap_id.into(), codes[ci].clone().into(), (*city).into()]),
+            )?;
+            cap_id += 1;
+        }
+    }
+
+    // Organizations and memberships.
+    for (i, (name, abbr)) in ORGANIZATIONS.iter().enumerate() {
+        let est = 1900 + rng.random_range(0..99) as i64;
+        db.insert(
+            "organization",
+            Row::new(vec![(i as i64).into(), (*name).into(), (*abbr).into(), est.into()]),
+        )?;
+    }
+    let mut mem_id: i64 = 0;
+    // Workload anchor: Italy (index 0) is a NATO (index 2) member.
+    db.insert(
+        "is_member",
+        Row::new(vec![mem_id.into(), 2.into(), codes[0].clone().into(), "member".into()]),
+    )?;
+    mem_id += 1;
+    for (oi, _) in ORGANIZATIONS.iter().enumerate() {
+        for (ci, _) in COUNTRIES.iter().enumerate() {
+            if (oi, ci) == (2, 0) {
+                continue; // anchor already inserted
+            }
+            if rng.random_range(0..100) < 55 {
+                db.insert(
+                    "is_member",
+                    Row::new(vec![
+                        mem_id.into(),
+                        (oi as i64).into(),
+                        codes[ci].clone().into(),
+                        "member".into(),
+                    ]),
+                )?;
+                mem_id += 1;
+            }
+        }
+    }
+
+    // Languages / spoken.
+    for (i, l) in LANGUAGES.iter().enumerate() {
+        db.insert("language", Row::new(vec![(i as i64).into(), (*l).into()]))?;
+    }
+    let mut spoken_id: i64 = 0;
+    // Workload anchor: Italian (index 0) is spoken in Spain (index 1).
+    db.insert(
+        "spoken",
+        Row::new(vec![spoken_id.into(), 0.into(), codes[1].clone().into(), 5.0.into()]),
+    )?;
+    spoken_id += 1;
+    for (ci, _) in COUNTRIES.iter().enumerate() {
+        // Primary language aligned by index, plus one random minority.
+        for (li, pct) in [(ci % LANGUAGES.len(), 80.0), (rng.random_range(0..LANGUAGES.len()), 10.0)] {
+            db.insert(
+                "spoken",
+                Row::new(vec![
+                    spoken_id.into(),
+                    (li as i64).into(),
+                    codes[ci].clone().into(),
+                    pct.into(),
+                ]),
+            )?;
+            spoken_id += 1;
+        }
+    }
+
+    // Religions / practiced.
+    for (i, r) in RELIGIONS.iter().enumerate() {
+        db.insert("religion", Row::new(vec![(i as i64).into(), (*r).into()]))?;
+    }
+    for (ci, _) in COUNTRIES.iter().enumerate() {
+        let prac_id = ci as i64;
+        let ri = ci % RELIGIONS.len();
+        db.insert(
+            "practiced",
+            Row::new(vec![
+                prac_id.into(),
+                (ri as i64).into(),
+                codes[ci].clone().into(),
+                (50.0 + rng.random_range(0..45) as f64).into(),
+            ]),
+        )?;
+    }
+
+    // Rivers flow through 1-3 countries.
+    for (i, r) in RIVERS.iter().enumerate() {
+        let len = 200.0 + rng.random_range(0..2800) as f64;
+        db.insert("river", Row::new(vec![(i as i64).into(), (*r).into(), len.into()]))?;
+    }
+    let mut flow_id: i64 = 0;
+    for (ri, _) in RIVERS.iter().enumerate() {
+        let n = 1 + rng.random_range(0..3);
+        for _ in 0..n {
+            let ci = rng.random_range(0..COUNTRIES.len());
+            db.insert(
+                "flows_through",
+                Row::new(vec![flow_id.into(), (ri as i64).into(), codes[ci].clone().into()]),
+            )?;
+            flow_id += 1;
+        }
+    }
+    // The Po flows through Italy, deterministically (workload anchor).
+    db.insert(
+        "flows_through",
+        Row::new(vec![flow_id.into(), 0.into(), codes[0].clone().into()]),
+    )?;
+
+    // Mountains.
+    for (i, m) in MOUNTAINS.iter().enumerate() {
+        let h = 1000.0 + rng.random_range(0..4000) as f64;
+        db.insert("mountain", Row::new(vec![(i as i64).into(), (*m).into(), h.into()]))?;
+    }
+    let mut loc_id: i64 = 0;
+    for (mi, _) in MOUNTAINS.iter().enumerate() {
+        let ci = mi % COUNTRIES.len();
+        db.insert(
+            "located_in",
+            Row::new(vec![loc_id.into(), (mi as i64).into(), codes[ci].clone().into()]),
+        )?;
+        loc_id += 1;
+    }
+    // Etna (index 2) is in Italy (index 0), deterministically.
+    db.insert(
+        "located_in",
+        Row::new(vec![loc_id.into(), 2.into(), codes[0].clone().into()]),
+    )?;
+
+    // Borders: ring topology plus a few chords.
+    for ci in 0..COUNTRIES.len() {
+        let b_id = ci as i64;
+        let cj = (ci + 1) % COUNTRIES.len();
+        db.insert(
+            "borders",
+            Row::new(vec![
+                b_id.into(),
+                codes[ci].clone().into(),
+                codes[cj].clone().into(),
+                (50.0 + rng.random_range(0..1500) as f64).into(),
+            ]),
+        )?;
+    }
+
+    db.finalize();
+    Ok(db)
+}
+
+/// The Mondial workload: 10 queries exercising the dense join graph.
+pub fn workload() -> Vec<WorkloadQuery> {
+    vec![
+        WorkloadQuery {
+            raw: "italy".into(),
+            gold: GoldSpec {
+                tables: vec!["country".into()],
+                joins: vec![],
+                contains: vec![("country".into(), "name".into(), "italy".into())],
+                terms: vec![GoldTerm::value("country", "name")],
+            },
+        },
+        WorkloadQuery {
+            raw: "modena italy".into(),
+            gold: GoldSpec {
+                tables: vec!["city".into(), "country".into()],
+                joins: vec![("city".into(), "country_code".into(), "country".into())],
+                contains: vec![
+                    ("city".into(), "name".into(), "modena".into()),
+                    ("country".into(), "name".into(), "italy".into()),
+                ],
+                terms: vec![
+                    GoldTerm::value("city", "name"),
+                    GoldTerm::value("country", "name"),
+                ],
+            },
+        },
+        WorkloadQuery {
+            raw: "po italy".into(),
+            gold: GoldSpec {
+                tables: vec!["river".into(), "flows_through".into(), "country".into()],
+                joins: vec![
+                    ("flows_through".into(), "river_id".into(), "river".into()),
+                    ("flows_through".into(), "country_code".into(), "country".into()),
+                ],
+                contains: vec![
+                    ("river".into(), "name".into(), "po".into()),
+                    ("country".into(), "name".into(), "italy".into()),
+                ],
+                terms: vec![
+                    GoldTerm::value("river", "name"),
+                    GoldTerm::value("country", "name"),
+                ],
+            },
+        },
+        WorkloadQuery {
+            raw: "etna italy".into(),
+            gold: GoldSpec {
+                tables: vec!["mountain".into(), "located_in".into(), "country".into()],
+                joins: vec![
+                    ("located_in".into(), "mountain_id".into(), "mountain".into()),
+                    ("located_in".into(), "country_code".into(), "country".into()),
+                ],
+                contains: vec![
+                    ("mountain".into(), "name".into(), "etna".into()),
+                    ("country".into(), "name".into(), "italy".into()),
+                ],
+                terms: vec![
+                    GoldTerm::value("mountain", "name"),
+                    GoldTerm::value("country", "name"),
+                ],
+            },
+        },
+        WorkloadQuery {
+            raw: "italian spain".into(),
+            gold: GoldSpec {
+                tables: vec!["language".into(), "spoken".into(), "country".into()],
+                joins: vec![
+                    ("spoken".into(), "language_id".into(), "language".into()),
+                    ("spoken".into(), "country_code".into(), "country".into()),
+                ],
+                contains: vec![
+                    ("language".into(), "name".into(), "italian".into()),
+                    ("country".into(), "name".into(), "spain".into()),
+                ],
+                terms: vec![
+                    GoldTerm::value("language", "name"),
+                    GoldTerm::value("country", "name"),
+                ],
+            },
+        },
+        WorkloadQuery {
+            raw: "country population".into(),
+            gold: GoldSpec {
+                tables: vec!["country".into()],
+                joins: vec![],
+                contains: vec![],
+                terms: vec![
+                    GoldTerm::table("country"),
+                    GoldTerm::attr("country", "population"),
+                ],
+            },
+        },
+        WorkloadQuery {
+            raw: "nato italy".into(),
+            gold: GoldSpec {
+                tables: vec!["organization".into(), "is_member".into(), "country".into()],
+                joins: vec![
+                    ("is_member".into(), "organization_id".into(), "organization".into()),
+                    ("is_member".into(), "country_code".into(), "country".into()),
+                ],
+                contains: vec![
+                    ("organization".into(), "abbreviation".into(), "nato".into()),
+                    ("country".into(), "name".into(), "italy".into()),
+                ],
+                terms: vec![
+                    GoldTerm::value("organization", "abbreviation"),
+                    GoldTerm::value("country", "name"),
+                ],
+            },
+        },
+        WorkloadQuery {
+            raw: "catholic italy".into(),
+            gold: GoldSpec {
+                tables: vec!["religion".into(), "practiced".into(), "country".into()],
+                joins: vec![
+                    ("practiced".into(), "religion_id".into(), "religion".into()),
+                    ("practiced".into(), "country_code".into(), "country".into()),
+                ],
+                contains: vec![
+                    ("religion".into(), "name".into(), "catholic".into()),
+                    ("country".into(), "name".into(), "italy".into()),
+                ],
+                terms: vec![
+                    GoldTerm::value("religion", "name"),
+                    GoldTerm::value("country", "name"),
+                ],
+            },
+        },
+        WorkloadQuery {
+            raw: "city nation".into(),
+            gold: GoldSpec {
+                tables: vec!["city".into(), "country".into()],
+                joins: vec![("city".into(), "country_code".into(), "country".into())],
+                contains: vec![],
+                terms: vec![GoldTerm::table("city"), GoldTerm::table("country")],
+            },
+        },
+        WorkloadQuery {
+            raw: "river length".into(),
+            gold: GoldSpec {
+                tables: vec!["river".into()],
+                joins: vec![],
+                contains: vec![],
+                terms: vec![GoldTerm::table("river"), GoldTerm::attr("river", "length")],
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_schema_shape() {
+        let c = schema().unwrap();
+        assert_eq!(c.table_count(), 15);
+        assert_eq!(c.foreign_keys().len(), 17);
+    }
+
+    #[test]
+    fn small_instance_many_paths() {
+        let db = generate(&MondialScale::default()).unwrap();
+        // Few rows overall, per the paper's description of Mondial.
+        assert!(db.total_rows() < 1_000, "rows = {}", db.total_rows());
+        assert!(db.validate_foreign_keys().is_ok());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&MondialScale { seed: 3 }).unwrap();
+        let b = generate(&MondialScale { seed: 3 }).unwrap();
+        assert_eq!(a.total_rows(), b.total_rows());
+    }
+
+    #[test]
+    fn workload_gold_queries_return_rows() {
+        let db = generate(&MondialScale::default()).unwrap();
+        for wq in workload() {
+            assert!(wq.is_well_formed(), "arity mismatch in {}", wq.raw);
+            let stmt = wq.gold.to_statement(db.catalog()).unwrap();
+            let rs = relstore::sql::execute(&db, &stmt).unwrap();
+            assert!(!rs.is_empty(), "gold SQL of `{}` returns no rows", wq.raw);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! A synthetic user-feedback oracle.
+//!
+//! The paper's feedback-based mode trains on "previous searches validated by
+//! the user" through the demo GUI. Offline, this oracle plays the user: for
+//! each workload query it emits the gold configuration as positive feedback
+//! — except with probability `noise`, when it corrupts one mapping (an
+//! imperfect user clicking the wrong explanation). The engine's training
+//! path is identical either way.
+
+use quest_core::forward::Configuration;
+use quest_core::term::DbTerm;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use relstore::Catalog;
+
+use crate::workload::WorkloadQuery;
+
+/// The feedback oracle.
+#[derive(Debug, Clone)]
+pub struct FeedbackOracle {
+    noise: f64,
+    rng: SmallRng,
+}
+
+impl FeedbackOracle {
+    /// Oracle with a corruption probability in [0, 1].
+    pub fn new(noise: f64, seed: u64) -> FeedbackOracle {
+        FeedbackOracle {
+            noise: noise.clamp(0.0, 1.0),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A perfectly reliable oracle.
+    pub fn perfect(seed: u64) -> FeedbackOracle {
+        FeedbackOracle::new(0.0, seed)
+    }
+
+    /// Produce one feedback configuration for a workload query. The bool is
+    /// the *truth*: whether the emitted configuration equals the gold one
+    /// (callers report it as positive feedback either way — a noisy user
+    /// believes their clicks).
+    pub fn feedback_for(
+        &mut self,
+        catalog: &Catalog,
+        query: &WorkloadQuery,
+    ) -> (Configuration, bool) {
+        let gold = query
+            .gold
+            .to_configuration(catalog)
+            .expect("workload gold resolves against its own catalog");
+        if self.rng.random_range(0.0..1.0) >= self.noise {
+            return (gold, true);
+        }
+        // Corrupt one mapping: replace a random position with a random
+        // other attribute's domain term.
+        let mut terms = gold.terms.clone();
+        if terms.is_empty() || catalog.attribute_count() == 0 {
+            return (gold, true);
+        }
+        let pos = self.rng.random_range(0..terms.len());
+        let attr_n = catalog.attribute_count();
+        let pick = relstore::AttrId(self.rng.random_range(0..attr_n) as u32);
+        let corrupted = DbTerm::Domain(pick);
+        let changed = terms[pos] != corrupted;
+        terms[pos] = corrupted;
+        (Configuration::new(terms, 1.0), !changed)
+    }
+
+    /// Stream `n` rounds of feedback over a workload (cycling through it).
+    pub fn stream(
+        &mut self,
+        catalog: &Catalog,
+        workload: &[WorkloadQuery],
+        n: usize,
+    ) -> Vec<(usize, Configuration, bool)> {
+        (0..n)
+            .map(|i| {
+                let qi = i % workload.len();
+                let (cfg, clean) = self.feedback_for(catalog, &workload[qi]);
+                (qi, cfg, clean)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imdb;
+
+    #[test]
+    fn perfect_oracle_emits_gold() {
+        let db = imdb::generate(&imdb::ImdbScale { movies: 10, seed: 1 }).unwrap();
+        let wl = imdb::workload();
+        let mut o = FeedbackOracle::perfect(7);
+        for wq in &wl {
+            let (cfg, clean) = o.feedback_for(db.catalog(), wq);
+            assert!(clean);
+            let gold = wq.gold.to_configuration(db.catalog()).unwrap();
+            assert_eq!(cfg.terms, gold.terms);
+        }
+    }
+
+    #[test]
+    fn noisy_oracle_corrupts_sometimes() {
+        let db = imdb::generate(&imdb::ImdbScale { movies: 10, seed: 1 }).unwrap();
+        let wl = imdb::workload();
+        let mut o = FeedbackOracle::new(0.5, 11);
+        let fb = o.stream(db.catalog(), &wl, 100);
+        let dirty = fb.iter().filter(|(_, _, clean)| !clean).count();
+        assert!(dirty > 20, "expected corruption near 50%, got {dirty}/100");
+        assert!(dirty < 80);
+    }
+
+    #[test]
+    fn stream_cycles_queries() {
+        let db = imdb::generate(&imdb::ImdbScale { movies: 10, seed: 1 }).unwrap();
+        let wl = imdb::workload();
+        let mut o = FeedbackOracle::perfect(3);
+        let fb = o.stream(db.catalog(), &wl, wl.len() * 2);
+        assert_eq!(fb.len(), wl.len() * 2);
+        assert_eq!(fb[0].0, fb[wl.len()].0);
+    }
+}

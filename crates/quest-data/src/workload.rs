@@ -1,0 +1,225 @@
+//! Keyword workloads with gold-standard SQL.
+//!
+//! Every dataset ships a workload: keyword queries paired with the SQL the
+//! user *meant* (a [`GoldSpec`]) and the keyword→term mapping behind it
+//! (the gold configuration, used by the feedback oracle). Specs are written
+//! against table/attribute *names* and resolved against a catalog, so they
+//! survive generator changes that do not rename schema elements.
+
+use quest_core::forward::Configuration;
+use quest_core::term::DbTerm;
+use quest_core::KeywordQuery;
+use relstore::index::normalize_keyword;
+use relstore::sql::{JoinCondition, Predicate, Projection, SelectStatement};
+use relstore::{Catalog, StoreError};
+
+/// What one keyword is supposed to mean.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GoldTerm {
+    /// The keyword is a value of `table.attr`.
+    Value(String, String),
+    /// The keyword names the attribute `table.attr`.
+    Attr(String, String),
+    /// The keyword names the table.
+    Table(String),
+}
+
+impl GoldTerm {
+    /// Shorthand constructor for a value term.
+    pub fn value(table: &str, attr: &str) -> GoldTerm {
+        GoldTerm::Value(table.into(), attr.into())
+    }
+
+    /// Shorthand constructor for an attribute term.
+    pub fn attr(table: &str, attr: &str) -> GoldTerm {
+        GoldTerm::Attr(table.into(), attr.into())
+    }
+
+    /// Shorthand constructor for a table term.
+    pub fn table(table: &str) -> GoldTerm {
+        GoldTerm::Table(table.into())
+    }
+
+    /// Resolve to a [`DbTerm`].
+    pub fn resolve(&self, catalog: &Catalog) -> Result<DbTerm, StoreError> {
+        Ok(match self {
+            GoldTerm::Value(t, a) => DbTerm::Domain(catalog.attr_id(t, a)?),
+            GoldTerm::Attr(t, a) => DbTerm::Attribute(catalog.attr_id(t, a)?),
+            GoldTerm::Table(t) => DbTerm::Table(catalog.table_id(t)?),
+        })
+    }
+}
+
+/// The intended SQL of one workload query, by names.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GoldSpec {
+    /// FROM tables.
+    pub tables: Vec<String>,
+    /// Joins as `(table, fk_attr, referenced_table)` — the referenced side
+    /// is that table's primary key.
+    pub joins: Vec<(String, String, String)>,
+    /// Contains predicates as `(table, attr, raw keyword)`.
+    pub contains: Vec<(String, String, String)>,
+    /// Gold keyword→term mapping, aligned with the parsed keywords.
+    pub terms: Vec<GoldTerm>,
+}
+
+impl GoldSpec {
+    /// Resolve the intended SQL against a catalog.
+    pub fn to_statement(&self, catalog: &Catalog) -> Result<SelectStatement, StoreError> {
+        let from = self
+            .tables
+            .iter()
+            .map(|t| catalog.table_id(t))
+            .collect::<Result<Vec<_>, _>>()?;
+        let joins = self
+            .joins
+            .iter()
+            .map(|(t, a, to)| {
+                let left = catalog.attr_id(t, a)?;
+                let to_tid = catalog.table_id(to)?;
+                let right = catalog.single_pk(to_tid).ok_or_else(|| {
+                    StoreError::InvalidSchema(format!("{to} lacks a single-attribute pk"))
+                })?;
+                Ok(JoinCondition { left, right })
+            })
+            .collect::<Result<Vec<_>, StoreError>>()?;
+        let predicates = self
+            .contains
+            .iter()
+            .map(|(t, a, kw)| {
+                Ok(Predicate::Contains {
+                    attr: catalog.attr_id(t, a)?,
+                    keyword: normalize_keyword(kw).unwrap_or_else(|| kw.clone()),
+                })
+            })
+            .collect::<Result<Vec<_>, StoreError>>()?;
+        Ok(SelectStatement {
+            projection: Projection::Star,
+            from,
+            joins,
+            predicates,
+            distinct: true,
+            limit: None,
+        })
+    }
+
+    /// Resolve the gold configuration (score 1.0) against a catalog.
+    pub fn to_configuration(&self, catalog: &Catalog) -> Result<Configuration, StoreError> {
+        let terms = self
+            .terms
+            .iter()
+            .map(|g| g.resolve(catalog))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Configuration::new(terms, 1.0))
+    }
+}
+
+/// One workload entry: the raw keyword query plus its gold spec.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// The keyword query as a user would type it.
+    pub raw: String,
+    /// What the user meant.
+    pub gold: GoldSpec,
+}
+
+impl WorkloadQuery {
+    /// Parse the raw query (must be valid; workloads are curated).
+    pub fn parse(&self) -> KeywordQuery {
+        KeywordQuery::parse(&self.raw).expect("workload queries are curated to parse")
+    }
+
+    /// Check the gold term list matches the parsed keyword arity.
+    pub fn is_well_formed(&self) -> bool {
+        match KeywordQuery::parse(&self.raw) {
+            Ok(q) => q.len() == self.gold.terms.len(),
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::DataType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.define_table("person")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("name", DataType::Text)
+            .unwrap()
+            .finish();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .col_opts("director_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("movie", "director_id", "person").unwrap();
+        c
+    }
+
+    fn spec() -> GoldSpec {
+        GoldSpec {
+            tables: vec!["movie".into(), "person".into()],
+            joins: vec![("movie".into(), "director_id".into(), "person".into())],
+            contains: vec![
+                ("movie".into(), "title".into(), "Wind".into()),
+                ("person".into(), "name".into(), "Fleming".into()),
+            ],
+            terms: vec![
+                GoldTerm::value("movie", "title"),
+                GoldTerm::value("person", "name"),
+            ],
+        }
+    }
+
+    #[test]
+    fn spec_resolves_to_statement() {
+        let c = catalog();
+        let stmt = spec().to_statement(&c).unwrap();
+        assert_eq!(stmt.from.len(), 2);
+        assert_eq!(stmt.joins.len(), 1);
+        assert_eq!(stmt.predicates.len(), 2);
+        // Keywords are normalized in predicates.
+        match &stmt.predicates[1] {
+            Predicate::Contains { keyword, .. } => assert_eq!(keyword, "flem"),
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_resolves_to_configuration() {
+        let c = catalog();
+        let cfg = spec().to_configuration(&c).unwrap();
+        assert_eq!(cfg.terms.len(), 2);
+        assert!(matches!(cfg.terms[0], DbTerm::Domain(_)));
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let c = catalog();
+        let mut s = spec();
+        s.tables.push("ghost".into());
+        assert!(s.to_statement(&c).is_err());
+    }
+
+    #[test]
+    fn well_formedness_checks_arity() {
+        let wq = WorkloadQuery { raw: "wind fleming".into(), gold: spec() };
+        assert!(wq.is_well_formed());
+        let wq = WorkloadQuery { raw: "wind".into(), gold: spec() };
+        assert!(!wq.is_well_formed());
+        assert_eq!(
+            WorkloadQuery { raw: "wind fleming".into(), gold: spec() }.parse().len(),
+            2
+        );
+    }
+}

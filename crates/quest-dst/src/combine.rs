@@ -1,0 +1,183 @@
+//! Dempster's rule of combination.
+//!
+//! "The Dempster's rule of combination allows the aggregation of two
+//! independent bodies of evidence with the respective degree of uncertainty
+//! into one body of evidence" (paper §2).
+
+use std::collections::HashMap;
+
+use crate::frame::{DstError, FocalSet};
+use crate::mass::MassFunction;
+
+/// Result of combining two mass functions.
+#[derive(Debug, Clone)]
+pub struct Combination {
+    /// The combined, normalized mass function.
+    pub mass: MassFunction,
+    /// The conflict `K`: total mass of contradictory focal pairs.
+    pub conflict: f64,
+}
+
+/// Combine two normalized mass functions with Dempster's rule:
+///
+/// `m(C) = Σ_{A∩B=C, C≠∅} m1(A)·m2(B) / (1 − K)` with
+/// `K = Σ_{A∩B=∅} m1(A)·m2(B)`.
+///
+/// Errors on frame mismatch or total conflict (`K = 1`).
+pub fn dempster_combine(
+    m1: &MassFunction,
+    m2: &MassFunction,
+) -> Result<Combination, DstError> {
+    if m1.frame() != m2.frame() {
+        return Err(DstError::FrameMismatch);
+    }
+    let mut combined: HashMap<FocalSet, f64> = HashMap::new();
+    let mut conflict = 0.0;
+    for (a, ma) in m1.focal_sets() {
+        for (b, mb) in m2.focal_sets() {
+            let c = a.intersect(b);
+            let w = ma * mb;
+            if c.is_empty() {
+                conflict += w;
+            } else {
+                *combined.entry(c).or_insert(0.0) += w;
+            }
+        }
+    }
+    let norm = 1.0 - conflict;
+    if norm <= f64::EPSILON {
+        return Err(DstError::TotalConflict);
+    }
+    let mut out = MassFunction::new(m1.frame());
+    for (set, m) in combined {
+        out.add_evidence(set, m / norm)?;
+    }
+    Ok(Combination { mass: out, conflict })
+}
+
+/// Fold a sequence of mass functions with Dempster's rule (associative and
+/// commutative, so the fold order does not matter).
+pub fn dempster_combine_all(ms: &[MassFunction]) -> Result<Combination, DstError> {
+    let mut iter = ms.iter();
+    let Some(first) = iter.next() else {
+        return Err(DstError::ZeroMass);
+    };
+    let mut acc = Combination { mass: first.clone(), conflict: 0.0 };
+    for m in iter {
+        let step = dempster_combine(&acc.mass, m)?;
+        // Report the maximum pairwise conflict encountered along the fold.
+        acc = Combination {
+            mass: step.mass,
+            conflict: acc.conflict.max(step.conflict),
+        };
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Frame;
+
+    fn frame() -> Frame {
+        Frame::new(3).unwrap()
+    }
+
+    fn singleton_mass(weights: &[(usize, f64)], uncertainty: f64) -> MassFunction {
+        let mut m = MassFunction::new(frame());
+        for &(i, w) in weights {
+            m.add_singleton(i, w).unwrap();
+        }
+        m.set_uncertainty(uncertainty).unwrap();
+        m
+    }
+
+    #[test]
+    fn agreement_reinforces() {
+        let m1 = singleton_mass(&[(0, 0.8), (1, 0.2)], 0.0);
+        let m2 = singleton_mass(&[(0, 0.7), (1, 0.3)], 0.0);
+        let c = dempster_combine(&m1, &m2).unwrap();
+        let p0 = c.mass.mass(frame().singleton(0).unwrap());
+        // 0.56 / (0.56 + 0.06) ≈ 0.903: agreement sharpens the consensus.
+        assert!((p0 - 0.56 / 0.62).abs() < 1e-12);
+        assert!(p0 > 0.8);
+        assert!((c.conflict - (0.8 * 0.3 + 0.2 * 0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vacuous_is_identity() {
+        let m = singleton_mass(&[(0, 0.6), (2, 0.4)], 0.1);
+        let v = MassFunction::vacuous(frame());
+        let c = dempster_combine(&m, &v).unwrap();
+        for s in [0b001u64, 0b100, 0b111] {
+            assert!((c.mass.mass(FocalSet(s)) - m.mass(FocalSet(s))).abs() < 1e-12);
+        }
+        assert_eq!(c.conflict, 0.0);
+    }
+
+    #[test]
+    fn commutative() {
+        let m1 = singleton_mass(&[(0, 0.5), (1, 0.5)], 0.2);
+        let m2 = singleton_mass(&[(1, 0.9), (2, 0.1)], 0.3);
+        let ab = dempster_combine(&m1, &m2).unwrap();
+        let ba = dempster_combine(&m2, &m1).unwrap();
+        for s in 1..8u64 {
+            assert!(
+                (ab.mass.mass(FocalSet(s)) - ba.mass.mass(FocalSet(s))).abs() < 1e-12,
+                "set {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn total_conflict_detected() {
+        let m1 = singleton_mass(&[(0, 1.0)], 0.0);
+        let m2 = singleton_mass(&[(1, 1.0)], 0.0);
+        assert_eq!(dempster_combine(&m1, &m2).unwrap_err(), DstError::TotalConflict);
+        // Any ignorance resolves the conflict.
+        let m2 = singleton_mass(&[(1, 1.0)], 0.1);
+        let c = dempster_combine(&m1, &m2).unwrap();
+        assert!((c.mass.mass(frame().singleton(0).unwrap()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frame_mismatch_rejected() {
+        let m1 = MassFunction::vacuous(Frame::new(2).unwrap());
+        let m2 = MassFunction::vacuous(Frame::new(3).unwrap());
+        assert_eq!(dempster_combine(&m1, &m2).unwrap_err(), DstError::FrameMismatch);
+    }
+
+    #[test]
+    fn combined_mass_is_normalized() {
+        let m1 = singleton_mass(&[(0, 0.3), (1, 0.4), (2, 0.3)], 0.25);
+        let m2 = singleton_mass(&[(0, 0.5), (2, 0.5)], 0.5);
+        let c = dempster_combine(&m1, &m2).unwrap();
+        assert!((c.mass.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fold_of_three_sources() {
+        let ms = vec![
+            singleton_mass(&[(0, 0.6), (1, 0.4)], 0.2),
+            singleton_mass(&[(0, 0.5), (2, 0.5)], 0.3),
+            singleton_mass(&[(0, 0.7), (1, 0.3)], 0.4),
+        ];
+        let c = dempster_combine_all(&ms).unwrap();
+        assert!((c.mass.total_mass() - 1.0).abs() < 1e-9);
+        // Element 0 is supported by all three sources and must dominate.
+        let p: Vec<f64> = (0..3).map(|i| c.mass.pignistic(i).unwrap()).collect();
+        assert!(p[0] > p[1] && p[0] > p[2]);
+        assert!(dempster_combine_all(&[]).is_err());
+    }
+
+    #[test]
+    fn uncertainty_weights_source_influence() {
+        // The same evidence with more ignorance moves the result less.
+        let strong = singleton_mass(&[(0, 1.0)], 0.1);
+        let weak = singleton_mass(&[(1, 1.0)], 0.8);
+        let c = dempster_combine(&strong, &weak).unwrap();
+        let p0 = c.mass.pignistic(0).unwrap();
+        let p1 = c.mass.pignistic(1).unwrap();
+        assert!(p0 > p1, "confident source should dominate: {p0} vs {p1}");
+    }
+}

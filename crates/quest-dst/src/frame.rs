@@ -1,0 +1,184 @@
+//! Frames of discernment and focal sets.
+//!
+//! A frame holds up to 64 base elements (QUEST's frames are small: the union
+//! of two top-k lists), so focal sets are `u64` bitmasks.
+
+use std::fmt;
+
+/// Maximum number of base elements in a frame.
+pub const MAX_ELEMENTS: usize = 64;
+
+/// A frame of discernment: `n` distinguishable hypotheses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    n: usize,
+}
+
+impl Frame {
+    /// Frame with `n` elements (1..=64).
+    pub fn new(n: usize) -> Result<Frame, DstError> {
+        if n == 0 || n > MAX_ELEMENTS {
+            return Err(DstError::BadFrameSize(n));
+        }
+        Ok(Frame { n })
+    }
+
+    /// Number of base elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Frames are never empty; kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The universe Θ as a bitmask.
+    pub fn universe(&self) -> FocalSet {
+        if self.n == 64 {
+            FocalSet(u64::MAX)
+        } else {
+            FocalSet((1u64 << self.n) - 1)
+        }
+    }
+
+    /// Singleton set for element `i`.
+    pub fn singleton(&self, i: usize) -> Result<FocalSet, DstError> {
+        if i >= self.n {
+            return Err(DstError::ElementOutOfRange { index: i, frame: self.n });
+        }
+        Ok(FocalSet(1u64 << i))
+    }
+
+    /// Whether `set` is within this frame.
+    pub fn contains(&self, set: FocalSet) -> bool {
+        set.0 & !self.universe().0 == 0
+    }
+}
+
+/// A subset of a frame, as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FocalSet(pub u64);
+
+impl FocalSet {
+    /// The empty set.
+    pub const EMPTY: FocalSet = FocalSet(0);
+
+    /// Set intersection.
+    pub fn intersect(self, other: FocalSet) -> FocalSet {
+        FocalSet(self.0 & other.0)
+    }
+
+    /// Set union.
+    pub fn union(self, other: FocalSet) -> FocalSet {
+        FocalSet(self.0 | other.0)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of elements.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(self, other: FocalSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether element `i` is in the set.
+    pub fn contains_element(self, i: usize) -> bool {
+        i < 64 && self.0 & (1u64 << i) != 0
+    }
+
+    /// Iterate over element indexes.
+    pub fn elements(self) -> impl Iterator<Item = usize> {
+        (0..64).filter(move |i| self.0 & (1u64 << i) != 0)
+    }
+}
+
+/// Errors raised by the DST crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DstError {
+    /// Frame size out of 1..=64.
+    BadFrameSize(usize),
+    /// Element index outside the frame.
+    ElementOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Frame size.
+        frame: usize,
+    },
+    /// Focal set contains elements outside the frame.
+    SetOutOfFrame,
+    /// Mass value negative or non-finite.
+    BadMass(f64),
+    /// Mass assigned to the empty set.
+    MassOnEmptySet,
+    /// Two mass functions over different frames cannot be combined.
+    FrameMismatch,
+    /// Dempster's rule is undefined under total conflict (K = 1).
+    TotalConflict,
+    /// Mass function has zero total mass, cannot normalize.
+    ZeroMass,
+}
+
+impl fmt::Display for DstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DstError::BadFrameSize(n) => write!(f, "frame size {n} out of 1..=64"),
+            DstError::ElementOutOfRange { index, frame } => {
+                write!(f, "element {index} outside frame of size {frame}")
+            }
+            DstError::SetOutOfFrame => write!(f, "focal set outside the frame"),
+            DstError::BadMass(m) => write!(f, "bad mass value {m}"),
+            DstError::MassOnEmptySet => write!(f, "mass assigned to the empty set"),
+            DstError::FrameMismatch => write!(f, "mass functions over different frames"),
+            DstError::TotalConflict => write!(f, "total conflict: Dempster's rule undefined"),
+            DstError::ZeroMass => write!(f, "zero total mass"),
+        }
+    }
+}
+
+impl std::error::Error for DstError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_bounds() {
+        assert!(Frame::new(0).is_err());
+        assert!(Frame::new(65).is_err());
+        assert_eq!(Frame::new(64).unwrap().universe(), FocalSet(u64::MAX));
+        let f = Frame::new(3).unwrap();
+        assert_eq!(f.universe(), FocalSet(0b111));
+        assert_eq!(f.singleton(2).unwrap(), FocalSet(0b100));
+        assert!(f.singleton(3).is_err());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = FocalSet(0b0110);
+        let b = FocalSet(0b0011);
+        assert_eq!(a.intersect(b), FocalSet(0b0010));
+        assert_eq!(a.union(b), FocalSet(0b0111));
+        assert_eq!(a.len(), 2);
+        assert!(FocalSet(0b0010).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+        assert!(a.contains_element(1));
+        assert!(!a.contains_element(0));
+        assert_eq!(a.elements().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(FocalSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn frame_containment() {
+        let f = Frame::new(3).unwrap();
+        assert!(f.contains(FocalSet(0b101)));
+        assert!(!f.contains(FocalSet(0b1000)));
+    }
+}

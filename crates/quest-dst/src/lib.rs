@@ -1,0 +1,19 @@
+//! # quest-dst — Dempster–Shafer theory of evidence for QUEST
+//!
+//! QUEST merges the scores of its evidence sources — the a-priori HMM, the
+//! feedback-trained HMM, and the Steiner-tree backward module — "within a
+//! probabilistic framework based on the Dempster-Shafer Theory" (paper
+//! abstract, §2). Each source becomes a [`MassFunction`] whose singleton
+//! masses are the source's normalized scores and whose mass on the universe
+//! Θ is the user-specified *uncertainty degree* of that source; sources are
+//! merged with [`dempster_combine`] and ranked by pignistic probability.
+
+#![warn(missing_docs)]
+
+pub mod combine;
+pub mod frame;
+pub mod mass;
+
+pub use combine::{dempster_combine, dempster_combine_all, Combination};
+pub use frame::{DstError, FocalSet, Frame, MAX_ELEMENTS};
+pub use mass::MassFunction;

@@ -1,0 +1,226 @@
+//! Basic probability assignments (mass functions) with ignorance handling.
+//!
+//! QUEST builds one mass function per evidence source (the a-priori HMM, the
+//! feedback HMM, the Steiner-tree backward module). Scores become masses on
+//! singleton hypotheses; the source's *uncertainty degree* `O` becomes mass
+//! on the universe Θ (paper Algorithm 1: `addEvidence`, `setUncertainty`,
+//! `normalize`).
+
+use std::collections::HashMap;
+
+use crate::frame::{DstError, FocalSet, Frame};
+
+/// A mass function (basic probability assignment) over a frame.
+#[derive(Debug, Clone)]
+pub struct MassFunction {
+    frame: Frame,
+    masses: HashMap<FocalSet, f64>,
+}
+
+impl MassFunction {
+    /// Empty (all-zero) mass function; add evidence then normalize.
+    pub fn new(frame: Frame) -> MassFunction {
+        MassFunction { frame, masses: HashMap::new() }
+    }
+
+    /// The vacuous mass function: all mass on Θ (total ignorance).
+    pub fn vacuous(frame: Frame) -> MassFunction {
+        let mut m = MassFunction::new(frame);
+        m.masses.insert(frame.universe(), 1.0);
+        m
+    }
+
+    /// The frame.
+    pub fn frame(&self) -> Frame {
+        self.frame
+    }
+
+    /// Add mass to a focal set (accumulates on repeated calls).
+    pub fn add_evidence(&mut self, set: FocalSet, mass: f64) -> Result<(), DstError> {
+        if set.is_empty() {
+            return Err(DstError::MassOnEmptySet);
+        }
+        if !self.frame.contains(set) {
+            return Err(DstError::SetOutOfFrame);
+        }
+        if !mass.is_finite() || mass < 0.0 {
+            return Err(DstError::BadMass(mass));
+        }
+        if mass > 0.0 {
+            *self.masses.entry(set).or_insert(0.0) += mass;
+        }
+        Ok(())
+    }
+
+    /// Add mass to the singleton hypothesis `i`.
+    pub fn add_singleton(&mut self, i: usize, mass: f64) -> Result<(), DstError> {
+        let s = self.frame.singleton(i)?;
+        self.add_evidence(s, mass)
+    }
+
+    /// Normalize so the total mass is 1. Errors when the total is zero.
+    pub fn normalize(&mut self) -> Result<(), DstError> {
+        let sum: f64 = self.masses.values().sum();
+        if sum <= 0.0 {
+            return Err(DstError::ZeroMass);
+        }
+        for v in self.masses.values_mut() {
+            *v /= sum;
+        }
+        Ok(())
+    }
+
+    /// The paper's `setUncertainty(W, O)`: scale the existing body of
+    /// evidence to `1 - uncertainty` and put `uncertainty` on Θ. A fully
+    /// uncertain source (O = 1) becomes vacuous. The function normalizes the
+    /// existing evidence first, so call it after adding all evidence.
+    pub fn set_uncertainty(&mut self, uncertainty: f64) -> Result<(), DstError> {
+        if !uncertainty.is_finite() || !(0.0..=1.0).contains(&uncertainty) {
+            return Err(DstError::BadMass(uncertainty));
+        }
+        if uncertainty >= 1.0 {
+            *self = MassFunction::vacuous(self.frame);
+            return Ok(());
+        }
+        self.normalize()?;
+        for v in self.masses.values_mut() {
+            *v *= 1.0 - uncertainty;
+        }
+        if uncertainty > 0.0 {
+            *self.masses.entry(self.frame.universe()).or_insert(0.0) += uncertainty;
+        }
+        Ok(())
+    }
+
+    /// Mass of one focal set (0 for non-focal sets).
+    pub fn mass(&self, set: FocalSet) -> f64 {
+        self.masses.get(&set).copied().unwrap_or(0.0)
+    }
+
+    /// Focal sets with positive mass (the body of evidence).
+    pub fn focal_sets(&self) -> impl Iterator<Item = (FocalSet, f64)> + '_ {
+        self.masses.iter().map(|(s, m)| (*s, *m))
+    }
+
+    /// Number of focal sets.
+    pub fn focal_count(&self) -> usize {
+        self.masses.len()
+    }
+
+    /// Total mass (1 after normalization).
+    pub fn total_mass(&self) -> f64 {
+        self.masses.values().sum()
+    }
+
+    /// Belief of a set: total mass of its subsets.
+    pub fn belief(&self, set: FocalSet) -> f64 {
+        self.masses
+            .iter()
+            .filter(|(s, _)| s.is_subset_of(set))
+            .map(|(_, m)| m)
+            .sum()
+    }
+
+    /// Plausibility of a set: total mass of sets intersecting it.
+    pub fn plausibility(&self, set: FocalSet) -> f64 {
+        self.masses
+            .iter()
+            .filter(|(s, _)| !s.intersect(set).is_empty())
+            .map(|(_, m)| m)
+            .sum()
+    }
+
+    /// Pignistic probability of element `i`: each focal set spreads its mass
+    /// uniformly over its elements. This is the score QUEST ranks
+    /// explanations by after combination.
+    pub fn pignistic(&self, i: usize) -> Result<f64, DstError> {
+        let s = self.frame.singleton(i)?;
+        Ok(self
+            .masses
+            .iter()
+            .filter(|(fs, _)| !fs.intersect(s).is_empty())
+            .map(|(fs, m)| m / fs.len() as f64)
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame3() -> Frame {
+        Frame::new(3).unwrap()
+    }
+
+    #[test]
+    fn evidence_accumulates_and_normalizes() {
+        let mut m = MassFunction::new(frame3());
+        m.add_singleton(0, 2.0).unwrap();
+        m.add_singleton(0, 1.0).unwrap();
+        m.add_singleton(1, 1.0).unwrap();
+        m.normalize().unwrap();
+        assert!((m.mass(FocalSet(0b001)) - 0.75).abs() < 1e-12);
+        assert!((m.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncertainty_splits_mass() {
+        let mut m = MassFunction::new(frame3());
+        m.add_singleton(0, 1.0).unwrap();
+        m.add_singleton(1, 1.0).unwrap();
+        m.set_uncertainty(0.4).unwrap();
+        assert!((m.mass(FocalSet(0b001)) - 0.3).abs() < 1e-12);
+        assert!((m.mass(frame3().universe()) - 0.4).abs() < 1e-12);
+        assert!((m.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_uncertainty_is_vacuous() {
+        let mut m = MassFunction::new(frame3());
+        m.add_singleton(2, 5.0).unwrap();
+        m.set_uncertainty(1.0).unwrap();
+        assert_eq!(m.focal_count(), 1);
+        assert!((m.mass(frame3().universe()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut m = MassFunction::new(frame3());
+        assert_eq!(m.add_evidence(FocalSet::EMPTY, 0.5), Err(DstError::MassOnEmptySet));
+        assert_eq!(m.add_evidence(FocalSet(0b1000), 0.5), Err(DstError::SetOutOfFrame));
+        assert_eq!(m.add_singleton(0, -0.5), Err(DstError::BadMass(-0.5)));
+        assert_eq!(m.normalize(), Err(DstError::ZeroMass));
+        assert_eq!(m.set_uncertainty(1.5), Err(DstError::BadMass(1.5)));
+    }
+
+    #[test]
+    fn belief_and_plausibility() {
+        let mut m = MassFunction::new(frame3());
+        m.add_evidence(FocalSet(0b001), 0.5).unwrap();
+        m.add_evidence(FocalSet(0b011), 0.3).unwrap();
+        m.add_evidence(frame3().universe(), 0.2).unwrap();
+        // bel({0}) = 0.5; pl({0}) = 0.5+0.3+0.2 = 1.0
+        assert!((m.belief(FocalSet(0b001)) - 0.5).abs() < 1e-12);
+        assert!((m.plausibility(FocalSet(0b001)) - 1.0).abs() < 1e-12);
+        // bel({0,1}) = 0.5+0.3
+        assert!((m.belief(FocalSet(0b011)) - 0.8).abs() < 1e-12);
+        // pl({2}) = only universe intersects = 0.2
+        assert!((m.plausibility(FocalSet(0b100)) - 0.2).abs() < 1e-12);
+        // belief <= plausibility always
+        for s in 1..8u64 {
+            assert!(m.belief(FocalSet(s)) <= m.plausibility(FocalSet(s)) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn pignistic_distributes_set_mass() {
+        let mut m = MassFunction::new(frame3());
+        m.add_evidence(FocalSet(0b011), 0.6).unwrap();
+        m.add_evidence(FocalSet(0b100), 0.4).unwrap();
+        assert!((m.pignistic(0).unwrap() - 0.3).abs() < 1e-12);
+        assert!((m.pignistic(1).unwrap() - 0.3).abs() < 1e-12);
+        assert!((m.pignistic(2).unwrap() - 0.4).abs() < 1e-12);
+        let total: f64 = (0..3).map(|i| m.pignistic(i).unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

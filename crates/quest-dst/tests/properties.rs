@@ -1,0 +1,115 @@
+//! Property-based tests for the Dempster-Shafer substrate: the algebraic
+//! laws the combiner relies on must hold for arbitrary evidence.
+
+use proptest::prelude::*;
+use quest_dst::{dempster_combine, FocalSet, Frame, MassFunction};
+
+/// Arbitrary normalized mass function over an `n`-element frame with some
+/// ignorance, built from random singleton weights.
+fn arb_mass(n: usize) -> impl Strategy<Value = MassFunction> {
+    (
+        proptest::collection::vec(0.0f64..10.0, n),
+        0.01f64..0.99,
+    )
+        .prop_map(move |(weights, uncertainty)| {
+            let frame = Frame::new(n).expect("valid frame size");
+            let mut m = MassFunction::new(frame);
+            let mut any = false;
+            for (i, w) in weights.iter().enumerate() {
+                if *w > 1e-9 {
+                    m.add_singleton(i, *w).expect("in range");
+                    any = true;
+                }
+            }
+            if !any {
+                m.add_singleton(0, 1.0).expect("in range");
+            }
+            m.set_uncertainty(uncertainty).expect("valid uncertainty");
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn combination_is_normalized(m1 in arb_mass(6), m2 in arb_mass(6)) {
+        let c = dempster_combine(&m1, &m2).expect("ignorance prevents total conflict");
+        prop_assert!((c.mass.total_mass() - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&c.conflict));
+    }
+
+    #[test]
+    fn combination_is_commutative(m1 in arb_mass(5), m2 in arb_mass(5)) {
+        let ab = dempster_combine(&m1, &m2).expect("combines");
+        let ba = dempster_combine(&m2, &m1).expect("combines");
+        for s in 1u64..(1 << 5) {
+            let fs = FocalSet(s);
+            prop_assert!((ab.mass.mass(fs) - ba.mass.mass(fs)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn combination_is_associative(
+        m1 in arb_mass(4),
+        m2 in arb_mass(4),
+        m3 in arb_mass(4),
+    ) {
+        let left = dempster_combine(&dempster_combine(&m1, &m2).expect("combines").mass, &m3)
+            .expect("combines");
+        let right = dempster_combine(&m1, &dempster_combine(&m2, &m3).expect("combines").mass)
+            .expect("combines");
+        for s in 1u64..(1 << 4) {
+            let fs = FocalSet(s);
+            prop_assert!(
+                (left.mass.mass(fs) - right.mass.mass(fs)).abs() < 1e-6,
+                "set {s}: {} vs {}",
+                left.mass.mass(fs),
+                right.mass.mass(fs)
+            );
+        }
+    }
+
+    #[test]
+    fn vacuous_is_identity(m in arb_mass(6)) {
+        let v = MassFunction::vacuous(Frame::new(6).expect("frame"));
+        let c = dempster_combine(&m, &v).expect("combines");
+        for s in 1u64..(1 << 6) {
+            let fs = FocalSet(s);
+            prop_assert!((c.mass.mass(fs) - m.mass(fs)).abs() < 1e-9);
+        }
+        prop_assert!(c.conflict.abs() < 1e-12);
+    }
+
+    #[test]
+    fn belief_below_plausibility(m in arb_mass(6)) {
+        for s in 1u64..(1 << 6) {
+            let fs = FocalSet(s);
+            prop_assert!(m.belief(fs) <= m.plausibility(fs) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pignistic_is_a_distribution(m in arb_mass(8)) {
+        let total: f64 = (0..8).map(|i| m.pignistic(i).expect("in frame")).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combining_sharpens_agreeing_evidence(w in 0.55f64..0.95) {
+        // Two sources agreeing on element 0 with weight w: the combined
+        // pignistic mass of element 0 must not decrease.
+        let frame = Frame::new(3).expect("frame");
+        let make = || {
+            let mut m = MassFunction::new(frame);
+            m.add_singleton(0, w).expect("ok");
+            m.add_singleton(1, 1.0 - w).expect("ok");
+            m.set_uncertainty(0.1).expect("ok");
+            m
+        };
+        let m1 = make();
+        let before = m1.pignistic(0).expect("ok");
+        let c = dempster_combine(&m1, &make()).expect("combines");
+        prop_assert!(c.mass.pignistic(0).expect("ok") >= before - 1e-9);
+    }
+}

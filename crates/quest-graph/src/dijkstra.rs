@@ -1,0 +1,132 @@
+//! Single-source shortest paths (Dijkstra) — used for metric closure in the
+//! MST approximation baseline and for reachability pruning.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{Graph, NodeId};
+
+/// Heap entry ordered by smallest distance first.
+#[derive(Debug, PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; ties by node for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Shortest-path result from one source.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// Distance per node (`f64::INFINITY` if unreachable).
+    pub dist: Vec<f64>,
+    /// Predecessor edge index per node (`usize::MAX` at source/unreachable).
+    pub pred_edge: Vec<usize>,
+}
+
+impl ShortestPaths {
+    /// Reconstruct the path to `target` as a list of edge indexes, or `None`
+    /// if unreachable.
+    pub fn path_edges(&self, graph: &Graph, target: NodeId) -> Option<Vec<usize>> {
+        if self.dist[target.0 as usize].is_infinite() {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut v = target;
+        while self.pred_edge[v.0 as usize] != usize::MAX {
+            let ei = self.pred_edge[v.0 as usize];
+            edges.push(ei);
+            let e = graph.edge(ei);
+            v = if e.a == v { e.b } else { e.a };
+        }
+        edges.reverse();
+        Some(edges)
+    }
+}
+
+/// Dijkstra from `source`.
+pub fn dijkstra(graph: &Graph, source: NodeId) -> ShortestPaths {
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred_edge = vec![usize::MAX; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.0 as usize] = 0.0;
+    heap.push(HeapItem { dist: 0.0, node: source });
+    while let Some(HeapItem { dist: d, node: v }) = heap.pop() {
+        let vi = v.0 as usize;
+        if done[vi] {
+            continue;
+        }
+        done[vi] = true;
+        for &(u, ei) in graph.neighbors(v) {
+            let ui = u.0 as usize;
+            let nd = d + graph.edge(ei).weight;
+            if nd < dist[ui] {
+                dist[ui] = nd;
+                pred_edge[ui] = ei;
+                heap.push(HeapItem { dist: nd, node: u });
+            }
+        }
+    }
+    ShortestPaths { dist, pred_edge }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 -1- 1 -1- 3, 0 -5- 2 -1- 3
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(3), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 5.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn finds_shortest_distances() {
+        let g = diamond();
+        let sp = dijkstra(&g, NodeId(0));
+        assert_eq!(sp.dist[0], 0.0);
+        assert_eq!(sp.dist[1], 1.0);
+        assert_eq!(sp.dist[3], 2.0);
+        assert_eq!(sp.dist[2], 3.0); // via 0-1-3-2, not the direct 5.0 edge
+    }
+
+    #[test]
+    fn reconstructs_path() {
+        let g = diamond();
+        let sp = dijkstra(&g, NodeId(0));
+        let path = sp.path_edges(&g, NodeId(3)).unwrap();
+        assert_eq!(path.len(), 2);
+        let cost: f64 = path.iter().map(|&e| g.edge(e).weight).sum();
+        assert_eq!(cost, 2.0);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let mut g = diamond();
+        let lone = g.add_node();
+        let sp = dijkstra(&g, NodeId(0));
+        assert!(sp.dist[lone.0 as usize].is_infinite());
+        assert!(sp.path_edges(&g, lone).is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the graph crate.
+
+use std::fmt;
+
+/// Errors raised by graph construction and Steiner tree search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// Node id out of range.
+    UnknownNode(u32),
+    /// Self loops are not representable in trees.
+    SelfLoop(u32),
+    /// Negative, NaN or infinite edge weight.
+    BadWeight(f64),
+    /// No terminals given to the Steiner search.
+    NoTerminals,
+    /// More terminals than the bitmask supports.
+    TooManyTerminals {
+        /// Maximum supported.
+        max: usize,
+        /// Requested.
+        got: usize,
+    },
+    /// Terminals are not in a single connected component.
+    Disconnected,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(v) => write!(f, "unknown node {v}"),
+            GraphError::SelfLoop(v) => write!(f, "self loop at node {v}"),
+            GraphError::BadWeight(w) => write!(f, "bad edge weight {w}"),
+            GraphError::NoTerminals => write!(f, "no terminals given"),
+            GraphError::TooManyTerminals { max, got } => {
+                write!(f, "too many terminals: {got} (max {max})")
+            }
+            GraphError::Disconnected => write!(f, "terminals are disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(GraphError::TooManyTerminals { max: 16, got: 20 }
+            .to_string()
+            .contains("20"));
+    }
+}

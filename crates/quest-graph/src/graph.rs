@@ -1,0 +1,189 @@
+//! Compact undirected weighted graph.
+
+use crate::error::GraphError;
+
+/// Node identifier (index into the graph's node table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// An undirected weighted edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// One endpoint.
+    pub a: NodeId,
+    /// Other endpoint.
+    pub b: NodeId,
+    /// Non-negative weight (a *distance*: lower is better).
+    pub weight: f64,
+}
+
+impl Edge {
+    /// Canonical `(min, max)` endpoint pair, used as the edge's identity.
+    pub fn key(&self) -> (NodeId, NodeId) {
+        if self.a <= self.b {
+            (self.a, self.b)
+        } else {
+            (self.b, self.a)
+        }
+    }
+}
+
+/// An undirected graph with weighted edges and adjacency lists.
+///
+/// Parallel edges are collapsed to the minimum weight; self-loops are
+/// rejected (they can never appear in a tree).
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<Edge>,
+    /// adjacency[v] = list of (neighbor, edge index)
+    adjacency: Vec<Vec<(NodeId, usize)>>,
+}
+
+impl Graph {
+    /// Graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Graph {
+        Graph {
+            n,
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Add one more node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.n as u32);
+        self.n += 1;
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Edge by index.
+    pub fn edge(&self, i: usize) -> &Edge {
+        &self.edges[i]
+    }
+
+    /// Add an undirected edge. Duplicate `(a, b)` pairs keep the smaller
+    /// weight. Returns the edge index.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, weight: f64) -> Result<usize, GraphError> {
+        if a.0 as usize >= self.n || b.0 as usize >= self.n {
+            return Err(GraphError::UnknownNode(a.0.max(b.0)));
+        }
+        if a == b {
+            return Err(GraphError::SelfLoop(a.0));
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(GraphError::BadWeight(weight));
+        }
+        // Collapse parallel edges.
+        if let Some(&(_, idx)) = self.adjacency[a.0 as usize].iter().find(|(nb, _)| *nb == b) {
+            if weight < self.edges[idx].weight {
+                self.edges[idx].weight = weight;
+            }
+            return Ok(idx);
+        }
+        let idx = self.edges.len();
+        self.edges.push(Edge { a, b, weight });
+        self.adjacency[a.0 as usize].push((b, idx));
+        self.adjacency[b.0 as usize].push((a, idx));
+        Ok(idx)
+    }
+
+    /// Neighbors of `v` as `(neighbor, edge index)` pairs.
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, usize)] {
+        &self.adjacency[v.0 as usize]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v.0 as usize].len()
+    }
+
+    /// Whether all of `nodes` lie in one connected component.
+    pub fn connects(&self, nodes: &[NodeId]) -> bool {
+        let Some(&start) = nodes.first() else {
+            return true;
+        };
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![start];
+        seen[start.0 as usize] = true;
+        while let Some(v) = stack.pop() {
+            for &(u, _) in self.neighbors(v) {
+                if !seen[u.0 as usize] {
+                    seen[u.0 as usize] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        nodes.iter().all(|v| seen[v.0 as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = Graph::with_nodes(3);
+        let e = g.add_edge(NodeId(0), NodeId(1), 1.5).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 2.0).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(NodeId(1)), 2);
+        assert_eq!(g.edge(e).weight, 1.5);
+        assert_eq!(g.edge(e).key(), (NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn parallel_edges_keep_min_weight() {
+        let mut g = Graph::with_nodes(2);
+        let e1 = g.add_edge(NodeId(0), NodeId(1), 5.0).unwrap();
+        let e2 = g.add_edge(NodeId(1), NodeId(0), 2.0).unwrap();
+        assert_eq!(e1, e2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge(e1).weight, 2.0);
+        // A worse duplicate does not raise the weight back.
+        g.add_edge(NodeId(0), NodeId(1), 9.0).unwrap();
+        assert_eq!(g.edge(e1).weight, 2.0);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut g = Graph::with_nodes(2);
+        assert!(matches!(g.add_edge(NodeId(0), NodeId(0), 1.0), Err(GraphError::SelfLoop(_))));
+        assert!(matches!(g.add_edge(NodeId(0), NodeId(9), 1.0), Err(GraphError::UnknownNode(_))));
+        assert!(matches!(g.add_edge(NodeId(0), NodeId(1), -1.0), Err(GraphError::BadWeight(_))));
+        assert!(matches!(
+            g.add_edge(NodeId(0), NodeId(1), f64::NAN),
+            Err(GraphError::BadWeight(_))
+        ));
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        assert!(g.connects(&[NodeId(0), NodeId(1)]));
+        assert!(!g.connects(&[NodeId(0), NodeId(2)]));
+        assert!(g.connects(&[]));
+        let n = g.add_node();
+        assert!(!g.connects(&[NodeId(0), n]));
+    }
+}

@@ -1,0 +1,30 @@
+//! # quest-graph — weighted graphs and top-k Steiner trees for QUEST
+//!
+//! The backward module builds a weighted graph over the *database schema*
+//! (one node per attribute; edges between a table's primary key and its
+//! other attributes, and between primary/foreign key pairs) and finds the
+//! top-k minimum-cost Steiner trees connecting the schema elements selected
+//! by a configuration (paper §2–3). This crate provides:
+//!
+//! * [`Graph`] — a compact undirected weighted graph;
+//! * [`top_k_steiner`] — DPBF-based top-k Steiner tree enumeration (Ding et
+//!   al.) with duplicate and super-tree suppression;
+//! * [`mst_approximation`] — the classic metric-closure 2-approximation,
+//!   kept as a baseline/ablation;
+//! * [`dijkstra`] — shortest paths.
+
+#![warn(missing_docs)]
+
+pub mod dijkstra;
+pub mod error;
+pub mod graph;
+pub mod mst;
+pub mod steiner;
+pub mod tree;
+
+pub use dijkstra::{dijkstra, ShortestPaths};
+pub use error::GraphError;
+pub use graph::{Edge, Graph, NodeId};
+pub use mst::mst_approximation;
+pub use steiner::{top_k_steiner, SteinerConfig, MAX_TERMINALS};
+pub use tree::SteinerTree;

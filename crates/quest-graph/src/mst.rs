@@ -1,0 +1,182 @@
+//! Metric-closure MST 2-approximation for Steiner trees.
+//!
+//! The classic Kou–Markowsky–Berman construction: build the complete graph
+//! over the terminals weighted by shortest-path distances, take its minimum
+//! spanning tree, expand each MST edge back into its underlying shortest
+//! path, and prune non-terminal leaves. Used as a baseline/ablation against
+//! the exact DPBF enumeration (a 2-approximation of the optimum).
+
+use crate::dijkstra::dijkstra;
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use crate::tree::SteinerTree;
+
+/// Compute a 2-approximate Steiner tree over `terminals`.
+pub fn mst_approximation(
+    graph: &Graph,
+    terminals: &[NodeId],
+) -> Result<SteinerTree, GraphError> {
+    let mut terms: Vec<NodeId> = terminals.to_vec();
+    terms.sort();
+    terms.dedup();
+    if terms.is_empty() {
+        return Err(GraphError::NoTerminals);
+    }
+    for t in &terms {
+        if t.0 as usize >= graph.node_count() {
+            return Err(GraphError::UnknownNode(t.0));
+        }
+    }
+    if terms.len() == 1 {
+        return Ok(SteinerTree::new(Vec::new(), 0.0, terms));
+    }
+
+    // Shortest paths from every terminal.
+    let sps: Vec<_> = terms.iter().map(|t| dijkstra(graph, *t)).collect();
+    for (i, sp) in sps.iter().enumerate() {
+        for t in &terms {
+            if sp.dist[t.0 as usize].is_infinite() {
+                let _ = i;
+                return Err(GraphError::Disconnected);
+            }
+        }
+    }
+
+    // Prim's MST over the metric closure of the terminals.
+    let m = terms.len();
+    let mut in_tree = vec![false; m];
+    let mut best = vec![f64::INFINITY; m];
+    let mut parent = vec![usize::MAX; m];
+    best[0] = 0.0;
+    let mut mst_edges: Vec<(usize, usize)> = Vec::new();
+    for _ in 0..m {
+        let mut u = usize::MAX;
+        let mut ub = f64::INFINITY;
+        for i in 0..m {
+            if !in_tree[i] && best[i] < ub {
+                ub = best[i];
+                u = i;
+            }
+        }
+        if u == usize::MAX {
+            return Err(GraphError::Disconnected);
+        }
+        in_tree[u] = true;
+        if parent[u] != usize::MAX {
+            mst_edges.push((parent[u], u));
+        }
+        for v in 0..m {
+            if !in_tree[v] {
+                let d = sps[u].dist[terms[v].0 as usize];
+                if d < best[v] {
+                    best[v] = d;
+                    parent[v] = u;
+                }
+            }
+        }
+    }
+
+    // Expand MST edges into underlying graph edges (union).
+    let mut edge_set: Vec<usize> = Vec::new();
+    for (a, b) in mst_edges {
+        let path = sps[a]
+            .path_edges(graph, terms[b])
+            .expect("distance finite implies path exists");
+        for e in path {
+            if !edge_set.contains(&e) {
+                edge_set.push(e);
+            }
+        }
+    }
+
+    // Prune non-terminal leaves repeatedly (the union can contain detours).
+    prune_leaves(graph, &mut edge_set, &terms);
+
+    let cost: f64 = edge_set.iter().map(|&e| graph.edge(e).weight).sum();
+    let keys = edge_set.iter().map(|&e| graph.edge(e).key()).collect();
+    Ok(SteinerTree::new(keys, cost, terms))
+}
+
+fn prune_leaves(graph: &Graph, edges: &mut Vec<usize>, terminals: &[NodeId]) {
+    loop {
+        let mut degree: std::collections::HashMap<NodeId, usize> = Default::default();
+        for &ei in edges.iter() {
+            let e = graph.edge(ei);
+            *degree.entry(e.a).or_insert(0) += 1;
+            *degree.entry(e.b).or_insert(0) += 1;
+        }
+        let before = edges.len();
+        edges.retain(|&ei| {
+            let e = graph.edge(ei);
+            let leaf_a = degree[&e.a] == 1 && !terminals.contains(&e.a);
+            let leaf_b = degree[&e.b] == 1 && !terminals.contains(&e.b);
+            !(leaf_a || leaf_b)
+        });
+        if edges.len() == before {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steiner::{top_k_steiner, SteinerConfig};
+
+    fn star_with_ring() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        for i in 1..4u32 {
+            g.add_edge(NodeId(0), NodeId(i), 1.0).unwrap();
+        }
+        g.add_edge(NodeId(1), NodeId(2), 10.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn approximation_connects_terminals() {
+        let g = star_with_ring();
+        let terms = [NodeId(1), NodeId(2), NodeId(3)];
+        let t = mst_approximation(&g, &terms).unwrap();
+        assert!(t.validate(&g));
+        assert_eq!(t.cost(), 3.0); // optimal here
+    }
+
+    #[test]
+    fn within_factor_two_of_optimal() {
+        let mut g = Graph::with_nodes(6);
+        let es = [
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 4, 1.0),
+            (4, 5, 1.0),
+            (5, 0, 1.0),
+            (0, 3, 1.4),
+        ];
+        for (a, b, w) in es {
+            g.add_edge(NodeId(a), NodeId(b), w).unwrap();
+        }
+        let terms = [NodeId(0), NodeId(2), NodeId(4)];
+        let approx = mst_approximation(&g, &terms).unwrap();
+        let opt = top_k_steiner(&g, &terms, &SteinerConfig::top_k(1)).unwrap();
+        assert!(approx.cost() <= 2.0 * opt[0].cost() + 1e-9);
+        assert!(approx.cost() >= opt[0].cost() - 1e-9);
+    }
+
+    #[test]
+    fn disconnected_errors() {
+        let mut g = star_with_ring();
+        let lone = g.add_node();
+        assert_eq!(
+            mst_approximation(&g, &[NodeId(0), lone]).unwrap_err(),
+            GraphError::Disconnected
+        );
+    }
+
+    #[test]
+    fn single_terminal_trivial() {
+        let g = star_with_ring();
+        let t = mst_approximation(&g, &[NodeId(2)]).unwrap();
+        assert!(t.is_empty());
+    }
+}

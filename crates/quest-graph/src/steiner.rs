@@ -1,0 +1,439 @@
+//! Top-k minimum-cost Steiner tree enumeration.
+//!
+//! The backward module "adopts a Steiner Tree-based technique to select, for
+//! each configuration, the top-k paths joining the involved database schema
+//! elements", using "an extension of a previous algorithm [Ding et al., ICDE
+//! 2007] that works at the schema level ... and that has in place a mechanism
+//! for efficiently discarding Steiner Trees that are sub-trees of others that
+//! have been previously computed" (paper §1, §3).
+//!
+//! The implementation is DPBF (dynamic programming, best first): states are
+//! `(vertex, terminal-subset)` pairs explored in cost order, with *grow*
+//! (extend by one edge) and *merge* (join two subtrees rooted at the same
+//! vertex with disjoint terminal sets) transitions. For top-k enumeration,
+//! up to `k` entries are retained per state (Ding et al.'s generalization),
+//! and emitted trees that merely extend an already-emitted tree with extra
+//! edges (redundant super-trees: same join path plus gratuitous joins) are
+//! suppressed.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use crate::tree::SteinerTree;
+
+/// Maximum number of terminals (bitmask width).
+pub const MAX_TERMINALS: usize = 16;
+
+/// Tuning knobs for the enumeration.
+#[derive(Debug, Clone)]
+pub struct SteinerConfig {
+    /// How many trees to return.
+    pub k: usize,
+    /// Hard cap on heap pops (guards pathological graphs). 0 = default.
+    pub max_expansions: usize,
+    /// Drop emitted trees that are super-trees of earlier emitted trees.
+    pub suppress_supertrees: bool,
+}
+
+impl Default for SteinerConfig {
+    fn default() -> Self {
+        SteinerConfig { k: 5, max_expansions: 2_000_000, suppress_supertrees: true }
+    }
+}
+
+impl SteinerConfig {
+    /// Config returning `k` trees with default limits.
+    pub fn top_k(k: usize) -> SteinerConfig {
+        SteinerConfig { k, ..Default::default() }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct QueueEntry {
+    cost: f64,
+    node: NodeId,
+    mask: u32,
+    /// Edge indexes of the partial tree.
+    edges: Vec<usize>,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost && self.node == other.node && self.mask == other.mask
+    }
+}
+impl Eq for QueueEntry {}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by cost; deterministic tie-breaks.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.edges.len().cmp(&self.edges.len()))
+            .then_with(|| other.node.cmp(&self.node))
+            .then_with(|| other.mask.cmp(&self.mask))
+    }
+}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Enumerate up to `cfg.k` minimum-cost Steiner trees connecting `terminals`,
+/// in non-decreasing cost order.
+///
+/// Duplicate terminals are collapsed. A single terminal yields one empty
+/// tree. Returns [`GraphError::Disconnected`] when the terminals do not share
+/// a component.
+pub fn top_k_steiner(
+    graph: &Graph,
+    terminals: &[NodeId],
+    cfg: &SteinerConfig,
+) -> Result<Vec<SteinerTree>, GraphError> {
+    let mut terms: Vec<NodeId> = terminals.to_vec();
+    terms.sort();
+    terms.dedup();
+    if terms.is_empty() {
+        return Err(GraphError::NoTerminals);
+    }
+    for t in &terms {
+        if t.0 as usize >= graph.node_count() {
+            return Err(GraphError::UnknownNode(t.0));
+        }
+    }
+    if terms.len() > MAX_TERMINALS {
+        return Err(GraphError::TooManyTerminals { max: MAX_TERMINALS, got: terms.len() });
+    }
+    if cfg.k == 0 {
+        return Ok(Vec::new());
+    }
+    if terms.len() == 1 {
+        return Ok(vec![SteinerTree::new(Vec::new(), 0.0, terms)]);
+    }
+    if !graph.connects(&terms) {
+        return Err(GraphError::Disconnected);
+    }
+
+    let full: u32 = (1u32 << terms.len()) - 1;
+    let term_bit: HashMap<NodeId, u32> = terms
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (*t, 1u32 << i))
+        .collect();
+
+    let mut heap: BinaryHeap<QueueEntry> = BinaryHeap::new();
+    for t in &terms {
+        heap.push(QueueEntry { cost: 0.0, node: *t, mask: term_bit[t], edges: Vec::new() });
+    }
+
+    // Popped entries per (node, mask), capped at k each.
+    let mut popped: HashMap<(NodeId, u32), Vec<QueueEntry>> = HashMap::new();
+    let mut results: Vec<SteinerTree> = Vec::new();
+    let max_expansions = if cfg.max_expansions == 0 {
+        SteinerConfig::default().max_expansions
+    } else {
+        cfg.max_expansions
+    };
+    let mut pops = 0usize;
+
+    while let Some(entry) = heap.pop() {
+        pops += 1;
+        if pops > max_expansions {
+            break;
+        }
+        let state = (entry.node, entry.mask);
+        let bucket = popped.entry(state).or_default();
+        if bucket.len() >= cfg.k {
+            continue;
+        }
+        // Skip exact duplicates (same edge set reached twice).
+        if bucket.iter().any(|e| e.edges == entry.edges) {
+            continue;
+        }
+        bucket.push(entry.clone());
+
+        if entry.mask == full {
+            let tree = to_tree(graph, &entry, &terms);
+            if is_valid_tree(&tree) {
+                let dup = results.iter().any(|r| r.edges() == tree.edges());
+                let redundant = cfg.suppress_supertrees
+                    && results.iter().any(|r| r.is_subtree_of(&tree));
+                if !dup && !redundant {
+                    results.push(tree);
+                    if results.len() >= cfg.k {
+                        break;
+                    }
+                }
+            }
+            continue; // growing a complete tree only adds dead weight
+        }
+
+        // Grow transitions.
+        for &(u, ei) in graph.neighbors(entry.node) {
+            if entry.edges.contains(&ei) {
+                continue;
+            }
+            let mut edges = entry.edges.clone();
+            edges.push(ei);
+            let mask = entry.mask | term_bit.get(&u).copied().unwrap_or(0);
+            heap.push(QueueEntry {
+                cost: entry.cost + graph.edge(ei).weight,
+                node: u,
+                mask,
+                edges,
+            });
+        }
+
+        // Merge transitions with previously popped entries at the same node
+        // whose terminal sets are disjoint.
+        let merge_partners: Vec<QueueEntry> = popped
+            .iter()
+            .filter(|((n, m), _)| *n == entry.node && m & entry.mask == 0)
+            .flat_map(|(_, es)| es.iter().cloned())
+            .collect();
+        for other in merge_partners {
+            if let Some(edges) = union_if_tree(graph, &entry.edges, &other.edges, entry.node) {
+                heap.push(QueueEntry {
+                    cost: entry.cost + other.cost,
+                    node: entry.node,
+                    mask: entry.mask | other.mask,
+                    edges,
+                });
+            }
+        }
+    }
+
+    Ok(results)
+}
+
+/// Union two partial-tree edge sets rooted at `root`; `None` when the union
+/// would contain a cycle (shared edge, or node shared anywhere but the root).
+fn union_if_tree(
+    graph: &Graph,
+    a: &[usize],
+    b: &[usize],
+    root: NodeId,
+) -> Option<Vec<usize>> {
+    let mut edges: Vec<usize> = a.to_vec();
+    for e in b {
+        if edges.contains(e) {
+            return None; // shared edge => cycle
+        }
+        edges.push(*e);
+    }
+    // Tree check: |nodes| must equal |edges| + 1.
+    let mut nodes: Vec<NodeId> = edges
+        .iter()
+        .flat_map(|&ei| {
+            let e = graph.edge(ei);
+            [e.a, e.b]
+        })
+        .collect();
+    nodes.push(root);
+    nodes.sort();
+    nodes.dedup();
+    if nodes.len() == edges.len() + 1 {
+        Some(edges)
+    } else {
+        None
+    }
+}
+
+fn to_tree(graph: &Graph, entry: &QueueEntry, terms: &[NodeId]) -> SteinerTree {
+    let keys: Vec<(NodeId, NodeId)> = entry
+        .edges
+        .iter()
+        .map(|&ei| graph.edge(ei).key())
+        .collect();
+    SteinerTree::new(keys, entry.cost, terms.to_vec())
+}
+
+fn is_valid_tree(tree: &SteinerTree) -> bool {
+    // nodes() includes terminals; a tree over its nodes has |E| = |V| - 1.
+    let n = tree.nodes().len();
+    n == tree.len() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0-1-2-3-4 with unit weights.
+    fn path5() -> Graph {
+        let mut g = Graph::with_nodes(5);
+        for i in 0..4u32 {
+            g.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
+        }
+        g
+    }
+
+    /// A graph with two distinct routes between terminals.
+    ///     0 --1-- 1 --1-- 2
+    ///     0 --1.5-------- 2
+    fn two_routes() -> Graph {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 1.5).unwrap();
+        g
+    }
+
+    #[test]
+    fn single_terminal_is_empty_tree() {
+        let g = path5();
+        let ts = top_k_steiner(&g, &[NodeId(2)], &SteinerConfig::top_k(3)).unwrap();
+        assert_eq!(ts.len(), 1);
+        assert!(ts[0].is_empty());
+        assert_eq!(ts[0].cost(), 0.0);
+    }
+
+    #[test]
+    fn two_terminals_on_path() {
+        let g = path5();
+        let ts = top_k_steiner(&g, &[NodeId(0), NodeId(4)], &SteinerConfig::top_k(2)).unwrap();
+        assert_eq!(ts.len(), 1); // only one simple tree exists
+        assert_eq!(ts[0].cost(), 4.0);
+        assert_eq!(ts[0].len(), 4);
+        assert!(ts[0].validate(&g));
+    }
+
+    #[test]
+    fn top2_ranks_alternative_routes() {
+        let g = two_routes();
+        let ts = top_k_steiner(&g, &[NodeId(0), NodeId(2)], &SteinerConfig::top_k(5)).unwrap();
+        assert!(ts.len() >= 2);
+        assert_eq!(ts[0].cost(), 1.5); // direct edge
+        assert_eq!(ts[1].cost(), 2.0); // via node 1
+        assert!(ts[0].cost() <= ts[1].cost());
+        for t in &ts {
+            assert!(t.validate(&g));
+        }
+    }
+
+    #[test]
+    fn three_terminals_star() {
+        // Star: center 0, leaves 1,2,3 (weight 1 each); ring of weight 10.
+        let mut g = Graph::with_nodes(4);
+        for i in 1..4u32 {
+            g.add_edge(NodeId(0), NodeId(i), 1.0).unwrap();
+        }
+        g.add_edge(NodeId(1), NodeId(2), 10.0).unwrap();
+        let ts =
+            top_k_steiner(&g, &[NodeId(1), NodeId(2), NodeId(3)], &SteinerConfig::top_k(1))
+                .unwrap();
+        assert_eq!(ts[0].cost(), 3.0);
+        assert_eq!(ts[0].steiner_points(), vec![NodeId(0)]);
+        assert!(ts[0].validate(&g));
+    }
+
+    #[test]
+    fn disconnected_terminals_error() {
+        let mut g = path5();
+        let lone = g.add_node();
+        let err = top_k_steiner(&g, &[NodeId(0), lone], &SteinerConfig::top_k(1)).unwrap_err();
+        assert_eq!(err, GraphError::Disconnected);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = path5();
+        assert!(matches!(
+            top_k_steiner(&g, &[], &SteinerConfig::top_k(1)),
+            Err(GraphError::NoTerminals)
+        ));
+        assert!(matches!(
+            top_k_steiner(&g, &[NodeId(99)], &SteinerConfig::top_k(1)),
+            Err(GraphError::UnknownNode(99))
+        ));
+        let mut big = Graph::with_nodes(20);
+        for i in 0..19u32 {
+            big.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
+        }
+        let many: Vec<NodeId> = (0..20).map(NodeId).collect();
+        assert!(matches!(
+            top_k_steiner(&big, &many, &SteinerConfig::top_k(1)),
+            Err(GraphError::TooManyTerminals { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_terminals_collapsed() {
+        let g = path5();
+        let ts = top_k_steiner(
+            &g,
+            &[NodeId(0), NodeId(0), NodeId(1)],
+            &SteinerConfig::top_k(1),
+        )
+        .unwrap();
+        assert_eq!(ts[0].cost(), 1.0);
+        assert_eq!(ts[0].terminals().len(), 2);
+    }
+
+    #[test]
+    fn costs_non_decreasing() {
+        // 4-cycle with a chord: several alternative trees.
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 2.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        g.add_edge(NodeId(3), NodeId(0), 2.5).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 2.2).unwrap();
+        let ts = top_k_steiner(&g, &[NodeId(0), NodeId(2)], &SteinerConfig::top_k(4)).unwrap();
+        assert!(ts.len() >= 2);
+        for w in ts.windows(2) {
+            assert!(w[0].cost() <= w[1].cost() + 1e-12);
+        }
+        for t in &ts {
+            assert!(t.validate(&g));
+        }
+    }
+
+    #[test]
+    fn top1_matches_brute_force_on_random_graphs() {
+        // Exhaustive check on small graphs: enumerate all edge subsets.
+        let mut g = Graph::with_nodes(5);
+        let ws = [1.0, 2.0, 1.5, 0.5, 2.5, 1.2, 0.8];
+        let es = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2), (1, 3)];
+        for (&(a, b), &w) in es.iter().zip(ws.iter()) {
+            g.add_edge(NodeId(a), NodeId(b), w).unwrap();
+        }
+        let terms = [NodeId(0), NodeId(3), NodeId(4)];
+        let best = top_k_steiner(&g, &terms, &SteinerConfig::top_k(1)).unwrap();
+        // Brute force over all 2^7 edge subsets.
+        let mut best_bf = f64::INFINITY;
+        for subset in 0u32..(1 << es.len()) {
+            let keys: Vec<(NodeId, NodeId)> = (0..es.len())
+                .filter(|i| subset & (1 << i) != 0)
+                .map(|i| (NodeId(es[i].0), NodeId(es[i].1)))
+                .collect();
+            let cost: f64 = (0..es.len())
+                .filter(|i| subset & (1 << i) != 0)
+                .map(|i| ws[i])
+                .sum();
+            let tree = SteinerTree::new(keys, cost, terms.to_vec());
+            if tree.validate(&g) && cost < best_bf {
+                best_bf = cost;
+            }
+        }
+        assert!((best[0].cost() - best_bf).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supertree_suppression() {
+        // With suppression on, a returned tree never contains another
+        // returned tree.
+        let g = two_routes();
+        let ts = top_k_steiner(&g, &[NodeId(0), NodeId(2)], &SteinerConfig::top_k(5)).unwrap();
+        for (i, a) in ts.iter().enumerate() {
+            for (j, b) in ts.iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_subtree_of(b), "tree {i} is subtree of {j}");
+                }
+            }
+        }
+    }
+}

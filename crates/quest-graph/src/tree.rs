@@ -1,0 +1,194 @@
+//! Steiner tree values: edge sets with cost, canonical identity and the
+//! sub-tree test used for suppression.
+
+use crate::graph::{Graph, NodeId};
+
+/// A tree in a graph, identified by its (canonically sorted) edge key set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteinerTree {
+    /// Canonical sorted list of edge keys `(min endpoint, max endpoint)`.
+    edges: Vec<(NodeId, NodeId)>,
+    /// Total edge weight.
+    cost: f64,
+    /// The terminal nodes this tree was grown for.
+    terminals: Vec<NodeId>,
+}
+
+impl SteinerTree {
+    /// Build from edge keys; sorts and deduplicates them.
+    pub fn new(mut edges: Vec<(NodeId, NodeId)>, cost: f64, mut terminals: Vec<NodeId>) -> Self {
+        for e in edges.iter_mut() {
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+        }
+        edges.sort();
+        edges.dedup();
+        terminals.sort();
+        terminals.dedup();
+        SteinerTree { edges, cost, terminals }
+    }
+
+    /// Canonical edge list.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Total weight.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Terminals the tree connects.
+    pub fn terminals(&self) -> &[NodeId] {
+        &self.terminals
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the tree has no edges (single-terminal case).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// All nodes touched by the tree (terminals plus Steiner points).
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut ns: Vec<NodeId> = self
+            .edges
+            .iter()
+            .flat_map(|(a, b)| [*a, *b])
+            .chain(self.terminals.iter().copied())
+            .collect();
+        ns.sort();
+        ns.dedup();
+        ns
+    }
+
+    /// Steiner points: tree nodes that are not terminals.
+    pub fn steiner_points(&self) -> Vec<NodeId> {
+        self.nodes()
+            .into_iter()
+            .filter(|n| !self.terminals.contains(n))
+            .collect()
+    }
+
+    /// Whether `self`'s edges are a subset of `other`'s (then `other` is a
+    /// redundant super-tree of `self`).
+    pub fn is_subtree_of(&self, other: &SteinerTree) -> bool {
+        if self.edges.len() > other.edges.len() {
+            return false;
+        }
+        // Both sorted: subset check by merge.
+        let mut it = other.edges.iter();
+        'outer: for e in &self.edges {
+            for o in it.by_ref() {
+                match o.cmp(e) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Verify against a graph: edges exist, structure is acyclic and
+    /// connected, and every terminal is covered. Used by tests and by the
+    /// backward module's debug assertions.
+    pub fn validate(&self, graph: &Graph) -> bool {
+        // All edges exist.
+        for &(a, b) in &self.edges {
+            let ok = graph.neighbors(a).iter().any(|(nb, _)| *nb == b);
+            if !ok {
+                return false;
+            }
+        }
+        let nodes = self.nodes();
+        if nodes.is_empty() {
+            return self.terminals.len() <= 1;
+        }
+        // A connected graph with |E| = |V| - 1 is a tree.
+        if self.edges.len() + 1 != nodes.len() {
+            return false;
+        }
+        // Connectivity over tree edges only.
+        let mut adj: std::collections::HashMap<NodeId, Vec<NodeId>> = Default::default();
+        for &(a, b) in &self.edges {
+            adj.entry(a).or_default().push(b);
+            adj.entry(b).or_default().push(a);
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![nodes[0]];
+        seen.insert(nodes[0]);
+        while let Some(v) = stack.pop() {
+            if let Some(ns) = adj.get(&v) {
+                for &u in ns {
+                    if seen.insert(u) {
+                        stack.push(u);
+                    }
+                }
+            }
+        }
+        nodes.iter().all(|n| seen.contains(n))
+            && self.terminals.iter().all(|t| seen.contains(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(edges: &[(u32, u32)], cost: f64, terms: &[u32]) -> SteinerTree {
+        SteinerTree::new(
+            edges.iter().map(|&(a, b)| (NodeId(a), NodeId(b))).collect(),
+            cost,
+            terms.iter().map(|&x| NodeId(x)).collect(),
+        )
+    }
+
+    #[test]
+    fn canonicalizes_edges() {
+        let a = t(&[(1, 0), (2, 1)], 2.0, &[0, 2]);
+        let b = t(&[(1, 2), (0, 1)], 2.0, &[2, 0]);
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(a.terminals(), b.terminals());
+    }
+
+    #[test]
+    fn subtree_detection() {
+        let small = t(&[(0, 1)], 1.0, &[0, 1]);
+        let big = t(&[(0, 1), (1, 2)], 2.0, &[0, 2]);
+        assert!(small.is_subtree_of(&big));
+        assert!(!big.is_subtree_of(&small));
+        assert!(small.is_subtree_of(&small));
+        let other = t(&[(0, 2)], 1.0, &[0, 2]);
+        assert!(!other.is_subtree_of(&big));
+    }
+
+    #[test]
+    fn nodes_and_steiner_points() {
+        let tree = t(&[(0, 1), (1, 2)], 2.0, &[0, 2]);
+        assert_eq!(tree.nodes(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(tree.steiner_points(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn validate_accepts_trees_and_rejects_cycles() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(0), 1.0).unwrap();
+        let tree = t(&[(0, 1), (1, 2)], 2.0, &[0, 2]);
+        assert!(tree.validate(&g));
+        let cycle = t(&[(0, 1), (1, 2), (0, 2)], 3.0, &[0, 2]);
+        assert!(!cycle.validate(&g));
+        let ghost = t(&[(0, 3)], 1.0, &[0, 3]);
+        assert!(!ghost.validate(&g)); // edge not in graph
+        let singleton = t(&[], 0.0, &[1]);
+        assert!(singleton.validate(&g));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the graph substrate: Steiner invariants against
+//! brute force on random small graphs.
+
+use proptest::prelude::*;
+use quest_graph::{
+    dijkstra, mst_approximation, top_k_steiner, Graph, GraphError, NodeId, SteinerConfig,
+    SteinerTree,
+};
+
+/// A random connected graph: a spanning path plus random extra edges.
+fn arb_graph(n: usize) -> impl Strategy<Value = Graph> {
+    let extra = proptest::collection::vec((0..n, 0..n, 0.1f64..5.0), 0..(n * 2));
+    let path = proptest::collection::vec(0.1f64..5.0, n.saturating_sub(1));
+    (path, extra).prop_map(move |(path_ws, extras)| {
+        let mut g = Graph::with_nodes(n);
+        for (i, w) in path_ws.iter().enumerate() {
+            g.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), *w).expect("valid edge");
+        }
+        for (a, b, w) in extras {
+            if a != b {
+                let _ = g.add_edge(NodeId(a as u32), NodeId(b as u32), w);
+            }
+        }
+        g
+    })
+}
+
+/// Brute-force optimal Steiner cost by trying every edge subset.
+fn brute_force_opt(g: &Graph, terminals: &[NodeId]) -> f64 {
+    let m = g.edge_count();
+    assert!(m <= 16, "brute force only for tiny graphs");
+    let mut best = f64::INFINITY;
+    for subset in 0u32..(1 << m) {
+        let keys: Vec<(NodeId, NodeId)> = (0..m)
+            .filter(|i| subset & (1 << i) != 0)
+            .map(|i| g.edge(i).key())
+            .collect();
+        let cost: f64 = (0..m)
+            .filter(|i| subset & (1 << i) != 0)
+            .map(|i| g.edge(i).weight)
+            .sum();
+        if cost >= best {
+            continue;
+        }
+        let tree = SteinerTree::new(keys, cost, terminals.to_vec());
+        if tree.validate(g) {
+            best = cost;
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn top1_is_optimal_on_small_graphs(g in arb_graph(5), t1 in 0u32..5, t2 in 0u32..5) {
+        prop_assume!(g.edge_count() <= 12);
+        prop_assume!(t1 != t2);
+        let terminals = [NodeId(t1), NodeId(t2)];
+        let got = top_k_steiner(&g, &terminals, &SteinerConfig::top_k(1)).expect("connected");
+        let opt = brute_force_opt(&g, &terminals);
+        prop_assert!((got[0].cost() - opt).abs() < 1e-9, "got {} want {}", got[0].cost(), opt);
+    }
+
+    #[test]
+    fn three_terminal_top1_is_optimal(g in arb_graph(5)) {
+        prop_assume!(g.edge_count() <= 10);
+        let terminals = [NodeId(0), NodeId(2), NodeId(4)];
+        let got = top_k_steiner(&g, &terminals, &SteinerConfig::top_k(1)).expect("connected");
+        let opt = brute_force_opt(&g, &terminals);
+        prop_assert!((got[0].cost() - opt).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_results_are_valid_trees_spanning_terminals(
+        g in arb_graph(6),
+        k in 1usize..6,
+    ) {
+        let terminals = [NodeId(0), NodeId(3), NodeId(5)];
+        let ts = top_k_steiner(&g, &terminals, &SteinerConfig::top_k(k)).expect("connected");
+        prop_assert!(!ts.is_empty());
+        prop_assert!(ts.len() <= k);
+        for t in &ts {
+            prop_assert!(t.validate(&g));
+            let nodes = t.nodes();
+            for term in &terminals {
+                prop_assert!(nodes.contains(term));
+            }
+        }
+        for w in ts.windows(2) {
+            prop_assert!(w[0].cost() <= w[1].cost() + 1e-9);
+        }
+        // Pairwise distinct and no tree contains another (suppression).
+        for (i, a) in ts.iter().enumerate() {
+            for (j, b) in ts.iter().enumerate() {
+                if i != j {
+                    prop_assert!(a.edges() != b.edges());
+                    prop_assert!(!a.is_subtree_of(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mst_approx_within_factor_two(g in arb_graph(6)) {
+        let terminals = [NodeId(0), NodeId(2), NodeId(5)];
+        let approx = mst_approximation(&g, &terminals).expect("connected");
+        let opt = top_k_steiner(&g, &terminals, &SteinerConfig::top_k(1)).expect("connected");
+        prop_assert!(approx.validate(&g));
+        prop_assert!(approx.cost() >= opt[0].cost() - 1e-9);
+        prop_assert!(approx.cost() <= 2.0 * opt[0].cost() + 1e-9);
+    }
+
+    #[test]
+    fn dijkstra_triangle_inequality(g in arb_graph(7), s in 0u32..7) {
+        let sp = dijkstra(&g, NodeId(s));
+        for e in g.edges() {
+            let (a, b) = (e.a.0 as usize, e.b.0 as usize);
+            if sp.dist[a].is_finite() {
+                prop_assert!(sp.dist[b] <= sp.dist[a] + e.weight + 1e-9);
+            }
+            if sp.dist[b].is_finite() {
+                prop_assert!(sp.dist[a] <= sp.dist[b] + e.weight + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn steiner_cost_monotone_in_terminal_set(g in arb_graph(6)) {
+        // Adding a terminal can never make the optimal tree cheaper.
+        let two = [NodeId(0), NodeId(3)];
+        let three = [NodeId(0), NodeId(3), NodeId(5)];
+        let t2 = top_k_steiner(&g, &two, &SteinerConfig::top_k(1)).expect("connected");
+        let t3 = top_k_steiner(&g, &three, &SteinerConfig::top_k(1)).expect("connected");
+        prop_assert!(t3[0].cost() >= t2[0].cost() - 1e-9);
+    }
+}
+
+#[test]
+fn disconnected_graph_reported() {
+    let mut g = Graph::with_nodes(4);
+    g.add_edge(NodeId(0), NodeId(1), 1.0).expect("edge");
+    g.add_edge(NodeId(2), NodeId(3), 1.0).expect("edge");
+    assert_eq!(
+        top_k_steiner(&g, &[NodeId(0), NodeId(2)], &SteinerConfig::top_k(1)).unwrap_err(),
+        GraphError::Disconnected
+    );
+}

@@ -1,0 +1,72 @@
+//! Error type for HMM construction and inference.
+
+use std::fmt;
+
+/// Errors raised by the HMM crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HmmError {
+    /// Zero states or an empty observation sequence.
+    Empty,
+    /// A vector or matrix has the wrong size.
+    Dimension {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// A probability is negative, NaN or infinite.
+    InvalidProbability {
+        /// Which distribution.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A distribution does not sum to 1.
+    NotNormalized {
+        /// Which distribution.
+        what: &'static str,
+        /// Actual sum.
+        sum: f64,
+    },
+    /// An emission likelihood is negative or non-finite.
+    InvalidEmission {
+        /// Time step.
+        step: usize,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for HmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HmmError::Empty => write!(f, "model or observation sequence is empty"),
+            HmmError::Dimension { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            HmmError::InvalidProbability { what, value } => {
+                write!(f, "invalid probability in {what}: {value}")
+            }
+            HmmError::NotNormalized { what, sum } => {
+                write!(f, "{what} sums to {sum}, expected 1")
+            }
+            HmmError::InvalidEmission { step, value } => {
+                write!(f, "invalid emission likelihood at step {step}: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HmmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = HmmError::Dimension { expected: 4, got: 3 };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('3'));
+    }
+}

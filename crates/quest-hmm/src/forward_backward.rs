@@ -1,0 +1,151 @@
+//! Scaled forward-backward recursions.
+//!
+//! Used by the Baum-Welch trainer (feedback-based mode). Scaling keeps the
+//! recursions numerically stable on long observation sequences.
+
+// Index-based loops below intentionally mirror the textbook DP
+// recurrences (Rabiner's notation); iterator rewrites obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::HmmError;
+use crate::model::Hmm;
+
+/// Output of one forward-backward pass.
+#[derive(Debug, Clone)]
+pub struct ForwardBackward {
+    /// Scaled forward variables, `alpha[t][s]`.
+    pub alpha: Vec<Vec<f64>>,
+    /// Scaled backward variables, `beta[t][s]`.
+    pub beta: Vec<Vec<f64>>,
+    /// Per-step scaling factors `c[t]` (inverse of the step's alpha sum).
+    pub scale: Vec<f64>,
+    /// Log-likelihood of the observation sequence under the model.
+    pub log_likelihood: f64,
+}
+
+impl ForwardBackward {
+    /// Posterior state probability `gamma[t][s] = P(q_t = s | O)`.
+    ///
+    /// With Rabiner scaling, `sum_s alpha[t][s] * beta[t][s] = c[t]`, so the
+    /// posterior is recovered by dividing out the step's scale factor.
+    pub fn gamma(&self, t: usize, s: usize) -> f64 {
+        self.alpha[t][s] * self.beta[t][s] / self.scale[t]
+    }
+}
+
+/// Run scaled forward-backward. Returns `Err` on malformed emissions and
+/// `Ok(None)` when the sequence has zero probability under the model.
+pub fn forward_backward(
+    model: &Hmm,
+    emissions: &[Vec<f64>],
+) -> Result<Option<ForwardBackward>, HmmError> {
+    model.check_emissions(emissions)?;
+    let n = model.n_states();
+    let t_len = emissions.len();
+
+    let mut alpha = vec![vec![0.0; n]; t_len];
+    let mut scale = vec![0.0; t_len];
+
+    // Forward, with per-step normalization.
+    let mut sum = 0.0;
+    for s in 0..n {
+        alpha[0][s] = model.initial(s) * emissions[0][s];
+        sum += alpha[0][s];
+    }
+    if sum <= 0.0 {
+        return Ok(None);
+    }
+    scale[0] = 1.0 / sum;
+    alpha[0].iter_mut().for_each(|v| *v *= scale[0]);
+
+    for t in 1..t_len {
+        let mut step_sum = 0.0;
+        for s in 0..n {
+            let mut a = 0.0;
+            for p in 0..n {
+                a += alpha[t - 1][p] * model.transition(p, s);
+            }
+            let v = a * emissions[t][s];
+            alpha[t][s] = v;
+            step_sum += v;
+        }
+        if step_sum <= 0.0 {
+            return Ok(None);
+        }
+        scale[t] = 1.0 / step_sum;
+        alpha[t].iter_mut().for_each(|v| *v *= scale[t]);
+    }
+
+    // Backward with the same scaling factors.
+    let mut beta = vec![vec![0.0; n]; t_len];
+    beta[t_len - 1].iter_mut().for_each(|v| *v = scale[t_len - 1]);
+    for t in (0..t_len - 1).rev() {
+        for s in 0..n {
+            let mut b = 0.0;
+            for q in 0..n {
+                b += model.transition(s, q) * emissions[t + 1][q] * beta[t + 1][q];
+            }
+            beta[t][s] = b * scale[t];
+        }
+    }
+
+    let log_likelihood = -scale.iter().map(|c| c.ln()).sum::<f64>();
+    Ok(Some(ForwardBackward { alpha, beta, scale, log_likelihood }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> Hmm {
+        Hmm::from_distributions(vec![0.6, 0.4], vec![0.7, 0.3, 0.4, 0.6]).unwrap()
+    }
+
+    #[test]
+    fn likelihood_matches_brute_force() {
+        let m = model();
+        let e = vec![vec![0.1, 0.6], vec![0.4, 0.3], vec![0.5, 0.1]];
+        let fb = forward_backward(&m, &e).unwrap().unwrap();
+        // Brute-force total probability.
+        let mut total = 0.0;
+        for a in 0..2 {
+            for b in 0..2 {
+                for c in 0..2 {
+                    total += m.initial(a) * e[0][a]
+                        * m.transition(a, b) * e[1][b]
+                        * m.transition(b, c) * e[2][c];
+                }
+            }
+        }
+        assert!((fb.log_likelihood - total.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_is_a_distribution_per_step() {
+        let m = model();
+        let e = vec![vec![0.1, 0.6], vec![0.4, 0.3], vec![0.5, 0.1]];
+        let fb = forward_backward(&m, &e).unwrap().unwrap();
+        for t in 0..3 {
+            let g: f64 = (0..2).map(|s| fb.gamma(t, s)).sum();
+            assert!((g - 1.0).abs() < 1e-9, "t={t} g={g}");
+        }
+    }
+
+    #[test]
+    fn impossible_sequence_returns_none() {
+        let m = model();
+        let e = vec![vec![0.0, 0.0]];
+        assert!(forward_backward(&m, &e).unwrap().is_none());
+    }
+
+    #[test]
+    fn long_sequence_is_stable() {
+        let m = model();
+        let e: Vec<Vec<f64>> = (0..500).map(|i| {
+            if i % 2 == 0 { vec![1e-3, 2e-3] } else { vec![2e-3, 1e-3] }
+        }).collect();
+        let fb = forward_backward(&m, &e).unwrap().unwrap();
+        assert!(fb.log_likelihood.is_finite());
+        assert!(fb.log_likelihood < 0.0);
+    }
+}

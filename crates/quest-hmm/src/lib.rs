@@ -1,0 +1,35 @@
+//! # quest-hmm — Hidden Markov Model substrate for QUEST
+//!
+//! QUEST's forward module models keyword-to-schema mapping as inference in a
+//! Hidden Markov Model whose states are database elements and whose
+//! observations are the user's keywords (paper §2–3). This crate provides:
+//!
+//! * [`Hmm`] — the model (initial + transition distributions; emissions are
+//!   supplied per query by the wrapper's search function);
+//! * [`viterbi`] — maximum-probability decoding;
+//! * [`list_viterbi`] — the top-k *list Viterbi algorithm*
+//!   (Seshadri–Sundberg), producing the top-k configurations;
+//! * [`forward_backward`] / [`baum_welch_step`] / [`train`] — scaled
+//!   Expectation-Maximization for the feedback-based operating mode;
+//! * [`SupervisedTrainer`] — count-based online training from user-validated
+//!   sequences (the "list Viterbi training" of Rota et al.).
+
+#![warn(missing_docs)]
+
+pub mod baum_welch;
+pub mod error;
+pub mod forward_backward;
+pub mod list_viterbi;
+pub mod model;
+pub mod sampling;
+pub mod supervised;
+pub mod viterbi;
+
+pub use baum_welch::{baum_welch_step, train, TrainReport};
+pub use error::HmmError;
+pub use forward_backward::{forward_backward, ForwardBackward};
+pub use list_viterbi::list_viterbi;
+pub use model::{Emissions, Hmm};
+pub use sampling::{emissions_for_states, sample_states, UniformSource, XorShift};
+pub use supervised::SupervisedTrainer;
+pub use viterbi::{viterbi, DecodedPath};

@@ -1,0 +1,195 @@
+//! The parallel List Viterbi Algorithm (Seshadri & Sundberg, 1994): the top-k
+//! most probable state sequences, globally ranked.
+//!
+//! This is the inference routine the forward module runs to produce the
+//! top-k *configurations* for a keyword query (paper §2, §3). The parallel
+//! LVA keeps, for every state at every step, the k best partial paths ending
+//! in that state; candidates at step `t+1` merge the per-rank extensions of
+//! all predecessors.
+
+// Index-based loops below intentionally mirror the textbook DP
+// recurrences (Rabiner's notation); iterator rewrites obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::HmmError;
+use crate::model::Hmm;
+use crate::viterbi::{ln, DecodedPath};
+
+/// Entry in the per-state k-best list: score plus backpointer
+/// `(prev_state, prev_rank)`.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    score: f64,
+    prev_state: usize,
+    prev_rank: usize,
+}
+
+/// Top-`k` most probable state sequences, best first. Sequences are distinct
+/// by construction. Fewer than `k` are returned when fewer have positive
+/// probability.
+pub fn list_viterbi(
+    model: &Hmm,
+    emissions: &[Vec<f64>],
+    k: usize,
+) -> Result<Vec<DecodedPath>, HmmError> {
+    model.check_emissions(emissions)?;
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let n = model.n_states();
+    let t_len = emissions.len();
+
+    // lists[t][s]: up to k entries sorted descending by score.
+    let mut lists: Vec<Vec<Vec<Entry>>> = Vec::with_capacity(t_len);
+    let first: Vec<Vec<Entry>> = (0..n)
+        .map(|s| {
+            let sc = ln(model.initial(s)) + ln(emissions[0][s]);
+            if sc == f64::NEG_INFINITY {
+                Vec::new()
+            } else {
+                vec![Entry { score: sc, prev_state: usize::MAX, prev_rank: 0 }]
+            }
+        })
+        .collect();
+    lists.push(first);
+
+    for t in 1..t_len {
+        let prev = &lists[t - 1];
+        let mut cur: Vec<Vec<Entry>> = Vec::with_capacity(n);
+        for s in 0..n {
+            let e = ln(emissions[t][s]);
+            if e == f64::NEG_INFINITY {
+                cur.push(Vec::new());
+                continue;
+            }
+            let mut cands: Vec<Entry> = Vec::new();
+            for p in 0..n {
+                let tp = ln(model.transition(p, s));
+                if tp == f64::NEG_INFINITY {
+                    continue;
+                }
+                for (rank, pe) in prev[p].iter().enumerate() {
+                    cands.push(Entry {
+                        score: pe.score + tp + e,
+                        prev_state: p,
+                        prev_rank: rank,
+                    });
+                }
+            }
+            cands.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+            cands.truncate(k);
+            cur.push(cands);
+        }
+        lists.push(cur);
+    }
+
+    // Merge final lists across states, take global top-k, backtrack each.
+    let mut finals: Vec<(usize, usize, f64)> = Vec::new(); // (state, rank, score)
+    for s in 0..n {
+        for (rank, e) in lists[t_len - 1][s].iter().enumerate() {
+            finals.push((s, rank, e.score));
+        }
+    }
+    finals.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    finals.truncate(k);
+
+    let mut out = Vec::with_capacity(finals.len());
+    for (state, rank, score) in finals {
+        let mut states = vec![0usize; t_len];
+        let (mut s, mut r) = (state, rank);
+        for t in (0..t_len).rev() {
+            states[t] = s;
+            let e = lists[t][s][r];
+            s = e.prev_state;
+            r = e.prev_rank;
+        }
+        out.push(DecodedPath { states, log_prob: score });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::viterbi::viterbi;
+
+    fn model() -> Hmm {
+        Hmm::from_distributions(vec![0.6, 0.4], vec![0.7, 0.3, 0.4, 0.6]).unwrap()
+    }
+
+    fn emissions() -> Vec<Vec<f64>> {
+        vec![vec![0.1, 0.6], vec![0.4, 0.3], vec![0.5, 0.1]]
+    }
+
+    #[test]
+    fn k1_equals_viterbi() {
+        let m = model();
+        let e = emissions();
+        let v = viterbi(&m, &e).unwrap().unwrap();
+        let l = list_viterbi(&m, &e, 1).unwrap();
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].states, v.states);
+        assert!((l[0].log_prob - v.log_prob).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scores_non_increasing_and_sequences_distinct() {
+        let m = model();
+        let e = emissions();
+        let l = list_viterbi(&m, &e, 8).unwrap();
+        assert_eq!(l.len(), 8); // 2^3 possible sequences
+        for w in l.windows(2) {
+            assert!(w[0].log_prob >= w[1].log_prob);
+        }
+        let mut seqs: Vec<_> = l.iter().map(|p| p.states.clone()).collect();
+        seqs.sort();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 8);
+    }
+
+    #[test]
+    fn exhaustive_enumeration_matches_brute_force() {
+        let m = model();
+        let e = emissions();
+        // Brute force all 8 sequences.
+        let mut all: Vec<(Vec<usize>, f64)> = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for c in 0..2 {
+                    let p = m.initial(a) * e[0][a]
+                        * m.transition(a, b) * e[1][b]
+                        * m.transition(b, c) * e[2][c];
+                    all.push((vec![a, b, c], p.ln()));
+                }
+            }
+        }
+        all.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap());
+        let l = list_viterbi(&m, &e, 4).unwrap();
+        for (got, want) in l.iter().zip(all.iter()) {
+            assert_eq!(&got.states, &want.0);
+            assert!((got.log_prob - want.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_path_count() {
+        let m = model();
+        let e = vec![vec![0.5, 0.0], vec![0.5, 0.5]];
+        // Only 2 feasible sequences (first state forced to 0).
+        let l = list_viterbi(&m, &e, 10).unwrap();
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn k0_returns_empty() {
+        let m = model();
+        assert!(list_viterbi(&m, &emissions(), 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn infeasible_returns_empty() {
+        let m = model();
+        let e = vec![vec![0.0, 0.0], vec![0.5, 0.5]];
+        assert!(list_viterbi(&m, &e, 3).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! The Hidden Markov Model type.
+//!
+//! QUEST models the keyword-to-schema mapping problem as an HMM whose hidden
+//! states are database elements (tables, attributes, attribute domains) and
+//! whose observations are the user's keywords (paper §2, §3). Emission
+//! probabilities are *not* a fixed symbol table: they are computed per
+//! keyword by the wrapper's search function. The model therefore stores only
+//! the initial distribution and the transition matrix; every inference
+//! routine takes the per-step emission likelihoods as input.
+
+use crate::error::HmmError;
+
+/// Dense emission likelihoods for one observation sequence: for each time
+/// step `t`, `emissions[t][s]` is `P(observation_t | state = s)`. Values must
+/// be non-negative; they need not sum to one across states (they are
+/// likelihoods, not a distribution over states).
+pub type Emissions = Vec<Vec<f64>>;
+
+/// A discrete-state HMM with externally supplied emissions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hmm {
+    n: usize,
+    /// Initial state distribution, linear space, sums to 1.
+    initial: Vec<f64>,
+    /// Row-major transition matrix `trans[from * n + to]`, rows sum to 1.
+    trans: Vec<f64>,
+}
+
+impl Hmm {
+    /// Uniform model over `n` states.
+    pub fn uniform(n: usize) -> Result<Hmm, HmmError> {
+        if n == 0 {
+            return Err(HmmError::Empty);
+        }
+        let p = 1.0 / n as f64;
+        Ok(Hmm { n, initial: vec![p; n], trans: vec![p; n * n] })
+    }
+
+    /// Build from explicit distributions. `initial` must have length `n` and
+    /// sum to 1; `trans` must be `n*n` row-major with each row summing to 1
+    /// (tolerance 1e-6). Rows summing to zero are rejected.
+    pub fn from_distributions(initial: Vec<f64>, trans: Vec<f64>) -> Result<Hmm, HmmError> {
+        let n = initial.len();
+        if n == 0 {
+            return Err(HmmError::Empty);
+        }
+        if trans.len() != n * n {
+            return Err(HmmError::Dimension {
+                expected: n * n,
+                got: trans.len(),
+            });
+        }
+        check_distribution(&initial, "initial")?;
+        for r in 0..n {
+            check_distribution(&trans[r * n..(r + 1) * n], "transition row")?;
+        }
+        Ok(Hmm { n, initial, trans })
+    }
+
+    /// Build from non-negative *weights*, normalizing each distribution.
+    /// Zero rows become uniform.
+    pub fn from_weights(initial: Vec<f64>, trans: Vec<f64>) -> Result<Hmm, HmmError> {
+        let n = initial.len();
+        if n == 0 {
+            return Err(HmmError::Empty);
+        }
+        if trans.len() != n * n {
+            return Err(HmmError::Dimension {
+                expected: n * n,
+                got: trans.len(),
+            });
+        }
+        let mut initial = initial;
+        normalize_or_uniform(&mut initial)?;
+        let mut trans = trans;
+        for r in 0..n {
+            normalize_or_uniform(&mut trans[r * n..(r + 1) * n])?;
+        }
+        Ok(Hmm { n, initial, trans })
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.n
+    }
+
+    /// Initial probability of a state.
+    pub fn initial(&self, s: usize) -> f64 {
+        self.initial[s]
+    }
+
+    /// Transition probability `from -> to`.
+    pub fn transition(&self, from: usize, to: usize) -> f64 {
+        self.trans[from * self.n + to]
+    }
+
+    /// The full initial distribution.
+    pub fn initial_dist(&self) -> &[f64] {
+        &self.initial
+    }
+
+    /// One row of the transition matrix.
+    pub fn transition_row(&self, from: usize) -> &[f64] {
+        &self.trans[from * self.n..(from + 1) * self.n]
+    }
+
+    /// Replace the distributions (used by training). Same validation as
+    /// [`Hmm::from_distributions`].
+    pub fn set_distributions(&mut self, initial: Vec<f64>, trans: Vec<f64>) -> Result<(), HmmError> {
+        let updated = Hmm::from_distributions(initial, trans)?;
+        if updated.n != self.n {
+            return Err(HmmError::Dimension { expected: self.n, got: updated.n });
+        }
+        *self = updated;
+        Ok(())
+    }
+
+    /// Validate an emission matrix against this model: at least one step,
+    /// every step dense over `n` states, all values finite and non-negative.
+    pub fn check_emissions(&self, emissions: &[Vec<f64>]) -> Result<(), HmmError> {
+        if emissions.is_empty() {
+            return Err(HmmError::Empty);
+        }
+        for (t, row) in emissions.iter().enumerate() {
+            if row.len() != self.n {
+                return Err(HmmError::Dimension { expected: self.n, got: row.len() });
+            }
+            for &v in row {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(HmmError::InvalidEmission { step: t, value: v });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn check_distribution(p: &[f64], what: &'static str) -> Result<(), HmmError> {
+    let mut sum = 0.0;
+    for &v in p {
+        if !v.is_finite() || v < 0.0 {
+            return Err(HmmError::InvalidProbability { what, value: v });
+        }
+        sum += v;
+    }
+    if (sum - 1.0).abs() > 1e-6 {
+        return Err(HmmError::NotNormalized { what, sum });
+    }
+    Ok(())
+}
+
+fn normalize_or_uniform(p: &mut [f64]) -> Result<(), HmmError> {
+    let mut sum = 0.0;
+    for &v in p.iter() {
+        if !v.is_finite() || v < 0.0 {
+            return Err(HmmError::InvalidProbability { what: "weight", value: v });
+        }
+        sum += v;
+    }
+    if sum <= 0.0 {
+        let u = 1.0 / p.len() as f64;
+        p.iter_mut().for_each(|v| *v = u);
+    } else {
+        p.iter_mut().for_each(|v| *v /= sum);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_model_is_normalized() {
+        let m = Hmm::uniform(4).unwrap();
+        assert_eq!(m.n_states(), 4);
+        assert!((m.initial_dist().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for r in 0..4 {
+            assert!((m.transition_row(r).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_states_rejected() {
+        assert!(matches!(Hmm::uniform(0), Err(HmmError::Empty)));
+    }
+
+    #[test]
+    fn from_distributions_validates() {
+        assert!(Hmm::from_distributions(vec![0.5, 0.4], vec![0.5; 4]).is_err()); // init sums to .9
+        assert!(Hmm::from_distributions(vec![0.5, 0.5], vec![0.5; 3]).is_err()); // wrong dims
+        assert!(Hmm::from_distributions(vec![0.5, 0.5], vec![-0.5, 1.5, 0.5, 0.5]).is_err());
+        let m = Hmm::from_distributions(vec![0.3, 0.7], vec![0.1, 0.9, 0.8, 0.2]).unwrap();
+        assert!((m.transition(1, 0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_weights_normalizes_and_handles_zero_rows() {
+        let m = Hmm::from_weights(vec![2.0, 2.0], vec![3.0, 1.0, 0.0, 0.0]).unwrap();
+        assert!((m.initial(0) - 0.5).abs() < 1e-12);
+        assert!((m.transition(0, 0) - 0.75).abs() < 1e-12);
+        // zero row becomes uniform
+        assert!((m.transition(1, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emission_validation() {
+        let m = Hmm::uniform(2).unwrap();
+        assert!(m.check_emissions(&[]).is_err());
+        assert!(m.check_emissions(&[vec![0.1]]).is_err());
+        assert!(m.check_emissions(&[vec![0.1, f64::NAN]]).is_err());
+        assert!(m.check_emissions(&[vec![0.1, 0.2]]).is_ok());
+    }
+}

@@ -1,0 +1,176 @@
+//! Sampling state paths from an HMM.
+//!
+//! Used by tests and experiments to build synthetic observation workloads
+//! with known ground-truth state sequences (e.g. checking that training
+//! recovers the generating parameters). The crate avoids an RNG dependency:
+//! the caller supplies a stream of uniform `[0, 1)` draws, which keeps
+//! sampling deterministic and dependency-free.
+
+use crate::error::HmmError;
+use crate::model::Hmm;
+
+/// A source of uniform draws in `[0, 1)`.
+pub trait UniformSource {
+    /// Next uniform draw.
+    fn next_uniform(&mut self) -> f64;
+}
+
+/// A small deterministic xorshift-based uniform source (not cryptographic;
+/// adequate for test-data generation).
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Seeded source. Zero seeds are remapped.
+    pub fn new(seed: u64) -> XorShift {
+        XorShift { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+    }
+}
+
+impl UniformSource for XorShift {
+    fn next_uniform(&mut self) -> f64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        // 53-bit mantissa for a uniform double in [0, 1).
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Draw an index from a discrete distribution.
+fn sample_dist(dist: &[f64], u: f64) -> usize {
+    let mut acc = 0.0;
+    for (i, p) in dist.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i;
+        }
+    }
+    dist.len() - 1
+}
+
+/// Sample a state path of length `len` from the model's initial and
+/// transition distributions.
+pub fn sample_states<R: UniformSource>(
+    model: &Hmm,
+    len: usize,
+    rng: &mut R,
+) -> Result<Vec<usize>, HmmError> {
+    if len == 0 {
+        return Err(HmmError::Empty);
+    }
+    let mut states = Vec::with_capacity(len);
+    let mut s = sample_dist(model.initial_dist(), rng.next_uniform());
+    states.push(s);
+    for _ in 1..len {
+        s = sample_dist(model.transition_row(s), rng.next_uniform());
+        states.push(s);
+    }
+    Ok(states)
+}
+
+/// Build near-one-hot emission likelihoods for a known state path: the true
+/// state emits with likelihood `signal`, all others with `noise`. Feeding
+/// these to the decoders recovers the path when `signal >> noise`.
+pub fn emissions_for_states(
+    n_states: usize,
+    states: &[usize],
+    signal: f64,
+    noise: f64,
+) -> Vec<Vec<f64>> {
+    states
+        .iter()
+        .map(|&s| {
+            (0..n_states)
+                .map(|i| if i == s { signal } else { noise })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervised::SupervisedTrainer;
+    use crate::viterbi::viterbi;
+
+    #[test]
+    fn xorshift_is_uniformish() {
+        let mut r = XorShift::new(7);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.next_uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        for _ in 0..1000 {
+            let u = r.next_uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn sampling_respects_transitions() {
+        // Near-deterministic alternation.
+        let m = Hmm::from_distributions(
+            vec![1.0, 0.0],
+            vec![0.02, 0.98, 0.98, 0.02],
+        )
+        .unwrap();
+        let mut r = XorShift::new(3);
+        let states = sample_states(&m, 200, &mut r).unwrap();
+        assert_eq!(states[0], 0);
+        let switches = states.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(switches > 150, "expected mostly alternation, got {switches} switches");
+    }
+
+    #[test]
+    fn decoder_recovers_sampled_path() {
+        let m = Hmm::from_distributions(
+            vec![0.7, 0.3],
+            vec![0.8, 0.2, 0.3, 0.7],
+        )
+        .unwrap();
+        let mut r = XorShift::new(11);
+        let states = sample_states(&m, 12, &mut r).unwrap();
+        let em = emissions_for_states(2, &states, 0.99, 0.01);
+        let decoded = viterbi(&m, &em).unwrap().unwrap();
+        assert_eq!(decoded.states, states);
+    }
+
+    #[test]
+    fn supervised_training_recovers_generator() {
+        // Sample many paths from a known model, train on them, compare.
+        let truth = Hmm::from_distributions(
+            vec![0.9, 0.1],
+            vec![0.75, 0.25, 0.4, 0.6],
+        )
+        .unwrap();
+        let mut r = XorShift::new(5);
+        let mut trainer = SupervisedTrainer::new(2, 0.5).unwrap();
+        for _ in 0..2000 {
+            let states = sample_states(&truth, 8, &mut r).unwrap();
+            trainer.observe(&states).unwrap();
+        }
+        let learned = trainer.build().unwrap();
+        for i in 0..2 {
+            assert!((learned.initial(i) - truth.initial(i)).abs() < 0.05);
+            for j in 0..2 {
+                assert!(
+                    (learned.transition(i, j) - truth.transition(i, j)).abs() < 0.05,
+                    "t{i}{j}: {} vs {}",
+                    learned.transition(i, j),
+                    truth.transition(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        let m = Hmm::uniform(2).unwrap();
+        let mut r = XorShift::new(1);
+        assert!(sample_states(&m, 0, &mut r).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Supervised (count-based) training from validated state sequences.
+//!
+//! This implements the training side of "the list Viterbi training algorithm
+//! and its application to keyword search over databases" (Rota et al., CIKM
+//! 2011, paper reference [4]): when the user validates an explanation, the
+//! configuration's state sequence becomes a labelled example. Counting
+//! initial states and transitions with additive smoothing yields a
+//! maximum-a-posteriori estimate of the HMM parameters, which can be updated
+//! online as feedback arrives.
+
+use crate::error::HmmError;
+use crate::model::Hmm;
+
+/// Accumulates validated state sequences and produces HMM parameters.
+#[derive(Debug, Clone)]
+pub struct SupervisedTrainer {
+    n: usize,
+    /// Additive (Laplace) smoothing constant.
+    smoothing: f64,
+    init_counts: Vec<f64>,
+    trans_counts: Vec<f64>,
+    sequences_seen: usize,
+}
+
+impl SupervisedTrainer {
+    /// New trainer over `n` states with smoothing constant `smoothing`
+    /// (use ~1.0 for Laplace, smaller for sharper estimates).
+    pub fn new(n: usize, smoothing: f64) -> Result<SupervisedTrainer, HmmError> {
+        if n == 0 {
+            return Err(HmmError::Empty);
+        }
+        if !smoothing.is_finite() || smoothing < 0.0 {
+            return Err(HmmError::InvalidProbability { what: "smoothing", value: smoothing });
+        }
+        Ok(SupervisedTrainer {
+            n,
+            smoothing,
+            init_counts: vec![0.0; n],
+            trans_counts: vec![0.0; n * n],
+            sequences_seen: 0,
+        })
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.n
+    }
+
+    /// Number of sequences observed so far.
+    pub fn sequences_seen(&self) -> usize {
+        self.sequences_seen
+    }
+
+    /// Record one validated state sequence with a confidence weight
+    /// (weight 1.0 = fully trusted validation; the engine uses lower weights
+    /// for indirect feedback).
+    pub fn observe_weighted(&mut self, states: &[usize], weight: f64) -> Result<(), HmmError> {
+        if states.is_empty() {
+            return Err(HmmError::Empty);
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(HmmError::InvalidProbability { what: "weight", value: weight });
+        }
+        for &s in states {
+            if s >= self.n {
+                return Err(HmmError::Dimension { expected: self.n, got: s + 1 });
+            }
+        }
+        self.init_counts[states[0]] += weight;
+        for w in states.windows(2) {
+            self.trans_counts[w[0] * self.n + w[1]] += weight;
+        }
+        self.sequences_seen += 1;
+        Ok(())
+    }
+
+    /// Record one validated state sequence with weight 1.
+    pub fn observe(&mut self, states: &[usize]) -> Result<(), HmmError> {
+        self.observe_weighted(states, 1.0)
+    }
+
+    /// Record a *negative* example: the user rejected this configuration.
+    /// Its transitions are discounted (never below zero).
+    pub fn observe_negative(&mut self, states: &[usize], weight: f64) -> Result<(), HmmError> {
+        if states.is_empty() {
+            return Err(HmmError::Empty);
+        }
+        for &s in states {
+            if s >= self.n {
+                return Err(HmmError::Dimension { expected: self.n, got: s + 1 });
+            }
+        }
+        let w = weight.abs();
+        self.init_counts[states[0]] = (self.init_counts[states[0]] - w).max(0.0);
+        for win in states.windows(2) {
+            let c = &mut self.trans_counts[win[0] * self.n + win[1]];
+            *c = (*c - w).max(0.0);
+        }
+        self.sequences_seen += 1;
+        Ok(())
+    }
+
+    /// Build the smoothed HMM from the accumulated counts.
+    pub fn build(&self) -> Result<Hmm, HmmError> {
+        let n = self.n;
+        let initial: Vec<f64> = self.init_counts.iter().map(|c| c + self.smoothing).collect();
+        let mut trans = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                trans[i * n + j] = self.trans_counts[i * n + j] + self.smoothing;
+            }
+        }
+        Hmm::from_weights(initial, trans)
+    }
+
+    /// Merge another trainer's counts into this one (e.g. feedback collected
+    /// by different sessions).
+    pub fn merge(&mut self, other: &SupervisedTrainer) -> Result<(), HmmError> {
+        if other.n != self.n {
+            return Err(HmmError::Dimension { expected: self.n, got: other.n });
+        }
+        for (a, b) in self.init_counts.iter_mut().zip(&other.init_counts) {
+            *a += b;
+        }
+        for (a, b) in self.trans_counts.iter_mut().zip(&other.trans_counts) {
+            *a += b;
+        }
+        self.sequences_seen += other.sequences_seen;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_build_is_uniform() {
+        let t = SupervisedTrainer::new(3, 1.0).unwrap();
+        let m = t.build().unwrap();
+        for s in 0..3 {
+            assert!((m.initial(s) - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn counts_shape_distributions() {
+        let mut t = SupervisedTrainer::new(2, 0.1).unwrap();
+        for _ in 0..20 {
+            t.observe(&[0, 1, 0, 1]).unwrap();
+        }
+        let m = t.build().unwrap();
+        assert!(m.initial(0) > 0.9);
+        assert!(m.transition(0, 1) > 0.9);
+        assert!(m.transition(1, 0) > 0.9);
+    }
+
+    #[test]
+    fn negative_feedback_discounts() {
+        let mut t = SupervisedTrainer::new(2, 0.1).unwrap();
+        t.observe(&[0, 0]).unwrap();
+        t.observe(&[0, 0]).unwrap();
+        let before = t.build().unwrap().transition(0, 0);
+        t.observe_negative(&[0, 0], 1.5).unwrap();
+        let after = t.build().unwrap().transition(0, 0);
+        assert!(after < before);
+        // Discounting floors at zero.
+        t.observe_negative(&[0, 0], 100.0).unwrap();
+        let m = t.build().unwrap();
+        assert!((m.transition(0, 0) - m.transition(0, 1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_out_of_range_states() {
+        let mut t = SupervisedTrainer::new(2, 1.0).unwrap();
+        assert!(t.observe(&[0, 5]).is_err());
+        assert!(t.observe(&[]).is_err());
+        assert!(t.observe_weighted(&[0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = SupervisedTrainer::new(2, 0.5).unwrap();
+        let mut b = SupervisedTrainer::new(2, 0.5).unwrap();
+        a.observe(&[0, 1]).unwrap();
+        b.observe(&[0, 1]).unwrap();
+        b.observe(&[0, 1]).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.sequences_seen(), 3);
+        let m = a.build().unwrap();
+        assert!(m.transition(0, 1) > 0.8);
+        let c = SupervisedTrainer::new(3, 0.5).unwrap();
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn weighted_observations_count_proportionally() {
+        let mut t = SupervisedTrainer::new(2, 0.0001).unwrap();
+        t.observe_weighted(&[0, 0], 3.0).unwrap();
+        t.observe_weighted(&[0, 1], 1.0).unwrap();
+        let m = t.build().unwrap();
+        assert!((m.transition(0, 0) - 0.75).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,141 @@
+//! The Viterbi algorithm in log space.
+
+// Index-based loops below intentionally mirror the textbook DP
+// recurrences (Rabiner's notation); iterator rewrites obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::HmmError;
+use crate::model::Hmm;
+
+/// A decoded state sequence with its log-probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedPath {
+    /// One state per observation.
+    pub states: Vec<usize>,
+    /// Natural-log joint probability of states and observations.
+    pub log_prob: f64,
+}
+
+/// Most probable state sequence for the given emission likelihoods, or
+/// `None` when no sequence has positive probability.
+pub fn viterbi(model: &Hmm, emissions: &[Vec<f64>]) -> Result<Option<DecodedPath>, HmmError> {
+    model.check_emissions(emissions)?;
+    let n = model.n_states();
+    let t_len = emissions.len();
+
+    // delta[s]: best log prob of any path ending in s; psi[t][s]: argmax prev.
+    let mut delta: Vec<f64> = (0..n)
+        .map(|s| ln(model.initial(s)) + ln(emissions[0][s]))
+        .collect();
+    let mut psi: Vec<Vec<usize>> = Vec::with_capacity(t_len);
+
+    for t in 1..t_len {
+        let mut next = vec![f64::NEG_INFINITY; n];
+        let mut back = vec![0usize; n];
+        for s in 0..n {
+            let e = ln(emissions[t][s]);
+            if e == f64::NEG_INFINITY {
+                continue;
+            }
+            let mut best = f64::NEG_INFINITY;
+            let mut arg = 0usize;
+            for p in 0..n {
+                if delta[p] == f64::NEG_INFINITY {
+                    continue;
+                }
+                let cand = delta[p] + ln(model.transition(p, s));
+                if cand > best {
+                    best = cand;
+                    arg = p;
+                }
+            }
+            if best > f64::NEG_INFINITY {
+                next[s] = best + e;
+                back[s] = arg;
+            }
+        }
+        delta = next;
+        psi.push(back);
+    }
+
+    let (mut s, mut best) = (0usize, f64::NEG_INFINITY);
+    for (i, &d) in delta.iter().enumerate() {
+        if d > best {
+            best = d;
+            s = i;
+        }
+    }
+    if best == f64::NEG_INFINITY {
+        return Ok(None);
+    }
+    let mut states = vec![0usize; t_len];
+    states[t_len - 1] = s;
+    for t in (1..t_len).rev() {
+        s = psi[t - 1][states[t]];
+        states[t - 1] = s;
+    }
+    Ok(Some(DecodedPath { states, log_prob: best }))
+}
+
+#[inline]
+pub(crate) fn ln(p: f64) -> f64 {
+    if p <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        p.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic two-state weather example with hand-checkable numbers.
+    fn model() -> Hmm {
+        Hmm::from_distributions(vec![0.6, 0.4], vec![0.7, 0.3, 0.4, 0.6]).unwrap()
+    }
+
+    #[test]
+    fn decodes_hand_computed_sequence() {
+        let m = model();
+        // Emissions for observations [walk, shop, clean] in the classic
+        // Rainy(0)/Sunny(1) example with B = [[.1,.4,.5],[.6,.3,.1]].
+        let e = vec![vec![0.1, 0.6], vec![0.4, 0.3], vec![0.5, 0.1]];
+        let d = viterbi(&m, &e).unwrap().unwrap();
+        assert_eq!(d.states, vec![1, 0, 0]);
+        let expected = (0.4f64 * 0.6 * 0.4 * 0.4 * 0.7 * 0.5).ln();
+        assert!((d.log_prob - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_emissions_everywhere_yields_none() {
+        let m = model();
+        let e = vec![vec![0.0, 0.0]];
+        assert_eq!(viterbi(&m, &e).unwrap(), None);
+    }
+
+    #[test]
+    fn blocked_state_is_avoided() {
+        let m = model();
+        // Second step only state 1 can emit.
+        let e = vec![vec![0.5, 0.5], vec![0.0, 0.9]];
+        let d = viterbi(&m, &e).unwrap().unwrap();
+        assert_eq!(d.states[1], 1);
+    }
+
+    #[test]
+    fn single_step_picks_max_product() {
+        let m = model();
+        let e = vec![vec![0.9, 0.1]];
+        let d = viterbi(&m, &e).unwrap().unwrap();
+        assert_eq!(d.states, vec![0]);
+        assert!((d.log_prob - (0.6f64 * 0.9).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_emissions() {
+        let m = model();
+        assert!(viterbi(&m, &[]).is_err());
+        assert!(viterbi(&m, &[vec![0.1]]).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the HMM substrate.
+
+use proptest::prelude::*;
+use quest_hmm::{baum_welch_step, forward_backward, list_viterbi, viterbi, Hmm};
+
+/// Arbitrary small HMM from positive weights.
+fn arb_hmm(n: usize) -> impl Strategy<Value = Hmm> {
+    (
+        proptest::collection::vec(0.05f64..1.0, n),
+        proptest::collection::vec(0.05f64..1.0, n * n),
+    )
+        .prop_map(|(init, trans)| Hmm::from_weights(init, trans).expect("weights normalize"))
+}
+
+/// Arbitrary emission matrix: `t` steps over `n` states, strictly positive
+/// likelihoods so every sequence is feasible.
+fn arb_emissions(n: usize, t: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    t.prop_flat_map(move |len| {
+        proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, n), len)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn list_viterbi_k1_matches_viterbi(
+        hmm in arb_hmm(4),
+        em in arb_emissions(4, 1..6),
+    ) {
+        let v = viterbi(&hmm, &em).expect("valid").expect("feasible");
+        let l = list_viterbi(&hmm, &em, 1).expect("valid");
+        prop_assert_eq!(l.len(), 1);
+        prop_assert!((l[0].log_prob - v.log_prob).abs() < 1e-9);
+        prop_assert_eq!(&l[0].states, &v.states);
+    }
+
+    #[test]
+    fn list_viterbi_scores_sorted_and_distinct(
+        hmm in arb_hmm(3),
+        em in arb_emissions(3, 2..5),
+        k in 1usize..12,
+    ) {
+        let l = list_viterbi(&hmm, &em, k).expect("valid");
+        prop_assert!(l.len() <= k);
+        for w in l.windows(2) {
+            prop_assert!(w[0].log_prob >= w[1].log_prob - 1e-12);
+        }
+        let mut seqs: Vec<_> = l.iter().map(|p| p.states.clone()).collect();
+        let before = seqs.len();
+        seqs.sort();
+        seqs.dedup();
+        prop_assert_eq!(seqs.len(), before, "duplicate sequences returned");
+    }
+
+    #[test]
+    fn list_viterbi_exhaustive_matches_brute_force(
+        hmm in arb_hmm(2),
+        em in arb_emissions(2, 2..5),
+    ) {
+        // k large enough to enumerate all 2^T sequences.
+        let t = em.len();
+        let all = 1usize << t;
+        let l = list_viterbi(&hmm, &em, all).expect("valid");
+        prop_assert_eq!(l.len(), all);
+        // Brute force.
+        let mut bf: Vec<(Vec<usize>, f64)> = Vec::new();
+        for code in 0..all {
+            let states: Vec<usize> = (0..t).map(|i| (code >> i) & 1).collect();
+            let mut p = hmm.initial(states[0]).ln() + em[0][states[0]].ln();
+            for i in 1..t {
+                p += hmm.transition(states[i - 1], states[i]).ln() + em[i][states[i]].ln();
+            }
+            bf.push((states, p));
+        }
+        bf.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        for (got, want) in l.iter().zip(bf.iter()) {
+            prop_assert!((got.log_prob - want.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forward_backward_likelihood_bounds_viterbi(
+        hmm in arb_hmm(4),
+        em in arb_emissions(4, 1..6),
+    ) {
+        // P(best path) <= P(observations) always.
+        let v = viterbi(&hmm, &em).expect("valid").expect("feasible");
+        let fb = forward_backward(&hmm, &em).expect("valid").expect("feasible");
+        prop_assert!(v.log_prob <= fb.log_likelihood + 1e-9);
+    }
+
+    #[test]
+    fn gammas_are_distributions(
+        hmm in arb_hmm(3),
+        em in arb_emissions(3, 1..6),
+    ) {
+        let fb = forward_backward(&hmm, &em).expect("valid").expect("feasible");
+        for t in 0..em.len() {
+            let g: f64 = (0..3).map(|s| fb.gamma(t, s)).sum();
+            prop_assert!((g - 1.0).abs() < 1e-6, "t={t} sum={g}");
+        }
+    }
+
+    #[test]
+    fn em_never_decreases_likelihood(
+        hmm in arb_hmm(3),
+        em1 in arb_emissions(3, 2..5),
+        em2 in arb_emissions(3, 2..5),
+    ) {
+        let batch = vec![em1, em2];
+        let mut m = hmm;
+        let ll1 = baum_welch_step(&mut m, &batch).expect("valid").expect("feasible");
+        let ll2 = baum_welch_step(&mut m, &batch).expect("valid").expect("feasible");
+        // ll2 is the likelihood of the batch under the *updated* model.
+        prop_assert!(ll2 >= ll1 - 1e-7, "EM regressed: {ll1} -> {ll2}");
+    }
+
+    #[test]
+    fn em_preserves_normalization(
+        hmm in arb_hmm(4),
+        em in arb_emissions(4, 2..5),
+    ) {
+        let mut m = hmm;
+        baum_welch_step(&mut m, &[em]).expect("valid");
+        prop_assert!((m.initial_dist().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for r in 0..4 {
+            prop_assert!((m.transition_row(r).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}

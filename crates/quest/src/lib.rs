@@ -1,0 +1,36 @@
+//! # quest — facade for the QUEST keyword-search system
+//!
+//! One `use quest::prelude::*` away from the full reproduction of
+//! *QUEST: A Keyword Search System for Relational Data based on Semantic and
+//! Machine Learning Techniques* (Bergamaschi et al., PVLDB 6(12), 2013).
+//!
+//! ```
+//! use quest::prelude::*;
+//!
+//! let db = quest::data::imdb::generate(&quest::data::imdb::ImdbScale::with_movies(50))
+//!     .expect("generator succeeds");
+//! let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default())
+//!     .expect("setup succeeds");
+//! let outcome = engine.search("casablanca director").expect("search succeeds");
+//! assert!(!outcome.explanations.is_empty());
+//! println!("{}", outcome.explanations[0].sql(engine.wrapper().catalog()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use quest_core as core;
+pub use quest_data as data;
+pub use quest_dst as dst;
+pub use quest_graph as graph;
+pub use quest_hmm as hmm;
+pub use relstore as store;
+
+/// The most common imports.
+pub mod prelude {
+    pub use quest_core::{
+        AnnotationSet, Configuration, DbTerm, DeepWebWrapper, Explanation, FullAccessWrapper,
+        KeywordQuery, MiniOntology, Quest, QuestConfig, QuestError, SearchOutcome,
+        SourceWrapper,
+    };
+    pub use relstore::{Catalog, DataType, Database, Row, Value};
+}

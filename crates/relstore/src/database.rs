@@ -1,0 +1,336 @@
+//! The `Database`: catalog + table data + full-text indexes + statistics.
+
+use std::collections::HashMap;
+
+use crate::error::StoreError;
+use crate::index::inverted::AttributeIndex;
+use crate::row::{Row, RowId};
+use crate::schema::{AttrId, Catalog, ForeignKey, TableId};
+use crate::stats::{attribute_stats, join_stats, AttributeStats, JoinStats};
+use crate::table::TableData;
+use crate::value::Value;
+
+/// An in-memory relational database instance.
+///
+/// Construction: build a [`Catalog`], call [`Database::new`], insert rows in
+/// FK dependency order (or use [`Database::insert_unchecked`] followed by
+/// [`Database::validate_foreign_keys`]), then call [`Database::finalize`] to
+/// build full-text indexes and statistics — the paper's "setup phase".
+#[derive(Debug, Clone)]
+pub struct Database {
+    catalog: Catalog,
+    tables: Vec<TableData>,
+    /// Full-text indexes, one per attribute with `full_text = true`.
+    indexes: HashMap<AttrId, AttributeIndex>,
+    /// Per-attribute statistics (built in `finalize`).
+    attr_stats: HashMap<AttrId, AttributeStats>,
+    /// Per-foreign-key join statistics (built in `finalize`).
+    join_stats: HashMap<ForeignKey, JoinStats>,
+    finalized: bool,
+}
+
+impl Database {
+    /// Create an empty database over a validated catalog.
+    pub fn new(catalog: Catalog) -> Result<Database, StoreError> {
+        catalog.validate()?;
+        let tables = (0..catalog.table_count()).map(|_| TableData::new()).collect();
+        Ok(Database {
+            catalog,
+            tables,
+            indexes: HashMap::new(),
+            attr_stats: HashMap::new(),
+            join_stats: HashMap::new(),
+            finalized: false,
+        })
+    }
+
+    /// The schema catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Data of one table.
+    pub fn table_data(&self, id: TableId) -> &TableData {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Row count of one table.
+    pub fn row_count(&self, id: TableId) -> usize {
+        self.tables[id.0 as usize].len()
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    /// Insert with full integrity checking (types, PK uniqueness, FK targets).
+    ///
+    /// FK targets must already exist, so load tables in dependency order.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<RowId, StoreError> {
+        let tid = self.catalog.table_id(table)?;
+        self.check_foreign_keys(tid, &row)?;
+        self.insert_validated(tid, row)
+    }
+
+    /// Insert with type/PK checking but *without* FK target checking. Use for
+    /// bulk loads with cycles, then call [`Database::validate_foreign_keys`].
+    pub fn insert_unchecked(&mut self, table: &str, row: Row) -> Result<RowId, StoreError> {
+        let tid = self.catalog.table_id(table)?;
+        self.insert_validated(tid, row)
+    }
+
+    fn insert_validated(&mut self, tid: TableId, row: Row) -> Result<RowId, StoreError> {
+        self.finalized = false;
+        let schema = self.catalog.table(tid).clone();
+        self.tables[tid.0 as usize].insert(&self.catalog, &schema, row)
+    }
+
+    fn check_foreign_keys(&self, tid: TableId, row: &Row) -> Result<(), StoreError> {
+        for fk in self.catalog.foreign_keys() {
+            let from = self.catalog.attribute(fk.from);
+            if from.table != tid {
+                continue;
+            }
+            let v = row.get(from.position);
+            if v.is_null() {
+                continue;
+            }
+            let target_table = self.catalog.attribute(fk.to).table;
+            if self.tables[target_table.0 as usize]
+                .lookup_pk(std::slice::from_ref(v))
+                .is_none()
+            {
+                return Err(StoreError::ForeignKeyViolation(format!(
+                    "{} = {v} has no target in {}",
+                    self.catalog.qualified_name(fk.from),
+                    self.catalog.table(target_table).name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Scan every FK column and verify all non-null values have targets.
+    pub fn validate_foreign_keys(&self) -> Result<(), StoreError> {
+        for fk in self.catalog.foreign_keys() {
+            let from = self.catalog.attribute(fk.from);
+            let target_table = self.catalog.attribute(fk.to).table;
+            let target = &self.tables[target_table.0 as usize];
+            for (_, row) in self.tables[from.table.0 as usize].iter() {
+                let v = row.get(from.position);
+                if !v.is_null() && target.lookup_pk(std::slice::from_ref(v)).is_none() {
+                    return Err(StoreError::ForeignKeyViolation(format!(
+                        "{} = {v}",
+                        self.catalog.qualified_name(fk.from)
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The setup phase: build full-text indexes over all `full_text`
+    /// attributes and compute attribute and join statistics.
+    pub fn finalize(&mut self) {
+        self.indexes.clear();
+        self.attr_stats.clear();
+        self.join_stats.clear();
+        for attr in self.catalog.attributes() {
+            let data = &self.tables[attr.table.0 as usize];
+            if attr.full_text {
+                let mut ix = AttributeIndex::new();
+                for (rid, row) in data.iter() {
+                    let v = row.get(attr.position);
+                    if !v.is_null() {
+                        ix.add(rid, &v.render());
+                    }
+                }
+                self.indexes.insert(attr.id, ix);
+            }
+            self.attr_stats.insert(attr.id, attribute_stats(&self.catalog, data, attr.id));
+        }
+        for fk in self.catalog.foreign_keys() {
+            let referencing = &self.tables[self.catalog.attribute(fk.from).table.0 as usize];
+            let referenced = &self.tables[self.catalog.attribute(fk.to).table.0 as usize];
+            self.join_stats
+                .insert(*fk, join_stats(&self.catalog, *fk, referencing, referenced));
+        }
+        self.finalized = true;
+    }
+
+    /// Whether `finalize` has been run since the last mutation.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    /// Full-text index of an attribute, if one was built.
+    pub fn index(&self, attr: AttrId) -> Option<&AttributeIndex> {
+        self.indexes.get(&attr)
+    }
+
+    /// The paper's search function: relevance score of `keyword` against the
+    /// values of `attr`, already normalized to [0, 1] with the per-attribute
+    /// coefficient computed at setup. Returns 0 for unindexed attributes.
+    pub fn search_score(&self, attr: AttrId, keyword: &str) -> f64 {
+        match self.indexes.get(&attr) {
+            Some(ix) => {
+                let coeff = ix.normalization_coefficient();
+                if coeff <= 0.0 {
+                    0.0
+                } else {
+                    (ix.score(keyword) / coeff).clamp(0.0, 1.0)
+                }
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Top matching rows of `attr` for `keyword`, with normalized scores.
+    pub fn search_rows(&self, attr: AttrId, keyword: &str, limit: usize) -> Vec<(RowId, f64)> {
+        match self.indexes.get(&attr) {
+            Some(ix) => {
+                let coeff = ix.normalization_coefficient().max(f64::MIN_POSITIVE);
+                ix.search(keyword, limit)
+                    .into_iter()
+                    .map(|(r, s)| (r, (s / coeff).clamp(0.0, 1.0)))
+                    .collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Statistics of one attribute (requires `finalize`).
+    pub fn attr_stats(&self, attr: AttrId) -> Option<&AttributeStats> {
+        self.attr_stats.get(&attr)
+    }
+
+    /// Join statistics of one foreign key (requires `finalize`).
+    pub fn fk_stats(&self, fk: ForeignKey) -> Option<&JoinStats> {
+        self.join_stats.get(&fk)
+    }
+
+    /// Look up a row's value by attribute id.
+    pub fn value(&self, table: TableId, row: RowId, attr: AttrId) -> &Value {
+        let pos = self.catalog.attribute(attr).position;
+        self.tables[table.0 as usize].row(row).get(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    fn movie_db() -> Database {
+        let mut c = Catalog::new();
+        c.define_table("person")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("name", DataType::Text)
+            .unwrap()
+            .finish();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .col_opts("director_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("movie", "director_id", "person").unwrap();
+        let mut db = Database::new(c).unwrap();
+        db.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()])).unwrap();
+        db.insert("person", Row::new(vec![2.into(), "Michael Curtiz".into()])).unwrap();
+        db.insert(
+            "movie",
+            Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into()]),
+        )
+        .unwrap();
+        db.insert("movie", Row::new(vec![11.into(), "Casablanca".into(), 2.into()]))
+            .unwrap();
+        db.finalize();
+        db
+    }
+
+    #[test]
+    fn fk_enforced_on_insert() {
+        let mut db = movie_db();
+        let err = db
+            .insert("movie", Row::new(vec![12.into(), "Orphan".into(), 99.into()]))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::ForeignKeyViolation(_)));
+        // NULL FK allowed.
+        db.insert("movie", Row::new(vec![12.into(), "Orphan".into(), Value::Null]))
+            .unwrap();
+    }
+
+    #[test]
+    fn unchecked_then_validate() {
+        let mut c = Catalog::new();
+        c.define_table("b").unwrap().pk("id", DataType::Int).unwrap().finish();
+        c.define_table("a")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col_opts("b_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("a", "b_id", "b").unwrap();
+        let mut db = Database::new(c).unwrap();
+        db.insert_unchecked("a", Row::new(vec![1.into(), 7.into()])).unwrap();
+        assert!(db.validate_foreign_keys().is_err());
+        db.insert("b", Row::new(vec![7.into()])).unwrap();
+        assert!(db.validate_foreign_keys().is_ok());
+    }
+
+    #[test]
+    fn search_scores_normalized() {
+        let db = movie_db();
+        let title = db.catalog().attr_id("movie", "title").unwrap();
+        let s = db.search_score(title, "casablanca");
+        assert!(s > 0.0 && s <= 1.0);
+        assert_eq!(db.search_score(title, "nonexistentword"), 0.0);
+        // Non-indexed attribute scores 0.
+        let pk = db.catalog().attr_id("movie", "id").unwrap();
+        assert_eq!(db.search_score(pk, "casablanca"), 0.0);
+    }
+
+    #[test]
+    fn search_rows_returns_matches() {
+        let db = movie_db();
+        let title = db.catalog().attr_id("movie", "title").unwrap();
+        let hits = db.search_rows(title, "wind", 10);
+        assert_eq!(hits.len(), 1);
+        let tid = db.catalog().table_id("movie").unwrap();
+        let name_attr = db.catalog().attr_id("movie", "title").unwrap();
+        assert_eq!(
+            db.value(tid, hits[0].0, name_attr),
+            &Value::text("Gone with the Wind")
+        );
+    }
+
+    #[test]
+    fn finalize_builds_stats() {
+        let db = movie_db();
+        assert!(db.is_finalized());
+        let title = db.catalog().attr_id("movie", "title").unwrap();
+        let st = db.attr_stats(title).unwrap();
+        assert_eq!(st.rows, 2);
+        assert_eq!(st.distinct, 2);
+        let fk = db.catalog().foreign_keys()[0];
+        let js = db.fk_stats(fk).unwrap();
+        assert_eq!(js.pairs, 2);
+        assert!(js.nmi > 0.9);
+    }
+
+    #[test]
+    fn mutation_invalidates_finalize() {
+        let mut db = movie_db();
+        assert!(db.is_finalized());
+        db.insert("person", Row::new(vec![3.into(), "X".into()])).unwrap();
+        assert!(!db.is_finalized());
+    }
+}

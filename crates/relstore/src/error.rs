@@ -1,0 +1,60 @@
+//! Error type for the storage engine.
+
+use std::fmt;
+
+/// Errors raised by the relational storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A table with the same name already exists.
+    DuplicateTable(String),
+    /// An attribute with the same name already exists in the table.
+    DuplicateAttribute(String),
+    /// Referenced table does not exist.
+    UnknownTable(String),
+    /// Referenced attribute does not exist.
+    UnknownAttribute(String),
+    /// Schema-level invariant violated.
+    InvalidSchema(String),
+    /// A row violates the table arity or a column type.
+    TypeMismatch(String),
+    /// Primary-key uniqueness violated.
+    DuplicateKey(String),
+    /// Foreign-key reference has no matching target row.
+    ForeignKeyViolation(String),
+    /// NULL stored into a non-nullable column.
+    NullViolation(String),
+    /// Malformed SQL statement handed to the executor.
+    InvalidQuery(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::DuplicateTable(n) => write!(f, "duplicate table `{n}`"),
+            StoreError::DuplicateAttribute(n) => write!(f, "duplicate attribute `{n}`"),
+            StoreError::UnknownTable(n) => write!(f, "unknown table `{n}`"),
+            StoreError::UnknownAttribute(n) => write!(f, "unknown attribute `{n}`"),
+            StoreError::InvalidSchema(m) => write!(f, "invalid schema: {m}"),
+            StoreError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            StoreError::DuplicateKey(m) => write!(f, "duplicate primary key: {m}"),
+            StoreError::ForeignKeyViolation(m) => write!(f, "foreign key violation: {m}"),
+            StoreError::NullViolation(m) => write!(f, "null violation: {m}"),
+            StoreError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StoreError::UnknownTable("movies".into());
+        assert!(e.to_string().contains("movies"));
+        let e = StoreError::ForeignKeyViolation("movie.director_id=9".into());
+        assert!(e.to_string().contains("foreign key"));
+    }
+}

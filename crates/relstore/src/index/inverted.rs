@@ -1,0 +1,224 @@
+//! Per-attribute full-text inverted indexes.
+//!
+//! The paper's forward module computes HMM emission probabilities "for each
+//! keyword and for each database attribute by applying the search function
+//! over full text indexes provided by the DBMS", treating the returned score
+//! as a probability after normalizing with a per-attribute coefficient
+//! computed in the setup phase. This module provides exactly that search
+//! function: a BM25-lite relevance score per `(keyword, attribute)` plus the
+//! posting lists needed to fetch matching rows.
+
+use std::collections::HashMap;
+
+use crate::index::tokenizer::{normalize_keyword, tokenize};
+use crate::row::RowId;
+
+/// One posting: a row and the term frequency of the token within the row's
+/// attribute value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Matching row.
+    pub row: RowId,
+    /// Occurrences of the token in the attribute value.
+    pub tf: u32,
+}
+
+/// Inverted index over a single attribute's values.
+#[derive(Debug, Clone, Default)]
+pub struct AttributeIndex {
+    /// token -> postings sorted by row id.
+    postings: HashMap<String, Vec<Posting>>,
+    /// Number of indexed (non-null) values.
+    doc_count: u64,
+    /// Sum of token counts over all indexed values.
+    total_len: u64,
+}
+
+impl AttributeIndex {
+    /// Empty index.
+    pub fn new() -> AttributeIndex {
+        AttributeIndex::default()
+    }
+
+    /// Index one attribute value of `row`.
+    pub fn add(&mut self, row: RowId, text: &str) {
+        let tokens = tokenize(text);
+        if tokens.is_empty() {
+            return;
+        }
+        self.doc_count += 1;
+        self.total_len += tokens.len() as u64;
+        let mut tf: HashMap<String, u32> = HashMap::new();
+        for t in tokens {
+            *tf.entry(t).or_insert(0) += 1;
+        }
+        for (tok, count) in tf {
+            self.postings
+                .entry(tok)
+                .or_default()
+                .push(Posting { row, tf: count });
+        }
+    }
+
+    /// Number of indexed values.
+    pub fn doc_count(&self) -> u64 {
+        self.doc_count
+    }
+
+    /// Number of distinct tokens.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Average indexed value length in tokens.
+    pub fn avg_len(&self) -> f64 {
+        if self.doc_count == 0 {
+            0.0
+        } else {
+            self.total_len as f64 / self.doc_count as f64
+        }
+    }
+
+    /// Posting list for a single *normalized* token.
+    pub fn postings(&self, token: &str) -> &[Posting] {
+        self.postings.get(token).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// BM25-lite score of a (possibly multi-token phrase) keyword against
+    /// this attribute: the maximum per-row score, i.e. "how well does the
+    /// best value of this attribute match the keyword".
+    ///
+    /// Phrases are scored conjunctively: a row must contain every token.
+    pub fn score(&self, keyword: &str) -> f64 {
+        self.search(keyword, 1)
+            .first()
+            .map(|(_, s)| *s)
+            .unwrap_or(0.0)
+    }
+
+    /// Top-`limit` rows matching the keyword, scored, best first.
+    pub fn search(&self, keyword: &str, limit: usize) -> Vec<(RowId, f64)> {
+        let Some(normalized) = normalize_keyword(keyword) else {
+            return Vec::new();
+        };
+        let tokens: Vec<&str> = normalized.split(' ').collect();
+        let mut acc: HashMap<RowId, (usize, f64)> = HashMap::new();
+        for tok in &tokens {
+            let plist = self.postings(tok);
+            if plist.is_empty() {
+                return Vec::new(); // conjunctive phrase semantics
+            }
+            let idf = self.idf(plist.len() as u64);
+            for p in plist {
+                let tf_part = bm25_tf(p.tf);
+                let e = acc.entry(p.row).or_insert((0, 0.0));
+                e.0 += 1;
+                e.1 += idf * tf_part;
+            }
+        }
+        let need = tokens.len();
+        let mut hits: Vec<(RowId, f64)> = acc
+            .into_iter()
+            .filter(|(_, (n, _))| *n == need)
+            .map(|(r, (_, s))| (r, s))
+            .collect();
+        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        hits.truncate(limit);
+        hits
+    }
+
+    /// Document frequency of a normalized token.
+    pub fn doc_freq(&self, token: &str) -> u64 {
+        self.postings(token).len() as u64
+    }
+
+    fn idf(&self, df: u64) -> f64 {
+        // BM25 idf with +1 smoothing so every match scores positively.
+        let n = self.doc_count.max(1) as f64;
+        ((n - df as f64 + 0.5) / (df as f64 + 0.5) + 1.0).ln()
+    }
+
+    /// The setup-phase normalization coefficient: the maximum achievable
+    /// single-token score on this attribute. Scores divided by this fall in
+    /// [0, 1] and can be treated as probabilities by the HMM emission model.
+    pub fn normalization_coefficient(&self) -> f64 {
+        // Max idf occurs for df=1; max tf part is the bm25 asymptote.
+        let max_idf = self.idf(1);
+        max_idf * bm25_tf(u32::MAX)
+    }
+}
+
+/// BM25 term-frequency saturation with k1 = 1.2 (no length normalization:
+/// attribute values are short and length effects washed out in testing).
+fn bm25_tf(tf: u32) -> f64 {
+    let tf = tf as f64;
+    tf * 2.2 / (tf + 1.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(values: &[&str]) -> AttributeIndex {
+        let mut ix = AttributeIndex::new();
+        for (i, v) in values.iter().enumerate() {
+            ix.add(RowId(i as u64), v);
+        }
+        ix
+    }
+
+    #[test]
+    fn exact_match_scores_highest() {
+        let ix = index(&["Gone with the Wind", "The Wind Rises", "Casablanca"]);
+        let hits = ix.search("wind", 10);
+        assert_eq!(hits.len(), 2);
+        // Both contain "wind" once; scores equal, stable by row id.
+        assert_eq!(hits[0].0, RowId(0));
+        assert!(ix.score("casablanca") > ix.score("wind"));
+    }
+
+    #[test]
+    fn phrase_is_conjunctive() {
+        let ix = index(&["Gone with the Wind", "The Wind Rises"]);
+        let hits = ix.search("gone wind", 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, RowId(0));
+        assert!(ix.search("gone rises", 10).is_empty());
+    }
+
+    #[test]
+    fn missing_token_scores_zero() {
+        let ix = index(&["Casablanca"]);
+        assert_eq!(ix.score("wind"), 0.0);
+        assert!(ix.search("", 5).is_empty());
+    }
+
+    #[test]
+    fn normalization_bounds_scores() {
+        let ix = index(&["alpha beta", "alpha", "gamma gamma gamma"]);
+        let coeff = ix.normalization_coefficient();
+        for kw in ["alpha", "beta", "gamma", "alpha beta"] {
+            // Single-token scores are <= coeff; phrases may exceed single-token
+            // normalization but stay within token_count * coeff.
+            let toks = kw.split(' ').count() as f64;
+            assert!(ix.score(kw) <= coeff * toks + 1e-12, "kw={kw}");
+        }
+        assert!(coeff > 0.0);
+    }
+
+    #[test]
+    fn tf_saturates() {
+        assert!(bm25_tf(100) > bm25_tf(2));
+        assert!(bm25_tf(u32::MAX) <= 2.2);
+    }
+
+    #[test]
+    fn doc_stats() {
+        let ix = index(&["a b c x y", "x"]);
+        // "a" is a stopword, so first doc indexes fewer tokens than written.
+        assert_eq!(ix.doc_count(), 2);
+        assert!(ix.avg_len() > 0.0);
+        assert_eq!(ix.doc_freq("x"), 2);
+        assert_eq!(ix.doc_freq("zzz"), 0);
+    }
+}

@@ -1,0 +1,10 @@
+//! Indexing: tokenization and per-attribute full-text inverted indexes.
+
+pub mod inverted;
+pub mod tokenizer;
+
+pub use inverted::{AttributeIndex, Posting};
+pub use tokenizer::{
+    edit_distance, edit_similarity, is_stopword, normalize_keyword, stem, tokenize,
+    trigram_similarity, trigrams,
+};

@@ -1,0 +1,215 @@
+//! Text tokenization for full-text indexing and keyword queries.
+//!
+//! The tokenizer is deliberately shared between the index side and the query
+//! side so that a keyword matches the tokens produced at indexing time.
+//! Pipeline: lowercase → split on non-alphanumerics → drop stopwords →
+//! light suffix stemming (plural/gerund trimming, enough for English-ish
+//! synthetic corpora without a full Porter stemmer).
+
+/// English stopwords dropped by the tokenizer (kept small on purpose: keyword
+/// queries are short and over-aggressive stopping hurts recall).
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "is", "it", "of", "on",
+    "or", "the", "to", "with",
+];
+
+/// Whether a token is a stopword.
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.contains(&token)
+}
+
+/// Light stemming: strips a few common English suffixes, then canonicalizes
+/// a trailing "ie" to "y" so that singular/plural pairs of -ie words agree
+/// ("movie" and "movies" both stem to "movy", "city" and "cities" to
+/// "city"). Never shrinks a token below three characters.
+pub fn stem(token: &str) -> String {
+    let mut t = token.to_string();
+    let n = t.len();
+    if n >= 5 && t.ends_with("sses") {
+        t.truncate(n - 2);
+    } else if n >= 4 && t.ends_with("ies") {
+        t.truncate(n - 3);
+        t.push('y');
+    } else if t.ends_with("ss") {
+        // keep: "class", "press"
+    } else if n >= 4 && t.ends_with('s') {
+        t.truncate(n - 1);
+    } else if n >= 6 && t.ends_with("ing") {
+        t.truncate(n - 3);
+    } else if n >= 5 && t.ends_with("ed") {
+        t.truncate(n - 2);
+    }
+    let n = t.len();
+    if n >= 4 && t.ends_with("ie") {
+        t.truncate(n - 2);
+        t.push('y');
+    }
+    t
+}
+
+/// Tokenize text into normalized index tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            push_token(&mut out, &cur);
+            cur.clear();
+        }
+    }
+    if !cur.is_empty() {
+        push_token(&mut out, &cur);
+    }
+    out
+}
+
+fn push_token(out: &mut Vec<String>, raw: &str) {
+    if raw.is_empty() || is_stopword(raw) {
+        return;
+    }
+    out.push(stem(raw));
+}
+
+/// Normalize a single keyword from a user query through the same pipeline.
+/// Returns `None` when the keyword normalizes away (stopword / empty).
+pub fn normalize_keyword(raw: &str) -> Option<String> {
+    let toks = tokenize(raw);
+    if toks.len() == 1 {
+        return Some(toks.into_iter().next().expect("len checked"));
+    }
+    // Multi-token phrase keywords are joined with a space: phrase matching
+    // is handled by the index as a conjunction.
+    if toks.is_empty() {
+        None
+    } else {
+        Some(toks.join(" "))
+    }
+}
+
+/// Character trigrams of a normalized token, used by similarity matching in
+/// the wrapper (keyword ↔ schema-term similarity).
+pub fn trigrams(token: &str) -> Vec<String> {
+    let padded: Vec<char> = format!("  {token} ").chars().collect();
+    padded.windows(3).map(|w| w.iter().collect()).collect()
+}
+
+/// Jaccard similarity of trigram sets; 1.0 for identical strings.
+pub fn trigram_similarity(a: &str, b: &str) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let ta = trigrams(a);
+    let tb = trigrams(b);
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let sa: std::collections::HashSet<&String> = ta.iter().collect();
+    let sb: std::collections::HashSet<&String> = tb.iter().collect();
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+/// Levenshtein edit distance (iterative two-row DP).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized edit similarity in [0, 1].
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - edit_distance(a, b) as f64 / max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_and_stems() {
+        assert_eq!(tokenize("The Lord of the Rings"), vec!["lord", "ring"]);
+        assert_eq!(tokenize("running dogs"), vec!["runn", "dog"]);
+        assert_eq!(tokenize("  "), Vec::<String>::new());
+    }
+
+    #[test]
+    fn stem_preserves_short_tokens() {
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("as"), "as");
+        assert_eq!(stem("cities"), "city");
+        assert_eq!(stem("class"), "class");
+    }
+
+    #[test]
+    fn stopwords_dropped() {
+        assert!(is_stopword("the"));
+        assert!(!is_stopword("movie"));
+        assert_eq!(tokenize("of and or"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn singular_plural_costem() {
+        // The whole point of the "ie"->"y" canonicalization: both forms of
+        // -ie words reach the same token.
+        assert_eq!(stem("movie"), stem("movies"));
+        assert_eq!(stem("city"), stem("cities"));
+        assert_eq!(stem("country"), stem("countries"));
+        assert_eq!(stem("actor"), stem("actors"));
+    }
+
+    #[test]
+    fn keyword_normalization() {
+        assert_eq!(normalize_keyword("Movies"), Some("movy".to_string()));
+        assert_eq!(normalize_keyword("the"), None);
+        assert_eq!(
+            normalize_keyword("New York"),
+            Some("new york".to_string())
+        );
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert!(edit_similarity("director", "directors") > 0.85);
+    }
+
+    #[test]
+    fn trigram_similarity_ranges() {
+        assert_eq!(trigram_similarity("actor", "actor"), 1.0);
+        let s = trigram_similarity("actor", "actress");
+        assert!(s > 0.0 && s < 1.0);
+        assert_eq!(trigram_similarity("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn unicode_safe() {
+        // Multi-byte characters must not panic the tokenizer or distance.
+        assert_eq!(edit_distance("café", "cafe"), 1);
+        assert_eq!(tokenize("Änder-ung"), vec!["änder", "ung"]);
+    }
+}

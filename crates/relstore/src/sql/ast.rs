@@ -1,0 +1,168 @@
+//! A minimal SQL AST: exactly the SELECT-PROJECT-JOIN fragment QUEST's query
+//! builder emits and the wrapper executes.
+
+use crate::schema::AttrId;
+use crate::value::Value;
+
+/// Comparison operators usable in WHERE predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CompareOp {
+    /// SQL spelling.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "<>",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        }
+    }
+
+    /// Evaluate against an ordering result.
+    pub fn eval(&self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CompareOp::Eq => ord == Equal,
+            CompareOp::Ne => ord != Equal,
+            CompareOp::Lt => ord == Less,
+            CompareOp::Le => ord != Greater,
+            CompareOp::Gt => ord == Greater,
+            CompareOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// A single-table WHERE predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Full-text containment: every keyword token occurs in the value
+    /// (rendered as `attr LIKE '%kw%'`). This is how keyword→value mappings
+    /// become SQL.
+    Contains {
+        /// Constrained attribute.
+        attr: AttrId,
+        /// The user keyword to match.
+        keyword: String,
+    },
+    /// Scalar comparison against a literal.
+    Compare {
+        /// Constrained attribute.
+        attr: AttrId,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Literal right-hand side.
+        value: Value,
+    },
+    /// `attr IS NULL` / `IS NOT NULL`.
+    IsNull {
+        /// Constrained attribute.
+        attr: AttrId,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+impl Predicate {
+    /// The attribute the predicate constrains.
+    pub fn attr(&self) -> AttrId {
+        match self {
+            Predicate::Contains { attr, .. }
+            | Predicate::Compare { attr, .. }
+            | Predicate::IsNull { attr, .. } => *attr,
+        }
+    }
+}
+
+/// An equi-join condition `left = right` between attributes of two tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JoinCondition {
+    /// Attribute on one side.
+    pub left: AttrId,
+    /// Attribute on the other side.
+    pub right: AttrId,
+}
+
+/// What to project.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Projection {
+    /// `SELECT *` over all FROM tables.
+    Star,
+    /// A list of attributes.
+    Attrs(Vec<AttrId>),
+}
+
+/// A SELECT-PROJECT-JOIN statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    /// Projected columns.
+    pub projection: Projection,
+    /// Tables in the FROM clause, by catalog id. Each table appears at most
+    /// once (QUEST's schema-level Steiner trees never repeat a table).
+    pub from: Vec<crate::schema::TableId>,
+    /// Equi-join conditions.
+    pub joins: Vec<JoinCondition>,
+    /// Single-table predicates, ANDed.
+    pub predicates: Vec<Predicate>,
+    /// DISTINCT flag.
+    pub distinct: bool,
+    /// Optional LIMIT.
+    pub limit: Option<usize>,
+}
+
+impl SelectStatement {
+    /// A `SELECT * FROM table` skeleton.
+    pub fn scan(table: crate::schema::TableId) -> SelectStatement {
+        SelectStatement {
+            projection: Projection::Star,
+            from: vec![table],
+            joins: Vec::new(),
+            predicates: Vec::new(),
+            distinct: false,
+            limit: None,
+        }
+    }
+
+    /// Number of joined tables.
+    pub fn table_count(&self) -> usize {
+        self.from.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn compare_op_eval() {
+        assert!(CompareOp::Eq.eval(Ordering::Equal));
+        assert!(CompareOp::Ne.eval(Ordering::Less));
+        assert!(CompareOp::Le.eval(Ordering::Equal));
+        assert!(CompareOp::Le.eval(Ordering::Less));
+        assert!(!CompareOp::Gt.eval(Ordering::Equal));
+        assert!(CompareOp::Ge.eval(Ordering::Greater));
+        assert!(CompareOp::Lt.eval(Ordering::Less));
+    }
+
+    #[test]
+    fn predicate_attr_access() {
+        let p = Predicate::Contains { attr: AttrId(3), keyword: "x".into() };
+        assert_eq!(p.attr(), AttrId(3));
+    }
+}

@@ -1,0 +1,11 @@
+//! The SQL layer: AST, text rendering and execution.
+
+pub mod ast;
+pub mod executor;
+pub mod parser;
+pub mod render;
+
+pub use ast::{CompareOp, JoinCondition, Predicate, Projection, SelectStatement};
+pub use executor::{execute, has_results, ResultSet};
+pub use parser::parse_sql;
+pub use render::render_sql;

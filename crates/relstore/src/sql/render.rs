@@ -1,0 +1,171 @@
+//! SQL text generation: the `SELECT ... FROM ... WHERE ...` strings QUEST
+//! presents to the user as explanations.
+
+use crate::schema::Catalog;
+use crate::sql::ast::{Predicate, Projection, SelectStatement};
+
+/// Render a statement as standard SQL against the given catalog.
+pub fn render_sql(catalog: &Catalog, stmt: &SelectStatement) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("SELECT ");
+    if stmt.distinct {
+        out.push_str("DISTINCT ");
+    }
+    match &stmt.projection {
+        Projection::Star => out.push('*'),
+        Projection::Attrs(attrs) => {
+            if attrs.is_empty() {
+                out.push('*');
+            } else {
+                for (i, a) in attrs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&catalog.qualified_name(*a));
+                }
+            }
+        }
+    }
+    out.push_str(" FROM ");
+    for (i, t) in stmt.from.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&catalog.table(*t).name);
+    }
+
+    let mut conds: Vec<String> = Vec::new();
+    for j in &stmt.joins {
+        conds.push(format!(
+            "{} = {}",
+            catalog.qualified_name(j.left),
+            catalog.qualified_name(j.right)
+        ));
+    }
+    for p in &stmt.predicates {
+        conds.push(render_predicate(catalog, p));
+    }
+    if !conds.is_empty() {
+        out.push_str(" WHERE ");
+        out.push_str(&conds.join(" AND "));
+    }
+    if let Some(l) = stmt.limit {
+        out.push_str(&format!(" LIMIT {l}"));
+    }
+    out
+}
+
+fn render_predicate(catalog: &Catalog, p: &Predicate) -> String {
+    match p {
+        Predicate::Contains { attr, keyword } => format!(
+            "{} LIKE '%{}%'",
+            catalog.qualified_name(*attr),
+            keyword.replace('\'', "''")
+        ),
+        Predicate::Compare { attr, op, value } => format!(
+            "{} {} {}",
+            catalog.qualified_name(*attr),
+            op.sql(),
+            value.to_sql_literal()
+        ),
+        Predicate::IsNull { attr, negated } => format!(
+            "{} IS {}NULL",
+            catalog.qualified_name(*attr),
+            if *negated { "NOT " } else { "" }
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::ast::{CompareOp, JoinCondition};
+    use crate::types::DataType;
+    use crate::value::Value;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.define_table("person")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("name", DataType::Text)
+            .unwrap()
+            .finish();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .col_opts("director_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("movie", "director_id", "person").unwrap();
+        c
+    }
+
+    #[test]
+    fn renders_join_query() {
+        let c = catalog();
+        let stmt = SelectStatement {
+            projection: Projection::Attrs(vec![
+                c.attr_id("movie", "title").unwrap(),
+                c.attr_id("person", "name").unwrap(),
+            ]),
+            from: vec![c.table_id("movie").unwrap(), c.table_id("person").unwrap()],
+            joins: vec![JoinCondition {
+                left: c.attr_id("movie", "director_id").unwrap(),
+                right: c.attr_id("person", "id").unwrap(),
+            }],
+            predicates: vec![Predicate::Contains {
+                attr: c.attr_id("movie", "title").unwrap(),
+                keyword: "wind".into(),
+            }],
+            distinct: true,
+            limit: Some(10),
+        };
+        assert_eq!(
+            render_sql(&c, &stmt),
+            "SELECT DISTINCT movie.title, person.name FROM movie, person \
+             WHERE movie.director_id = person.id AND movie.title LIKE '%wind%' LIMIT 10"
+        );
+    }
+
+    #[test]
+    fn renders_star_scan() {
+        let c = catalog();
+        let stmt = SelectStatement::scan(c.table_id("movie").unwrap());
+        assert_eq!(render_sql(&c, &stmt), "SELECT * FROM movie");
+    }
+
+    #[test]
+    fn renders_compare_and_null() {
+        let c = catalog();
+        let mut stmt = SelectStatement::scan(c.table_id("person").unwrap());
+        stmt.predicates.push(Predicate::Compare {
+            attr: c.attr_id("person", "id").unwrap(),
+            op: CompareOp::Ge,
+            value: Value::Int(5),
+        });
+        stmt.predicates.push(Predicate::IsNull {
+            attr: c.attr_id("person", "name").unwrap(),
+            negated: true,
+        });
+        assert_eq!(
+            render_sql(&c, &stmt),
+            "SELECT * FROM person WHERE person.id >= 5 AND person.name IS NOT NULL"
+        );
+    }
+
+    #[test]
+    fn escapes_quotes_in_like() {
+        let c = catalog();
+        let mut stmt = SelectStatement::scan(c.table_id("person").unwrap());
+        stmt.predicates.push(Predicate::Contains {
+            attr: c.attr_id("person", "name").unwrap(),
+            keyword: "o'hara".into(),
+        });
+        assert!(render_sql(&c, &stmt).contains("LIKE '%o''hara%'"));
+    }
+}

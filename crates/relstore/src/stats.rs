@@ -1,0 +1,274 @@
+//! Instance statistics: per-attribute summaries and per-foreign-key join
+//! statistics, including the mutual-information measure the backward module
+//! uses to weight schema-graph edges.
+//!
+//! Following the paper (§3, backward module) and its citation of Yang et
+//! al.'s summary graphs, each PK–FK edge is scored by the mutual information
+//! carried by the join. For a foreign key `A.fk → B.pk` the join result
+//! pairs each `A` row with at most one `B` row, so the mutual information of
+//! the join-tuple distribution reduces to the entropy of the referenced-key
+//! distribution. Normalizing by `ln |B|` yields an *informativeness* in
+//! [0, 1]: 1 when the join evenly covers the referenced table, 0 when the
+//! join is empty. Edges of uninformative (likely-empty) joins receive larger
+//! distances, steering Steiner trees toward join paths that actually contain
+//! tuples.
+
+use std::collections::HashMap;
+
+use crate::schema::{AttrId, Catalog, ForeignKey};
+use crate::table::TableData;
+use crate::value::Value;
+
+/// Summary statistics for one attribute.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AttributeStats {
+    /// Total rows in the table.
+    pub rows: u64,
+    /// NULLs in this column.
+    pub nulls: u64,
+    /// Distinct non-null values.
+    pub distinct: u64,
+}
+
+impl AttributeStats {
+    /// Fraction of rows that are non-null; 0 for an empty table.
+    pub fn fill_factor(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            (self.rows - self.nulls) as f64 / self.rows as f64
+        }
+    }
+
+    /// Average number of rows sharing one value (selectivity proxy).
+    pub fn avg_fanout(&self) -> f64 {
+        if self.distinct == 0 {
+            0.0
+        } else {
+            (self.rows - self.nulls) as f64 / self.distinct as f64
+        }
+    }
+}
+
+/// Statistics of one foreign-key join.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JoinStats {
+    /// Number of matching (referencing, referenced) pairs.
+    pub pairs: u64,
+    /// Distinct referenced primary keys actually referenced.
+    pub referenced_distinct: u64,
+    /// Rows in the referencing table.
+    pub referencing_rows: u64,
+    /// Rows in the referenced table.
+    pub referenced_rows: u64,
+    /// Normalized mutual information of the join in [0, 1].
+    pub nmi: f64,
+}
+
+impl JoinStats {
+    /// Whether the join produces any tuples at all.
+    pub fn is_empty_join(&self) -> bool {
+        self.pairs == 0
+    }
+}
+
+/// Compute stats for one attribute column.
+pub fn attribute_stats(catalog: &Catalog, data: &TableData, attr: AttrId) -> AttributeStats {
+    let a = catalog.attribute(attr);
+    let mut distinct: HashMap<&Value, ()> = HashMap::new();
+    let mut nulls = 0u64;
+    let mut rows = 0u64;
+    for (_, row) in data.iter() {
+        rows += 1;
+        let v = row.get(a.position);
+        if v.is_null() {
+            nulls += 1;
+        } else {
+            distinct.insert(v, ());
+        }
+    }
+    AttributeStats { rows, nulls, distinct: distinct.len() as u64 }
+}
+
+/// Compute join statistics for a foreign key given both tables' data.
+pub fn join_stats(
+    catalog: &Catalog,
+    fk: ForeignKey,
+    referencing: &TableData,
+    referenced: &TableData,
+) -> JoinStats {
+    let from_attr = catalog.attribute(fk.from);
+    let to_attr = catalog.attribute(fk.to);
+
+    // Count how many referencing rows point at each referenced key.
+    let mut ref_counts: HashMap<Value, u64> = HashMap::new();
+    let mut pairs = 0u64;
+    for (_, row) in referencing.iter() {
+        let v = row.get(from_attr.position);
+        if v.is_null() {
+            continue;
+        }
+        // The referenced side is a primary key, so matching is a PK lookup.
+        if referenced.lookup_pk(std::slice::from_ref(v)).is_some() {
+            pairs += 1;
+            *ref_counts.entry(v.clone()).or_insert(0) += 1;
+        }
+    }
+    let _ = to_attr; // position of the PK column is implied by the PK index
+
+    let referenced_rows = referenced.len() as u64;
+    let nmi = normalized_join_entropy(&ref_counts, pairs, referenced_rows);
+    JoinStats {
+        pairs,
+        referenced_distinct: ref_counts.len() as u64,
+        referencing_rows: referencing.len() as u64,
+        referenced_rows,
+        nmi,
+    }
+}
+
+/// Entropy of the referenced-key distribution normalized by `ln(referenced
+/// table size)`. See module docs for why this equals the join's mutual
+/// information under a uniform distribution over join tuples.
+fn normalized_join_entropy(
+    ref_counts: &HashMap<Value, u64>,
+    pairs: u64,
+    referenced_rows: u64,
+) -> f64 {
+    if pairs == 0 || referenced_rows <= 1 {
+        return 0.0;
+    }
+    let n = pairs as f64;
+    let mut h = 0.0;
+    for &c in ref_counts.values() {
+        let p = c as f64 / n;
+        h -= p * p.ln();
+    }
+    let hmax = (referenced_rows as f64).ln();
+    if hmax <= 0.0 {
+        0.0
+    } else {
+        (h / hmax).clamp(0.0, 1.0)
+    }
+}
+
+/// Shannon entropy (nats) of an empirical count distribution.
+pub fn entropy(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::Row;
+    use crate::types::DataType;
+
+    fn fixture() -> (Catalog, TableData, TableData, ForeignKey) {
+        let mut c = Catalog::new();
+        c.define_table("b").unwrap().pk("id", DataType::Int).unwrap().finish();
+        c.define_table("a")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col_opts("b_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("a", "b_id", "b").unwrap();
+        let fk = c.foreign_keys()[0];
+        let bs = c.table(c.table_id("b").unwrap()).clone();
+        let as_ = c.table(c.table_id("a").unwrap()).clone();
+        let mut b = TableData::new();
+        for i in 0..4 {
+            b.insert(&c, &bs, Row::new(vec![i.into()])).unwrap();
+        }
+        let mut a = TableData::new();
+        for (i, target) in [(0, Some(0)), (1, Some(1)), (2, Some(2)), (3, Some(3)), (4, None)]
+        {
+            let v = target.map(|t: i64| Value::Int(t)).unwrap_or(Value::Null);
+            a.insert(&c, &as_, Row::new(vec![(i as i64).into(), v])).unwrap();
+        }
+        (c, a, b, fk)
+    }
+
+    #[test]
+    fn attribute_stats_counts() {
+        let (c, a, _, _) = fixture();
+        let attr = c.attr_id("a", "b_id").unwrap();
+        let s = attribute_stats(&c, &a, attr);
+        assert_eq!(s.rows, 5);
+        assert_eq!(s.nulls, 1);
+        assert_eq!(s.distinct, 4);
+        assert!((s.fill_factor() - 0.8).abs() < 1e-12);
+        assert!((s.avg_fanout() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_join_has_high_nmi() {
+        let (c, a, b, fk) = fixture();
+        let js = join_stats(&c, fk, &a, &b);
+        assert_eq!(js.pairs, 4);
+        assert_eq!(js.referenced_distinct, 4);
+        // Even coverage of all 4 referenced rows => NMI = 1.
+        assert!((js.nmi - 1.0).abs() < 1e-9, "nmi={}", js.nmi);
+    }
+
+    #[test]
+    fn empty_join_has_zero_nmi() {
+        let mut c = Catalog::new();
+        c.define_table("b").unwrap().pk("id", DataType::Int).unwrap().finish();
+        c.define_table("a")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col_opts("b_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("a", "b_id", "b").unwrap();
+        let fk = c.foreign_keys()[0];
+        let bs = c.table(c.table_id("b").unwrap()).clone();
+        let as_ = c.table(c.table_id("a").unwrap()).clone();
+        let mut b = TableData::new();
+        b.insert(&c, &bs, Row::new(vec![1.into()])).unwrap();
+        let mut a = TableData::new();
+        // All fk values NULL: join empty.
+        a.insert(&c, &as_, Row::new(vec![1.into(), Value::Null])).unwrap();
+        let js = join_stats(&c, fk, &a, &b);
+        assert!(js.is_empty_join());
+        assert_eq!(js.nmi, 0.0);
+    }
+
+    #[test]
+    fn skewed_join_has_lower_nmi_than_even() {
+        let (c, _, b, fk) = fixture();
+        let as_ = c.table(c.table_id("a").unwrap()).clone();
+        // All rows reference key 0: maximal skew.
+        let mut a = TableData::new();
+        for i in 0..4i64 {
+            a.insert(&c, &as_, Row::new(vec![i.into(), 0.into()])).unwrap();
+        }
+        let js = join_stats(&c, fk, &a, &b);
+        assert_eq!(js.pairs, 4);
+        assert_eq!(js.referenced_distinct, 1);
+        assert_eq!(js.nmi, 0.0); // single referenced key => zero entropy
+    }
+
+    #[test]
+    fn entropy_helper() {
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[5]), 0.0);
+        let h = entropy(&[1, 1, 1, 1]);
+        assert!((h - (4f64).ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,198 @@
+//! Row storage for a single table, with a primary-key index.
+
+use std::collections::HashMap;
+
+use crate::error::StoreError;
+use crate::row::{Row, RowId};
+use crate::schema::{Catalog, TableId, TableSchema};
+use crate::value::Value;
+
+/// Append-only row storage for one table plus a hash index on the primary key.
+#[derive(Debug, Clone, Default)]
+pub struct TableData {
+    rows: Vec<Row>,
+    /// PK value tuple -> row id. Keys are the PK column values in key order.
+    pk_index: HashMap<Vec<Value>, RowId>,
+}
+
+impl TableData {
+    /// Empty storage.
+    pub fn new() -> TableData {
+        TableData::default()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Row by id.
+    pub fn row(&self, id: RowId) -> &Row {
+        &self.rows[id.0 as usize]
+    }
+
+    /// Iterate `(RowId, &Row)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RowId(i as u64), r))
+    }
+
+    /// Find a row by its primary-key values.
+    pub fn lookup_pk(&self, key: &[Value]) -> Option<RowId> {
+        self.pk_index.get(key).copied()
+    }
+
+    /// Validate a row against the schema and append it.
+    ///
+    /// Checks: arity, column types (with coercion per [`crate::types::DataType::accepts`]),
+    /// NOT NULL constraints, and PK uniqueness. FK checks live in
+    /// `Database::insert` because they need other tables.
+    pub fn insert(
+        &mut self,
+        catalog: &Catalog,
+        schema: &TableSchema,
+        row: Row,
+    ) -> Result<RowId, StoreError> {
+        if row.arity() != schema.attributes.len() {
+            return Err(StoreError::TypeMismatch(format!(
+                "table {} expects {} columns, row has {}",
+                schema.name,
+                schema.attributes.len(),
+                row.arity()
+            )));
+        }
+        for (pos, attr_id) in schema.attributes.iter().enumerate() {
+            let attr = catalog.attribute(*attr_id);
+            let v = row.get(pos);
+            if v.is_null() {
+                if !attr.nullable {
+                    return Err(StoreError::NullViolation(format!(
+                        "{}.{}",
+                        schema.name, attr.name
+                    )));
+                }
+                continue;
+            }
+            let vty = v.data_type().expect("non-null value has a type");
+            if !attr.data_type.accepts(vty) {
+                return Err(StoreError::TypeMismatch(format!(
+                    "{}.{} expects {}, got {}",
+                    schema.name, attr.name, attr.data_type, vty
+                )));
+            }
+        }
+        let key: Vec<Value> = schema
+            .primary_key
+            .iter()
+            .map(|a| row.get(catalog.attribute(*a).position).clone())
+            .collect();
+        if self.pk_index.contains_key(&key) {
+            return Err(StoreError::DuplicateKey(format!(
+                "{}{}",
+                schema.name,
+                Row::new(key)
+            )));
+        }
+        let id = RowId(self.rows.len() as u64);
+        self.pk_index.insert(key, id);
+        self.rows.push(row);
+        Ok(id)
+    }
+}
+
+/// A `(table, row)` reference used by instance-level baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleRef {
+    /// Owning table.
+    pub table: TableId,
+    /// Row within the table.
+    pub row: RowId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.define_table("t")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("name", DataType::Text)
+            .unwrap()
+            .col_opts("score", DataType::Float, true, false)
+            .unwrap()
+            .finish();
+        c
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let c = catalog();
+        let ts = c.table(c.table_id("t").unwrap()).clone();
+        let mut d = TableData::new();
+        let id = d
+            .insert(&c, &ts, Row::new(vec![1.into(), "a".into(), 0.5.into()]))
+            .unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.lookup_pk(&[Value::Int(1)]), Some(id));
+        assert_eq!(d.lookup_pk(&[Value::Int(2)]), None);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let c = catalog();
+        let ts = c.table(c.table_id("t").unwrap()).clone();
+        let mut d = TableData::new();
+        let err = d.insert(&c, &ts, Row::new(vec![1.into()])).unwrap_err();
+        assert!(matches!(err, StoreError::TypeMismatch(_)));
+    }
+
+    #[test]
+    fn type_checked_with_coercion() {
+        let c = catalog();
+        let ts = c.table(c.table_id("t").unwrap()).clone();
+        let mut d = TableData::new();
+        // Int coerces into Float column.
+        d.insert(&c, &ts, Row::new(vec![1.into(), "a".into(), 3.into()]))
+            .unwrap();
+        // Text into Float column rejected.
+        let err = d
+            .insert(&c, &ts, Row::new(vec![2.into(), "b".into(), "x".into()]))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::TypeMismatch(_)));
+    }
+
+    #[test]
+    fn pk_uniqueness() {
+        let c = catalog();
+        let ts = c.table(c.table_id("t").unwrap()).clone();
+        let mut d = TableData::new();
+        d.insert(&c, &ts, Row::new(vec![1.into(), "a".into(), Value::Null]))
+            .unwrap();
+        let err = d
+            .insert(&c, &ts, Row::new(vec![1.into(), "b".into(), Value::Null]))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::DuplicateKey(_)));
+    }
+
+    #[test]
+    fn null_violation_on_pk() {
+        let c = catalog();
+        let ts = c.table(c.table_id("t").unwrap()).clone();
+        let mut d = TableData::new();
+        let err = d
+            .insert(&c, &ts, Row::new(vec![Value::Null, "a".into(), Value::Null]))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::NullViolation(_)));
+    }
+}

@@ -1,0 +1,94 @@
+//! Column data types and coercion rules.
+
+use std::fmt;
+
+/// The static type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Calendar date.
+    Date,
+}
+
+impl DataType {
+    /// All data types, in rank order.
+    pub const ALL: [DataType; 5] = [
+        DataType::Bool,
+        DataType::Int,
+        DataType::Float,
+        DataType::Text,
+        DataType::Date,
+    ];
+
+    /// SQL spelling of the type (as used by the SQL renderer).
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            DataType::Bool => "BOOLEAN",
+            DataType::Int => "BIGINT",
+            DataType::Float => "DOUBLE PRECISION",
+            DataType::Text => "TEXT",
+            DataType::Date => "DATE",
+        }
+    }
+
+    /// Whether a value of `from` may be stored in a column of `self`
+    /// without loss that matters to QUEST (Int widens to Float; everything
+    /// renders to Text).
+    pub fn accepts(&self, from: DataType) -> bool {
+        *self == from
+            || matches!((self, from), (DataType::Float, DataType::Int))
+            || *self == DataType::Text
+    }
+
+    /// Whether the type is textual (and hence participates in full-text
+    /// indexing by default).
+    pub fn is_textual(&self) -> bool {
+        matches!(self, DataType::Text)
+    }
+
+    /// Whether the type is numeric.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coercion_rules() {
+        assert!(DataType::Float.accepts(DataType::Int));
+        assert!(!DataType::Int.accepts(DataType::Float));
+        assert!(DataType::Text.accepts(DataType::Date));
+        assert!(DataType::Int.accepts(DataType::Int));
+    }
+
+    #[test]
+    fn sql_names() {
+        assert_eq!(DataType::Int.sql_name(), "BIGINT");
+        assert_eq!(DataType::Text.to_string(), "TEXT");
+    }
+
+    #[test]
+    fn textual_and_numeric_flags() {
+        assert!(DataType::Text.is_textual());
+        assert!(!DataType::Int.is_textual());
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Date.is_numeric());
+    }
+}

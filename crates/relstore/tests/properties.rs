@@ -1,0 +1,188 @@
+//! Property-based tests for the storage engine: value ordering laws, the
+//! tokenizer pipeline, and hash-join correctness against a nested-loop
+//! reference executor.
+
+use proptest::prelude::*;
+use relstore::index::{normalize_keyword, tokenize};
+use relstore::sql::{execute, JoinCondition, Predicate, Projection, SelectStatement};
+use relstore::{Catalog, DataType, Database, Row, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        (-1e6f64..1e6).prop_map(Value::float),
+        "[a-z ]{0,12}".prop_map(Value::text),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn value_ordering_is_total_and_consistent(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        if a.cmp(&b) == Ordering::Less {
+            prop_assert_eq!(b.cmp(&a), Ordering::Greater);
+        }
+        // Transitivity on a triple.
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+        // Eq consistent with Ordering::Equal.
+        prop_assert_eq!(a == b, a.cmp(&b) == Ordering::Equal);
+    }
+
+    #[test]
+    fn equal_values_hash_equal(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        if a == b {
+            let h = |v: &Value| {
+                let mut s = DefaultHasher::new();
+                v.hash(&mut s);
+                s.finish()
+            };
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    #[test]
+    fn tokenizer_is_idempotent(s in "[A-Za-z0-9 ,.'-]{0,40}") {
+        let once = tokenize(&s);
+        let again = tokenize(&once.join(" "));
+        prop_assert_eq!(once, again);
+    }
+
+    #[test]
+    fn normalized_keywords_match_their_own_index(word in "[a-z]{3,10}") {
+        // Any word indexed must be findable through keyword normalization.
+        let mut ix = relstore::index::AttributeIndex::new();
+        ix.add(relstore::RowId(0), &word);
+        if let Some(kw) = normalize_keyword(&word) {
+            prop_assert!(ix.score(&kw) > 0.0, "word {word} -> kw {kw} not found");
+        }
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop(
+        left in proptest::collection::vec((0i64..20, 0i64..10), 0..30),
+        right in proptest::collection::vec(0i64..10, 0..10),
+    ) {
+        // Schema: r(id pk), l(id pk, r_id fk-ish but unchecked values in 0..10).
+        let mut c = Catalog::new();
+        c.define_table("r").expect("t").pk("id", DataType::Int).expect("pk").finish();
+        c.define_table("l")
+            .expect("t")
+            .pk("id", DataType::Int)
+            .expect("pk")
+            .col_opts("r_id", DataType::Int, true, false)
+            .expect("col")
+            .finish();
+        let mut db = Database::new(c).expect("db");
+        let mut right_ids = Vec::new();
+        for (i, r) in right.iter().enumerate() {
+            // Dedup pk values.
+            if right_ids.contains(r) { continue; }
+            right_ids.push(*r);
+            let _ = i;
+            db.insert("r", Row::new(vec![(*r).into()])).expect("insert");
+        }
+        let mut seen = Vec::new();
+        for (id, rid) in &left {
+            if seen.contains(id) { continue; }
+            seen.push(*id);
+            db.insert_unchecked("l", Row::new(vec![(*id).into(), (*rid).into()])).expect("insert");
+        }
+        db.finalize();
+        let cat = db.catalog();
+        let stmt = SelectStatement {
+            projection: Projection::Star,
+            from: vec![cat.table_id("l").expect("t"), cat.table_id("r").expect("t")],
+            joins: vec![JoinCondition {
+                left: cat.attr_id("l", "r_id").expect("a"),
+                right: cat.attr_id("r", "id").expect("a"),
+            }],
+            predicates: vec![],
+            distinct: false,
+            limit: None,
+        };
+        let rs = execute(&db, &stmt).expect("executes");
+        // Nested-loop reference count.
+        let mut expected = 0usize;
+        for id in &seen {
+            let rid = left.iter().find(|(i, _)| i == id).expect("present").1;
+            if right_ids.contains(&rid) {
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(rs.len(), expected);
+    }
+
+    #[test]
+    fn distinct_never_increases_rows(
+        vals in proptest::collection::vec(0i64..5, 1..30),
+    ) {
+        let mut c = Catalog::new();
+        c.define_table("t")
+            .expect("t")
+            .pk("id", DataType::Int)
+            .expect("pk")
+            .col_opts("v", DataType::Int, false, false)
+            .expect("col")
+            .finish();
+        let mut db = Database::new(c).expect("db");
+        for (i, v) in vals.iter().enumerate() {
+            db.insert("t", Row::new(vec![(i as i64).into(), (*v).into()])).expect("insert");
+        }
+        db.finalize();
+        let cat = db.catalog();
+        let mut stmt = SelectStatement::scan(cat.table_id("t").expect("t"));
+        stmt.projection = Projection::Attrs(vec![cat.attr_id("t", "v").expect("a")]);
+        let plain = execute(&db, &stmt).expect("ok").len();
+        stmt.distinct = true;
+        let distinct = execute(&db, &stmt).expect("ok").len();
+        prop_assert!(distinct <= plain);
+        prop_assert_eq!(plain, vals.len());
+        // Distinct equals the number of unique values.
+        let mut uniq = vals.clone();
+        uniq.sort();
+        uniq.dedup();
+        prop_assert_eq!(distinct, uniq.len());
+    }
+
+    #[test]
+    fn contains_predicate_subset_of_scan(
+        words in proptest::collection::vec("[a-z]{3,8}", 1..15),
+        probe in "[a-z]{3,8}",
+    ) {
+        let mut c = Catalog::new();
+        c.define_table("t")
+            .expect("t")
+            .pk("id", DataType::Int)
+            .expect("pk")
+            .col("s", DataType::Text)
+            .expect("col")
+            .finish();
+        let mut db = Database::new(c).expect("db");
+        for (i, w) in words.iter().enumerate() {
+            db.insert("t", Row::new(vec![(i as i64).into(), w.clone().into()])).expect("insert");
+        }
+        db.finalize();
+        let cat = db.catalog();
+        let mut stmt = SelectStatement::scan(cat.table_id("t").expect("t"));
+        stmt.predicates.push(Predicate::Contains {
+            attr: cat.attr_id("t", "s").expect("a"),
+            keyword: probe.clone(),
+        });
+        let hits = execute(&db, &stmt).expect("ok").len();
+        prop_assert!(hits <= words.len());
+        // The index agrees with the executor on match count.
+        let ix_hits = db
+            .search_rows(cat.attr_id("t", "s").expect("a"), &probe, usize::MAX)
+            .len();
+        prop_assert_eq!(hits, ix_hits, "executor vs index disagree for {}", probe);
+    }
+}

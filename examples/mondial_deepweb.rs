@@ -1,0 +1,62 @@
+//! Querying a hidden source: the Mondial-shaped database behind a Deep-Web
+//! wrapper. No full-text indexes, no statistics — emissions come from schema
+//! annotations (admissible-value patterns), datatype priors and the
+//! ontology; the endpoint only answers bound, result-limited queries
+//! (paper §1, §3: "hidden data sources such as those found in the Deep
+//! Web").
+//!
+//! Run with: `cargo run -p quest --example mondial_deepweb`
+
+use quest::prelude::*;
+use quest_data::mondial::{self, MondialScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = mondial::generate(&MondialScale::default())?;
+    println!(
+        "Mondial-shaped source: {} tables, {} foreign keys, {} rows (hidden)",
+        db.catalog().table_count(),
+        db.catalog().foreign_keys().len(),
+        db.total_rows()
+    );
+
+    // The source owner publishes schema annotations instead of an index.
+    let mut ann = AnnotationSet::new();
+    let c = db.catalog();
+    ann.set_pattern(c.attr_id("country", "name")?, r"[A-Z][a-z]+")?;
+    ann.set_pattern(c.attr_id("city", "name")?, r"[A-Z][a-z]+")?;
+    ann.set_pattern(c.attr_id("river", "name")?, r"[A-Z][a-z]*")?;
+    ann.set_pattern(c.attr_id("mountain", "name")?, r"[A-Z][a-z]+")?;
+    ann.set_pattern(c.attr_id("language", "name")?, r"[A-Z][a-z]+")?;
+    ann.set_pattern(c.attr_id("organization", "abbreviation")?, r"[A-Z]{2,6}")?;
+    ann.add_examples(
+        c.attr_id("religion", "name")?,
+        ["Catholic", "Protestant", "Orthodox"],
+    );
+    ann.add_aliases(c.attr_id("country", "population")?, ["inhabitants", "people"]);
+
+    // A form endpoint: requires at least one bound value, returns one page.
+    let wrapper = DeepWebWrapper::new(db, ann, 25);
+    let engine = Quest::new(wrapper, QuestConfig::default())?;
+    let catalog = engine.wrapper().catalog();
+
+    for raw in ["italy", "po italy", "nato italy", "country population", "etna"] {
+        println!("\n── query: {raw}");
+        match engine.search(raw) {
+            Ok(out) => {
+                for (i, e) in out.explanations.iter().take(3).enumerate() {
+                    println!("   #{} [{:.4}] {}", i + 1, e.score, e.sql(catalog));
+                }
+                if let Some(best) = out.explanations.first() {
+                    match engine.execute(best) {
+                        Ok(rs) => {
+                            println!("   endpoint returned {} row(s) (page-limited)", rs.len())
+                        }
+                        Err(e) => println!("   endpoint refused: {e}"),
+                    }
+                }
+            }
+            Err(e) => println!("   search failed: {e}"),
+        }
+    }
+    Ok(())
+}

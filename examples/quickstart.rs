@@ -1,0 +1,67 @@
+//! Quickstart: build a tiny movie database, ask a keyword query, print the
+//! ranked SQL explanations and the tuples of the best one.
+//!
+//! Run with: `cargo run -p quest --example quickstart`
+
+use quest::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Define a schema: people direct movies.
+    let mut catalog = Catalog::new();
+    catalog
+        .define_table("person")?
+        .pk("id", DataType::Int)?
+        .col("name", DataType::Text)?
+        .finish();
+    catalog
+        .define_table("movie")?
+        .pk("id", DataType::Int)?
+        .col("title", DataType::Text)?
+        .col_opts("year", DataType::Int, true, true)?
+        .col_opts("director_id", DataType::Int, true, false)?
+        .finish();
+    catalog.add_foreign_key("movie", "director_id", "person")?;
+
+    // 2. Load a few rows (FK targets first).
+    let mut db = Database::new(catalog)?;
+    db.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()]))?;
+    db.insert("person", Row::new(vec![2.into(), "Michael Curtiz".into()]))?;
+    db.insert(
+        "movie",
+        Row::new(vec![10.into(), "Gone with the Wind".into(), 1939.into(), 1.into()]),
+    )?;
+    db.insert(
+        "movie",
+        Row::new(vec![11.into(), "Casablanca".into(), 1942.into(), 2.into()]),
+    )?;
+    db.insert(
+        "movie",
+        Row::new(vec![12.into(), "The Wizard of Oz".into(), 1939.into(), 1.into()]),
+    )?;
+
+    // 3. Wrap the source and build the engine (the setup phase: full-text
+    //    indexes, statistics, a-priori HMM, schema graph).
+    let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default())?;
+
+    // 4. Ask a keyword query mixing a value and a schema concept.
+    let query = "fleming movies 1939";
+    println!("keyword query: {query}\n");
+    let outcome = engine.search(query)?;
+
+    // 5. Browse the explanations.
+    let catalog = engine.wrapper().catalog();
+    for (rank, e) in outcome.explanations.iter().enumerate() {
+        println!("#{} [score {:.4}] {}", rank + 1, e.score, e.sql(catalog));
+    }
+
+    // 6. Execute the best one.
+    if let Some(best) = outcome.explanations.first() {
+        let rs = engine.execute(best)?;
+        println!("\ntop explanation returns {} row(s):", rs.len());
+        println!("  {}", rs.columns.join(" | "));
+        for row in &rs.rows {
+            println!("  {row}");
+        }
+    }
+    Ok(())
+}

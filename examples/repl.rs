@@ -1,0 +1,117 @@
+//! Interactive demo (paper §4, phase 2): "the participants will be free to
+//! run their own queries and the system will display the different
+//! explanations along with the results obtained by querying the real
+//! databases."
+//!
+//! Run with: `cargo run --release -p quest --example repl [imdb|mondial|dblp]`
+//!
+//! Commands:
+//!   <keywords>        search; prints ranked explanations
+//!   \sql <statement>  parse and execute raw SQL directly
+//!   \ok <rank>        validate explanation <rank> of the last search
+//!   \no <rank>        reject explanation <rank> of the last search
+//!   \quit             exit
+
+use std::io::{BufRead, Write};
+
+use quest::prelude::*;
+use quest::store::sql::parse_sql;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "imdb".into());
+    let db = match which.as_str() {
+        "mondial" => quest::data::mondial::generate(&Default::default())?,
+        "dblp" => quest::data::dblp::generate(&quest::data::dblp::DblpScale::with_publications(
+            2_000,
+        ))?,
+        _ => quest::data::imdb::generate(&quest::data::imdb::ImdbScale::with_movies(2_000))?,
+    };
+    println!(
+        "QUEST repl over the {which}-shaped database ({} tables, {} rows).",
+        db.catalog().table_count(),
+        db.total_rows()
+    );
+    println!("Type keywords, \\sql <statement>, \\ok <rank>, \\no <rank>, or \\quit.\n");
+
+    let mut engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default())?;
+    let stdin = std::io::stdin();
+    let mut last: Option<SearchOutcome> = None;
+
+    loop {
+        print!("quest> ");
+        std::io::stdout().flush()?;
+        let Some(Ok(line)) = stdin.lock().lines().next() else { break };
+        let line = line.trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\quit" || line == "\\q" {
+            break;
+        }
+        if let Some(sql) = line.strip_prefix("\\sql ") {
+            match parse_sql(engine.wrapper().catalog(), sql)
+                .and_then(|stmt| engine.wrapper().execute(&stmt))
+            {
+                Ok(rs) => {
+                    println!("  {}", rs.columns.join(" | "));
+                    for row in rs.rows.iter().take(20) {
+                        println!("  {row}");
+                    }
+                    if rs.len() > 20 {
+                        println!("  … {} more", rs.len() - 20);
+                    }
+                }
+                Err(e) => println!("  error: {e}"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("\\ok ").or_else(|| line.strip_prefix("\\no ")) {
+            let positive = line.starts_with("\\ok");
+            let Some(out) = &last else {
+                println!("  no previous search");
+                continue;
+            };
+            match rest.trim().parse::<usize>() {
+                Ok(rank) if rank >= 1 && rank <= out.explanations.len() => {
+                    let expl = out.explanations[rank - 1].clone();
+                    let query = out.query.clone();
+                    match engine.feedback(&query, &expl, positive) {
+                        Ok(()) => println!(
+                            "  recorded ({} feedbacks so far, effective O_Cf {:.3})",
+                            engine.forward().feedback_count(),
+                            engine.effective_o_cf()
+                        ),
+                        Err(e) => println!("  error: {e}"),
+                    }
+                }
+                _ => println!("  usage: \\ok <rank 1..{}>", out.explanations.len()),
+            }
+            continue;
+        }
+        // A keyword search.
+        match engine.search(&line) {
+            Ok(out) => {
+                let catalog = engine.wrapper().catalog();
+                for (i, e) in out.explanations.iter().enumerate() {
+                    println!("  #{} [{:.4}] {}", i + 1, e.score, e.sql(catalog));
+                    match engine.execute(e) {
+                        Ok(rs) if !rs.is_empty() => {
+                            for row in rs.rows.iter().take(3) {
+                                println!("       {row}");
+                            }
+                            if rs.len() > 3 {
+                                println!("       … {} more", rs.len() - 3);
+                            }
+                        }
+                        Ok(_) => println!("       (no tuples)"),
+                        Err(err) => println!("       (execution failed: {err})"),
+                    }
+                }
+                last = Some(out);
+            }
+            Err(e) => println!("  error: {e}"),
+        }
+    }
+    println!("bye");
+    Ok(())
+}

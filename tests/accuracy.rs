@@ -1,0 +1,97 @@
+//! Workload accuracy floors: on each demo-shaped dataset, the engine must
+//! recover the gold SQL within its top-k for a healthy fraction of the
+//! curated workload. These are regression floors, not the exact numbers —
+//! the EXPERIMENTS harness prints the precise tables.
+
+use quest::prelude::*;
+use quest_core::eval::{aggregate, statements_equivalent};
+use quest_data::workload::WorkloadQuery;
+use quest_data::{dblp, imdb, mondial};
+
+fn relevance_masks(
+    engine: &Quest<FullAccessWrapper>,
+    workload: &[WorkloadQuery],
+) -> Vec<Vec<bool>> {
+    let catalog = engine.wrapper().catalog();
+    workload
+        .iter()
+        .map(|wq| {
+            let gold = wq.gold.to_statement(catalog).expect("gold resolves");
+            match engine.search(&wq.raw) {
+                Ok(out) => out
+                    .explanations
+                    .iter()
+                    .map(|e| statements_equivalent(&e.statement, &gold))
+                    .collect(),
+                Err(_) => Vec::new(),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn imdb_accuracy_floor() {
+    let db = imdb::generate(&imdb::ImdbScale { movies: 300, seed: 42 }).expect("generate");
+    let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
+    let masks = relevance_masks(&engine, &imdb::workload());
+    let m = aggregate(&masks);
+    eprintln!("imdb metrics: {m:?}");
+    assert!(m.hit_at_k >= 0.5, "hit@k {} below floor", m.hit_at_k);
+    assert!(m.mrr >= 0.3, "mrr {} below floor", m.mrr);
+}
+
+#[test]
+fn mondial_accuracy_floor() {
+    let db = mondial::generate(&mondial::MondialScale::default()).expect("generate");
+    let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
+    let masks = relevance_masks(&engine, &mondial::workload());
+    let m = aggregate(&masks);
+    eprintln!("mondial metrics: {m:?}");
+    assert!(m.hit_at_k >= 0.5, "hit@k {} below floor", m.hit_at_k);
+    assert!(m.mrr >= 0.3, "mrr {} below floor", m.mrr);
+}
+
+#[test]
+fn dblp_accuracy_floor() {
+    let db =
+        dblp::generate(&dblp::DblpScale { publications: 300, authors_per_paper: 3, seed: 42 })
+            .expect("generate");
+    let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
+    let masks = relevance_masks(&engine, &dblp::workload());
+    let m = aggregate(&masks);
+    eprintln!("dblp metrics: {m:?}");
+    assert!(m.hit_at_k >= 0.5, "hit@k {} below floor", m.hit_at_k);
+    assert!(m.mrr >= 0.3, "mrr {} below floor", m.mrr);
+}
+
+/// Feedback training with a perfect oracle must not hurt — the paper's
+/// abstract claims good results "even with few training data" because the
+/// DST combination shields the ranking from an under-trained feedback model.
+#[test]
+fn feedback_improves_or_preserves_accuracy() {
+    let db = imdb::generate(&imdb::ImdbScale { movies: 300, seed: 42 }).expect("generate");
+    let mut engine =
+        Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
+    let wl = imdb::workload();
+    let cold = aggregate(&relevance_masks(&engine, &wl));
+
+    // Train with 3 passes of perfect feedback.
+    let mut oracle = quest_data::FeedbackOracle::perfect(5);
+    let feedback: Vec<Configuration> = wl
+        .iter()
+        .map(|wq| oracle.feedback_for(engine.wrapper().catalog(), wq).0)
+        .collect();
+    for _ in 0..3 {
+        for cfg in &feedback {
+            engine.feedback_configuration(cfg, true).expect("feedback records");
+        }
+    }
+    let warm = aggregate(&relevance_masks(&engine, &wl));
+    eprintln!("cold: {cold:?}\nwarm: {warm:?}");
+    assert!(
+        warm.mrr >= cold.mrr - 0.05,
+        "training with a perfect oracle must not collapse accuracy: {} vs {}",
+        warm.mrr,
+        cold.mrr
+    );
+}

@@ -1,0 +1,78 @@
+//! Baseline sanity: BANKS and DISCOVER find the same answers QUEST does on
+//! unambiguous queries, and the instance graph dwarfs the schema graph as
+//! data grows (demo message 3's premise).
+
+use quest::prelude::*;
+use quest_core::backward::BackwardModule;
+use quest_core::baseline::{banks_search, discover_statements, InstanceGraph};
+use quest_data::imdb::{self, ImdbScale};
+
+#[test]
+fn banks_agrees_on_simple_join() {
+    let db = imdb::generate(&ImdbScale { movies: 100, seed: 42 }).expect("generate");
+    let g = InstanceGraph::build(&db);
+    let q = KeywordQuery::parse("fleming wind").expect("parse");
+    let trees = banks_search(&db, &g, &q, 5).expect("banks runs");
+    assert!(!trees.is_empty(), "BANKS finds the join");
+    // The cheapest tree contains a movie tuple and a person tuple.
+    let best = &trees[0];
+    let tables: std::collections::HashSet<_> =
+        best.tuples.iter().map(|t| t.table).collect();
+    assert!(tables.len() >= 2);
+}
+
+#[test]
+fn discover_covers_gold_networks() {
+    let db = imdb::generate(&ImdbScale { movies: 100, seed: 42 }).expect("generate");
+    let q = KeywordQuery::parse("leigh wind").expect("parse");
+    let stmts = discover_statements(&db, &q, 4, Some(20));
+    assert!(!stmts.is_empty());
+    // At least one candidate network returns tuples (the cast_info path).
+    let non_empty = stmts
+        .iter()
+        .filter(|s| quest::store::sql::execute(&db, s).map(|r| !r.is_empty()).unwrap_or(false))
+        .count();
+    assert!(non_empty >= 1);
+}
+
+#[test]
+fn schema_graph_constant_instance_graph_grows() {
+    let small = imdb::generate(&ImdbScale { movies: 50, seed: 1 }).expect("generate");
+    let large = imdb::generate(&ImdbScale { movies: 500, seed: 1 }).expect("generate");
+
+    let ig_small = InstanceGraph::build(&small);
+    let ig_large = InstanceGraph::build(&large);
+    assert!(ig_large.node_count() > ig_small.node_count() * 5);
+
+    let w_small = FullAccessWrapper::new(small);
+    let w_large = FullAccessWrapper::new(large);
+    let sg_small = BackwardModule::new(&w_small, &Default::default());
+    let sg_large = BackwardModule::new(&w_large, &Default::default());
+    // The schema graph is instance-size independent.
+    assert_eq!(
+        sg_small.schema_graph().node_count(),
+        sg_large.schema_graph().node_count()
+    );
+    assert_eq!(
+        sg_small.schema_graph().edge_count(),
+        sg_large.schema_graph().edge_count()
+    );
+    // And it is orders of magnitude smaller than the instance graph.
+    assert!(sg_large.schema_graph().node_count() * 10 < ig_large.node_count());
+}
+
+#[test]
+fn quest_and_banks_agree_on_answer_tuples() {
+    let db = imdb::generate(&ImdbScale { movies: 100, seed: 42 }).expect("generate");
+    let ig = InstanceGraph::build(&db);
+    let q = KeywordQuery::parse("casablanca curtiz").expect("parse");
+    let banks = banks_search(&db, &ig, &q, 3).expect("banks");
+
+    let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
+    let out = engine.search("casablanca curtiz").expect("search");
+    let top_rows = engine.execute(&out.explanations[0]).expect("execute");
+
+    // Both find an answer connecting the movie to its director.
+    assert!(!banks.is_empty());
+    assert!(!top_rows.is_empty());
+}

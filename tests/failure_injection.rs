@@ -1,0 +1,117 @@
+//! Failure injection: malformed schemas, hostile queries and edge-case
+//! configurations must fail cleanly (typed errors), never panic.
+
+use quest::prelude::*;
+use quest_data::imdb::{self, ImdbScale};
+
+fn engine() -> Quest<FullAccessWrapper> {
+    let db = imdb::generate(&ImdbScale { movies: 30, seed: 2 }).expect("generate");
+    Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build")
+}
+
+#[test]
+fn empty_and_stopword_queries() {
+    let e = engine();
+    assert!(matches!(e.search(""), Err(QuestError::EmptyQuery)));
+    assert!(matches!(e.search("   \t "), Err(QuestError::EmptyQuery)));
+    assert!(matches!(e.search("the of and"), Err(QuestError::EmptyQuery)));
+}
+
+#[test]
+fn oversized_query_rejected() {
+    let e = engine();
+    let q = (0..12).map(|i| format!("kw{i}")).collect::<Vec<_>>().join(" ");
+    assert!(matches!(e.search(&q), Err(QuestError::TooManyKeywords { .. })));
+}
+
+#[test]
+fn unknown_keywords_still_answer_or_fail_cleanly() {
+    let e = engine();
+    // Pure gibberish: the emission floor keeps decoding alive; the engine
+    // returns (low-quality) explanations rather than panicking.
+    let out = e.search("zzqx vvrw").expect("gibberish handled");
+    for ex in &out.explanations {
+        // Whatever comes back must execute.
+        e.execute(ex).expect("sql executes");
+    }
+}
+
+#[test]
+fn hostile_strings_are_safe() {
+    let e = engine();
+    for q in [
+        "Robert'); DROP TABLE movie;--",
+        "movie % _ \\ '",
+        "\"unterminated phrase",
+        "emoji 🎬 query",
+        "ünïcödé tïtle",
+    ] {
+        match e.search(q) {
+            Ok(out) => {
+                for ex in &out.explanations {
+                    let _ = e.execute(ex);
+                    // Rendered SQL must escape quotes.
+                    let sql = ex.sql(e.wrapper().catalog());
+                    assert!(!sql.contains("');"), "unescaped quote in {sql}");
+                }
+            }
+            Err(err) => {
+                let _ = err.to_string();
+            }
+        }
+    }
+}
+
+#[test]
+fn invalid_engine_parameters_rejected() {
+    let db = imdb::generate(&ImdbScale { movies: 10, seed: 2 }).expect("generate");
+    let w = FullAccessWrapper::new(db);
+    for bad in [
+        QuestConfig { o_cap: -0.1, ..Default::default() },
+        QuestConfig { o_i: 2.0, ..Default::default() },
+        QuestConfig { o_c: f64::NAN, ..Default::default() },
+        QuestConfig { k: 0, ..Default::default() },
+    ] {
+        assert!(Quest::new(w.clone(), bad).is_err());
+    }
+}
+
+#[test]
+fn schema_without_fk_still_searches() {
+    // A single isolated table: no joins possible, single-table answers only.
+    let mut c = Catalog::new();
+    c.define_table("note")
+        .expect("define")
+        .pk("id", DataType::Int)
+        .expect("pk")
+        .col("body", DataType::Text)
+        .expect("col")
+        .finish();
+    let mut db = Database::new(c).expect("db");
+    db.insert("note", Row::new(vec![1.into(), "remember the milk".into()])).expect("insert");
+    db.finalize();
+    let e = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
+    let out = e.search("milk").expect("search");
+    assert!(!out.explanations.is_empty());
+    assert!(e.execute(&out.explanations[0]).expect("exec").len() == 1);
+}
+
+#[test]
+fn malformed_catalogs_rejected_at_setup() {
+    // No primary key.
+    let mut c = Catalog::new();
+    c.define_table("t").expect("define").col("x", DataType::Int).expect("col").finish();
+    assert!(Database::new(c).is_err());
+    // Empty catalog builds a database but no engine.
+    let db = Database::new(Catalog::new()).expect("empty catalog is structurally fine");
+    assert!(Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).is_err());
+}
+
+#[test]
+fn feedback_with_foreign_terms_rejected() {
+    let mut e = engine();
+    // A configuration whose term refers to an attribute id far outside the
+    // catalog is rejected, not silently accepted.
+    let bogus = Configuration::new(vec![DbTerm::Domain(quest::store::AttrId(9999))], 1.0);
+    assert!(e.feedback_configuration(&bogus, true).is_err());
+}

@@ -1,0 +1,90 @@
+//! Cross-crate I/O round trips: a database exported to CSV and re-imported
+//! answers keyword queries identically; SQL rendered from explanations
+//! parses back to an equivalent statement; the schema summary orients on
+//! the right tables.
+
+use quest::prelude::*;
+use quest::store::csv::{dump_csv, load_csv};
+use quest::store::sql::parse_sql;
+use quest_core::backward::{summarize, SummaryWeights};
+use quest_core::eval::statements_equivalent;
+use quest_data::imdb::{self, ImdbScale};
+
+/// Dump every table of a database and load it into a fresh instance.
+fn roundtrip(db: &Database) -> Database {
+    let mut copy = Database::new(db.catalog().clone()).expect("same catalog is valid");
+    for table in db.catalog().tables() {
+        let text = dump_csv(db, table.id);
+        load_csv(&mut copy, &table.name, &text, true).expect("reimport succeeds");
+    }
+    copy.validate_foreign_keys().expect("fks survive round trip");
+    copy.finalize();
+    copy
+}
+
+#[test]
+fn csv_round_trip_preserves_search_results() {
+    let db = imdb::generate(&ImdbScale { movies: 100, seed: 42 }).expect("generate");
+    let copy = roundtrip(&db);
+    assert_eq!(db.total_rows(), copy.total_rows());
+
+    let a = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
+    let b = Quest::new(FullAccessWrapper::new(copy), QuestConfig::default()).expect("build");
+    for q in ["casablanca", "fleming wind", "drama 1939"] {
+        let oa = a.search(q).expect("search original");
+        let ob = b.search(q).expect("search copy");
+        assert_eq!(oa.explanations.len(), ob.explanations.len(), "query {q}");
+        for (ea, eb) in oa.explanations.iter().zip(&ob.explanations) {
+            assert!(
+                statements_equivalent(&ea.statement, &eb.statement),
+                "query {q}: {} vs {}",
+                ea.sql(a.wrapper().catalog()),
+                eb.sql(b.wrapper().catalog())
+            );
+            assert!((ea.score - eb.score).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn rendered_sql_parses_back_equivalently() {
+    let db = imdb::generate(&ImdbScale { movies: 100, seed: 42 }).expect("generate");
+    let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
+    let catalog = engine.wrapper().catalog();
+    for q in ["casablanca", "fleming wind", "leigh wind", "selznick wind", "movie year"] {
+        let out = engine.search(q).expect("search");
+        for e in &out.explanations {
+            let text = e.sql(catalog);
+            let reparsed = parse_sql(catalog, &text)
+                .unwrap_or_else(|err| panic!("`{text}` fails to reparse: {err}"));
+            assert!(
+                statements_equivalent(&e.statement, &reparsed),
+                "round trip changed semantics of {text}"
+            );
+            // And the reparsed statement executes to the same row count.
+            let r1 = engine.wrapper().execute(&e.statement).expect("original runs");
+            let r2 = engine.wrapper().execute(&reparsed).expect("reparsed runs");
+            assert_eq!(r1.len(), r2.len());
+        }
+    }
+}
+
+#[test]
+fn summary_identifies_hub_of_star_schema() {
+    let db = imdb::generate(&ImdbScale { movies: 200, seed: 42 }).expect("generate");
+    let w = FullAccessWrapper::new(db);
+    let s = summarize(&w, 3, &SummaryWeights::default());
+    let top = w.catalog().table(s.ranking[0].table).name.clone();
+    assert_eq!(top, "movie", "the star hub must rank first");
+    assert!(!s.summary_edges.is_empty());
+}
+
+#[test]
+fn parser_rejects_what_engine_never_emits() {
+    let db = imdb::generate(&ImdbScale { movies: 10, seed: 1 }).expect("generate");
+    let c = db.catalog();
+    // Aggregates and subqueries are out of fragment — clean errors.
+    assert!(parse_sql(c, "SELECT COUNT(*) FROM movie").is_err());
+    assert!(parse_sql(c, "SELECT * FROM (SELECT * FROM movie)").is_err());
+    assert!(parse_sql(c, "DELETE FROM movie").is_err());
+}

@@ -1,0 +1,126 @@
+//! Integration test mirroring paper Figure 1 / Algorithm 1 line by line:
+//! the full forward → combine → backward → combine → query-build pipeline,
+//! exercised through the public API across all crates.
+
+use quest::prelude::*;
+use quest_core::backward::BackwardModule;
+use quest_core::combiner::{combine_explanation_scores, combine_ranked};
+use quest_core::forward::ForwardModule;
+use quest_core::query_builder::build_query;
+use quest_core::semantics::SemanticRules;
+use quest_data::imdb::{self, ImdbScale};
+
+fn wrapper() -> FullAccessWrapper {
+    let db = imdb::generate(&ImdbScale { movies: 200, seed: 42 }).expect("generate imdb");
+    FullAccessWrapper::new(db)
+}
+
+/// Algorithm 1, executed step by step with the module-level APIs, asserting
+/// each intermediate artifact exists and is sane.
+#[test]
+fn algorithm1_step_by_step() {
+    let w = wrapper();
+    let k = 5usize;
+    let query = KeywordQuery::parse("fleming wind").expect("parses");
+
+    // Forward: Cap ← HMM_a_priori(q, k) | Cf ← HMM_feedback(q, k).
+    let forward = ForwardModule::new(&w, &SemanticRules::default()).expect("forward builds");
+    let emissions = forward.emissions(&w, &query);
+    assert_eq!(emissions.len(), 2, "one emission row per keyword");
+    let cap = forward.top_k_apriori(&emissions, k).expect("a-priori decodes");
+    assert!(!cap.is_empty(), "a-priori configurations exist");
+    let cf = forward.top_k_feedback(&emissions, k).expect("feedback decodes");
+    assert!(cf.is_empty(), "no feedback yet: feedback list empty");
+
+    // C ← CombinerDST(Cap, Cf, O_Cap, O_Cf).
+    let l1: Vec<_> = cap.iter().map(|c| (c.terms.clone(), c.score)).collect();
+    let l2: Vec<_> = cf.iter().map(|c| (c.terms.clone(), c.score)).collect();
+    let combined = combine_ranked(&l1, 0.3, &l2, 1.0).expect("combination succeeds");
+    assert!(!combined.is_empty());
+    let configs: Vec<Configuration> = combined
+        .into_iter()
+        .take(k)
+        .map(|(t, s)| Configuration::new(t, s))
+        .collect();
+
+    // I ← ST(q, C, k).
+    let backward = BackwardModule::new(&w, &Default::default());
+    let catalog = w.catalog();
+    let mut pairs = Vec::new();
+    for (ci, cfg) in configs.iter().enumerate() {
+        for interp in backward.interpretations(catalog, cfg, k).expect("steiner runs") {
+            assert!(interp.tree.validate(backward.schema_graph().graph()));
+            pairs.push((ci, interp));
+        }
+    }
+    assert!(!pairs.is_empty(), "at least one interpretation");
+
+    // E ← CombinerDST(C, I, O_C, O_I).
+    let cfg_scores: Vec<f64> = configs.iter().map(|c| c.score).collect();
+    let pair_scores: Vec<(usize, f64)> = pairs.iter().map(|(ci, i)| (*ci, i.score)).collect();
+    let final_scores =
+        combine_explanation_scores(&cfg_scores, &pair_scores, 0.3, 0.3).expect("combine");
+    assert_eq!(final_scores.len(), pairs.len());
+    let total: f64 = final_scores.iter().sum();
+    assert!((total - 1.0).abs() < 1e-6, "pignistic scores form a distribution");
+
+    // E ← QueryBuilder(E): every explanation compiles to executable SQL.
+    for ((ci, interp), score) in pairs.iter().zip(&final_scores) {
+        let stmt = build_query(
+            catalog,
+            backward.schema_graph(),
+            &query,
+            &configs[*ci],
+            interp,
+            Some(10),
+        )
+        .expect("query builds");
+        assert!(*score >= 0.0);
+        w.execute(&stmt).expect("generated SQL executes");
+    }
+}
+
+/// The engine façade produces the same artifacts in one call.
+#[test]
+fn engine_pipeline_end_to_end() {
+    let w = wrapper();
+    let engine = Quest::new(w, QuestConfig::default()).expect("engine builds");
+    let out = engine.search("fleming wind").expect("search succeeds");
+
+    assert!(!out.apriori_configs.is_empty());
+    assert!(!out.configurations.is_empty());
+    assert!(!out.explanations.is_empty());
+    // Ranked descending.
+    for w2 in out.explanations.windows(2) {
+        assert!(w2[0].score >= w2[1].score);
+    }
+    // Top explanation returns the Fleming/Wind row.
+    let best = &out.explanations[0];
+    let sql = best.sql(engine.wrapper().catalog());
+    assert!(sql.contains("LIKE"), "{sql}");
+    let rs = engine.execute(best).expect("executes");
+    assert!(!rs.is_empty(), "top explanation returns tuples: {sql}");
+}
+
+/// Per-stage timings are populated (Figure 1's modules all ran).
+#[test]
+fn stage_timings_populated() {
+    let engine = Quest::new(wrapper(), QuestConfig::default()).expect("engine builds");
+    let out = engine.search("casablanca director").expect("search");
+    let t = out.timings;
+    assert!(t.total() > std::time::Duration::ZERO);
+    assert!(t.total() >= t.backward);
+}
+
+/// The engine works identically when reached through the facade prelude.
+#[test]
+fn facade_prelude_surface() {
+    let db = quest::data::mondial::generate(&quest::data::mondial::MondialScale::default())
+        .expect("mondial generates");
+    let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default())
+        .expect("engine builds");
+    let out = engine.search("modena italy").expect("search");
+    assert!(!out.explanations.is_empty());
+    let rs = engine.execute(&out.explanations[0]).expect("executes");
+    let _ = rs;
+}

@@ -7,7 +7,8 @@ use quest_dst::{dempster_combine, Frame, MassFunction};
 fn mass_with(frame: Frame, n_singletons: usize, uncertainty: f64) -> MassFunction {
     let mut m = MassFunction::new(frame);
     for i in 0..n_singletons {
-        m.add_singleton(i, 1.0 + i as f64).expect("singleton in frame");
+        m.add_singleton(i, 1.0 + i as f64)
+            .expect("singleton in frame");
     }
     m.set_uncertainty(uncertainty).expect("valid uncertainty");
     m

@@ -27,10 +27,13 @@ fn bench_search_scaling(c: &mut Criterion) {
     g.sample_size(10);
     for movies in [500usize, 5_000, 25_000] {
         let db = imdb::generate(&ImdbScale { movies, seed: 42 }).expect("generate");
-        let engine =
-            Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
+        let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
         g.bench_with_input(BenchmarkId::new("movies", movies), &movies, |b, _| {
-            b.iter(|| engine.search(std::hint::black_box("leigh wind")).expect("search"))
+            b.iter(|| {
+                engine
+                    .search(std::hint::black_box("leigh wind"))
+                    .expect("search")
+            })
         });
     }
     g.finish();

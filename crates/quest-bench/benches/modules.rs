@@ -10,7 +10,11 @@ use quest_hmm::{baum_welch_step, list_viterbi, Hmm};
 
 fn wrapper() -> FullAccessWrapper {
     FullAccessWrapper::new(
-        imdb::generate(&ImdbScale { movies: 1_000, seed: 42 }).expect("generate"),
+        imdb::generate(&ImdbScale {
+            movies: 1_000,
+            seed: 42,
+        })
+        .expect("generate"),
     )
 }
 
@@ -22,7 +26,10 @@ fn bench_list_viterbi(c: &mut Criterion) {
     let mut g = c.benchmark_group("list_viterbi");
     for k in [1usize, 5, 20] {
         g.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
-            b.iter(|| fwd.top_k_apriori(std::hint::black_box(&em), k).expect("decodes"))
+            b.iter(|| {
+                fwd.top_k_apriori(std::hint::black_box(&em), k)
+                    .expect("decodes")
+            })
         });
     }
     g.finish();
@@ -44,7 +51,11 @@ fn bench_em_epoch(c: &mut Criterion) {
     let batch: Vec<Vec<Vec<f64>>> = (0..20)
         .map(|s| {
             (0..4)
-                .map(|t| (0..n).map(|i| if (i + s + t) % 7 == 0 { 0.9 } else { 0.05 }).collect())
+                .map(|t| {
+                    (0..n)
+                        .map(|i| if (i + s + t) % 7 == 0 { 0.9 } else { 0.05 })
+                        .collect()
+                })
                 .collect()
         })
         .collect();
@@ -61,7 +72,11 @@ fn bench_raw_list_viterbi(c: &mut Criterion) {
     let n = 128usize;
     let hmm = Hmm::uniform(n).expect("model");
     let em: Vec<Vec<f64>> = (0..5)
-        .map(|t| (0..n).map(|i| 1.0 / (1.0 + ((i * 7 + t * 13) % 97) as f64)).collect())
+        .map(|t| {
+            (0..n)
+                .map(|i| 1.0 / (1.0 + ((i * 7 + t * 13) % 97) as f64))
+                .collect()
+        })
         .collect();
     c.bench_function("raw_list_viterbi_128st_k10", |b| {
         b.iter(|| list_viterbi(&hmm, std::hint::black_box(&em), 10).expect("decodes"))

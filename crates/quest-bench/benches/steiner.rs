@@ -25,9 +25,13 @@ fn bench_schema_steiner(c: &mut Criterion) {
                 break;
             }
         }
-        g.bench_with_input(BenchmarkId::new("dataset", ds.name()), &attrs, |b, attrs| {
-            b.iter(|| backward.interpretations_for_attrs(std::hint::black_box(attrs), 5))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("dataset", ds.name()),
+            &attrs,
+            |b, attrs| {
+                b.iter(|| backward.interpretations_for_attrs(std::hint::black_box(attrs), 5))
+            },
+        );
     }
     g.finish();
 }
@@ -36,11 +40,8 @@ fn bench_instance_graph_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("instance_graph_build");
     g.sample_size(10);
     for movies in [1_000usize, 5_000] {
-        let db = quest_data::imdb::generate(&quest_data::imdb::ImdbScale {
-            movies,
-            seed: 42,
-        })
-        .expect("generate");
+        let db = quest_data::imdb::generate(&quest_data::imdb::ImdbScale { movies, seed: 42 })
+            .expect("generate");
         g.bench_with_input(BenchmarkId::new("movies", movies), &db, |b, db| {
             b.iter(|| InstanceGraph::build(std::hint::black_box(db)))
         });

@@ -63,10 +63,34 @@ fn e9_rules_ablation() {
     let floor = base.unrelated;
     let variants: Vec<(&str, SemanticRules)> = vec![
         ("full rules", base.clone()),
-        ("no aggregation", SemanticRules { aggregation: floor, ..base.clone() }),
-        ("no inclusion (FK)", SemanticRules { inclusion: floor, ..base.clone() }),
-        ("no same-table", SemanticRules { same_table: floor, ..base.clone() }),
-        ("no generalization", SemanticRules { generalization: floor, ..base.clone() }),
+        (
+            "no aggregation",
+            SemanticRules {
+                aggregation: floor,
+                ..base.clone()
+            },
+        ),
+        (
+            "no inclusion (FK)",
+            SemanticRules {
+                inclusion: floor,
+                ..base.clone()
+            },
+        ),
+        (
+            "no same-table",
+            SemanticRules {
+                same_table: floor,
+                ..base.clone()
+            },
+        ),
+        (
+            "no generalization",
+            SemanticRules {
+                generalization: floor,
+                ..base.clone()
+            },
+        ),
         (
             "flat (all = floor)",
             SemanticRules {
@@ -84,7 +108,10 @@ fn e9_rules_ablation() {
         let mut cells = vec![label.to_string()];
         for ds in Dataset::ALL {
             let db = ds.generate_default();
-            let cfg = QuestConfig { rules: rules.clone(), ..Default::default() };
+            let cfg = QuestConfig {
+                rules: rules.clone(),
+                ..Default::default()
+            };
             let engine = Quest::new(FullAccessWrapper::new(db), cfg).expect("build");
             let m = evaluate(&engine, &ds.workload());
             cells.push(format!("{:.3}", m.mrr));
@@ -101,16 +128,24 @@ fn e9_rules_ablation() {
 fn e1_scaling() {
     println!("\n## E1 — schema-based keyword→SQL at scale (IMDB-shaped)\n");
     let mut t = Table::new(&[
-        "movies", "total rows", "setup", "avg query", "emissions", "forward", "backward",
-        "combine", "hit@1", "hit@3", "MRR",
+        "movies",
+        "total rows",
+        "setup",
+        "avg query",
+        "emissions",
+        "forward",
+        "backward",
+        "combine",
+        "hit@1",
+        "hit@3",
+        "MRR",
     ]);
     for movies in [500usize, 5_000, 25_000] {
         let (db, gen_t) =
             time(|| imdb::generate(&imdb::ImdbScale { movies, seed: 42 }).expect("generate"));
         let rows = db.total_rows();
-        let (engine, setup_t) = time(|| {
-            Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build")
-        });
+        let (engine, setup_t) =
+            time(|| Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build"));
         let wl = imdb::workload();
         let mut stage = [Duration::ZERO; 4];
         let mut total = Duration::ZERO;
@@ -205,8 +240,9 @@ fn e2_module_comparison() {
                     let gold = wq.gold.to_statement(catalog).expect("gold");
                     let mut scored: Vec<(f64, bool)> = Vec::new();
                     for cfg in &configs {
-                        for interp in
-                            backward.interpretations(catalog, cfg, k).unwrap_or_default()
+                        for interp in backward
+                            .interpretations(catalog, cfg, k)
+                            .unwrap_or_default()
                         {
                             if let Ok(stmt) = build_query(
                                 catalog,
@@ -216,14 +252,12 @@ fn e2_module_comparison() {
                                 &interp,
                                 None,
                             ) {
-                                scored
-                                    .push((interp.score, statements_equivalent(&stmt, &gold)));
+                                scored.push((interp.score, statements_equivalent(&stmt, &gold)));
                             }
                         }
                     }
-                    scored.sort_by(|a, b| {
-                        b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal)
-                    });
+                    scored
+                        .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
                     scored.into_iter().take(k).map(|(_, hit)| hit).collect()
                 }),
             ),
@@ -242,8 +276,7 @@ fn e2_module_comparison() {
         }
 
         // Combined: the full engine, trained identically.
-        let mut engine =
-            Quest::new(w.clone(), QuestConfig::default()).expect("engine builds");
+        let mut engine = Quest::new(w.clone(), QuestConfig::default()).expect("engine builds");
         let mut oracle = FeedbackOracle::perfect(11);
         for _ in 0..2 {
             for wq in &wl {
@@ -298,8 +331,16 @@ fn mask_for_configs(
 fn e3_schema_vs_instance() {
     println!("\n## E3 — schema-level Steiner vs instance-level baselines (IMDB-shaped)\n");
     let mut t = Table::new(&[
-        "movies", "schema nodes", "schema edges", "QUEST top-5 ST", "instance nodes",
-        "instance edges", "IG build", "BANKS top-5", "DISCOVER CNs", "DISCOVER time",
+        "movies",
+        "schema nodes",
+        "schema edges",
+        "QUEST top-5 ST",
+        "instance nodes",
+        "instance edges",
+        "IG build",
+        "BANKS top-5",
+        "DISCOVER CNs",
+        "DISCOVER time",
     ]);
     for movies in [200usize, 1_000, 5_000, 20_000] {
         let db = imdb::generate(&imdb::ImdbScale { movies, seed: 42 }).expect("generate");
@@ -313,7 +354,9 @@ fn e3_schema_vs_instance() {
             catalog.attr_id("movie", "title").expect("attr"),
         ];
         let (_, st_t) = time(|| {
-            backward.interpretations_for_attrs(&attrs, 5).expect("steiner")
+            backward
+                .interpretations_for_attrs(&attrs, 5)
+                .expect("steiner")
         });
 
         // Instance graph + BANKS.
@@ -349,13 +392,21 @@ fn e3_schema_vs_instance() {
 fn e4_dst_sensitivity() {
     println!("\n## E4a — forward/backward uncertainty sweep (IMDB-shaped, MRR)\n");
     let mut t = Table::new(&["O_C \\ O_I", "0.1", "0.3", "0.5", "0.7", "0.9"]);
-    let db = imdb::generate(&imdb::ImdbScale { movies: 1_000, seed: 42 }).expect("generate");
+    let db = imdb::generate(&imdb::ImdbScale {
+        movies: 1_000,
+        seed: 42,
+    })
+    .expect("generate");
     let w = FullAccessWrapper::new(db);
     let wl = imdb::workload();
     for o_c in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let mut cells = vec![format!("{o_c:.1}")];
         for o_i in [0.1, 0.3, 0.5, 0.7, 0.9] {
-            let cfg = QuestConfig { o_c, o_i, ..Default::default() };
+            let cfg = QuestConfig {
+                o_c,
+                o_i,
+                ..Default::default()
+            };
             let engine = Quest::new(w.clone(), cfg).expect("build");
             let m = evaluate(&engine, &wl);
             cells.push(format!("{:.3}", m.mrr));
@@ -365,9 +416,7 @@ fn e4_dst_sensitivity() {
     print!("{}", t.render());
 
     println!("\n## E4b — accuracy vs amount of (noisy) feedback\n");
-    let mut t = Table::new(&[
-        "feedbacks", "O_Cf eff", "feedback-only MRR", "combined MRR",
-    ]);
+    let mut t = Table::new(&["feedbacks", "O_Cf eff", "feedback-only MRR", "combined MRR"]);
     let forward0 = ForwardModule::new(&w, &SemanticRules::default()).expect("forward");
     let backward = BackwardModule::new(&w, &SchemaGraphWeights::default());
     let catalog_owned = w.catalog().clone();
@@ -384,7 +433,9 @@ fn e4_dst_sensitivity() {
             let (cfg_a, _) = oracle_a.feedback_for(catalog, wq);
             fwd.record_feedback(&cfg_a, true).expect("feedback");
             let (cfg_b, _) = oracle_b.feedback_for(catalog, wq);
-            engine.feedback_configuration(&cfg_b, true).expect("feedback");
+            engine
+                .feedback_configuration(&cfg_b, true)
+                .expect("feedback");
             given += 1;
         }
         // Feedback-only ranking quality.
@@ -503,7 +554,9 @@ fn annotations_for(ds: Dataset, c: &relstore::Catalog) -> AnnotationSet {
             let org = c.attr_id("organization", "abbreviation").expect("attr");
             ann.add_examples(
                 org,
-                quest_data::corpus::ORGANIZATIONS.iter().map(|(_, abbr)| *abbr),
+                quest_data::corpus::ORGANIZATIONS
+                    .iter()
+                    .map(|(_, abbr)| *abbr),
             );
         }
         Dataset::Dblp => {
@@ -532,11 +585,18 @@ fn annotations_for(ds: Dataset, c: &relstore::Catalog) -> AnnotationSet {
 fn e7_k_sweep() {
     println!("\n## E7 — top-k sweep (IMDB-shaped)\n");
     let mut t = Table::new(&["k", "avg query", "hit@1", "hit@k", "MRR"]);
-    let db = imdb::generate(&imdb::ImdbScale { movies: 1_000, seed: 42 }).expect("generate");
+    let db = imdb::generate(&imdb::ImdbScale {
+        movies: 1_000,
+        seed: 42,
+    })
+    .expect("generate");
     let w = FullAccessWrapper::new(db);
     let wl = imdb::workload();
     for k in [1usize, 3, 5, 10, 20] {
-        let cfg = QuestConfig { k, ..Default::default() };
+        let cfg = QuestConfig {
+            k,
+            ..Default::default()
+        };
         let engine = Quest::new(w.clone(), cfg).expect("build");
         let lat = quest_bench::mean_query_latency(&engine, &wl);
         let m = evaluate(&engine, &wl);
@@ -566,7 +626,10 @@ fn e7_k_sweep() {
 ///   existing in the database instance", paper §1).
 fn e8_mi_ablation() {
     println!("\n## E8a — non-empty interpretations, standard datasets (top-3)\n");
-    let mi_weights = SchemaGraphWeights { mi_penalty: 4.0, ..Default::default() };
+    let mi_weights = SchemaGraphWeights {
+        mi_penalty: 4.0,
+        ..Default::default()
+    };
     let mut t = Table::new(&["dataset", "weighting", "non-empty", "of total"]);
     for ds in Dataset::ALL {
         let db = ds.generate_default();
@@ -588,8 +651,11 @@ fn e8_mi_ablation() {
 
     println!("\n## E8b — top-1 interpretation non-empty, sparse-directors IMDB\n");
     let mut t = Table::new(&["weighting", "top-1 non-empty", "of queries"]);
-    let db = imdb::generate_sparse_directors(&imdb::ImdbScale { movies: 1_000, seed: 42 })
-        .expect("generate sparse");
+    let db = imdb::generate_sparse_directors(&imdb::ImdbScale {
+        movies: 1_000,
+        seed: 42,
+    })
+    .expect("generate sparse");
     let w = FullAccessWrapper::new(db);
     // Only the person↔movie joining queries discriminate the two paths.
     let joining: Vec<WorkloadQuery> = imdb::workload()
@@ -628,12 +694,15 @@ fn non_empty_stats(
     let mut total = 0usize;
     for wq in workload {
         let q = wq.parse();
-        let Ok(cfg) = wq.gold.to_configuration(catalog) else { continue };
-        let interps = backward.interpretations(catalog, &cfg, k).unwrap_or_default();
+        let Ok(cfg) = wq.gold.to_configuration(catalog) else {
+            continue;
+        };
+        let interps = backward
+            .interpretations(catalog, &cfg, k)
+            .unwrap_or_default();
         let take = if top1_only { 1 } else { k };
         for interp in interps.into_iter().take(take) {
-            let Ok(stmt) =
-                build_query(catalog, backward.schema_graph(), &q, &cfg, &interp, None)
+            let Ok(stmt) = build_query(catalog, backward.schema_graph(), &q, &cfg, &interp, None)
             else {
                 continue;
             };

@@ -68,7 +68,12 @@ impl Interpretation {
                 .tree
                 .terminals()
                 .first()
-                .map(|n| catalog.table(catalog.attribute(schema.attr_of(*n)).table).name.clone())
+                .map(|n| {
+                    catalog
+                        .table(catalog.attribute(schema.attr_of(*n)).table)
+                        .name
+                        .clone()
+                })
                 .unwrap_or_default();
             return format!("single table {t}");
         }
@@ -97,7 +102,11 @@ impl Interpretation {
 /// Deduplicate interpretations by tree identity, keeping best scores,
 /// descending.
 pub fn dedup_interpretations(mut items: Vec<Interpretation>) -> Vec<Interpretation> {
-    items.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    items.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out: Vec<Interpretation> = Vec::new();
     for i in items {
         if !out.iter().any(|o| o.key() == i.key()) {
@@ -135,8 +144,10 @@ mod tests {
             .finish();
         c.add_foreign_key("movie", "director_id", "person").unwrap();
         let mut d = Database::new(c).unwrap();
-        d.insert("person", Row::new(vec![1.into(), "Fleming".into()])).unwrap();
-        d.insert("movie", Row::new(vec![10.into(), "Wind".into(), 1.into()])).unwrap();
+        d.insert("person", Row::new(vec![1.into(), "Fleming".into()]))
+            .unwrap();
+        d.insert("movie", Row::new(vec![10.into(), "Wind".into(), 1.into()]))
+            .unwrap();
         d.finalize();
         let w = FullAccessWrapper::new(d);
         let g = SchemaGraph::build(&w, &SchemaGraphWeights::default());
@@ -218,8 +229,14 @@ mod tests {
             &[("movie", "title", "movie", "id")],
             &[("movie", "title")],
         );
-        let a = Interpretation { tree: t.clone(), score: 0.9 };
-        let b = Interpretation { tree: t, score: 0.4 };
+        let a = Interpretation {
+            tree: t.clone(),
+            score: 0.9,
+        };
+        let b = Interpretation {
+            tree: t,
+            score: 0.4,
+        };
         let out = dedup_interpretations(vec![b, a]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].score, 0.9);

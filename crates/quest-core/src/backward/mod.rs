@@ -31,12 +31,16 @@ pub struct BackwardModule {
 impl BackwardModule {
     /// Build from a wrapper with the given weights.
     pub fn new<W: SourceWrapper + ?Sized>(wrapper: &W, weights: &SchemaGraphWeights) -> Self {
-        BackwardModule { schema: SchemaGraph::build(wrapper, weights) }
+        BackwardModule {
+            schema: SchemaGraph::build(wrapper, weights),
+        }
     }
 
     /// Build with the E8 ablation (uniform FK weights).
     pub fn new_uniform<W: SourceWrapper + ?Sized>(wrapper: &W) -> Self {
-        BackwardModule { schema: SchemaGraph::build_uniform(wrapper) }
+        BackwardModule {
+            schema: SchemaGraph::build_uniform(wrapper),
+        }
     }
 
     /// The schema graph.
@@ -146,9 +150,12 @@ mod tests {
             .finish();
         c.add_foreign_key("movie", "director_id", "person").unwrap();
         let mut d = Database::new(c).unwrap();
-        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()])).unwrap();
-        d.insert("movie", Row::new(vec![10.into(), "Wind".into(), 1.into()])).unwrap();
-        d.insert("island", Row::new(vec![1.into(), "Atlantis".into()])).unwrap();
+        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()]))
+            .unwrap();
+        d.insert("movie", Row::new(vec![10.into(), "Wind".into(), 1.into()]))
+            .unwrap();
+        d.insert("island", Row::new(vec![1.into(), "Atlantis".into()]))
+            .unwrap();
         d.finalize();
         FullAccessWrapper::new(d)
     }

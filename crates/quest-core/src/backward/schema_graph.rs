@@ -100,7 +100,10 @@ impl SchemaGraph {
     /// Build with uniform FK weights — the E8 ablation: mutual information
     /// is ignored by zeroing its penalty, so every FK edge costs `fk_base`.
     pub fn build_uniform<W: SourceWrapper + ?Sized>(wrapper: &W) -> SchemaGraph {
-        let weights = SchemaGraphWeights { mi_penalty: 0.0, ..Default::default() };
+        let weights = SchemaGraphWeights {
+            mi_penalty: 0.0,
+            ..Default::default()
+        };
         SchemaGraph::build(wrapper, &weights)
     }
 
@@ -181,8 +184,10 @@ mod tests {
             .finish();
         c.add_foreign_key("movie", "director_id", "person").unwrap();
         let mut d = Database::new(c).unwrap();
-        d.insert("person", Row::new(vec![1.into(), "Fleming".into()])).unwrap();
-        d.insert("movie", Row::new(vec![10.into(), "Wind".into(), 1.into()])).unwrap();
+        d.insert("person", Row::new(vec![1.into(), "Fleming".into()]))
+            .unwrap();
+        d.insert("movie", Row::new(vec![10.into(), "Wind".into(), 1.into()]))
+            .unwrap();
         d.finalize();
         FullAccessWrapper::new(d)
     }
@@ -198,10 +203,16 @@ mod tests {
         let c = w.catalog();
         let pid = g.node_of(c.attr_id("person", "id").unwrap());
         let dir = g.node_of(c.attr_id("movie", "director_id").unwrap());
-        assert!(matches!(g.edge_kind(pid, dir), Some(SchemaEdgeKind::ForeignKey(_))));
+        assert!(matches!(
+            g.edge_kind(pid, dir),
+            Some(SchemaEdgeKind::ForeignKey(_))
+        ));
         let mid = g.node_of(c.attr_id("movie", "id").unwrap());
         let title = g.node_of(c.attr_id("movie", "title").unwrap());
-        assert!(matches!(g.edge_kind(mid, title), Some(SchemaEdgeKind::IntraTable(_))));
+        assert!(matches!(
+            g.edge_kind(mid, title),
+            Some(SchemaEdgeKind::IntraTable(_))
+        ));
         assert_eq!(g.edge_kind(pid, title), None);
     }
 

@@ -56,7 +56,11 @@ pub struct SummaryWeights {
 
 impl Default for SummaryWeights {
     fn default() -> Self {
-        SummaryWeights { size: 1.0, connectivity: 0.5, informativeness: 1.0 }
+        SummaryWeights {
+            size: 1.0,
+            connectivity: 0.5,
+            informativeness: 1.0,
+        }
     }
 }
 
@@ -133,7 +137,11 @@ pub fn summarize<W: SourceWrapper + ?Sized>(
             }
         }
     }
-    SchemaSummary { ranking, summary_edges, kept }
+    SchemaSummary {
+        ranking,
+        summary_edges,
+        kept,
+    }
 }
 
 /// Render the summary as text (used by the explain browser).
@@ -198,16 +206,21 @@ mod tests {
             .unwrap()
             .finish();
         c.add_foreign_key("cast_info", "movie_id", "movie").unwrap();
-        c.add_foreign_key("movie_genre", "movie_id", "movie").unwrap();
+        c.add_foreign_key("movie_genre", "movie_id", "movie")
+            .unwrap();
         let mut d = Database::new(c).unwrap();
         for i in 0..5i64 {
-            d.insert("movie", Row::new(vec![i.into(), format!("m{i}").into()])).unwrap();
+            d.insert("movie", Row::new(vec![i.into(), format!("m{i}").into()]))
+                .unwrap();
         }
         for i in 0..10i64 {
-            d.insert("cast_info", Row::new(vec![i.into(), (i % 5).into()])).unwrap();
-            d.insert("movie_genre", Row::new(vec![i.into(), (i % 5).into()])).unwrap();
+            d.insert("cast_info", Row::new(vec![i.into(), (i % 5).into()]))
+                .unwrap();
+            d.insert("movie_genre", Row::new(vec![i.into(), (i % 5).into()]))
+                .unwrap();
         }
-        d.insert("island", Row::new(vec![0.into(), "alone".into()])).unwrap();
+        d.insert("island", Row::new(vec![0.into(), "alone".into()]))
+            .unwrap();
         d.finalize();
         FullAccessWrapper::new(d)
     }
@@ -258,8 +271,11 @@ mod tests {
         let w = star_wrapper();
         // Connectivity-only: hub still wins; size-only with zero others:
         // all tables populated -> size ties dominate differently.
-        let conn_only =
-            SummaryWeights { size: 0.0, connectivity: 1.0, informativeness: 0.0 };
+        let conn_only = SummaryWeights {
+            size: 0.0,
+            connectivity: 1.0,
+            informativeness: 0.0,
+        };
         let s = summarize(&w, 1, &conn_only);
         assert_eq!(w.catalog().table(s.ranking[0].table).name, "movie");
     }

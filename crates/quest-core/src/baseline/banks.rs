@@ -43,9 +43,11 @@ pub fn keyword_tuple_groups(
                 if !attr.full_text {
                     continue;
                 }
-                for (rid, _score) in db.search_rows(attr.id, &kw.normalized, per_keyword_limit)
-                {
-                    let t = TupleRef { table: attr.table, row: rid };
+                for (rid, _score) in db.search_rows(attr.id, &kw.normalized, per_keyword_limit) {
+                    let t = TupleRef {
+                        table: attr.table,
+                        row: rid,
+                    };
                     if !group.contains(&t) {
                         group.push(t);
                     }
@@ -78,7 +80,9 @@ pub fn banks_search(
     for group in &groups {
         let mut best: HashMap<NodeId, (f64, NodeId)> = HashMap::new();
         for t in group {
-            let Some(src) = graph.node_of(*t) else { continue };
+            let Some(src) = graph.node_of(*t) else {
+                continue;
+            };
             let sp = dijkstra(graph.graph(), src);
             for n in 0..graph.node_count() {
                 let d = sp.dist[n];
@@ -129,7 +133,11 @@ pub fn banks_search(
                 }
             }
         }
-        out.push(TupleTree { root: graph.tuple_of(root), tuples, cost });
+        out.push(TupleTree {
+            root: graph.tuple_of(root),
+            tuples,
+            cost,
+        });
     }
     Ok(out)
 }
@@ -159,11 +167,20 @@ mod tests {
             .finish();
         c.add_foreign_key("movie", "director_id", "person").unwrap();
         let mut d = Database::new(c).unwrap();
-        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()])).unwrap();
-        d.insert("person", Row::new(vec![2.into(), "Michael Curtiz".into()])).unwrap();
-        d.insert("movie", Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into()]))
+        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()]))
             .unwrap();
-        d.insert("movie", Row::new(vec![11.into(), "Casablanca".into(), 2.into()])).unwrap();
+        d.insert("person", Row::new(vec![2.into(), "Michael Curtiz".into()]))
+            .unwrap();
+        d.insert(
+            "movie",
+            Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into()]),
+        )
+        .unwrap();
+        d.insert(
+            "movie",
+            Row::new(vec![11.into(), "Casablanca".into(), 2.into()]),
+        )
+        .unwrap();
         d.finalize();
         d
     }

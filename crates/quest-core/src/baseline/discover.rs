@@ -80,7 +80,10 @@ pub fn enumerate_networks(
         return Vec::new();
     }
     if required.len() == 1 {
-        return vec![CandidateNetwork { tables: required, joins: Vec::new() }];
+        return vec![CandidateNetwork {
+            tables: required,
+            joins: Vec::new(),
+        }];
     }
 
     // Table-level adjacency from FKs.
@@ -89,7 +92,14 @@ pub fn enumerate_networks(
         let a = catalog.attribute(fk.from).table;
         let b = catalog.attribute(fk.to).table;
         if a != b {
-            adj.push((a, b, JoinCondition { left: fk.from, right: fk.to }));
+            adj.push((
+                a,
+                b,
+                JoinCondition {
+                    left: fk.from,
+                    right: fk.to,
+                },
+            ));
         }
     }
 
@@ -220,11 +230,17 @@ mod tests {
         c.add_foreign_key("casting", "movie_id", "movie").unwrap();
         c.add_foreign_key("casting", "person_id", "person").unwrap();
         let mut d = Database::new(c).unwrap();
-        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()])).unwrap();
-        d.insert("person", Row::new(vec![2.into(), "Vivien Leigh".into()])).unwrap();
-        d.insert("movie", Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into()]))
+        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()]))
             .unwrap();
-        d.insert("casting", Row::new(vec![100.into(), 10.into(), 2.into()])).unwrap();
+        d.insert("person", Row::new(vec![2.into(), "Vivien Leigh".into()]))
+            .unwrap();
+        d.insert(
+            "movie",
+            Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into()]),
+        )
+        .unwrap();
+        d.insert("casting", Row::new(vec![100.into(), 10.into(), 2.into()]))
+            .unwrap();
         d.finalize();
         d
     }
@@ -272,7 +288,11 @@ mod tests {
         // At least one statement returns the Wind/Leigh pair via casting.
         let hits = stmts
             .iter()
-            .filter(|s| relstore::sql::execute(&d, s).map(|r| !r.is_empty()).unwrap_or(false))
+            .filter(|s| {
+                relstore::sql::execute(&d, s)
+                    .map(|r| !r.is_empty())
+                    .unwrap_or(false)
+            })
             .count();
         assert!(hits >= 1);
     }

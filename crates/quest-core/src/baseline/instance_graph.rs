@@ -30,7 +30,10 @@ impl InstanceGraph {
         let mut node_of = HashMap::with_capacity(db.total_rows());
         for table in catalog.tables() {
             for (rid, _) in db.table_data(table.id).iter() {
-                let t = TupleRef { table: table.id, row: rid };
+                let t = TupleRef {
+                    table: table.id,
+                    row: rid,
+                };
                 node_of.insert(t, NodeId(tuples.len() as u32));
                 tuples.push(t);
             }
@@ -46,15 +49,25 @@ impl InstanceGraph {
                     continue;
                 }
                 if let Some(target) = referenced.lookup_pk(std::slice::from_ref(v)) {
-                    let a = node_of[&TupleRef { table: from_attr.table, row: rid }];
-                    let b = node_of[&TupleRef { table: to_table, row: target }];
+                    let a = node_of[&TupleRef {
+                        table: from_attr.table,
+                        row: rid,
+                    }];
+                    let b = node_of[&TupleRef {
+                        table: to_table,
+                        row: target,
+                    }];
                     if a != b {
                         let _ = graph.add_edge(a, b, 1.0);
                     }
                 }
             }
         }
-        InstanceGraph { graph, tuples, node_of }
+        InstanceGraph {
+            graph,
+            tuples,
+            node_of,
+        }
     }
 
     /// The underlying graph.
@@ -108,11 +121,19 @@ mod tests {
             .finish();
         c.add_foreign_key("movie", "director_id", "person").unwrap();
         let mut d = Database::new(c).unwrap();
-        d.insert("person", Row::new(vec![1.into(), "Fleming".into()])).unwrap();
-        d.insert("person", Row::new(vec![2.into(), "Curtiz".into()])).unwrap();
-        d.insert("movie", Row::new(vec![10.into(), "Wind".into(), 1.into()])).unwrap();
-        d.insert("movie", Row::new(vec![11.into(), "Casablanca".into(), 2.into()])).unwrap();
-        d.insert("movie", Row::new(vec![12.into(), "Oz".into(), 1.into()])).unwrap();
+        d.insert("person", Row::new(vec![1.into(), "Fleming".into()]))
+            .unwrap();
+        d.insert("person", Row::new(vec![2.into(), "Curtiz".into()]))
+            .unwrap();
+        d.insert("movie", Row::new(vec![10.into(), "Wind".into(), 1.into()]))
+            .unwrap();
+        d.insert(
+            "movie",
+            Row::new(vec![11.into(), "Casablanca".into(), 2.into()]),
+        )
+        .unwrap();
+        d.insert("movie", Row::new(vec![12.into(), "Oz".into(), 1.into()]))
+            .unwrap();
         d.finalize();
         d
     }
@@ -144,8 +165,11 @@ mod tests {
     #[test]
     fn null_fks_produce_no_edges() {
         let mut d = db();
-        d.insert("movie", Row::new(vec![99.into(), "Orphan".into(), relstore::Value::Null]))
-            .unwrap();
+        d.insert(
+            "movie",
+            Row::new(vec![99.into(), "Orphan".into(), relstore::Value::Null]),
+        )
+        .unwrap();
         d.finalize();
         let g = InstanceGraph::build(&d);
         assert_eq!(g.edge_count(), 3);
@@ -156,7 +180,10 @@ mod tests {
         let d = db();
         let g = InstanceGraph::build(&d);
         let movie = d.catalog().table_id("movie").unwrap();
-        let t = TupleRef { table: movie, row: relstore::RowId(0) };
+        let t = TupleRef {
+            table: movie,
+            row: relstore::RowId(0),
+        };
         let n = g.node_of(t).unwrap();
         assert_eq!(g.tuple_of(n), t);
     }

@@ -268,8 +268,7 @@ mod tests {
         // (backward prefers e1), e2 from c1.
         let config_scores = [0.8, 0.2];
         let explanations = [(0usize, 0.3), (0, 0.7), (1, 0.9)];
-        let scores =
-            combine_explanation_scores(&config_scores, &explanations, 0.2, 0.2).unwrap();
+        let scores = combine_explanation_scores(&config_scores, &explanations, 0.2, 0.2).unwrap();
         assert_eq!(scores.len(), 3);
         // e1 wins: strong config AND strong interpretation.
         assert!(scores[1] > scores[0]);
@@ -283,18 +282,18 @@ mod tests {
         let config_scores = [0.9, 0.1];
         let explanations = [(0usize, 0.1), (1, 0.9)];
         // Backward fully ignorant: forward config order dominates.
-        let scores =
-            combine_explanation_scores(&config_scores, &explanations, 0.1, 1.0).unwrap();
+        let scores = combine_explanation_scores(&config_scores, &explanations, 0.1, 1.0).unwrap();
         assert!(scores[0] > scores[1]);
         // Forward fully ignorant: backward order dominates.
-        let scores =
-            combine_explanation_scores(&config_scores, &explanations, 1.0, 0.1).unwrap();
+        let scores = combine_explanation_scores(&config_scores, &explanations, 1.0, 0.1).unwrap();
         assert!(scores[1] > scores[0]);
     }
 
     #[test]
     fn empty_explanations_ok() {
-        assert!(combine_explanation_scores(&[0.5], &[], 0.1, 0.1).unwrap().is_empty());
+        assert!(combine_explanation_scores(&[0.5], &[], 0.1, 0.1)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

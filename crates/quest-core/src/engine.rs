@@ -82,7 +82,9 @@ impl QuestConfig {
             ("O_I", self.o_i),
         ] {
             if !v.is_finite() || !(0.0..=1.0).contains(&v) {
-                return Err(QuestError::BadParameter(format!("{name} = {v} outside [0, 1]")));
+                return Err(QuestError::BadParameter(format!(
+                    "{name} = {v} outside [0, 1]"
+                )));
             }
         }
         if self.k == 0 {
@@ -157,7 +159,12 @@ impl<W: SourceWrapper> Quest<W> {
         config.validate()?;
         let forward = ForwardModule::new(&wrapper, &config.rules)?;
         let backward = BackwardModule::new(&wrapper, &config.weights);
-        Ok(Quest { wrapper, forward, backward, config })
+        Ok(Quest {
+            wrapper,
+            forward,
+            backward,
+            config,
+        })
     }
 
     /// The wrapped source.
@@ -228,8 +235,10 @@ impl<W: SourceWrapper> Quest<W> {
         let o_cf = self.effective_o_cf();
         let l1: Vec<(Vec<DbTerm>, f64)> =
             apriori.iter().map(|c| (c.terms.clone(), c.score)).collect();
-        let l2: Vec<(Vec<DbTerm>, f64)> =
-            feedback.iter().map(|c| (c.terms.clone(), c.score)).collect();
+        let l2: Vec<(Vec<DbTerm>, f64)> = feedback
+            .iter()
+            .map(|c| (c.terms.clone(), c.score))
+            .collect();
         let combined = combine_ranked(&l1, self.config.o_cap, &l2, o_cf)?;
         let mut configurations: Vec<Configuration> = combined
             .into_iter()
@@ -252,8 +261,7 @@ impl<W: SourceWrapper> Quest<W> {
         // Second combination + query building.
         let t0 = Instant::now();
         let config_scores: Vec<f64> = configurations.iter().map(|c| c.score).collect();
-        let pair_scores: Vec<(usize, f64)> =
-            pairs.iter().map(|(ci, i)| (*ci, i.score)).collect();
+        let pair_scores: Vec<(usize, f64)> = pairs.iter().map(|(ci, i)| (*ci, i.score)).collect();
         let scores = combine_explanation_scores(
             &config_scores,
             &pair_scores,
@@ -279,7 +287,9 @@ impl<W: SourceWrapper> Quest<W> {
             });
         }
         explanations.sort_by(|a, b| {
-            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         if self.config.prune_empty {
             explanations.retain(|e| self.wrapper.has_results(&e.statement).unwrap_or(true));
@@ -289,7 +299,9 @@ impl<W: SourceWrapper> Quest<W> {
 
         // Keep partial configuration lists sorted for the demo comparisons.
         configurations.sort_by(|a, b| {
-            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
 
         Ok(SearchOutcome {
@@ -319,7 +331,8 @@ impl<W: SourceWrapper> Quest<W> {
     ) -> Result<(), QuestError> {
         let emissions = self.forward.emissions(&self.wrapper, query);
         self.forward.remember_query(emissions);
-        self.forward.record_feedback(&explanation.configuration, positive)
+        self.forward
+            .record_feedback(&explanation.configuration, positive)
     }
 
     /// Directly record a validated configuration (used by training oracles).
@@ -365,11 +378,18 @@ mod tests {
             .finish();
         c.add_foreign_key("movie", "director_id", "person").unwrap();
         let mut d = Database::new(c).unwrap();
-        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()])).unwrap();
-        d.insert("person", Row::new(vec![2.into(), "Michael Curtiz".into()])).unwrap();
+        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()]))
+            .unwrap();
+        d.insert("person", Row::new(vec![2.into(), "Michael Curtiz".into()]))
+            .unwrap();
         d.insert(
             "movie",
-            Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into(), 1939.into()]),
+            Row::new(vec![
+                10.into(),
+                "Gone with the Wind".into(),
+                1.into(),
+                1939.into(),
+            ]),
         )
         .unwrap();
         d.insert(
@@ -416,7 +436,10 @@ mod tests {
     #[test]
     fn adaptive_o_cf_decays_with_feedback() {
         let mut q = engine();
-        assert!((q.effective_o_cf() - 1.0).abs() < 1e-9, "vacuous before feedback");
+        assert!(
+            (q.effective_o_cf() - 1.0).abs() < 1e-9,
+            "vacuous before feedback"
+        );
         let query = KeywordQuery::parse("casablanca").unwrap();
         let out = q.search_query(&query).unwrap();
         let best = out.explanations[0].clone();
@@ -462,9 +485,15 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        let bad = QuestConfig { o_cap: 1.5, ..Default::default() };
+        let bad = QuestConfig {
+            o_cap: 1.5,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = QuestConfig { k: 0, ..Default::default() };
+        let bad = QuestConfig {
+            k: 0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
         assert!(QuestConfig::default().validate().is_ok());
     }

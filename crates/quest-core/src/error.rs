@@ -82,6 +82,8 @@ mod tests {
         assert!(e.to_string().contains("graph"));
         let e: QuestError = quest_dst::DstError::ZeroMass.into();
         assert!(e.to_string().contains("dst"));
-        assert!(QuestError::TooManyKeywords { max: 8, got: 9 }.to_string().contains('9'));
+        assert!(QuestError::TooManyKeywords { max: 8, got: 9 }
+            .to_string()
+            .contains('9'));
     }
 }

@@ -19,8 +19,16 @@ pub fn statements_equivalent(a: &SelectStatement, b: &SelectStatement) -> bool {
     if ta != tb {
         return false;
     }
-    let ja: HashSet<_> = a.joins.iter().map(|j| ordered(j.left.0, j.right.0)).collect();
-    let jb: HashSet<_> = b.joins.iter().map(|j| ordered(j.left.0, j.right.0)).collect();
+    let ja: HashSet<_> = a
+        .joins
+        .iter()
+        .map(|j| ordered(j.left.0, j.right.0))
+        .collect();
+    let jb: HashSet<_> = b
+        .joins
+        .iter()
+        .map(|j| ordered(j.left.0, j.right.0))
+        .collect();
     if ja != jb {
         return false;
     }
@@ -88,7 +96,10 @@ pub fn aggregate(masks: &[Vec<bool>]) -> WorkloadMetrics {
     if n == 0 {
         return WorkloadMetrics::default();
     }
-    let mut m = WorkloadMetrics { queries: n, ..Default::default() };
+    let mut m = WorkloadMetrics {
+        queries: n,
+        ..Default::default()
+    };
     for mask in masks {
         if hit_at_k(mask, 1) {
             m.hit_at_1 += 1.0;
@@ -121,11 +132,17 @@ mod tests {
             from: tables.iter().map(|t| TableId(*t)).collect(),
             joins: joins
                 .iter()
-                .map(|(a, b)| JoinCondition { left: AttrId(*a), right: AttrId(*b) })
+                .map(|(a, b)| JoinCondition {
+                    left: AttrId(*a),
+                    right: AttrId(*b),
+                })
                 .collect(),
             predicates: kws
                 .iter()
-                .map(|(a, k)| Predicate::Contains { attr: AttrId(*a), keyword: k.to_string() })
+                .map(|(a, k)| Predicate::Contains {
+                    attr: AttrId(*a),
+                    keyword: k.to_string(),
+                })
                 .collect(),
             distinct: true,
             limit: None,

@@ -35,12 +35,7 @@ impl Explanation {
     }
 
     /// Multi-line presentation: SQL, mapping, join path, schema portion.
-    pub fn render(
-        &self,
-        catalog: &Catalog,
-        schema: &SchemaGraph,
-        query: &KeywordQuery,
-    ) -> String {
+    pub fn render(&self, catalog: &Catalog, schema: &SchemaGraph, query: &KeywordQuery) -> String {
         let mut out = String::new();
         out.push_str(&format!("score {:.4}\n", self.score));
         out.push_str(&format!("  SQL:      {}\n", self.sql(catalog)));
@@ -119,9 +114,13 @@ mod tests {
             .finish();
         c.add_foreign_key("movie", "director_id", "person").unwrap();
         let mut d = Database::new(c).unwrap();
-        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()])).unwrap();
-        d.insert("movie", Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into()]))
+        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()]))
             .unwrap();
+        d.insert(
+            "movie",
+            Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into()]),
+        )
+        .unwrap();
         d.finalize();
         let w = FullAccessWrapper::new(d);
         let b = BackwardModule::new(&w, &SchemaGraphWeights::default());

@@ -55,7 +55,11 @@ impl Configuration {
 /// Deduplicate a ranked list of configurations by term sequence, keeping the
 /// best score for each, preserving descending score order.
 pub fn dedup_configurations(mut configs: Vec<Configuration>) -> Vec<Configuration> {
-    configs.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    configs.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out: Vec<Configuration> = Vec::with_capacity(configs.len());
     for c in configs {
         if !out.iter().any(|o| o.key() == c.key()) {
@@ -87,10 +91,7 @@ mod tests {
         let c = catalog();
         let q = KeywordQuery::parse("casablanca movie").unwrap();
         let title = c.attr_id("movie", "title").unwrap();
-        let cfg = Configuration::new(
-            vec![DbTerm::Domain(title), DbTerm::Table(TableId(0))],
-            0.5,
-        );
+        let cfg = Configuration::new(vec![DbTerm::Domain(title), DbTerm::Table(TableId(0))], 0.5);
         let d = cfg.describe(&c, &q);
         assert!(d.contains("casablanca -> movie.title::value"));
         assert!(d.contains("movie -> movie"));

@@ -46,15 +46,12 @@ pub fn emission_row<W: SourceWrapper + ?Sized>(
             DbTerm::Domain(a) => wrapper.value_score(a, keyword),
             DbTerm::Table(_) | DbTerm::Attribute(_) => {
                 let mut best = name_similarity(&keyword.normalized, vocab.name(s), ontology);
-                if let (DbTerm::Attribute(a), Some(anns)) =
-                    (vocab.term(s), wrapper.annotations())
-                {
+                if let (DbTerm::Attribute(a), Some(anns)) = (vocab.term(s), wrapper.annotations()) {
                     if let Some(ann) = anns.get(a) {
                         for alias in &ann.aliases {
                             let alias_norm = normalize_identifier(alias);
                             best = best.max(
-                                name_similarity(&keyword.normalized, &alias_norm, ontology)
-                                    * 0.95,
+                                name_similarity(&keyword.normalized, &alias_norm, ontology) * 0.95,
                             );
                         }
                     }
@@ -87,7 +84,8 @@ mod tests {
             .unwrap()
             .finish();
         let mut d = Database::new(c).unwrap();
-        d.insert("movie", Row::new(vec![1.into(), "Casablanca".into()])).unwrap();
+        d.insert("movie", Row::new(vec![1.into(), "Casablanca".into()]))
+            .unwrap();
         d.finalize();
         let v = Vocabulary::from_catalog(d.catalog());
         (FullAccessWrapper::new(d), v)
@@ -101,7 +99,9 @@ mod tests {
         assert_eq!(e.len(), 1);
         let title = w.catalog().attr_id("movie", "title").unwrap();
         let dom = v.state(DbTerm::Domain(title)).unwrap();
-        let tab = v.state(DbTerm::Table(w.catalog().table_id("movie").unwrap())).unwrap();
+        let tab = v
+            .state(DbTerm::Table(w.catalog().table_id("movie").unwrap()))
+            .unwrap();
         assert!(e[0][dom] > 0.0);
         assert_eq!(e[0][tab], 0.0); // "casablanca" is not similar to "movie"
     }
@@ -111,7 +111,9 @@ mod tests {
         let (w, v) = wrapper();
         let q = KeywordQuery::parse("film title").unwrap();
         let e = emissions_for_query(&w, &v, &q);
-        let tab = v.state(DbTerm::Table(w.catalog().table_id("movie").unwrap())).unwrap();
+        let tab = v
+            .state(DbTerm::Table(w.catalog().table_id("movie").unwrap()))
+            .unwrap();
         let title = w.catalog().attr_id("movie", "title").unwrap();
         let attr = v.state(DbTerm::Attribute(title)).unwrap();
         assert!(e[0][tab] > 0.8, "film ~ movie via ontology");

@@ -217,15 +217,20 @@ mod tests {
             .finish();
         c.add_foreign_key("movie", "director_id", "person").unwrap();
         let mut d = Database::new(c).unwrap();
-        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()])).unwrap();
-        d.insert("person", Row::new(vec![2.into(), "Michael Curtiz".into()])).unwrap();
+        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()]))
+            .unwrap();
+        d.insert("person", Row::new(vec![2.into(), "Michael Curtiz".into()]))
+            .unwrap();
         d.insert(
             "movie",
             Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into()]),
         )
         .unwrap();
-        d.insert("movie", Row::new(vec![11.into(), "Casablanca".into(), 2.into()]))
-            .unwrap();
+        d.insert(
+            "movie",
+            Row::new(vec![11.into(), "Casablanca".into(), 2.into()]),
+        )
+        .unwrap();
         d.finalize();
         FullAccessWrapper::new(d)
     }
@@ -266,10 +271,7 @@ mod tests {
         let e = fwd.emissions(&w, &q);
         let name = w.catalog().attr_id("person", "name").unwrap();
         let title = w.catalog().attr_id("movie", "title").unwrap();
-        let validated = Configuration::new(
-            vec![DbTerm::Domain(name), DbTerm::Domain(title)],
-            1.0,
-        );
+        let validated = Configuration::new(vec![DbTerm::Domain(name), DbTerm::Domain(title)], 1.0);
         for _ in 0..5 {
             fwd.record_feedback(&validated, true).unwrap();
         }
@@ -307,10 +309,7 @@ mod tests {
         // No feedback model yet: refinement is a no-op.
         assert_eq!(fwd.refine_with_em(5).unwrap(), 0);
         let title = w.catalog().attr_id("movie", "title").unwrap();
-        let cfg = Configuration::new(
-            vec![DbTerm::Domain(title), DbTerm::Attribute(title)],
-            1.0,
-        );
+        let cfg = Configuration::new(vec![DbTerm::Domain(title), DbTerm::Attribute(title)], 1.0);
         fwd.record_feedback(&cfg, true).unwrap();
         let iters = fwd.refine_with_em(5).unwrap();
         assert!(iters > 0);

@@ -65,9 +65,15 @@ impl KeywordQuery {
             return Err(QuestError::EmptyQuery);
         }
         if keywords.len() > MAX_KEYWORDS {
-            return Err(QuestError::TooManyKeywords { max: MAX_KEYWORDS, got: keywords.len() });
+            return Err(QuestError::TooManyKeywords {
+                max: MAX_KEYWORDS,
+                got: keywords.len(),
+            });
         }
-        Ok(KeywordQuery { keywords, raw: raw.to_string() })
+        Ok(KeywordQuery {
+            keywords,
+            raw: raw.to_string(),
+        })
     }
 
     /// Number of keywords.
@@ -82,13 +88,20 @@ impl KeywordQuery {
 
     /// The normalized keyword strings in order.
     pub fn normalized(&self) -> Vec<&str> {
-        self.keywords.iter().map(|k| k.normalized.as_str()).collect()
+        self.keywords
+            .iter()
+            .map(|k| k.normalized.as_str())
+            .collect()
     }
 }
 
 fn push_keyword(out: &mut Vec<Keyword>, raw: &str, phrase: bool) {
     if let Some(normalized) = normalize_keyword(raw) {
-        out.push(Keyword { raw: raw.to_string(), normalized, phrase });
+        out.push(Keyword {
+            raw: raw.to_string(),
+            normalized,
+            phrase,
+        });
     }
 }
 
@@ -121,14 +134,20 @@ mod tests {
 
     #[test]
     fn stopwords_dropped_empty_rejected() {
-        assert_eq!(KeywordQuery::parse("the of and"), Err(QuestError::EmptyQuery));
+        assert_eq!(
+            KeywordQuery::parse("the of and"),
+            Err(QuestError::EmptyQuery)
+        );
         assert_eq!(KeywordQuery::parse("   "), Err(QuestError::EmptyQuery));
         assert_eq!(KeywordQuery::parse(""), Err(QuestError::EmptyQuery));
     }
 
     #[test]
     fn too_many_keywords_rejected() {
-        let raw = (0..9).map(|i| format!("kw{i}")).collect::<Vec<_>>().join(" ");
+        let raw = (0..9)
+            .map(|i| format!("kw{i}"))
+            .collect::<Vec<_>>()
+            .join(" ");
         assert!(matches!(
             KeywordQuery::parse(&raw),
             Err(QuestError::TooManyKeywords { got: 9, .. })

@@ -122,9 +122,13 @@ mod tests {
             .finish();
         c.add_foreign_key("movie", "director_id", "person").unwrap();
         let mut d = Database::new(c).unwrap();
-        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()])).unwrap();
-        d.insert("movie", Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into()]))
+        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()]))
             .unwrap();
+        d.insert(
+            "movie",
+            Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into()]),
+        )
+        .unwrap();
         d.finalize();
         let w = FullAccessWrapper::new(d);
         let b = BackwardModule::new(&w, &SchemaGraphWeights::default());
@@ -179,10 +183,7 @@ mod tests {
         let c = w.catalog();
         let q = KeywordQuery::parse("title wind").unwrap();
         let title = c.attr_id("movie", "title").unwrap();
-        let cfg = Configuration::new(
-            vec![DbTerm::Attribute(title), DbTerm::Domain(title)],
-            1.0,
-        );
+        let cfg = Configuration::new(vec![DbTerm::Attribute(title), DbTerm::Domain(title)], 1.0);
         let interp = b.interpretations(c, &cfg, 1).unwrap().remove(0);
         let stmt = build_query(c, b.schema_graph(), &q, &cfg, &interp, None).unwrap();
         assert_eq!(stmt.predicates.len(), 1);

@@ -242,7 +242,13 @@ mod tests {
         let title = c.attr_id("movie", "title").unwrap();
         let year = c.attr_id("movie", "director_id").unwrap();
         assert_eq!(
-            classify(&c, &o, &v, DbTerm::Attribute(title), DbTerm::Attribute(year)),
+            classify(
+                &c,
+                &o,
+                &v,
+                DbTerm::Attribute(title),
+                DbTerm::Attribute(year)
+            ),
             Relationship::SameTable
         );
         assert_eq!(

@@ -82,7 +82,11 @@ impl Vocabulary {
             names.push(normalize_identifier(&a.name));
         }
         let index = terms.iter().enumerate().map(|(i, t)| (*t, i)).collect();
-        Vocabulary { terms, index, names }
+        Vocabulary {
+            terms,
+            index,
+            names,
+        }
     }
 
     /// Number of states.
@@ -186,7 +190,10 @@ mod tests {
         let c = catalog();
         let movie = c.table_id("movie").unwrap();
         let title = c.attr_id("movie", "title").unwrap();
-        assert_eq!(DbTerm::Table(movie).anchor_attr(&c), c.attr_id("movie", "id").unwrap());
+        assert_eq!(
+            DbTerm::Table(movie).anchor_attr(&c),
+            c.attr_id("movie", "id").unwrap()
+        );
         assert_eq!(DbTerm::Attribute(title).anchor_attr(&c), title);
         assert_eq!(DbTerm::Domain(title).anchor_attr(&c), title);
         assert_eq!(DbTerm::Domain(title).table(&c), movie);
@@ -198,6 +205,9 @@ mod tests {
         let title = c.attr_id("movie", "title").unwrap();
         assert_eq!(DbTerm::Attribute(title).describe(&c), "movie.title");
         assert_eq!(DbTerm::Domain(title).describe(&c), "movie.title::value");
-        assert_eq!(DbTerm::Table(c.table_id("person").unwrap()).describe(&c), "person");
+        assert_eq!(
+            DbTerm::Table(c.table_id("person").unwrap()).describe(&c),
+            "person"
+        );
     }
 }

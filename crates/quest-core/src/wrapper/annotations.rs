@@ -44,13 +44,21 @@ impl AnnotationSet {
     }
 
     /// Add example values for an attribute.
-    pub fn add_examples<S: Into<String>>(&mut self, attr: AttrId, examples: impl IntoIterator<Item = S>) {
+    pub fn add_examples<S: Into<String>>(
+        &mut self,
+        attr: AttrId,
+        examples: impl IntoIterator<Item = S>,
+    ) {
         let ann = self.by_attr.entry(attr).or_default();
         ann.examples.extend(examples.into_iter().map(Into::into));
     }
 
     /// Add name aliases for an attribute.
-    pub fn add_aliases<S: Into<String>>(&mut self, attr: AttrId, aliases: impl IntoIterator<Item = S>) {
+    pub fn add_aliases<S: Into<String>>(
+        &mut self,
+        attr: AttrId,
+        aliases: impl IntoIterator<Item = S>,
+    ) {
         let ann = self.by_attr.entry(attr).or_default();
         ann.aliases.extend(aliases.into_iter().map(Into::into));
     }
@@ -100,7 +108,9 @@ impl AnnotationSet {
             }
             let kw_lower = kw.to_lowercase();
             if ann.examples.iter().any(|e| {
-                e.to_lowercase().split_whitespace().any(|tok| tok == kw_lower)
+                e.to_lowercase()
+                    .split_whitespace()
+                    .any(|tok| tok == kw_lower)
             }) {
                 return 0.7;
             }
@@ -113,7 +123,9 @@ impl AnnotationSet {
 fn type_prior(catalog: &Catalog, attr: AttrId, kw: &str) -> f64 {
     use relstore::DataType::*;
     let a = catalog.attribute(attr);
-    let numeric = kw.chars().all(|c| c.is_ascii_digit() || c == '.' || c == '-')
+    let numeric = kw
+        .chars()
+        .all(|c| c.is_ascii_digit() || c == '.' || c == '-')
         && kw.chars().any(|c| c.is_ascii_digit());
     match a.data_type {
         Int | Float => {

@@ -78,7 +78,10 @@ impl FullAccessWrapper {
         if !db.is_finalized() {
             db.finalize();
         }
-        FullAccessWrapper { db, ontology: MiniOntology::builtin() }
+        FullAccessWrapper {
+            db,
+            ontology: MiniOntology::builtin(),
+        }
     }
 
     /// Replace the ontology.
@@ -165,7 +168,8 @@ impl SourceWrapper for DeepWebWrapper {
     fn value_score(&self, attr: AttrId, keyword: &Keyword) -> f64 {
         // No index: decide from metadata only. Use the raw keyword — the
         // pattern describes surface forms, not stemmed tokens.
-        self.annotations.admissibility(self.db.catalog(), attr, &keyword.raw)
+        self.annotations
+            .admissibility(self.db.catalog(), attr, &keyword.raw)
     }
 
     fn join_informativeness(&self, _fk: ForeignKey) -> Option<f64> {
@@ -179,7 +183,9 @@ impl SourceWrapper for DeepWebWrapper {
             ));
         }
         let mut limited = stmt.clone();
-        let cap = limited.limit.map_or(self.result_limit, |l| l.min(self.result_limit));
+        let cap = limited
+            .limit
+            .map_or(self.result_limit, |l| l.min(self.result_limit));
         limited.limit = Some(cap);
         execute(&self.db, &limited)
     }
@@ -225,8 +231,11 @@ mod tests {
             .unwrap()
             .finish();
         let mut d = Database::new(c).unwrap();
-        d.insert("movie", Row::new(vec![1.into(), "Casablanca".into(), 1942.into()]))
-            .unwrap();
+        d.insert(
+            "movie",
+            Row::new(vec![1.into(), "Casablanca".into(), 1942.into()]),
+        )
+        .unwrap();
         d.insert(
             "movie",
             Row::new(vec![2.into(), "Gone with the Wind".into(), 1939.into()]),
@@ -252,7 +261,11 @@ mod tests {
     #[test]
     fn full_wrapper_finalizes_lazily() {
         let mut c = Catalog::new();
-        c.define_table("t").unwrap().pk("id", DataType::Int).unwrap().finish();
+        c.define_table("t")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .finish();
         let d = Database::new(c).unwrap(); // not finalized
         let w = FullAccessWrapper::new(d);
         assert!(w.database().is_finalized());
@@ -271,11 +284,12 @@ mod tests {
         // Text attribute falls back to the type prior.
         assert_eq!(w.value_score(title, &kw("wind")), 0.2);
         assert!(!w.has_instance_access());
-        assert!(w.join_informativeness(ForeignKey {
-            from: year,
-            to: title
-        })
-        .is_none());
+        assert!(w
+            .join_informativeness(ForeignKey {
+                from: year,
+                to: title
+            })
+            .is_none());
     }
 
     #[test]
@@ -288,7 +302,10 @@ mod tests {
         assert!(w.execute(&open_scan).is_err());
         assert!(w.has_results(&open_scan).is_err());
         let mut bound = SelectStatement::scan(movie);
-        bound.predicates.push(Predicate::Contains { attr: title, keyword: "wind".into() });
+        bound.predicates.push(Predicate::Contains {
+            attr: title,
+            keyword: "wind".into(),
+        });
         let rs = w.execute(&bound).unwrap();
         assert_eq!(rs.len(), 1);
     }
@@ -312,7 +329,11 @@ mod tests {
     #[test]
     fn full_wrapper_exposes_join_stats() {
         let mut c = Catalog::new();
-        c.define_table("b").unwrap().pk("id", DataType::Int).unwrap().finish();
+        c.define_table("b")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .finish();
         c.define_table("a")
             .unwrap()
             .pk("id", DataType::Int)

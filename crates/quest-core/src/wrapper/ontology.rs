@@ -68,8 +68,7 @@ impl MiniOntology {
     /// Add a ring of mutually synonymous words. Words already present are
     /// merged into the existing ring.
     pub fn add_ring(&mut self, words: &[&str]) {
-        let normalized: Vec<String> =
-            words.iter().filter_map(|w| normalize_keyword(w)).collect();
+        let normalized: Vec<String> = words.iter().filter_map(|w| normalize_keyword(w)).collect();
         if normalized.is_empty() {
             return;
         }

@@ -61,7 +61,10 @@ enum CharClass {
     Word(bool),
     Space(bool),
     /// Bracket class: ranges plus negation flag.
-    Set { ranges: Vec<(char, char)>, negated: bool },
+    Set {
+        ranges: Vec<(char, char)>,
+        negated: bool,
+    },
 }
 
 impl CharClass {
@@ -83,7 +86,10 @@ impl Pattern {
     /// Compile a pattern.
     pub fn compile(source: &str) -> Result<Pattern, PatternError> {
         let chars: Vec<char> = source.chars().collect();
-        let mut p = Parser { chars: &chars, pos: 0 };
+        let mut p = Parser {
+            chars: &chars,
+            pos: 0,
+        };
         let root = p.parse_alt()?;
         if p.pos != p.chars.len() {
             return Err(PatternError {
@@ -91,7 +97,10 @@ impl Pattern {
                 position: p.pos,
             });
         }
-        Ok(Pattern { source: source.to_string(), root })
+        Ok(Pattern {
+            source: source.to_string(),
+            root,
+        })
     }
 
     /// The source text.
@@ -130,17 +139,10 @@ fn match_node(node: &Node, input: &[char], pos: usize, k: &mut dyn FnMut(usize) 
     }
 }
 
-fn match_seq(
-    nodes: &[Node],
-    input: &[char],
-    pos: usize,
-    k: &mut dyn FnMut(usize) -> bool,
-) -> bool {
+fn match_seq(nodes: &[Node], input: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
     match nodes.split_first() {
         None => k(pos),
-        Some((head, tail)) => {
-            match_node(head, input, pos, &mut |p| match_seq(tail, input, p, k))
-        }
+        Some((head, tail)) => match_node(head, input, pos, &mut |p| match_seq(tail, input, p, k)),
     }
 }
 
@@ -179,7 +181,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> PatternError {
-        PatternError { message: message.into(), position: self.pos }
+        PatternError {
+            message: message.into(),
+            position: self.pos,
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -324,7 +329,9 @@ impl<'a> Parser<'a> {
                 break;
             }
             let lo = if c == '\\' {
-                let esc = self.bump().ok_or_else(|| self.err("dangling escape in class"))?;
+                let esc = self
+                    .bump()
+                    .ok_or_else(|| self.err("dangling escape in class"))?;
                 // Character-class escapes expand to their ranges.
                 match esc {
                     'd' => {

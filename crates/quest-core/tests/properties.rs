@@ -111,7 +111,7 @@ proptest! {
     #[test]
     fn parsed_keywords_are_normalized_and_bounded(s in "[a-zA-Z ,.'\"-]{1,60}") {
         if let Ok(q) = KeywordQuery::parse(&s) {
-            prop_assert!(q.len() >= 1);
+            prop_assert!(!q.is_empty());
             prop_assert!(q.len() <= quest_core::MAX_KEYWORDS);
             for kw in &q.keywords {
                 prop_assert!(!kw.normalized.is_empty());

@@ -6,115 +6,410 @@
 
 /// Common given names.
 pub const FIRST_NAMES: &[&str] = &[
-    "Victor", "Michael", "Vivien", "Clark", "Ingrid", "Humphrey", "Orson", "Rita", "Audrey",
-    "Gregory", "Marlon", "Grace", "James", "Katharine", "Spencer", "Bette", "Cary", "Joan",
-    "Henry", "Barbara", "Marcello", "Sophia", "Akira", "Toshiro", "Setsuko", "Federico",
-    "Giulietta", "Alfred", "Grete", "Buster", "Charles", "Mary", "Lillian", "Douglas",
-    "Gloria", "Rudolph", "Norma", "Ramon", "Dolores", "John", "Maureen", "Walter", "Olivia",
-    "Leslie", "Hattie", "Thomas", "Evelyn", "Sidney", "Dorothy", "Paul", "Shirley",
+    "Victor",
+    "Michael",
+    "Vivien",
+    "Clark",
+    "Ingrid",
+    "Humphrey",
+    "Orson",
+    "Rita",
+    "Audrey",
+    "Gregory",
+    "Marlon",
+    "Grace",
+    "James",
+    "Katharine",
+    "Spencer",
+    "Bette",
+    "Cary",
+    "Joan",
+    "Henry",
+    "Barbara",
+    "Marcello",
+    "Sophia",
+    "Akira",
+    "Toshiro",
+    "Setsuko",
+    "Federico",
+    "Giulietta",
+    "Alfred",
+    "Grete",
+    "Buster",
+    "Charles",
+    "Mary",
+    "Lillian",
+    "Douglas",
+    "Gloria",
+    "Rudolph",
+    "Norma",
+    "Ramon",
+    "Dolores",
+    "John",
+    "Maureen",
+    "Walter",
+    "Olivia",
+    "Leslie",
+    "Hattie",
+    "Thomas",
+    "Evelyn",
+    "Sidney",
+    "Dorothy",
+    "Paul",
+    "Shirley",
 ];
 
 /// Common family names.
 pub const LAST_NAMES: &[&str] = &[
-    "Fleming", "Curtiz", "Leigh", "Gable", "Bergman", "Bogart", "Welles", "Hayworth",
-    "Hepburn", "Peck", "Brando", "Kelly", "Stewart", "Tracy", "Davis", "Grant", "Crawford",
-    "Fonda", "Stanwyck", "Mastroianni", "Loren", "Kurosawa", "Mifune", "Hara", "Fellini",
-    "Masina", "Hitchcock", "Garbo", "Keaton", "Chaplin", "Pickford", "Gish", "Fairbanks",
-    "Swanson", "Valentino", "Shearer", "Novarro", "Delrio", "Wayne", "Ohara", "Huston",
-    "Dehavilland", "Howard", "Mcdaniel", "Mitchell", "Keyes", "Poitier", "Dandridge",
-    "Newman", "Maclaine",
+    "Fleming",
+    "Curtiz",
+    "Leigh",
+    "Gable",
+    "Bergman",
+    "Bogart",
+    "Welles",
+    "Hayworth",
+    "Hepburn",
+    "Peck",
+    "Brando",
+    "Kelly",
+    "Stewart",
+    "Tracy",
+    "Davis",
+    "Grant",
+    "Crawford",
+    "Fonda",
+    "Stanwyck",
+    "Mastroianni",
+    "Loren",
+    "Kurosawa",
+    "Mifune",
+    "Hara",
+    "Fellini",
+    "Masina",
+    "Hitchcock",
+    "Garbo",
+    "Keaton",
+    "Chaplin",
+    "Pickford",
+    "Gish",
+    "Fairbanks",
+    "Swanson",
+    "Valentino",
+    "Shearer",
+    "Novarro",
+    "Delrio",
+    "Wayne",
+    "Ohara",
+    "Huston",
+    "Dehavilland",
+    "Howard",
+    "Mcdaniel",
+    "Mitchell",
+    "Keyes",
+    "Poitier",
+    "Dandridge",
+    "Newman",
+    "Maclaine",
 ];
 
 /// Words used to compose movie titles.
 pub const TITLE_WORDS: &[&str] = &[
-    "Wind", "Storm", "Casablanca", "Falcon", "Sunset", "Boulevard", "Kane", "Vertigo",
-    "Shadow", "Night", "River", "Bridge", "Garden", "Station", "Letter", "Stranger",
-    "Paradise", "Empire", "Crown", "Harvest", "Silence", "Mirror", "Voyage", "Horizon",
-    "Lantern", "Carnival", "Winter", "Summer", "Autumn", "Spring", "Phantom", "Cathedral",
-    "Fortress", "Meadow", "Tempest", "Eclipse", "Aurora", "Monsoon", "Glacier", "Harbor",
-    "Lighthouse", "Orchard", "Prairie", "Canyon", "Delta", "Savanna", "Tundra", "Lagoon",
-    "Obsidian", "Velvet",
+    "Wind",
+    "Storm",
+    "Casablanca",
+    "Falcon",
+    "Sunset",
+    "Boulevard",
+    "Kane",
+    "Vertigo",
+    "Shadow",
+    "Night",
+    "River",
+    "Bridge",
+    "Garden",
+    "Station",
+    "Letter",
+    "Stranger",
+    "Paradise",
+    "Empire",
+    "Crown",
+    "Harvest",
+    "Silence",
+    "Mirror",
+    "Voyage",
+    "Horizon",
+    "Lantern",
+    "Carnival",
+    "Winter",
+    "Summer",
+    "Autumn",
+    "Spring",
+    "Phantom",
+    "Cathedral",
+    "Fortress",
+    "Meadow",
+    "Tempest",
+    "Eclipse",
+    "Aurora",
+    "Monsoon",
+    "Glacier",
+    "Harbor",
+    "Lighthouse",
+    "Orchard",
+    "Prairie",
+    "Canyon",
+    "Delta",
+    "Savanna",
+    "Tundra",
+    "Lagoon",
+    "Obsidian",
+    "Velvet",
 ];
 
 /// Movie genres.
 pub const GENRES: &[&str] = &[
-    "Drama", "Comedy", "Thriller", "Romance", "Western", "Noir", "Adventure", "Musical",
-    "Mystery", "War", "Biography", "Fantasy",
+    "Drama",
+    "Comedy",
+    "Thriller",
+    "Romance",
+    "Western",
+    "Noir",
+    "Adventure",
+    "Musical",
+    "Mystery",
+    "War",
+    "Biography",
+    "Fantasy",
 ];
 
 /// Production company name stems.
 pub const COMPANY_STEMS: &[&str] = &[
-    "Selznick", "Metro", "Paramount", "Universal", "Columbia", "Warner", "Gaumont",
-    "Pathe", "Toho", "Cinecitta", "Ealing", "Rank", "Mosfilm", "Nordisk", "Babelsberg",
+    "Selznick",
+    "Metro",
+    "Paramount",
+    "Universal",
+    "Columbia",
+    "Warner",
+    "Gaumont",
+    "Pathe",
+    "Toho",
+    "Cinecitta",
+    "Ealing",
+    "Rank",
+    "Mosfilm",
+    "Nordisk",
+    "Babelsberg",
     "Lumiere",
 ];
 
 /// Research-paper title words (DBLP-shaped data).
 pub const PAPER_WORDS: &[&str] = &[
-    "Keyword", "Search", "Relational", "Databases", "Semantic", "Probabilistic", "Markov",
-    "Steiner", "Trees", "Evidence", "Ranking", "Queries", "Indexing", "Optimization",
-    "Schema", "Matching", "Integration", "Streams", "Graphs", "Mining", "Learning",
-    "Clustering", "Sampling", "Joins", "Views", "Transactions", "Recovery", "Concurrency",
-    "Distributed", "Parallel", "Adaptive", "Approximate", "Skyline", "Provenance",
-    "Crowdsourcing", "Uncertain", "Temporal", "Spatial", "Workflows", "Summarization",
+    "Keyword",
+    "Search",
+    "Relational",
+    "Databases",
+    "Semantic",
+    "Probabilistic",
+    "Markov",
+    "Steiner",
+    "Trees",
+    "Evidence",
+    "Ranking",
+    "Queries",
+    "Indexing",
+    "Optimization",
+    "Schema",
+    "Matching",
+    "Integration",
+    "Streams",
+    "Graphs",
+    "Mining",
+    "Learning",
+    "Clustering",
+    "Sampling",
+    "Joins",
+    "Views",
+    "Transactions",
+    "Recovery",
+    "Concurrency",
+    "Distributed",
+    "Parallel",
+    "Adaptive",
+    "Approximate",
+    "Skyline",
+    "Provenance",
+    "Crowdsourcing",
+    "Uncertain",
+    "Temporal",
+    "Spatial",
+    "Workflows",
+    "Summarization",
 ];
 
 /// Publication venues.
 pub const VENUES: &[&str] = &[
-    "VLDB", "SIGMOD", "ICDE", "EDBT", "CIKM", "KDD", "WWW", "ER", "DASFAA", "SSDBM",
-    "TODS", "TKDE", "PVLDB", "DKE",
+    "VLDB", "SIGMOD", "ICDE", "EDBT", "CIKM", "KDD", "WWW", "ER", "DASFAA", "SSDBM", "TODS",
+    "TKDE", "PVLDB", "DKE",
 ];
 
 /// University name stems (author affiliations).
 pub const UNIVERSITIES: &[&str] = &[
-    "Modena", "Zaragoza", "Trento", "Bologna", "Madrid", "Athens", "Toronto", "Waterloo",
-    "Stanford", "Berkeley", "Tsinghua", "Melbourne", "Edinburgh", "Zurich", "Copenhagen",
+    "Modena",
+    "Zaragoza",
+    "Trento",
+    "Bologna",
+    "Madrid",
+    "Athens",
+    "Toronto",
+    "Waterloo",
+    "Stanford",
+    "Berkeley",
+    "Tsinghua",
+    "Melbourne",
+    "Edinburgh",
+    "Zurich",
+    "Copenhagen",
     "Singapore",
 ];
 
 /// Country names (Mondial-shaped data).
 pub const COUNTRIES: &[&str] = &[
-    "Italy", "Spain", "France", "Germany", "Austria", "Greece", "Portugal", "Ireland",
-    "Norway", "Sweden", "Finland", "Poland", "Hungary", "Romania", "Bulgaria", "Croatia",
-    "Slovenia", "Estonia", "Latvia", "Lithuania", "Belgium", "Netherlands", "Denmark",
-    "Switzerland", "Albania", "Iceland",
+    "Italy",
+    "Spain",
+    "France",
+    "Germany",
+    "Austria",
+    "Greece",
+    "Portugal",
+    "Ireland",
+    "Norway",
+    "Sweden",
+    "Finland",
+    "Poland",
+    "Hungary",
+    "Romania",
+    "Bulgaria",
+    "Croatia",
+    "Slovenia",
+    "Estonia",
+    "Latvia",
+    "Lithuania",
+    "Belgium",
+    "Netherlands",
+    "Denmark",
+    "Switzerland",
+    "Albania",
+    "Iceland",
 ];
 
 /// City names.
 pub const CITIES: &[&str] = &[
-    "Modena", "Zaragoza", "Trento", "Riva", "Bologna", "Turin", "Seville", "Valencia",
-    "Lyon", "Marseille", "Hamburg", "Munich", "Salzburg", "Patras", "Porto", "Cork",
-    "Bergen", "Uppsala", "Tampere", "Krakow", "Debrecen", "Cluj", "Plovdiv", "Split",
-    "Maribor", "Tartu", "Riga", "Kaunas", "Ghent", "Rotterdam", "Aarhus", "Geneva",
-    "Vlore", "Akureyri", "Florence", "Granada", "Toulouse", "Dresden", "Innsbruck",
+    "Modena",
+    "Zaragoza",
+    "Trento",
+    "Riva",
+    "Bologna",
+    "Turin",
+    "Seville",
+    "Valencia",
+    "Lyon",
+    "Marseille",
+    "Hamburg",
+    "Munich",
+    "Salzburg",
+    "Patras",
+    "Porto",
+    "Cork",
+    "Bergen",
+    "Uppsala",
+    "Tampere",
+    "Krakow",
+    "Debrecen",
+    "Cluj",
+    "Plovdiv",
+    "Split",
+    "Maribor",
+    "Tartu",
+    "Riga",
+    "Kaunas",
+    "Ghent",
+    "Rotterdam",
+    "Aarhus",
+    "Geneva",
+    "Vlore",
+    "Akureyri",
+    "Florence",
+    "Granada",
+    "Toulouse",
+    "Dresden",
+    "Innsbruck",
     "Thessaloniki",
 ];
 
 /// River names.
 pub const RIVERS: &[&str] = &[
-    "Po", "Ebro", "Rhone", "Rhine", "Danube", "Tagus", "Shannon", "Glomma", "Torne",
-    "Vistula", "Tisza", "Olt", "Maritsa", "Sava", "Drava", "Daugava", "Nemunas", "Meuse",
-    "Aare", "Drin",
+    "Po", "Ebro", "Rhone", "Rhine", "Danube", "Tagus", "Shannon", "Glomma", "Torne", "Vistula",
+    "Tisza", "Olt", "Maritsa", "Sava", "Drava", "Daugava", "Nemunas", "Meuse", "Aare", "Drin",
 ];
 
 /// Mountain names.
 pub const MOUNTAINS: &[&str] = &[
-    "Blanc", "Matterhorn", "Etna", "Olympus", "Teide", "Mulhacen", "Zugspitze",
-    "Grossglockner", "Galdhopiggen", "Kebnekaise", "Rysy", "Musala", "Triglav",
-    "Korab", "Hvannadalshnukur", "Carrantuohill",
+    "Blanc",
+    "Matterhorn",
+    "Etna",
+    "Olympus",
+    "Teide",
+    "Mulhacen",
+    "Zugspitze",
+    "Grossglockner",
+    "Galdhopiggen",
+    "Kebnekaise",
+    "Rysy",
+    "Musala",
+    "Triglav",
+    "Korab",
+    "Hvannadalshnukur",
+    "Carrantuohill",
 ];
 
 /// Language names.
 pub const LANGUAGES: &[&str] = &[
-    "Italian", "Spanish", "French", "German", "Greek", "Portuguese", "Irish", "Norwegian",
-    "Swedish", "Finnish", "Polish", "Hungarian", "Romanian", "Bulgarian", "Croatian",
-    "Slovene", "Estonian", "Latvian", "Lithuanian", "Dutch", "Danish", "Albanian",
-    "Icelandic", "Catalan",
+    "Italian",
+    "Spanish",
+    "French",
+    "German",
+    "Greek",
+    "Portuguese",
+    "Irish",
+    "Norwegian",
+    "Swedish",
+    "Finnish",
+    "Polish",
+    "Hungarian",
+    "Romanian",
+    "Bulgarian",
+    "Croatian",
+    "Slovene",
+    "Estonian",
+    "Latvian",
+    "Lithuanian",
+    "Dutch",
+    "Danish",
+    "Albanian",
+    "Icelandic",
+    "Catalan",
 ];
 
 /// Religion names.
 pub const RELIGIONS: &[&str] = &[
-    "Catholic", "Protestant", "Orthodox", "Muslim", "Jewish", "Buddhist", "Hindu",
+    "Catholic",
+    "Protestant",
+    "Orthodox",
+    "Muslim",
+    "Jewish",
+    "Buddhist",
+    "Hindu",
     "Anglican",
 ];
 
@@ -137,8 +432,20 @@ mod tests {
     #[test]
     fn corpora_are_nonempty_and_distinct() {
         for list in [
-            FIRST_NAMES, LAST_NAMES, TITLE_WORDS, GENRES, COMPANY_STEMS, PAPER_WORDS, VENUES,
-            UNIVERSITIES, COUNTRIES, CITIES, RIVERS, MOUNTAINS, LANGUAGES, RELIGIONS,
+            FIRST_NAMES,
+            LAST_NAMES,
+            TITLE_WORDS,
+            GENRES,
+            COMPANY_STEMS,
+            PAPER_WORDS,
+            VENUES,
+            UNIVERSITIES,
+            COUNTRIES,
+            CITIES,
+            RIVERS,
+            MOUNTAINS,
+            LANGUAGES,
+            RELIGIONS,
         ] {
             assert!(list.len() >= 8);
             let mut sorted: Vec<_> = list.to_vec();

@@ -23,14 +23,21 @@ pub struct DblpScale {
 
 impl Default for DblpScale {
     fn default() -> Self {
-        DblpScale { publications: 1_000, authors_per_paper: 3, seed: 42 }
+        DblpScale {
+            publications: 1_000,
+            authors_per_paper: 3,
+            seed: 42,
+        }
     }
 }
 
 impl DblpScale {
     /// Scale with a publication count and default ratios.
     pub fn with_publications(publications: usize) -> DblpScale {
-        DblpScale { publications, ..Default::default() }
+        DblpScale {
+            publications,
+            ..Default::default()
+        }
     }
 }
 
@@ -80,7 +87,10 @@ pub fn generate(scale: &DblpScale) -> Result<Database, StoreError> {
     // Venues: fixed.
     for (i, v) in VENUES.iter().enumerate() {
         let kind = if i % 3 == 0 { "journal" } else { "conference" };
-        db.insert("venue", Row::new(vec![(i as i64).into(), (*v).into(), kind.into()]))?;
+        db.insert(
+            "venue",
+            Row::new(vec![(i as i64).into(), (*v).into(), kind.into()]),
+        )?;
     }
 
     // Anchor authors.
@@ -100,8 +110,8 @@ pub fn generate(scale: &DblpScale) -> Result<Database, StoreError> {
             ]),
         )?;
     }
-    let n_authors = anchor_authors.len()
-        + (scale.publications * scale.authors_per_paper / 2).max(1);
+    let n_authors =
+        anchor_authors.len() + (scale.publications * scale.authors_per_paper / 2).max(1);
     for i in anchor_authors.len()..n_authors {
         let name = format!(
             "{} {}",
@@ -112,7 +122,10 @@ pub fn generate(scale: &DblpScale) -> Result<Database, StoreError> {
             "University of {}",
             UNIVERSITIES[rng.random_range(0..UNIVERSITIES.len())]
         );
-        db.insert("author", Row::new(vec![(i as i64).into(), name.into(), aff.into()]))?;
+        db.insert(
+            "author",
+            Row::new(vec![(i as i64).into(), name.into(), aff.into()]),
+        )?;
     }
 
     // Anchor publication: the QUEST paper itself, at VLDB (index 0).
@@ -132,7 +145,12 @@ pub fn generate(scale: &DblpScale) -> Result<Database, StoreError> {
         let venue = rng.random_range(0..VENUES.len()) as i64;
         db.insert(
             "publication",
-            Row::new(vec![(i as i64).into(), title.into(), year.into(), venue.into()]),
+            Row::new(vec![
+                (i as i64).into(),
+                title.into(),
+                year.into(),
+                venue.into(),
+            ]),
         )?;
     }
     let n_pubs = first_gen + scale.publications;
@@ -143,7 +161,12 @@ pub fn generate(scale: &DblpScale) -> Result<Database, StoreError> {
     for (pos, a) in [0i64, 1, 2].iter().enumerate() {
         db.insert(
             "authorship",
-            Row::new(vec![as_id.into(), (*a).into(), 0.into(), (pos as i64).into()]),
+            Row::new(vec![
+                as_id.into(),
+                (*a).into(),
+                0.into(),
+                (pos as i64).into(),
+            ]),
         )?;
         as_id += 1;
     }
@@ -158,7 +181,12 @@ pub fn generate(scale: &DblpScale) -> Result<Database, StoreError> {
             used.push(a);
             db.insert(
                 "authorship",
-                Row::new(vec![as_id.into(), a.into(), (p as i64).into(), (pos as i64).into()]),
+                Row::new(vec![
+                    as_id.into(),
+                    a.into(),
+                    (p as i64).into(),
+                    (pos as i64).into(),
+                ]),
             )?;
             as_id += 1;
         }
@@ -210,7 +238,11 @@ pub fn workload() -> Vec<WorkloadQuery> {
                 tables: vec!["author".into(), "authorship".into(), "publication".into()],
                 joins: vec![
                     ("authorship".into(), "author_id".into(), "author".into()),
-                    ("authorship".into(), "publication_id".into(), "publication".into()),
+                    (
+                        "authorship".into(),
+                        "publication_id".into(),
+                        "publication".into(),
+                    ),
                 ],
                 contains: vec![
                     ("author".into(), "name".into(), "bergamaschi".into()),
@@ -258,7 +290,11 @@ pub fn workload() -> Vec<WorkloadQuery> {
                 tables: vec!["author".into(), "authorship".into(), "publication".into()],
                 joins: vec![
                     ("authorship".into(), "author_id".into(), "author".into()),
-                    ("authorship".into(), "publication_id".into(), "publication".into()),
+                    (
+                        "authorship".into(),
+                        "publication_id".into(),
+                        "publication".into(),
+                    ),
                 ],
                 contains: vec![],
                 terms: vec![GoldTerm::table("author"), GoldTerm::table("publication")],
@@ -275,7 +311,11 @@ pub fn workload() -> Vec<WorkloadQuery> {
                 ],
                 joins: vec![
                     ("authorship".into(), "author_id".into(), "author".into()),
-                    ("authorship".into(), "publication_id".into(), "publication".into()),
+                    (
+                        "authorship".into(),
+                        "publication_id".into(),
+                        "publication".into(),
+                    ),
                     ("publication".into(), "venue_id".into(), "venue".into()),
                 ],
                 contains: vec![
@@ -361,8 +401,12 @@ mod tests {
 
     #[test]
     fn generator_scales_and_validates() {
-        let db = generate(&DblpScale { publications: 100, authors_per_paper: 3, seed: 1 })
-            .unwrap();
+        let db = generate(&DblpScale {
+            publications: 100,
+            authors_per_paper: 3,
+            seed: 1,
+        })
+        .unwrap();
         assert!(db.validate_foreign_keys().is_ok());
         let pubs = db.catalog().table_id("publication").unwrap();
         assert_eq!(db.row_count(pubs), 101);
@@ -372,7 +416,11 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let s = DblpScale { publications: 30, authors_per_paper: 2, seed: 9 };
+        let s = DblpScale {
+            publications: 30,
+            authors_per_paper: 2,
+            seed: 9,
+        };
         let a = generate(&s).unwrap();
         let b = generate(&s).unwrap();
         assert_eq!(a.total_rows(), b.total_rows());
@@ -380,8 +428,12 @@ mod tests {
 
     #[test]
     fn workload_gold_queries_return_rows() {
-        let db = generate(&DblpScale { publications: 300, authors_per_paper: 3, seed: 42 })
-            .unwrap();
+        let db = generate(&DblpScale {
+            publications: 300,
+            authors_per_paper: 3,
+            seed: 42,
+        })
+        .unwrap();
         for wq in workload() {
             assert!(wq.is_well_formed(), "arity mismatch in {}", wq.raw);
             let stmt = wq.gold.to_statement(db.catalog()).unwrap();

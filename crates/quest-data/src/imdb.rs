@@ -20,14 +20,20 @@ pub struct ImdbScale {
 
 impl Default for ImdbScale {
     fn default() -> Self {
-        ImdbScale { movies: 1_000, seed: 42 }
+        ImdbScale {
+            movies: 1_000,
+            seed: 42,
+        }
     }
 }
 
 impl ImdbScale {
     /// Scale with a given movie count and the default seed.
     pub fn with_movies(movies: usize) -> ImdbScale {
-        ImdbScale { movies, ..Default::default() }
+        ImdbScale {
+            movies,
+            ..Default::default()
+        }
     }
 }
 
@@ -128,7 +134,11 @@ fn generate_opts(scale: &ImdbScale, sparse_directors: bool) -> Result<Database, 
     for (i, name) in anchors_people.iter().enumerate() {
         db.insert(
             "person",
-            Row::new(vec![(i as i64).into(), (*name).into(), (1890 + i as i64).into()]),
+            Row::new(vec![
+                (i as i64).into(),
+                (*name).into(),
+                (1890 + i as i64).into(),
+            ]),
         )?;
     }
     // Generated people.
@@ -140,7 +150,10 @@ fn generate_opts(scale: &ImdbScale, sparse_directors: bool) -> Result<Database, 
             LAST_NAMES[rng.random_range(0..LAST_NAMES.len())]
         );
         let birth = 1880 + rng.random_range(0..100) as i64;
-        db.insert("person", Row::new(vec![(i as i64).into(), name.into(), birth.into()]))?;
+        db.insert(
+            "person",
+            Row::new(vec![(i as i64).into(), name.into(), birth.into()]),
+        )?;
     }
 
     // Anchor movies (ids 0..2).
@@ -150,7 +163,11 @@ fn generate_opts(scale: &ImdbScale, sparse_directors: bool) -> Result<Database, 
         ("The Wizard of Oz", 1939, 8.1, 0),
     ];
     for (i, (title, year, rating, director)) in anchor_movies.iter().enumerate() {
-        let director_v = if sparse_directors { Value::Null } else { (*director).into() };
+        let director_v = if sparse_directors {
+            Value::Null
+        } else {
+            (*director).into()
+        };
         db.insert(
             "movie",
             Row::new(vec![
@@ -188,12 +205,15 @@ fn generate_opts(scale: &ImdbScale, sparse_directors: bool) -> Result<Database, 
 
     // Anchor cast: Leigh in Wind, Bogart & Bergman in Casablanca.
     let mut cast_id: i64 = 0;
-    for (movie, person, role) in
-        [(0i64, 2i64, "Scarlett"), (1, 3, "Rick"), (1, 4, "Ilsa")]
-    {
+    for (movie, person, role) in [(0i64, 2i64, "Scarlett"), (1, 3, "Rick"), (1, 4, "Ilsa")] {
         db.insert(
             "cast_info",
-            Row::new(vec![cast_id.into(), movie.into(), person.into(), role.into()]),
+            Row::new(vec![
+                cast_id.into(),
+                movie.into(),
+                person.into(),
+                role.into(),
+            ]),
         )?;
         cast_id += 1;
     }
@@ -204,7 +224,12 @@ fn generate_opts(scale: &ImdbScale, sparse_directors: bool) -> Result<Database, 
             let role = FIRST_NAMES[rng.random_range(0..FIRST_NAMES.len())];
             db.insert(
                 "cast_info",
-                Row::new(vec![cast_id.into(), (m as i64).into(), p.into(), role.into()]),
+                Row::new(vec![
+                    cast_id.into(),
+                    (m as i64).into(),
+                    p.into(),
+                    role.into(),
+                ]),
             )?;
             cast_id += 1;
         }
@@ -213,18 +238,27 @@ fn generate_opts(scale: &ImdbScale, sparse_directors: bool) -> Result<Database, 
     // Genres: anchors are Drama (0); generated movies get one random genre.
     let mut mg_id: i64 = 0;
     for (m, g) in [(0i64, 0i64), (1, 0), (2, 11)] {
-        db.insert("movie_genre", Row::new(vec![mg_id.into(), m.into(), g.into()]))?;
+        db.insert(
+            "movie_genre",
+            Row::new(vec![mg_id.into(), m.into(), g.into()]),
+        )?;
         mg_id += 1;
     }
     for m in first_gen..n_movies {
         let g = rng.random_range(0..GENRES.len()) as i64;
-        db.insert("movie_genre", Row::new(vec![mg_id.into(), (m as i64).into(), g.into()]))?;
+        db.insert(
+            "movie_genre",
+            Row::new(vec![mg_id.into(), (m as i64).into(), g.into()]),
+        )?;
         mg_id += 1;
     }
 
     // Companies: Wind by Selznick (0); generated movies one random company.
     let mut mc_id: i64 = 0;
-    db.insert("movie_company", Row::new(vec![mc_id.into(), 0.into(), 0.into()]))?;
+    db.insert(
+        "movie_company",
+        Row::new(vec![mc_id.into(), 0.into(), 0.into()]),
+    )?;
     mc_id += 1;
     for m in first_gen..n_movies {
         let comp = rng.random_range(0..COMPANY_STEMS.len()) as i64;
@@ -345,7 +379,11 @@ pub fn workload() -> Vec<WorkloadQuery> {
                 tables: vec!["movie".into(), "company".into(), "movie_company".into()],
                 joins: vec![
                     ("movie_company".into(), "movie_id".into(), "movie".into()),
-                    ("movie_company".into(), "company_id".into(), "company".into()),
+                    (
+                        "movie_company".into(),
+                        "company_id".into(),
+                        "company".into(),
+                    ),
                 ],
                 contains: vec![
                     ("company".into(), "name".into(), "selznick".into()),
@@ -431,8 +469,16 @@ mod tests {
 
     #[test]
     fn generator_is_deterministic() {
-        let a = generate(&ImdbScale { movies: 50, seed: 7 }).unwrap();
-        let b = generate(&ImdbScale { movies: 50, seed: 7 }).unwrap();
+        let a = generate(&ImdbScale {
+            movies: 50,
+            seed: 7,
+        })
+        .unwrap();
+        let b = generate(&ImdbScale {
+            movies: 50,
+            seed: 7,
+        })
+        .unwrap();
         let movie = a.catalog().table_id("movie").unwrap();
         assert_eq!(a.row_count(movie), b.row_count(movie));
         let ta = a.table_data(movie);
@@ -444,15 +490,27 @@ mod tests {
 
     #[test]
     fn scale_controls_size() {
-        let small = generate(&ImdbScale { movies: 10, seed: 1 }).unwrap();
-        let large = generate(&ImdbScale { movies: 100, seed: 1 }).unwrap();
+        let small = generate(&ImdbScale {
+            movies: 10,
+            seed: 1,
+        })
+        .unwrap();
+        let large = generate(&ImdbScale {
+            movies: 100,
+            seed: 1,
+        })
+        .unwrap();
         assert!(large.total_rows() > small.total_rows() * 5);
         assert!(small.validate_foreign_keys().is_ok());
     }
 
     #[test]
     fn anchors_present_at_any_scale() {
-        let db = generate(&ImdbScale { movies: 5, seed: 99 }).unwrap();
+        let db = generate(&ImdbScale {
+            movies: 5,
+            seed: 99,
+        })
+        .unwrap();
         let title = db.catalog().attr_id("movie", "title").unwrap();
         assert!(db.search_score(title, "casablanca") > 0.0);
         assert!(db.search_score(title, "wind") > 0.0);
@@ -462,7 +520,11 @@ mod tests {
 
     #[test]
     fn workload_is_well_formed_and_gold_is_nonempty() {
-        let db = generate(&ImdbScale { movies: 20, seed: 42 }).unwrap();
+        let db = generate(&ImdbScale {
+            movies: 20,
+            seed: 42,
+        })
+        .unwrap();
         for wq in workload() {
             assert!(wq.is_well_formed(), "arity mismatch in {}", wq.raw);
             let stmt = wq.gold.to_statement(db.catalog()).unwrap();
@@ -474,7 +536,11 @@ mod tests {
 
     #[test]
     fn sparse_variant_kills_director_path_only() {
-        let db = generate_sparse_directors(&ImdbScale { movies: 50, seed: 42 }).unwrap();
+        let db = generate_sparse_directors(&ImdbScale {
+            movies: 50,
+            seed: 42,
+        })
+        .unwrap();
         let c = db.catalog();
         // The direct FK join person<-movie is empty...
         let dir_fk = c

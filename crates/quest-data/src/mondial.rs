@@ -152,7 +152,12 @@ pub fn generate(scale: &MondialScale) -> Result<Database, StoreError> {
         let area = 10_000.0 + rng.random_range(0..500_000) as f64;
         db.insert(
             "country",
-            Row::new(vec![codes[i].clone().into(), (*name).into(), pop.into(), area.into()]),
+            Row::new(vec![
+                codes[i].clone().into(),
+                (*name).into(),
+                pop.into(),
+                area.into(),
+            ]),
         )?;
     }
 
@@ -165,7 +170,12 @@ pub fn generate(scale: &MondialScale) -> Result<Database, StoreError> {
             let pop = 100_000 + rng.random_range(0..5_000_000) as i64;
             db.insert(
                 "province",
-                Row::new(vec![prov_id.into(), pname.into(), codes[ci].clone().into(), pop.into()]),
+                Row::new(vec![
+                    prov_id.into(),
+                    pname.into(),
+                    codes[ci].clone().into(),
+                    pop.into(),
+                ]),
             )?;
             provinces_of[ci].push(prov_id);
             prov_id += 1;
@@ -199,7 +209,11 @@ pub fn generate(scale: &MondialScale) -> Result<Database, StoreError> {
         if let Some(city) = city {
             db.insert(
                 "capital",
-                Row::new(vec![cap_id.into(), codes[ci].clone().into(), (*city).into()]),
+                Row::new(vec![
+                    cap_id.into(),
+                    codes[ci].clone().into(),
+                    (*city).into(),
+                ]),
             )?;
             cap_id += 1;
         }
@@ -210,14 +224,24 @@ pub fn generate(scale: &MondialScale) -> Result<Database, StoreError> {
         let est = 1900 + rng.random_range(0..99) as i64;
         db.insert(
             "organization",
-            Row::new(vec![(i as i64).into(), (*name).into(), (*abbr).into(), est.into()]),
+            Row::new(vec![
+                (i as i64).into(),
+                (*name).into(),
+                (*abbr).into(),
+                est.into(),
+            ]),
         )?;
     }
     let mut mem_id: i64 = 0;
     // Workload anchor: Italy (index 0) is a NATO (index 2) member.
     db.insert(
         "is_member",
-        Row::new(vec![mem_id.into(), 2.into(), codes[0].clone().into(), "member".into()]),
+        Row::new(vec![
+            mem_id.into(),
+            2.into(),
+            codes[0].clone().into(),
+            "member".into(),
+        ]),
     )?;
     mem_id += 1;
     for (oi, _) in ORGANIZATIONS.iter().enumerate() {
@@ -248,12 +272,20 @@ pub fn generate(scale: &MondialScale) -> Result<Database, StoreError> {
     // Workload anchor: Italian (index 0) is spoken in Spain (index 1).
     db.insert(
         "spoken",
-        Row::new(vec![spoken_id.into(), 0.into(), codes[1].clone().into(), 5.0.into()]),
+        Row::new(vec![
+            spoken_id.into(),
+            0.into(),
+            codes[1].clone().into(),
+            5.0.into(),
+        ]),
     )?;
     spoken_id += 1;
     for (ci, _) in COUNTRIES.iter().enumerate() {
         // Primary language aligned by index, plus one random minority.
-        for (li, pct) in [(ci % LANGUAGES.len(), 80.0), (rng.random_range(0..LANGUAGES.len()), 10.0)] {
+        for (li, pct) in [
+            (ci % LANGUAGES.len(), 80.0),
+            (rng.random_range(0..LANGUAGES.len()), 10.0),
+        ] {
             db.insert(
                 "spoken",
                 Row::new(vec![
@@ -288,7 +320,10 @@ pub fn generate(scale: &MondialScale) -> Result<Database, StoreError> {
     // Rivers flow through 1-3 countries.
     for (i, r) in RIVERS.iter().enumerate() {
         let len = 200.0 + rng.random_range(0..2800) as f64;
-        db.insert("river", Row::new(vec![(i as i64).into(), (*r).into(), len.into()]))?;
+        db.insert(
+            "river",
+            Row::new(vec![(i as i64).into(), (*r).into(), len.into()]),
+        )?;
     }
     let mut flow_id: i64 = 0;
     for (ri, _) in RIVERS.iter().enumerate() {
@@ -297,7 +332,11 @@ pub fn generate(scale: &MondialScale) -> Result<Database, StoreError> {
             let ci = rng.random_range(0..COUNTRIES.len());
             db.insert(
                 "flows_through",
-                Row::new(vec![flow_id.into(), (ri as i64).into(), codes[ci].clone().into()]),
+                Row::new(vec![
+                    flow_id.into(),
+                    (ri as i64).into(),
+                    codes[ci].clone().into(),
+                ]),
             )?;
             flow_id += 1;
         }
@@ -311,14 +350,21 @@ pub fn generate(scale: &MondialScale) -> Result<Database, StoreError> {
     // Mountains.
     for (i, m) in MOUNTAINS.iter().enumerate() {
         let h = 1000.0 + rng.random_range(0..4000) as f64;
-        db.insert("mountain", Row::new(vec![(i as i64).into(), (*m).into(), h.into()]))?;
+        db.insert(
+            "mountain",
+            Row::new(vec![(i as i64).into(), (*m).into(), h.into()]),
+        )?;
     }
     let mut loc_id: i64 = 0;
     for (mi, _) in MOUNTAINS.iter().enumerate() {
         let ci = mi % COUNTRIES.len();
         db.insert(
             "located_in",
-            Row::new(vec![loc_id.into(), (mi as i64).into(), codes[ci].clone().into()]),
+            Row::new(vec![
+                loc_id.into(),
+                (mi as i64).into(),
+                codes[ci].clone().into(),
+            ]),
         )?;
         loc_id += 1;
     }
@@ -380,7 +426,11 @@ pub fn workload() -> Vec<WorkloadQuery> {
                 tables: vec!["river".into(), "flows_through".into(), "country".into()],
                 joins: vec![
                     ("flows_through".into(), "river_id".into(), "river".into()),
-                    ("flows_through".into(), "country_code".into(), "country".into()),
+                    (
+                        "flows_through".into(),
+                        "country_code".into(),
+                        "country".into(),
+                    ),
                 ],
                 contains: vec![
                     ("river".into(), "name".into(), "po".into()),
@@ -445,7 +495,11 @@ pub fn workload() -> Vec<WorkloadQuery> {
             gold: GoldSpec {
                 tables: vec!["organization".into(), "is_member".into(), "country".into()],
                 joins: vec![
-                    ("is_member".into(), "organization_id".into(), "organization".into()),
+                    (
+                        "is_member".into(),
+                        "organization_id".into(),
+                        "organization".into(),
+                    ),
                     ("is_member".into(), "country_code".into(), "country".into()),
                 ],
                 contains: vec![

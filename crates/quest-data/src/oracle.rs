@@ -91,7 +91,11 @@ mod tests {
 
     #[test]
     fn perfect_oracle_emits_gold() {
-        let db = imdb::generate(&imdb::ImdbScale { movies: 10, seed: 1 }).unwrap();
+        let db = imdb::generate(&imdb::ImdbScale {
+            movies: 10,
+            seed: 1,
+        })
+        .unwrap();
         let wl = imdb::workload();
         let mut o = FeedbackOracle::perfect(7);
         for wq in &wl {
@@ -104,7 +108,11 @@ mod tests {
 
     #[test]
     fn noisy_oracle_corrupts_sometimes() {
-        let db = imdb::generate(&imdb::ImdbScale { movies: 10, seed: 1 }).unwrap();
+        let db = imdb::generate(&imdb::ImdbScale {
+            movies: 10,
+            seed: 1,
+        })
+        .unwrap();
         let wl = imdb::workload();
         let mut o = FeedbackOracle::new(0.5, 11);
         let fb = o.stream(db.catalog(), &wl, 100);
@@ -115,7 +123,11 @@ mod tests {
 
     #[test]
     fn stream_cycles_queries() {
-        let db = imdb::generate(&imdb::ImdbScale { movies: 10, seed: 1 }).unwrap();
+        let db = imdb::generate(&imdb::ImdbScale {
+            movies: 10,
+            seed: 1,
+        })
+        .unwrap();
         let wl = imdb::workload();
         let mut o = FeedbackOracle::perfect(3);
         let fb = o.stream(db.catalog(), &wl, wl.len() * 2);

@@ -213,12 +213,23 @@ mod tests {
 
     #[test]
     fn well_formedness_checks_arity() {
-        let wq = WorkloadQuery { raw: "wind fleming".into(), gold: spec() };
+        let wq = WorkloadQuery {
+            raw: "wind fleming".into(),
+            gold: spec(),
+        };
         assert!(wq.is_well_formed());
-        let wq = WorkloadQuery { raw: "wind".into(), gold: spec() };
+        let wq = WorkloadQuery {
+            raw: "wind".into(),
+            gold: spec(),
+        };
         assert!(!wq.is_well_formed());
         assert_eq!(
-            WorkloadQuery { raw: "wind fleming".into(), gold: spec() }.parse().len(),
+            WorkloadQuery {
+                raw: "wind fleming".into(),
+                gold: spec()
+            }
+            .parse()
+            .len(),
             2
         );
     }

@@ -24,10 +24,7 @@ pub struct Combination {
 /// `K = Σ_{A∩B=∅} m1(A)·m2(B)`.
 ///
 /// Errors on frame mismatch or total conflict (`K = 1`).
-pub fn dempster_combine(
-    m1: &MassFunction,
-    m2: &MassFunction,
-) -> Result<Combination, DstError> {
+pub fn dempster_combine(m1: &MassFunction, m2: &MassFunction) -> Result<Combination, DstError> {
     if m1.frame() != m2.frame() {
         return Err(DstError::FrameMismatch);
     }
@@ -52,7 +49,10 @@ pub fn dempster_combine(
     for (set, m) in combined {
         out.add_evidence(set, m / norm)?;
     }
-    Ok(Combination { mass: out, conflict })
+    Ok(Combination {
+        mass: out,
+        conflict,
+    })
 }
 
 /// Fold a sequence of mass functions with Dempster's rule (associative and
@@ -62,7 +62,10 @@ pub fn dempster_combine_all(ms: &[MassFunction]) -> Result<Combination, DstError
     let Some(first) = iter.next() else {
         return Err(DstError::ZeroMass);
     };
-    let mut acc = Combination { mass: first.clone(), conflict: 0.0 };
+    let mut acc = Combination {
+        mass: first.clone(),
+        conflict: 0.0,
+    };
     for m in iter {
         let step = dempster_combine(&acc.mass, m)?;
         // Report the maximum pairwise conflict encountered along the fold.
@@ -133,7 +136,10 @@ mod tests {
     fn total_conflict_detected() {
         let m1 = singleton_mass(&[(0, 1.0)], 0.0);
         let m2 = singleton_mass(&[(1, 1.0)], 0.0);
-        assert_eq!(dempster_combine(&m1, &m2).unwrap_err(), DstError::TotalConflict);
+        assert_eq!(
+            dempster_combine(&m1, &m2).unwrap_err(),
+            DstError::TotalConflict
+        );
         // Any ignorance resolves the conflict.
         let m2 = singleton_mass(&[(1, 1.0)], 0.1);
         let c = dempster_combine(&m1, &m2).unwrap();
@@ -144,7 +150,10 @@ mod tests {
     fn frame_mismatch_rejected() {
         let m1 = MassFunction::vacuous(Frame::new(2).unwrap());
         let m2 = MassFunction::vacuous(Frame::new(3).unwrap());
-        assert_eq!(dempster_combine(&m1, &m2).unwrap_err(), DstError::FrameMismatch);
+        assert_eq!(
+            dempster_combine(&m1, &m2).unwrap_err(),
+            DstError::FrameMismatch
+        );
     }
 
     #[test]

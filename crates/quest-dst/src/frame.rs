@@ -45,7 +45,10 @@ impl Frame {
     /// Singleton set for element `i`.
     pub fn singleton(&self, i: usize) -> Result<FocalSet, DstError> {
         if i >= self.n {
-            return Err(DstError::ElementOutOfRange { index: i, frame: self.n });
+            return Err(DstError::ElementOutOfRange {
+                index: i,
+                frame: self.n,
+            });
         }
         Ok(FocalSet(1u64 << i))
     }

@@ -20,7 +20,10 @@ pub struct MassFunction {
 impl MassFunction {
     /// Empty (all-zero) mass function; add evidence then normalize.
     pub fn new(frame: Frame) -> MassFunction {
-        MassFunction { frame, masses: HashMap::new() }
+        MassFunction {
+            frame,
+            masses: HashMap::new(),
+        }
     }
 
     /// The vacuous mass function: all mass on Θ (total ignorance).
@@ -186,8 +189,14 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let mut m = MassFunction::new(frame3());
-        assert_eq!(m.add_evidence(FocalSet::EMPTY, 0.5), Err(DstError::MassOnEmptySet));
-        assert_eq!(m.add_evidence(FocalSet(0b1000), 0.5), Err(DstError::SetOutOfFrame));
+        assert_eq!(
+            m.add_evidence(FocalSet::EMPTY, 0.5),
+            Err(DstError::MassOnEmptySet)
+        );
+        assert_eq!(
+            m.add_evidence(FocalSet(0b1000), 0.5),
+            Err(DstError::SetOutOfFrame)
+        );
         assert_eq!(m.add_singleton(0, -0.5), Err(DstError::BadMass(-0.5)));
         assert_eq!(m.normalize(), Err(DstError::ZeroMass));
         assert_eq!(m.set_uncertainty(1.5), Err(DstError::BadMass(1.5)));

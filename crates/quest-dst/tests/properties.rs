@@ -7,11 +7,8 @@ use quest_dst::{dempster_combine, FocalSet, Frame, MassFunction};
 /// Arbitrary normalized mass function over an `n`-element frame with some
 /// ignorance, built from random singleton weights.
 fn arb_mass(n: usize) -> impl Strategy<Value = MassFunction> {
-    (
-        proptest::collection::vec(0.0f64..10.0, n),
-        0.01f64..0.99,
-    )
-        .prop_map(move |(weights, uncertainty)| {
+    (proptest::collection::vec(0.0f64..10.0, n), 0.01f64..0.99).prop_map(
+        move |(weights, uncertainty)| {
             let frame = Frame::new(n).expect("valid frame size");
             let mut m = MassFunction::new(frame);
             let mut any = false;
@@ -26,7 +23,8 @@ fn arb_mass(n: usize) -> impl Strategy<Value = MassFunction> {
             }
             m.set_uncertainty(uncertainty).expect("valid uncertainty");
             m
-        })
+        },
+    )
 }
 
 proptest! {

@@ -67,7 +67,10 @@ pub fn dijkstra(graph: &Graph, source: NodeId) -> ShortestPaths {
     let mut done = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[source.0 as usize] = 0.0;
-    heap.push(HeapItem { dist: 0.0, node: source });
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: source,
+    });
     while let Some(HeapItem { dist: d, node: v }) = heap.pop() {
         let vi = v.0 as usize;
         if done[vi] {

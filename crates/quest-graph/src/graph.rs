@@ -166,9 +166,18 @@ mod tests {
     #[test]
     fn rejects_bad_edges() {
         let mut g = Graph::with_nodes(2);
-        assert!(matches!(g.add_edge(NodeId(0), NodeId(0), 1.0), Err(GraphError::SelfLoop(_))));
-        assert!(matches!(g.add_edge(NodeId(0), NodeId(9), 1.0), Err(GraphError::UnknownNode(_))));
-        assert!(matches!(g.add_edge(NodeId(0), NodeId(1), -1.0), Err(GraphError::BadWeight(_))));
+        assert!(matches!(
+            g.add_edge(NodeId(0), NodeId(0), 1.0),
+            Err(GraphError::SelfLoop(_))
+        ));
+        assert!(matches!(
+            g.add_edge(NodeId(0), NodeId(9), 1.0),
+            Err(GraphError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            g.add_edge(NodeId(0), NodeId(1), -1.0),
+            Err(GraphError::BadWeight(_))
+        ));
         assert!(matches!(
             g.add_edge(NodeId(0), NodeId(1), f64::NAN),
             Err(GraphError::BadWeight(_))

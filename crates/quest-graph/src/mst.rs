@@ -12,10 +12,7 @@ use crate::graph::{Graph, NodeId};
 use crate::tree::SteinerTree;
 
 /// Compute a 2-approximate Steiner tree over `terminals`.
-pub fn mst_approximation(
-    graph: &Graph,
-    terminals: &[NodeId],
-) -> Result<SteinerTree, GraphError> {
+pub fn mst_approximation(graph: &Graph, terminals: &[NodeId]) -> Result<SteinerTree, GraphError> {
     let mut terms: Vec<NodeId> = terminals.to_vec();
     terms.sort();
     terms.dedup();

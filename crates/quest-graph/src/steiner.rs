@@ -39,14 +39,21 @@ pub struct SteinerConfig {
 
 impl Default for SteinerConfig {
     fn default() -> Self {
-        SteinerConfig { k: 5, max_expansions: 2_000_000, suppress_supertrees: true }
+        SteinerConfig {
+            k: 5,
+            max_expansions: 2_000_000,
+            suppress_supertrees: true,
+        }
     }
 }
 
 impl SteinerConfig {
     /// Config returning `k` trees with default limits.
     pub fn top_k(k: usize) -> SteinerConfig {
-        SteinerConfig { k, ..Default::default() }
+        SteinerConfig {
+            k,
+            ..Default::default()
+        }
     }
 }
 
@@ -106,7 +113,10 @@ pub fn top_k_steiner(
         }
     }
     if terms.len() > MAX_TERMINALS {
-        return Err(GraphError::TooManyTerminals { max: MAX_TERMINALS, got: terms.len() });
+        return Err(GraphError::TooManyTerminals {
+            max: MAX_TERMINALS,
+            got: terms.len(),
+        });
     }
     if cfg.k == 0 {
         return Ok(Vec::new());
@@ -127,7 +137,12 @@ pub fn top_k_steiner(
 
     let mut heap: BinaryHeap<QueueEntry> = BinaryHeap::new();
     for t in &terms {
-        heap.push(QueueEntry { cost: 0.0, node: *t, mask: term_bit[t], edges: Vec::new() });
+        heap.push(QueueEntry {
+            cost: 0.0,
+            node: *t,
+            mask: term_bit[t],
+            edges: Vec::new(),
+        });
     }
 
     // Popped entries per (node, mask), capped at k each.
@@ -160,8 +175,8 @@ pub fn top_k_steiner(
             let tree = to_tree(graph, &entry, &terms);
             if is_valid_tree(&tree) {
                 let dup = results.iter().any(|r| r.edges() == tree.edges());
-                let redundant = cfg.suppress_supertrees
-                    && results.iter().any(|r| r.is_subtree_of(&tree));
+                let redundant =
+                    cfg.suppress_supertrees && results.iter().any(|r| r.is_subtree_of(&tree));
                 if !dup && !redundant {
                     results.push(tree);
                     if results.len() >= cfg.k {
@@ -212,12 +227,7 @@ pub fn top_k_steiner(
 
 /// Union two partial-tree edge sets rooted at `root`; `None` when the union
 /// would contain a cycle (shared edge, or node shared anywhere but the root).
-fn union_if_tree(
-    graph: &Graph,
-    a: &[usize],
-    b: &[usize],
-    root: NodeId,
-) -> Option<Vec<usize>> {
+fn union_if_tree(graph: &Graph, a: &[usize], b: &[usize], root: NodeId) -> Option<Vec<usize>> {
     let mut edges: Vec<usize> = a.to_vec();
     for e in b {
         if edges.contains(e) {
@@ -244,11 +254,7 @@ fn union_if_tree(
 }
 
 fn to_tree(graph: &Graph, entry: &QueueEntry, terms: &[NodeId]) -> SteinerTree {
-    let keys: Vec<(NodeId, NodeId)> = entry
-        .edges
-        .iter()
-        .map(|&ei| graph.edge(ei).key())
-        .collect();
+    let keys: Vec<(NodeId, NodeId)> = entry.edges.iter().map(|&ei| graph.edge(ei).key()).collect();
     SteinerTree::new(keys, entry.cost, terms.to_vec())
 }
 
@@ -322,9 +328,12 @@ mod tests {
             g.add_edge(NodeId(0), NodeId(i), 1.0).unwrap();
         }
         g.add_edge(NodeId(1), NodeId(2), 10.0).unwrap();
-        let ts =
-            top_k_steiner(&g, &[NodeId(1), NodeId(2), NodeId(3)], &SteinerConfig::top_k(1))
-                .unwrap();
+        let ts = top_k_steiner(
+            &g,
+            &[NodeId(1), NodeId(2), NodeId(3)],
+            &SteinerConfig::top_k(1),
+        )
+        .unwrap();
         assert_eq!(ts[0].cost(), 3.0);
         assert_eq!(ts[0].steiner_points(), vec![NodeId(0)]);
         assert!(ts[0].validate(&g));

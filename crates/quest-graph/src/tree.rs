@@ -26,7 +26,11 @@ impl SteinerTree {
         edges.dedup();
         terminals.sort();
         terminals.dedup();
-        SteinerTree { edges, cost, terminals }
+        SteinerTree {
+            edges,
+            cost,
+            terminals,
+        }
     }
 
     /// Canonical edge list.
@@ -133,8 +137,7 @@ impl SteinerTree {
                 }
             }
         }
-        nodes.iter().all(|n| seen.contains(n))
-            && self.terminals.iter().all(|t| seen.contains(t))
+        nodes.iter().all(|n| seen.contains(n)) && self.terminals.iter().all(|t| seen.contains(t))
     }
 }
 

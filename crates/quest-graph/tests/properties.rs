@@ -14,7 +14,8 @@ fn arb_graph(n: usize) -> impl Strategy<Value = Graph> {
     (path, extra).prop_map(move |(path_ws, extras)| {
         let mut g = Graph::with_nodes(n);
         for (i, w) in path_ws.iter().enumerate() {
-            g.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), *w).expect("valid edge");
+            g.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), *w)
+                .expect("valid edge");
         }
         for (a, b, w) in extras {
             if a != b {

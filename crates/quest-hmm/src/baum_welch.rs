@@ -191,7 +191,10 @@ mod tests {
     fn impossible_batch_is_skipped() {
         let mut m = model();
         let impossible: Emissions = vec![vec![0.0, 0.0]];
-        assert_eq!(baum_welch_step(&mut m, &[impossible.clone()]).unwrap(), None);
+        assert_eq!(
+            baum_welch_step(&mut m, std::slice::from_ref(&impossible)).unwrap(),
+            None
+        );
         let rep = train(&mut m, &[impossible], 5, 1e-6).unwrap();
         assert_eq!(rep.skipped_sequences, 1);
         assert_eq!(rep.iterations, 0);

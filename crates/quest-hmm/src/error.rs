@@ -65,7 +65,10 @@ mod tests {
 
     #[test]
     fn display_mentions_details() {
-        let e = HmmError::Dimension { expected: 4, got: 3 };
+        let e = HmmError::Dimension {
+            expected: 4,
+            got: 3,
+        };
         assert!(e.to_string().contains('4'));
         assert!(e.to_string().contains('3'));
     }

@@ -78,7 +78,9 @@ pub fn forward_backward(
 
     // Backward with the same scaling factors.
     let mut beta = vec![vec![0.0; n]; t_len];
-    beta[t_len - 1].iter_mut().for_each(|v| *v = scale[t_len - 1]);
+    beta[t_len - 1]
+        .iter_mut()
+        .for_each(|v| *v = scale[t_len - 1]);
     for t in (0..t_len - 1).rev() {
         for s in 0..n {
             let mut b = 0.0;
@@ -90,7 +92,12 @@ pub fn forward_backward(
     }
 
     let log_likelihood = -scale.iter().map(|c| c.ln()).sum::<f64>();
-    Ok(Some(ForwardBackward { alpha, beta, scale, log_likelihood }))
+    Ok(Some(ForwardBackward {
+        alpha,
+        beta,
+        scale,
+        log_likelihood,
+    }))
 }
 
 #[cfg(test)]
@@ -111,9 +118,12 @@ mod tests {
         for a in 0..2 {
             for b in 0..2 {
                 for c in 0..2 {
-                    total += m.initial(a) * e[0][a]
-                        * m.transition(a, b) * e[1][b]
-                        * m.transition(b, c) * e[2][c];
+                    total += m.initial(a)
+                        * e[0][a]
+                        * m.transition(a, b)
+                        * e[1][b]
+                        * m.transition(b, c)
+                        * e[2][c];
                 }
             }
         }
@@ -141,9 +151,15 @@ mod tests {
     #[test]
     fn long_sequence_is_stable() {
         let m = model();
-        let e: Vec<Vec<f64>> = (0..500).map(|i| {
-            if i % 2 == 0 { vec![1e-3, 2e-3] } else { vec![2e-3, 1e-3] }
-        }).collect();
+        let e: Vec<Vec<f64>> = (0..500)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![1e-3, 2e-3]
+                } else {
+                    vec![2e-3, 1e-3]
+                }
+            })
+            .collect();
         let fb = forward_backward(&m, &e).unwrap().unwrap();
         assert!(fb.log_likelihood.is_finite());
         assert!(fb.log_likelihood < 0.0);

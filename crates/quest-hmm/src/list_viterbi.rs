@@ -47,7 +47,11 @@ pub fn list_viterbi(
             if sc == f64::NEG_INFINITY {
                 Vec::new()
             } else {
-                vec![Entry { score: sc, prev_state: usize::MAX, prev_rank: 0 }]
+                vec![Entry {
+                    score: sc,
+                    prev_state: usize::MAX,
+                    prev_rank: 0,
+                }]
             }
         })
         .collect();
@@ -76,7 +80,11 @@ pub fn list_viterbi(
                     });
                 }
             }
-            cands.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+            cands.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             cands.truncate(k);
             cur.push(cands);
         }
@@ -103,7 +111,10 @@ pub fn list_viterbi(
             s = e.prev_state;
             r = e.prev_rank;
         }
-        out.push(DecodedPath { states, log_prob: score });
+        out.push(DecodedPath {
+            states,
+            log_prob: score,
+        });
     }
     Ok(out)
 }
@@ -156,9 +167,12 @@ mod tests {
         for a in 0..2 {
             for b in 0..2 {
                 for c in 0..2 {
-                    let p = m.initial(a) * e[0][a]
-                        * m.transition(a, b) * e[1][b]
-                        * m.transition(b, c) * e[2][c];
+                    let p = m.initial(a)
+                        * e[0][a]
+                        * m.transition(a, b)
+                        * e[1][b]
+                        * m.transition(b, c)
+                        * e[2][c];
                     all.push((vec![a, b, c], p.ln()));
                 }
             }

@@ -33,7 +33,11 @@ impl Hmm {
             return Err(HmmError::Empty);
         }
         let p = 1.0 / n as f64;
-        Ok(Hmm { n, initial: vec![p; n], trans: vec![p; n * n] })
+        Ok(Hmm {
+            n,
+            initial: vec![p; n],
+            trans: vec![p; n * n],
+        })
     }
 
     /// Build from explicit distributions. `initial` must have length `n` and
@@ -106,10 +110,17 @@ impl Hmm {
 
     /// Replace the distributions (used by training). Same validation as
     /// [`Hmm::from_distributions`].
-    pub fn set_distributions(&mut self, initial: Vec<f64>, trans: Vec<f64>) -> Result<(), HmmError> {
+    pub fn set_distributions(
+        &mut self,
+        initial: Vec<f64>,
+        trans: Vec<f64>,
+    ) -> Result<(), HmmError> {
         let updated = Hmm::from_distributions(initial, trans)?;
         if updated.n != self.n {
-            return Err(HmmError::Dimension { expected: self.n, got: updated.n });
+            return Err(HmmError::Dimension {
+                expected: self.n,
+                got: updated.n,
+            });
         }
         *self = updated;
         Ok(())
@@ -123,7 +134,10 @@ impl Hmm {
         }
         for (t, row) in emissions.iter().enumerate() {
             if row.len() != self.n {
-                return Err(HmmError::Dimension { expected: self.n, got: row.len() });
+                return Err(HmmError::Dimension {
+                    expected: self.n,
+                    got: row.len(),
+                });
             }
             for &v in row {
                 if !v.is_finite() || v < 0.0 {
@@ -153,7 +167,10 @@ fn normalize_or_uniform(p: &mut [f64]) -> Result<(), HmmError> {
     let mut sum = 0.0;
     for &v in p.iter() {
         if !v.is_finite() || v < 0.0 {
-            return Err(HmmError::InvalidProbability { what: "weight", value: v });
+            return Err(HmmError::InvalidProbability {
+                what: "weight",
+                value: v,
+            });
         }
         sum += v;
     }

@@ -25,7 +25,9 @@ pub struct XorShift {
 impl XorShift {
     /// Seeded source. Zero seeds are remapped.
     pub fn new(seed: u64) -> XorShift {
-        XorShift { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+        XorShift {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
     }
 }
 
@@ -113,25 +115,20 @@ mod tests {
     #[test]
     fn sampling_respects_transitions() {
         // Near-deterministic alternation.
-        let m = Hmm::from_distributions(
-            vec![1.0, 0.0],
-            vec![0.02, 0.98, 0.98, 0.02],
-        )
-        .unwrap();
+        let m = Hmm::from_distributions(vec![1.0, 0.0], vec![0.02, 0.98, 0.98, 0.02]).unwrap();
         let mut r = XorShift::new(3);
         let states = sample_states(&m, 200, &mut r).unwrap();
         assert_eq!(states[0], 0);
         let switches = states.windows(2).filter(|w| w[0] != w[1]).count();
-        assert!(switches > 150, "expected mostly alternation, got {switches} switches");
+        assert!(
+            switches > 150,
+            "expected mostly alternation, got {switches} switches"
+        );
     }
 
     #[test]
     fn decoder_recovers_sampled_path() {
-        let m = Hmm::from_distributions(
-            vec![0.7, 0.3],
-            vec![0.8, 0.2, 0.3, 0.7],
-        )
-        .unwrap();
+        let m = Hmm::from_distributions(vec![0.7, 0.3], vec![0.8, 0.2, 0.3, 0.7]).unwrap();
         let mut r = XorShift::new(11);
         let states = sample_states(&m, 12, &mut r).unwrap();
         let em = emissions_for_states(2, &states, 0.99, 0.01);
@@ -142,11 +139,7 @@ mod tests {
     #[test]
     fn supervised_training_recovers_generator() {
         // Sample many paths from a known model, train on them, compare.
-        let truth = Hmm::from_distributions(
-            vec![0.9, 0.1],
-            vec![0.75, 0.25, 0.4, 0.6],
-        )
-        .unwrap();
+        let truth = Hmm::from_distributions(vec![0.9, 0.1], vec![0.75, 0.25, 0.4, 0.6]).unwrap();
         let mut r = XorShift::new(5);
         let mut trainer = SupervisedTrainer::new(2, 0.5).unwrap();
         for _ in 0..2000 {

@@ -30,7 +30,10 @@ impl SupervisedTrainer {
             return Err(HmmError::Empty);
         }
         if !smoothing.is_finite() || smoothing < 0.0 {
-            return Err(HmmError::InvalidProbability { what: "smoothing", value: smoothing });
+            return Err(HmmError::InvalidProbability {
+                what: "smoothing",
+                value: smoothing,
+            });
         }
         Ok(SupervisedTrainer {
             n,
@@ -59,11 +62,17 @@ impl SupervisedTrainer {
             return Err(HmmError::Empty);
         }
         if !weight.is_finite() || weight < 0.0 {
-            return Err(HmmError::InvalidProbability { what: "weight", value: weight });
+            return Err(HmmError::InvalidProbability {
+                what: "weight",
+                value: weight,
+            });
         }
         for &s in states {
             if s >= self.n {
-                return Err(HmmError::Dimension { expected: self.n, got: s + 1 });
+                return Err(HmmError::Dimension {
+                    expected: self.n,
+                    got: s + 1,
+                });
             }
         }
         self.init_counts[states[0]] += weight;
@@ -87,7 +96,10 @@ impl SupervisedTrainer {
         }
         for &s in states {
             if s >= self.n {
-                return Err(HmmError::Dimension { expected: self.n, got: s + 1 });
+                return Err(HmmError::Dimension {
+                    expected: self.n,
+                    got: s + 1,
+                });
             }
         }
         let w = weight.abs();
@@ -103,7 +115,11 @@ impl SupervisedTrainer {
     /// Build the smoothed HMM from the accumulated counts.
     pub fn build(&self) -> Result<Hmm, HmmError> {
         let n = self.n;
-        let initial: Vec<f64> = self.init_counts.iter().map(|c| c + self.smoothing).collect();
+        let initial: Vec<f64> = self
+            .init_counts
+            .iter()
+            .map(|c| c + self.smoothing)
+            .collect();
         let mut trans = vec![0.0; n * n];
         for i in 0..n {
             for j in 0..n {
@@ -117,7 +133,10 @@ impl SupervisedTrainer {
     /// by different sessions).
     pub fn merge(&mut self, other: &SupervisedTrainer) -> Result<(), HmmError> {
         if other.n != self.n {
-            return Err(HmmError::Dimension { expected: self.n, got: other.n });
+            return Err(HmmError::Dimension {
+                expected: self.n,
+                got: other.n,
+            });
         }
         for (a, b) in self.init_counts.iter_mut().zip(&other.init_counts) {
             *a += b;

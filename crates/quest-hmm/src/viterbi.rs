@@ -74,7 +74,10 @@ pub fn viterbi(model: &Hmm, emissions: &[Vec<f64>]) -> Result<Option<DecodedPath
         s = psi[t - 1][states[t]];
         states[t - 1] = s;
     }
-    Ok(Some(DecodedPath { states, log_prob: best }))
+    Ok(Some(DecodedPath {
+        states,
+        log_prob: best,
+    }))
 }
 
 #[inline]

@@ -29,8 +29,7 @@ pub use relstore as store;
 pub mod prelude {
     pub use quest_core::{
         AnnotationSet, Configuration, DbTerm, DeepWebWrapper, Explanation, FullAccessWrapper,
-        KeywordQuery, MiniOntology, Quest, QuestConfig, QuestError, SearchOutcome,
-        SourceWrapper,
+        KeywordQuery, MiniOntology, Quest, QuestConfig, QuestError, SearchOutcome, SourceWrapper,
     };
     pub use relstore::{Catalog, DataType, Database, Row, Value};
 }

@@ -59,7 +59,12 @@ pub fn quote_field(field: &str) -> String {
 /// parsed according to the column types; empty fields become NULL. Rows are
 /// inserted *unchecked* (call [`Database::validate_foreign_keys`] after a
 /// bulk load). Returns the number of rows inserted.
-pub fn load_csv(db: &mut Database, table: &str, csv: &str, has_header: bool) -> Result<usize, StoreError> {
+pub fn load_csv(
+    db: &mut Database,
+    table: &str,
+    csv: &str,
+    has_header: bool,
+) -> Result<usize, StoreError> {
     let tid = db.catalog().table_id(table)?;
     let schema = db.catalog().table(tid).clone();
     let types: Vec<_> = schema
@@ -116,7 +121,11 @@ pub fn dump_csv(db: &Database, table: TableId) -> String {
 
 fn dump_rows(data: &TableData, out: &mut String) {
     for (_, row) in data.iter() {
-        let cells: Vec<String> = row.values().iter().map(|v| quote_field(&v.render())).collect();
+        let cells: Vec<String> = row
+            .values()
+            .iter()
+            .map(|v| quote_field(&v.render()))
+            .collect();
         out.push_str(&cells.join(","));
         out.push('\n');
     }
@@ -149,7 +158,10 @@ mod tests {
             parse_line("1,\"Hello, World\",2").unwrap(),
             vec!["1", "Hello, World", "2"]
         );
-        assert_eq!(parse_line("\"say \"\"hi\"\"\"").unwrap(), vec!["say \"hi\""]);
+        assert_eq!(
+            parse_line("\"say \"\"hi\"\"\"").unwrap(),
+            vec!["say \"hi\""]
+        );
         assert_eq!(parse_line("a,,c").unwrap(), vec!["a", "", "c"]);
         assert!(parse_line("\"unterminated").is_err());
     }

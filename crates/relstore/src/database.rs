@@ -33,7 +33,9 @@ impl Database {
     /// Create an empty database over a validated catalog.
     pub fn new(catalog: Catalog) -> Result<Database, StoreError> {
         catalog.validate()?;
-        let tables = (0..catalog.table_count()).map(|_| TableData::new()).collect();
+        let tables = (0..catalog.table_count())
+            .map(|_| TableData::new())
+            .collect();
         Ok(Database {
             catalog,
             tables,
@@ -148,7 +150,8 @@ impl Database {
                 }
                 self.indexes.insert(attr.id, ix);
             }
-            self.attr_stats.insert(attr.id, attribute_stats(&self.catalog, data, attr.id));
+            self.attr_stats
+                .insert(attr.id, attribute_stats(&self.catalog, data, attr.id));
         }
         for fk in self.catalog.foreign_keys() {
             let referencing = &self.tables[self.catalog.attribute(fk.from).table.0 as usize];
@@ -242,15 +245,20 @@ mod tests {
             .finish();
         c.add_foreign_key("movie", "director_id", "person").unwrap();
         let mut db = Database::new(c).unwrap();
-        db.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()])).unwrap();
-        db.insert("person", Row::new(vec![2.into(), "Michael Curtiz".into()])).unwrap();
+        db.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()]))
+            .unwrap();
+        db.insert("person", Row::new(vec![2.into(), "Michael Curtiz".into()]))
+            .unwrap();
         db.insert(
             "movie",
             Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into()]),
         )
         .unwrap();
-        db.insert("movie", Row::new(vec![11.into(), "Casablanca".into(), 2.into()]))
-            .unwrap();
+        db.insert(
+            "movie",
+            Row::new(vec![11.into(), "Casablanca".into(), 2.into()]),
+        )
+        .unwrap();
         db.finalize();
         db
     }
@@ -259,18 +267,28 @@ mod tests {
     fn fk_enforced_on_insert() {
         let mut db = movie_db();
         let err = db
-            .insert("movie", Row::new(vec![12.into(), "Orphan".into(), 99.into()]))
+            .insert(
+                "movie",
+                Row::new(vec![12.into(), "Orphan".into(), 99.into()]),
+            )
             .unwrap_err();
         assert!(matches!(err, StoreError::ForeignKeyViolation(_)));
         // NULL FK allowed.
-        db.insert("movie", Row::new(vec![12.into(), "Orphan".into(), Value::Null]))
-            .unwrap();
+        db.insert(
+            "movie",
+            Row::new(vec![12.into(), "Orphan".into(), Value::Null]),
+        )
+        .unwrap();
     }
 
     #[test]
     fn unchecked_then_validate() {
         let mut c = Catalog::new();
-        c.define_table("b").unwrap().pk("id", DataType::Int).unwrap().finish();
+        c.define_table("b")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .finish();
         c.define_table("a")
             .unwrap()
             .pk("id", DataType::Int)
@@ -280,7 +298,8 @@ mod tests {
             .finish();
         c.add_foreign_key("a", "b_id", "b").unwrap();
         let mut db = Database::new(c).unwrap();
-        db.insert_unchecked("a", Row::new(vec![1.into(), 7.into()])).unwrap();
+        db.insert_unchecked("a", Row::new(vec![1.into(), 7.into()]))
+            .unwrap();
         assert!(db.validate_foreign_keys().is_err());
         db.insert("b", Row::new(vec![7.into()])).unwrap();
         assert!(db.validate_foreign_keys().is_ok());
@@ -330,7 +349,8 @@ mod tests {
     fn mutation_invalidates_finalize() {
         let mut db = movie_db();
         assert!(db.is_finalized());
-        db.insert("person", Row::new(vec![3.into(), "X".into()])).unwrap();
+        db.insert("person", Row::new(vec![3.into(), "X".into()]))
+            .unwrap();
         assert!(!db.is_finalized());
     }
 }

@@ -81,7 +81,10 @@ impl AttributeIndex {
 
     /// Posting list for a single *normalized* token.
     pub fn postings(&self, token: &str) -> &[Posting] {
-        self.postings.get(token).map(|v| v.as_slice()).unwrap_or(&[])
+        self.postings
+            .get(token)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// BM25-lite score of a (possibly multi-token phrase) keyword against
@@ -122,7 +125,11 @@ impl AttributeIndex {
             .filter(|(_, (n, _))| *n == need)
             .map(|(r, (_, s))| (r, s))
             .collect();
-        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        hits.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         hits.truncate(limit);
         hits
     }

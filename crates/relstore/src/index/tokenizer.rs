@@ -184,10 +184,7 @@ mod tests {
     fn keyword_normalization() {
         assert_eq!(normalize_keyword("Movies"), Some("movy".to_string()));
         assert_eq!(normalize_keyword("the"), None);
-        assert_eq!(
-            normalize_keyword("New York"),
-            Some("new york".to_string())
-        );
+        assert_eq!(normalize_keyword("New York"), Some("new york".to_string()));
     }
 
     #[test]

@@ -110,7 +110,10 @@ impl Catalog {
             primary_key: Vec::new(),
         });
         self.table_by_name.insert(name.to_string(), id);
-        Ok(TableBuilder { catalog: self, table: id })
+        Ok(TableBuilder {
+            catalog: self,
+            table: id,
+        })
     }
 
     /// Register a foreign key `from_table.from_attr -> to_table's PK`.
@@ -296,14 +299,16 @@ pub struct TableBuilder<'a> {
 impl<'a> TableBuilder<'a> {
     /// Add the primary-key column (non-null, not full-text indexed).
     pub fn pk(self, name: &str, ty: DataType) -> Result<Self, StoreError> {
-        self.catalog.push_attribute(self.table, name, ty, true, false, false)?;
+        self.catalog
+            .push_attribute(self.table, name, ty, true, false, false)?;
         Ok(self)
     }
 
     /// Add a regular column. Text columns are full-text indexed by default.
     pub fn col(self, name: &str, ty: DataType) -> Result<Self, StoreError> {
         let ft = ty.is_textual();
-        self.catalog.push_attribute(self.table, name, ty, false, true, ft)?;
+        self.catalog
+            .push_attribute(self.table, name, ty, false, true, ft)?;
         Ok(self)
     }
 
@@ -315,7 +320,8 @@ impl<'a> TableBuilder<'a> {
         nullable: bool,
         full_text: bool,
     ) -> Result<Self, StoreError> {
-        self.catalog.push_attribute(self.table, name, ty, false, nullable, full_text)?;
+        self.catalog
+            .push_attribute(self.table, name, ty, false, nullable, full_text)?;
         Ok(self)
     }
 
@@ -374,7 +380,11 @@ mod tests {
     #[test]
     fn duplicate_attribute_rejected() {
         let mut c = Catalog::new();
-        let b = c.define_table("t").unwrap().pk("id", DataType::Int).unwrap();
+        let b = c
+            .define_table("t")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap();
         assert!(b.col("id", DataType::Text).is_err());
     }
 
@@ -400,7 +410,11 @@ mod tests {
         // composite pk target rejected
         assert!(c.add_foreign_key("b", "a_ref", "a").is_err());
         // type mismatch rejected
-        c.define_table("c").unwrap().pk("id", DataType::Int).unwrap().finish();
+        c.define_table("c")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .finish();
         assert!(c.add_foreign_key("b", "txt", "c").is_err());
         // happy path
         c.add_foreign_key("b", "a_ref", "c").unwrap();
@@ -413,7 +427,11 @@ mod tests {
     #[test]
     fn validate_catches_missing_pk() {
         let mut c = Catalog::new();
-        c.define_table("t").unwrap().col("x", DataType::Int).unwrap().finish();
+        c.define_table("t")
+            .unwrap()
+            .col("x", DataType::Int)
+            .unwrap()
+            .finish();
         assert!(c.validate().is_err());
     }
 

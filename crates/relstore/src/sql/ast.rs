@@ -162,7 +162,10 @@ mod tests {
 
     #[test]
     fn predicate_attr_access() {
-        let p = Predicate::Contains { attr: AttrId(3), keyword: "x".into() };
+        let p = Predicate::Contains {
+            attr: AttrId(3),
+            keyword: "x".into(),
+        };
         assert_eq!(p.attr(), AttrId(3));
     }
 }

@@ -27,7 +27,11 @@ use crate::value::Value;
 /// Parse a SQL string against a catalog.
 pub fn parse_sql(catalog: &Catalog, input: &str) -> Result<SelectStatement, StoreError> {
     let tokens = lex(input)?;
-    let mut p = Parser { catalog, tokens, pos: 0 };
+    let mut p = Parser {
+        catalog,
+        tokens,
+        pos: 0,
+    };
     let stmt = p.parse_select()?;
     p.expect_end()?;
     Ok(stmt)
@@ -251,7 +255,14 @@ impl<'a> Parser<'a> {
         } else {
             None
         };
-        Ok(SelectStatement { projection, from, joins, predicates, distinct, limit })
+        Ok(SelectStatement {
+            projection,
+            from,
+            joins,
+            predicates,
+            distinct,
+            limit,
+        })
     }
 
     fn parse_condition(
@@ -323,8 +334,9 @@ impl<'a> Parser<'a> {
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Value::Null),
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case("date") => match self.bump() {
-                Some(Token::Str(d)) => Value::parse(&d, DataType::Date)
-                    .ok_or_else(|| self.err("bad date literal")),
+                Some(Token::Str(d)) => {
+                    Value::parse(&d, DataType::Date).ok_or_else(|| self.err("bad date literal"))
+                }
                 _ => Err(self.err("expected string after DATE")),
             },
             _ => Err(self.err("expected literal")),
@@ -407,8 +419,11 @@ mod tests {
     #[test]
     fn string_escapes() {
         let c = catalog();
-        let stmt =
-            parse_sql(&c, "SELECT * FROM person WHERE person.name LIKE '%o''hara%'").unwrap();
+        let stmt = parse_sql(
+            &c,
+            "SELECT * FROM person WHERE person.name LIKE '%o''hara%'",
+        )
+        .unwrap();
         match &stmt.predicates[0] {
             Predicate::Contains { keyword, .. } => assert_eq!(keyword, "o'hara"),
             other => panic!("unexpected {other:?}"),
@@ -418,8 +433,7 @@ mod tests {
     #[test]
     fn boolean_null_and_negative_literals() {
         let c = catalog();
-        let stmt =
-            parse_sql(&c, "SELECT * FROM movie WHERE movie.year <> -5").unwrap();
+        let stmt = parse_sql(&c, "SELECT * FROM movie WHERE movie.year <> -5").unwrap();
         match &stmt.predicates[0] {
             Predicate::Compare { op, value, .. } => {
                 assert_eq!(*op, CompareOp::Ne);
@@ -428,7 +442,10 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         let stmt = parse_sql(&c, "SELECT * FROM movie WHERE movie.year IS NULL").unwrap();
-        assert!(matches!(stmt.predicates[0], Predicate::IsNull { negated: false, .. }));
+        assert!(matches!(
+            stmt.predicates[0],
+            Predicate::IsNull { negated: false, .. }
+        ));
     }
 
     #[test]
@@ -454,8 +471,11 @@ mod tests {
     fn parsed_statements_execute() {
         let c = catalog();
         let mut db = crate::Database::new(c).unwrap();
-        db.insert("person", crate::Row::new(vec![1.into(), "Victor Fleming".into()]))
-            .unwrap();
+        db.insert(
+            "person",
+            crate::Row::new(vec![1.into(), "Victor Fleming".into()]),
+        )
+        .unwrap();
         db.insert(
             "movie",
             crate::Row::new(vec![

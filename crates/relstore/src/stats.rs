@@ -87,7 +87,11 @@ pub fn attribute_stats(catalog: &Catalog, data: &TableData, attr: AttrId) -> Att
             distinct.insert(v, ());
         }
     }
-    AttributeStats { rows, nulls, distinct: distinct.len() as u64 }
+    AttributeStats {
+        rows,
+        nulls,
+        distinct: distinct.len() as u64,
+    }
 }
 
 /// Compute join statistics for a foreign key given both tables' data.
@@ -177,7 +181,11 @@ mod tests {
 
     fn fixture() -> (Catalog, TableData, TableData, ForeignKey) {
         let mut c = Catalog::new();
-        c.define_table("b").unwrap().pk("id", DataType::Int).unwrap().finish();
+        c.define_table("b")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .finish();
         c.define_table("a")
             .unwrap()
             .pk("id", DataType::Int)
@@ -194,10 +202,16 @@ mod tests {
             b.insert(&c, &bs, Row::new(vec![i.into()])).unwrap();
         }
         let mut a = TableData::new();
-        for (i, target) in [(0, Some(0)), (1, Some(1)), (2, Some(2)), (3, Some(3)), (4, None)]
-        {
+        for (i, target) in [
+            (0, Some(0)),
+            (1, Some(1)),
+            (2, Some(2)),
+            (3, Some(3)),
+            (4, None),
+        ] {
             let v = target.map(|t: i64| Value::Int(t)).unwrap_or(Value::Null);
-            a.insert(&c, &as_, Row::new(vec![(i as i64).into(), v])).unwrap();
+            a.insert(&c, &as_, Row::new(vec![(i as i64).into(), v]))
+                .unwrap();
         }
         (c, a, b, fk)
     }
@@ -227,7 +241,11 @@ mod tests {
     #[test]
     fn empty_join_has_zero_nmi() {
         let mut c = Catalog::new();
-        c.define_table("b").unwrap().pk("id", DataType::Int).unwrap().finish();
+        c.define_table("b")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .finish();
         c.define_table("a")
             .unwrap()
             .pk("id", DataType::Int)
@@ -243,7 +261,8 @@ mod tests {
         b.insert(&c, &bs, Row::new(vec![1.into()])).unwrap();
         let mut a = TableData::new();
         // All fk values NULL: join empty.
-        a.insert(&c, &as_, Row::new(vec![1.into(), Value::Null])).unwrap();
+        a.insert(&c, &as_, Row::new(vec![1.into(), Value::Null]))
+            .unwrap();
         let js = join_stats(&c, fk, &a, &b);
         assert!(js.is_empty_join());
         assert_eq!(js.nmi, 0.0);
@@ -256,7 +275,8 @@ mod tests {
         // All rows reference key 0: maximal skew.
         let mut a = TableData::new();
         for i in 0..4i64 {
-            a.insert(&c, &as_, Row::new(vec![i.into(), 0.into()])).unwrap();
+            a.insert(&c, &as_, Row::new(vec![i.into(), 0.into()]))
+                .unwrap();
         }
         let js = join_stats(&c, fk, &a, &b);
         assert_eq!(js.pairs, 4);

@@ -191,7 +191,11 @@ mod tests {
         let ts = c.table(c.table_id("t").unwrap()).clone();
         let mut d = TableData::new();
         let err = d
-            .insert(&c, &ts, Row::new(vec![Value::Null, "a".into(), Value::Null]))
+            .insert(
+                &c,
+                &ts,
+                Row::new(vec![Value::Null, "a".into(), Value::Null]),
+            )
             .unwrap_err();
         assert!(matches!(err, StoreError::NullViolation(_)));
     }

@@ -311,7 +311,7 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut vs = vec![Value::Int(1), Value::Null, Value::Bool(true)];
+        let mut vs = [Value::Int(1), Value::Null, Value::Bool(true)];
         vs.sort();
         assert!(vs[0].is_null());
     }

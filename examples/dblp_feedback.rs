@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = dblp::workload();
     let mut oracle = FeedbackOracle::new(0.1, 7); // a slightly unreliable user
 
-    println!("\n{:>10} {:>8} {:>8} {:>8} {:>8}", "feedbacks", "O_Cf", "hit@1", "hit@3", "MRR");
+    println!(
+        "\n{:>10} {:>8} {:>8} {:>8} {:>8}",
+        "feedbacks", "O_Cf", "hit@1", "hit@3", "MRR"
+    );
     for round in 0..6 {
         let m = measure(&engine);
         println!(
@@ -68,8 +71,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = engine.search(q)?;
     let catalog = engine.wrapper().catalog();
     println!("\nper-module partial results for `{q}`:");
-    println!("  a-priori top: {:?}", out.apriori_configs.first().map(|c| c.describe(catalog, &out.query)));
-    println!("  feedback top: {:?}", out.feedback_configs.first().map(|c| c.describe(catalog, &out.query)));
-    println!("  combined top: {:?}", out.configurations.first().map(|c| c.describe(catalog, &out.query)));
+    println!(
+        "  a-priori top: {:?}",
+        out.apriori_configs
+            .first()
+            .map(|c| c.describe(catalog, &out.query))
+    );
+    println!(
+        "  feedback top: {:?}",
+        out.feedback_configs
+            .first()
+            .map(|c| c.describe(catalog, &out.query))
+    );
+    println!(
+        "  combined top: {:?}",
+        out.configurations
+            .first()
+            .map(|c| c.describe(catalog, &out.query))
+    );
     Ok(())
 }

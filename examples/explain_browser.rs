@@ -22,11 +22,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         4,
         &quest_core::backward::SummaryWeights::default(),
     );
-    println!("{}", quest_core::backward::render_summary(catalog, &summary));
+    println!(
+        "{}",
+        quest_core::backward::render_summary(catalog, &summary)
+    );
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let queries: Vec<String> = if args.is_empty() {
-        vec!["leigh wind".into(), "drama 1939".into(), "casablanca director".into()]
+        vec![
+            "leigh wind".into(),
+            "drama 1939".into(),
+            "casablanca director".into(),
+        ]
     } else {
         vec![args.join(" ")]
     };

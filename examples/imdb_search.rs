@@ -9,7 +9,10 @@ use quest_data::imdb::{self, ImdbScale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = ImdbScale::with_movies(5_000);
-    eprintln!("generating IMDB-shaped database ({} movies)...", scale.movies);
+    eprintln!(
+        "generating IMDB-shaped database ({} movies)...",
+        scale.movies
+    );
     let db = imdb::generate(&scale)?;
     eprintln!("  {} total rows", db.total_rows());
 
@@ -18,11 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for raw in [
         "casablanca",
-        "fleming wind",          // director join
-        "leigh wind",            // actor join via cast_info
-        "drama 1939",            // genre + year
-        "wind",                  // highly ambiguous: many titles
-        "film noir",             // schema term + genre value
+        "fleming wind", // director join
+        "leigh wind",   // actor join via cast_info
+        "drama 1939",   // genre + year
+        "wind",         // highly ambiguous: many titles
+        "film noir",    // schema term + genre value
     ] {
         println!("── query: {raw}");
         let out = engine.search(raw)?;

@@ -32,14 +32,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         c.attr_id("religion", "name")?,
         ["Catholic", "Protestant", "Orthodox"],
     );
-    ann.add_aliases(c.attr_id("country", "population")?, ["inhabitants", "people"]);
+    ann.add_aliases(
+        c.attr_id("country", "population")?,
+        ["inhabitants", "people"],
+    );
 
     // A form endpoint: requires at least one bound value, returns one page.
     let wrapper = DeepWebWrapper::new(db, ann, 25);
     let engine = Quest::new(wrapper, QuestConfig::default())?;
     let catalog = engine.wrapper().catalog();
 
-    for raw in ["italy", "po italy", "nato italy", "country population", "etna"] {
+    for raw in [
+        "italy",
+        "po italy",
+        "nato italy",
+        "country population",
+        "etna",
+    ] {
         println!("\n── query: {raw}");
         match engine.search(raw) {
             Ok(out) => {

@@ -28,7 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.insert("person", Row::new(vec![2.into(), "Michael Curtiz".into()]))?;
     db.insert(
         "movie",
-        Row::new(vec![10.into(), "Gone with the Wind".into(), 1939.into(), 1.into()]),
+        Row::new(vec![
+            10.into(),
+            "Gone with the Wind".into(),
+            1939.into(),
+            1.into(),
+        ]),
     )?;
     db.insert(
         "movie",
@@ -36,7 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     db.insert(
         "movie",
-        Row::new(vec![12.into(), "The Wizard of Oz".into(), 1939.into(), 1.into()]),
+        Row::new(vec![
+            12.into(),
+            "The Wizard of Oz".into(),
+            1939.into(),
+            1.into(),
+        ]),
     )?;
 
     // 3. Wrap the source and build the engine (the setup phase: full-text

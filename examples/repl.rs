@@ -21,9 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let which = std::env::args().nth(1).unwrap_or_else(|| "imdb".into());
     let db = match which.as_str() {
         "mondial" => quest::data::mondial::generate(&Default::default())?,
-        "dblp" => quest::data::dblp::generate(&quest::data::dblp::DblpScale::with_publications(
-            2_000,
-        ))?,
+        "dblp" => {
+            quest::data::dblp::generate(&quest::data::dblp::DblpScale::with_publications(2_000))?
+        }
         _ => quest::data::imdb::generate(&quest::data::imdb::ImdbScale::with_movies(2_000))?,
     };
     println!(
@@ -40,7 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     loop {
         print!("quest> ");
         std::io::stdout().flush()?;
-        let Some(Ok(line)) = stdin.lock().lines().next() else { break };
+        let Some(Ok(line)) = stdin.lock().lines().next() else {
+            break;
+        };
         let line = line.trim().to_string();
         if line.is_empty() {
             continue;
@@ -65,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             continue;
         }
-        if let Some(rest) = line.strip_prefix("\\ok ").or_else(|| line.strip_prefix("\\no ")) {
+        if let Some(rest) = line
+            .strip_prefix("\\ok ")
+            .or_else(|| line.strip_prefix("\\no "))
+        {
             let positive = line.starts_with("\\ok");
             let Some(out) = &last else {
                 println!("  no previous search");

@@ -1,0 +1,232 @@
+//! The [`Strategy`] trait and its combinators.
+
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A generator of values of type [`Strategy::Value`].
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// is just a deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values passing `f` (rejection sampling with an attempt cap).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(move |rng: &mut TestRng| self.generate(rng)),
+        }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 1000 candidates in a row",
+            self.whence
+        );
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+/// Uniform choice among several strategies with a common value type; built
+/// by the [`prop_oneof!`](crate::prop_oneof) macro.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from pre-boxed arms (used by `prop_oneof!`).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    /// Box one arm (used by `prop_oneof!`).
+    pub fn arm<S>(strat: S) -> BoxedStrategy<T>
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        strat.boxed()
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.usize_in(0, self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                rng.i128_in(self.start as i128, self.end as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        rng.f64_in(self.start, self.end)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = rng.f64_in(self.start as f64, self.end as f64) as f32;
+        // f64→f32 rounding can land exactly on `end`; keep the range half-open.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+/// String literals are regex strategies, as in real proptest.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::RegexGen::compile(self)
+            .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"))
+            .generate(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}

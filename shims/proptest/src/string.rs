@@ -1,0 +1,228 @@
+//! A tiny regex-subset string generator backing `&str` strategies.
+//!
+//! Supported syntax — exactly what the workspace's property suites use:
+//! character classes (`[a-z0-9 ,.'-]`, with `-` literal when trailing),
+//! the escapes `\d`, `\w`, `\s`, `\PC` (any printable character), literal
+//! characters, and the quantifiers `{m}`, `{m,n}`, `*`, `+`, `?`.
+
+use crate::test_runner::TestRng;
+
+/// One generatable regex atom plus its repetition bounds.
+#[derive(Debug, Clone)]
+struct Piece {
+    pool: Vec<char>,
+    min: usize,
+    max: usize, // inclusive
+}
+
+/// A compiled generator for a regex pattern.
+#[derive(Debug, Clone)]
+pub struct RegexGen {
+    pieces: Vec<Piece>,
+}
+
+/// Pool for `\PC`: printable ASCII plus a spread of non-ASCII codepoints so
+/// "never panics on printable garbage" tests exercise multi-byte inputs.
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..0x7F).map(|b| b as char).collect();
+    pool.extend("àéîöüßñçøÅŽžλπΩдйшю中文字データ한국어…—« »™©µ№".chars());
+    pool
+}
+
+impl RegexGen {
+    /// Compile `pattern`, or describe why it is outside the subset.
+    pub fn compile(pattern: &str) -> Result<RegexGen, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let pool = match chars[i] {
+                '[' => {
+                    let (pool, next) = parse_class(&chars, i + 1)?;
+                    i = next;
+                    pool
+                }
+                '\\' => {
+                    let (pool, next) = parse_escape(&chars, i + 1)?;
+                    i = next;
+                    pool
+                }
+                '(' | ')' | '|' => {
+                    return Err(format!("unsupported regex construct '{}'", chars[i]));
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max, next) = parse_quantifier(&chars, i)?;
+            i = next;
+            pieces.push(Piece { pool, min, max });
+        }
+        Ok(RegexGen { pieces })
+    }
+
+    /// Generate one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for p in &self.pieces {
+            let n = rng.usize_in(p.min, p.max + 1);
+            for _ in 0..n {
+                out.push(p.pool[rng.usize_in(0, p.pool.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Parse a `[...]` class body starting just after `[`; returns the pool and
+/// the index just past `]`.
+fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<char>, usize), String> {
+    let mut pool = Vec::new();
+    let mut first = true;
+    while i < chars.len() {
+        match chars[i] {
+            ']' if !first => return Ok((pool, i + 1)),
+            '\\' => {
+                let (sub, next) = parse_escape(chars, i + 1)?;
+                pool.extend(sub);
+                i = next;
+            }
+            c => {
+                // Range `a-z` when a `-` sits between two ordinary chars.
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let (lo, hi) = (c, chars[i + 2]);
+                    if lo > hi {
+                        return Err(format!("inverted class range {lo}-{hi}"));
+                    }
+                    pool.extend((lo..=hi).filter(|ch| ch.is_ascii() || lo > '\u{7f}'));
+                    i += 3;
+                } else {
+                    pool.push(c);
+                    i += 1;
+                }
+            }
+        }
+        first = false;
+    }
+    Err("unterminated character class".into())
+}
+
+/// Parse an escape starting just after `\`; returns the pool and the index
+/// just past the escape.
+fn parse_escape(chars: &[char], i: usize) -> Result<(Vec<char>, usize), String> {
+    match chars.get(i) {
+        None => Err("dangling backslash".into()),
+        Some('d') => Ok((('0'..='9').collect(), i + 1)),
+        Some('w') => {
+            let mut pool: Vec<char> = ('a'..='z').collect();
+            pool.extend('A'..='Z');
+            pool.extend('0'..='9');
+            pool.push('_');
+            Ok((pool, i + 1))
+        }
+        Some('s') => Ok((vec![' ', '\t'], i + 1)),
+        Some('P') | Some('p') => {
+            // Only the `\PC` ("not control" ≈ printable) property is needed.
+            match chars.get(i + 1) {
+                Some('C') => Ok((printable_pool(), i + 2)),
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .ok_or("unterminated \\p{..}")?;
+                    Ok((printable_pool(), i + close + 1))
+                }
+                other => Err(format!("unsupported unicode property {other:?}")),
+            }
+        }
+        Some(&c) => Ok((vec![c], i + 1)),
+    }
+}
+
+/// Parse an optional quantifier at `i`; returns `(min, max_inclusive, next)`.
+fn parse_quantifier(chars: &[char], i: usize) -> Result<(usize, usize, usize), String> {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or("unterminated {..} quantifier")?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                None => {
+                    let n = body.trim().parse::<usize>().map_err(|e| e.to_string())?;
+                    (n, n)
+                }
+                Some((lo, hi)) => {
+                    let lo = lo.trim().parse::<usize>().map_err(|e| e.to_string())?;
+                    let hi = if hi.trim().is_empty() {
+                        lo + 8
+                    } else {
+                        hi.trim().parse::<usize>().map_err(|e| e.to_string())?
+                    };
+                    (lo, hi)
+                }
+            };
+            if max < min {
+                return Err(format!("quantifier {{{min},{max}}} is inverted"));
+            }
+            Ok((min, max, close + 1))
+        }
+        Some('*') => Ok((0, 8, i + 1)),
+        Some('+') => Ok((1, 8, i + 1)),
+        Some('?') => Ok((0, 1, i + 1)),
+        _ => Ok((1, 1, i)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn gen_many(pattern: &str, n: usize) -> Vec<String> {
+        let g = RegexGen::compile(pattern).expect("compiles");
+        let mut rng = TestRng::from_name(pattern);
+        (0..n).map(|_| g.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_bounds() {
+        for s in gen_many("[a-z]{3,8}", 200) {
+            assert!((3..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let seen: String = gen_many("[a' -]{1,1}", 500).concat();
+        assert!(seen.chars().all(|c| matches!(c, 'a' | '\'' | ' ' | '-')));
+        assert!(seen.contains('-'));
+    }
+
+    #[test]
+    fn printable_never_empty_pool() {
+        for s in gen_many("\\PC{0,60}", 100) {
+            assert!(s.chars().count() <= 60);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_count() {
+        for s in gen_many("\\d{4}", 50) {
+            assert_eq!(s.len(), 4);
+            assert!(s.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn single_atom_defaults_to_one() {
+        for s in gen_many("[a-z]", 50) {
+            assert_eq!(s.chars().count(), 1);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The deterministic case runner and its RNG.
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` and should not count.
+    Reject(String),
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection (assumption not met) with the given reason.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// The generation RNG handed to strategies (xoshiro256++, seeded from the
+/// test name so every run draws the same stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// RNG whose stream is pinned to `name` (FNV-1a), perturbed by the
+    /// `PROPTEST_SEED` environment variable when set.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xCBF29CE484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001B3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = s.trim().parse::<u64>() {
+                h ^= extra.wrapping_mul(0x9E3779B97F4A7C15);
+            }
+        }
+        let mut x = h;
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform `usize` in `[lo, hi)`; `lo` when the range is empty.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        let span = (hi - lo) as u128;
+        lo + ((self.next_u64() as u128 * span) >> 64) as usize
+    }
+
+    /// Uniform `i128` in `[lo, hi)` (wide enough for every integer type).
+    pub fn i128_in(&mut self, lo: i128, hi: i128) -> i128 {
+        if hi <= lo {
+            return lo;
+        }
+        let span = (hi - lo) as u128;
+        lo + ((self.next_u64() as u128).wrapping_mul(span) >> 64) as i128
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+}
+
+/// Drives one property test: runs `config.cases` successful cases, skipping
+/// rejected ones (with a global attempt cap so a bad `prop_assume!` cannot
+/// spin forever), and panics on the first failure.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    let cases = config.cases.max(1);
+    let max_attempts = (cases as u64).saturating_mul(20).max(1_000);
+    let mut done: u32 = 0;
+    let mut attempts: u64 = 0;
+    while done < cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "proptest '{name}': too many rejected cases ({done}/{cases} succeeded \
+             after {max_attempts} attempts)"
+        );
+        match case(&mut rng) {
+            Ok(()) => done += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case {done}/{cases}:\n{msg}")
+            }
+        }
+    }
+}

@@ -31,7 +31,11 @@ fn relevance_masks(
 
 #[test]
 fn imdb_accuracy_floor() {
-    let db = imdb::generate(&imdb::ImdbScale { movies: 300, seed: 42 }).expect("generate");
+    let db = imdb::generate(&imdb::ImdbScale {
+        movies: 300,
+        seed: 42,
+    })
+    .expect("generate");
     let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
     let masks = relevance_masks(&engine, &imdb::workload());
     let m = aggregate(&masks);
@@ -53,9 +57,12 @@ fn mondial_accuracy_floor() {
 
 #[test]
 fn dblp_accuracy_floor() {
-    let db =
-        dblp::generate(&dblp::DblpScale { publications: 300, authors_per_paper: 3, seed: 42 })
-            .expect("generate");
+    let db = dblp::generate(&dblp::DblpScale {
+        publications: 300,
+        authors_per_paper: 3,
+        seed: 42,
+    })
+    .expect("generate");
     let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
     let masks = relevance_masks(&engine, &dblp::workload());
     let m = aggregate(&masks);
@@ -69,9 +76,12 @@ fn dblp_accuracy_floor() {
 /// DST combination shields the ranking from an under-trained feedback model.
 #[test]
 fn feedback_improves_or_preserves_accuracy() {
-    let db = imdb::generate(&imdb::ImdbScale { movies: 300, seed: 42 }).expect("generate");
-    let mut engine =
-        Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
+    let db = imdb::generate(&imdb::ImdbScale {
+        movies: 300,
+        seed: 42,
+    })
+    .expect("generate");
+    let mut engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
     let wl = imdb::workload();
     let cold = aggregate(&relevance_masks(&engine, &wl));
 
@@ -83,7 +93,9 @@ fn feedback_improves_or_preserves_accuracy() {
         .collect();
     for _ in 0..3 {
         for cfg in &feedback {
-            engine.feedback_configuration(cfg, true).expect("feedback records");
+            engine
+                .feedback_configuration(cfg, true)
+                .expect("feedback records");
         }
     }
     let warm = aggregate(&relevance_masks(&engine, &wl));

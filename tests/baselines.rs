@@ -9,36 +9,55 @@ use quest_data::imdb::{self, ImdbScale};
 
 #[test]
 fn banks_agrees_on_simple_join() {
-    let db = imdb::generate(&ImdbScale { movies: 100, seed: 42 }).expect("generate");
+    let db = imdb::generate(&ImdbScale {
+        movies: 100,
+        seed: 42,
+    })
+    .expect("generate");
     let g = InstanceGraph::build(&db);
     let q = KeywordQuery::parse("fleming wind").expect("parse");
     let trees = banks_search(&db, &g, &q, 5).expect("banks runs");
     assert!(!trees.is_empty(), "BANKS finds the join");
     // The cheapest tree contains a movie tuple and a person tuple.
     let best = &trees[0];
-    let tables: std::collections::HashSet<_> =
-        best.tuples.iter().map(|t| t.table).collect();
+    let tables: std::collections::HashSet<_> = best.tuples.iter().map(|t| t.table).collect();
     assert!(tables.len() >= 2);
 }
 
 #[test]
 fn discover_covers_gold_networks() {
-    let db = imdb::generate(&ImdbScale { movies: 100, seed: 42 }).expect("generate");
+    let db = imdb::generate(&ImdbScale {
+        movies: 100,
+        seed: 42,
+    })
+    .expect("generate");
     let q = KeywordQuery::parse("leigh wind").expect("parse");
     let stmts = discover_statements(&db, &q, 4, Some(20));
     assert!(!stmts.is_empty());
     // At least one candidate network returns tuples (the cast_info path).
     let non_empty = stmts
         .iter()
-        .filter(|s| quest::store::sql::execute(&db, s).map(|r| !r.is_empty()).unwrap_or(false))
+        .filter(|s| {
+            quest::store::sql::execute(&db, s)
+                .map(|r| !r.is_empty())
+                .unwrap_or(false)
+        })
         .count();
     assert!(non_empty >= 1);
 }
 
 #[test]
 fn schema_graph_constant_instance_graph_grows() {
-    let small = imdb::generate(&ImdbScale { movies: 50, seed: 1 }).expect("generate");
-    let large = imdb::generate(&ImdbScale { movies: 500, seed: 1 }).expect("generate");
+    let small = imdb::generate(&ImdbScale {
+        movies: 50,
+        seed: 1,
+    })
+    .expect("generate");
+    let large = imdb::generate(&ImdbScale {
+        movies: 500,
+        seed: 1,
+    })
+    .expect("generate");
 
     let ig_small = InstanceGraph::build(&small);
     let ig_large = InstanceGraph::build(&large);
@@ -63,7 +82,11 @@ fn schema_graph_constant_instance_graph_grows() {
 
 #[test]
 fn quest_and_banks_agree_on_answer_tuples() {
-    let db = imdb::generate(&ImdbScale { movies: 100, seed: 42 }).expect("generate");
+    let db = imdb::generate(&ImdbScale {
+        movies: 100,
+        seed: 42,
+    })
+    .expect("generate");
     let ig = InstanceGraph::build(&db);
     let q = KeywordQuery::parse("casablanca curtiz").expect("parse");
     let banks = banks_search(&db, &ig, &q, 3).expect("banks");

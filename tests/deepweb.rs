@@ -10,33 +10,52 @@ use quest_data::imdb::{self, ImdbScale};
 fn annotations(catalog: &quest::store::Catalog) -> AnnotationSet {
     let mut ann = AnnotationSet::new();
     let year = catalog.attr_id("movie", "year").expect("year exists");
-    ann.set_pattern(year, r"(18|19|20)\d{2}").expect("pattern compiles");
-    let by = catalog.attr_id("person", "birth_year").expect("birth_year exists");
-    ann.set_pattern(by, r"(18|19|20)\d{2}").expect("pattern compiles");
+    ann.set_pattern(year, r"(18|19|20)\d{2}")
+        .expect("pattern compiles");
+    let by = catalog
+        .attr_id("person", "birth_year")
+        .expect("birth_year exists");
+    ann.set_pattern(by, r"(18|19|20)\d{2}")
+        .expect("pattern compiles");
     let name = catalog.attr_id("person", "name").expect("name exists");
-    ann.set_pattern(name, r"[A-Za-z' ]+").expect("pattern compiles");
+    ann.set_pattern(name, r"[A-Za-z' ]+")
+        .expect("pattern compiles");
     let title = catalog.attr_id("movie", "title").expect("title exists");
-    ann.set_pattern(title, r"[A-Za-z0-9' ]+").expect("pattern compiles");
+    ann.set_pattern(title, r"[A-Za-z0-9' ]+")
+        .expect("pattern compiles");
     let genre = catalog.attr_id("genre", "name").expect("genre name");
     ann.add_examples(genre, ["Drama", "Comedy", "Thriller", "Noir", "Western"]);
     let company = catalog.attr_id("company", "name").expect("company name");
-    ann.set_pattern(company, r"[A-Z][a-z]+ Pictures").expect("pattern compiles");
+    ann.set_pattern(company, r"[A-Z][a-z]+ Pictures")
+        .expect("pattern compiles");
     ann
 }
 
 #[test]
 fn deepweb_wrapper_still_answers() {
-    let db = imdb::generate(&ImdbScale { movies: 200, seed: 42 }).expect("generate");
+    let db = imdb::generate(&ImdbScale {
+        movies: 200,
+        seed: 42,
+    })
+    .expect("generate");
     let ann = annotations(db.catalog());
     let wrapper = DeepWebWrapper::new(db, ann, 50);
     let engine = Quest::new(wrapper, QuestConfig::default()).expect("build");
-    let out = engine.search("fleming 1939").expect("search succeeds without instance access");
-    assert!(!out.explanations.is_empty(), "metadata-only search yields explanations");
+    let out = engine
+        .search("fleming 1939")
+        .expect("search succeeds without instance access");
+    assert!(
+        !out.explanations.is_empty(),
+        "metadata-only search yields explanations"
+    );
 }
 
 #[test]
 fn deepweb_accuracy_degrades_gracefully() {
-    let scale = ImdbScale { movies: 200, seed: 42 };
+    let scale = ImdbScale {
+        movies: 200,
+        seed: 42,
+    };
     let wl = imdb::workload();
 
     // Full access.
@@ -48,7 +67,10 @@ fn deepweb_accuracy_degrades_gracefully() {
     let full_masks: Vec<Vec<bool>> = wl
         .iter()
         .map(|wq| {
-            let gold = wq.gold.to_statement(full.wrapper().catalog()).expect("gold");
+            let gold = wq
+                .gold
+                .to_statement(full.wrapper().catalog())
+                .expect("gold");
             full.search(&wq.raw)
                 .map(|o| {
                     o.explanations
@@ -64,12 +86,14 @@ fn deepweb_accuracy_degrades_gracefully() {
     // Hidden source.
     let db = imdb::generate(&scale).expect("generate");
     let ann = annotations(db.catalog());
-    let deep = Quest::new(DeepWebWrapper::new(db, ann, 50), QuestConfig::default())
-        .expect("build");
+    let deep = Quest::new(DeepWebWrapper::new(db, ann, 50), QuestConfig::default()).expect("build");
     let deep_masks: Vec<Vec<bool>> = wl
         .iter()
         .map(|wq| {
-            let gold = wq.gold.to_statement(deep.wrapper().catalog()).expect("gold");
+            let gold = wq
+                .gold
+                .to_statement(deep.wrapper().catalog())
+                .expect("gold");
             deep.search(&wq.raw)
                 .map(|o| {
                     o.explanations
@@ -83,7 +107,10 @@ fn deepweb_accuracy_degrades_gracefully() {
     let deep_m = aggregate(&deep_masks);
 
     eprintln!("full: {full_m:?}\ndeep: {deep_m:?}");
-    assert!(full_m.hit_at_k >= deep_m.hit_at_k - 1e-9, "full access should not be worse");
+    assert!(
+        full_m.hit_at_k >= deep_m.hit_at_k - 1e-9,
+        "full access should not be worse"
+    );
     // Graceful: the hidden source still answers a substantial fraction.
     assert!(
         deep_m.hit_at_k >= full_m.hit_at_k * 0.4,
@@ -95,7 +122,11 @@ fn deepweb_accuracy_degrades_gracefully() {
 
 #[test]
 fn deepweb_endpoint_restrictions_enforced() {
-    let db = imdb::generate(&ImdbScale { movies: 50, seed: 1 }).expect("generate");
+    let db = imdb::generate(&ImdbScale {
+        movies: 50,
+        seed: 1,
+    })
+    .expect("generate");
     let movie = db.catalog().table_id("movie").expect("movie exists");
     let wrapper = DeepWebWrapper::new(db, AnnotationSet::new(), 5);
     // Unbounded scans are refused by the form endpoint.
@@ -104,11 +135,13 @@ fn deepweb_endpoint_restrictions_enforced() {
     // Bound queries are capped at the page size.
     let mut bound = quest::store::sql::SelectStatement::scan(movie);
     let year = wrapper.catalog().attr_id("movie", "year").expect("year");
-    bound.predicates.push(quest::store::sql::Predicate::Compare {
-        attr: year,
-        op: quest::store::sql::CompareOp::Ge,
-        value: quest::store::Value::Int(0),
-    });
+    bound
+        .predicates
+        .push(quest::store::sql::Predicate::Compare {
+            attr: year,
+            op: quest::store::sql::CompareOp::Ge,
+            value: quest::store::Value::Int(0),
+        });
     let rs = wrapper.execute(&bound).expect("bound query allowed");
     assert!(rs.len() <= 5);
 }

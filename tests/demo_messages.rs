@@ -18,12 +18,14 @@ fn message1_effective_at_scale() {
     let mut mrr = Vec::new();
     for movies in [100usize, 2_000] {
         let db = imdb::generate(&ImdbScale { movies, seed: 42 }).expect("generate");
-        let engine =
-            Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
+        let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
         let masks: Vec<Vec<bool>> = wl
             .iter()
             .map(|wq| {
-                let gold = wq.gold.to_statement(engine.wrapper().catalog()).expect("gold");
+                let gold = wq
+                    .gold
+                    .to_statement(engine.wrapper().catalog())
+                    .expect("gold");
                 engine
                     .search(&wq.raw)
                     .map(|o| {
@@ -37,7 +39,10 @@ fn message1_effective_at_scale() {
             .collect();
         mrr.push(quest_core::eval::aggregate(&masks).mrr);
     }
-    assert!(mrr[1] >= mrr[0] - 0.15, "accuracy collapsed with scale: {mrr:?}");
+    assert!(
+        mrr[1] >= mrr[0] - 0.15,
+        "accuracy collapsed with scale: {mrr:?}"
+    );
     assert!(mrr[1] >= 0.5, "large-scale MRR too low: {}", mrr[1]);
 }
 
@@ -47,9 +52,12 @@ fn message1_effective_at_scale() {
 /// after training, and both are exposed by the outcome.
 #[test]
 fn message2_modules_differ() {
-    let db = imdb::generate(&ImdbScale { movies: 300, seed: 42 }).expect("generate");
-    let mut engine =
-        Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
+    let db = imdb::generate(&ImdbScale {
+        movies: 300,
+        seed: 42,
+    })
+    .expect("generate");
+    let mut engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
     // A year present both as a movie year and as a birth year is genuinely
     // ambiguous. Find one in the instance, so the test is seed-robust.
     let catalog = engine.wrapper().catalog();
@@ -77,12 +85,17 @@ fn message2_modules_differ() {
         Configuration::new(vec![DbTerm::Domain(year)], 1.0)
     };
     for _ in 0..8 {
-        engine.feedback_configuration(&other, true).expect("feedback");
+        engine
+            .feedback_configuration(&other, true)
+            .expect("feedback");
     }
     let out = engine.search(&shared).expect("search");
     assert!(!out.apriori_configs.is_empty());
     assert!(!out.feedback_configs.is_empty());
-    assert_eq!(out.apriori_configs[0].terms, apriori_top, "a-priori unaffected by training");
+    assert_eq!(
+        out.apriori_configs[0].terms, apriori_top,
+        "a-priori unaffected by training"
+    );
     assert_ne!(
         out.apriori_configs[0].terms, out.feedback_configs[0].terms,
         "operating modes should disagree after contrarian training"
@@ -94,8 +107,16 @@ fn message2_modules_differ() {
 /// schema graph stays constant while the tuple graph grows.
 #[test]
 fn message3_schema_graph_scales() {
-    let small = imdb::generate(&ImdbScale { movies: 100, seed: 1 }).expect("generate");
-    let big = imdb::generate(&ImdbScale { movies: 2_000, seed: 1 }).expect("generate");
+    let small = imdb::generate(&ImdbScale {
+        movies: 100,
+        seed: 1,
+    })
+    .expect("generate");
+    let big = imdb::generate(&ImdbScale {
+        movies: 2_000,
+        seed: 1,
+    })
+    .expect("generate");
     let ig_small = InstanceGraph::build(&small).node_count();
     let ig_big = InstanceGraph::build(&big).node_count();
     let ws = FullAccessWrapper::new(small);
@@ -107,7 +128,10 @@ fn message3_schema_graph_scales() {
         sb.schema_graph().node_count(),
         "schema graph must be instance-size independent"
     );
-    assert!(ig_big > ig_small * 10, "tuple graph must grow with the instance");
+    assert!(
+        ig_big > ig_small * 10,
+        "tuple graph must grow with the instance"
+    );
     // And the schema-level trees still produce correct answers (E2E).
     let engine = Quest::new(wb, QuestConfig::default()).expect("build");
     let out = engine.search("leigh wind").expect("search");
@@ -122,18 +146,35 @@ fn message3_schema_graph_scales() {
 fn message4_uncertainty_adapts_ranking() {
     let db = mondial::generate(&mondial::MondialScale::default()).expect("generate");
     let w = FullAccessWrapper::new(db);
-    let trust_forward = QuestConfig { o_c: 0.05, o_i: 0.95, ..Default::default() };
-    let trust_backward = QuestConfig { o_c: 0.95, o_i: 0.05, ..Default::default() };
+    let trust_forward = QuestConfig {
+        o_c: 0.05,
+        o_i: 0.95,
+        ..Default::default()
+    };
+    let trust_backward = QuestConfig {
+        o_c: 0.95,
+        o_i: 0.05,
+        ..Default::default()
+    };
     let a = Quest::new(w.clone(), trust_forward).expect("build");
     let b = Quest::new(w, trust_backward).expect("build");
     // A deliberately ambiguous query over the dense Mondial schema.
     let qa = a.search("italy population").expect("search");
     let qb = b.search("italy population").expect("search");
-    let sql_a: Vec<String> =
-        qa.explanations.iter().map(|e| e.sql(a.wrapper().catalog())).collect();
-    let sql_b: Vec<String> =
-        qb.explanations.iter().map(|e| e.sql(b.wrapper().catalog())).collect();
-    assert_ne!(sql_a, sql_b, "uncertainty flip should reshape the ranked list");
+    let sql_a: Vec<String> = qa
+        .explanations
+        .iter()
+        .map(|e| e.sql(a.wrapper().catalog()))
+        .collect();
+    let sql_b: Vec<String> = qb
+        .explanations
+        .iter()
+        .map(|e| e.sql(b.wrapper().catalog()))
+        .collect();
+    assert_ne!(
+        sql_a, sql_b,
+        "uncertainty flip should reshape the ranked list"
+    );
 }
 
 /// Message 5: "a new paradigm for visualizing query answers, by coupling the
@@ -142,9 +183,12 @@ fn message4_uncertainty_adapts_ranking() {
 /// schema portion for a multi-table answer.
 #[test]
 fn message5_explanations_render_completely() {
-    let db = imdb::generate(&ImdbScale { movies: 200, seed: 42 }).expect("generate");
-    let engine =
-        Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
+    let db = imdb::generate(&ImdbScale {
+        movies: 200,
+        seed: 42,
+    })
+    .expect("generate");
+    let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
     let out = engine.search("fleming wind").expect("search");
     let best = &out.explanations[0];
     let text = best.render(
@@ -152,7 +196,14 @@ fn message5_explanations_render_completely() {
         engine.backward().schema_graph(),
         &out.query,
     );
-    for needle in ["score", "SQL:", "mapping:", "path:", "schema portion:", "-->"] {
+    for needle in [
+        "score",
+        "SQL:",
+        "mapping:",
+        "path:",
+        "schema portion:",
+        "-->",
+    ] {
         assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
     }
     // The coupled tuples exist too.

@@ -5,7 +5,11 @@ use quest::prelude::*;
 use quest_data::imdb::{self, ImdbScale};
 
 fn engine() -> Quest<FullAccessWrapper> {
-    let db = imdb::generate(&ImdbScale { movies: 30, seed: 2 }).expect("generate");
+    let db = imdb::generate(&ImdbScale {
+        movies: 30,
+        seed: 2,
+    })
+    .expect("generate");
     Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build")
 }
 
@@ -14,14 +18,23 @@ fn empty_and_stopword_queries() {
     let e = engine();
     assert!(matches!(e.search(""), Err(QuestError::EmptyQuery)));
     assert!(matches!(e.search("   \t "), Err(QuestError::EmptyQuery)));
-    assert!(matches!(e.search("the of and"), Err(QuestError::EmptyQuery)));
+    assert!(matches!(
+        e.search("the of and"),
+        Err(QuestError::EmptyQuery)
+    ));
 }
 
 #[test]
 fn oversized_query_rejected() {
     let e = engine();
-    let q = (0..12).map(|i| format!("kw{i}")).collect::<Vec<_>>().join(" ");
-    assert!(matches!(e.search(&q), Err(QuestError::TooManyKeywords { .. })));
+    let q = (0..12)
+        .map(|i| format!("kw{i}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    assert!(matches!(
+        e.search(&q),
+        Err(QuestError::TooManyKeywords { .. })
+    ));
 }
 
 #[test]
@@ -64,13 +77,29 @@ fn hostile_strings_are_safe() {
 
 #[test]
 fn invalid_engine_parameters_rejected() {
-    let db = imdb::generate(&ImdbScale { movies: 10, seed: 2 }).expect("generate");
+    let db = imdb::generate(&ImdbScale {
+        movies: 10,
+        seed: 2,
+    })
+    .expect("generate");
     let w = FullAccessWrapper::new(db);
     for bad in [
-        QuestConfig { o_cap: -0.1, ..Default::default() },
-        QuestConfig { o_i: 2.0, ..Default::default() },
-        QuestConfig { o_c: f64::NAN, ..Default::default() },
-        QuestConfig { k: 0, ..Default::default() },
+        QuestConfig {
+            o_cap: -0.1,
+            ..Default::default()
+        },
+        QuestConfig {
+            o_i: 2.0,
+            ..Default::default()
+        },
+        QuestConfig {
+            o_c: f64::NAN,
+            ..Default::default()
+        },
+        QuestConfig {
+            k: 0,
+            ..Default::default()
+        },
     ] {
         assert!(Quest::new(w.clone(), bad).is_err());
     }
@@ -88,7 +117,8 @@ fn schema_without_fk_still_searches() {
         .expect("col")
         .finish();
     let mut db = Database::new(c).expect("db");
-    db.insert("note", Row::new(vec![1.into(), "remember the milk".into()])).expect("insert");
+    db.insert("note", Row::new(vec![1.into(), "remember the milk".into()]))
+        .expect("insert");
     db.finalize();
     let e = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
     let out = e.search("milk").expect("search");
@@ -100,7 +130,11 @@ fn schema_without_fk_still_searches() {
 fn malformed_catalogs_rejected_at_setup() {
     // No primary key.
     let mut c = Catalog::new();
-    c.define_table("t").expect("define").col("x", DataType::Int).expect("col").finish();
+    c.define_table("t")
+        .expect("define")
+        .col("x", DataType::Int)
+        .expect("col")
+        .finish();
     assert!(Database::new(c).is_err());
     // Empty catalog builds a database but no engine.
     let db = Database::new(Catalog::new()).expect("empty catalog is structurally fine");

@@ -1,0 +1,178 @@
+//! Cross-crate invariants: laws that only hold when the substrate crates
+//! (quest-dst, quest-graph, quest-hmm) and the engine layers (quest-core,
+//! quest-data) agree on their contracts. Each test drives a real generated
+//! dataset through the facade rather than a synthetic fixture.
+
+use quest::dst::{dempster_combine, dempster_combine_all, Frame, MassFunction};
+use quest::prelude::*;
+use quest_core::backward::{BackwardModule, SchemaGraphWeights};
+use quest_core::forward::ForwardModule;
+use quest_core::semantics::SemanticRules;
+use quest_data::{imdb, mondial};
+
+fn imdb_wrapper() -> FullAccessWrapper {
+    FullAccessWrapper::new(
+        imdb::generate(&imdb::ImdbScale {
+            movies: 200,
+            seed: 42,
+        })
+        .expect("imdb generates"),
+    )
+}
+
+/// Turn one engine evidence list (hypothesis scores) into a DST mass
+/// function over an n-hypothesis frame, the way the combiner does: singleton
+/// masses from normalized scores, remaining mass on Θ as uncertainty.
+fn mass_from_scores(frame: Frame, scores: &[f64], uncertainty: f64) -> MassFunction {
+    let mut m = MassFunction::new(frame);
+    for (i, s) in scores.iter().enumerate() {
+        m.add_singleton(i, *s).expect("singleton in frame");
+    }
+    m.set_uncertainty(uncertainty).expect("valid uncertainty");
+    m
+}
+
+/// DST invariant, driven by real engine scores: masses built from the
+/// forward module's configuration scores still sum to 1 after every
+/// `dempster_combine`, and the pignistic transform is a distribution.
+#[test]
+fn combined_masses_stay_normalized_on_real_scores() {
+    let w = imdb_wrapper();
+    let fwd = ForwardModule::new(&w, &SemanticRules::default()).expect("forward builds");
+    // Emissions are sparse, so many queries admit a single feasible mapping;
+    // scan a few (deterministic — the generator seed is pinned) until one
+    // yields several hypotheses.
+    let configs = [
+        "drama 1942",
+        "leigh wind drama",
+        "fleming wind",
+        "drama comedy",
+    ]
+    .iter()
+    .map(|raw| {
+        let q = KeywordQuery::parse(raw).expect("parses");
+        fwd.top_k_apriori(&fwd.emissions(&w, &q), 8)
+            .expect("decodes")
+    })
+    .find(|c| c.len() >= 2)
+    .expect("some query admits several hypotheses");
+
+    let frame = Frame::new(configs.len()).expect("frame");
+    let scores: Vec<f64> = configs.iter().map(|c| c.score).collect();
+    let apriori = mass_from_scores(frame, &scores, 0.2);
+    // A second, blunter source: uniform over the same hypotheses.
+    let uniform = mass_from_scores(frame, &vec![1.0; scores.len()], 0.4);
+
+    let c = dempster_combine(&apriori, &uniform).expect("combines");
+    assert!(
+        (c.mass.total_mass() - 1.0).abs() < 1e-9,
+        "total {}",
+        c.mass.total_mass()
+    );
+    assert!((0.0..=1.0).contains(&c.conflict));
+
+    let all = dempster_combine_all(&[apriori, uniform, c.mass.clone()]).expect("combines");
+    assert!((all.mass.total_mass() - 1.0).abs() < 1e-9);
+    let pignistic: f64 = (0..configs.len())
+        .map(|i| all.mass.pignistic(i).expect("in frame"))
+        .sum();
+    assert!((pignistic - 1.0).abs() < 1e-9, "pignistic sum {pignistic}");
+}
+
+/// Steiner invariant across quest-graph and the backward module: every
+/// interpretation's tree is a valid connected tree in the schema graph and
+/// spans all requested terminal attributes.
+#[test]
+fn backward_interpretations_are_connected_and_span_terminals() {
+    for db in [
+        imdb::generate(&imdb::ImdbScale {
+            movies: 100,
+            seed: 42,
+        })
+        .expect("imdb generates"),
+        mondial::generate(&mondial::MondialScale::default()).expect("mondial generates"),
+    ] {
+        let w = FullAccessWrapper::new(db);
+        let backward = BackwardModule::new(&w, &SchemaGraphWeights::default());
+        let catalog = w.catalog();
+
+        // Terminals: the first three text attributes on distinct tables.
+        let mut attrs = Vec::new();
+        let mut seen_tables = std::collections::HashSet::new();
+        for a in catalog.attributes() {
+            if a.full_text && seen_tables.insert(a.table) {
+                attrs.push(a.id);
+            }
+            if attrs.len() == 3 {
+                break;
+            }
+        }
+        assert_eq!(attrs.len(), 3, "dataset should have 3 text-bearing tables");
+
+        let interps = backward
+            .interpretations_for_attrs(&attrs, 5)
+            .expect("steiner enumeration succeeds");
+        assert!(!interps.is_empty(), "schema graphs are connected");
+
+        let schema = backward.schema_graph();
+        for interp in &interps {
+            // Connected tree whose edges exist in the schema graph.
+            assert!(interp.tree.validate(schema.graph()), "invalid tree");
+            // Spans every terminal.
+            let nodes = interp.tree.nodes();
+            for attr in &attrs {
+                assert!(
+                    nodes.contains(&schema.node_of(*attr)),
+                    "terminal {attr:?} missing from tree"
+                );
+            }
+        }
+        // Best-first: scores (1 / (1 + cost)) never increase down the list.
+        for pair in interps.windows(2) {
+            assert!(pair[0].score >= pair[1].score - 1e-12);
+        }
+    }
+}
+
+/// List-Viterbi invariant across quest-hmm and the forward module: top-k
+/// configuration scores are monotonically non-increasing, and k=1 is the
+/// same hypothesis the plain Viterbi decoder returns.
+#[test]
+fn forward_top_k_scores_are_monotone() {
+    let w = imdb_wrapper();
+    let fwd = ForwardModule::new(&w, &SemanticRules::default()).expect("forward builds");
+    let q = KeywordQuery::parse("fleming wind").expect("parses");
+    let em = fwd.emissions(&w, &q);
+
+    let top = fwd.top_k_apriori(&em, 10).expect("decodes");
+    assert!(!top.is_empty());
+    for pair in top.windows(2) {
+        assert!(
+            pair[0].score >= pair[1].score - 1e-12,
+            "scores regressed: {} then {}",
+            pair[0].score,
+            pair[1].score
+        );
+    }
+
+    let best = fwd.top_k_apriori(&em, 1).expect("decodes");
+    assert_eq!(best.len(), 1);
+    assert_eq!(
+        best[0].terms, top[0].terms,
+        "k=1 must match the top hypothesis"
+    );
+
+    // The same law must survive the full engine combination: ranked
+    // explanations out of `search` are non-increasing in combined score.
+    let engine = Quest::new(imdb_wrapper(), QuestConfig::default()).expect("engine builds");
+    let out = engine.search("fleming wind").expect("search succeeds");
+    assert!(!out.explanations.is_empty());
+    for pair in out.explanations.windows(2) {
+        assert!(pair[0].score >= pair[1].score - 1e-12);
+    }
+    let total: f64 = out.explanations.iter().map(|e| e.score).sum();
+    assert!(
+        total <= 1.0 + 1e-9,
+        "explanation scores are a sub-distribution"
+    );
+}

@@ -17,14 +17,19 @@ fn roundtrip(db: &Database) -> Database {
         let text = dump_csv(db, table.id);
         load_csv(&mut copy, &table.name, &text, true).expect("reimport succeeds");
     }
-    copy.validate_foreign_keys().expect("fks survive round trip");
+    copy.validate_foreign_keys()
+        .expect("fks survive round trip");
     copy.finalize();
     copy
 }
 
 #[test]
 fn csv_round_trip_preserves_search_results() {
-    let db = imdb::generate(&ImdbScale { movies: 100, seed: 42 }).expect("generate");
+    let db = imdb::generate(&ImdbScale {
+        movies: 100,
+        seed: 42,
+    })
+    .expect("generate");
     let copy = roundtrip(&db);
     assert_eq!(db.total_rows(), copy.total_rows());
 
@@ -48,10 +53,20 @@ fn csv_round_trip_preserves_search_results() {
 
 #[test]
 fn rendered_sql_parses_back_equivalently() {
-    let db = imdb::generate(&ImdbScale { movies: 100, seed: 42 }).expect("generate");
+    let db = imdb::generate(&ImdbScale {
+        movies: 100,
+        seed: 42,
+    })
+    .expect("generate");
     let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
     let catalog = engine.wrapper().catalog();
-    for q in ["casablanca", "fleming wind", "leigh wind", "selznick wind", "movie year"] {
+    for q in [
+        "casablanca",
+        "fleming wind",
+        "leigh wind",
+        "selznick wind",
+        "movie year",
+    ] {
         let out = engine.search(q).expect("search");
         for e in &out.explanations {
             let text = e.sql(catalog);
@@ -62,7 +77,10 @@ fn rendered_sql_parses_back_equivalently() {
                 "round trip changed semantics of {text}"
             );
             // And the reparsed statement executes to the same row count.
-            let r1 = engine.wrapper().execute(&e.statement).expect("original runs");
+            let r1 = engine
+                .wrapper()
+                .execute(&e.statement)
+                .expect("original runs");
             let r2 = engine.wrapper().execute(&reparsed).expect("reparsed runs");
             assert_eq!(r1.len(), r2.len());
         }
@@ -71,7 +89,11 @@ fn rendered_sql_parses_back_equivalently() {
 
 #[test]
 fn summary_identifies_hub_of_star_schema() {
-    let db = imdb::generate(&ImdbScale { movies: 200, seed: 42 }).expect("generate");
+    let db = imdb::generate(&ImdbScale {
+        movies: 200,
+        seed: 42,
+    })
+    .expect("generate");
     let w = FullAccessWrapper::new(db);
     let s = summarize(&w, 3, &SummaryWeights::default());
     let top = w.catalog().table(s.ranking[0].table).name.clone();
@@ -81,7 +103,11 @@ fn summary_identifies_hub_of_star_schema() {
 
 #[test]
 fn parser_rejects_what_engine_never_emits() {
-    let db = imdb::generate(&ImdbScale { movies: 10, seed: 1 }).expect("generate");
+    let db = imdb::generate(&ImdbScale {
+        movies: 10,
+        seed: 1,
+    })
+    .expect("generate");
     let c = db.catalog();
     // Aggregates and subqueries are out of fragment — clean errors.
     assert!(parse_sql(c, "SELECT COUNT(*) FROM movie").is_err());

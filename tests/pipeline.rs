@@ -11,7 +11,11 @@ use quest_core::semantics::SemanticRules;
 use quest_data::imdb::{self, ImdbScale};
 
 fn wrapper() -> FullAccessWrapper {
-    let db = imdb::generate(&ImdbScale { movies: 200, seed: 42 }).expect("generate imdb");
+    let db = imdb::generate(&ImdbScale {
+        movies: 200,
+        seed: 42,
+    })
+    .expect("generate imdb");
     FullAccessWrapper::new(db)
 }
 
@@ -27,9 +31,13 @@ fn algorithm1_step_by_step() {
     let forward = ForwardModule::new(&w, &SemanticRules::default()).expect("forward builds");
     let emissions = forward.emissions(&w, &query);
     assert_eq!(emissions.len(), 2, "one emission row per keyword");
-    let cap = forward.top_k_apriori(&emissions, k).expect("a-priori decodes");
+    let cap = forward
+        .top_k_apriori(&emissions, k)
+        .expect("a-priori decodes");
     assert!(!cap.is_empty(), "a-priori configurations exist");
-    let cf = forward.top_k_feedback(&emissions, k).expect("feedback decodes");
+    let cf = forward
+        .top_k_feedback(&emissions, k)
+        .expect("feedback decodes");
     assert!(cf.is_empty(), "no feedback yet: feedback list empty");
 
     // C ← CombinerDST(Cap, Cf, O_Cap, O_Cf).
@@ -48,7 +56,10 @@ fn algorithm1_step_by_step() {
     let catalog = w.catalog();
     let mut pairs = Vec::new();
     for (ci, cfg) in configs.iter().enumerate() {
-        for interp in backward.interpretations(catalog, cfg, k).expect("steiner runs") {
+        for interp in backward
+            .interpretations(catalog, cfg, k)
+            .expect("steiner runs")
+        {
             assert!(interp.tree.validate(backward.schema_graph().graph()));
             pairs.push((ci, interp));
         }
@@ -62,7 +73,10 @@ fn algorithm1_step_by_step() {
         combine_explanation_scores(&cfg_scores, &pair_scores, 0.3, 0.3).expect("combine");
     assert_eq!(final_scores.len(), pairs.len());
     let total: f64 = final_scores.iter().sum();
-    assert!((total - 1.0).abs() < 1e-6, "pignistic scores form a distribution");
+    assert!(
+        (total - 1.0).abs() < 1e-6,
+        "pignistic scores form a distribution"
+    );
 
     // E ← QueryBuilder(E): every explanation compiles to executable SQL.
     for ((ci, interp), score) in pairs.iter().zip(&final_scores) {
@@ -117,8 +131,8 @@ fn stage_timings_populated() {
 fn facade_prelude_surface() {
     let db = quest::data::mondial::generate(&quest::data::mondial::MondialScale::default())
         .expect("mondial generates");
-    let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default())
-        .expect("engine builds");
+    let engine =
+        Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("engine builds");
     let out = engine.search("modena italy").expect("search");
     assert!(!out.explanations.is_empty());
     let rs = engine.execute(&out.explanations[0]).expect("executes");

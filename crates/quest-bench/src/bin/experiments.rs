@@ -1,6 +1,7 @@
 //! Regenerates every experiment table in EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p quest-bench --bin experiments [e1|e2|e3|e4|e5|e7|e8|all]`
+//! Usage: `cargo run --release -p quest-bench --bin experiments
+//! [e1|e2|e3|e4|e5|e7|e8|e9|serve-throughput|all]`
 //!
 //! (E6 — per-module microbenches — lives in the criterion benches:
 //! `cargo bench -p quest-bench`.)
@@ -47,6 +48,107 @@ fn main() {
     }
     if run("e9") {
         e9_rules_ablation();
+    }
+    if run("e10") || run("serve-throughput") {
+        e10_serve_throughput();
+    }
+}
+
+// ---------------------------------------------------------------- E10
+
+/// E10 — serving throughput: the single-threaded engine vs the
+/// `quest-serve` thread pool with cold and warm caches, on every dataset's
+/// workload stream (each workload repeated and deterministically shuffled,
+/// the shape of an analytical query stream with popular repeats).
+fn e10_serve_throughput() {
+    use quest_serve::{CachedEngine, QueryService};
+
+    println!("\n## E10 — serve-throughput: thread pool + stage caches vs serial engine\n");
+    const REPS: usize = 40;
+    let mut t = Table::new(&[
+        "dataset", "mode", "queries", "wall", "qps", "speedup", "fwd hit", "bwd hit",
+    ]);
+    let mut imdb_warm4_speedup = None;
+    for ds in Dataset::ALL {
+        let engine = engine_for(ds);
+        let stream = quest_bench::shuffled_stream(&ds.workload(), REPS, 0x9E37_79B9_7F4A_7C15);
+        let n = stream.len();
+
+        // Serial baseline: today's blocking Quest::search loop, no cache.
+        let (_, serial_t) = time(|| {
+            for raw in &stream {
+                let _ = engine.search(raw);
+            }
+        });
+        let qps = |d: Duration| {
+            if d.is_zero() {
+                "inf".to_string()
+            } else {
+                format!("{:.0}", n as f64 / d.as_secs_f64())
+            }
+        };
+        t.row(vec![
+            ds.name().into(),
+            "serial".into(),
+            n.to_string(),
+            fmt_dur(serial_t),
+            qps(serial_t),
+            "1.00x".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+
+        for workers in [1usize, 2, 4] {
+            let service = QueryService::new(CachedEngine::new(engine.clone()), workers);
+            // Per-phase hit rates: cumulative counters minus the previous
+            // phase's, so the warm row shows warm-pass behavior alone.
+            let mut prev = service.stats();
+            for phase in ["cold", "warm"] {
+                let (_, wall) = time(|| {
+                    let tickets = service.submit_batch(&stream);
+                    for ticket in tickets {
+                        let _ = ticket.wait();
+                    }
+                });
+                let stats = service.stats();
+                let rate = |hits: u64, misses: u64| {
+                    let total = hits + misses;
+                    if total == 0 {
+                        "-".to_string()
+                    } else {
+                        format!("{:.1}%", 100.0 * hits as f64 / total as f64)
+                    }
+                };
+                let fwd = rate(
+                    stats.forward_cache.hits - prev.forward_cache.hits,
+                    stats.forward_cache.misses - prev.forward_cache.misses,
+                );
+                let bwd = rate(
+                    stats.backward_cache.hits - prev.backward_cache.hits,
+                    stats.backward_cache.misses - prev.backward_cache.misses,
+                );
+                prev = stats;
+                let speedup = serial_t.as_secs_f64() / wall.as_secs_f64().max(1e-9);
+                if ds == Dataset::Imdb && workers == 4 && phase == "warm" {
+                    imdb_warm4_speedup = Some(speedup);
+                }
+                t.row(vec![
+                    ds.name().into(),
+                    format!("serve {workers}w {phase}"),
+                    n.to_string(),
+                    fmt_dur(wall),
+                    qps(wall),
+                    format!("{speedup:.2}x"),
+                    fwd,
+                    bwd,
+                ]);
+            }
+            service.shutdown();
+        }
+    }
+    print!("{}", t.render());
+    if let Some(s) = imdb_warm4_speedup {
+        println!("\nwarm-cache IMDB at 4 workers: {s:.2}x serial throughput (target >= 2x)");
     }
 }
 
@@ -198,7 +300,7 @@ fn e2_module_comparison() {
         let backward = BackwardModule::new(&w, &SchemaGraphWeights::default());
 
         // Train a feedback copy with two passes of perfect oracle feedback.
-        let mut trained = forward.clone();
+        let trained = forward.clone();
         let mut oracle = FeedbackOracle::perfect(11);
         for _ in 0..2 {
             for wq in &wl {
@@ -276,7 +378,7 @@ fn e2_module_comparison() {
         }
 
         // Combined: the full engine, trained identically.
-        let mut engine = Quest::new(w.clone(), QuestConfig::default()).expect("engine builds");
+        let engine = Quest::new(w.clone(), QuestConfig::default()).expect("engine builds");
         let mut oracle = FeedbackOracle::perfect(11);
         for _ in 0..2 {
             for wq in &wl {
@@ -421,8 +523,8 @@ fn e4_dst_sensitivity() {
     let backward = BackwardModule::new(&w, &SchemaGraphWeights::default());
     let catalog_owned = w.catalog().clone();
     let catalog = &catalog_owned;
-    let mut engine = Quest::new(w.clone(), QuestConfig::default()).expect("build");
-    let mut fwd = forward0;
+    let engine = Quest::new(w.clone(), QuestConfig::default()).expect("build");
+    let fwd = forward0;
     let mut oracle_a = FeedbackOracle::new(0.2, 21);
     let mut oracle_b = FeedbackOracle::new(0.2, 21);
     let steps = [0usize, 12, 24, 60, 120];

@@ -1,4 +1,4 @@
-//! Schema summarization (paper reference [7]: Yang, Procopiuc, Srivastava,
+//! Schema summarization (paper reference \[7\]: Yang, Procopiuc, Srivastava,
 //! "Summary graphs for relational database schemas", PVLDB 2011).
 //!
 //! QUEST borrows its mutual-information edge weighting from schema

@@ -48,14 +48,25 @@ where
     let o2 = check_uncertainty(o2, "O2")?;
 
     // Build the shared universe: union of hypotheses, best score first.
+    // Collected in first-appearance order — not HashMap key order — so
+    // equal-scored ties break identically on every call and the combination
+    // is bit-for-bit reproducible (frame element order decides float
+    // summation order downstream).
     let mut best: HashMap<&T, f64> = HashMap::new();
+    let mut universe: Vec<&T> = Vec::new();
     for (t, s) in list1.iter().chain(list2.iter()) {
-        let e = best.entry(t).or_insert(f64::NEG_INFINITY);
-        if *s > *e {
-            *e = *s;
+        match best.entry(t) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if *s > *e.get() {
+                    e.insert(*s);
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(*s);
+                universe.push(t);
+            }
         }
     }
-    let mut universe: Vec<&T> = best.keys().copied().collect();
     universe.sort_by(|a, b| {
         best[*b]
             .partial_cmp(&best[*a])

@@ -90,6 +90,13 @@ impl QuestConfig {
         if self.k == 0 {
             return Err(QuestError::BadParameter("k must be positive".into()));
         }
+        if self.result_limit == Some(0) {
+            return Err(QuestError::BadParameter(
+                "result_limit = Some(0) silently yields empty result sets; \
+                 use None for no limit"
+                    .into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -121,6 +128,30 @@ impl StageTimings {
             + self.backward
             + self.combine_explanations
     }
+}
+
+/// Output of the forward stage of Algorithm 1: the two operating modes'
+/// ranked configuration lists and their DST combination, plus the timings of
+/// the stages that produced them.
+///
+/// Produced by [`Quest::forward_pass`]; a serving layer can cache it keyed
+/// on the query keywords and the engine's
+/// [feedback epoch](Quest::feedback_epoch) and later replay it through
+/// [`Quest::assemble`] for results identical to an uncached
+/// [`Quest::search_query`].
+#[derive(Debug, Clone)]
+pub struct ForwardResult {
+    /// A-priori configurations (partial result).
+    pub apriori: Vec<Configuration>,
+    /// Feedback configurations (partial result; empty before training).
+    pub feedback: Vec<Configuration>,
+    /// DST-combined configurations, best first, truncated to `k`.
+    pub configurations: Vec<Configuration>,
+    /// Effective `O_Cf` used for the combination (after adaptation).
+    pub effective_o_cf: f64,
+    /// Timings of the forward stages (emissions, both decodes, first
+    /// combination); the backward/assembly fields are zero.
+    pub timings: StageTimings,
 }
 
 /// Everything one search produced, including the per-module partial results
@@ -210,7 +241,30 @@ impl<W: SourceWrapper> Quest<W> {
     }
 
     /// Run Algorithm 1 on a parsed query.
+    ///
+    /// Equivalent to [`Quest::forward_pass`], one [`Quest::backward_pass`]
+    /// per combined configuration, and [`Quest::assemble`]; a serving layer
+    /// that caches the stage results and replays them through `assemble`
+    /// produces identical outcomes.
     pub fn search_query(&self, query: &KeywordQuery) -> Result<SearchOutcome, QuestError> {
+        let forward = self.forward_pass(query)?;
+        let t0 = Instant::now();
+        let mut interpretations = Vec::with_capacity(forward.configurations.len());
+        for cfg in &forward.configurations {
+            interpretations.push(self.backward_pass(cfg)?);
+        }
+        let backward = t0.elapsed();
+        self.assemble(query, forward, interpretations, backward)
+    }
+
+    /// Forward stage of Algorithm 1: emissions, both operating-mode decodes,
+    /// and the first DST combination (`C ← CombinerDST(Cap, Cf, O_Cap,
+    /// O_Cf)`).
+    ///
+    /// The result depends only on the query's normalized keywords and the
+    /// current [feedback epoch](Quest::feedback_epoch), which makes it
+    /// cacheable on that pair.
+    pub fn forward_pass(&self, query: &KeywordQuery) -> Result<ForwardResult, QuestError> {
         let k = self.config.k;
         let mut timings = StageTimings::default();
 
@@ -240,23 +294,68 @@ impl<W: SourceWrapper> Quest<W> {
             .map(|c| (c.terms.clone(), c.score))
             .collect();
         let combined = combine_ranked(&l1, self.config.o_cap, &l2, o_cf)?;
-        let mut configurations: Vec<Configuration> = combined
+        let configurations: Vec<Configuration> = combined
             .into_iter()
             .take(k)
             .map(|(terms, score)| Configuration::new(terms, score))
             .collect();
         timings.combine_configs = t0.elapsed();
 
-        // Backward: I ← ST(q, C, k).
-        let t0 = Instant::now();
-        let catalog = self.wrapper.catalog();
-        let mut pairs: Vec<(usize, Interpretation)> = Vec::new();
-        for (ci, cfg) in configurations.iter().enumerate() {
-            for interp in self.backward.interpretations(catalog, cfg, k)? {
-                pairs.push((ci, interp));
-            }
+        Ok(ForwardResult {
+            apriori,
+            feedback,
+            configurations,
+            effective_o_cf: o_cf,
+            timings,
+        })
+    }
+
+    /// Backward stage for one configuration: its top-k interpretations
+    /// (`I ← ST(q, C, k)`), using the engine's configured `k`.
+    ///
+    /// Depends only on the configuration's term sequence (and the immutable
+    /// schema graph), which makes it cacheable on `config.terms`.
+    pub fn backward_pass(&self, config: &Configuration) -> Result<Vec<Interpretation>, QuestError> {
+        self.backward
+            .interpretations(self.wrapper.catalog(), config, self.config.k)
+    }
+
+    /// Final stage of Algorithm 1: the second DST combination, query
+    /// building, ranking, and optional empty-result pruning.
+    ///
+    /// `interpretations` holds one interpretation list per entry of
+    /// `forward.configurations`, as produced by [`Quest::backward_pass`];
+    /// `backward_time` is charged to the backward stage in the outcome's
+    /// timings (pass [`Duration::ZERO`] when replaying cached results).
+    pub fn assemble(
+        &self,
+        query: &KeywordQuery,
+        forward: ForwardResult,
+        interpretations: Vec<Vec<Interpretation>>,
+        backward_time: Duration,
+    ) -> Result<SearchOutcome, QuestError> {
+        let ForwardResult {
+            apriori,
+            feedback,
+            mut configurations,
+            effective_o_cf,
+            mut timings,
+        } = forward;
+        if interpretations.len() != configurations.len() {
+            return Err(QuestError::BadParameter(format!(
+                "assemble: {} interpretation lists for {} configurations",
+                interpretations.len(),
+                configurations.len()
+            )));
         }
-        timings.backward = t0.elapsed();
+        timings.backward = backward_time;
+        let k = self.config.k;
+        let catalog = self.wrapper.catalog();
+        let pairs: Vec<(usize, Interpretation)> = interpretations
+            .into_iter()
+            .enumerate()
+            .flat_map(|(ci, interps)| interps.into_iter().map(move |i| (ci, i)))
+            .collect();
 
         // Second combination + query building.
         let t0 = Instant::now();
@@ -311,7 +410,7 @@ impl<W: SourceWrapper> Quest<W> {
             configurations,
             explanations,
             timings,
-            effective_o_cf: o_cf,
+            effective_o_cf,
         })
     }
 
@@ -323,8 +422,12 @@ impl<W: SourceWrapper> Quest<W> {
     /// Record user feedback on an explanation. Positive feedback validates
     /// its configuration; negative feedback discounts it. Remembers the
     /// query emissions for optional EM refinement.
+    ///
+    /// Takes `&self`: the feedback state lives behind interior mutability
+    /// (see [`ForwardModule`]), so feedback can be recorded on an engine
+    /// shared across threads (e.g. through an `Arc`).
     pub fn feedback(
-        &mut self,
+        &self,
         query: &KeywordQuery,
         explanation: &Explanation,
         positive: bool,
@@ -337,7 +440,7 @@ impl<W: SourceWrapper> Quest<W> {
 
     /// Directly record a validated configuration (used by training oracles).
     pub fn feedback_configuration(
-        &mut self,
+        &self,
         config: &Configuration,
         positive: bool,
     ) -> Result<(), QuestError> {
@@ -345,8 +448,14 @@ impl<W: SourceWrapper> Quest<W> {
     }
 
     /// Run Baum-Welch refinement over remembered queries.
-    pub fn refine_feedback_model(&mut self, max_iters: usize) -> Result<usize, QuestError> {
+    pub fn refine_feedback_model(&self, max_iters: usize) -> Result<usize, QuestError> {
         self.forward.refine_with_em(max_iters)
+    }
+
+    /// Monotonic feedback version: bumped whenever feedback or EM refinement
+    /// changes what a search can return. External caches key on this.
+    pub fn feedback_epoch(&self) -> u64 {
+        self.forward.feedback_epoch()
     }
 }
 
@@ -455,7 +564,7 @@ mod tests {
 
     #[test]
     fn feedback_changes_final_ranking() {
-        let mut q = engine();
+        let q = engine();
         let query = KeywordQuery::parse("fleming 1939").unwrap();
         let before = q.search_query(&query).unwrap();
         // Validate the best explanation repeatedly; the combined list must
@@ -496,6 +605,120 @@ mod tests {
         };
         assert!(bad.validate().is_err());
         assert!(QuestConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_result_limit_rejected() {
+        // `LIMIT 0` would make every explanation return an empty result set
+        // with no error anywhere downstream — reject it at validation.
+        let bad = QuestConfig {
+            result_limit: Some(0),
+            ..Default::default()
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(matches!(&err, QuestError::BadParameter(m) if m.contains("result_limit")));
+        // Quest::new runs validation, so construction fails too.
+        let db = {
+            let mut c = relstore::Catalog::new();
+            c.define_table("t")
+                .unwrap()
+                .pk("id", DataType::Int)
+                .unwrap()
+                .finish();
+            Database::new(c).unwrap()
+        };
+        assert!(Quest::new(
+            FullAccessWrapper::new(db),
+            QuestConfig {
+                result_limit: Some(0),
+                ..Default::default()
+            }
+        )
+        .is_err());
+        // `None` (no LIMIT) and positive limits remain valid.
+        assert!(QuestConfig {
+            result_limit: None,
+            ..Default::default()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn stage_api_matches_search_query() {
+        // forward_pass + backward_pass + assemble is exactly search_query.
+        let q = engine();
+        let query = KeywordQuery::parse("wind fleming").unwrap();
+        let whole = q.search_query(&query).unwrap();
+        let fwd = q.forward_pass(&query).unwrap();
+        let interps: Vec<_> = fwd
+            .configurations
+            .iter()
+            .map(|c| q.backward_pass(c).unwrap())
+            .collect();
+        let staged = q.assemble(&query, fwd, interps, Duration::ZERO).unwrap();
+        assert_eq!(staged.explanations.len(), whole.explanations.len());
+        for (a, b) in staged.explanations.iter().zip(&whole.explanations) {
+            assert_eq!(a.score, b.score);
+            assert_eq!(a.configuration.terms, b.configuration.terms);
+            assert_eq!(a.statement, b.statement);
+        }
+        let terms = |cs: &[Configuration]| cs.iter().map(|c| c.terms.clone()).collect::<Vec<_>>();
+        assert_eq!(terms(&staged.configurations), terms(&whole.configurations));
+    }
+
+    #[test]
+    fn assemble_rejects_mismatched_interpretations() {
+        let q = engine();
+        let query = KeywordQuery::parse("casablanca").unwrap();
+        let fwd = q.forward_pass(&query).unwrap();
+        assert!(q.assemble(&query, fwd, Vec::new(), Duration::ZERO).is_err());
+    }
+
+    #[test]
+    fn feedback_epoch_advances() {
+        let q = engine();
+        assert_eq!(q.feedback_epoch(), 0);
+        let query = KeywordQuery::parse("casablanca").unwrap();
+        let out = q.search_query(&query).unwrap();
+        let best = out.explanations[0].clone();
+        q.feedback(&query, &best, true).unwrap();
+        assert_eq!(q.feedback_epoch(), 1);
+        q.feedback(&query, &best, false).unwrap();
+        assert_eq!(q.feedback_epoch(), 2);
+        // EM refinement also changes the model, so it bumps the epoch.
+        q.refine_feedback_model(3).unwrap();
+        assert_eq!(q.feedback_epoch(), 3);
+    }
+
+    #[test]
+    fn shared_engine_accepts_concurrent_feedback() {
+        // The point of the interior-mutability split: searches and feedback
+        // interleave freely on an Arc-shared engine.
+        let q = std::sync::Arc::new(engine());
+        let query = KeywordQuery::parse("casablanca").unwrap();
+        let best = q.search_query(&query).unwrap().explanations[0].clone();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let q = std::sync::Arc::clone(&q);
+                let query = query.clone();
+                let best = best.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..5 {
+                        if i % 2 == 0 {
+                            q.feedback(&query, &best, true).unwrap();
+                        } else {
+                            q.search_query(&query).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(q.forward().feedback_count(), 10);
+        assert_eq!(q.feedback_epoch(), 10);
     }
 
     #[test]

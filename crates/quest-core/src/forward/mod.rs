@@ -12,6 +12,8 @@
 pub mod configuration;
 pub mod emission;
 
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
 use quest_hmm::{list_viterbi, train, Emissions, Hmm, SupervisedTrainer};
 use relstore::Catalog;
 
@@ -27,16 +29,44 @@ pub use emission::{emission_row, emissions_for_query, EMISSION_FLOOR};
 /// Smoothing used by the feedback trainer.
 const FEEDBACK_SMOOTHING: f64 = 0.05;
 
-/// The forward module.
+/// The mutable half of the forward module: everything user feedback touches.
+///
+/// Kept behind a [`RwLock`] so one [`ForwardModule`] (and hence one engine)
+/// can serve many threads concurrently — searches take the read lock, while
+/// feedback recording and EM refinement take the write lock.
 #[derive(Debug, Clone)]
+struct FeedbackState {
+    trainer: SupervisedTrainer,
+    hmm: Option<Hmm>,
+    count: usize,
+    /// Monotonic version, bumped on every change that can alter decoding
+    /// results. External caches key on this to stay transparent.
+    epoch: u64,
+    /// Emission histories retained for EM refinement.
+    history: Vec<Emissions>,
+}
+
+/// The forward module.
+///
+/// The vocabulary and a-priori HMM are immutable after setup; the
+/// feedback-trained model lives in an interior-mutability cell
+/// (`RwLock<FeedbackState>`) so feedback can be recorded through a shared
+/// reference.
+#[derive(Debug)]
 pub struct ForwardModule {
     vocab: Vocabulary,
     apriori: Hmm,
-    trainer: SupervisedTrainer,
-    feedback_hmm: Option<Hmm>,
-    feedback_count: usize,
-    /// Emission histories retained for EM refinement.
-    history: Vec<Emissions>,
+    feedback: RwLock<FeedbackState>,
+}
+
+impl Clone for ForwardModule {
+    fn clone(&self) -> ForwardModule {
+        ForwardModule {
+            vocab: self.vocab.clone(),
+            apriori: self.apriori.clone(),
+            feedback: RwLock::new(self.state().clone()),
+        }
+    }
 }
 
 impl ForwardModule {
@@ -57,11 +87,26 @@ impl ForwardModule {
         Ok(ForwardModule {
             vocab,
             apriori,
-            trainer,
-            feedback_hmm: None,
-            feedback_count: 0,
-            history: Vec::new(),
+            feedback: RwLock::new(FeedbackState {
+                trainer,
+                hmm: None,
+                count: 0,
+                epoch: 0,
+                history: Vec::new(),
+            }),
         })
+    }
+
+    /// Read access to the feedback state; a poisoned lock (a panic in
+    /// another thread mid-update) degrades to the last written state.
+    fn state(&self) -> RwLockReadGuard<'_, FeedbackState> {
+        self.feedback.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn state_mut(&self) -> RwLockWriteGuard<'_, FeedbackState> {
+        self.feedback
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The HMM state vocabulary.
@@ -74,14 +119,23 @@ impl ForwardModule {
         &self.apriori
     }
 
-    /// The feedback model, once any feedback has been recorded.
-    pub fn feedback_hmm(&self) -> Option<&Hmm> {
-        self.feedback_hmm.as_ref()
+    /// A snapshot of the feedback model, once any feedback has been
+    /// recorded. Returns a clone: the live model may be retrained
+    /// concurrently.
+    pub fn feedback_hmm(&self) -> Option<Hmm> {
+        self.state().hmm.clone()
     }
 
     /// Number of feedback observations recorded.
     pub fn feedback_count(&self) -> usize {
-        self.feedback_count
+        self.state().count
+    }
+
+    /// Monotonic feedback version: bumped whenever recorded feedback or EM
+    /// refinement changes what [`ForwardModule::top_k_feedback`] can return.
+    /// Caches layered over the engine key on this to stay transparent.
+    pub fn feedback_epoch(&self) -> u64 {
+        self.state().epoch
     }
 
     /// Emission matrix for a query through the wrapper.
@@ -108,7 +162,7 @@ impl ForwardModule {
         emissions: &Emissions,
         k: usize,
     ) -> Result<Vec<Configuration>, QuestError> {
-        match &self.feedback_hmm {
+        match &self.state().hmm {
             Some(hmm) => self.decode(hmm, emissions, k),
             None => Ok(Vec::new()),
         }
@@ -136,7 +190,7 @@ impl ForwardModule {
     /// the parameter "should be decreased when 'negative' feedbacks are
     /// obtained").
     pub fn record_feedback(
-        &mut self,
+        &self,
         config: &Configuration,
         positive: bool,
     ) -> Result<(), QuestError> {
@@ -149,33 +203,38 @@ impl ForwardModule {
                     .ok_or_else(|| QuestError::BadParameter("term outside vocabulary".into()))
             })
             .collect::<Result<_, _>>()?;
+        let mut state = self.state_mut();
         if positive {
-            self.trainer.observe(&states)?;
+            state.trainer.observe(&states)?;
         } else {
-            self.trainer.observe_negative(&states, 0.5)?;
+            state.trainer.observe_negative(&states, 0.5)?;
         }
-        self.feedback_count += 1;
-        self.feedback_hmm = Some(self.trainer.build()?);
+        state.count += 1;
+        state.hmm = Some(state.trainer.build()?);
+        state.epoch += 1;
         Ok(())
     }
 
     /// Retain a query's emission matrix for later EM refinement.
-    pub fn remember_query(&mut self, emissions: Emissions) {
-        self.history.push(emissions);
+    pub fn remember_query(&self, emissions: Emissions) {
+        self.state_mut().history.push(emissions);
     }
 
     /// Refine the feedback model with Baum-Welch EM over the remembered
     /// query emissions ("an Expectation-Maximization on-line training
     /// algorithm to a dataset composed of previous searches", paper §3).
     /// No-op when no feedback model exists yet or no history was kept.
-    pub fn refine_with_em(&mut self, max_iters: usize) -> Result<usize, QuestError> {
-        let Some(hmm) = self.feedback_hmm.as_mut() else {
-            return Ok(0);
-        };
-        if self.history.is_empty() {
+    pub fn refine_with_em(&self, max_iters: usize) -> Result<usize, QuestError> {
+        let mut state = self.state_mut();
+        if state.history.is_empty() {
             return Ok(0);
         }
-        let report = train(hmm, &self.history, max_iters, 1e-6)?;
+        let FeedbackState { hmm, history, .. } = &mut *state;
+        let Some(hmm) = hmm.as_mut() else {
+            return Ok(0);
+        };
+        let report = train(hmm, history, max_iters, 1e-6)?;
+        state.epoch += 1;
         Ok(report.iterations)
     }
 
@@ -266,7 +325,7 @@ mod tests {
     #[test]
     fn feedback_shifts_ranking() {
         let w = wrapper();
-        let mut fwd = ForwardModule::new(&w, &SemanticRules::default()).unwrap();
+        let fwd = ForwardModule::new(&w, &SemanticRules::default()).unwrap();
         let q = KeywordQuery::parse("fleming wind").unwrap();
         let e = fwd.emissions(&w, &q);
         let name = w.catalog().attr_id("person", "name").unwrap();
@@ -284,7 +343,7 @@ mod tests {
     #[test]
     fn negative_feedback_demotes() {
         let w = wrapper();
-        let mut fwd = ForwardModule::new(&w, &SemanticRules::default()).unwrap();
+        let fwd = ForwardModule::new(&w, &SemanticRules::default()).unwrap();
         let name = w.catalog().attr_id("person", "name").unwrap();
         let title = w.catalog().attr_id("movie", "title").unwrap();
         let good = Configuration::new(vec![DbTerm::Domain(name), DbTerm::Domain(title)], 1.0);
@@ -302,7 +361,7 @@ mod tests {
     #[test]
     fn em_refinement_runs() {
         let w = wrapper();
-        let mut fwd = ForwardModule::new(&w, &SemanticRules::default()).unwrap();
+        let fwd = ForwardModule::new(&w, &SemanticRules::default()).unwrap();
         let q = KeywordQuery::parse("casablanca director").unwrap();
         let e = fwd.emissions(&w, &q);
         fwd.remember_query(e.clone());

@@ -19,6 +19,26 @@
 //! (indexes + statistics) or Deep-Web (metadata, patterns and ontologies
 //! only). Instance-level baselines from the BANKS/DISCOVER lineage live in
 //! [`baseline`] for the paper's comparative demonstrations.
+//!
+//! ```
+//! use quest_core::{FullAccessWrapper, Quest, QuestConfig, SourceWrapper};
+//! use relstore::{Catalog, DataType, Database, Row};
+//!
+//! let mut catalog = Catalog::new();
+//! catalog
+//!     .define_table("movie")?
+//!     .pk("id", DataType::Int)?
+//!     .col("title", DataType::Text)?
+//!     .finish();
+//! let mut db = Database::new(catalog)?;
+//! db.insert("movie", Row::new(vec![1.into(), "Casablanca".into()]))?;
+//!
+//! let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default())?;
+//! let outcome = engine.search("casablanca")?;
+//! let sql = outcome.explanations[0].sql(engine.wrapper().catalog());
+//! assert!(sql.contains("movie.title LIKE '%casablanca%'"), "{sql}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![warn(missing_docs)]
 
@@ -39,7 +59,7 @@ pub mod wrapper;
 
 pub use backward::{BackwardModule, Interpretation, SchemaGraph, SchemaGraphWeights};
 pub use combiner::{combine_explanation_scores, combine_ranked};
-pub use engine::{Quest, QuestConfig, SearchOutcome, StageTimings};
+pub use engine::{ForwardResult, Quest, QuestConfig, SearchOutcome, StageTimings};
 pub use error::QuestError;
 pub use explain::Explanation;
 pub use forward::{Configuration, ForwardModule};

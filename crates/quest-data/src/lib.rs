@@ -10,7 +10,7 @@
 //! * [`dblp`] — "many instances ... in a non-trivial schema": authors,
 //!   publications, venues, authorship and citations.
 //!
-//! Each dataset ships a curated keyword [`workload`](crate::workload) with
+//! Each dataset ships a curated keyword [`workload`] with
 //! gold-standard SQL and gold keyword→term mappings, plus a synthetic
 //! [`oracle::FeedbackOracle`] that replays user validations (optionally
 //! noisy) into the engine's training path.

@@ -4,7 +4,7 @@
 //! independent bodies of evidence with the respective degree of uncertainty
 //! into one body of evidence" (paper §2).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::frame::{DstError, FocalSet};
 use crate::mass::MassFunction;
@@ -28,7 +28,8 @@ pub fn dempster_combine(m1: &MassFunction, m2: &MassFunction) -> Result<Combinat
     if m1.frame() != m2.frame() {
         return Err(DstError::FrameMismatch);
     }
-    let mut combined: HashMap<FocalSet, f64> = HashMap::new();
+    // Ordered map: the division/accumulation order below is deterministic.
+    let mut combined: BTreeMap<FocalSet, f64> = BTreeMap::new();
     let mut conflict = 0.0;
     for (a, ma) in m1.focal_sets() {
         for (b, mb) in m2.focal_sets() {

@@ -7,6 +7,26 @@
 //! masses are the source's normalized scores and whose mass on the universe
 //! Θ is the user-specified *uncertainty degree* of that source; sources are
 //! merged with [`dempster_combine`] and ranked by pignistic probability.
+//!
+//! ```
+//! use quest_dst::{dempster_combine, Frame, MassFunction};
+//!
+//! // Two sources rank the same two hypotheses, with different confidence.
+//! let frame = Frame::new(2)?;
+//! let mut confident = MassFunction::new(frame);
+//! confident.add_singleton(0, 0.7)?;
+//! confident.add_singleton(1, 0.3)?;
+//! confident.set_uncertainty(0.2)?; // O = 0.2: mostly trusted
+//! let mut hesitant = MassFunction::new(frame);
+//! hesitant.add_singleton(0, 0.4)?;
+//! hesitant.add_singleton(1, 0.6)?;
+//! hesitant.set_uncertainty(0.8)?; // O = 0.8: barely trusted
+//!
+//! // Dempster's rule lets the confident source dominate the disagreement.
+//! let combined = dempster_combine(&confident, &hesitant)?.mass;
+//! assert!(combined.pignistic(0)? > combined.pignistic(1)?);
+//! # Ok::<(), quest_dst::DstError>(())
+//! ```
 
 #![warn(missing_docs)]
 

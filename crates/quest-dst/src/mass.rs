@@ -6,15 +6,20 @@
 //! on the universe Θ (paper Algorithm 1: `addEvidence`, `setUncertainty`,
 //! `normalize`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::frame::{DstError, FocalSet, Frame};
 
 /// A mass function (basic probability assignment) over a frame.
+///
+/// The body of evidence is an ordered map so every iteration — and hence
+/// every floating-point summation in [`MassFunction::normalize`],
+/// [`MassFunction::pignistic`], and Dempster's rule — runs in the same
+/// order on every call: combinations are bit-for-bit reproducible.
 #[derive(Debug, Clone)]
 pub struct MassFunction {
     frame: Frame,
-    masses: HashMap<FocalSet, f64>,
+    masses: BTreeMap<FocalSet, f64>,
 }
 
 impl MassFunction {
@@ -22,7 +27,7 @@ impl MassFunction {
     pub fn new(frame: Frame) -> MassFunction {
         MassFunction {
             frame,
-            masses: HashMap::new(),
+            masses: BTreeMap::new(),
         }
     }
 

@@ -11,7 +11,24 @@
 //!   al.) with duplicate and super-tree suppression;
 //! * [`mst_approximation`] — the classic metric-closure 2-approximation,
 //!   kept as a baseline/ablation;
-//! * [`dijkstra`] — shortest paths.
+//! * [`dijkstra()`](dijkstra::dijkstra) — shortest paths.
+//!
+//! ```
+//! use quest_graph::{top_k_steiner, Graph, NodeId, SteinerConfig};
+//!
+//! // A path 0—1—2—3 of unit edges, plus a direct 0—3 shortcut of cost 2.
+//! let mut g = Graph::with_nodes(4);
+//! g.add_edge(NodeId(0), NodeId(1), 1.0)?;
+//! g.add_edge(NodeId(1), NodeId(2), 1.0)?;
+//! g.add_edge(NodeId(2), NodeId(3), 1.0)?;
+//! g.add_edge(NodeId(0), NodeId(3), 2.0)?;
+//!
+//! // Best two trees connecting the terminals {0, 3}: the shortcut wins.
+//! let trees = top_k_steiner(&g, &[NodeId(0), NodeId(3)], &SteinerConfig::top_k(2))?;
+//! assert_eq!(trees[0].cost(), 2.0);
+//! assert!(trees[1].cost() >= trees[0].cost());
+//! # Ok::<(), quest_graph::GraphError>(())
+//! ```
 
 #![warn(missing_docs)]
 

@@ -6,13 +6,26 @@
 //!
 //! * [`Hmm`] — the model (initial + transition distributions; emissions are
 //!   supplied per query by the wrapper's search function);
-//! * [`viterbi`] — maximum-probability decoding;
-//! * [`list_viterbi`] — the top-k *list Viterbi algorithm*
+//! * [`viterbi()`](viterbi::viterbi) — maximum-probability decoding;
+//! * [`list_viterbi()`](list_viterbi::list_viterbi) — the top-k *list Viterbi algorithm*
 //!   (Seshadri–Sundberg), producing the top-k configurations;
-//! * [`forward_backward`] / [`baum_welch_step`] / [`train`] — scaled
+//! * [`forward_backward()`](forward_backward::forward_backward) / [`baum_welch_step`] / [`train`] — scaled
 //!   Expectation-Maximization for the feedback-based operating mode;
 //! * [`SupervisedTrainer`] — count-based online training from user-validated
 //!   sequences (the "list Viterbi training" of Rota et al.).
+//!
+//! ```
+//! use quest_hmm::{list_viterbi, Hmm};
+//!
+//! // Two states; state 0 is sticky, state 1 is indifferent.
+//! let hmm = Hmm::from_weights(vec![0.8, 0.2], vec![0.9, 0.1, 0.5, 0.5])?;
+//! // Two observations, each scored against both states by the wrapper.
+//! let emissions = vec![vec![0.9, 0.1], vec![0.6, 0.4]];
+//! let paths = list_viterbi(&hmm, &emissions, 3)?;
+//! assert_eq!(paths[0].states, vec![0, 0], "stay in the sticky state");
+//! assert!(paths.windows(2).all(|p| p[0].log_prob >= p[1].log_prob));
+//! # Ok::<(), quest_hmm::HmmError>(())
+//! ```
 
 #![warn(missing_docs)]
 

@@ -2,7 +2,7 @@
 //!
 //! This implements the training side of "the list Viterbi training algorithm
 //! and its application to keyword search over databases" (Rota et al., CIKM
-//! 2011, paper reference [4]): when the user validates an explanation, the
+//! 2011, paper reference \[4\]): when the user validates an explanation, the
 //! configuration's state sequence becomes a labelled example. Counting
 //! initial states and transitions with additive smoothing yields a
 //! maximum-a-posteriori estimate of the HMM parameters, which can be updated

@@ -1,0 +1,321 @@
+//! [`CachedEngine`]: a thread-safe, cache-fronted wrapper around
+//! [`Quest`].
+//!
+//! Two bounded LRU caches sit in front of the pipeline's two expensive
+//! stages:
+//!
+//! * **forward** — normalized keywords (+ feedback epoch) → the full
+//!   [`ForwardResult`] (both operating-mode decodes and their DST
+//!   combination);
+//! * **backward** — a configuration's term sequence → its top-k Steiner
+//!   interpretations.
+//!
+//! Both stages are pure functions of their key for a fixed engine state, so
+//! caching is semantically transparent: a cached search returns bit-identical
+//! explanations and scores to an uncached [`Quest::search_query`]. Feedback
+//! invalidates nothing explicitly — forward keys embed the engine's
+//! [feedback epoch](Quest::feedback_epoch), so entries from before a
+//! feedback event simply stop matching and age out of the LRU. Backward
+//! results never depend on feedback at all.
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use quest_core::backward::Interpretation;
+use quest_core::term::DbTerm;
+use quest_core::{
+    Configuration, Explanation, ForwardResult, KeywordQuery, Quest, QuestError, SearchOutcome,
+    SourceWrapper,
+};
+
+use crate::cache::LruCache;
+use crate::stats::{CacheStats, LatencyRecorder, ServeStats};
+
+/// Cache-tuning knobs of the serving layer.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Entries of the forward cache (distinct keyword queries per feedback
+    /// epoch). 0 disables it.
+    pub forward_capacity: usize,
+    /// Entries of the backward cache (distinct configurations). 0 disables
+    /// it.
+    pub backward_capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            // A workload's distinct-query set is small next to its volume;
+            // configurations are shared across queries, so the backward
+            // cache earns a larger budget.
+            forward_capacity: 1024,
+            backward_capacity: 4096,
+        }
+    }
+}
+
+/// Forward-cache key: feedback epoch plus the normalized keyword sequence
+/// (normalized text and phrase flag are the only keyword features the
+/// pipeline reads, so raw strings that normalize identically share a slot).
+type ForwardKey = (u64, Vec<(String, bool)>);
+
+/// A [`Quest`] engine plus the two stage caches and serving counters.
+///
+/// All methods take `&self`; wrap it in an [`std::sync::Arc`] to share one
+/// instance — and one warm cache — across threads.
+#[derive(Debug)]
+pub struct CachedEngine<W: SourceWrapper> {
+    engine: Quest<W>,
+    // Values are Arc-wrapped so a hit clones a pointer inside the lock and
+    // the (potentially large) payload copy happens outside it.
+    forward: Mutex<LruCache<ForwardKey, Arc<ForwardResult>>>,
+    backward: Mutex<LruCache<Vec<DbTerm>, Arc<Vec<Interpretation>>>>,
+    recorder: LatencyRecorder,
+}
+
+impl<W: SourceWrapper> CachedEngine<W> {
+    /// Front `engine` with default-sized caches.
+    pub fn new(engine: Quest<W>) -> CachedEngine<W> {
+        CachedEngine::with_caches(engine, CacheConfig::default())
+    }
+
+    /// Front `engine` with explicitly sized caches.
+    pub fn with_caches(engine: Quest<W>, caches: CacheConfig) -> CachedEngine<W> {
+        CachedEngine {
+            engine,
+            forward: Mutex::new(LruCache::new(caches.forward_capacity)),
+            backward: Mutex::new(LruCache::new(caches.backward_capacity)),
+            recorder: LatencyRecorder::default(),
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &Quest<W> {
+        &self.engine
+    }
+
+    fn forward_cache(&self) -> MutexGuard<'_, LruCache<ForwardKey, Arc<ForwardResult>>> {
+        self.forward.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn backward_cache(&self) -> MutexGuard<'_, LruCache<Vec<DbTerm>, Arc<Vec<Interpretation>>>> {
+        self.backward.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Run Algorithm 1 on a raw query string, through the caches.
+    pub fn search(&self, raw_query: &str) -> Result<SearchOutcome, QuestError> {
+        let query = KeywordQuery::parse(raw_query)?;
+        self.search_query(&query)
+    }
+
+    /// Run Algorithm 1 on a parsed query, through the caches. Results are
+    /// identical to `self.engine().search_query(query)`.
+    pub fn search_query(&self, query: &KeywordQuery) -> Result<SearchOutcome, QuestError> {
+        let t0 = Instant::now();
+        let result = self.search_inner(query);
+        self.recorder.record(t0.elapsed(), result.is_ok());
+        result
+    }
+
+    fn search_inner(&self, query: &KeywordQuery) -> Result<SearchOutcome, QuestError> {
+        let epoch = self.engine.feedback_epoch();
+        let key: ForwardKey = (
+            epoch,
+            query
+                .keywords
+                .iter()
+                .map(|k| (k.normalized.clone(), k.phrase))
+                .collect(),
+        );
+        // Bind the lookup before matching: a guard born in a match
+        // scrutinee lives to the end of the match and would deadlock the
+        // insert below.
+        let cached_forward = self.forward_cache().get(&key);
+        let forward = match cached_forward {
+            Some(hit) => (*hit).clone(), // payload copy happens off-lock
+            None => {
+                let computed = self.engine.forward_pass(query)?;
+                // Only cache if no feedback landed mid-computation; a result
+                // spanning an epoch boundary may mix old and new model state
+                // and must not be replayed.
+                if self.engine.feedback_epoch() == epoch {
+                    self.forward_cache().insert(key, Arc::new(computed.clone()));
+                }
+                computed
+            }
+        };
+
+        let t0 = Instant::now();
+        let mut interpretations = Vec::with_capacity(forward.configurations.len());
+        for cfg in &forward.configurations {
+            let cached_backward = self.backward_cache().get(&cfg.terms);
+            let interps = match cached_backward {
+                Some(hit) => (*hit).clone(),
+                None => {
+                    let computed = self.engine.backward_pass(cfg)?;
+                    self.backward_cache()
+                        .insert(cfg.terms.clone(), Arc::new(computed.clone()));
+                    computed
+                }
+            };
+            interpretations.push(interps);
+        }
+        let backward_time = t0.elapsed();
+        self.engine
+            .assemble(query, forward, interpretations, backward_time)
+    }
+
+    /// Record user feedback on an explanation (see [`Quest::feedback`]).
+    /// Bumps the feedback epoch, so forward-cache entries built on the old
+    /// model stop matching.
+    pub fn feedback(
+        &self,
+        query: &KeywordQuery,
+        explanation: &Explanation,
+        positive: bool,
+    ) -> Result<(), QuestError> {
+        self.engine.feedback(query, explanation, positive)
+    }
+
+    /// Directly record a validated configuration (see
+    /// [`Quest::feedback_configuration`]).
+    pub fn feedback_configuration(
+        &self,
+        config: &Configuration,
+        positive: bool,
+    ) -> Result<(), QuestError> {
+        self.engine.feedback_configuration(config, positive)
+    }
+
+    /// Drop all cached entries (counters are preserved).
+    pub fn clear_caches(&self) {
+        self.forward_cache().clear();
+        self.backward_cache().clear();
+    }
+
+    /// A point-in-time snapshot of hit/miss/latency counters.
+    pub fn stats(&self) -> ServeStats {
+        let mut stats = ServeStats::default();
+        self.recorder.snapshot_into(&mut stats);
+        {
+            let c = self.forward_cache();
+            stats.forward_cache = CacheStats {
+                hits: c.hits(),
+                misses: c.misses(),
+                entries: c.len(),
+                capacity: c.capacity(),
+            };
+        }
+        {
+            let c = self.backward_cache();
+            stats.backward_cache = CacheStats {
+                hits: c.hits(),
+                misses: c.misses(),
+                entries: c.len(),
+                capacity: c.capacity(),
+            };
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::engine;
+
+    fn same_outcome(a: &SearchOutcome, b: &SearchOutcome) {
+        assert_eq!(a.explanations.len(), b.explanations.len());
+        for (x, y) in a.explanations.iter().zip(&b.explanations) {
+            assert_eq!(x.score, y.score);
+            assert_eq!(x.configuration.terms, y.configuration.terms);
+            assert_eq!(x.statement, y.statement);
+        }
+        assert_eq!(a.effective_o_cf, b.effective_o_cf);
+    }
+
+    #[test]
+    fn cached_search_matches_uncached() {
+        let cached = CachedEngine::new(engine());
+        let plain = cached.engine();
+        for raw in ["wind fleming", "fleming", "wind"] {
+            let a = cached.search(raw).unwrap(); // cold: fills caches
+            let b = cached.search(raw).unwrap(); // warm: from caches
+            let c = plain.search(raw).unwrap(); // uncached reference
+            same_outcome(&a, &c);
+            same_outcome(&b, &c);
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.queries, 6);
+        assert_eq!(stats.forward_cache.hits, 3);
+        assert_eq!(stats.forward_cache.misses, 3);
+        assert!(stats.backward_cache.hits > 0);
+    }
+
+    #[test]
+    fn feedback_epoch_invalidates_forward_entries() {
+        let cached = CachedEngine::new(engine());
+        let before = cached.search("wind fleming").unwrap();
+        let _warm = cached.search("wind fleming").unwrap();
+        assert_eq!(cached.stats().forward_cache.hits, 1);
+
+        // Feedback bumps the epoch: the next search must recompute the
+        // forward stage and reflect the trained model.
+        let best = before.explanations[0].clone();
+        let query = KeywordQuery::parse("wind fleming").unwrap();
+        for _ in 0..5 {
+            cached.feedback(&query, &best, true).unwrap();
+        }
+        let after = cached.search("wind fleming").unwrap();
+        assert_eq!(
+            cached.stats().forward_cache.hits,
+            1,
+            "post-feedback search must miss the forward cache"
+        );
+        assert!(
+            !after.feedback_configs.is_empty(),
+            "trained model must now contribute"
+        );
+        same_outcome(&after, &cached.engine().search("wind fleming").unwrap());
+    }
+
+    #[test]
+    fn disabled_caches_still_correct() {
+        let cached = CachedEngine::with_caches(
+            engine(),
+            CacheConfig {
+                forward_capacity: 0,
+                backward_capacity: 0,
+            },
+        );
+        let a = cached.search("wind fleming").unwrap();
+        let b = cached.search("wind fleming").unwrap();
+        same_outcome(&a, &b);
+        let stats = cached.stats();
+        assert_eq!(stats.forward_cache.hits, 0);
+        assert_eq!(stats.forward_cache.entries, 0);
+    }
+
+    #[test]
+    fn normalization_shares_forward_slots() {
+        let cached = CachedEngine::new(engine());
+        let _ = cached.search("Fleming").unwrap();
+        let _ = cached.search("  fleming  ").unwrap();
+        let stats = cached.stats();
+        assert_eq!(
+            stats.forward_cache.hits, 1,
+            "case/whitespace variants share one cache slot"
+        );
+    }
+
+    #[test]
+    fn clear_caches_forces_recompute() {
+        let cached = CachedEngine::new(engine());
+        let _ = cached.search("wind").unwrap();
+        cached.clear_caches();
+        let _ = cached.search("wind").unwrap();
+        let stats = cached.stats();
+        assert_eq!(stats.forward_cache.hits, 0);
+        assert_eq!(stats.forward_cache.misses, 2);
+    }
+}

@@ -1,0 +1,55 @@
+//! Errors raised by the serving layer.
+
+use std::fmt;
+
+use quest_core::QuestError;
+
+/// What can go wrong between `submit` and a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The engine rejected or failed the search.
+    Engine(QuestError),
+    /// The service shut down (or a worker died) before answering.
+    Disconnected,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Engine(e) => write!(f, "engine: {e}"),
+            ServeError::Disconnected => write!(f, "query service disconnected before answering"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            ServeError::Disconnected => None,
+        }
+    }
+}
+
+impl From<QuestError> for ServeError {
+    fn from(e: QuestError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e: ServeError = QuestError::EmptyQuery.into();
+        assert!(e.to_string().contains("engine"));
+        assert!(e.source().is_some());
+        assert!(ServeError::Disconnected.source().is_none());
+        assert!(ServeError::Disconnected
+            .to_string()
+            .contains("disconnected"));
+    }
+}

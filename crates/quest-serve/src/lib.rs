@@ -1,0 +1,116 @@
+//! # quest-serve — a concurrent, cache-backed query service for QUEST
+//!
+//! The engine in `quest-core` answers one query at a time. This crate puts a
+//! serving layer in front of it for analytical keyword-query streams, where
+//! many queries repeat the same schema terms and join paths:
+//!
+//! * [`CachedEngine`] — wraps a [`Quest`](quest_core::Quest) engine with two
+//!   bounded LRU caches (keyword → top-k configurations for the forward
+//!   stage; configuration → interpretations for the backward/Steiner stage)
+//!   and hit/miss/latency counters. Caching is semantically transparent:
+//!   results are bit-identical to the uncached engine, and user feedback
+//!   invalidates stale forward entries via the engine's feedback epoch.
+//! * [`QueryService`] — a thread pool (std threads + channels, no external
+//!   dependencies) draining submitted queries through one shared
+//!   `CachedEngine`, so every worker benefits from every other worker's
+//!   cache fills. `submit`/[`submit_batch`](QueryService::submit_batch)
+//!   return [`Ticket`]s; [`shutdown`](QueryService::shutdown) drains and
+//!   joins.
+//! * [`ServeStats`] — a point-in-time snapshot of cache and latency
+//!   counters.
+//!
+//! ```
+//! use quest_core::{FullAccessWrapper, Quest, QuestConfig};
+//! use quest_serve::{CachedEngine, QueryService};
+//! use relstore::{Catalog, DataType, Database, Row};
+//!
+//! // A two-row database: people direct movies.
+//! let mut catalog = Catalog::new();
+//! catalog
+//!     .define_table("person")?
+//!     .pk("id", DataType::Int)?
+//!     .col("name", DataType::Text)?
+//!     .finish();
+//! catalog
+//!     .define_table("movie")?
+//!     .pk("id", DataType::Int)?
+//!     .col("title", DataType::Text)?
+//!     .col_opts("director_id", DataType::Int, true, false)?
+//!     .finish();
+//! catalog.add_foreign_key("movie", "director_id", "person")?;
+//! let mut db = Database::new(catalog)?;
+//! db.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()]))?;
+//! db.insert(
+//!     "movie",
+//!     Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into()]),
+//! )?;
+//!
+//! // Serve a query stream from two workers over one shared cache.
+//! let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default())?;
+//! let service = QueryService::new(CachedEngine::new(engine), 2);
+//! let tickets = service.submit_batch(["wind fleming", "wind"]);
+//! for ticket in tickets {
+//!     assert!(!ticket.wait()?.explanations.is_empty());
+//! }
+//! // The stream has been seen once, so a repeat is served from the caches.
+//! let repeat = service.submit("wind fleming").wait()?;
+//! assert!(!repeat.explanations.is_empty());
+//! let stats = service.shutdown();
+//! assert_eq!(stats.queries, 3);
+//! assert!(stats.forward_cache.hits >= 1); // the repeat was a lookup
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod service;
+pub mod stats;
+
+pub use cache::LruCache;
+pub use engine::{CacheConfig, CachedEngine};
+pub use error::ServeError;
+pub use service::{QueryService, Ticket};
+pub use stats::{CacheStats, ServeStats};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared unit-test fixture.
+
+    use quest_core::{FullAccessWrapper, Quest, QuestConfig};
+    use relstore::{Catalog, DataType, Database, Row};
+
+    /// A two-table engine: Victor Fleming directed Gone with the Wind.
+    pub fn engine() -> Quest<FullAccessWrapper> {
+        let mut c = Catalog::new();
+        c.define_table("person")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("name", DataType::Text)
+            .unwrap()
+            .finish();
+        c.define_table("movie")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("title", DataType::Text)
+            .unwrap()
+            .col_opts("director_id", DataType::Int, true, false)
+            .unwrap()
+            .finish();
+        c.add_foreign_key("movie", "director_id", "person").unwrap();
+        let mut d = Database::new(c).unwrap();
+        d.insert("person", Row::new(vec![1.into(), "Victor Fleming".into()]))
+            .unwrap();
+        d.insert(
+            "movie",
+            Row::new(vec![10.into(), "Gone with the Wind".into(), 1.into()]),
+        )
+        .unwrap();
+        d.finalize();
+        Quest::new(FullAccessWrapper::new(d), QuestConfig::default()).unwrap()
+    }
+}

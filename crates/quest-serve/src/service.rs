@@ -1,0 +1,259 @@
+//! [`QueryService`]: a thread pool draining keyword queries through a shared
+//! [`CachedEngine`].
+//!
+//! Built on `std` threads and channels only. Workers pull jobs from one
+//! shared queue (an `mpsc::Receiver` behind a mutex), so a slow query never
+//! blocks the others; every submission returns a [`Ticket`] the caller can
+//! block on. Because all workers share one engine and one pair of caches,
+//! repeated keywords and shared join paths turn into lookups no matter which
+//! worker serves them.
+
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use quest_core::{QuestError, SearchOutcome, SourceWrapper};
+
+use crate::engine::CachedEngine;
+use crate::error::ServeError;
+use crate::stats::ServeStats;
+
+/// One unit of work: a raw query and where to send its outcome.
+struct Job {
+    raw: String,
+    reply: Sender<Result<SearchOutcome, QuestError>>,
+}
+
+/// A claim on one submitted query's result.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Result<SearchOutcome, QuestError>>,
+}
+
+impl Ticket {
+    /// Block until the query's outcome arrives.
+    pub fn wait(self) -> Result<SearchOutcome, ServeError> {
+        match self.rx.recv() {
+            Ok(Ok(outcome)) => Ok(outcome),
+            Ok(Err(e)) => Err(ServeError::Engine(e)),
+            Err(_) => Err(ServeError::Disconnected),
+        }
+    }
+
+    /// A ticket that reports [`ServeError::Disconnected`] immediately (used
+    /// for submissions after shutdown).
+    fn dead() -> Ticket {
+        let (_, rx) = mpsc::channel();
+        Ticket { rx }
+    }
+}
+
+/// A concurrent query service over one shared, cache-backed engine.
+///
+/// Dropping the service shuts it down: the queue closes, queued jobs finish,
+/// and the workers are joined.
+#[derive(Debug)]
+pub struct QueryService<W: SourceWrapper + Send + Sync + 'static> {
+    shared: Arc<CachedEngine<W>>,
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<W: SourceWrapper + Send + Sync + 'static> QueryService<W> {
+    /// Spawn `workers` threads (at least one) over a freshly wrapped engine.
+    pub fn new(engine: CachedEngine<W>, workers: usize) -> QueryService<W> {
+        QueryService::over(Arc::new(engine), workers)
+    }
+
+    /// Spawn `workers` threads (at least one) over an already shared engine
+    /// — e.g. one whose caches another service or a direct caller is also
+    /// using.
+    pub fn over(shared: Arc<CachedEngine<W>>, workers: usize) -> QueryService<W> {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (1..=workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let engine = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("quest-serve-{i}"))
+                    .spawn(move || loop {
+                        // Hold the queue lock only for the pop, never for
+                        // the search.
+                        let job = {
+                            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => {
+                                // The submitter may have dropped its ticket;
+                                // a failed reply send is not an error.
+                                let _ = job.reply.send(engine.search(&job.raw));
+                            }
+                            // Queue closed: service is shutting down.
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawning a worker thread succeeds")
+            })
+            .collect();
+        QueryService {
+            shared,
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Enqueue one raw keyword query; the returned [`Ticket`] resolves to
+    /// the same outcome an uncached `Quest::search` would produce.
+    pub fn submit(&self, raw_query: &str) -> Ticket {
+        let Some(tx) = &self.tx else {
+            return Ticket::dead();
+        };
+        let (reply, rx) = mpsc::channel();
+        let job = Job {
+            raw: raw_query.to_string(),
+            reply,
+        };
+        match tx.send(job) {
+            Ok(()) => Ticket { rx },
+            Err(_) => Ticket::dead(),
+        }
+    }
+
+    /// Enqueue a batch; tickets come back in submission order while the
+    /// queries themselves run on whichever workers are free.
+    pub fn submit_batch<I, S>(&self, queries: I) -> Vec<Ticket>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        queries
+            .into_iter()
+            .map(|q| self.submit(q.as_ref()))
+            .collect()
+    }
+
+    /// The shared engine (for direct searches, feedback, or cache control).
+    pub fn engine(&self) -> &Arc<CachedEngine<W>> {
+        &self.shared
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// A snapshot of the shared engine's serving counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+
+    /// Close the queue, finish queued jobs, join all workers, and return the
+    /// final counters.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.join_workers();
+        self.shared.stats()
+    }
+
+    fn join_workers(&mut self) {
+        // Dropping the sender closes the queue; workers drain it and exit.
+        self.tx = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<W: SourceWrapper + Send + Sync + 'static> Drop for QueryService<W> {
+    fn drop(&mut self) {
+        self.join_workers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::engine;
+    use quest_core::KeywordQuery;
+
+    #[test]
+    fn submit_resolves_like_direct_search() {
+        let service = QueryService::new(CachedEngine::new(engine()), 2);
+        let direct = service.engine().engine().search("wind fleming").unwrap();
+        let served = service.submit("wind fleming").wait().unwrap();
+        assert_eq!(direct.explanations.len(), served.explanations.len());
+        for (a, b) in direct.explanations.iter().zip(&served.explanations) {
+            assert_eq!(a.score, b.score);
+            assert_eq!(a.statement, b.statement);
+        }
+    }
+
+    #[test]
+    fn batch_preserves_submission_order() {
+        let service = QueryService::new(CachedEngine::new(engine()), 3);
+        let queries = ["wind", "fleming", "wind fleming", "wind", "fleming"];
+        let tickets = service.submit_batch(queries);
+        for (raw, ticket) in queries.iter().zip(tickets) {
+            let out = ticket.wait().unwrap();
+            assert_eq!(&out.query.raw, raw, "ticket order matches submission");
+            assert!(!out.explanations.is_empty());
+        }
+        // Every cache insert from the first batch is complete once all its
+        // tickets resolved, so a second identical batch hits on every query
+        // (within one batch, concurrent duplicates may race the insert).
+        for t in service.submit_batch(queries) {
+            t.wait().unwrap();
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.queries, 10);
+        assert!(
+            stats.forward_cache.hits >= 5,
+            "second pass is all lookups: {stats}"
+        );
+    }
+
+    #[test]
+    fn engine_errors_travel_to_the_ticket() {
+        let service = QueryService::new(CachedEngine::new(engine()), 1);
+        let err = service.submit("   ").wait().unwrap_err();
+        assert!(matches!(err, ServeError::Engine(QuestError::EmptyQuery)));
+    }
+
+    #[test]
+    fn shutdown_finishes_queued_work_and_kills_later_submissions() {
+        let shared = Arc::new(CachedEngine::new(engine()));
+        let service = QueryService::over(Arc::clone(&shared), 2);
+        let tickets = service.submit_batch(["wind", "fleming", "wind"]);
+        let stats = service.shutdown();
+        assert_eq!(stats.queries, 3, "queued jobs drained before join");
+        for t in tickets {
+            assert!(t.wait().is_ok(), "tickets stay valid across shutdown");
+        }
+        // A fresh service over the same engine reuses the warm caches.
+        let service = QueryService::over(shared, 1);
+        let _ = service.submit("wind").wait().unwrap();
+        assert!(service.stats().forward_cache.hits > 0);
+    }
+
+    #[test]
+    fn feedback_through_shared_engine_affects_served_results() {
+        let service = QueryService::new(CachedEngine::new(engine()), 2);
+        let before = service.submit("wind fleming").wait().unwrap();
+        assert!(before.feedback_configs.is_empty());
+        let query = KeywordQuery::parse("wind fleming").unwrap();
+        let best = before.explanations[0].clone();
+        for _ in 0..5 {
+            service.engine().feedback(&query, &best, true).unwrap();
+        }
+        let after = service.submit("wind fleming").wait().unwrap();
+        assert!(!after.feedback_configs.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let service = QueryService::new(CachedEngine::new(engine()), 0);
+        assert_eq!(service.worker_count(), 1);
+        assert!(service.submit("wind").wait().is_ok());
+    }
+}

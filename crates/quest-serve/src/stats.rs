@@ -1,0 +1,174 @@
+//! Serving counters and the [`ServeStats`] snapshot.
+//!
+//! Latency and query counts are kept in atomics so recording them never
+//! contends with the cache locks; cache hit/miss counts live inside each
+//! [`crate::LruCache`] and are read out at snapshot time.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counters of one cache at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries currently held.
+    pub entries: usize,
+    /// Maximum entries.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when never consulted).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A point-in-time snapshot of the serving layer's counters.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Searches completed (successfully or not).
+    pub queries: u64,
+    /// Searches that returned an error.
+    pub errors: u64,
+    /// Keyword → top-k-configurations cache (forward stage).
+    pub forward_cache: CacheStats,
+    /// Configuration → interpretations cache (backward stage).
+    pub backward_cache: CacheStats,
+    /// Total wall time spent inside searches, summed across threads.
+    pub total_latency: Duration,
+    /// Slowest single search.
+    pub max_latency: Duration,
+}
+
+impl ServeStats {
+    /// Mean wall time per search ([`Duration::ZERO`] before any search).
+    pub fn mean_latency(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            // Divide in u128: `Duration / u32` would truncate the query
+            // count and wrap to a division by zero at 2^32 queries.
+            Duration::from_nanos((self.total_latency.as_nanos() / self.queries as u128) as u64)
+        }
+    }
+}
+
+impl fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "queries: {} ({} errors), mean {:?}, max {:?}",
+            self.queries,
+            self.errors,
+            self.mean_latency(),
+            self.max_latency
+        )?;
+        writeln!(
+            f,
+            "forward cache:  {}/{} hits ({:.1}%), {} of {} entries",
+            self.forward_cache.hits,
+            self.forward_cache.hits + self.forward_cache.misses,
+            100.0 * self.forward_cache.hit_rate(),
+            self.forward_cache.entries,
+            self.forward_cache.capacity
+        )?;
+        write!(
+            f,
+            "backward cache: {}/{} hits ({:.1}%), {} of {} entries",
+            self.backward_cache.hits,
+            self.backward_cache.hits + self.backward_cache.misses,
+            100.0 * self.backward_cache.hit_rate(),
+            self.backward_cache.entries,
+            self.backward_cache.capacity
+        )
+    }
+}
+
+/// Lock-free recorder for query counts and latencies.
+#[derive(Debug, Default)]
+pub(crate) struct LatencyRecorder {
+    queries: AtomicU64,
+    errors: AtomicU64,
+    total_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl LatencyRecorder {
+    /// Record one completed search.
+    pub fn record(&self, elapsed: Duration, ok: bool) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Fill the query-level fields of a snapshot.
+    pub fn snapshot_into(&self, stats: &mut ServeStats) {
+        stats.queries = self.queries.load(Ordering::Relaxed);
+        stats.errors = self.errors.load(Ordering::Relaxed);
+        stats.total_latency = Duration::from_nanos(self.total_nanos.load(Ordering::Relaxed));
+        stats.max_latency = Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_and_mixed() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn recorder_accumulates() {
+        let r = LatencyRecorder::default();
+        r.record(Duration::from_millis(2), true);
+        r.record(Duration::from_millis(6), false);
+        let mut s = ServeStats::default();
+        r.snapshot_into(&mut s);
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.total_latency, Duration::from_millis(8));
+        assert_eq!(s.max_latency, Duration::from_millis(6));
+        assert_eq!(s.mean_latency(), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let s = ServeStats {
+            queries: 5,
+            forward_cache: CacheStats {
+                hits: 4,
+                misses: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("queries: 5"));
+        assert!(text.contains("forward cache"));
+        assert!(text.contains("80.0%"));
+        assert!(text.contains("backward cache"));
+    }
+}

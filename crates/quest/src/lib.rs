@@ -23,6 +23,7 @@ pub use quest_data as data;
 pub use quest_dst as dst;
 pub use quest_graph as graph;
 pub use quest_hmm as hmm;
+pub use quest_serve as serve;
 pub use relstore as store;
 
 /// The most common imports.
@@ -31,5 +32,6 @@ pub mod prelude {
         AnnotationSet, Configuration, DbTerm, DeepWebWrapper, Explanation, FullAccessWrapper,
         KeywordQuery, MiniOntology, Quest, QuestConfig, QuestError, SearchOutcome, SourceWrapper,
     };
+    pub use quest_serve::{CacheConfig, CachedEngine, QueryService, ServeError, ServeStats};
     pub use relstore::{Catalog, DataType, Database, Row, Value};
 }

@@ -143,8 +143,14 @@ fn normalized_join_entropy(
         return 0.0;
     }
     let n = pairs as f64;
+    // Canonical (sorted) summation order: entropy depends only on the
+    // multiset of counts, and hash-order summation would make the NMI — and
+    // everything downstream of the edge weights — vary between builds by
+    // floating-point ulps.
+    let mut counts: Vec<u64> = ref_counts.values().copied().collect();
+    counts.sort_unstable();
     let mut h = 0.0;
-    for &c in ref_counts.values() {
+    for &c in &counts {
         let p = c as f64 / n;
         h -= p * p.ln();
     }

@@ -34,7 +34,7 @@ fn measure(engine: &Quest<FullAccessWrapper>) -> quest_core::eval::WorkloadMetri
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = dblp::generate(&DblpScale::with_publications(2_000))?;
     println!("DBLP-shaped database: {} rows", db.total_rows());
-    let mut engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default())?;
+    let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default())?;
     let workload = dblp::workload();
     let mut oracle = FeedbackOracle::new(0.1, 7); // a slightly unreliable user
 

@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("Type keywords, \\sql <statement>, \\ok <rank>, \\no <rank>, or \\quit.\n");
 
-    let mut engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default())?;
+    let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default())?;
     let stdin = std::io::stdin();
     let mut last: Option<SearchOutcome> = None;
 

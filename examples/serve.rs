@@ -1,0 +1,78 @@
+//! Serving demo: one shared, cache-backed engine answering a concurrent
+//! keyword-query stream, with live cache statistics.
+//!
+//! Run with: `cargo run --release -p quest --example serve [workers]`
+
+use std::time::Instant;
+
+use quest::prelude::*;
+use quest::serve::CachedEngine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workers: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+
+    // An IMDB-shaped database and its curated workload, as a query stream
+    // with popular repeats (every query asked five times, shuffled).
+    let db = quest::data::imdb::generate(&quest::data::imdb::ImdbScale {
+        movies: 2_000,
+        seed: 42,
+    })?;
+    let workload = quest::data::imdb::workload();
+    let stream = quest_bench::shuffled_stream(&workload, 5, 42);
+
+    // Serial reference: the plain engine, one query at a time.
+    let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default())?;
+    let t0 = Instant::now();
+    for raw in &stream {
+        let _ = engine.search(raw);
+    }
+    let serial = t0.elapsed();
+    println!(
+        "serial engine:   {} queries in {:.2?} ({:.0} q/s)",
+        stream.len(),
+        serial,
+        stream.len() as f64 / serial.as_secs_f64()
+    );
+
+    // The service: same engine behind the thread pool and stage caches.
+    let service = QueryService::new(CachedEngine::new(engine), workers);
+    let t0 = Instant::now();
+    let tickets = service.submit_batch(&stream);
+    let mut answered = 0usize;
+    for ticket in tickets {
+        if ticket.wait().is_ok() {
+            answered += 1;
+        }
+    }
+    let served = t0.elapsed();
+    println!(
+        "{workers}-worker serve: {answered} answered in {:.2?} ({:.0} q/s, {:.2}x)",
+        served,
+        answered as f64 / served.as_secs_f64(),
+        serial.as_secs_f64() / served.as_secs_f64()
+    );
+
+    // Feedback still works on the shared engine: validate the top answer of
+    // the first workload query, then watch the epoch invalidate the caches.
+    let query = KeywordQuery::parse(&workload[0].raw)?;
+    let before = service.engine().search_query(&query)?;
+    let epoch_before = service.engine().engine().feedback_epoch();
+    if let Some(best) = before.explanations.first() {
+        for _ in 0..3 {
+            service.engine().feedback(&query, best, true)?;
+        }
+    }
+    let after = service.engine().search_query(&query)?;
+    println!(
+        "\nfeedback: epoch {} -> {}, feedback configs now {}",
+        epoch_before,
+        service.engine().engine().feedback_epoch(),
+        after.feedback_configs.len()
+    );
+
+    println!("\n{}", service.shutdown());
+    Ok(())
+}

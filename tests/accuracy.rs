@@ -81,7 +81,7 @@ fn feedback_improves_or_preserves_accuracy() {
         seed: 42,
     })
     .expect("generate");
-    let mut engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
+    let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
     let wl = imdb::workload();
     let cold = aggregate(&relevance_masks(&engine, &wl));
 

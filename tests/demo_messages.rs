@@ -57,7 +57,7 @@ fn message2_modules_differ() {
         seed: 42,
     })
     .expect("generate");
-    let mut engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
+    let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
     // A year present both as a movie year and as a birth year is genuinely
     // ambiguous. Find one in the instance, so the test is seed-robust.
     let catalog = engine.wrapper().catalog();

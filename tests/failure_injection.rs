@@ -143,7 +143,7 @@ fn malformed_catalogs_rejected_at_setup() {
 
 #[test]
 fn feedback_with_foreign_terms_rejected() {
-    let mut e = engine();
+    let e = engine();
     // A configuration whose term refers to an attribute id far outside the
     // catalog is rejected, not silently accepted.
     let bogus = Configuration::new(vec![DbTerm::Domain(quest::store::AttrId(9999))], 1.0);

@@ -1,0 +1,166 @@
+//! Determinism under concurrency: the serving layer must be semantically
+//! invisible. N workers over a shuffled workload — cold caches or warm —
+//! produce explanation sets and scores bit-identical to serial execution on
+//! the plain engine.
+
+use std::collections::HashMap;
+
+use quest::prelude::*;
+use quest::serve::CachedEngine;
+
+fn imdb_engine() -> Quest<FullAccessWrapper> {
+    let db = quest::data::imdb::generate(&quest::data::imdb::ImdbScale {
+        movies: 300,
+        seed: 42,
+    })
+    .expect("imdb generates");
+    Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("engine builds")
+}
+
+/// The workload's raw queries repeated `reps` times, deterministically
+/// shuffled so repeats interleave across workers.
+fn shuffled_stream(reps: usize) -> Vec<String> {
+    quest_bench::shuffled_stream(&quest::data::imdb::workload(), reps, 0xDEAD_BEEF_CAFE_F00D)
+}
+
+/// Everything that identifies an outcome, bit-exact: per-explanation SQL
+/// statement text, exact score bits, configuration terms, and the combined
+/// configuration list.
+type Fingerprint = Vec<(String, u64, String)>;
+
+fn fingerprint(engine: &Quest<FullAccessWrapper>, out: &SearchOutcome) -> Fingerprint {
+    let catalog = engine.wrapper().catalog();
+    out.explanations
+        .iter()
+        .map(|e| {
+            (
+                e.sql(catalog),
+                e.score.to_bits(),
+                format!("{:?}", e.configuration.terms),
+            )
+        })
+        .collect()
+}
+
+/// Serial reference: every distinct query through the *plain* engine.
+fn serial_reference(
+    engine: &Quest<FullAccessWrapper>,
+    stream: &[String],
+) -> HashMap<String, Fingerprint> {
+    let mut expected = HashMap::new();
+    for raw in stream {
+        if !expected.contains_key(raw) {
+            let out = engine.search(raw).expect("serial search succeeds");
+            expected.insert(raw.clone(), fingerprint(engine, &out));
+        }
+    }
+    expected
+}
+
+#[test]
+fn concurrent_results_identical_to_serial_cold_and_warm() {
+    let engine = imdb_engine();
+    let stream = shuffled_stream(4);
+    let expected = serial_reference(&engine, &stream);
+
+    let service = QueryService::new(CachedEngine::new(engine), 4);
+    for phase in ["cold", "warm"] {
+        let tickets = service.submit_batch(&stream);
+        for (raw, ticket) in stream.iter().zip(tickets) {
+            let out = ticket.wait().expect("served search succeeds");
+            assert_eq!(&out.query.raw, raw, "ticket order matches submissions");
+            let got = fingerprint(service.engine().engine(), &out);
+            assert_eq!(
+                &got, &expected[raw],
+                "{phase}-cache result diverged from serial for {raw:?}"
+            );
+        }
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.queries as usize, 2 * stream.len());
+    assert_eq!(stats.errors, 0);
+    assert!(
+        stats.forward_cache.hits > 0 && stats.backward_cache.hits > 0,
+        "the stream must actually exercise the caches: {stats}"
+    );
+}
+
+#[test]
+fn warm_cache_serves_entirely_from_lookups() {
+    let engine = imdb_engine();
+    let distinct: Vec<String> = quest::data::imdb::workload()
+        .iter()
+        .map(|wq| wq.raw.clone())
+        .collect();
+    let cached = CachedEngine::new(engine);
+    for raw in &distinct {
+        let _ = cached.search(raw).expect("cold fill");
+    }
+    let misses_after_fill = cached.stats().forward_cache.misses;
+    for raw in &distinct {
+        let _ = cached.search(raw).expect("warm serve");
+    }
+    let stats = cached.stats();
+    assert_eq!(
+        stats.forward_cache.misses, misses_after_fill,
+        "no forward recomputation on the warm pass"
+    );
+    assert!(stats.forward_cache.hits >= distinct.len() as u64);
+}
+
+#[test]
+fn feedback_mid_stream_keeps_serving_consistent() {
+    // After feedback lands, served results must again equal a serial engine
+    // with identical feedback — the caches must not leak the old model.
+    let engine = imdb_engine();
+    let reference = engine.clone();
+    let service = QueryService::new(CachedEngine::new(engine), 4);
+    let stream = shuffled_stream(2);
+
+    // Warm everything, then train both engines identically.
+    for t in service.submit_batch(&stream) {
+        let _ = t.wait();
+    }
+    let query = KeywordQuery::parse(&stream[0]).expect("parse");
+    let best = service
+        .engine()
+        .search_query(&query)
+        .expect("search")
+        .explanations[0]
+        .clone();
+    for _ in 0..5 {
+        service
+            .engine()
+            .feedback(&query, &best, true)
+            .expect("feedback");
+        reference.feedback(&query, &best, true).expect("feedback");
+    }
+
+    let expected = serial_reference(&reference, &stream);
+    for (raw, ticket) in stream.iter().zip(service.submit_batch(&stream)) {
+        let out = ticket.wait().expect("served search succeeds");
+        let got = fingerprint(service.engine().engine(), &out);
+        assert_eq!(
+            &got, &expected[raw],
+            "post-feedback result diverged from serial for {raw:?}"
+        );
+    }
+}
+
+#[test]
+fn worker_counts_do_not_change_results() {
+    let stream = shuffled_stream(2);
+    let mut baseline: Option<HashMap<String, Fingerprint>> = None;
+    for workers in [1usize, 2, 4, 8] {
+        let service = QueryService::new(CachedEngine::new(imdb_engine()), workers);
+        let mut results: HashMap<String, Fingerprint> = HashMap::new();
+        for (raw, ticket) in stream.iter().zip(service.submit_batch(&stream)) {
+            let out = ticket.wait().expect("search succeeds");
+            results.insert(raw.clone(), fingerprint(service.engine().engine(), &out));
+        }
+        match &baseline {
+            None => baseline = Some(results),
+            Some(b) => assert_eq!(b, &results, "{workers} workers diverged"),
+        }
+    }
+}

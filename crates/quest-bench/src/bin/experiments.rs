@@ -52,6 +52,146 @@ fn main() {
     if run("e10") || run("serve-throughput") {
         e10_serve_throughput();
     }
+    if run("e11") || run("live-update") {
+        e11_live_update();
+    }
+}
+
+// ---------------------------------------------------------------- E11
+
+/// E11 — live update: sustained query throughput while mutation batches
+/// interleave with the stream, against the static-data baseline. Each live
+/// round applies one batch (insert person + movie, retitle an existing
+/// movie, drop the previous round's movie) through the service's shared
+/// engine before the next chunk of queries; the data epoch retires stale
+/// cache entries, so the measured cost is honest (recompute + epoch purge +
+/// engine re-sync), not stale-cache hits.
+fn e11_live_update() {
+    use quest_serve::{CachedEngine, QueryService};
+    use quest_wal::ChangeRecord;
+
+    println!("\n## E11 — query throughput under interleaved mutation batches (IMDB-shaped)\n");
+    const REPS: usize = 20;
+    const WORKERS: usize = 4;
+    const CHUNK: usize = 50;
+    let mut t = Table::new(&[
+        "mode",
+        "queries",
+        "mutation batches",
+        "wall",
+        "qps",
+        "slowdown",
+        "fwd hit",
+    ]);
+
+    let ds = Dataset::Imdb;
+    let engine = engine_for(ds);
+    let stream = quest_bench::shuffled_stream(&ds.workload(), REPS, 0x5EED_F00D_0000_0011);
+    // Existing movie PKs to retitle, read off the instance once.
+    let movie_pks: Vec<relstore::Value> = {
+        let db = engine.wrapper().database();
+        let movie = db.catalog().table_id("movie").expect("movie");
+        db.table_data(movie)
+            .iter()
+            .take(64)
+            .map(|(_, row)| row.get(0).clone())
+            .collect()
+    };
+    let batch_for = |round: usize| -> Vec<ChangeRecord> {
+        let person_id = 800_000 + 2 * round as i64;
+        let movie_id = person_id + 1;
+        let mut batch = vec![
+            ChangeRecord::Insert {
+                table: "person".into(),
+                row: vec![
+                    person_id.into(),
+                    format!("Fresh Director {round}").into(),
+                    1970.into(),
+                ],
+            },
+            ChangeRecord::Insert {
+                table: "movie".into(),
+                row: vec![
+                    movie_id.into(),
+                    format!("Hot Release {round}").into(),
+                    2024.into(),
+                    7.5.into(),
+                    person_id.into(),
+                ],
+            },
+            ChangeRecord::Update {
+                table: "movie".into(),
+                key: vec![movie_pks[round % movie_pks.len()].clone()],
+                row: Vec::new(), // filled below: needs the live row
+            },
+        ];
+        if round > 0 {
+            batch.push(ChangeRecord::Delete {
+                table: "movie".into(),
+                key: vec![(movie_id - 2).into()],
+            });
+        }
+        batch
+    };
+
+    let mut static_wall = None;
+    for live in [false, true] {
+        let service = QueryService::new(CachedEngine::new(engine.clone()), WORKERS);
+        // Warm pass so both modes start from the steady state.
+        for ticket in service.submit_batch(&stream) {
+            let _ = ticket.wait();
+        }
+        let warm_stats = service.stats();
+        let mut batches = 0usize;
+        let (_, wall) = time(|| {
+            for (round, chunk) in stream.chunks(CHUNK).enumerate() {
+                if live {
+                    let mut batch = batch_for(round);
+                    // Resolve the retitle against the current live row.
+                    if let ChangeRecord::Update { key, row, .. } = &mut batch[2] {
+                        let engine_guard = service.engine().engine();
+                        let db = engine_guard.wrapper().database();
+                        let movie = db.catalog().table_id("movie").expect("movie");
+                        let rid = db.table_data(movie).lookup_pk(key).expect("pk exists");
+                        *row = db.table_data(movie).row(rid).values().to_vec();
+                        row[1] = format!("Retitled Classic {round}").into();
+                    }
+                    service.engine().apply(&batch).expect("batch applies");
+                    batches += 1;
+                }
+                for ticket in service.submit_batch(chunk) {
+                    let _ = ticket.wait();
+                }
+            }
+        });
+        let stats = service.stats();
+        let hits = stats.forward_cache.hits - warm_stats.forward_cache.hits;
+        let misses = stats.forward_cache.misses - warm_stats.forward_cache.misses;
+        let fwd = if hits + misses == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * hits as f64 / (hits + misses) as f64)
+        };
+        let slowdown = match static_wall {
+            None => {
+                static_wall = Some(wall);
+                "1.00x".to_string()
+            }
+            Some(s) => format!("{:.2}x", wall.as_secs_f64() / s.as_secs_f64().max(1e-9)),
+        };
+        t.row(vec![
+            if live { "live (mutating)" } else { "static" }.into(),
+            stream.len().to_string(),
+            batches.to_string(),
+            fmt_dur(wall),
+            format!("{:.0}", stream.len() as f64 / wall.as_secs_f64().max(1e-9)),
+            slowdown,
+            fwd,
+        ]);
+        service.shutdown();
+    }
+    print!("{}", t.render());
+    println!("\nlive mode pays for epoch purges, cache refills, and engine re-syncs; correctness is pinned by tests/serve.rs (bit-identical to a cold engine on the mutated data).");
 }
 
 // ---------------------------------------------------------------- E10

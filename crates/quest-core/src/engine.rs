@@ -457,6 +457,45 @@ impl<W: SourceWrapper> Quest<W> {
     pub fn feedback_epoch(&self) -> u64 {
         self.forward.feedback_epoch()
     }
+
+    /// Re-run the parts of the setup phase that depend on the *instance*
+    /// after the underlying source mutated.
+    ///
+    /// Emission probabilities always flow live from the wrapper's search
+    /// function, so the forward module needs no work for data changes — but
+    /// the backward module's schema graph bakes in the per-FK mutual
+    /// information at build time, so it is rebuilt here (cheap: its size is
+    /// schema-, not instance-bound). If the catalog itself changed (DDL,
+    /// out of scope for the mutation API but possible through
+    /// [`Quest::mutate_source`]), the vocabulary and a-priori HMM are
+    /// rebuilt too, discarding accumulated feedback — terms learned against
+    /// the old vocabulary no longer apply.
+    pub fn resync(&mut self) -> Result<(), QuestError> {
+        if !self.forward.check_catalog(self.wrapper.catalog()) {
+            self.forward = ForwardModule::new(&self.wrapper, &self.config.rules)?;
+        }
+        self.backward = BackwardModule::new(&self.wrapper, &self.config.weights);
+        Ok(())
+    }
+
+    /// Mutate the wrapped source through `f`, then [`Quest::resync`] so
+    /// searches immediately see the new data with consistent join weights.
+    /// This is the engine-level hook for one-shot mutations.
+    pub fn mutate_source<R>(&mut self, f: impl FnOnce(&mut W) -> R) -> Result<R, QuestError> {
+        let result = f(&mut self.wrapper);
+        self.resync()?;
+        Ok(result)
+    }
+
+    /// Raw mutable access to the wrapped source, for callers that want to
+    /// decide *whether* to pay for a [`Quest::resync`] afterwards (e.g. a
+    /// batch applier that skips the re-sync when every record was
+    /// rejected). After any actual mutation, searches are inconsistent
+    /// until `resync` runs — prefer [`Quest::mutate_source`] unless you
+    /// are managing that explicitly.
+    pub fn source_mut(&mut self) -> &mut W {
+        &mut self.wrapper
+    }
 }
 
 #[cfg(test)]
@@ -719,6 +758,61 @@ mod tests {
         }
         assert_eq!(q.forward().feedback_count(), 10);
         assert_eq!(q.feedback_epoch(), 10);
+    }
+
+    #[test]
+    fn mutate_source_keeps_searches_fresh() {
+        let mut q = engine();
+        let title = q.wrapper().catalog().attr_id("movie", "title").unwrap();
+        assert_eq!(
+            q.wrapper().database().search_score(title, "oz"),
+            0.0,
+            "no match before the mutation"
+        );
+        q.mutate_source(|w| {
+            w.database_mut()
+                .insert(
+                    "movie",
+                    Row::new(vec![
+                        12.into(),
+                        "The Wizard of Oz".into(),
+                        1.into(),
+                        1939.into(),
+                    ]),
+                )
+                .unwrap();
+        })
+        .unwrap();
+        let out = q.search("oz fleming").unwrap();
+        let best = &out.explanations[0];
+        assert_eq!(q.execute(best).unwrap().len(), 1);
+        // Searches and mutations compose: a mutated engine equals a fresh
+        // engine built over the same data, bit for bit.
+        let fresh = Quest::new(
+            FullAccessWrapper::new(q.wrapper().database().clone()),
+            QuestConfig::default(),
+        )
+        .unwrap();
+        let a = q.search("oz fleming").unwrap();
+        let b = fresh.search("oz fleming").unwrap();
+        assert_eq!(a.explanations.len(), b.explanations.len());
+        for (x, y) in a.explanations.iter().zip(&b.explanations) {
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+            assert_eq!(x.statement, y.statement);
+        }
+        // Feedback state survives a data-only resync.
+        let best = a.explanations[0].clone();
+        let query = KeywordQuery::parse("oz fleming").unwrap();
+        q.feedback(&query, &best, true).unwrap();
+        let epoch = q.feedback_epoch();
+        q.mutate_source(|w| {
+            w.database_mut()
+                .delete("movie", &[relstore::Value::Int(11)])
+                .unwrap();
+        })
+        .unwrap();
+        assert_eq!(q.feedback_epoch(), epoch, "data resync keeps feedback");
+        assert_eq!(q.forward().feedback_count(), 1);
     }
 
     #[test]

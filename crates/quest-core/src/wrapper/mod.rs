@@ -94,6 +94,18 @@ impl FullAccessWrapper {
     pub fn database(&self) -> &Database {
         &self.db
     }
+
+    /// Mutable access to the wrapped database, for live-data mutation.
+    ///
+    /// The database maintains its own indexes and statistics incrementally,
+    /// but an engine built *over* this wrapper caches instance-derived
+    /// state (MI-weighted schema-graph edges); after mutating, call
+    /// [`Quest::resync`](crate::Quest::resync) — or mutate through
+    /// [`Quest::mutate_source`](crate::Quest::mutate_source), which does it
+    /// for you.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
 }
 
 impl SourceWrapper for FullAccessWrapper {

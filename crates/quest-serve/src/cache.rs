@@ -4,7 +4,10 @@
 //! forward-stage results, one for backward-stage (Steiner) results. The
 //! implementation is a slab of doubly-linked entries plus a `HashMap` from
 //! key to slab slot, so `get` and `insert` are O(1) apart from hashing; no
-//! allocation happens on a hit.
+//! allocation happens on a hit. Freed slots drop their payloads eagerly
+//! (the slab stores `Option<Slot>`), so an epoch purge via
+//! [`LruCache::retain`] actually releases the dead entries' memory instead
+//! of parking it until the slot is reused.
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -29,7 +32,8 @@ struct Slot<K, V> {
 pub struct LruCache<K, V> {
     capacity: usize,
     map: HashMap<K, usize>,
-    slots: Vec<Slot<K, V>>,
+    /// Slot slab; `None` marks a freed slot (its index is on `free`).
+    slots: Vec<Option<Slot<K, V>>>,
     /// Most recently used slot.
     head: usize,
     /// Least recently used slot.
@@ -87,7 +91,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
                 self.hits += 1;
                 self.detach(i);
                 self.push_front(i);
-                Some(self.slots[i].value.clone())
+                Some(self.slot(i).value.clone())
             }
             None => {
                 self.misses += 1;
@@ -103,7 +107,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             return;
         }
         if let Some(&i) = self.map.get(&key) {
-            self.slots[i].value = value;
+            self.slot_mut(i).value = value;
             self.detach(i);
             self.push_front(i);
             return;
@@ -111,7 +115,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         if self.map.len() == self.capacity {
             let lru = self.tail;
             self.detach(lru);
-            let old = &self.slots[lru];
+            let old = self.slots[lru].take().expect("lru slot is live");
             self.map.remove(&old.key);
             self.free.push(lru);
         }
@@ -123,16 +127,37 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         };
         let i = match self.free.pop() {
             Some(i) => {
-                self.slots[i] = slot;
+                self.slots[i] = Some(slot);
                 i
             }
             None => {
-                self.slots.push(slot);
+                self.slots.push(Some(slot));
                 self.slots.len() - 1
             }
         };
         self.map.insert(key, i);
         self.push_front(i);
+    }
+
+    /// Drop every entry whose key fails `pred`, freeing their slots for
+    /// reuse. Recency of survivors is unchanged; counters are preserved.
+    /// The serving layer uses this to purge entries keyed by dead epochs
+    /// instead of letting them squat until capacity-evicted.
+    pub fn retain(&mut self, mut pred: impl FnMut(&K) -> bool) {
+        let dead: Vec<usize> = self
+            .map
+            .iter()
+            .filter(|(k, _)| !pred(k))
+            .map(|(_, &i)| i)
+            .collect();
+        for i in dead {
+            self.detach(i);
+            // Take the slot out so key and value drop *now*, not whenever
+            // the freed slot happens to be reused.
+            let slot = self.slots[i].take().expect("dead slot is live");
+            self.map.remove(&slot.key);
+            self.free.push(i);
+        }
     }
 
     /// Drop every entry; hit/miss counters are preserved.
@@ -144,29 +169,38 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         self.tail = NIL;
     }
 
+    /// Live slot at `i`; panics on a freed slot (internal invariant).
+    fn slot(&self, i: usize) -> &Slot<K, V> {
+        self.slots[i].as_ref().expect("slot is live")
+    }
+
+    fn slot_mut(&mut self, i: usize) -> &mut Slot<K, V> {
+        self.slots[i].as_mut().expect("slot is live")
+    }
+
     /// Unlink slot `i` from the recency list.
     fn detach(&mut self, i: usize) {
-        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        let (prev, next) = (self.slot(i).prev, self.slot(i).next);
         if prev != NIL {
-            self.slots[prev].next = next;
+            self.slot_mut(prev).next = next;
         } else {
             self.head = next;
         }
         if next != NIL {
-            self.slots[next].prev = prev;
+            self.slot_mut(next).prev = prev;
         } else {
             self.tail = prev;
         }
-        self.slots[i].prev = NIL;
-        self.slots[i].next = NIL;
+        self.slot_mut(i).prev = NIL;
+        self.slot_mut(i).next = NIL;
     }
 
     /// Link slot `i` as the most recently used.
     fn push_front(&mut self, i: usize) {
-        self.slots[i].next = self.head;
-        self.slots[i].prev = NIL;
+        self.slot_mut(i).next = self.head;
+        self.slot_mut(i).prev = NIL;
         if self.head != NIL {
-            self.slots[self.head].prev = i;
+            self.slot_mut(self.head).prev = i;
         }
         self.head = i;
         if self.tail == NIL {
@@ -237,6 +271,60 @@ mod tests {
             }
             assert_eq!(c.len(), 1);
         }
+    }
+
+    #[test]
+    fn retain_frees_slots_for_reuse() {
+        let mut c: LruCache<(u64, u32), u32> = LruCache::new(4);
+        for i in 0..4u32 {
+            c.insert((0, i), i);
+        }
+        assert_eq!(c.len(), 4);
+        // Purge epoch 0, keep nothing.
+        c.retain(|k| k.0 == 1);
+        assert!(c.is_empty());
+        // Freed slots are reused without growing the slab.
+        for i in 0..4u32 {
+            c.insert((1, i), i * 10);
+        }
+        assert_eq!(c.len(), 4);
+        for i in 0..4u32 {
+            assert_eq!(c.get(&(1, i)), Some(i * 10));
+        }
+        // Partial purge keeps survivors and their values.
+        c.insert((2, 0), 99);
+        c.retain(|k| k.0 == 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&(2, 0)), Some(99));
+        // Eviction still works after a purge (exercise the linked list).
+        for i in 0..10u32 {
+            c.insert((3, i), i);
+        }
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn retain_drops_payloads_eagerly() {
+        use std::sync::Arc;
+        let mut c: LruCache<u32, Arc<String>> = LruCache::new(8);
+        let payloads: Vec<Arc<String>> = (0..4).map(|i| Arc::new(format!("p{i}"))).collect();
+        for (i, p) in payloads.iter().enumerate() {
+            c.insert(i as u32, Arc::clone(p));
+        }
+        for p in &payloads {
+            assert_eq!(Arc::strong_count(p), 2, "cache holds a reference");
+        }
+        // Purging must release the references now, not on slot reuse.
+        c.retain(|_| false);
+        for p in &payloads {
+            assert_eq!(Arc::strong_count(p), 1, "purged payload was dropped");
+        }
+        // Capacity eviction also drops eagerly.
+        let mut c: LruCache<u32, Arc<String>> = LruCache::new(1);
+        let a = Arc::new("a".to_string());
+        c.insert(0, Arc::clone(&a));
+        c.insert(1, Arc::new("b".to_string()));
+        assert_eq!(Arc::strong_count(&a), 1, "evicted payload was dropped");
     }
 
     #[test]

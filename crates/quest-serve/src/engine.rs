@@ -1,44 +1,63 @@
 //! [`CachedEngine`]: a thread-safe, cache-fronted wrapper around
-//! [`Quest`].
+//! [`Quest`] that also owns the serving layer's **live-data mutation
+//! path**.
 //!
 //! Two bounded LRU caches sit in front of the pipeline's two expensive
 //! stages:
 //!
-//! * **forward** — normalized keywords (+ feedback epoch) → the full
-//!   [`ForwardResult`] (both operating-mode decodes and their DST
+//! * **forward** — normalized keywords (+ data epoch + feedback epoch) →
+//!   the full [`ForwardResult`] (both operating-mode decodes and their DST
 //!   combination);
-//! * **backward** — a configuration's term sequence → its top-k Steiner
-//!   interpretations.
+//! * **backward** — a configuration's term sequence (+ data epoch) → its
+//!   top-k Steiner interpretations.
 //!
 //! Both stages are pure functions of their key for a fixed engine state, so
 //! caching is semantically transparent: a cached search returns bit-identical
-//! explanations and scores to an uncached [`Quest::search_query`]. Feedback
-//! invalidates nothing explicitly — forward keys embed the engine's
-//! [feedback epoch](Quest::feedback_epoch), so entries from before a
-//! feedback event simply stop matching and age out of the LRU. Backward
-//! results never depend on feedback at all.
+//! explanations and scores to an uncached [`Quest::search_query`]. Two
+//! monotonic epochs version that state:
+//!
+//! * the **feedback epoch** ([`Quest::feedback_epoch`]) advances on user
+//!   feedback and EM refinement and retires forward entries only;
+//! * the **data epoch** ([`CachedEngine::data_epoch`]) advances on every
+//!   mutation batch applied through [`CachedEngine::apply`] and retires
+//!   *both* caches — backward results embed instance-derived join weights.
+//!
+//! Entries keyed by a dead epoch can never match again, so on the first
+//! search after an epoch bump they are purged outright rather than left to
+//! squat in the LRU until capacity-evicted.
+//!
+//! Mutations serialize against searches through an `RwLock`: searches share
+//! the read side, a mutation batch takes the write side, applies its
+//! [`ChangeRecord`]s through the database's checked mutation API (indexes
+//! maintained incrementally), re-syncs the engine's instance-derived state
+//! ([`Quest::resync`]), and bumps the data epoch. Served results after a
+//! batch are bit-identical to a cold engine built over the mutated data
+//! (asserted by `tests/serve.rs`).
 
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard};
 use std::time::Instant;
 
 use quest_core::backward::Interpretation;
 use quest_core::term::DbTerm;
 use quest_core::{
-    Configuration, Explanation, ForwardResult, KeywordQuery, Quest, QuestError, SearchOutcome,
-    SourceWrapper,
+    Configuration, Explanation, ForwardResult, FullAccessWrapper, KeywordQuery, Quest, QuestError,
+    SearchOutcome, SourceWrapper,
 };
+use quest_wal::ChangeRecord;
 
 use crate::cache::LruCache;
+use crate::error::ServeError;
 use crate::stats::{CacheStats, LatencyRecorder, ServeStats};
 
 /// Cache-tuning knobs of the serving layer.
 #[derive(Debug, Clone)]
 pub struct CacheConfig {
-    /// Entries of the forward cache (distinct keyword queries per feedback
-    /// epoch). 0 disables it.
+    /// Entries of the forward cache (distinct keyword queries per epoch
+    /// pair). 0 disables it.
     pub forward_capacity: usize,
-    /// Entries of the backward cache (distinct configurations). 0 disables
-    /// it.
+    /// Entries of the backward cache (distinct configurations per data
+    /// epoch). 0 disables it.
     pub backward_capacity: usize,
 }
 
@@ -54,22 +73,34 @@ impl Default for CacheConfig {
     }
 }
 
-/// Forward-cache key: feedback epoch plus the normalized keyword sequence
-/// (normalized text and phrase flag are the only keyword features the
-/// pipeline reads, so raw strings that normalize identically share a slot).
-type ForwardKey = (u64, Vec<(String, bool)>);
+/// Forward-cache key: data epoch, feedback epoch, and the normalized
+/// keyword sequence (normalized text and phrase flag are the only keyword
+/// features the pipeline reads, so raw strings that normalize identically
+/// share a slot).
+type ForwardKey = (u64, u64, Vec<(String, bool)>);
 
-/// A [`Quest`] engine plus the two stage caches and serving counters.
+/// Backward-cache key: data epoch plus the configuration's term sequence.
+type BackwardKey = (u64, Vec<DbTerm>);
+
+/// A [`Quest`] engine plus the two stage caches, serving counters, and the
+/// mutation path.
 ///
 /// All methods take `&self`; wrap it in an [`std::sync::Arc`] to share one
 /// instance — and one warm cache — across threads.
 #[derive(Debug)]
 pub struct CachedEngine<W: SourceWrapper> {
-    engine: Quest<W>,
+    engine: RwLock<Quest<W>>,
+    /// Monotonic data version: bumped by every mutation batch that changes
+    /// what a search can return. Written only under the engine write lock;
+    /// read under the read lock, so searches see a consistent pair of
+    /// (engine state, epoch).
+    data_epoch: AtomicU64,
+    /// Last (data, feedback) epoch pair the caches were purged for.
+    purge_mark: Mutex<(u64, u64)>,
     // Values are Arc-wrapped so a hit clones a pointer inside the lock and
     // the (potentially large) payload copy happens outside it.
     forward: Mutex<LruCache<ForwardKey, Arc<ForwardResult>>>,
-    backward: Mutex<LruCache<Vec<DbTerm>, Arc<Vec<Interpretation>>>>,
+    backward: Mutex<LruCache<BackwardKey, Arc<Vec<Interpretation>>>>,
     recorder: LatencyRecorder,
 }
 
@@ -82,24 +113,56 @@ impl<W: SourceWrapper> CachedEngine<W> {
     /// Front `engine` with explicitly sized caches.
     pub fn with_caches(engine: Quest<W>, caches: CacheConfig) -> CachedEngine<W> {
         CachedEngine {
-            engine,
+            engine: RwLock::new(engine),
+            data_epoch: AtomicU64::new(0),
+            purge_mark: Mutex::new((0, 0)),
             forward: Mutex::new(LruCache::new(caches.forward_capacity)),
             backward: Mutex::new(LruCache::new(caches.backward_capacity)),
             recorder: LatencyRecorder::default(),
         }
     }
 
-    /// The wrapped engine.
-    pub fn engine(&self) -> &Quest<W> {
-        &self.engine
+    /// Read access to the wrapped engine. The guard shares the lock with
+    /// concurrent searches; a mutation batch waits until it is dropped.
+    pub fn engine(&self) -> RwLockReadGuard<'_, Quest<W>> {
+        self.engine.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The current data epoch: how many mutation batches have been applied.
+    pub fn data_epoch(&self) -> u64 {
+        self.data_epoch.load(Ordering::Acquire)
     }
 
     fn forward_cache(&self) -> MutexGuard<'_, LruCache<ForwardKey, Arc<ForwardResult>>> {
         self.forward.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn backward_cache(&self) -> MutexGuard<'_, LruCache<Vec<DbTerm>, Arc<Vec<Interpretation>>>> {
+    fn backward_cache(&self) -> MutexGuard<'_, LruCache<BackwardKey, Arc<Vec<Interpretation>>>> {
         self.backward.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Purge cache entries keyed by epochs that can never match again.
+    /// Cheap when nothing changed (one mutex, one compare).
+    fn purge_stale(&self, data: u64, feedback: u64) {
+        let mut mark = self
+            .purge_mark
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Epochs are monotonic, so a pair at or below the mark comes from
+        // a thread that read the epochs before the last purge; letting it
+        // through would evict the *current* epoch's freshly cached entries
+        // and regress the mark into a purge ping-pong. (Purging is cache
+        // hygiene only — keys match exactly regardless.)
+        if (data, feedback) <= *mark {
+            return;
+        }
+        let data_changed = mark.0 != data;
+        *mark = (data, feedback);
+        self.forward_cache()
+            .retain(|k| k.0 == data && k.1 == feedback);
+        if data_changed {
+            self.backward_cache().retain(|k| k.0 == data);
+        }
     }
 
     /// Run Algorithm 1 on a raw query string, through the caches.
@@ -109,7 +172,7 @@ impl<W: SourceWrapper> CachedEngine<W> {
     }
 
     /// Run Algorithm 1 on a parsed query, through the caches. Results are
-    /// identical to `self.engine().search_query(query)`.
+    /// identical to an uncached search on the wrapped engine.
     pub fn search_query(&self, query: &KeywordQuery) -> Result<SearchOutcome, QuestError> {
         let t0 = Instant::now();
         let result = self.search_inner(query);
@@ -118,9 +181,16 @@ impl<W: SourceWrapper> CachedEngine<W> {
     }
 
     fn search_inner(&self, query: &KeywordQuery) -> Result<SearchOutcome, QuestError> {
-        let epoch = self.engine.feedback_epoch();
+        let engine = self.engine();
+        // Both epochs are stable for the lifetime of the read guard except
+        // the feedback epoch, which can advance concurrently (feedback only
+        // needs the read side); the insert below re-checks it.
+        let data_epoch = self.data_epoch();
+        let feedback_epoch = engine.feedback_epoch();
+        self.purge_stale(data_epoch, feedback_epoch);
         let key: ForwardKey = (
-            epoch,
+            data_epoch,
+            feedback_epoch,
             query
                 .keywords
                 .iter()
@@ -134,11 +204,11 @@ impl<W: SourceWrapper> CachedEngine<W> {
         let forward = match cached_forward {
             Some(hit) => (*hit).clone(), // payload copy happens off-lock
             None => {
-                let computed = self.engine.forward_pass(query)?;
+                let computed = engine.forward_pass(query)?;
                 // Only cache if no feedback landed mid-computation; a result
                 // spanning an epoch boundary may mix old and new model state
                 // and must not be replayed.
-                if self.engine.feedback_epoch() == epoch {
+                if engine.feedback_epoch() == feedback_epoch {
                     self.forward_cache().insert(key, Arc::new(computed.clone()));
                 }
                 computed
@@ -148,33 +218,33 @@ impl<W: SourceWrapper> CachedEngine<W> {
         let t0 = Instant::now();
         let mut interpretations = Vec::with_capacity(forward.configurations.len());
         for cfg in &forward.configurations {
-            let cached_backward = self.backward_cache().get(&cfg.terms);
+            let bkey: BackwardKey = (data_epoch, cfg.terms.clone());
+            let cached_backward = self.backward_cache().get(&bkey);
             let interps = match cached_backward {
                 Some(hit) => (*hit).clone(),
                 None => {
-                    let computed = self.engine.backward_pass(cfg)?;
+                    let computed = engine.backward_pass(cfg)?;
                     self.backward_cache()
-                        .insert(cfg.terms.clone(), Arc::new(computed.clone()));
+                        .insert(bkey, Arc::new(computed.clone()));
                     computed
                 }
             };
             interpretations.push(interps);
         }
         let backward_time = t0.elapsed();
-        self.engine
-            .assemble(query, forward, interpretations, backward_time)
+        engine.assemble(query, forward, interpretations, backward_time)
     }
 
     /// Record user feedback on an explanation (see [`Quest::feedback`]).
     /// Bumps the feedback epoch, so forward-cache entries built on the old
-    /// model stop matching.
+    /// model stop matching and are purged on the next search.
     pub fn feedback(
         &self,
         query: &KeywordQuery,
         explanation: &Explanation,
         positive: bool,
     ) -> Result<(), QuestError> {
-        self.engine.feedback(query, explanation, positive)
+        self.engine().feedback(query, explanation, positive)
     }
 
     /// Directly record a validated configuration (see
@@ -184,7 +254,7 @@ impl<W: SourceWrapper> CachedEngine<W> {
         config: &Configuration,
         positive: bool,
     ) -> Result<(), QuestError> {
-        self.engine.feedback_configuration(config, positive)
+        self.engine().feedback_configuration(config, positive)
     }
 
     /// Drop all cached entries (counters are preserved).
@@ -197,6 +267,7 @@ impl<W: SourceWrapper> CachedEngine<W> {
     pub fn stats(&self) -> ServeStats {
         let mut stats = ServeStats::default();
         self.recorder.snapshot_into(&mut stats);
+        stats.data_epoch = self.data_epoch();
         {
             let c = self.forward_cache();
             stats.forward_cache = CacheStats {
@@ -219,10 +290,99 @@ impl<W: SourceWrapper> CachedEngine<W> {
     }
 }
 
+/// What a mutation batch did: how many records took effect and which were
+/// rejected (by zero-based batch index, with the storage error).
+#[derive(Debug, Default)]
+pub struct ApplyReport {
+    /// Records applied.
+    pub applied: usize,
+    /// Rejected records: `(index within the batch, why)`. Rejections are
+    /// deterministic functions of the database state at that log position,
+    /// which is what lets WAL replay reproduce them exactly.
+    pub rejected: Vec<(usize, relstore::StoreError)>,
+}
+
+impl ApplyReport {
+    /// Whether every record applied.
+    pub fn all_applied(&self) -> bool {
+        self.rejected.is_empty()
+    }
+}
+
+impl CachedEngine<FullAccessWrapper> {
+    /// Apply a batch of live-data mutations, serialized against searches.
+    ///
+    /// Each record applies — or is rejected — **independently and
+    /// deterministically** through the database's checked mutation API
+    /// (referential integrity enforced, inverted indexes maintained
+    /// per-record, statistics refreshed once per dirty table at the end of
+    /// the batch). A rejected record does not stop the batch; the report
+    /// says exactly which indices were rejected and why. These per-record
+    /// semantics are what make the write-ahead protocol sound: the caller
+    /// logs the whole batch *before* applying it, and because a rejection
+    /// is a pure function of the database state at that log position, WAL
+    /// replay re-rejects exactly the records the live system rejected and
+    /// converges on the identical state.
+    ///
+    /// If anything applied, the engine re-syncs its instance-derived state
+    /// and the data epoch advances, retiring every cache entry built on
+    /// the old data; an all-rejected batch leaves engine, epoch, and
+    /// caches untouched. Durability is the caller's concern: append
+    /// records to a [`quest_wal::WalWriter`] and sync *before* handing
+    /// them here.
+    ///
+    /// **Single mutation writer.** The replay guarantee assumes log order
+    /// equals apply order. `apply` serializes batches against each other
+    /// (engine write lock), but the WAL writer is a separate object — two
+    /// threads that each append-then-apply can interleave so the lock is
+    /// won in the opposite order of their appends. Route all mutations
+    /// through one writer (append + `apply` under one serialization
+    /// point), as the example and tests do.
+    pub fn apply(&self, changes: &[ChangeRecord]) -> Result<ApplyReport, ServeError> {
+        let mut report = ApplyReport::default();
+        if changes.is_empty() {
+            return Ok(report);
+        }
+        let mut engine = self.engine.write().unwrap_or_else(PoisonError::into_inner);
+        // Defer the per-table statistics refresh to the end of the batch:
+        // indexes stay exact per-record, stats are recomputed once per
+        // dirty table instead of once per record.
+        engine
+            .source_mut()
+            .database_mut()
+            .with_stats_deferred(|db| {
+                for (i, change) in changes.iter().enumerate() {
+                    match change.apply(db) {
+                        Ok(_) => report.applied += 1,
+                        Err(e) => report.rejected.push((i, e)),
+                    }
+                }
+            });
+        if report.applied > 0 {
+            // Bump the epoch and re-sync instance-derived engine state
+            // (MI-weighted schema graph) while still under the write lock:
+            // no search can observe the new data with the old epoch or
+            // vice versa. The bump and purge come first so that even a
+            // failed re-sync (unreachable for ChangeRecords, which cannot
+            // alter the catalog) can never leave stale cache entries
+            // serving over mutated data. An all-rejected batch changed
+            // nothing, so it pays for none of this.
+            self.data_epoch.fetch_add(1, Ordering::AcqRel);
+            let resync = engine.resync();
+            let (data, feedback) = (self.data_epoch(), engine.feedback_epoch());
+            drop(engine);
+            self.purge_stale(data, feedback);
+            resync.map_err(ServeError::Engine)?;
+        }
+        Ok(report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::engine;
+    use relstore::Value;
 
     fn same_outcome(a: &SearchOutcome, b: &SearchOutcome) {
         assert_eq!(a.explanations.len(), b.explanations.len());
@@ -237,11 +397,11 @@ mod tests {
     #[test]
     fn cached_search_matches_uncached() {
         let cached = CachedEngine::new(engine());
-        let plain = cached.engine();
+        let reference = engine();
         for raw in ["wind fleming", "fleming", "wind"] {
             let a = cached.search(raw).unwrap(); // cold: fills caches
             let b = cached.search(raw).unwrap(); // warm: from caches
-            let c = plain.search(raw).unwrap(); // uncached reference
+            let c = reference.search(raw).unwrap(); // uncached reference
             same_outcome(&a, &c);
             same_outcome(&b, &c);
         }
@@ -277,6 +437,139 @@ mod tests {
             "trained model must now contribute"
         );
         same_outcome(&after, &cached.engine().search("wind fleming").unwrap());
+    }
+
+    #[test]
+    fn epoch_bump_reclaims_cache_capacity() {
+        // Entries keyed by dead epochs are purged on the next search, not
+        // left to squat until capacity eviction.
+        let cached = CachedEngine::new(engine());
+        for raw in ["wind", "fleming", "wind fleming", "victor"] {
+            let _ = cached.search(raw).unwrap();
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.forward_cache.entries, 4);
+        let backward_before = stats.backward_cache.entries;
+        assert!(backward_before > 0);
+
+        // Feedback kills forward entries only; backward survives (it never
+        // depends on the feedback model).
+        let best = cached.search("wind").unwrap().explanations[0].clone();
+        let query = KeywordQuery::parse("wind").unwrap();
+        cached.feedback(&query, &best, true).unwrap();
+        let _ = cached.search("wind").unwrap();
+        let stats = cached.stats();
+        assert_eq!(
+            stats.forward_cache.entries, 1,
+            "only the post-feedback entry remains: {stats}"
+        );
+        assert_eq!(stats.backward_cache.entries, backward_before);
+
+        // A data mutation kills both.
+        cached
+            .apply(&[ChangeRecord::Insert {
+                table: "person".into(),
+                row: vec![50.into(), "Orson Welles".into()],
+            }])
+            .unwrap();
+        let _ = cached.search("welles").unwrap();
+        let stats = cached.stats();
+        assert_eq!(stats.forward_cache.entries, 1);
+        assert!(
+            stats.backward_cache.entries <= backward_before,
+            "dead-data-epoch backward entries were purged: {stats}"
+        );
+    }
+
+    #[test]
+    fn mutations_are_visible_and_match_a_cold_engine() {
+        let cached = CachedEngine::new(engine());
+        let _warm = cached.search("wind fleming").unwrap();
+        assert_eq!(cached.data_epoch(), 0);
+
+        let batch = vec![
+            ChangeRecord::Insert {
+                table: "person".into(),
+                row: vec![2.into(), "Mervyn LeRoy".into()],
+            },
+            ChangeRecord::Insert {
+                table: "movie".into(),
+                row: vec![11.into(), "The Wizard of Oz".into(), 2.into()],
+            },
+        ];
+        let report = cached.apply(&batch).unwrap();
+        assert_eq!(report.applied, 2);
+        assert!(report.all_applied());
+        assert_eq!(cached.data_epoch(), 1);
+
+        // Served results over the mutated data are bit-identical to a cold
+        // engine built on an identically mutated database.
+        let reference = {
+            let guard = cached.engine();
+            Quest::new(
+                FullAccessWrapper::new(guard.wrapper().database().clone()),
+                guard.config().clone(),
+            )
+            .unwrap()
+        };
+        for raw in ["oz leroy", "wind fleming", "wizard"] {
+            let served = cached.search(raw).unwrap();
+            let cold = reference.search(raw).unwrap();
+            same_outcome(&served, &cold);
+        }
+    }
+
+    #[test]
+    fn rejections_are_per_record_and_reported() {
+        let cached = CachedEngine::new(engine());
+        let batch = vec![
+            ChangeRecord::Insert {
+                table: "person".into(),
+                row: vec![3.into(), "Kept".into()],
+            },
+            ChangeRecord::Delete {
+                // Fleming still directs a movie: restricted.
+                table: "person".into(),
+                key: vec![Value::Int(1)],
+            },
+            ChangeRecord::Insert {
+                table: "person".into(),
+                row: vec![4.into(), "Also Kept".into()],
+            },
+        ];
+        let report = cached.apply(&batch).unwrap();
+        // Per-record semantics: the rejection does not stop the batch —
+        // exactly what WAL replay will reproduce from the logged records.
+        assert_eq!(report.applied, 2);
+        assert_eq!(report.rejected.len(), 1);
+        assert_eq!(report.rejected[0].0, 1);
+        assert!(matches!(
+            report.rejected[0].1,
+            relstore::StoreError::ForeignKeyViolation(_)
+        ));
+        assert_eq!(cached.data_epoch(), 1);
+        let name = cached
+            .engine()
+            .wrapper()
+            .catalog()
+            .attr_id("person", "name")
+            .unwrap();
+        let db = cached.engine().wrapper().database().clone();
+        assert!(db.search_score(name, "kept") > 0.0);
+        assert!(db.validate().is_ok());
+        // An all-rejected batch leaves epoch and engine untouched.
+        let report = cached
+            .apply(&[ChangeRecord::Delete {
+                table: "person".into(),
+                key: vec![Value::Int(1)],
+            }])
+            .unwrap();
+        assert_eq!(report.applied, 0);
+        assert_eq!(report.rejected.len(), 1);
+        assert_eq!(cached.data_epoch(), 1, "no state change, no epoch bump");
+        // An empty batch is a no-op.
+        assert!(cached.apply(&[]).unwrap().all_applied());
+        assert_eq!(cached.data_epoch(), 1);
     }
 
     #[test]

@@ -8,8 +8,13 @@
 //!   bounded LRU caches (keyword → top-k configurations for the forward
 //!   stage; configuration → interpretations for the backward/Steiner stage)
 //!   and hit/miss/latency counters. Caching is semantically transparent:
-//!   results are bit-identical to the uncached engine, and user feedback
-//!   invalidates stale forward entries via the engine's feedback epoch.
+//!   results are bit-identical to the uncached engine. Two monotonic epochs
+//!   keep it that way under change — the engine's *feedback epoch* (user
+//!   feedback, EM refinement) and the serving layer's *data epoch*, bumped
+//!   by every live-data mutation batch applied through
+//!   [`CachedEngine::apply`] (a slice of
+//!   [`quest_wal::ChangeRecord`]s); entries keyed by dead epochs are purged
+//!   on the next search.
 //! * [`QueryService`] — a thread pool (std threads + channels, no external
 //!   dependencies) draining submitted queries through one shared
 //!   `CachedEngine`, so every worker benefits from every other worker's
@@ -70,7 +75,7 @@ pub mod service;
 pub mod stats;
 
 pub use cache::LruCache;
-pub use engine::{CacheConfig, CachedEngine};
+pub use engine::{ApplyReport, CacheConfig, CachedEngine};
 pub use error::ServeError;
 pub use service::{QueryService, Ticket};
 pub use stats::{CacheStats, ServeStats};

@@ -40,6 +40,8 @@ pub struct ServeStats {
     pub queries: u64,
     /// Searches that returned an error.
     pub errors: u64,
+    /// Data epoch at snapshot time (mutation batches applied so far).
+    pub data_epoch: u64,
     /// Keyword → top-k-configurations cache (forward stage).
     pub forward_cache: CacheStats,
     /// Configuration → interpretations cache (backward stage).

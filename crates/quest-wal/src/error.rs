@@ -1,0 +1,86 @@
+//! Error type for the durability layer.
+
+use std::fmt;
+
+use relstore::StoreError;
+
+/// Errors raised while writing, reading, or replaying logs and snapshots.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// A log or snapshot line failed to parse or checksum (1-based line).
+    Corrupt {
+        /// Line number within the file, 1-based.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The file was written against a different schema than the target
+    /// database (fingerprints disagree).
+    SchemaMismatch {
+        /// Fingerprint the caller's catalog hashes to.
+        expected: u64,
+        /// Fingerprint recorded in the file.
+        found: u64,
+    },
+    /// Applying a change record violated a storage-level constraint.
+    Store(StoreError),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::Corrupt { line, message } => {
+                write!(f, "corrupt record at line {line}: {message}")
+            }
+            WalError::SchemaMismatch { expected, found } => write!(
+                f,
+                "schema fingerprint mismatch: catalog is {expected:016x}, file says {found:016x}"
+            ),
+            WalError::Store(e) => write!(f, "replay rejected by store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            WalError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+impl From<StoreError> for WalError {
+    fn from(e: StoreError) -> Self {
+        WalError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WalError::SchemaMismatch {
+            expected: 1,
+            found: 2,
+        };
+        assert!(e.to_string().contains("fingerprint"));
+        let e = WalError::Corrupt {
+            line: 7,
+            message: "bad".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,607 @@
+//! The append-only on-disk log.
+//!
+//! Text framing, one record per line:
+//!
+//! ```text
+//! QUESTWAL<TAB>1<TAB><schema fingerprint, hex>          (header)
+//! <seq><TAB><fnv64 of body, hex><TAB><body>             (records)
+//! ```
+//!
+//! Sequence numbers start at 1 and increase strictly; the checksum covers
+//! the record body, so a torn write (a crash mid-append) is detected. Any
+//! invalid *final* line — unterminated or not — ends the log: filesystems
+//! flush pages out of order, so an un-synced append interrupted by a crash
+//! can surface either way, and refusing to load would hold every durable
+//! record hostage to one unacknowledged tail. The dropped tail is always
+//! reported ([`LogRecovery::torn_tail`]), so a tail that was in fact
+//! synced-then-rotted is surfaced, not silently swallowed. A bad line
+//! anywhere *else* cannot be a torn append and refuses to load.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use relstore::{Catalog, Database};
+
+use crate::codec::{fnv64, schema_fingerprint};
+use crate::error::WalError;
+use crate::record::ChangeRecord;
+
+/// Magic first field of a log header.
+const MAGIC: &str = "QUESTWAL";
+/// Format version this code writes and reads.
+const VERSION: &str = "1";
+
+/// Append handle to a write-ahead log bound to one schema.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    fingerprint: u64,
+    next_seq: u64,
+    /// Byte length of the last known-good (fully appended) state; a failed
+    /// append truncates back to it so no torn line is left mid-file.
+    len: u64,
+    /// Set when a failed append could not be rolled back: the file may end
+    /// in a torn line, so further appends would corrupt it mid-file.
+    poisoned: bool,
+}
+
+impl WalWriter {
+    /// Open (or create) the log at `path` for appending, bound to
+    /// `catalog`'s schema.
+    ///
+    /// An existing log must carry the same schema fingerprint; its records
+    /// are scanned to continue the sequence, and a torn tail from an
+    /// earlier crash is truncated away before new appends.
+    pub fn open(path: &Path, catalog: &Catalog) -> Result<WalWriter, WalError> {
+        let fingerprint = schema_fingerprint(catalog);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+        // A file without a single complete line never got past writing its
+        // header (a crash during creation): nothing is lost by starting
+        // over. This also covers the empty file. Without this branch, a
+        // torn-but-parseable header would be truncated to zero bytes below
+        // and records would then be appended to a headerless file.
+        if !text.contains('\n') {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            let header = format!("{MAGIC}\t{VERSION}\t{fingerprint:016x}\n");
+            file.write_all(header.as_bytes())?;
+            return Ok(WalWriter {
+                file,
+                fingerprint,
+                next_seq: 1,
+                len: header.len() as u64,
+                poisoned: false,
+            });
+        }
+        let scan = scan_log(&text, fingerprint)?;
+        // Drop a torn tail so the next append starts on a clean line.
+        if scan.valid_len < text.len() {
+            file.set_len(scan.valid_len as u64)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(WalWriter {
+            file,
+            fingerprint,
+            next_seq: scan.last_seq + 1,
+            len: scan.valid_len as u64,
+            poisoned: false,
+        })
+    }
+
+    /// The schema fingerprint this log is bound to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Append one change record, returning its sequence number. The line is
+    /// flushed to the OS; call [`WalWriter::sync`] to force it to disk.
+    ///
+    /// A failed write (e.g. disk full) is rolled back by truncating to the
+    /// last known-good length, so the file never carries a torn line
+    /// *mid-file* (which would be unrecoverable corruption, unlike a torn
+    /// tail). If even the rollback fails, the writer poisons itself and
+    /// refuses further appends; the log on disk is still readable up to
+    /// the torn tail.
+    pub fn append(&mut self, record: &ChangeRecord) -> Result<u64, WalError> {
+        if self.poisoned {
+            return Err(WalError::Io(std::io::Error::other(
+                "writer poisoned by an earlier failed append; reopen the log",
+            )));
+        }
+        let seq = self.next_seq;
+        let body = record.encode();
+        let line = format!("{seq}\t{:016x}\t{body}\n", fnv64(body.as_bytes()));
+        if let Err(e) = self.file.write_all(line.as_bytes()) {
+            if self.file.set_len(self.len).is_err() || self.file.seek(SeekFrom::End(0)).is_err() {
+                self.poisoned = true;
+            }
+            return Err(WalError::Io(e));
+        }
+        self.len += line.len() as u64;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// fsync the log file (durability point).
+    pub fn sync(&self) -> Result<(), WalError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// Outcome of reading a log file.
+#[derive(Debug)]
+pub struct LogRecovery {
+    /// Parsed records with their sequence numbers, in log order.
+    pub records: Vec<(u64, ChangeRecord)>,
+    /// Whether an invalid final line was dropped — a torn (half-written)
+    /// append, or a final record whose checksum failed. If the tail was
+    /// knowingly synced before the crash, this flag is the data-loss
+    /// signal: the log itself cannot distinguish an unacknowledged torn
+    /// append from acknowledged-then-rotted bytes.
+    pub torn_tail: bool,
+}
+
+/// Internal scan result shared by reader and writer-open.
+struct LogScan {
+    records: Vec<(u64, ChangeRecord)>,
+    last_seq: u64,
+    /// Byte length of the valid prefix (everything before a torn tail).
+    valid_len: usize,
+    torn_tail: bool,
+}
+
+/// Read and verify a whole log against the catalog fingerprint `expected`.
+/// A torn final line — including a header torn during log creation, i.e. a
+/// file with no complete line at all — is tolerated (reported via
+/// [`LogRecovery::torn_tail`]); corruption anywhere else is an error.
+pub fn read_log(path: &Path, catalog: &Catalog) -> Result<LogRecovery, WalError> {
+    let text = std::fs::read_to_string(path)?;
+    let scan = scan_log(&text, schema_fingerprint(catalog))?;
+    Ok(LogRecovery {
+        records: scan.records,
+        torn_tail: scan.torn_tail,
+    })
+}
+
+fn scan_log(text: &str, expected_fp: u64) -> Result<LogScan, WalError> {
+    let corrupt = |line: usize, message: String| WalError::Corrupt { line, message };
+    // A file without a single complete line is a crash during creation
+    // (the header write itself was torn) — zero records were ever logged,
+    // so recovery legitimately proceeds with an empty log, mirroring what
+    // `WalWriter::open` does when it reinitializes such a file.
+    if !text.contains('\n') {
+        return Ok(LogScan {
+            records: Vec::new(),
+            last_seq: 0,
+            valid_len: 0,
+            torn_tail: !text.is_empty(),
+        });
+    }
+    // Split keeping track of byte offsets so a torn tail can be truncated.
+    let mut header_seen = false;
+    let mut records = Vec::new();
+    let mut last_seq = 0u64;
+    let mut valid_len = 0usize;
+    let mut torn_tail = false;
+    let mut offset = 0usize;
+    let mut lines = text.split_inclusive('\n').enumerate().peekable();
+    while let Some((i, raw)) = lines.next() {
+        let lineno = i + 1;
+        let is_last = lines.peek().is_none();
+        let complete = raw.ends_with('\n');
+        let line = raw.strip_suffix('\n').unwrap_or(raw);
+        let parsed: Result<(), String> = if !header_seen {
+            parse_header(line, expected_fp).map_err(|e| {
+                // Header schema mismatch is never a torn write: fail loud.
+                if let WalError::SchemaMismatch { .. } = e {
+                    return e;
+                }
+                corrupt(lineno, e.to_string())
+            })?;
+            header_seen = true;
+            Ok(())
+        } else {
+            // Sequence regression counts as an invalid record: the seq
+            // field sits outside the body checksum, so tail rot can damage
+            // it alone — on the final line that must degrade to a dropped
+            // tail (below), not a fatal error.
+            parse_record(line).and_then(|(seq, rec)| {
+                if seq <= last_seq {
+                    return Err(format!("sequence {seq} not after {last_seq}"));
+                }
+                records.push((seq, rec));
+                Ok(())
+            })
+        };
+        match parsed {
+            Ok(()) if complete => {
+                if let Some(&(seq, _)) = records.last() {
+                    last_seq = seq;
+                }
+                offset += raw.len();
+                valid_len = offset;
+            }
+            // Any invalid final line ends the log. A torn append usually
+            // lacks the trailing newline, but out-of-order page flush can
+            // persist the newline without the bytes before it, so the
+            // newline proves nothing; only *position* does — a bad line
+            // mid-file cannot be a torn append and is fatal below. An
+            // unterminated line that happens to parse (checksum collision
+            // on a prefix) is dropped too.
+            Ok(()) | Err(_) if is_last && header_seen => {
+                if matches!(parsed, Ok(())) {
+                    records.pop();
+                }
+                torn_tail = true;
+            }
+            Err(e) => return Err(corrupt(lineno, e)),
+            Ok(()) => unreachable!("incomplete non-last line"),
+        }
+    }
+    if !header_seen {
+        return Err(corrupt(1, "missing header".into()));
+    }
+    Ok(LogScan {
+        records,
+        last_seq,
+        valid_len,
+        torn_tail,
+    })
+}
+
+/// Parse and verify the header line.
+fn parse_header(line: &str, expected_fp: u64) -> Result<(), WalError> {
+    let mut fields = line.split('\t');
+    let magic = fields.next().unwrap_or_default();
+    let version = fields.next().unwrap_or_default();
+    let fp = fields.next().unwrap_or_default();
+    if magic != MAGIC || version != VERSION {
+        return Err(WalError::Corrupt {
+            line: 1,
+            message: format!("bad header `{line}`"),
+        });
+    }
+    let found = u64::from_str_radix(fp, 16).map_err(|_| WalError::Corrupt {
+        line: 1,
+        message: format!("bad fingerprint `{fp}`"),
+    })?;
+    if found != expected_fp {
+        return Err(WalError::SchemaMismatch {
+            expected: expected_fp,
+            found,
+        });
+    }
+    Ok(())
+}
+
+/// Parse one record line: `seq \t checksum \t body`.
+fn parse_record(line: &str) -> Result<(u64, ChangeRecord), String> {
+    let mut parts = line.splitn(3, '\t');
+    let seq = parts
+        .next()
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or("bad sequence field")?;
+    let crc = parts
+        .next()
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or("bad checksum field")?;
+    let body = parts.next().ok_or("missing body")?;
+    if fnv64(body.as_bytes()) != crc {
+        return Err(format!("checksum mismatch on record {seq}"));
+    }
+    let record = ChangeRecord::decode(body)?;
+    Ok((seq, record))
+}
+
+/// Outcome of [`replay`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Records applied.
+    pub applied: usize,
+    /// Records the store rejected — deterministically, exactly as the live
+    /// system rejected them when they were first logged (see below).
+    pub rejected: usize,
+}
+
+/// Apply records (as returned by [`read_log`]) with sequence numbers
+/// strictly greater than `after_seq`, in order.
+///
+/// A record the store rejects (constraint violation) is **skipped and
+/// counted**, not treated as an error: under the write-ahead protocol
+/// records are logged before they are applied, so the log legitimately
+/// contains records the live system rejected. A rejection is a pure
+/// function of the database state at that log position, and replay visits
+/// the same states in the same order, so it re-rejects exactly the same
+/// records and converges on the state the live system held.
+///
+/// Statistics refresh is deferred across the whole replay (one per-table
+/// recompute at the end instead of one per record); the final state is
+/// bit-identical either way.
+pub fn replay(
+    db: &mut Database,
+    records: &[(u64, ChangeRecord)],
+    after_seq: u64,
+) -> Result<ReplayReport, WalError> {
+    Ok(db.with_stats_deferred(|db| {
+        let mut report = ReplayReport::default();
+        for (seq, record) in records {
+            if *seq <= after_seq {
+                continue;
+            }
+            match record.apply(db) {
+                Ok(_) => report.applied += 1,
+                Err(_) => report.rejected += 1,
+            }
+        }
+        report
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::DataType;
+    use std::path::PathBuf;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.define_table("t")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("name", DataType::Text)
+            .unwrap()
+            .finish();
+        c
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("quest-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.wal", std::process::id()))
+    }
+
+    fn ins(id: i64) -> ChangeRecord {
+        ChangeRecord::Insert {
+            table: "t".into(),
+            row: vec![id.into(), format!("row {id}").into()],
+        }
+    }
+
+    #[test]
+    fn append_read_round_trip() {
+        let path = temp_path("roundtrip");
+        let c = catalog();
+        {
+            let mut w = WalWriter::open(&path, &c).unwrap();
+            assert_eq!(w.append(&ins(1)).unwrap(), 1);
+            assert_eq!(w.append(&ins(2)).unwrap(), 2);
+            w.sync().unwrap();
+        }
+        // Reopen continues the sequence.
+        {
+            let mut w = WalWriter::open(&path, &c).unwrap();
+            assert_eq!(w.next_seq(), 3);
+            assert_eq!(w.append(&ins(3)).unwrap(), 3);
+        }
+        let log = read_log(&path, &c).unwrap();
+        assert!(!log.torn_tail);
+        assert_eq!(log.records.len(), 3);
+        assert_eq!(log.records[2], (3, ins(3)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let path = temp_path("torn");
+        let c = catalog();
+        {
+            let mut w = WalWriter::open(&path, &c).unwrap();
+            w.append(&ins(1)).unwrap();
+            w.append(&ins(2)).unwrap();
+        }
+        // Simulate a crash mid-append: a half-written line with no newline.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"3\t00ff").unwrap();
+        }
+        let log = read_log(&path, &c).unwrap();
+        assert!(log.torn_tail);
+        assert_eq!(log.records.len(), 2);
+        // Reopening for append truncates the torn tail and resumes at 3.
+        let mut w = WalWriter::open(&path, &c).unwrap();
+        assert_eq!(w.next_seq(), 3);
+        w.append(&ins(3)).unwrap();
+        drop(w);
+        let log = read_log(&path, &c).unwrap();
+        assert!(!log.torn_tail);
+        assert_eq!(log.records.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_header_reinitializes_the_log() {
+        // A crash during log *creation* can leave a partial header with no
+        // newline; nothing was ever appended, so open() starts over with a
+        // fresh header instead of leaving a headerless (or bricked) file.
+        let path = temp_path("torn-header");
+        let c = catalog();
+        for partial in ["QUESTW", "QUESTWAL\t1\t0123456789abcdef"] {
+            std::fs::write(&path, partial).unwrap();
+            // The read path tolerates it too (recover() must not brick on
+            // a log whose creation crashed): empty log, torn tail noted.
+            let log = read_log(&path, &c).unwrap();
+            assert!(log.records.is_empty());
+            assert!(log.torn_tail);
+            let mut w = WalWriter::open(&path, &c).unwrap();
+            assert_eq!(w.next_seq(), 1);
+            w.append(&ins(1)).unwrap();
+            drop(w);
+            let log = read_log(&path, &c).unwrap();
+            assert!(!log.torn_tail);
+            assert_eq!(log.records, vec![(1, ins(1))]);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_fatal() {
+        let path = temp_path("corrupt");
+        let c = catalog();
+        {
+            let mut w = WalWriter::open(&path, &c).unwrap();
+            w.append(&ins(1)).unwrap();
+            w.append(&ins(2)).unwrap();
+        }
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        // Flip a byte inside the first record's body.
+        text = text.replace("row 1", "row X");
+        std::fs::write(&path, text).unwrap();
+        let err = read_log(&path, &c).unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { line: 2, .. }), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn complete_but_corrupt_final_record_is_dropped_and_reported() {
+        // Out-of-order page flush means a crash during an un-synced append
+        // can leave a newline-terminated line with garbage before it, so a
+        // corrupt *final* record ends the log (availability) — but is
+        // always reported via torn_tail, never silently swallowed.
+        let path = temp_path("rotted-tail");
+        let c = catalog();
+        {
+            let mut w = WalWriter::open(&path, &c).unwrap();
+            w.append(&ins(1)).unwrap();
+            w.append(&ins(2)).unwrap();
+            w.sync().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        std::fs::write(&path, text.replace("row 2", "row Z")).unwrap();
+        let log = read_log(&path, &c).unwrap();
+        assert!(log.torn_tail, "the dropped tail must be reported");
+        assert_eq!(log.records, vec![(1, ins(1))]);
+        // Reopening truncates the bad tail and resumes the sequence.
+        let mut w = WalWriter::open(&path, &c).unwrap();
+        assert_eq!(w.next_seq(), 2);
+        w.append(&ins(2)).unwrap();
+        drop(w);
+        let log = read_log(&path, &c).unwrap();
+        assert!(!log.torn_tail);
+        assert_eq!(log.records.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sequence_regression_is_torn_on_the_final_line_but_fatal_mid_file() {
+        // The seq field sits outside the body checksum, so tail rot can
+        // damage it alone: on the final line that ends the log (dropped,
+        // reported); mid-file it is unambiguous corruption.
+        let path = temp_path("seq-rot");
+        let c = catalog();
+        {
+            let mut w = WalWriter::open(&path, &c).unwrap();
+            w.append(&ins(1)).unwrap();
+            w.append(&ins(2)).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let rotted = text.replacen("\n2\t", "\n1\t", 1);
+        std::fs::write(&path, &rotted).unwrap();
+        let log = read_log(&path, &c).unwrap();
+        assert!(log.torn_tail);
+        assert_eq!(log.records, vec![(1, ins(1))]);
+
+        // Same damage mid-file (a third record follows) is fatal.
+        std::fs::write(&path, text).unwrap();
+        {
+            let mut w = WalWriter::open(&path, &c).unwrap();
+            w.append(&ins(3)).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replacen("\n2\t", "\n1\t", 1)).unwrap();
+        assert!(matches!(
+            read_log(&path, &c).unwrap_err(),
+            WalError::Corrupt { line: 3, .. }
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn schema_mismatch_refuses_load() {
+        let path = temp_path("mismatch");
+        let c = catalog();
+        {
+            let mut w = WalWriter::open(&path, &c).unwrap();
+            w.append(&ins(1)).unwrap();
+        }
+        let mut other = Catalog::new();
+        other
+            .define_table("t")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("renamed", DataType::Text)
+            .unwrap()
+            .finish();
+        assert!(matches!(
+            read_log(&path, &other).unwrap_err(),
+            WalError::SchemaMismatch { .. }
+        ));
+        assert!(matches!(
+            WalWriter::open(&path, &other).unwrap_err(),
+            WalError::SchemaMismatch { .. }
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replay_applies_suffix_only_and_rerejects_deterministically() {
+        let c = catalog();
+        let mut db = Database::new(c.clone()).unwrap();
+        db.finalize();
+        let records = vec![(1, ins(1)), (2, ins(2)), (3, ins(3))];
+        // Pretend a snapshot already contains record 1's effect.
+        db.insert("t", relstore::Row::new(vec![1.into(), "row 1".into()]))
+            .unwrap();
+        let report = replay(&mut db, &records, 1).unwrap();
+        assert_eq!(
+            report,
+            ReplayReport {
+                applied: 2,
+                rejected: 0
+            }
+        );
+        assert_eq!(db.total_rows(), 3);
+        assert!(db.validate().is_ok());
+        // A logged record the live system rejected (duplicate key) is
+        // re-rejected and skipped, and the records after it still apply —
+        // a single poison record must not make the log unrecoverable.
+        let tail = vec![(4, ins(2)), (5, ins(4))];
+        let report = replay(&mut db, &tail, 0).unwrap();
+        assert_eq!(
+            report,
+            ReplayReport {
+                applied: 1,
+                rejected: 1
+            }
+        );
+        assert_eq!(db.total_rows(), 4);
+        assert!(db.validate().is_ok());
+    }
+}

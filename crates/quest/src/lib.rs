@@ -24,6 +24,7 @@ pub use quest_dst as dst;
 pub use quest_graph as graph;
 pub use quest_hmm as hmm;
 pub use quest_serve as serve;
+pub use quest_wal as wal;
 pub use relstore as store;
 
 /// The most common imports.
@@ -33,5 +34,6 @@ pub mod prelude {
         KeywordQuery, MiniOntology, Quest, QuestConfig, QuestError, SearchOutcome, SourceWrapper,
     };
     pub use quest_serve::{CacheConfig, CachedEngine, QueryService, ServeError, ServeStats};
+    pub use quest_wal::{ChangeRecord, WalWriter};
     pub use relstore::{Catalog, DataType, Database, Row, Value};
 }

@@ -1,6 +1,6 @@
 //! The `Database`: catalog + table data + full-text indexes + statistics.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::error::StoreError;
 use crate::index::inverted::AttributeIndex;
@@ -16,6 +16,16 @@ use crate::value::Value;
 /// FK dependency order (or use [`Database::insert_unchecked`] followed by
 /// [`Database::validate_foreign_keys`]), then call [`Database::finalize`] to
 /// build full-text indexes and statistics — the paper's "setup phase".
+///
+/// After `finalize`, the database is *live*: [`Database::insert`],
+/// [`Database::delete`] and [`Database::update`] maintain the inverted
+/// indexes incrementally and recompute statistics for the mutated table
+/// only, so mutations never force a full rebuild and the database stays
+/// finalized. The maintained state is bit-identical to what a fresh
+/// [`Database::finalize`] over the same rows would build (asserted by the
+/// relstore property suite). Batch writers wrap their loop in
+/// [`Database::with_stats_deferred`] to pay the per-table stats refresh
+/// once per batch instead of once per record.
 #[derive(Debug, Clone)]
 pub struct Database {
     catalog: Catalog,
@@ -27,6 +37,11 @@ pub struct Database {
     /// Per-foreign-key join statistics (built in `finalize`).
     join_stats: HashMap<ForeignKey, JoinStats>,
     finalized: bool,
+    /// When `Some`, statistics refresh is deferred: mutated tables are
+    /// collected here and refreshed once when the batch scope closes (see
+    /// [`Database::with_stats_deferred`]). Index maintenance is never
+    /// deferred — it is cheap and per-row.
+    stats_dirty: Option<BTreeSet<TableId>>,
 }
 
 impl Database {
@@ -43,6 +58,7 @@ impl Database {
             attr_stats: HashMap::new(),
             join_stats: HashMap::new(),
             finalized: false,
+            stats_dirty: None,
         })
     }
 
@@ -56,12 +72,12 @@ impl Database {
         &self.tables[id.0 as usize]
     }
 
-    /// Row count of one table.
+    /// Live row count of one table.
     pub fn row_count(&self, id: TableId) -> usize {
         self.tables[id.0 as usize].len()
     }
 
-    /// Total rows across all tables.
+    /// Total live rows across all tables.
     pub fn total_rows(&self) -> usize {
         self.tables.iter().map(|t| t.len()).sum()
     }
@@ -69,25 +85,88 @@ impl Database {
     /// Insert with full integrity checking (types, PK uniqueness, FK targets).
     ///
     /// FK targets must already exist, so load tables in dependency order.
+    /// On a finalized database the new row is folded into the full-text
+    /// indexes and statistics incrementally.
     pub fn insert(&mut self, table: &str, row: Row) -> Result<RowId, StoreError> {
         let tid = self.catalog.table_id(table)?;
+        let schema = self.catalog.table(tid).clone();
+        // Shape-validate before the FK check: FK columns are addressed by
+        // position, so a short row must be rejected (not panic) first.
+        TableData::check_row(&self.catalog, &schema, &row)?;
         self.check_foreign_keys(tid, &row)?;
-        self.insert_validated(tid, row)
+        let rid = self.tables[tid.0 as usize].insert_prevalidated(&self.catalog, &schema, row)?;
+        self.finish_mutation(tid, rid);
+        Ok(rid)
     }
 
     /// Insert with type/PK checking but *without* FK target checking. Use for
     /// bulk loads with cycles, then call [`Database::validate_foreign_keys`].
     pub fn insert_unchecked(&mut self, table: &str, row: Row) -> Result<RowId, StoreError> {
         let tid = self.catalog.table_id(table)?;
-        self.insert_validated(tid, row)
-    }
-
-    fn insert_validated(&mut self, tid: TableId, row: Row) -> Result<RowId, StoreError> {
-        self.finalized = false;
         let schema = self.catalog.table(tid).clone();
-        self.tables[tid.0 as usize].insert(&self.catalog, &schema, row)
+        let rid = self.tables[tid.0 as usize].insert(&self.catalog, &schema, row)?;
+        self.finish_mutation(tid, rid);
+        Ok(rid)
     }
 
+    /// Post-insert maintenance shared by both insert paths.
+    fn finish_mutation(&mut self, tid: TableId, rid: RowId) {
+        if self.finalized {
+            self.reindex_row(tid, rid, None, true);
+            self.refresh_stats_for(tid);
+        }
+    }
+
+    /// Delete the row whose primary-key tuple is `key`, returning its old
+    /// [`RowId`]. Referential integrity is *restrictive*: the delete fails
+    /// while any other live row still references the victim's primary key.
+    /// On a finalized database indexes and statistics are maintained
+    /// incrementally; the slot is tombstoned so other row ids stay stable.
+    pub fn delete(&mut self, table: &str, key: &[Value]) -> Result<RowId, StoreError> {
+        let tid = self.catalog.table_id(table)?;
+        let schema = self.catalog.table(tid).clone();
+        let rid = self.tables[tid.0 as usize]
+            .lookup_pk(key)
+            .ok_or_else(|| StoreError::RowNotFound(format!("{}{}", schema.name, fmt_key(key))))?;
+        self.check_pk_unreferenced(tid, rid, None)?;
+        let old = self.tables[tid.0 as usize].delete(&self.catalog, &schema, rid)?;
+        if self.finalized {
+            self.reindex_row(tid, rid, Some(&old), false);
+            self.refresh_stats_for(tid);
+        }
+        Ok(rid)
+    }
+
+    /// Replace the row whose primary-key tuple is `key` with `row`, in place
+    /// (the [`RowId`] is preserved). Checks types, NOT NULL, FK targets of
+    /// the new row, and — when the primary key changes — PK uniqueness plus
+    /// the restrictive rule that no row may still reference the old key
+    /// afterwards. On a finalized database, indexes and statistics follow
+    /// incrementally.
+    pub fn update(&mut self, table: &str, key: &[Value], row: Row) -> Result<RowId, StoreError> {
+        let tid = self.catalog.table_id(table)?;
+        let schema = self.catalog.table(tid).clone();
+        let rid = self.tables[tid.0 as usize]
+            .lookup_pk(key)
+            .ok_or_else(|| StoreError::RowNotFound(format!("{}{}", schema.name, fmt_key(key))))?;
+        TableData::check_row(&self.catalog, &schema, &row)?;
+        self.check_foreign_keys(tid, &row)?;
+        let new_key = TableData::pk_of(&self.catalog, &schema, &row);
+        if new_key.as_slice() != key {
+            // The old key disappears: nothing may keep referencing it. The
+            // updated row itself is judged by its *new* FK values.
+            self.check_pk_unreferenced(tid, rid, Some(&row))?;
+        }
+        let old =
+            self.tables[tid.0 as usize].update_prevalidated(&self.catalog, &schema, rid, row)?;
+        if self.finalized {
+            self.reindex_row(tid, rid, Some(&old), true);
+            self.refresh_stats_for(tid);
+        }
+        Ok(rid)
+    }
+
+    /// FK-target existence for every FK column of a candidate row.
     fn check_foreign_keys(&self, tid: TableId, row: &Row) -> Result<(), StoreError> {
         for fk in self.catalog.foreign_keys() {
             let from = self.catalog.attribute(fk.from);
@@ -113,6 +192,53 @@ impl Database {
         Ok(())
     }
 
+    /// Restrictive RI check before a delete or PK-changing update of
+    /// `(tid, rid)`: no live row may reference the victim's current primary
+    /// key. The victim row itself is skipped on delete (its references die
+    /// with it) and judged by `replacement` on update (its references
+    /// survive with the new values).
+    ///
+    /// Cost: a linear scan of each referencing table — O(total referencing
+    /// rows) per delete. Fine at this engine's scale and for insert-heavy
+    /// live workloads; a delete-heavy workload at millions of rows would
+    /// want a per-FK reverse count index maintained alongside the inverted
+    /// indexes.
+    fn check_pk_unreferenced(
+        &self,
+        tid: TableId,
+        rid: RowId,
+        replacement: Option<&Row>,
+    ) -> Result<(), StoreError> {
+        let victim = self.tables[tid.0 as usize].row(rid);
+        for fk in self.catalog.foreign_keys() {
+            let to = self.catalog.attribute(fk.to);
+            if to.table != tid {
+                continue;
+            }
+            let pk_val = victim.get(to.position);
+            let from = self.catalog.attribute(fk.from);
+            for (r_rid, r_row) in self.tables[from.table.0 as usize].iter() {
+                let row = if from.table == tid && r_rid == rid {
+                    match replacement {
+                        Some(new_row) => new_row,
+                        None => continue, // delete: self-reference dies too
+                    }
+                } else {
+                    r_row
+                };
+                let v = row.get(from.position);
+                if !v.is_null() && v == pk_val {
+                    return Err(StoreError::ForeignKeyViolation(format!(
+                        "{} = {v} still references {}",
+                        self.catalog.qualified_name(fk.from),
+                        self.catalog.qualified_name(fk.to)
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Scan every FK column and verify all non-null values have targets.
     pub fn validate_foreign_keys(&self) -> Result<(), StoreError> {
         for fk in self.catalog.foreign_keys() {
@@ -129,6 +255,52 @@ impl Database {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Full instance integrity check: every live row satisfies its table's
+    /// arity, types and NOT NULL constraints; the PK index maps each live
+    /// row's key back to its slot (and nothing else); and every FK value has
+    /// a target. Bulk loaders and WAL replay use this as the final gate.
+    pub fn validate(&self) -> Result<(), StoreError> {
+        for schema in self.catalog.tables() {
+            let data = &self.tables[schema.id.0 as usize];
+            let mut live = 0usize;
+            for (rid, row) in data.iter() {
+                TableData::check_row(&self.catalog, schema, row)?;
+                let key = TableData::pk_of(&self.catalog, schema, row);
+                if data.lookup_pk(&key) != Some(rid) {
+                    return Err(StoreError::InvalidSchema(format!(
+                        "{}: PK index does not map {} back to row {rid}",
+                        schema.name,
+                        fmt_key(&key)
+                    )));
+                }
+                live += 1;
+            }
+            if live != data.len() {
+                return Err(StoreError::InvalidSchema(format!(
+                    "{}: live-row count {} disagrees with len {}",
+                    schema.name,
+                    live,
+                    data.len()
+                )));
+            }
+        }
+        self.validate_foreign_keys()
+    }
+
+    /// Replace one table's storage with an explicit slot layout, tombstones
+    /// included (snapshot import). Leaves the database unfinalized; call
+    /// [`Database::finalize`] after all tables are restored.
+    pub fn restore_table(
+        &mut self,
+        table: TableId,
+        slots: Vec<Option<Row>>,
+    ) -> Result<(), StoreError> {
+        let schema = self.catalog.table(table).clone();
+        self.tables[table.0 as usize] = TableData::restore(&self.catalog, &schema, slots)?;
+        self.finalized = false;
         Ok(())
     }
 
@@ -162,7 +334,106 @@ impl Database {
         self.finalized = true;
     }
 
-    /// Whether `finalize` has been run since the last mutation.
+    /// Incremental index maintenance for one mutated row: un-index the old
+    /// values (if any), index the new ones (if the slot is still live).
+    fn reindex_row(&mut self, tid: TableId, rid: RowId, old: Option<&Row>, live: bool) {
+        let full_text: Vec<(AttrId, usize)> = self
+            .catalog
+            .table(tid)
+            .attributes
+            .iter()
+            .map(|a| self.catalog.attribute(*a))
+            .filter(|a| a.full_text)
+            .map(|a| (a.id, a.position))
+            .collect();
+        for (attr, pos) in full_text {
+            let old_text = old
+                .map(|r| r.get(pos))
+                .filter(|v| !v.is_null())
+                .map(Value::render);
+            let new_text = if live {
+                let v = self.tables[tid.0 as usize].row(rid).get(pos);
+                (!v.is_null()).then(|| v.render())
+            } else {
+                None
+            };
+            let ix = self.indexes.entry(attr).or_default();
+            if let Some(text) = old_text {
+                ix.remove(rid, &text);
+            }
+            if let Some(text) = new_text {
+                ix.add(rid, &text);
+            }
+        }
+    }
+
+    /// Recompute the statistics a mutation of `tid` can change: the table's
+    /// attribute stats and the join stats of every FK touching it. Uses the
+    /// same pure functions as [`Database::finalize`], so maintained stats
+    /// are bit-identical to a full rebuild.
+    fn refresh_stats_for(&mut self, tid: TableId) {
+        if let Some(dirty) = &mut self.stats_dirty {
+            dirty.insert(tid);
+            return;
+        }
+        for attr in self.catalog.table(tid).attributes.clone() {
+            let stats = attribute_stats(&self.catalog, &self.tables[tid.0 as usize], attr);
+            self.attr_stats.insert(attr, stats);
+        }
+        for fk in self.catalog.fks_of_table(tid) {
+            let stats = join_stats(
+                &self.catalog,
+                fk,
+                &self.tables[self.catalog.attribute(fk.from).table.0 as usize],
+                &self.tables[self.catalog.attribute(fk.to).table.0 as usize],
+            );
+            self.join_stats.insert(fk, stats);
+        }
+    }
+
+    /// Run a batch of mutations with statistics refresh deferred to the
+    /// end of the batch.
+    ///
+    /// Per-mutation stats refresh rescans the mutated table (and both
+    /// sides of its FK joins), so a k-record batch would pay k rescans for
+    /// a result only the final state needs. Inside `f`, mutations maintain
+    /// the inverted indexes as usual but only *mark* their tables dirty;
+    /// when `f` returns, each dirty table is refreshed exactly once. The
+    /// final state is bit-identical to per-mutation refresh — only reads
+    /// of `attr_stats`/`fk_stats` *inside* `f` may observe pre-batch
+    /// values. Nested calls coalesce into the outermost batch.
+    pub fn with_stats_deferred<R>(&mut self, f: impl FnOnce(&mut Database) -> R) -> R {
+        /// Drains the dirty set on scope exit — *including* an unwind out
+        /// of `f` — so a panicking closure cannot leave the database with
+        /// statistics refresh permanently disabled.
+        struct Scope<'a> {
+            db: &'a mut Database,
+            outermost: bool,
+        }
+        impl Drop for Scope<'_> {
+            fn drop(&mut self) {
+                if self.outermost {
+                    if let Some(dirty) = self.db.stats_dirty.take() {
+                        for tid in dirty {
+                            self.db.refresh_stats_for(tid);
+                        }
+                    }
+                }
+            }
+        }
+        let outermost = self.stats_dirty.is_none();
+        if outermost {
+            self.stats_dirty = Some(BTreeSet::new());
+        }
+        let scope = Scope {
+            db: self,
+            outermost,
+        };
+        f(&mut *scope.db)
+    }
+
+    /// Whether `finalize` has been run (mutations on a finalized database
+    /// keep it finalized by maintaining indexes and stats incrementally).
     pub fn is_finalized(&self) -> bool {
         self.finalized
     }
@@ -220,6 +491,11 @@ impl Database {
     }
 }
 
+/// Render a PK tuple for error messages.
+fn fmt_key(key: &[Value]) -> String {
+    Row::new(key.to_vec()).to_string()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +539,25 @@ mod tests {
         db
     }
 
+    /// Every full-text index, statistic, and row of `db` must be
+    /// bit-identical to a from-scratch `finalize` over the same rows.
+    fn assert_matches_rebuild(db: &Database) {
+        let mut rebuilt = db.clone();
+        rebuilt.finalize();
+        for attr in db.catalog().attributes() {
+            assert_eq!(
+                db.index(attr.id),
+                rebuilt.index(attr.id),
+                "index of {} diverged from rebuild",
+                db.catalog().qualified_name(attr.id)
+            );
+            assert_eq!(db.attr_stats(attr.id), rebuilt.attr_stats(attr.id));
+        }
+        for fk in db.catalog().foreign_keys() {
+            assert_eq!(db.fk_stats(*fk), rebuilt.fk_stats(*fk));
+        }
+    }
+
     #[test]
     fn fk_enforced_on_insert() {
         let mut db = movie_db();
@@ -301,8 +596,10 @@ mod tests {
         db.insert_unchecked("a", Row::new(vec![1.into(), 7.into()]))
             .unwrap();
         assert!(db.validate_foreign_keys().is_err());
+        assert!(db.validate().is_err());
         db.insert("b", Row::new(vec![7.into()])).unwrap();
         assert!(db.validate_foreign_keys().is_ok());
+        assert!(db.validate().is_ok());
     }
 
     #[test]
@@ -346,11 +643,147 @@ mod tests {
     }
 
     #[test]
-    fn mutation_invalidates_finalize() {
+    fn insert_maintains_indexes_incrementally() {
         let mut db = movie_db();
         assert!(db.is_finalized());
-        db.insert("person", Row::new(vec![3.into(), "X".into()]))
+        assert_eq!(
+            db.search_score(db.catalog().attr_id("movie", "title").unwrap(), "oz"),
+            0.0
+        );
+        db.insert("person", Row::new(vec![3.into(), "Noel Langley".into()]))
+            .unwrap();
+        db.insert(
+            "movie",
+            Row::new(vec![12.into(), "The Wizard of Oz".into(), 1.into()]),
+        )
+        .unwrap();
+        assert!(db.is_finalized(), "mutations keep the database finalized");
+        let title = db.catalog().attr_id("movie", "title").unwrap();
+        assert!(db.search_score(title, "oz") > 0.0);
+        assert_eq!(db.attr_stats(title).unwrap().rows, 3);
+        assert_matches_rebuild(&db);
+    }
+
+    #[test]
+    fn delete_restricts_and_maintains() {
+        let mut db = movie_db();
+        // Fleming still directs a movie: restricted.
+        let err = db.delete("person", &[Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, StoreError::ForeignKeyViolation(_)));
+        // Remove the movie first, then the person.
+        db.delete("movie", &[Value::Int(10)]).unwrap();
+        db.delete("person", &[Value::Int(1)]).unwrap();
+        let title = db.catalog().attr_id("movie", "title").unwrap();
+        assert_eq!(db.search_score(title, "wind"), 0.0);
+        assert!(db.search_score(title, "casablanca") > 0.0);
+        assert_eq!(db.row_count(db.catalog().table_id("movie").unwrap()), 1);
+        // Unknown key.
+        assert!(matches!(
+            db.delete("movie", &[Value::Int(10)]).unwrap_err(),
+            StoreError::RowNotFound(_)
+        ));
+        assert!(db.validate().is_ok());
+        assert_matches_rebuild(&db);
+    }
+
+    #[test]
+    fn update_maintains_indexes_and_stats() {
+        let mut db = movie_db();
+        let title = db.catalog().attr_id("movie", "title").unwrap();
+        db.update(
+            "movie",
+            &[Value::Int(10)],
+            Row::new(vec![10.into(), "The Wizard of Oz".into(), 1.into()]),
+        )
+        .unwrap();
+        assert_eq!(db.search_score(title, "wind"), 0.0);
+        assert!(db.search_score(title, "wizard") > 0.0);
+        // FK change to a missing target rejected.
+        let err = db
+            .update(
+                "movie",
+                &[Value::Int(10)],
+                Row::new(vec![10.into(), "The Wizard of Oz".into(), 99.into()]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, StoreError::ForeignKeyViolation(_)));
+        // PK change of a referenced row rejected (movies point at person 1).
+        let err = db
+            .update(
+                "person",
+                &[Value::Int(1)],
+                Row::new(vec![5.into(), "Victor Fleming".into()]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, StoreError::ForeignKeyViolation(_)));
+        // PK change of an unreferenced row is fine and re-keys the index.
+        db.delete("movie", &[Value::Int(11)]).unwrap();
+        db.update(
+            "person",
+            &[Value::Int(2)],
+            Row::new(vec![6.into(), "Mervyn LeRoy".into()]),
+        )
+        .unwrap();
+        let name = db.catalog().attr_id("person", "name").unwrap();
+        assert!(db.search_score(name, "leroy") > 0.0);
+        assert_eq!(db.search_score(name, "curtiz"), 0.0);
+        assert!(db.validate().is_ok());
+        assert_matches_rebuild(&db);
+    }
+
+    #[test]
+    fn deferred_stats_batch_matches_per_record_refresh() {
+        let mut db = movie_db();
+        let title = db.catalog().attr_id("movie", "title").unwrap();
+        let rows_before = db.attr_stats(title).unwrap().rows;
+        db.with_stats_deferred(|db| {
+            db.insert("person", Row::new(vec![3.into(), "Noel Langley".into()]))
+                .unwrap();
+            db.insert(
+                "movie",
+                Row::new(vec![12.into(), "The Wizard of Oz".into(), 3.into()]),
+            )
+            .unwrap();
+            // Indexes are exact mid-batch; stats are stale until the scope
+            // closes.
+            assert!(db.search_score(title, "wizard") > 0.0);
+            assert_eq!(db.attr_stats(title).unwrap().rows, rows_before);
+            // Nested scopes coalesce into the outermost batch.
+            db.with_stats_deferred(|db| {
+                db.insert(
+                    "movie",
+                    Row::new(vec![13.into(), "Advise and Consent".into(), Value::Null]),
+                )
+                .unwrap();
+            });
+            assert_eq!(db.attr_stats(title).unwrap().rows, rows_before);
+        });
+        assert_eq!(db.attr_stats(title).unwrap().rows, rows_before + 2);
+        assert_matches_rebuild(&db);
+        assert!(db.validate().is_ok());
+    }
+
+    #[test]
+    fn mutations_before_finalize_stay_lazy() {
+        let mut c = Catalog::new();
+        c.define_table("t")
+            .unwrap()
+            .pk("id", DataType::Int)
+            .unwrap()
+            .col("name", DataType::Text)
+            .unwrap()
+            .finish();
+        let mut db = Database::new(c).unwrap();
+        db.insert("t", Row::new(vec![1.into(), "alpha".into()]))
             .unwrap();
         assert!(!db.is_finalized());
+        let name = db.catalog().attr_id("t", "name").unwrap();
+        assert!(db.index(name).is_none(), "no index work before finalize");
+        db.delete("t", &[Value::Int(1)]).unwrap();
+        db.insert("t", Row::new(vec![2.into(), "beta".into()]))
+            .unwrap();
+        db.finalize();
+        assert!(db.search_score(name, "beta") > 0.0);
+        assert_eq!(db.search_score(name, "alpha"), 0.0);
     }
 }

@@ -23,6 +23,8 @@ pub enum StoreError {
     ForeignKeyViolation(String),
     /// NULL stored into a non-nullable column.
     NullViolation(String),
+    /// A mutation addressed a primary key with no live row.
+    RowNotFound(String),
     /// Malformed SQL statement handed to the executor.
     InvalidQuery(String),
 }
@@ -39,6 +41,7 @@ impl fmt::Display for StoreError {
             StoreError::DuplicateKey(m) => write!(f, "duplicate primary key: {m}"),
             StoreError::ForeignKeyViolation(m) => write!(f, "foreign key violation: {m}"),
             StoreError::NullViolation(m) => write!(f, "null violation: {m}"),
+            StoreError::RowNotFound(m) => write!(f, "row not found: {m}"),
             StoreError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
         }
     }

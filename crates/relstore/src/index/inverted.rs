@@ -8,7 +8,7 @@
 //! function: a BM25-lite relevance score per `(keyword, attribute)` plus the
 //! posting lists needed to fetch matching rows.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::index::tokenizer::{normalize_keyword, tokenize};
 use crate::row::RowId;
@@ -24,7 +24,14 @@ pub struct Posting {
 }
 
 /// Inverted index over a single attribute's values.
-#[derive(Debug, Clone, Default)]
+///
+/// Maintained *incrementally*: [`AttributeIndex::add`] and
+/// [`AttributeIndex::remove`] are exact inverses, and any interleaving of
+/// them leaves the index bit-identical to one rebuilt from scratch over the
+/// surviving values (posting lists are kept sorted by row id, and the
+/// doc-count / total-length bookkeeping is symmetric). Equality compares
+/// the full posting structure, so tests can assert that identity directly.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AttributeIndex {
     /// token -> postings sorted by row id.
     postings: HashMap<String, Vec<Posting>>,
@@ -53,10 +60,39 @@ impl AttributeIndex {
             *tf.entry(t).or_insert(0) += 1;
         }
         for (tok, count) in tf {
-            self.postings
-                .entry(tok)
-                .or_default()
-                .push(Posting { row, tf: count });
+            let list = self.postings.entry(tok).or_default();
+            // Keep lists sorted by row id. Bulk loads append (ascending
+            // ids); re-adds after deletes land mid-list, exactly where a
+            // full rebuild would have put them.
+            let at = list.partition_point(|p| p.row < row);
+            list.insert(at, Posting { row, tf: count });
+        }
+    }
+
+    /// Un-index one attribute value of `row`: the exact inverse of
+    /// [`AttributeIndex::add`] with the same arguments. Pass the value that
+    /// was indexed (the caller keeps the row, so it has it).
+    pub fn remove(&mut self, row: RowId, text: &str) {
+        let tokens = tokenize(text);
+        if tokens.is_empty() {
+            return;
+        }
+        self.doc_count -= 1;
+        self.total_len -= tokens.len() as u64;
+        let mut seen: HashSet<&str> = HashSet::new();
+        for t in &tokens {
+            if !seen.insert(t.as_str()) {
+                continue;
+            }
+            let Some(list) = self.postings.get_mut(t.as_str()) else {
+                continue;
+            };
+            if let Ok(at) = list.binary_search_by(|p| p.row.cmp(&row)) {
+                list.remove(at);
+            }
+            if list.is_empty() {
+                self.postings.remove(t.as_str());
+            }
         }
     }
 
@@ -217,6 +253,58 @@ mod tests {
     fn tf_saturates() {
         assert!(bm25_tf(100) > bm25_tf(2));
         assert!(bm25_tf(u32::MAX) <= 2.2);
+    }
+
+    #[test]
+    fn remove_is_the_exact_inverse_of_add() {
+        let values = ["Gone with the Wind", "The Wind Rises", "Casablanca"];
+        let before = index(&values);
+        let mut ix = before.clone();
+        ix.add(RowId(9), "Wind of Change");
+        ix.remove(RowId(9), "Wind of Change");
+        assert_eq!(ix, before, "add then remove restores the index bitwise");
+        // Removing a middle row then re-adding it matches a fresh rebuild.
+        ix.remove(RowId(1), values[1]);
+        ix.add(RowId(1), values[1]);
+        assert_eq!(ix, before, "remove then re-add is order-stable");
+        // Empty/stopword-only values were never indexed; removal is a no-op.
+        ix.remove(RowId(5), "");
+        ix.remove(RowId(5), "the");
+        assert_eq!(ix, before);
+    }
+
+    #[test]
+    fn interleaved_maintenance_matches_rebuild() {
+        let mut live: Vec<(u64, &str)> = Vec::new();
+        let mut ix = AttributeIndex::new();
+        let script: &[(char, u64, &str)] = &[
+            ('a', 0, "alpha beta"),
+            ('a', 1, "beta gamma"),
+            ('a', 2, "alpha alpha"),
+            ('d', 1, "beta gamma"),
+            ('a', 3, "delta"),
+            ('d', 0, "alpha beta"),
+            ('a', 4, "beta beta gamma"),
+            ('d', 3, "delta"),
+        ];
+        for &(op, rid, text) in script {
+            match op {
+                'a' => {
+                    ix.add(RowId(rid), text);
+                    live.push((rid, text));
+                }
+                _ => {
+                    ix.remove(RowId(rid), text);
+                    live.retain(|(r, _)| *r != rid);
+                }
+            }
+            let mut rebuilt = AttributeIndex::new();
+            live.sort_by_key(|(r, _)| *r);
+            for &(r, t) in &live {
+                rebuilt.add(RowId(r), t);
+            }
+            assert_eq!(ix, rebuilt, "divergence after op {op} r{rid}");
+        }
     }
 
     #[test]

@@ -116,6 +116,19 @@ impl Catalog {
         })
     }
 
+    /// Resume defining an existing table (used by restore tooling that
+    /// reads a table name before its attribute list). The returned builder
+    /// appends attributes after any already defined.
+    pub fn resume_table(&mut self, id: TableId) -> Result<TableBuilder<'_>, StoreError> {
+        if (id.0 as usize) >= self.tables.len() {
+            return Err(StoreError::UnknownTable(id.to_string()));
+        }
+        Ok(TableBuilder {
+            catalog: self,
+            table: id,
+        })
+    }
+
     /// Register a foreign key `from_table.from_attr -> to_table's PK`.
     ///
     /// The referenced table must have a single-attribute primary key (QUEST's

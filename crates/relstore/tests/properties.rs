@@ -186,3 +186,120 @@ proptest! {
         prop_assert_eq!(hits, ix_hits, "executor vs index disagree for {}", probe);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Live-mutation properties: any interleaving of insert / delete / update
+// must leave every inverted index and all statistics bit-identical to a
+// database rebuilt from scratch over the final rows, and the instance must
+// pass full integrity validation after every accepted operation.
+
+/// Small word pool so random texts collide on tokens (shared postings,
+/// multi-token values, stopwords, and empty strings all get exercised).
+const WORDS: [&str; 8] = [
+    "wind",
+    "gone with the wind",
+    "casablanca",
+    "the",
+    "",
+    "wind rises",
+    "kane citizen kane",
+    "vertigo",
+];
+
+fn mutation_db() -> Database {
+    let mut c = Catalog::new();
+    c.define_table("author")
+        .expect("t")
+        .pk("id", DataType::Int)
+        .expect("pk")
+        .col("name", DataType::Text)
+        .expect("col")
+        .finish();
+    c.define_table("book")
+        .expect("t")
+        .pk("id", DataType::Int)
+        .expect("pk")
+        .col("title", DataType::Text)
+        .expect("col")
+        .col_opts("author_id", DataType::Int, true, false)
+        .expect("col")
+        .finish();
+    c.add_foreign_key("book", "author_id", "author")
+        .expect("fk");
+    let mut db = Database::new(c).expect("db");
+    db.finalize();
+    db
+}
+
+/// One scripted operation: `(op, id, word, ref_id)`. Interpreted against
+/// whatever state the database happens to be in — constraint violations
+/// (duplicate keys, RI restricts, missing rows) are expected outcomes, not
+/// failures; the property is that *whatever* the checked API accepted, the
+/// maintained state equals a rebuild.
+fn apply_mutation(db: &mut Database, op: &(u8, i64, usize, i64)) {
+    let (kind, id, word, ref_id) = *op;
+    let text = Value::text(WORDS[word % WORDS.len()]);
+    let author_ref = if ref_id % 3 == 0 {
+        Value::Null
+    } else {
+        Value::Int(ref_id)
+    };
+    let _ = match kind % 6 {
+        0 => db.insert("author", Row::new(vec![id.into(), text])),
+        1 => db.insert("book", Row::new(vec![id.into(), text, author_ref])),
+        2 => db.delete("author", &[Value::Int(id)]),
+        3 => db.delete("book", &[Value::Int(id)]),
+        4 => db.update("author", &[Value::Int(id)], Row::new(vec![id.into(), text])),
+        _ => db.update(
+            "book",
+            &[Value::Int(id)],
+            Row::new(vec![id.into(), text, author_ref]),
+        ),
+    };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interleaved_mutations_match_rebuild(
+        ops in proptest::collection::vec((0u8..6, 0i64..8, 0usize..8, 0i64..8), 0..60)
+    ) {
+        let mut db = mutation_db();
+        for op in &ops {
+            apply_mutation(&mut db, op);
+        }
+        prop_assert!(db.is_finalized(), "mutations keep the database finalized");
+        db.validate().expect("maintained instance passes integrity validation");
+
+        // Rebuild from scratch over the exact same final rows.
+        let mut rebuilt = db.clone();
+        rebuilt.finalize();
+        for attr in db.catalog().attributes() {
+            prop_assert_eq!(
+                db.index(attr.id),
+                rebuilt.index(attr.id),
+                "inverted index of {} diverged from rebuild after {} ops",
+                db.catalog().qualified_name(attr.id),
+                ops.len()
+            );
+            prop_assert_eq!(db.attr_stats(attr.id), rebuilt.attr_stats(attr.id));
+        }
+        for fk in db.catalog().foreign_keys() {
+            prop_assert_eq!(db.fk_stats(*fk), rebuilt.fk_stats(*fk));
+        }
+    }
+
+    #[test]
+    fn accepted_mutations_preserve_referential_integrity(
+        ops in proptest::collection::vec((0u8..6, 0i64..8, 0usize..8, 0i64..8), 0..40)
+    ) {
+        let mut db = mutation_db();
+        for op in &ops {
+            apply_mutation(&mut db, op);
+            // The checked API must never let the instance go inconsistent,
+            // not even transiently between operations.
+            db.validate().expect("instance stays consistent after every op");
+        }
+    }
+}

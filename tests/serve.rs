@@ -1,12 +1,14 @@
-//! Determinism under concurrency: the serving layer must be semantically
-//! invisible. N workers over a shuffled workload — cold caches or warm —
-//! produce explanation sets and scores bit-identical to serial execution on
-//! the plain engine.
+//! Determinism under concurrency and mutation: the serving layer must be
+//! semantically invisible. N workers over a shuffled workload — cold caches
+//! or warm, before or after live-data mutation batches — produce
+//! explanation sets and scores bit-identical to serial execution on a plain
+//! engine over the same data.
 
 use std::collections::HashMap;
 
 use quest::prelude::*;
 use quest::serve::CachedEngine;
+use quest::wal::ChangeRecord;
 
 fn imdb_engine() -> Quest<FullAccessWrapper> {
     let db = quest::data::imdb::generate(&quest::data::imdb::ImdbScale {
@@ -69,7 +71,7 @@ fn concurrent_results_identical_to_serial_cold_and_warm() {
         for (raw, ticket) in stream.iter().zip(tickets) {
             let out = ticket.wait().expect("served search succeeds");
             assert_eq!(&out.query.raw, raw, "ticket order matches submissions");
-            let got = fingerprint(service.engine().engine(), &out);
+            let got = fingerprint(&service.engine().engine(), &out);
             assert_eq!(
                 &got, &expected[raw],
                 "{phase}-cache result diverged from serial for {raw:?}"
@@ -139,11 +141,139 @@ fn feedback_mid_stream_keeps_serving_consistent() {
     let expected = serial_reference(&reference, &stream);
     for (raw, ticket) in stream.iter().zip(service.submit_batch(&stream)) {
         let out = ticket.wait().expect("served search succeeds");
-        let got = fingerprint(service.engine().engine(), &out);
+        let got = fingerprint(&service.engine().engine(), &out);
         assert_eq!(
             &got, &expected[raw],
             "post-feedback result diverged from serial for {raw:?}"
         );
+    }
+}
+
+/// Mutation batches for the live-data tests: retitle one movie, add a new
+/// person and movie, delete a rating-less orphan. Addressed by primary
+/// keys that exist in the `movies: 300, seed: 42` IMDB generation.
+fn mutation_batches(db: &Database) -> Vec<Vec<ChangeRecord>> {
+    let movie = db.catalog().table_id("movie").expect("movie table");
+    // Take two live movies to mutate, read their current rows.
+    let victims: Vec<(Vec<Value>, Vec<Value>)> = db
+        .table_data(movie)
+        .iter()
+        .take(2)
+        .map(|(_, row)| {
+            let key = vec![row.get(0).clone()];
+            (key, row.values().to_vec())
+        })
+        .collect();
+    let mut retitled = victims[0].1.clone();
+    retitled[1] = "A Completely New Title".into();
+    vec![
+        vec![
+            ChangeRecord::Insert {
+                table: "person".into(),
+                row: vec![900_001.into(), "Zelda Zeitgeist".into(), 1901.into()],
+            },
+            ChangeRecord::Update {
+                table: "movie".into(),
+                key: victims[0].0.clone(),
+                row: retitled,
+            },
+        ],
+        vec![ChangeRecord::Insert {
+            table: "movie".into(),
+            row: {
+                let mut row = victims[1].1.clone();
+                row[0] = 900_002.into();
+                row[1] = "Zeitgeist Rising".into();
+                row
+            },
+        }],
+        vec![ChangeRecord::Delete {
+            table: "movie".into(),
+            key: vec![900_002.into()],
+        }],
+    ]
+}
+
+#[test]
+fn served_results_after_mutations_match_a_cold_engine() {
+    // After every mutation batch applied through the service's shared
+    // engine, served results must be bit-identical to a *cold* engine
+    // built from scratch over the identically mutated database.
+    let engine = imdb_engine();
+    let mut shadow_db = engine.wrapper().database().clone();
+    let service = QueryService::new(CachedEngine::new(engine), 4);
+    let stream = shuffled_stream(2);
+
+    // Warm all caches so stale entries would be caught if epochs failed.
+    for t in service.submit_batch(&stream) {
+        let _ = t.wait();
+    }
+    let batches = mutation_batches(&shadow_db);
+    for (i, batch) in batches.iter().enumerate() {
+        let report = service.engine().apply(batch).expect("batch applies");
+        assert_eq!(report.applied, batch.len());
+        assert!(report.all_applied());
+        assert_eq!(service.engine().data_epoch(), i as u64 + 1);
+        for change in batch {
+            change.apply(&mut shadow_db).expect("shadow applies");
+        }
+        let cold = Quest::new(
+            FullAccessWrapper::new(shadow_db.clone()),
+            QuestConfig::default(),
+        )
+        .expect("cold engine builds");
+        let expected = serial_reference(&cold, &stream);
+        for (raw, ticket) in stream.iter().zip(service.submit_batch(&stream)) {
+            let out = ticket.wait().expect("served search succeeds");
+            let got = fingerprint(&service.engine().engine(), &out);
+            assert_eq!(
+                &got, &expected[raw],
+                "batch {i}: served result diverged from cold engine for {raw:?}"
+            );
+        }
+    }
+    // The mutated-keyword queries see the new data end to end.
+    let out = service.submit("zeitgeist").wait().expect("search");
+    assert!(!out.explanations.is_empty());
+    let stats = service.shutdown();
+    assert_eq!(stats.data_epoch, batches.len() as u64);
+    assert_eq!(stats.errors, 0);
+}
+
+#[test]
+fn mutations_and_queries_interleave_safely_across_workers() {
+    // Queries race a mutation batch from another thread; every ticket must
+    // resolve against either the old or the new data (never a torn mix),
+    // and afterwards the service must agree with a cold engine.
+    let engine = imdb_engine();
+    let mut shadow_db = engine.wrapper().database().clone();
+    let shared = std::sync::Arc::new(CachedEngine::new(engine));
+    let service = QueryService::over(std::sync::Arc::clone(&shared), 4);
+    let stream = shuffled_stream(2);
+    let tickets = service.submit_batch(&stream);
+
+    let batch = mutation_batches(&shadow_db).remove(0);
+    let mutator = {
+        let shared = std::sync::Arc::clone(&shared);
+        let batch = batch.clone();
+        std::thread::spawn(move || shared.apply(&batch).expect("apply succeeds").applied)
+    };
+    for ticket in tickets {
+        let out = ticket.wait().expect("ticket resolves");
+        assert!(!out.query.raw.is_empty());
+    }
+    assert_eq!(mutator.join().expect("mutator thread"), batch.len());
+
+    for change in &batch {
+        change.apply(&mut shadow_db).expect("shadow applies");
+    }
+    let cold = Quest::new(FullAccessWrapper::new(shadow_db), QuestConfig::default())
+        .expect("cold engine builds");
+    let expected = serial_reference(&cold, &stream);
+    for (raw, ticket) in stream.iter().zip(service.submit_batch(&stream)) {
+        let out = ticket.wait().expect("served search succeeds");
+        let got = fingerprint(&service.engine().engine(), &out);
+        assert_eq!(&got, &expected[raw], "post-race divergence for {raw:?}");
     }
 }
 
@@ -156,7 +286,7 @@ fn worker_counts_do_not_change_results() {
         let mut results: HashMap<String, Fingerprint> = HashMap::new();
         for (raw, ticket) in stream.iter().zip(service.submit_batch(&stream)) {
             let out = ticket.wait().expect("search succeeds");
-            results.insert(raw.clone(), fingerprint(service.engine().engine(), &out));
+            results.insert(raw.clone(), fingerprint(&service.engine().engine(), &out));
         }
         match &baseline {
             None => baseline = Some(results),

@@ -1,0 +1,154 @@
+//! Criterion bench — the replication path: positioned log tailing
+//! (seek + poll vs. a whole-file read), the commit→ship→apply round trip,
+//! and the router's per-query overhead on a warm replica tier.
+
+use std::cell::Cell;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quest_bench::{engine_for, Dataset};
+use quest_core::QuestConfig;
+use quest_replica::{Consistency, Primary, ReplicaSet, RoutingPolicy};
+use quest_wal::{read_log, ChangeRecord, LogReader, WalWriter};
+use relstore::{Catalog, DataType};
+
+fn bench_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("quest-replica-bench")
+        .join(format!("{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    dir
+}
+
+/// Mutation batches need fresh primary keys each iteration; a bumping
+/// counter keeps them unique across criterion's warmup and sampling.
+fn next_ids(counter: &Cell<i64>) -> (i64, i64) {
+    let base = counter.get();
+    counter.set(base + 2);
+    (base, base + 1)
+}
+
+fn insert_pair(person_id: i64, movie_id: i64) -> Vec<ChangeRecord> {
+    vec![
+        ChangeRecord::Insert {
+            table: "person".into(),
+            row: vec![person_id.into(), "Bench Director".into(), 1970.into()],
+        },
+        ChangeRecord::Insert {
+            table: "movie".into(),
+            row: vec![
+                movie_id.into(),
+                "Bench Premiere".into(),
+                2024.into(),
+                7.0.into(),
+                person_id.into(),
+            ],
+        },
+    ]
+}
+
+/// Seek + poll against a prebuilt log: the positioned bootstrap path a
+/// replica takes from a snapshot, vs. decoding the whole file.
+fn bench_log_tailing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replica_log_tailing");
+    g.sample_size(10);
+
+    let dir = bench_dir("tailing");
+    let mut catalog = Catalog::new();
+    catalog
+        .define_table("t")
+        .unwrap()
+        .pk("id", DataType::Int)
+        .unwrap()
+        .col("name", DataType::Text)
+        .unwrap()
+        .finish();
+    let wal = dir.join("tail.wal");
+    {
+        let mut w = WalWriter::open(&wal, &catalog).expect("wal opens");
+        for i in 0..4_000i64 {
+            w.append(&ChangeRecord::Insert {
+                table: "t".into(),
+                row: vec![i.into(), format!("row {i}").into()],
+            })
+            .expect("append");
+        }
+    }
+
+    g.bench_function("seek_3900_poll_tail", |b| {
+        b.iter(|| {
+            let mut r = LogReader::open(&wal, &catalog).expect("open");
+            r.seek(3_900).expect("seek");
+            let poll = r.poll().expect("poll");
+            assert_eq!(std::hint::black_box(poll.records.len()), 100);
+        })
+    });
+    g.bench_function("read_log_full_decode", |b| {
+        b.iter(|| {
+            let log = read_log(&wal, &catalog).expect("read");
+            assert_eq!(std::hint::black_box(log.records.len()), 4_000);
+        })
+    });
+    g.finish();
+}
+
+/// Commit at the primary, then ship-and-apply at a replica: the full
+/// replication round trip for a two-record batch, and the router's
+/// consistency-bounded query straight after.
+fn bench_replication_round_trip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replica_round_trip");
+    g.sample_size(10);
+
+    let dir = bench_dir("round-trip");
+    let engine = engine_for(Dataset::Imdb);
+    let db = engine.wrapper().database().clone();
+    let primary = Arc::new(Primary::open(&dir, db, QuestConfig::default()).expect("primary"));
+    let mut set = ReplicaSet::new(Arc::clone(&primary), RoutingPolicy::RoundRobin);
+    let replica = set.spawn_replica("r1").expect("replica");
+    let counter = Cell::new(700_000i64);
+
+    g.bench_function("commit_sync_one_batch", |b| {
+        b.iter(|| {
+            let (person_id, movie_id) = next_ids(&counter);
+            let receipt = primary
+                .commit(&insert_pair(person_id, movie_id))
+                .expect("commit");
+            let report = replica.sync().expect("sync");
+            assert_eq!(std::hint::black_box(report.lsn), receipt.last_lsn);
+        })
+    });
+
+    // Warm the tier, then measure pure routing + cached-search overhead.
+    let queries: Vec<String> = Dataset::Imdb
+        .workload()
+        .iter()
+        .take(4)
+        .map(|wq| wq.raw.clone())
+        .collect();
+    for q in &queries {
+        let _ = set.query(q, Consistency::Eventual).expect("warm");
+    }
+    g.bench_function("routed_query_warm", |b| {
+        b.iter(|| {
+            for q in &queries {
+                let routed = set.query(q, Consistency::Eventual).expect("routes");
+                std::hint::black_box(routed.lsn);
+            }
+        })
+    });
+    g.bench_function("routed_query_read_your_writes", |b| {
+        b.iter(|| {
+            let bound = primary.last_lsn();
+            for q in &queries {
+                let routed = set.query(q, Consistency::AtLeast(bound)).expect("routes");
+                assert!(std::hint::black_box(routed.lsn) >= bound);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_log_tailing, bench_replication_round_trip);
+criterion_main!(benches);

@@ -1,7 +1,9 @@
 //! Regenerates every experiment table in EXPERIMENTS.md.
 //!
 //! Usage: `cargo run --release -p quest-bench --bin experiments
-//! [e1|e2|e3|e4|e5|e7|e8|e9|serve-throughput|all]`
+//! [e1|e2|e3|e4|e5|e7|e8|e9|e10|e11|e12|all]`
+//! (aliases: `serve-throughput` = e10, `live-update` = e11,
+//! `replication` = e12)
 //!
 //! (E6 — per-module microbenches — lives in the criterion benches:
 //! `cargo bench -p quest-bench`.)
@@ -55,6 +57,177 @@ fn main() {
     if run("e11") || run("live-update") {
         e11_live_update();
     }
+    if run("e12") || run("replication") {
+        e12_replication();
+    }
+}
+
+// ---------------------------------------------------------------- E12
+
+/// E12 — replication: read throughput as replicas are added (round-robin
+/// routing, concurrent clients), then the cost of read-your-writes
+/// consistency right after commits against eventual reads. Correctness —
+/// replicas bit-identical to a cold engine at the same LSN — is pinned by
+/// `tests/replica.rs`; this experiment measures the serving economics.
+fn e12_replication() {
+    use quest_replica::{Consistency, Primary, ReplicaSet, RoutingPolicy};
+    use quest_wal::ChangeRecord;
+    use std::sync::Arc;
+
+    println!("\n## E12 — replication: read scale-out and consistency cost (IMDB-shaped)\n");
+    const REPS: usize = 10;
+    const CLIENTS: usize = 4;
+
+    let ds = Dataset::Imdb;
+    let db = ds.generate_default();
+    let stream = quest_bench::shuffled_stream(&ds.workload(), REPS, 0x5EED_F00D_0000_0012);
+    let e12_dir = |name: &str| {
+        let dir = std::env::temp_dir().join(format!("quest-e12-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    };
+
+    // Part A: read scale-out. The same warmed query stream, CLIENTS client
+    // threads, routed over 0..4 replicas (0 = every read on the primary).
+    let mut t = Table::new(&["replicas", "queries", "wall", "qps", "speedup"]);
+    let mut base_wall = None;
+    for replicas in [0usize, 1, 2, 4] {
+        let dir = e12_dir(&format!("scale-{replicas}"));
+        let primary =
+            Arc::new(Primary::open(&dir, db.clone(), QuestConfig::default()).expect("primary"));
+        let mut set = ReplicaSet::new(Arc::clone(&primary), RoutingPolicy::RoundRobin);
+        for i in 0..replicas {
+            set.spawn_replica(&format!("r{i}")).expect("replica");
+        }
+        // Warm every server's caches once (each replica sees each query).
+        for wq in ds.workload() {
+            for _ in 0..replicas.max(1) {
+                set.query(&wq.raw, Consistency::Eventual).expect("warm");
+            }
+        }
+        let (_, wall) = time(|| {
+            std::thread::scope(|scope| {
+                for chunk in stream.chunks(stream.len().div_ceil(CLIENTS)) {
+                    let set = &set;
+                    scope.spawn(move || {
+                        for raw in chunk {
+                            set.query(raw, Consistency::Eventual).expect("query");
+                        }
+                    });
+                }
+            });
+        });
+        let speedup = match base_wall {
+            None => {
+                base_wall = Some(wall);
+                "1.00x".to_string()
+            }
+            Some(base) => format!("{:.2}x", base.as_secs_f64() / wall.as_secs_f64().max(1e-9)),
+        };
+        t.row(vec![
+            replicas.to_string(),
+            stream.len().to_string(),
+            fmt_dur(wall),
+            format!("{:.0}", stream.len() as f64 / wall.as_secs_f64().max(1e-9)),
+            speedup,
+        ]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    print!("{}", t.render());
+    println!("\n(in-process replicas share one host's cores, so warm-cache throughput is flat by design — this table pins the router's overhead at near zero; the replica win is cache/lock isolation under churn and, across machines, real fan-out.)");
+
+    // Part B: consistency cost. Two replicas with no background daemons;
+    // after every commit, a burst of reads either tolerates staleness
+    // (eventual: replicas drift behind) or demands the commit back
+    // (read-your-writes: the first bounded read pulls a replica up to the
+    // commit LSN over the shared log).
+    const ROUNDS: usize = 5;
+    const BURST: usize = 20;
+    let mut t = Table::new(&[
+        "consistency",
+        "queries",
+        "wall",
+        "qps",
+        "served stale",
+        "max lag seen",
+    ]);
+    for read_your_writes in [false, true] {
+        let dir = e12_dir(if read_your_writes { "ryw" } else { "eventual" });
+        let primary =
+            Arc::new(Primary::open(&dir, db.clone(), QuestConfig::default()).expect("primary"));
+        let mut set = ReplicaSet::new(Arc::clone(&primary), RoutingPolicy::RoundRobin);
+        for i in 0..2 {
+            set.spawn_replica(&format!("r{i}")).expect("replica");
+        }
+        for wq in ds.workload().iter().take(BURST) {
+            let _ = set.query(&wq.raw, Consistency::Eventual).expect("warm");
+        }
+        let mut stale = 0usize;
+        let mut max_lag = 0u64;
+        let queries: Vec<String> = ds
+            .workload()
+            .iter()
+            .cycle()
+            .take(BURST)
+            .map(|wq| wq.raw.clone())
+            .collect();
+        let (_, wall) = time(|| {
+            for round in 0..ROUNDS {
+                let person_id = 820_000 + 2 * round as i64;
+                let receipt = primary
+                    .commit(&[
+                        ChangeRecord::Insert {
+                            table: "person".into(),
+                            row: vec![
+                                person_id.into(),
+                                format!("Replicated Director {round}").into(),
+                                1970.into(),
+                            ],
+                        },
+                        ChangeRecord::Insert {
+                            table: "movie".into(),
+                            row: vec![
+                                (person_id + 1).into(),
+                                format!("Replicated Release {round}").into(),
+                                2024.into(),
+                                7.5.into(),
+                                person_id.into(),
+                            ],
+                        },
+                    ])
+                    .expect("commit");
+                let consistency = if read_your_writes {
+                    Consistency::AtLeast(receipt.last_lsn)
+                } else {
+                    Consistency::Eventual
+                };
+                for raw in &queries {
+                    let routed = set.query(raw, consistency).expect("query");
+                    let lag = primary.last_lsn().saturating_sub(routed.lsn);
+                    max_lag = max_lag.max(lag);
+                    if lag > 0 {
+                        stale += 1;
+                    }
+                }
+            }
+        });
+        let total = ROUNDS * BURST;
+        t.row(vec![
+            if read_your_writes {
+                "read-your-writes".into()
+            } else {
+                "eventual".into()
+            },
+            total.to_string(),
+            fmt_dur(wall),
+            format!("{:.0}", total as f64 / wall.as_secs_f64().max(1e-9)),
+            format!("{stale}/{total}"),
+            max_lag.to_string(),
+        ]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    print!("{}", t.render());
+    println!("\nread-your-writes pays one catch-up pull per commit (the shared log makes it a read, not a wait); eventual reads never block but drift by the full commit lag until a sync daemon catches the replicas up.");
 }
 
 // ---------------------------------------------------------------- E11

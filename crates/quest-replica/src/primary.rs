@@ -1,0 +1,364 @@
+//! [`Primary`]: the single write point of a replicated QUEST topology.
+//!
+//! The primary owns the only [`WalWriter`] and the only mutable engine. A
+//! [`Primary::commit`] appends the batch to the log — assigning each record
+//! its **LSN**, the log sequence number that is the topology's global clock
+//! — and then applies it through the primary's own [`CachedEngine`], all
+//! under one lock so log order always equals apply order (the invariant
+//! every replica's convergence proof rests on). The committed LSN is
+//! published only after the apply completes, so a client holding a
+//! [`CommitReceipt`] can demand read-your-writes from any server at or past
+//! `receipt.last_lsn`.
+//!
+//! Replicas bootstrap from the primary's published snapshot
+//! ([`Primary::publish_snapshot`], always at an exact LSN) and then tail
+//! the same log file with a positioned
+//! [`LogReader`](quest_wal::LogReader) — the log is the replication
+//! transport, not just a crash-recovery artifact.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use quest_core::{FullAccessWrapper, Quest, QuestConfig, QuestError, SearchOutcome};
+use quest_serve::{ApplyReport, CacheConfig, CachedEngine};
+use quest_wal::{recover, write_snapshot, ChangeRecord, SyncPolicy, WalWriter};
+use relstore::Database;
+
+use crate::error::ReplicaError;
+
+/// File name of the primary's write-ahead log inside its directory.
+const WAL_FILE: &str = "primary.wal";
+/// File name of the latest published snapshot inside the directory.
+const SNAPSHOT_FILE: &str = "latest.snap";
+
+/// Tuning knobs of a [`Primary`].
+#[derive(Debug, Clone, Default)]
+pub struct PrimaryOptions {
+    /// Automatic-fsync policy of the log (default: [`SyncPolicy::Never`] —
+    /// the caller owns durability points via [`Primary::sync`]).
+    pub sync_policy: SyncPolicy,
+    /// Cache sizing of the primary's serving engine.
+    pub caches: CacheConfig,
+}
+
+/// What one [`Primary::commit`] did.
+#[derive(Debug)]
+pub struct CommitReceipt {
+    /// LSN of the first record in the batch. For an empty batch this is
+    /// `last_lsn + 1` (an empty LSN range).
+    pub first_lsn: u64,
+    /// LSN of the last record — the token to pass as
+    /// [`Consistency::AtLeast`](crate::Consistency::AtLeast) for
+    /// read-your-writes over this commit.
+    pub last_lsn: u64,
+    /// Per-record outcome: which records applied and which the store
+    /// rejected (rejections are logged too, and re-rejected identically by
+    /// every replica and every recovery).
+    pub report: ApplyReport,
+}
+
+/// The write point: one log, one mutable engine, monotonic LSNs.
+#[derive(Debug)]
+pub struct Primary {
+    dir: PathBuf,
+    engine: Arc<CachedEngine<FullAccessWrapper>>,
+    /// The single WAL writer. Held across append **and** apply in
+    /// [`Primary::commit`], so log order equals apply order.
+    wal: Mutex<WalWriter>,
+    /// Highest LSN whose effect is applied and visible to searches.
+    /// Published with `Release` after the apply, so a reader that observes
+    /// LSN `L` here can rely on the primary serving data at or past `L`.
+    last_lsn: AtomicU64,
+}
+
+impl Primary {
+    /// Start a fresh primary in `dir` over `db`, with default options.
+    ///
+    /// Creates the directory, the log, and an initial snapshot at LSN 0 so
+    /// replicas can bootstrap immediately. Refuses a directory whose log
+    /// already has records — that history belongs to an earlier incarnation;
+    /// use [`Primary::reopen`] to resume it.
+    pub fn open(dir: &Path, db: Database, config: QuestConfig) -> Result<Primary, ReplicaError> {
+        Primary::open_with(dir, db, config, PrimaryOptions::default())
+    }
+
+    /// [`Primary::open`] with explicit options.
+    pub fn open_with(
+        dir: &Path,
+        db: Database,
+        config: QuestConfig,
+        options: PrimaryOptions,
+    ) -> Result<Primary, ReplicaError> {
+        std::fs::create_dir_all(dir).map_err(quest_wal::WalError::Io)?;
+        let wal = WalWriter::open_with(&dir.join(WAL_FILE), db.catalog(), options.sync_policy)?;
+        if wal.next_seq() != 1 {
+            return Err(ReplicaError::State(format!(
+                "{} already holds {} records; use Primary::reopen to resume it",
+                dir.join(WAL_FILE).display(),
+                wal.next_seq() - 1
+            )));
+        }
+        let engine = Quest::new(FullAccessWrapper::new(db), config)?;
+        let primary = Primary {
+            dir: dir.to_path_buf(),
+            engine: Arc::new(CachedEngine::with_caches(engine, options.caches)),
+            wal: Mutex::new(wal),
+            last_lsn: AtomicU64::new(0),
+        };
+        primary.publish_snapshot()?;
+        Ok(primary)
+    }
+
+    /// Resume a primary from its directory: recover the database from the
+    /// latest snapshot plus the log suffix, and continue the LSN sequence
+    /// where the previous incarnation stopped.
+    pub fn reopen(
+        dir: &Path,
+        config: QuestConfig,
+        options: PrimaryOptions,
+    ) -> Result<Primary, ReplicaError> {
+        let recovery = recover(&dir.join(SNAPSHOT_FILE), &dir.join(WAL_FILE))?;
+        let db = recovery.db;
+        let wal = WalWriter::open_with(&dir.join(WAL_FILE), db.catalog(), options.sync_policy)?;
+        let last_lsn = wal.next_seq() - 1;
+        // A log whose last sequence sits below the snapshot watermark has
+        // lost acknowledged history (publish_snapshot syncs the log before
+        // the snapshot, so this is rot or tampering, not a crash).
+        // Resuming would re-issue LSNs the snapshot — and every replica
+        // bootstrapped from it — already covers. Refuse.
+        if last_lsn < recovery.snapshot_lsn {
+            return Err(ReplicaError::State(format!(
+                "log ends at lsn {last_lsn} but the snapshot covers lsn {}; \
+                 resuming would re-issue covered LSNs",
+                recovery.snapshot_lsn
+            )));
+        }
+        let engine = Quest::new(FullAccessWrapper::new(db), config)?;
+        Ok(Primary {
+            dir: dir.to_path_buf(),
+            engine: Arc::new(CachedEngine::with_caches(engine, options.caches)),
+            wal: Mutex::new(wal),
+            last_lsn: AtomicU64::new(last_lsn),
+        })
+    }
+
+    /// Commit a mutation batch: write-ahead to the log (assigning LSNs),
+    /// then apply through the serving engine — both under the writer lock,
+    /// so concurrent commits serialize and log order equals apply order.
+    ///
+    /// The batch is appended **all-or-nothing**
+    /// ([`WalWriter::append_batch`]): a failed append rolls the log back
+    /// and applies nothing, so the live primary can never diverge from a
+    /// log that holds only a prefix of a batch it reported failed.
+    ///
+    /// Rejected records are part of the committed history (they are logged,
+    /// and every replica re-rejects them identically); the receipt's
+    /// [`ApplyReport`] says which ones. Durability at commit time follows
+    /// the [`SyncPolicy`]; call [`Primary::sync`] for an explicit barrier.
+    ///
+    /// `last_lsn` is published only once the apply completes — it is the
+    /// primary's read-your-writes barrier, **not** a replication barrier:
+    /// a replica tailing the shared log may legitimately apply (and serve)
+    /// a batch in the window between the append and the publish.
+    pub fn commit(&self, batch: &[ChangeRecord]) -> Result<CommitReceipt, ReplicaError> {
+        let mut wal = self.wal.lock().unwrap_or_else(PoisonError::into_inner);
+        if batch.is_empty() {
+            return Ok(CommitReceipt {
+                first_lsn: self.last_lsn() + 1,
+                last_lsn: self.last_lsn(),
+                report: ApplyReport::default(),
+            });
+        }
+        let first_lsn = wal.next_seq();
+        let (first_lsn, last_lsn) = match wal.append_batch(batch) {
+            Ok(range) => range,
+            Err(e) => {
+                // A *post-write* fsync failure (writer poisoned, next_seq
+                // advanced past the batch) leaves the records permanently
+                // in the log, where replicas may already be tailing them.
+                // Apply them here too so this primary stays consistent
+                // with its own log, then still report the failure: the
+                // commit is NOT acknowledged — its durability is unknown —
+                // but commit failure is not rollback under write-ahead
+                // logging. Any other failure rolled the log back (or wrote
+                // nothing), so there is nothing to reconcile.
+                if wal.poisoned() && wal.next_seq() == first_lsn + batch.len() as u64 {
+                    let _ = self.engine.apply(batch);
+                    self.last_lsn.store(wal.next_seq() - 1, Ordering::Release);
+                }
+                return Err(e.into());
+            }
+        };
+        let report = self.engine.apply(batch)?;
+        // Publish only after the apply: a client that reads LSN L off a
+        // receipt (or off `last_lsn`) may immediately demand data at L
+        // from this very primary.
+        self.last_lsn.store(last_lsn, Ordering::Release);
+        Ok(CommitReceipt {
+            first_lsn,
+            last_lsn,
+            report,
+        })
+    }
+
+    /// fsync the log: everything committed so far becomes durable.
+    pub fn sync(&self) -> Result<(), ReplicaError> {
+        self.wal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .sync()?;
+        Ok(())
+    }
+
+    /// Write a fresh snapshot of the current state at the current LSN
+    /// (atomically replacing the previous one) and return that LSN. New
+    /// replicas bootstrap from here and only stream the log suffix past it.
+    ///
+    /// Holds the writer lock, so the snapshot is slot-exact for its LSN: no
+    /// commit can interleave between reading the LSN and the data.
+    pub fn publish_snapshot(&self) -> Result<u64, ReplicaError> {
+        let mut wal = self.wal.lock().unwrap_or_else(PoisonError::into_inner);
+        // The snapshot must never become durable ahead of the log it
+        // watermarks: a crash in between would leave a snapshot covering
+        // LSNs the log does not hold, and a resumed primary would re-issue
+        // them. fsync the log first, whatever the SyncPolicy says.
+        wal.sync()?;
+        let lsn = self.last_lsn();
+        let engine = self.engine.engine();
+        write_snapshot(engine.wrapper().database(), &self.snapshot_path(), lsn)?;
+        drop(engine);
+        drop(wal);
+        Ok(lsn)
+    }
+
+    /// Highest LSN whose effect is applied and visible to searches.
+    pub fn last_lsn(&self) -> u64 {
+        self.last_lsn.load(Ordering::Acquire)
+    }
+
+    /// Serve a search from the primary itself (always current).
+    pub fn search(&self, raw_query: &str) -> Result<SearchOutcome, QuestError> {
+        self.engine.search(raw_query)
+    }
+
+    /// The primary's cache-backed engine (for stats, feedback, or wiring a
+    /// [`QueryService`](quest_serve::QueryService) over it).
+    pub fn engine(&self) -> &Arc<CachedEngine<FullAccessWrapper>> {
+        &self.engine
+    }
+
+    /// Directory holding the log and the published snapshot.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the write-ahead log replicas tail.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE)
+    }
+
+    /// Path of the latest published snapshot replicas bootstrap from.
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_FILE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{movie_batch, sample_db, temp_dir};
+    use quest_core::QuestConfig;
+
+    #[test]
+    fn commit_assigns_contiguous_lsns_and_publishes_after_apply() {
+        let dir = temp_dir("primary-lsn");
+        let primary = Primary::open(&dir, sample_db(), QuestConfig::default()).unwrap();
+        assert_eq!(primary.last_lsn(), 0);
+
+        let receipt = primary.commit(&movie_batch(1)).unwrap();
+        assert_eq!(receipt.first_lsn, 1);
+        assert_eq!(receipt.last_lsn, 2);
+        assert!(receipt.report.all_applied());
+        assert_eq!(primary.last_lsn(), 2);
+
+        let receipt = primary.commit(&movie_batch(2)).unwrap();
+        assert_eq!((receipt.first_lsn, receipt.last_lsn), (3, 4));
+
+        // Empty batch: empty LSN range, nothing changes.
+        let receipt = primary.commit(&[]).unwrap();
+        assert_eq!(receipt.first_lsn, 5);
+        assert_eq!(receipt.last_lsn, 4);
+        assert_eq!(primary.last_lsn(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_refuses_a_directory_with_history_but_reopen_resumes_it() {
+        let dir = temp_dir("primary-reopen");
+        {
+            let primary = Primary::open(&dir, sample_db(), QuestConfig::default()).unwrap();
+            primary.commit(&movie_batch(1)).unwrap();
+            primary.sync().unwrap();
+        }
+        assert!(matches!(
+            Primary::open(&dir, sample_db(), QuestConfig::default()),
+            Err(ReplicaError::State(_))
+        ));
+        let primary =
+            Primary::reopen(&dir, QuestConfig::default(), PrimaryOptions::default()).unwrap();
+        assert_eq!(primary.last_lsn(), 2);
+        let receipt = primary.commit(&movie_batch(2)).unwrap();
+        assert_eq!(receipt.first_lsn, 3, "LSN sequence continues");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_log_that_lost_acknowledged_history_is_refused_everywhere() {
+        // publish_snapshot syncs the log before the snapshot, so a log
+        // ending below the snapshot watermark is rot/tampering. Resuming a
+        // primary from it would re-issue covered LSNs; bootstrapping a
+        // replica from it would mis-frame the stream. Both must refuse.
+        let dir = temp_dir("primary-lost-history");
+        let (wal_path, snap_path) = {
+            let primary = Primary::open(&dir, sample_db(), QuestConfig::default()).unwrap();
+            primary.commit(&movie_batch(1)).unwrap();
+            primary.publish_snapshot().unwrap();
+            (primary.wal_path(), primary.snapshot_path())
+        };
+        // Rot: the record lines vanish, the header survives.
+        let text = std::fs::read_to_string(&wal_path).unwrap();
+        let header: String = text.lines().take(1).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&wal_path, header).unwrap();
+
+        let err =
+            Primary::reopen(&dir, QuestConfig::default(), PrimaryOptions::default()).unwrap_err();
+        assert!(matches!(err, ReplicaError::State(_)), "{err}");
+        let err = crate::Replica::bootstrap(
+            "r1",
+            &snap_path,
+            &wal_path,
+            QuestConfig::default(),
+            quest_serve::CacheConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ReplicaError::State(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn publish_snapshot_records_the_exact_lsn() {
+        let dir = temp_dir("primary-snap");
+        let primary = Primary::open(&dir, sample_db(), QuestConfig::default()).unwrap();
+        primary.commit(&movie_batch(1)).unwrap();
+        let lsn = primary.publish_snapshot().unwrap();
+        assert_eq!(lsn, 2);
+        let snap = quest_wal::read_snapshot(&primary.snapshot_path()).unwrap();
+        assert_eq!(snap.last_seq, 2);
+        assert_eq!(
+            snap.db.total_rows(),
+            primary.engine().engine().wrapper().database().total_rows()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

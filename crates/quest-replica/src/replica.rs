@@ -1,0 +1,327 @@
+//! [`Replica`]: a read-only serving node fed by the primary's log.
+//!
+//! A replica bootstraps from a published snapshot (slot-exact at some LSN
+//! `S`), then tails the log with a positioned
+//! [`LogReader`]: seek past `S` without decoding the
+//! skipped prefix, then poll-and-apply batches through its own
+//! [`CachedEngine`]. Applying uses the exact per-record apply-or-reject
+//! path recovery uses, so a poison record the primary rejected is
+//! re-rejected here — byte-for-byte convergence, not best-effort mirroring
+//! (`tests/replica.rs` pins a replica at LSN `L` against a cold engine
+//! built from the first `L` log records, bitwise).
+//!
+//! The replica's engine accepts **no feedback and no local mutations** —
+//! its only writer is the log. That restriction is what makes its results
+//! a pure function of (snapshot, LSN), and the API enforces it by simply
+//! not exposing the mutating surface.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use quest_core::{FullAccessWrapper, Quest, QuestConfig, QuestError, SearchOutcome};
+use quest_serve::{CacheConfig, CachedEngine, ServeStats};
+use quest_wal::{read_snapshot, ChangeRecord, LogReader};
+
+use crate::error::ReplicaError;
+use crate::primary::Primary;
+
+/// Bounded number of empty-but-pending polls [`Replica::sync_to`] tolerates
+/// while an in-flight append finishes landing.
+const SYNC_TO_RETRIES: usize = 1024;
+
+/// Open a log reader positioned past the snapshot's watermark, refusing a
+/// log that does not actually hold everything the watermark claims. The
+/// primary syncs the log before publishing a snapshot, so a deficit here is
+/// rot or a mismatched file pair — syncing from it would mis-frame the
+/// stream (the log's sequence numbers restart below the watermark).
+fn attach_reader(
+    wal_path: &Path,
+    snapshot: &quest_wal::Snapshot,
+) -> Result<LogReader, ReplicaError> {
+    let mut reader = LogReader::open(wal_path, snapshot.db.catalog())?;
+    let reached = reader.seek(snapshot.last_seq)?;
+    if reached < snapshot.last_seq {
+        return Err(ReplicaError::State(format!(
+            "log at {} ends at lsn {reached} but the snapshot covers lsn {}; \
+             refusing to bootstrap from an inconsistent pair",
+            wal_path.display(),
+            snapshot.last_seq
+        )));
+    }
+    Ok(reader)
+}
+
+/// What one [`Replica::sync`] round did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Records applied this round.
+    pub applied: usize,
+    /// Records re-rejected this round (the primary rejected them too).
+    pub rejected: usize,
+    /// The replica's LSN after the round.
+    pub lsn: u64,
+    /// Whether bytes past the last complete record were seen (an append in
+    /// flight on the primary; poll again to pick it up).
+    pub pending: bool,
+}
+
+/// A read replica: snapshot-bootstrapped, log-fed, serving bit-identical
+/// results for its LSN.
+#[derive(Debug)]
+pub struct Replica {
+    name: String,
+    engine: Arc<CachedEngine<FullAccessWrapper>>,
+    /// The log tail. Held across poll **and** apply in [`Replica::sync`],
+    /// so concurrent sync calls serialize and apply order equals log order.
+    /// The applied LSN lives in the engine's watermark (one source of
+    /// truth), published with `Release` after each apply and monotonic.
+    reader: Mutex<LogReader>,
+    /// Set when an apply failed after its records were consumed from the
+    /// log: the replica can no longer converge and must be re-bootstrapped
+    /// (see [`Replica::is_healthy`]).
+    broken: AtomicBool,
+    /// Searches currently executing here (the least-loaded routing signal).
+    inflight: AtomicUsize,
+}
+
+impl Replica {
+    /// Bootstrap a replica from a snapshot file and the log it is a prefix
+    /// of. `config` must be the primary's engine configuration — use
+    /// [`Replica::from_primary`] where the primary is in reach, which
+    /// derives it and cannot drift.
+    pub fn bootstrap(
+        name: &str,
+        snapshot_path: &Path,
+        wal_path: &Path,
+        config: QuestConfig,
+        caches: CacheConfig,
+    ) -> Result<Replica, ReplicaError> {
+        let snapshot = read_snapshot(snapshot_path)?;
+        let reader = attach_reader(wal_path, &snapshot)?;
+        let engine = Quest::new(FullAccessWrapper::new(snapshot.db), config)?;
+        Ok(Replica::assemble(
+            name,
+            engine,
+            reader,
+            snapshot.last_seq,
+            caches,
+        ))
+    }
+
+    /// Bootstrap from a primary's published snapshot and log, deriving the
+    /// engine configuration from the primary itself.
+    pub fn from_primary(name: &str, primary: &Primary) -> Result<Replica, ReplicaError> {
+        let snapshot = read_snapshot(&primary.snapshot_path())?;
+        let reader = attach_reader(&primary.wal_path(), &snapshot)?;
+        let engine = primary
+            .engine()
+            .engine()
+            .sibling(FullAccessWrapper::new(snapshot.db))?;
+        Ok(Replica::assemble(
+            name,
+            engine,
+            reader,
+            snapshot.last_seq,
+            CacheConfig::default(),
+        ))
+    }
+
+    fn assemble(
+        name: &str,
+        engine: Quest<FullAccessWrapper>,
+        reader: LogReader,
+        lsn: u64,
+        caches: CacheConfig,
+    ) -> Replica {
+        let engine = Arc::new(CachedEngine::with_caches(engine, caches));
+        engine.set_watermark(lsn);
+        Replica {
+            name: name.to_string(),
+            engine,
+            reader: Mutex::new(reader),
+            broken: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+        }
+    }
+
+    /// This replica's name (how the router reports it).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Highest LSN whose effect this replica serves (the engine's
+    /// watermark — the single copy of this fact, so stats and routing can
+    /// never disagree).
+    pub fn applied_lsn(&self) -> u64 {
+        self.engine.watermark()
+    }
+
+    /// Whether this replica can still converge. `false` after an apply
+    /// failed mid-stream (its records were already consumed from the log):
+    /// the replica keeps serving at its last good LSN, but the router
+    /// stops selecting it and the fix is a re-bootstrap.
+    pub fn is_healthy(&self) -> bool {
+        !self.broken.load(Ordering::Acquire)
+    }
+
+    /// How far behind `primary_lsn` this replica is.
+    pub fn lag(&self, primary_lsn: u64) -> u64 {
+        primary_lsn.saturating_sub(self.applied_lsn())
+    }
+
+    /// Searches currently executing here.
+    pub fn load(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    /// One replication round: poll the log tail and apply what arrived.
+    /// Concurrent calls serialize; each round's batch is applied in log
+    /// order through the same per-record apply-or-reject path recovery
+    /// uses.
+    pub fn sync(&self) -> Result<SyncReport, ReplicaError> {
+        let mut reader = self.reader.lock().unwrap_or_else(PoisonError::into_inner);
+        if self.broken.load(Ordering::Acquire) {
+            return Err(ReplicaError::State(format!(
+                "replica {} lost records to a failed apply; re-bootstrap it",
+                self.name
+            )));
+        }
+        let poll = reader.poll()?;
+        let Some(&(last_lsn, _)) = poll.records.last() else {
+            return Ok(SyncReport {
+                applied: 0,
+                rejected: 0,
+                lsn: self.applied_lsn(),
+                pending: poll.pending > 0,
+            });
+        };
+        let changes: Vec<ChangeRecord> = poll.records.into_iter().map(|(_, r)| r).collect();
+        // The poll above consumed these records: an apply failure here (a
+        // path `CachedEngine::apply` documents as unreachable for
+        // ChangeRecords) would lose them, so it marks the replica broken —
+        // loudly unconvergeable — instead of silently serving behind.
+        let report = self.engine.apply(&changes).inspect_err(|_| {
+            self.broken.store(true, Ordering::Release);
+        })?;
+        // Publish after the apply so a router that observes LSN L here can
+        // immediately serve data at L. Rejected records advance the LSN
+        // too: the LSN is a log position, not a success count.
+        self.engine.set_watermark(last_lsn);
+        Ok(SyncReport {
+            applied: report.applied,
+            rejected: report.rejected.len(),
+            lsn: last_lsn,
+            pending: poll.pending > 0,
+        })
+    }
+
+    /// Sync until this replica reaches `lsn`. Fails with
+    /// [`ReplicaError::Lagging`] if the log simply does not hold `lsn`
+    /// (tolerating a bounded window for an append still in flight).
+    pub fn sync_to(&self, lsn: u64) -> Result<SyncReport, ReplicaError> {
+        let mut report = SyncReport {
+            applied: 0,
+            rejected: 0,
+            lsn: self.applied_lsn(),
+            pending: false,
+        };
+        if report.lsn >= lsn {
+            return Ok(report);
+        }
+        for _ in 0..SYNC_TO_RETRIES {
+            report = self.sync()?;
+            if report.lsn >= lsn {
+                return Ok(report);
+            }
+            if !report.pending && report.applied == 0 && report.rejected == 0 {
+                // End of log, nothing in flight: the records are not there.
+                break;
+            }
+            std::thread::yield_now();
+        }
+        Err(ReplicaError::Lagging {
+            required: lsn,
+            reached: report.lsn,
+        })
+    }
+
+    /// Serve a search at this replica's current LSN.
+    pub fn search(&self, raw_query: &str) -> Result<SearchOutcome, QuestError> {
+        self.inflight.fetch_add(1, Ordering::AcqRel);
+        let result = self.engine.search(raw_query);
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+        result
+    }
+
+    /// Serving counters; [`ServeStats::watermark`] carries the applied LSN.
+    pub fn stats(&self) -> ServeStats {
+        self.engine.stats()
+    }
+
+    /// The replica's engine, read-only uses only (stats, direct searches,
+    /// wiring a [`QueryService`](quest_serve::QueryService)). The mutating
+    /// surface stays private: the log is this engine's only writer.
+    pub fn engine(&self) -> &Arc<CachedEngine<FullAccessWrapper>> {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primary::Primary;
+    use crate::testutil::{movie_batch, sample_db, temp_dir};
+    use quest_core::QuestConfig;
+
+    #[test]
+    fn replica_bootstraps_seeks_and_follows() {
+        let dir = temp_dir("replica-follow");
+        let primary = Primary::open(&dir, sample_db(), QuestConfig::default()).unwrap();
+        primary.commit(&movie_batch(1)).unwrap();
+
+        let replica = Replica::from_primary("r1", &primary).unwrap();
+        assert_eq!(
+            replica.applied_lsn(),
+            0,
+            "bootstrapped from the LSN-0 snapshot"
+        );
+        let report = replica.sync().unwrap();
+        assert_eq!((report.applied, report.lsn), (2, 2));
+        assert_eq!(replica.lag(primary.last_lsn()), 0);
+
+        // New commits stream incrementally.
+        primary.commit(&movie_batch(2)).unwrap();
+        let report = replica.sync().unwrap();
+        assert_eq!((report.applied, report.lsn), (2, 4));
+        assert_eq!(replica.stats().watermark, 4);
+
+        // A replica bootstrapped from a *newer* snapshot starts at its LSN
+        // and replays nothing that the snapshot already contains.
+        primary.publish_snapshot().unwrap();
+        let fresh = Replica::from_primary("r2", &primary).unwrap();
+        assert_eq!(fresh.applied_lsn(), 4);
+        assert_eq!(fresh.sync().unwrap().applied, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sync_to_reaches_or_reports_lagging() {
+        let dir = temp_dir("replica-syncto");
+        let primary = Primary::open(&dir, sample_db(), QuestConfig::default()).unwrap();
+        let replica = Replica::from_primary("r1", &primary).unwrap();
+        let receipt = primary.commit(&movie_batch(1)).unwrap();
+        let report = replica.sync_to(receipt.last_lsn).unwrap();
+        assert_eq!(report.lsn, receipt.last_lsn);
+        // An LSN the log does not hold fails loudly instead of spinning.
+        let err = replica.sync_to(99).unwrap_err();
+        assert!(matches!(
+            err,
+            ReplicaError::Lagging {
+                required: 99,
+                reached: 2
+            }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

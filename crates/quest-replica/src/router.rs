@@ -1,0 +1,338 @@
+//! [`ReplicaSet`]: a consistency-aware query router over one primary and
+//! its replicas.
+//!
+//! Reads scatter across replicas under a pluggable [`RoutingPolicy`]
+//! (round-robin or least-loaded); every query carries a [`Consistency`]
+//! tag. `Eventual` takes any replica at whatever LSN it has reached;
+//! `AtLeast(lsn)` — read-your-writes, with the LSN taken from a
+//! [`CommitReceipt`](crate::CommitReceipt) — only ever routes to a server
+//! at or past that LSN: a current replica if one exists, otherwise the
+//! router first tries to catch a replica up (the log is shared, so catching
+//! up is a pull, not a wait) and finally falls back to the primary, which
+//! is current by definition. A replica behind the bound is **never**
+//! consulted (`tests/replica.rs` pins this).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use quest_core::SearchOutcome;
+use quest_serve::ServeStats;
+
+use crate::error::ReplicaError;
+use crate::primary::Primary;
+use crate::replica::{Replica, SyncReport};
+
+/// How reads spread over the replicas that satisfy a query's consistency
+/// bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Rotate through eligible replicas in order.
+    #[default]
+    RoundRobin,
+    /// Pick the eligible replica with the fewest in-flight searches
+    /// (ties: most caught up, then lowest index).
+    LeastLoaded,
+}
+
+/// Per-query consistency requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Consistency {
+    /// Any replica, at whatever LSN it has reached.
+    #[default]
+    Eventual,
+    /// Read-your-writes: only servers at or past this LSN may answer
+    /// (typically `receipt.last_lsn` from the commit being read back).
+    AtLeast(u64),
+}
+
+/// A routed search result, annotated with who served it and at what LSN.
+#[derive(Debug)]
+pub struct Routed {
+    /// The search outcome. Replicas at the same LSN answer bit-identically
+    /// (and identically to a feedback-free cold engine at that LSN); the
+    /// primary sees the same **data**, but user feedback recorded on it is
+    /// a primary-local ranking signal, not replicated — after feedback
+    /// training, a primary-served answer may rank differently than a
+    /// replica-served one.
+    pub outcome: SearchOutcome,
+    /// The serving node: a replica's name, or `"primary"`.
+    pub served_by: String,
+    /// The server's applied LSN when it was selected — always `>=` the
+    /// query's [`Consistency::AtLeast`] bound.
+    pub lsn: u64,
+}
+
+/// One replica's row in a [`Topology`] report.
+#[derive(Debug)]
+pub struct ReplicaStatus {
+    /// Replica name.
+    pub name: String,
+    /// Applied LSN.
+    pub lsn: u64,
+    /// Records behind the primary.
+    pub lag: u64,
+    /// In-flight searches.
+    pub load: usize,
+    /// Whether the replica can still converge (see
+    /// [`Replica::is_healthy`]); the router never selects an unhealthy
+    /// one.
+    pub healthy: bool,
+    /// Full serving counters ([`ServeStats::watermark`] mirrors `lsn`).
+    pub stats: ServeStats,
+}
+
+/// Point-in-time view of the whole topology.
+#[derive(Debug)]
+pub struct Topology {
+    /// The primary's published LSN.
+    pub primary_lsn: u64,
+    /// One row per replica, in registration order.
+    pub replicas: Vec<ReplicaStatus>,
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "primary @ lsn {}", self.primary_lsn)?;
+        for r in &self.replicas {
+            writeln!(
+                f,
+                "{:>12} @ lsn {} (lag {}, {} in flight, fwd hit {:.0}%{})",
+                r.name,
+                r.lsn,
+                r.lag,
+                r.load,
+                100.0 * r.stats.forward_cache.hit_rate(),
+                if r.healthy { "" } else { ", BROKEN" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The router: one primary, N replicas, a default policy.
+#[derive(Debug)]
+pub struct ReplicaSet {
+    primary: Arc<Primary>,
+    replicas: Vec<Arc<Replica>>,
+    policy: RoutingPolicy,
+    rr: AtomicUsize,
+}
+
+impl ReplicaSet {
+    /// A router over `primary` with no replicas yet (all reads go to the
+    /// primary until [`ReplicaSet::add_replica`] /
+    /// [`ReplicaSet::spawn_replica`]).
+    pub fn new(primary: Arc<Primary>, policy: RoutingPolicy) -> ReplicaSet {
+        ReplicaSet {
+            primary,
+            replicas: Vec::new(),
+            policy,
+            rr: AtomicUsize::new(0),
+        }
+    }
+
+    /// Register an existing replica.
+    pub fn add_replica(&mut self, replica: Arc<Replica>) {
+        self.replicas.push(replica);
+    }
+
+    /// Bootstrap a new replica from the primary's published snapshot,
+    /// register it, and return it (e.g. to drive its sync loop).
+    pub fn spawn_replica(&mut self, name: &str) -> Result<Arc<Replica>, ReplicaError> {
+        let replica = Arc::new(Replica::from_primary(name, &self.primary)?);
+        self.replicas.push(Arc::clone(&replica));
+        Ok(replica)
+    }
+
+    /// The write point.
+    pub fn primary(&self) -> &Arc<Primary> {
+        &self.primary
+    }
+
+    /// The registered replicas, in registration order.
+    pub fn replicas(&self) -> &[Arc<Replica>] {
+        &self.replicas
+    }
+
+    /// Route one search under `consistency` (see the module docs for the
+    /// full decision order).
+    pub fn query(&self, raw_query: &str, consistency: Consistency) -> Result<Routed, ReplicaError> {
+        let min_lsn = match consistency {
+            Consistency::Eventual => 0,
+            Consistency::AtLeast(lsn) => lsn,
+        };
+        // A bound past the primary's own LSN names an unacknowledged
+        // future: no server can satisfy it, and "waiting" would be waiting
+        // on a commit that may never come. Fail loudly.
+        if min_lsn > self.primary.last_lsn() {
+            return Err(ReplicaError::Lagging {
+                required: min_lsn,
+                reached: self.primary.last_lsn(),
+            });
+        }
+        let eligible: Vec<usize> = (0..self.replicas.len())
+            .filter(|&i| self.replicas[i].is_healthy() && self.replicas[i].applied_lsn() >= min_lsn)
+            .collect();
+        if let Some(i) = self.pick(&eligible) {
+            return self.serve_from(i, raw_query);
+        }
+        // No replica is current. Catch one up — the log is shared, so this
+        // is a bounded pull, not an open-ended wait — and fall back to the
+        // primary only if even that fails.
+        let healthy: Vec<usize> = (0..self.replicas.len())
+            .filter(|&i| self.replicas[i].is_healthy())
+            .collect();
+        if let Some(i) = self.pick(&healthy) {
+            if self.replicas[i].sync_to(min_lsn).is_ok() {
+                return self.serve_from(i, raw_query);
+            }
+        }
+        // Stamp the LSN before searching (same rule as serve_from): the
+        // primary only ever advances, so this is a lower bound on what the
+        // search actually saw — reading it after could overstate it.
+        let lsn = self.primary.last_lsn();
+        let outcome = self.primary.search(raw_query)?;
+        Ok(Routed {
+            outcome,
+            served_by: "primary".into(),
+            lsn,
+        })
+    }
+
+    /// Serve from replica `i`, stamping name and LSN-at-selection.
+    fn serve_from(&self, i: usize, raw_query: &str) -> Result<Routed, ReplicaError> {
+        let replica = &self.replicas[i];
+        // Read the LSN before searching: it only ever grows, so the stamp
+        // is a lower bound on what the search actually saw.
+        let lsn = replica.applied_lsn();
+        let outcome = replica.search(raw_query)?;
+        Ok(Routed {
+            outcome,
+            served_by: replica.name().to_string(),
+            lsn,
+        })
+    }
+
+    /// Pick one of `candidates` (replica indexes) under the default policy.
+    fn pick(&self, candidates: &[usize]) -> Option<usize> {
+        match self.policy {
+            RoutingPolicy::RoundRobin => {
+                let n = candidates.len();
+                (n > 0).then(|| candidates[self.rr.fetch_add(1, Ordering::Relaxed) % n])
+            }
+            RoutingPolicy::LeastLoaded => candidates.iter().copied().min_by_key(|&i| {
+                let r = &self.replicas[i];
+                (r.load(), u64::MAX - r.applied_lsn(), i)
+            }),
+        }
+    }
+
+    /// Run one [`Replica::sync`] round on every replica (a poor operator's
+    /// replication daemon; real deployments run per-replica loops).
+    pub fn sync_all(&self) -> Result<Vec<SyncReport>, ReplicaError> {
+        self.replicas.iter().map(|r| r.sync()).collect()
+    }
+
+    /// Point-in-time lag and serving counters for the whole topology.
+    pub fn topology(&self) -> Topology {
+        let primary_lsn = self.primary.last_lsn();
+        Topology {
+            primary_lsn,
+            replicas: self
+                .replicas
+                .iter()
+                .map(|r| ReplicaStatus {
+                    name: r.name().to_string(),
+                    lsn: r.applied_lsn(),
+                    lag: r.lag(primary_lsn),
+                    load: r.load(),
+                    healthy: r.is_healthy(),
+                    stats: r.stats(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{movie_batch, sample_db, temp_dir};
+    use quest_core::QuestConfig;
+
+    fn set_with(n: usize, policy: RoutingPolicy, name: &str) -> ReplicaSet {
+        let dir = temp_dir(name);
+        let primary = Arc::new(Primary::open(&dir, sample_db(), QuestConfig::default()).unwrap());
+        let mut set = ReplicaSet::new(primary, policy);
+        for i in 0..n {
+            set.spawn_replica(&format!("r{i}")).unwrap();
+        }
+        set
+    }
+
+    #[test]
+    fn round_robin_rotates_over_eligible_replicas() {
+        let set = set_with(3, RoutingPolicy::RoundRobin, "router-rr");
+        let mut served = Vec::new();
+        for _ in 0..6 {
+            served.push(set.query("wind", Consistency::Eventual).unwrap().served_by);
+        }
+        assert_eq!(served, ["r0", "r1", "r2", "r0", "r1", "r2"]);
+    }
+
+    #[test]
+    fn no_replicas_means_primary_serves() {
+        let set = set_with(0, RoutingPolicy::RoundRobin, "router-empty");
+        let routed = set.query("wind", Consistency::Eventual).unwrap();
+        assert_eq!(routed.served_by, "primary");
+    }
+
+    #[test]
+    fn read_your_writes_waits_out_lag_or_uses_primary() {
+        let set = set_with(2, RoutingPolicy::RoundRobin, "router-ryw");
+        let receipt = set.primary().commit(&movie_batch(1)).unwrap();
+        // Both replicas are stale; the bound forces a catch-up before the
+        // answer comes back, and the stamp proves who served at what LSN.
+        let routed = set
+            .query("premiere", Consistency::AtLeast(receipt.last_lsn))
+            .unwrap();
+        assert!(routed.lsn >= receipt.last_lsn, "{routed:?}");
+        assert_ne!(routed.served_by, "primary", "shared log ⇒ catch-up wins");
+
+        // A bound past the primary's own LSN is unsatisfiable.
+        assert!(matches!(
+            set.query("wind", Consistency::AtLeast(999)),
+            Err(ReplicaError::Lagging { .. })
+        ));
+
+        // Eventual consistency still accepts a stale replica.
+        set.primary().commit(&movie_batch(2)).unwrap();
+        let routed = set.query("wind", Consistency::Eventual).unwrap();
+        assert_ne!(routed.served_by, "primary");
+    }
+
+    #[test]
+    fn least_loaded_prefers_idle_then_most_caught_up() {
+        let set = set_with(2, RoutingPolicy::LeastLoaded, "router-ll");
+        set.primary().commit(&movie_batch(1)).unwrap();
+        // Only r1 catches up; equal load (0), so the most caught-up wins.
+        set.replicas()[1].sync().unwrap();
+        let routed = set.query("wind", Consistency::Eventual).unwrap();
+        assert_eq!(routed.served_by, "r1");
+        assert_eq!(routed.lsn, 2);
+    }
+
+    #[test]
+    fn topology_reports_lag_per_replica() {
+        let set = set_with(2, RoutingPolicy::RoundRobin, "router-topo");
+        set.primary().commit(&movie_batch(1)).unwrap();
+        set.replicas()[0].sync().unwrap();
+        let topo = set.topology();
+        assert_eq!(topo.primary_lsn, 2);
+        assert_eq!(topo.replicas[0].lag, 0);
+        assert_eq!(topo.replicas[1].lag, 2);
+        let text = topo.to_string();
+        assert!(text.contains("primary @ lsn 2"));
+        assert!(text.contains("lag 2"));
+    }
+}

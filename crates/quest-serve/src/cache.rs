@@ -41,6 +41,7 @@ pub struct LruCache<K, V> {
     free: Vec<usize>,
     hits: u64,
     misses: u64,
+    retain_scans: u64,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
@@ -55,6 +56,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             free: Vec::new(),
             hits: 0,
             misses: 0,
+            retain_scans: 0,
         }
     }
 
@@ -81,6 +83,14 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
     /// Lookups that found nothing.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Full-map scans performed by [`LruCache::retain`] (an empty cache is
+    /// never scanned). The serving layer's epoch-purge regression tests pin
+    /// this: a purge scan must happen once per epoch change, not once per
+    /// lookup.
+    pub fn retain_scans(&self) -> u64 {
+        self.retain_scans
     }
 
     /// Look up `key`, refreshing its recency. Returns a clone of the cached
@@ -144,6 +154,12 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
     /// The serving layer uses this to purge entries keyed by dead epochs
     /// instead of letting them squat until capacity-evicted.
     pub fn retain(&mut self, mut pred: impl FnMut(&K) -> bool) {
+        // Nothing to scan, nothing to drop — and no scan counted, so a
+        // caller that over-purges an empty cache stays visible as zero.
+        if self.map.is_empty() {
+            return;
+        }
+        self.retain_scans += 1;
         let dead: Vec<usize> = self
             .map
             .iter()
@@ -325,6 +341,25 @@ mod tests {
         c.insert(0, Arc::clone(&a));
         c.insert(1, Arc::new("b".to_string()));
         assert_eq!(Arc::strong_count(&a), 1, "evicted payload was dropped");
+    }
+
+    #[test]
+    fn retain_counts_scans_and_skips_empty_maps() {
+        let mut c: LruCache<(u64, u32), u32> = LruCache::new(4);
+        // Empty cache: retain is free and uncounted, however often called.
+        for _ in 0..5 {
+            c.retain(|_| false);
+        }
+        assert_eq!(c.retain_scans(), 0);
+        c.insert((0, 0), 1);
+        c.retain(|k| k.0 == 1); // scans, purges everything
+        assert_eq!(c.retain_scans(), 1);
+        c.retain(|k| k.0 == 1); // empty again: skipped
+        assert_eq!(c.retain_scans(), 1);
+        c.insert((1, 0), 2);
+        c.retain(|k| k.0 == 1); // scans even when everything survives
+        assert_eq!(c.retain_scans(), 2);
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

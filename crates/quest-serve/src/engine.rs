@@ -95,13 +95,27 @@ pub struct CachedEngine<W: SourceWrapper> {
     /// read under the read lock, so searches see a consistent pair of
     /// (engine state, epoch).
     data_epoch: AtomicU64,
-    /// Last (data, feedback) epoch pair the caches were purged for.
-    purge_mark: Mutex<(u64, u64)>,
+    /// Externally assigned progress marker (e.g. the replication LSN a
+    /// replica engine has applied through); surfaced in [`ServeStats`].
+    watermark: AtomicU64,
+    /// Epochs each cache was last purged for: `(data, feedback)` for the
+    /// forward cache, `data` for the backward cache (whose keys never
+    /// involve the feedback model). Per-cache marks keep a feedback-only
+    /// bump from ever touching the backward cache, and let each cache skip
+    /// its scan independently when its own keying epochs are unchanged.
+    purge_mark: Mutex<PurgeMark>,
     // Values are Arc-wrapped so a hit clones a pointer inside the lock and
     // the (potentially large) payload copy happens outside it.
     forward: Mutex<LruCache<ForwardKey, Arc<ForwardResult>>>,
     backward: Mutex<LruCache<BackwardKey, Arc<Vec<Interpretation>>>>,
     recorder: LatencyRecorder,
+}
+
+/// See [`CachedEngine::purge_stale`].
+#[derive(Debug, Default)]
+struct PurgeMark {
+    forward: (u64, u64),
+    backward: u64,
 }
 
 impl<W: SourceWrapper> CachedEngine<W> {
@@ -115,7 +129,8 @@ impl<W: SourceWrapper> CachedEngine<W> {
         CachedEngine {
             engine: RwLock::new(engine),
             data_epoch: AtomicU64::new(0),
-            purge_mark: Mutex::new((0, 0)),
+            watermark: AtomicU64::new(0),
+            purge_mark: Mutex::new(PurgeMark::default()),
             forward: Mutex::new(LruCache::new(caches.forward_capacity)),
             backward: Mutex::new(LruCache::new(caches.backward_capacity)),
             recorder: LatencyRecorder::default(),
@@ -133,6 +148,19 @@ impl<W: SourceWrapper> CachedEngine<W> {
         self.data_epoch.load(Ordering::Acquire)
     }
 
+    /// The externally assigned progress marker (0 until set). A replica
+    /// engine stores the replication LSN it has applied through here, so
+    /// lag is readable off [`CachedEngine::stats`] snapshots.
+    pub fn watermark(&self) -> u64 {
+        self.watermark.load(Ordering::Acquire)
+    }
+
+    /// Publish a new progress marker. Monotonicity is the caller's
+    /// contract; the engine only stores and reports it.
+    pub fn set_watermark(&self, watermark: u64) {
+        self.watermark.store(watermark, Ordering::Release);
+    }
+
     fn forward_cache(&self) -> MutexGuard<'_, LruCache<ForwardKey, Arc<ForwardResult>>> {
         self.forward.lock().unwrap_or_else(PoisonError::into_inner)
     }
@@ -142,7 +170,12 @@ impl<W: SourceWrapper> CachedEngine<W> {
     }
 
     /// Purge cache entries keyed by epochs that can never match again.
-    /// Cheap when nothing changed (one mutex, one compare).
+    /// Cheap when nothing changed (one mutex, two compares), and each cache
+    /// is scanned only when an epoch *its keys embed* moved: a
+    /// feedback-only bump never touches the backward cache, and a cache
+    /// whose own mark is current skips its scan entirely — scans happen
+    /// once per epoch change, not once per search (pinned by the
+    /// `purge_scans` regression test).
     fn purge_stale(&self, data: u64, feedback: u64) {
         let mut mark = self
             .purge_mark
@@ -153,14 +186,13 @@ impl<W: SourceWrapper> CachedEngine<W> {
         // through would evict the *current* epoch's freshly cached entries
         // and regress the mark into a purge ping-pong. (Purging is cache
         // hygiene only — keys match exactly regardless.)
-        if (data, feedback) <= *mark {
-            return;
+        if (data, feedback) > mark.forward {
+            mark.forward = (data, feedback);
+            self.forward_cache()
+                .retain(|k| k.0 == data && k.1 == feedback);
         }
-        let data_changed = mark.0 != data;
-        *mark = (data, feedback);
-        self.forward_cache()
-            .retain(|k| k.0 == data && k.1 == feedback);
-        if data_changed {
+        if data > mark.backward {
+            mark.backward = data;
             self.backward_cache().retain(|k| k.0 == data);
         }
     }
@@ -268,6 +300,7 @@ impl<W: SourceWrapper> CachedEngine<W> {
         let mut stats = ServeStats::default();
         self.recorder.snapshot_into(&mut stats);
         stats.data_epoch = self.data_epoch();
+        stats.watermark = self.watermark();
         {
             let c = self.forward_cache();
             stats.forward_cache = CacheStats {
@@ -275,6 +308,7 @@ impl<W: SourceWrapper> CachedEngine<W> {
                 misses: c.misses(),
                 entries: c.len(),
                 capacity: c.capacity(),
+                purge_scans: c.retain_scans(),
             };
         }
         {
@@ -284,6 +318,7 @@ impl<W: SourceWrapper> CachedEngine<W> {
                 misses: c.misses(),
                 entries: c.len(),
                 capacity: c.capacity(),
+                purge_scans: c.retain_scans(),
             };
         }
         stats
@@ -479,6 +514,53 @@ mod tests {
             stats.backward_cache.entries <= backward_before,
             "dead-data-epoch backward entries were purged: {stats}"
         );
+    }
+
+    #[test]
+    fn epoch_purges_scan_once_per_change_not_per_search() {
+        let cached = CachedEngine::new(engine());
+        for raw in ["wind", "fleming"] {
+            let _ = cached.search(raw).unwrap();
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.forward_cache.purge_scans, 0, "no epoch changed yet");
+        assert_eq!(stats.backward_cache.purge_scans, 0);
+
+        // Many searches after one feedback bump: exactly one forward scan;
+        // the backward cache (feedback-free keys) is never scanned.
+        let best = cached.search("wind").unwrap().explanations[0].clone();
+        let query = KeywordQuery::parse("wind").unwrap();
+        cached.feedback(&query, &best, true).unwrap();
+        for _ in 0..5 {
+            let _ = cached.search("wind").unwrap();
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.forward_cache.purge_scans, 1, "{stats}");
+        assert_eq!(stats.backward_cache.purge_scans, 0, "{stats}");
+
+        // One mutation batch: one more scan per (non-empty) cache, no
+        // matter how many searches follow.
+        cached
+            .apply(&[ChangeRecord::Insert {
+                table: "person".into(),
+                row: vec![60.into(), "Extra Person".into()],
+            }])
+            .unwrap();
+        for _ in 0..5 {
+            let _ = cached.search("wind").unwrap();
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.forward_cache.purge_scans, 2, "{stats}");
+        assert_eq!(stats.backward_cache.purge_scans, 1, "{stats}");
+    }
+
+    #[test]
+    fn watermark_is_stored_and_reported() {
+        let cached = CachedEngine::new(engine());
+        assert_eq!(cached.watermark(), 0);
+        cached.set_watermark(42);
+        assert_eq!(cached.watermark(), 42);
+        assert_eq!(cached.stats().watermark, 42);
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub struct CacheStats {
     pub entries: usize,
     /// Maximum entries.
     pub capacity: usize,
+    /// Full-map epoch-purge scans performed so far — one per epoch change
+    /// with live entries, never one per lookup (pinned by regression
+    /// tests).
+    pub purge_scans: u64,
 }
 
 impl CacheStats {
@@ -42,6 +46,9 @@ pub struct ServeStats {
     pub errors: u64,
     /// Data epoch at snapshot time (mutation batches applied so far).
     pub data_epoch: u64,
+    /// Externally assigned progress marker — a replication LSN for a
+    /// replica engine (see the `quest-replica` crate), 0 when unused.
+    pub watermark: u64,
     /// Keyword → top-k-configurations cache (forward stage).
     pub forward_cache: CacheStats,
     /// Configuration → interpretations cache (backward stage).

@@ -9,8 +9,12 @@
 //!   replication;
 //! * [`WalWriter`] / [`read_log`] — an append-only on-disk log with a text
 //!   framing format: a schema-fingerprinted header, per-record FNV-64
-//!   checksums, and torn-tail recovery (a crash mid-append costs at most
-//!   the unfinished record);
+//!   checksums, a [`SyncPolicy`] durability knob, and torn-tail recovery
+//!   (a crash mid-append costs at most the unfinished record);
+//! * [`LogReader`] — positioned, incremental reading of the same log:
+//!   `seek` past a snapshot's watermark without decoding the skipped
+//!   prefix, then `poll` the tail as it grows (the replication transport —
+//!   see the `quest-replica` crate);
 //! * [`write_snapshot`] / [`read_snapshot`] — whole-[`Database`] snapshots
 //!   that preserve the exact slot layout (tombstones included), so a
 //!   restored instance is structurally identical, not merely equivalent;
@@ -72,6 +76,7 @@
 pub mod codec;
 pub mod error;
 pub mod log;
+pub mod reader;
 pub mod record;
 pub mod snapshot;
 
@@ -81,7 +86,8 @@ use relstore::Database;
 
 pub use codec::schema_fingerprint;
 pub use error::WalError;
-pub use log::{read_log, replay, LogRecovery, ReplayReport, WalWriter};
+pub use log::{read_log, replay, LogRecovery, ReplayReport, SyncPolicy, WalWriter};
+pub use reader::{LogReader, TailPoll};
 pub use record::ChangeRecord;
 pub use snapshot::{read_snapshot, write_snapshot, Snapshot};
 
@@ -90,6 +96,12 @@ pub use snapshot::{read_snapshot, write_snapshot, Snapshot};
 pub struct Recovery {
     /// The recovered, finalized database.
     pub db: Database,
+    /// The snapshot's watermark: every record at or below this sequence
+    /// number is already reflected in it. A caller that resumes *writing*
+    /// must refuse when the log's own last sequence is below this (the
+    /// pair is inconsistent; appending would re-issue covered sequence
+    /// numbers) — `quest-replica`'s `Primary::reopen` does.
+    pub snapshot_lsn: u64,
     /// Log records applied on top of the snapshot.
     pub applied: usize,
     /// Log records re-rejected during replay — exactly the records the
@@ -104,6 +116,12 @@ pub struct Recovery {
 /// snapshot's watermark. The result is bit-identical to the database the
 /// uninterrupted process held after its last complete append.
 ///
+/// The log suffix is read through a positioned [`LogReader`]: records at or
+/// below the snapshot's watermark are skipped by frame (no checksumming or
+/// body decode — their effects are already in the snapshot), so recovery
+/// cost scales with the suffix, not the whole log. Run [`read_log`]
+/// separately for a full-file integrity audit.
+///
 /// The recovered instance passes through [`Database::validate`] before it
 /// is returned: WAL records carry per-line checksums but snapshot data
 /// lines do not, so this is the gate that catches a snapshot whose bytes
@@ -111,14 +129,17 @@ pub struct Recovery {
 pub fn recover(snapshot_path: &Path, wal_path: &Path) -> Result<Recovery, WalError> {
     let snapshot = read_snapshot(snapshot_path)?;
     let mut db = snapshot.db;
-    let log = read_log(wal_path, db.catalog())?;
-    let report = replay(&mut db, &log.records, snapshot.last_seq)?;
+    let mut reader = LogReader::open(wal_path, db.catalog())?;
+    reader.seek(snapshot.last_seq)?;
+    let tail = reader.poll()?;
+    let report = replay(&mut db, &tail.records, snapshot.last_seq)?;
     db.validate()?;
     Ok(Recovery {
         db,
+        snapshot_lsn: snapshot.last_seq,
         applied: report.applied,
         rejected: report.rejected,
-        torn_tail: log.torn_tail,
+        torn_tail: tail.pending > 0,
     })
 }
 

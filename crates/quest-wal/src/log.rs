@@ -32,6 +32,26 @@ const MAGIC: &str = "QUESTWAL";
 /// Format version this code writes and reads.
 const VERSION: &str = "1";
 
+/// When the log fsyncs on its own, independent of explicit
+/// [`WalWriter::sync`] calls.
+///
+/// The default is [`SyncPolicy::Never`]: appends are flushed to the OS but
+/// the durability point is wherever the caller puts its `sync()` — the
+/// fastest mode, and the right one for tests and for callers that batch
+/// their own barriers. `EveryN(n)` bounds data loss to `n` acknowledged
+/// appends; `Always` is one fsync per append, the classic group-commit-free
+/// worst case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// No automatic fsync; the caller owns the durability points.
+    #[default]
+    Never,
+    /// fsync once every `n` appends (`EveryN(0)` behaves like `Never`).
+    EveryN(u32),
+    /// fsync after every append.
+    Always,
+}
+
 /// Append handle to a write-ahead log bound to one schema.
 #[derive(Debug)]
 pub struct WalWriter {
@@ -44,6 +64,11 @@ pub struct WalWriter {
     /// Set when a failed append could not be rolled back: the file may end
     /// in a torn line, so further appends would corrupt it mid-file.
     poisoned: bool,
+    /// Automatic-fsync policy (see [`SyncPolicy`]).
+    policy: SyncPolicy,
+    /// Appends since the last fsync (explicit or automatic); drives
+    /// [`SyncPolicy::EveryN`].
+    unsynced: u32,
 }
 
 impl WalWriter {
@@ -54,6 +79,15 @@ impl WalWriter {
     /// are scanned to continue the sequence, and a torn tail from an
     /// earlier crash is truncated away before new appends.
     pub fn open(path: &Path, catalog: &Catalog) -> Result<WalWriter, WalError> {
+        WalWriter::open_with(path, catalog, SyncPolicy::default())
+    }
+
+    /// [`WalWriter::open`] with an explicit automatic-fsync policy.
+    pub fn open_with(
+        path: &Path,
+        catalog: &Catalog,
+        policy: SyncPolicy,
+    ) -> Result<WalWriter, WalError> {
         let fingerprint = schema_fingerprint(catalog);
         let mut file = OpenOptions::new()
             .read(true)
@@ -61,14 +95,14 @@ impl WalWriter {
             .create(true)
             .truncate(false)
             .open(path)?;
-        let mut text = String::new();
-        file.read_to_string(&mut text)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
         // A file without a single complete line never got past writing its
         // header (a crash during creation): nothing is lost by starting
         // over. This also covers the empty file. Without this branch, a
         // torn-but-parseable header would be truncated to zero bytes below
         // and records would then be appended to a headerless file.
-        if !text.contains('\n') {
+        if !bytes.contains(&b'\n') {
             file.set_len(0)?;
             file.seek(SeekFrom::Start(0))?;
             let header = format!("{MAGIC}\t{VERSION}\t{fingerprint:016x}\n");
@@ -79,11 +113,13 @@ impl WalWriter {
                 next_seq: 1,
                 len: header.len() as u64,
                 poisoned: false,
+                policy,
+                unsynced: 0,
             });
         }
-        let scan = scan_log(&text, fingerprint)?;
+        let scan = scan_log(&bytes, fingerprint)?;
         // Drop a torn tail so the next append starts on a clean line.
-        if scan.valid_len < text.len() {
+        if scan.valid_len < bytes.len() {
             file.set_len(scan.valid_len as u64)?;
         }
         file.seek(SeekFrom::End(0))?;
@@ -93,6 +129,8 @@ impl WalWriter {
             next_seq: scan.last_seq + 1,
             len: scan.valid_len as u64,
             poisoned: false,
+            policy,
+            unsynced: 0,
         })
     }
 
@@ -106,6 +144,25 @@ impl WalWriter {
         self.next_seq
     }
 
+    /// The automatic-fsync policy in force.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// Whether the writer refuses further appends after an unrecoverable
+    /// I/O failure. When set by a *post-write* fsync failure, the batch
+    /// that triggered it is still fully in the log ([`WalWriter::next_seq`]
+    /// has advanced past it) — callers that mirror the log into live state
+    /// can use that to stay consistent with what tailing readers see.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Change the automatic-fsync policy; takes effect from the next append.
+    pub fn set_sync_policy(&mut self, policy: SyncPolicy) {
+        self.policy = policy;
+    }
+
     /// Append one change record, returning its sequence number. The line is
     /// flushed to the OS; call [`WalWriter::sync`] to force it to disk.
     ///
@@ -116,28 +173,74 @@ impl WalWriter {
     /// refuses further appends; the log on disk is still readable up to
     /// the torn tail.
     pub fn append(&mut self, record: &ChangeRecord) -> Result<u64, WalError> {
+        self.append_batch(std::slice::from_ref(record))
+            .map(|(first, _)| first)
+    }
+
+    /// Append a batch of records **all-or-nothing**, returning the
+    /// sequence numbers of the first and last (`(next, next - 1)` — an
+    /// empty range — for an empty batch).
+    ///
+    /// The batch is written as a single `write` to the OS, and a failed
+    /// write is rolled back by truncating to the pre-batch length, so a
+    /// live process never continues past a log holding only a prefix of a
+    /// batch it thinks failed — the failure mode that would silently
+    /// diverge a primary from the replicas tailing its log. (A *crash*
+    /// mid-batch can still persist a prefix of complete lines; that is the
+    /// normal torn-tail story, and recovery/replicas replay exactly what
+    /// the log holds.)
+    pub fn append_batch(&mut self, records: &[ChangeRecord]) -> Result<(u64, u64), WalError> {
         if self.poisoned {
             return Err(WalError::Io(std::io::Error::other(
                 "writer poisoned by an earlier failed append; reopen the log",
             )));
         }
-        let seq = self.next_seq;
-        let body = record.encode();
-        let line = format!("{seq}\t{:016x}\t{body}\n", fnv64(body.as_bytes()));
-        if let Err(e) = self.file.write_all(line.as_bytes()) {
+        let first = self.next_seq;
+        if records.is_empty() {
+            return Ok((first, first - 1));
+        }
+        let mut buf = String::new();
+        for (i, record) in records.iter().enumerate() {
+            let seq = first + i as u64;
+            let body = record.encode();
+            buf.push_str(&format!("{seq}\t{:016x}\t{body}\n", fnv64(body.as_bytes())));
+        }
+        if let Err(e) = self.file.write_all(buf.as_bytes()) {
             if self.file.set_len(self.len).is_err() || self.file.seek(SeekFrom::End(0)).is_err() {
                 self.poisoned = true;
             }
             return Err(WalError::Io(e));
         }
-        self.len += line.len() as u64;
-        self.next_seq += 1;
-        Ok(seq)
+        self.len += buf.len() as u64;
+        self.next_seq += records.len() as u64;
+        match self.policy {
+            SyncPolicy::Always => self.sync_or_poison()?,
+            SyncPolicy::EveryN(n) => {
+                self.unsynced += records.len() as u32;
+                if n > 0 && self.unsynced >= n {
+                    self.sync_or_poison()?;
+                }
+            }
+            SyncPolicy::Never => {}
+        }
+        Ok((first, self.next_seq - 1))
     }
 
-    /// fsync the log file (durability point).
-    pub fn sync(&self) -> Result<(), WalError> {
+    /// Policy-driven durability barrier inside an append. At this point the
+    /// batch is already written: a failed fsync leaves the on-disk state
+    /// unknown (the bytes may or may not survive a crash), so the writer
+    /// poisons itself rather than hand back an error the caller would read
+    /// as "batch not written" while tailing readers may already be applying
+    /// it. Recovery: reopen the log; the scan re-establishes the truth.
+    fn sync_or_poison(&mut self) -> Result<(), WalError> {
+        self.sync().inspect_err(|_| self.poisoned = true)
+    }
+
+    /// fsync the log file (durability point). Resets the
+    /// [`SyncPolicy::EveryN`] append counter.
+    pub fn sync(&mut self) -> Result<(), WalError> {
         self.file.sync_data()?;
+        self.unsynced = 0;
         Ok(())
     }
 }
@@ -169,34 +272,45 @@ struct LogScan {
 /// file with no complete line at all — is tolerated (reported via
 /// [`LogRecovery::torn_tail`]); corruption anywhere else is an error.
 pub fn read_log(path: &Path, catalog: &Catalog) -> Result<LogRecovery, WalError> {
-    let text = std::fs::read_to_string(path)?;
-    let scan = scan_log(&text, schema_fingerprint(catalog))?;
+    let bytes = std::fs::read(path)?;
+    let scan = scan_log(&bytes, schema_fingerprint(catalog))?;
     Ok(LogRecovery {
         records: scan.records,
         torn_tail: scan.torn_tail,
     })
 }
 
-fn scan_log(text: &str, expected_fp: u64) -> Result<LogScan, WalError> {
+fn scan_log(bytes: &[u8], expected_fp: u64) -> Result<LogScan, WalError> {
     let corrupt = |line: usize, message: String| WalError::Corrupt { line, message };
     // A file without a single complete line is a crash during creation
     // (the header write itself was torn) — zero records were ever logged,
     // so recovery legitimately proceeds with an empty log, mirroring what
     // `WalWriter::open` does when it reinitializes such a file.
-    if !text.contains('\n') {
+    let Some(cut) = bytes.iter().rposition(|&b| b == b'\n').map(|i| i + 1) else {
         return Ok(LogScan {
             records: Vec::new(),
             last_seq: 0,
             valid_len: 0,
-            torn_tail: !text.is_empty(),
+            torn_tail: !bytes.is_empty(),
         });
-    }
+    };
+    // Everything after the last newline is a torn append; its bytes may not
+    // even decode (a crash can split a multi-byte character mid-write), so
+    // it is dropped and reported without ever being interpreted. The region
+    // of complete lines must decode: it was written as UTF-8, so a decode
+    // failure there is rot, not tearing.
+    let text = std::str::from_utf8(&bytes[..cut]).map_err(|e| {
+        corrupt(
+            0,
+            format!("log is not valid UTF-8 at byte {}", e.valid_up_to()),
+        )
+    })?;
+    let mut torn_tail = cut < bytes.len();
     // Split keeping track of byte offsets so a torn tail can be truncated.
     let mut header_seen = false;
     let mut records = Vec::new();
     let mut last_seq = 0u64;
     let mut valid_len = 0usize;
-    let mut torn_tail = false;
     let mut offset = 0usize;
     let mut lines = text.split_inclusive('\n').enumerate().peekable();
     while let Some((i, raw)) = lines.next() {
@@ -264,7 +378,7 @@ fn scan_log(text: &str, expected_fp: u64) -> Result<LogScan, WalError> {
 }
 
 /// Parse and verify the header line.
-fn parse_header(line: &str, expected_fp: u64) -> Result<(), WalError> {
+pub(crate) fn parse_header(line: &str, expected_fp: u64) -> Result<(), WalError> {
     let mut fields = line.split('\t');
     let magic = fields.next().unwrap_or_default();
     let version = fields.next().unwrap_or_default();
@@ -289,7 +403,7 @@ fn parse_header(line: &str, expected_fp: u64) -> Result<(), WalError> {
 }
 
 /// Parse one record line: `seq \t checksum \t body`.
-fn parse_record(line: &str) -> Result<(u64, ChangeRecord), String> {
+pub(crate) fn parse_record(line: &str) -> Result<(u64, ChangeRecord), String> {
     let mut parts = line.splitn(3, '\t');
     let seq = parts
         .next()
@@ -402,6 +516,35 @@ mod tests {
         assert!(!log.torn_tail);
         assert_eq!(log.records.len(), 3);
         assert_eq!(log.records[2], (3, ins(3)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sync_policies_apply_and_reset() {
+        // fsync effects are invisible to a test, but every policy path must
+        // append successfully, keep counting, and survive reopen.
+        let path = temp_path("syncpolicy");
+        let c = catalog();
+        {
+            let mut w = WalWriter::open_with(&path, &c, SyncPolicy::Always).unwrap();
+            assert_eq!(w.sync_policy(), SyncPolicy::Always);
+            w.append(&ins(1)).unwrap();
+            w.set_sync_policy(SyncPolicy::EveryN(2));
+            w.append(&ins(2)).unwrap();
+            w.append(&ins(3)).unwrap(); // second unsynced append: auto-syncs
+            w.append(&ins(4)).unwrap();
+            w.sync().unwrap(); // manual sync resets the EveryN counter
+            w.set_sync_policy(SyncPolicy::EveryN(0)); // behaves like Never
+            w.append(&ins(5)).unwrap();
+            w.set_sync_policy(SyncPolicy::Never);
+            w.append(&ins(6)).unwrap();
+        }
+        let log = read_log(&path, &c).unwrap();
+        assert_eq!(log.records.len(), 6);
+        assert!(!log.torn_tail);
+        // The default stays the fast path.
+        let w = WalWriter::open(&path, &c).unwrap();
+        assert_eq!(w.sync_policy(), SyncPolicy::Never);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -125,6 +125,12 @@ pub fn write_snapshot(db: &Database, path: &Path, last_seq: u64) -> Result<(), W
         file.sync_data()?;
     }
     std::fs::rename(&tmp, path)?;
+    // The rename is atomic but not durable until the *directory* entry is
+    // flushed: without this fsync a power cut can resurrect the old name
+    // (or neither) even though the data blocks above were synced.
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::File::open(parent)?.sync_all()?;
+    }
     Ok(())
 }
 

@@ -23,6 +23,7 @@ pub use quest_data as data;
 pub use quest_dst as dst;
 pub use quest_graph as graph;
 pub use quest_hmm as hmm;
+pub use quest_replica as replica;
 pub use quest_serve as serve;
 pub use quest_wal as wal;
 pub use relstore as store;
@@ -33,7 +34,10 @@ pub mod prelude {
         AnnotationSet, Configuration, DbTerm, DeepWebWrapper, Explanation, FullAccessWrapper,
         KeywordQuery, MiniOntology, Quest, QuestConfig, QuestError, SearchOutcome, SourceWrapper,
     };
+    pub use quest_replica::{
+        Consistency, Primary, Replica, ReplicaError, ReplicaSet, RoutingPolicy,
+    };
     pub use quest_serve::{CacheConfig, CachedEngine, QueryService, ServeError, ServeStats};
-    pub use quest_wal::{ChangeRecord, WalWriter};
+    pub use quest_wal::{ChangeRecord, SyncPolicy, WalWriter};
     pub use relstore::{Catalog, DataType, Database, Row, Value};
 }

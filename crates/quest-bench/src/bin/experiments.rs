@@ -26,6 +26,16 @@ use quest_data::{imdb, FeedbackOracle};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if which == "bench-json" || which == "--bench-json" {
+        // The perf-trajectory artifact is a dedicated mode, not part of
+        // "all": it writes a file (BENCH_pipeline.json by default) instead
+        // of printing a table.
+        let path = std::env::args()
+            .nth(2)
+            .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+        bench_json(&path);
+        return;
+    }
     let run = |name: &str| which == "all" || which == name;
     if run("e1") {
         e1_scaling();
@@ -60,6 +70,236 @@ fn main() {
     if run("e12") || run("replication") {
         e12_replication();
     }
+}
+
+// ---------------------------------------------------------------- bench-json
+
+/// Per-stage sample pools for one pipeline variant.
+#[derive(Default)]
+struct StageSamples {
+    total: Vec<Duration>,
+    emissions: Vec<Duration>,
+    decode: Vec<Duration>,
+    combine: Vec<Duration>,
+    backward: Vec<Duration>,
+}
+
+impl StageSamples {
+    fn record(&mut self, t: &quest_core::StageTimings) {
+        self.total.push(t.total());
+        self.emissions.push(t.emissions);
+        self.decode.push(t.forward_apriori + t.forward_feedback);
+        self.combine
+            .push(t.combine_configs + t.combine_explanations);
+        self.backward.push(t.backward);
+    }
+
+    fn to_json(&self) -> quest_bench::JsonObject {
+        let stage = |s: &[Duration]| {
+            quest_bench::JsonObject::new()
+                .num("p50_us", quest_bench::percentile_us(s, 50.0))
+                .num("p95_us", quest_bench::percentile_us(s, 95.0))
+        };
+        quest_bench::JsonObject::new()
+            .obj("total", stage(&self.total))
+            .obj("emissions", stage(&self.emissions))
+            .obj("decode", stage(&self.decode))
+            .obj("combine", stage(&self.combine))
+            .obj("backward", stage(&self.backward))
+    }
+}
+
+/// `experiments bench-json [path]` — the committed perf trajectory.
+///
+/// Measures the **uncached** single-query pipeline on the IMDB corpus —
+/// no result caches anywhere: every query recomputes its forward and
+/// backward stages — through two implementations of the identical
+/// computation:
+///
+/// * **baseline** — the retained pre-optimization path
+///   ([`Quest::search_query_reference`]): posting-list scans per probe,
+///   per-probe keyword normalization and string matching, freshly
+///   allocated unpruned list Viterbi, unmemoized Steiner enumeration;
+/// * **optimized** — the hot path ([`Quest::search_query_with`]):
+///   interned O(1) index probes, prepared keywords, memoized
+///   metadata-similarity rows, scratch-reused pruned decoding, per-query
+///   Steiner memo.
+///
+/// Optimized samples are split honestly: `optimized_first_pass` is the
+/// first time the engine sees each query (per-keyword engine memos still
+/// cold), `optimized` is the steady state (memos warm — the production
+/// regime, since real streams repeat a small keyword vocabulary). The
+/// ≥3x regression gate is on the steady state and says so in the
+/// artifact.
+///
+/// Both paths produce bit-identical results (`tests/perf_identity.rs`);
+/// this mode pins how much cheaper the optimized path is, per stage, plus
+/// the serve-layer cold/warm serial/pooled throughput, so every future PR
+/// has a measured baseline to defend.
+fn bench_json(path: &str) {
+    use quest_serve::{CachedEngine, QueryService};
+
+    const REPS: usize = 25;
+    const WORKERS: usize = 4;
+
+    let ds = Dataset::Imdb;
+    let db = ds.generate_default();
+    let rows = db.total_rows();
+    let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("build");
+    let workload = ds.workload();
+
+    // Uncached single-query stage profile, baseline vs optimized,
+    // interleaved per query so frequency effects hit both paths alike.
+    // Rep 0 lands in the first-pass pool (engine keyword memos cold);
+    // later reps are the steady state. The baseline path has no memos, so
+    // its cost profile is the same in every rep.
+    let mut baseline = StageSamples::default();
+    let mut optimized = StageSamples::default();
+    let mut optimized_first = StageSamples::default();
+    let mut scratch = quest_core::SearchScratch::new();
+    for rep in 0..REPS {
+        for wq in &workload {
+            let query = wq.parse();
+            if let Ok(out) = engine.search_query_reference(&query) {
+                baseline.record(&out.timings);
+            }
+            if let Ok(out) = engine.search_query_with(&query, &mut scratch) {
+                if rep == 0 {
+                    optimized_first.record(&out.timings);
+                } else {
+                    optimized.record(&out.timings);
+                }
+            }
+        }
+    }
+    let speedup = |b: &[Duration], o: &[Duration]| {
+        let b50 = quest_bench::percentile_us(b, 50.0);
+        let o50 = quest_bench::percentile_us(o, 50.0);
+        if o50 <= 0.0 {
+            0.0
+        } else {
+            b50 / o50
+        }
+    };
+    let total_speedup = speedup(&baseline.total, &optimized.total);
+
+    // Serve layer: serial uncached engine vs the pooled cached service,
+    // cold and warm passes over the repeated shuffled stream.
+    let stream = quest_bench::shuffled_stream(&workload, REPS, 0x5EED_F00D_BE9C_0001);
+    let n = stream.len();
+    let (_, serial_wall) = time(|| {
+        let mut scratch = quest_core::SearchScratch::new();
+        for raw in &stream {
+            let query = match KeywordQuery::parse(raw) {
+                Ok(q) => q,
+                Err(_) => continue,
+            };
+            let _ = engine.search_query_with(&query, &mut scratch);
+        }
+    });
+    let qps = |d: Duration| n as f64 / d.as_secs_f64().max(1e-9);
+
+    let service = QueryService::new(CachedEngine::new(engine.clone()), WORKERS);
+    let (_, pooled_cold) = time(|| {
+        for t in service.submit_batch(&stream) {
+            let _ = t.wait();
+        }
+    });
+    let (_, pooled_warm) = time(|| {
+        for t in service.submit_batch(&stream) {
+            let _ = t.wait();
+        }
+    });
+    let stats = service.shutdown();
+
+    let json = quest_bench::JsonObject::new()
+        .obj(
+            "meta",
+            quest_bench::JsonObject::new()
+                .str("dataset", "imdb")
+                .num("rows", rows as f64)
+                .num("distinct_queries", workload.len() as f64)
+                .num("reps", REPS as f64)
+                .str("units", "microseconds unless suffixed"),
+        )
+        .obj(
+            "uncached_single_query",
+            quest_bench::JsonObject::new()
+                .str(
+                    "note",
+                    "no result caches; optimized = steady state (engine keyword \
+memos warm), optimized_first_pass = first sight of each query; the >=3x \
+gate is on the steady state",
+                )
+                .obj("baseline", baseline.to_json())
+                .obj("optimized", optimized.to_json())
+                .obj("optimized_first_pass", optimized_first.to_json())
+                .num("speedup_total_p50", total_speedup)
+                .num(
+                    "speedup_first_pass_p50",
+                    speedup(&baseline.total, &optimized_first.total),
+                )
+                .num(
+                    "speedup_emissions_p50",
+                    speedup(&baseline.emissions, &optimized.emissions),
+                )
+                .num(
+                    "speedup_decode_p50",
+                    speedup(&baseline.decode, &optimized.decode),
+                )
+                .num(
+                    "speedup_backward_p50",
+                    speedup(&baseline.backward, &optimized.backward),
+                ),
+        )
+        .obj(
+            "serve",
+            quest_bench::JsonObject::new()
+                .num("stream_len", n as f64)
+                .num("serial_uncached_qps", qps(serial_wall))
+                .arr(
+                    "pooled",
+                    vec![quest_bench::JsonObject::new()
+                        .num("workers", WORKERS as f64)
+                        .num("cold_qps", qps(pooled_cold))
+                        .num("warm_qps", qps(pooled_warm))
+                        .num("forward_hit_rate", stats.forward_cache.hit_rate())
+                        .num("backward_hit_rate", stats.backward_cache.hit_rate())],
+                )
+                .obj(
+                    "stage_totals_ms",
+                    quest_bench::JsonObject::new()
+                        .num("forward", stats.stages.forward.as_secs_f64() * 1e3)
+                        .num("backward", stats.stages.backward.as_secs_f64() * 1e3)
+                        .num("assemble", stats.stages.assemble.as_secs_f64() * 1e3)
+                        .num("emissions", stats.stages.emissions.as_secs_f64() * 1e3)
+                        .num("decode", stats.stages.decode.as_secs_f64() * 1e3)
+                        .num("uncached_forward", stats.stages.uncached_forward as f64),
+                ),
+        );
+
+    std::fs::write(path, json.render_pretty()).expect("write benchmark artifact");
+    println!(
+        "wrote {path}: uncached single-query speedup {total_speedup:.2}x steady / {:.2}x first pass \
+         (baseline p50 {:.1}us -> optimized p50 {:.1}us), pooled warm {:.0} qps",
+        speedup(&baseline.total, &optimized_first.total),
+        quest_bench::percentile_us(&baseline.total, 50.0),
+        quest_bench::percentile_us(&optimized.total, 50.0),
+        qps(pooled_warm)
+    );
+    // The default floor (3x) is for artifact regeneration on a quiet
+    // machine; CI overrides it down via QUEST_BENCH_MIN_SPEEDUP because a
+    // shared runner's microsecond-scale p50s are noisy — the gate should
+    // catch a real regression of a ~4.7x path, not neighbor load.
+    let min_speedup: f64 = std::env::var("QUEST_BENCH_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    assert!(
+        total_speedup >= min_speedup,
+        "perf regression: steady-state uncached single-query speedup \
+         {total_speedup:.2}x < {min_speedup}x floor"
+    );
 }
 
 // ---------------------------------------------------------------- E12

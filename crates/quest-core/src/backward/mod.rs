@@ -72,12 +72,26 @@ impl BackwardModule {
         config: &Configuration,
         k: usize,
     ) -> Result<Vec<Interpretation>, QuestError> {
-        let terminals = self.terminals(catalog, config);
+        self.interpretations_for_terminals(&self.terminals(catalog, config), k)
+    }
+
+    /// Top-k interpretations for an already-resolved terminal set (sorted,
+    /// deduped — as produced by [`BackwardModule::terminals`]).
+    ///
+    /// Interpretations are a pure function of `(terminals, k)` for a fixed
+    /// schema graph; distinct configurations of one query frequently anchor
+    /// to the *same* terminals, so the per-query scratch memoizes on this
+    /// entry point (see `SearchScratch`).
+    pub fn interpretations_for_terminals(
+        &self,
+        terminals: &[quest_graph::NodeId],
+        k: usize,
+    ) -> Result<Vec<Interpretation>, QuestError> {
         if terminals.is_empty() {
             return Ok(Vec::new());
         }
         let cfg = SteinerConfig::top_k(k);
-        match top_k_steiner(self.schema.graph(), &terminals, &cfg) {
+        match top_k_steiner(self.schema.graph(), terminals, &cfg) {
             Ok(trees) => Ok(dedup_interpretations(
                 trees.into_iter().map(Interpretation::from_tree).collect(),
             )),

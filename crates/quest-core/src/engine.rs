@@ -20,6 +20,7 @@ use crate::explain::Explanation;
 use crate::forward::{Configuration, ForwardModule};
 use crate::keyword::KeywordQuery;
 use crate::query_builder::build_query;
+use crate::scratch::SearchScratch;
 use crate::semantics::SemanticRules;
 use crate::term::DbTerm;
 use crate::wrapper::SourceWrapper;
@@ -259,8 +260,47 @@ impl<W: SourceWrapper> Quest<W> {
     /// per combined configuration, and [`Quest::assemble`]; a serving layer
     /// that caches the stage results and replays them through `assemble`
     /// produces identical outcomes.
+    ///
+    /// Allocates a throwaway [`SearchScratch`]; callers issuing many
+    /// searches should hold one and use [`Quest::search_query_with`].
     pub fn search_query(&self, query: &KeywordQuery) -> Result<SearchOutcome, QuestError> {
-        let forward = self.forward_pass(query)?;
+        self.search_query_with(query, &mut SearchScratch::new())
+    }
+
+    /// [`Quest::search_query`] through a caller-owned [`SearchScratch`]:
+    /// the allocation-lean hot path (prepared keywords, reused emission
+    /// matrix and decoder lattice, pruned decoding, per-query Steiner
+    /// memo). Bit-identical to the scratch-free and reference paths
+    /// (`tests/perf_identity.rs`).
+    pub fn search_query_with(
+        &self,
+        query: &KeywordQuery,
+        scratch: &mut SearchScratch,
+    ) -> Result<SearchOutcome, QuestError> {
+        scratch.reset_query_state();
+        let forward = self.forward_pass_with(query, scratch)?;
+        let t0 = Instant::now();
+        let mut interpretations = Vec::with_capacity(forward.configurations.len());
+        for cfg in &forward.configurations {
+            interpretations.push(self.backward_pass_with(cfg, scratch)?);
+        }
+        let backward = t0.elapsed();
+        self.assemble(query, forward, interpretations, backward)
+    }
+
+    /// Run Algorithm 1 through the retained **reference** implementations
+    /// of every optimized stage: per-probe keyword normalization and
+    /// posting-list scans for emissions, freshly allocated unpruned list
+    /// Viterbi for both decodes, and unmemoized Steiner enumeration.
+    ///
+    /// This is the pre-optimization pipeline, kept callable as the anchor
+    /// of the bit-identity suite and the baseline of the committed
+    /// pipeline benchmark (`BENCH_pipeline.json`).
+    pub fn search_query_reference(
+        &self,
+        query: &KeywordQuery,
+    ) -> Result<SearchOutcome, QuestError> {
+        let forward = self.forward_pass_reference(query)?;
         let t0 = Instant::now();
         let mut interpretations = Vec::with_capacity(forward.configurations.len());
         for cfg in &forward.configurations {
@@ -278,27 +318,83 @@ impl<W: SourceWrapper> Quest<W> {
     /// current [feedback epoch](Quest::feedback_epoch), which makes it
     /// cacheable on that pair.
     pub fn forward_pass(&self, query: &KeywordQuery) -> Result<ForwardResult, QuestError> {
+        self.forward_pass_with(query, &mut SearchScratch::new())
+    }
+
+    /// [`Quest::forward_pass`] through a caller-owned scratch: the emission
+    /// matrix is computed **once** into the scratch's reused buffer via
+    /// prepared keywords and shared by both operating-mode decodes, which
+    /// run on the scratch's pruned [`quest_hmm::ListDecoder`].
+    pub fn forward_pass_with(
+        &self,
+        query: &KeywordQuery,
+        scratch: &mut SearchScratch,
+    ) -> Result<ForwardResult, QuestError> {
         let k = self.config.k;
         let mut timings = StageTimings::default();
 
-        // Emissions (shared by both operating modes).
+        // Emissions (computed once, shared by both operating modes).
         let t0 = Instant::now();
-        let emissions = self.forward.emissions(&self.wrapper, query);
+        let SearchScratch {
+            decoder,
+            emissions,
+            prepared,
+            ..
+        } = scratch;
+        self.forward
+            .emissions_into(&self.wrapper, query, prepared, emissions);
         timings.emissions = t0.elapsed();
 
-        // Forward, both modes.
+        // Forward, both modes, on the shared scratch decoder.
+        let t0 = Instant::now();
+        let apriori = self.forward.top_k_apriori_with(decoder, emissions, k)?;
+        timings.forward_apriori = t0.elapsed();
+        let t0 = Instant::now();
+        let feedback = self.forward.top_k_feedback_with(decoder, emissions, k)?;
+        timings.forward_feedback = t0.elapsed();
+
+        self.combine_forward(apriori, feedback, timings)
+    }
+
+    /// [`Quest::forward_pass`] through the reference (pre-optimization)
+    /// emission scoring and decoders; see
+    /// [`Quest::search_query_reference`].
+    pub fn forward_pass_reference(
+        &self,
+        query: &KeywordQuery,
+    ) -> Result<ForwardResult, QuestError> {
+        let k = self.config.k;
+        let mut timings = StageTimings::default();
+
+        let t0 = Instant::now();
+        let emissions = self.forward.emissions_reference(&self.wrapper, query);
+        timings.emissions = t0.elapsed();
+
         let t0 = Instant::now();
         let apriori = self.forward.top_k_apriori(&emissions, k)?;
         timings.forward_apriori = t0.elapsed();
         let t0 = Instant::now();
         let feedback = self.forward.top_k_feedback(&emissions, k)?;
         timings.forward_feedback = t0.elapsed();
+
+        self.combine_forward(apriori, feedback, timings)
+    }
+
+    /// The first DST combination, shared by every forward-pass variant so
+    /// the combination logic cannot drift between them.
+    fn combine_forward(
+        &self,
+        apriori: Vec<Configuration>,
+        feedback: Vec<Configuration>,
+        mut timings: StageTimings,
+    ) -> Result<ForwardResult, QuestError> {
         if apriori.is_empty() && feedback.is_empty() {
             return Err(QuestError::NoConfiguration);
         }
 
         // First combination: C ← CombinerDST(Cap, Cf, O_Cap, O_Cf).
         let t0 = Instant::now();
+        let k = self.config.k;
         let o_cf = self.effective_o_cf();
         let l1: Vec<(Vec<DbTerm>, f64)> =
             apriori.iter().map(|c| (c.terms.clone(), c.score)).collect();
@@ -331,6 +427,27 @@ impl<W: SourceWrapper> Quest<W> {
     pub fn backward_pass(&self, config: &Configuration) -> Result<Vec<Interpretation>, QuestError> {
         self.backward
             .interpretations(self.wrapper.catalog(), config, self.config.k)
+    }
+
+    /// [`Quest::backward_pass`] through the scratch's per-query memo:
+    /// distinct configurations frequently anchor to the same Steiner
+    /// terminal set, and interpretations are a pure function of
+    /// `(terminals, k)` for a fixed engine state, so repeats are served
+    /// from the memo. Bit-identical to `backward_pass`.
+    pub fn backward_pass_with(
+        &self,
+        config: &Configuration,
+        scratch: &mut SearchScratch,
+    ) -> Result<Vec<Interpretation>, QuestError> {
+        let terminals = self.backward.terminals(self.wrapper.catalog(), config);
+        if let Some(hit) = scratch.memoized_interpretations(&terminals) {
+            return Ok(hit.clone());
+        }
+        let interps = self
+            .backward
+            .interpretations_for_terminals(&terminals, self.config.k)?;
+        scratch.steiner_memo.push((terminals, interps.clone()));
+        Ok(interps)
     }
 
     /// Final stage of Algorithm 1: the second DST combination, query
@@ -717,6 +834,27 @@ mod tests {
         }
         let terms = |cs: &[Configuration]| cs.iter().map(|c| c.terms.clone()).collect::<Vec<_>>();
         assert_eq!(terms(&staged.configurations), terms(&whole.configurations));
+    }
+
+    #[test]
+    fn scratch_and_reference_paths_match_bitwise() {
+        let q = engine();
+        let mut scratch = SearchScratch::new();
+        for raw in ["casablanca", "wind fleming", "casablanca director 1942"] {
+            let query = KeywordQuery::parse(raw).unwrap();
+            let fast = q.search_query_with(&query, &mut scratch).unwrap();
+            let plain = q.search_query(&query).unwrap();
+            let reference = q.search_query_reference(&query).unwrap();
+            for other in [&plain, &reference] {
+                assert_eq!(fast.explanations.len(), other.explanations.len(), "{raw}");
+                for (a, b) in fast.explanations.iter().zip(&other.explanations) {
+                    assert_eq!(a.score.to_bits(), b.score.to_bits(), "{raw}");
+                    assert_eq!(a.statement, b.statement, "{raw}");
+                    assert_eq!(a.configuration.terms, b.configuration.terms);
+                }
+                assert_eq!(fast.configurations.len(), other.configurations.len());
+            }
+        }
     }
 
     #[test]

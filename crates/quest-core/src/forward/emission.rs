@@ -19,6 +19,18 @@ use crate::wrapper::SourceWrapper;
 /// discrimination but does not veto the query).
 pub const EMISSION_FLOOR: f64 = 1e-6;
 
+/// How one keyword's domain-state emissions are scored: the two paths are
+/// bit-identical on the same wrapper (pinned by tests) but the reference
+/// one deliberately keeps the pre-optimization cost profile. (The hot path
+/// lives in `ForwardModule::emissions_into`, which shares this module's
+/// scoring helpers.)
+enum ValueScorer {
+    /// Plain `value_score`: normalization per `(keyword, attribute)` probe.
+    Plain,
+    /// The wrapper's retained pre-optimization path (benchmark baseline).
+    Reference,
+}
+
 /// Compute the dense emission matrix for a query over the vocabulary states.
 pub fn emissions_for_query<W: SourceWrapper + ?Sized>(
     wrapper: &W,
@@ -32,40 +44,103 @@ pub fn emissions_for_query<W: SourceWrapper + ?Sized>(
         .collect()
 }
 
+/// [`emissions_for_query`] through the wrapper's *reference* value-scoring
+/// path — the pre-optimization baseline kept for the bit-identity suite and
+/// the committed pipeline benchmark.
+pub fn emissions_for_query_reference<W: SourceWrapper + ?Sized>(
+    wrapper: &W,
+    vocab: &Vocabulary,
+    query: &KeywordQuery,
+) -> Emissions {
+    query
+        .keywords
+        .iter()
+        .map(|kw| {
+            let mut row = Vec::new();
+            fill_emission_row(wrapper, vocab, kw, ValueScorer::Reference, &mut row);
+            row
+        })
+        .collect()
+}
+
 /// Emission likelihoods of one keyword across all states.
 pub fn emission_row<W: SourceWrapper + ?Sized>(
     wrapper: &W,
     vocab: &Vocabulary,
     keyword: &Keyword,
 ) -> Vec<f64> {
-    let catalog = wrapper.catalog();
+    let mut row = Vec::new();
+    fill_emission_row(wrapper, vocab, keyword, ValueScorer::Plain, &mut row);
+    row
+}
+
+/// The one emission-row implementation all public entry points share, so
+/// the prepared, plain, and reference paths cannot drift: only the
+/// domain-state value probe differs.
+fn fill_emission_row<W: SourceWrapper + ?Sized>(
+    wrapper: &W,
+    vocab: &Vocabulary,
+    keyword: &Keyword,
+    scorer: ValueScorer,
+    row: &mut Vec<f64>,
+) {
     let ontology = wrapper.ontology();
-    let mut row: Vec<f64> = Vec::with_capacity(vocab.len());
+    row.clear();
+    row.reserve(vocab.len());
     for s in 0..vocab.len() {
         let score = match vocab.term(s) {
-            DbTerm::Domain(a) => wrapper.value_score(a, keyword),
+            DbTerm::Domain(a) => match scorer {
+                ValueScorer::Plain => wrapper.value_score(a, keyword),
+                ValueScorer::Reference => wrapper.value_score_reference(a, keyword),
+            }
+            .clamp(0.0, 1.0),
             DbTerm::Table(_) | DbTerm::Attribute(_) => {
-                let mut best = name_similarity(&keyword.normalized, vocab.name(s), ontology);
-                if let (DbTerm::Attribute(a), Some(anns)) = (vocab.term(s), wrapper.annotations()) {
-                    if let Some(ann) = anns.get(a) {
-                        for alias in &ann.aliases {
-                            let alias_norm = normalize_identifier(alias);
-                            best = best.max(
-                                name_similarity(&keyword.normalized, &alias_norm, ontology) * 0.95,
-                            );
-                        }
-                    }
-                }
-                let _ = catalog;
-                best
+                // Normalize any annotation aliases on the fly; the hot path
+                // precomputes them once at setup and calls the same scorer.
+                let aliases: Vec<String> = match (vocab.term(s), wrapper.annotations()) {
+                    (DbTerm::Attribute(a), Some(anns)) => anns
+                        .get(a)
+                        .map(|ann| {
+                            ann.aliases
+                                .iter()
+                                .map(|al| normalize_identifier(al))
+                                .collect()
+                        })
+                        .unwrap_or_default(),
+                    _ => Vec::new(),
+                };
+                metadata_state_score(&keyword.normalized, vocab.name(s), &aliases, ontology)
             }
         };
-        row.push(score.clamp(0.0, 1.0));
+        row.push(score);
     }
+    apply_emission_floor(row);
+}
+
+/// Emission score of one keyword against one *metadata* (table/attribute)
+/// state: name similarity, lifted by annotation-alias matches at a 0.95
+/// discount, clamped to [0, 1]. The single implementation shared by the
+/// live paths here and the memoized hot path in `ForwardModule`, so the
+/// scoring rule cannot drift between them.
+pub(crate) fn metadata_state_score(
+    keyword: &str,
+    name: &str,
+    normalized_aliases: &[String],
+    ontology: &crate::wrapper::ontology::MiniOntology,
+) -> f64 {
+    let mut best = name_similarity(keyword, name, ontology);
+    for alias in normalized_aliases {
+        best = best.max(name_similarity(keyword, alias, ontology) * 0.95);
+    }
+    best.clamp(0.0, 1.0)
+}
+
+/// Replace an all-zero emission row with the uniform [`EMISSION_FLOOR`].
+/// Shared by every row builder (see `ForwardModule::emissions_into`).
+pub(crate) fn apply_emission_floor(row: &mut [f64]) {
     if row.iter().all(|&v| v <= 0.0) {
         row.iter_mut().for_each(|v| *v = EMISSION_FLOOR);
     }
-    row
 }
 
 #[cfg(test)]
@@ -126,6 +201,24 @@ mod tests {
         let q = KeywordQuery::parse("qqqqzzzz").unwrap();
         let e = emissions_for_query(&w, &v, &q);
         assert!(e[0].iter().all(|&x| x == EMISSION_FLOOR));
+    }
+
+    #[test]
+    fn reference_rows_match_plain_bitwise() {
+        let (w, v) = wrapper();
+        let q = KeywordQuery::parse("casablanca film title qqqzzz").unwrap();
+        let plain = emissions_for_query(&w, &v, &q);
+        let reference = emissions_for_query_reference(&w, &v, &q);
+        assert_eq!(plain.len(), reference.len());
+        for t in 0..plain.len() {
+            for s in 0..plain[t].len() {
+                assert_eq!(
+                    plain[t][s].to_bits(),
+                    reference[t][s].to_bits(),
+                    "t={t} s={s}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -12,22 +12,40 @@
 pub mod configuration;
 pub mod emission;
 
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::HashMap;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use quest_hmm::{list_viterbi, train, Emissions, Hmm, SupervisedTrainer};
+use quest_hmm::{list_viterbi, train, DecodedPath, Emissions, Hmm, ListDecoder, SupervisedTrainer};
 use relstore::Catalog;
 
 use crate::error::QuestError;
 use crate::keyword::KeywordQuery;
 use crate::semantics::{apriori_weights, SemanticRules};
-use crate::term::Vocabulary;
-use crate::wrapper::SourceWrapper;
+use crate::term::{normalize_identifier, DbTerm, Vocabulary};
+use crate::wrapper::{ontology::MiniOntology, PreparedKeyword, SourceWrapper};
 
 pub use configuration::{dedup_configurations, Configuration};
-pub use emission::{emission_row, emissions_for_query, EMISSION_FLOOR};
+pub use emission::{
+    emission_row, emissions_for_query, emissions_for_query_reference, EMISSION_FLOOR,
+};
 
 /// Smoothing used by the feedback trainer.
 const FEEDBACK_SMOOTHING: f64 = 0.05;
+
+/// Distinct keywords whose metadata-similarity rows are memoized before the
+/// memo is reset (keeps a pathological keyword stream from growing it
+/// without bound).
+const META_MEMO_CAP: usize = 1024;
+
+/// Precomputed name-matching inputs of one *metadata* (table or attribute)
+/// state: the normalized identifier plus any normalized annotation aliases.
+/// `None` for domain states, which are scored by the wrapper's search
+/// function instead.
+#[derive(Debug, Clone)]
+struct MetaState {
+    name: String,
+    aliases: Vec<String>,
+}
 
 /// The mutable half of the forward module: everything user feedback touches.
 ///
@@ -57,6 +75,20 @@ pub struct ForwardModule {
     vocab: Vocabulary,
     apriori: Hmm,
     feedback: RwLock<FeedbackState>,
+    /// Ontology captured at setup for memoized metadata matching. The
+    /// wrapper's ontology and annotations are construction-time inputs
+    /// everywhere in this crate (there is no post-construction mutation
+    /// path), so the capture cannot drift from live reads.
+    ontology: MiniOntology,
+    /// Per-state matching inputs; `None` for domain states.
+    meta: Vec<Option<MetaState>>,
+    /// Keyword → metadata-state emission scores. Metadata similarity is a
+    /// pure function of `(normalized keyword, state name/aliases,
+    /// ontology)` — all fixed at setup — so the memo is semantically
+    /// transparent; it exists because string similarity dominates the cost
+    /// of an uncached emission row and real query streams repeat keywords
+    /// heavily.
+    meta_memo: RwLock<HashMap<String, Arc<Vec<f64>>>>,
 }
 
 impl Clone for ForwardModule {
@@ -65,6 +97,14 @@ impl Clone for ForwardModule {
             vocab: self.vocab.clone(),
             apriori: self.apriori.clone(),
             feedback: RwLock::new(self.state().clone()),
+            ontology: self.ontology.clone(),
+            meta: self.meta.clone(),
+            meta_memo: RwLock::new(
+                self.meta_memo
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            ),
         }
     }
 }
@@ -84,6 +124,32 @@ impl ForwardModule {
         let (init, trans) = apriori_weights(catalog, wrapper.ontology(), &vocab, rules);
         let apriori = Hmm::from_weights(init, trans)?;
         let trainer = SupervisedTrainer::new(vocab.len(), FEEDBACK_SMOOTHING)?;
+        // Capture the metadata-matching inputs (names, normalized aliases,
+        // ontology) so memoized emission rows never have to consult the
+        // wrapper for them again.
+        let meta = (0..vocab.len())
+            .map(|s| match vocab.term(s) {
+                DbTerm::Domain(_) => None,
+                term => {
+                    let aliases = match (term, wrapper.annotations()) {
+                        (DbTerm::Attribute(a), Some(anns)) => anns
+                            .get(a)
+                            .map(|ann| {
+                                ann.aliases
+                                    .iter()
+                                    .map(|alias| normalize_identifier(alias))
+                                    .collect()
+                            })
+                            .unwrap_or_default(),
+                        _ => Vec::new(),
+                    };
+                    Some(MetaState {
+                        name: vocab.name(s).to_string(),
+                        aliases,
+                    })
+                }
+            })
+            .collect();
         Ok(ForwardModule {
             vocab,
             apriori,
@@ -94,6 +160,9 @@ impl ForwardModule {
                 epoch: 0,
                 history: Vec::new(),
             }),
+            ontology: wrapper.ontology().clone(),
+            meta,
+            meta_memo: RwLock::new(HashMap::new()),
         })
     }
 
@@ -147,7 +216,85 @@ impl ForwardModule {
         emissions_for_query(wrapper, &self.vocab, query)
     }
 
-    /// Top-k configurations in the a-priori mode.
+    /// Emission matrix into reusable buffers — the hot-path form of
+    /// [`ForwardModule::emissions`], bit-identical to it. Three layers of
+    /// reuse: keywords are prepared once per query (index probes become one
+    /// hash lookup per attribute), metadata-similarity rows are served from
+    /// the per-engine keyword memo, and the matrix rows are written in
+    /// place.
+    pub fn emissions_into<W: SourceWrapper + ?Sized>(
+        &self,
+        wrapper: &W,
+        query: &KeywordQuery,
+        prepared: &mut Vec<PreparedKeyword>,
+        out: &mut Emissions,
+    ) {
+        prepared.clear();
+        prepared.extend(query.keywords.iter().map(|kw| wrapper.prepare_keyword(kw)));
+        out.resize_with(query.keywords.len(), Vec::new);
+        for (pk, row) in prepared.iter().zip(out.iter_mut()) {
+            let meta_scores = self.metadata_scores(&pk.keyword().normalized);
+            row.clear();
+            row.reserve(self.vocab.len());
+            for s in 0..self.vocab.len() {
+                let score = match self.vocab.term(s) {
+                    DbTerm::Domain(a) => wrapper.value_score_prepared(a, pk).clamp(0.0, 1.0),
+                    _ => meta_scores[s],
+                };
+                row.push(score);
+            }
+            emission::apply_emission_floor(row);
+        }
+    }
+
+    /// Metadata-state emission scores of one normalized keyword, memoized.
+    /// Domain-state slots hold 0 and are overwritten by the caller's value
+    /// probes. Scores are computed by the same `name_similarity` expression
+    /// as the unmemoized path, on inputs captured at setup, so the memo is
+    /// bit-transparent (pinned by the emission tests and
+    /// `tests/perf_identity.rs`).
+    fn metadata_scores(&self, keyword: &str) -> Arc<Vec<f64>> {
+        if let Some(hit) = self
+            .meta_memo
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(keyword)
+        {
+            return Arc::clone(hit);
+        }
+        let scores: Vec<f64> = self
+            .meta
+            .iter()
+            .map(|state| match state {
+                None => 0.0,
+                Some(m) => {
+                    emission::metadata_state_score(keyword, &m.name, &m.aliases, &self.ontology)
+                }
+            })
+            .collect();
+        let scores = Arc::new(scores);
+        let mut memo = self
+            .meta_memo
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        if memo.len() >= META_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(keyword.to_string(), Arc::clone(&scores));
+        scores
+    }
+
+    /// Emission matrix through the wrapper's reference (pre-optimization)
+    /// scoring path — baseline for the bit-identity suite and benchmark.
+    pub fn emissions_reference<W: SourceWrapper + ?Sized>(
+        &self,
+        wrapper: &W,
+        query: &KeywordQuery,
+    ) -> Emissions {
+        emissions_for_query_reference(wrapper, &self.vocab, query)
+    }
+
+    /// Top-k configurations in the a-priori mode (reference decoder).
     pub fn top_k_apriori(
         &self,
         emissions: &Emissions,
@@ -157,6 +304,7 @@ impl ForwardModule {
     }
 
     /// Top-k configurations in the feedback mode. Empty before any feedback.
+    /// (Reference decoder.)
     pub fn top_k_feedback(
         &self,
         emissions: &Emissions,
@@ -168,6 +316,32 @@ impl ForwardModule {
         }
     }
 
+    /// [`ForwardModule::top_k_apriori`] through a reusable pruned decoder —
+    /// bit-identical output, no per-call lattice allocation.
+    pub fn top_k_apriori_with(
+        &self,
+        decoder: &mut ListDecoder,
+        emissions: &Emissions,
+        k: usize,
+    ) -> Result<Vec<Configuration>, QuestError> {
+        let paths = decoder.decode(&self.apriori, emissions, k)?;
+        Ok(self.configurations_from(paths))
+    }
+
+    /// [`ForwardModule::top_k_feedback`] through a reusable pruned decoder.
+    pub fn top_k_feedback_with(
+        &self,
+        decoder: &mut ListDecoder,
+        emissions: &Emissions,
+        k: usize,
+    ) -> Result<Vec<Configuration>, QuestError> {
+        let paths = match &self.state().hmm {
+            Some(hmm) => decoder.decode(hmm, emissions, k)?,
+            None => return Ok(Vec::new()),
+        };
+        Ok(self.configurations_from(paths))
+    }
+
     fn decode(
         &self,
         hmm: &Hmm,
@@ -175,6 +349,12 @@ impl ForwardModule {
         k: usize,
     ) -> Result<Vec<Configuration>, QuestError> {
         let paths = list_viterbi(hmm, emissions, k)?;
+        Ok(self.configurations_from(paths))
+    }
+
+    /// Decoded paths → deduplicated configurations (shared by the reference
+    /// and scratch decode paths, so their mapping cannot drift).
+    fn configurations_from(&self, paths: Vec<DecodedPath>) -> Vec<Configuration> {
         let configs = paths
             .into_iter()
             .map(|p| {
@@ -182,7 +362,7 @@ impl ForwardModule {
                 Configuration::new(terms, p.log_prob.exp())
             })
             .collect();
-        Ok(dedup_configurations(configs))
+        dedup_configurations(configs)
     }
 
     /// Record user feedback on a configuration: `positive` marks a validated

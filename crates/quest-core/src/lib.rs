@@ -53,6 +53,7 @@ pub mod forward;
 pub mod keyword;
 pub mod matcher;
 pub mod query_builder;
+pub mod scratch;
 pub mod semantics;
 pub mod term;
 pub mod wrapper;
@@ -64,9 +65,10 @@ pub use error::QuestError;
 pub use explain::Explanation;
 pub use forward::{Configuration, ForwardModule};
 pub use keyword::{Keyword, KeywordQuery, MAX_KEYWORDS};
+pub use scratch::SearchScratch;
 pub use semantics::{Relationship, SemanticRules};
 pub use term::{DbTerm, Vocabulary};
 pub use wrapper::{
     annotations::AnnotationSet, ontology::MiniOntology, DeepWebWrapper, FullAccessWrapper,
-    SourceWrapper,
+    PreparedKeyword, SourceWrapper,
 };

@@ -1,0 +1,73 @@
+//! [`SearchScratch`]: reusable per-query working memory for the uncached
+//! search hot path.
+//!
+//! One uncached search used to allocate a fresh emission matrix, a fresh
+//! list-Viterbi lattice per operating mode, and re-normalize every keyword
+//! once per attribute probe. A `SearchScratch` owns all of that state and
+//! is threaded through the pipeline —
+//!
+//! * **forward emission scoring** — prepared keywords
+//!   ([`crate::wrapper::PreparedKeyword`]) and the reused emission matrix;
+//! * **decoding** — one [`quest_hmm::ListDecoder`] whose flat lattice
+//!   buffers serve both HMM operating modes over the *same* emission
+//!   matrix, with the admissible top-k prune;
+//! * **backward interpretation** — a per-query memo from Steiner terminal
+//!   sets to interpretation lists, because distinct configurations of one
+//!   query frequently anchor to identical terminals.
+//!
+//! Results are bit-identical with or without scratch reuse (pinned by
+//! `tests/perf_identity.rs`); the scratch only changes where the memory
+//! comes from and how much redundant work is skipped. Create one per
+//! worker thread (or per engine use-site) and pass it to the `*_with`
+//! methods of [`crate::Quest`]; the convenience methods without a scratch
+//! argument create a throwaway one per call.
+
+use quest_graph::NodeId;
+use quest_hmm::{Emissions, ListDecoder};
+
+use crate::backward::Interpretation;
+use crate::wrapper::PreparedKeyword;
+
+/// Reusable buffers for one in-flight search. See the module docs.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Shared list-Viterbi decoder scratch (both operating modes).
+    pub(crate) decoder: ListDecoder,
+    /// The query's emission matrix, rows reused across queries.
+    pub(crate) emissions: Emissions,
+    /// One prepared keyword per query keyword.
+    pub(crate) prepared: Vec<PreparedKeyword>,
+    /// Per-query memo: Steiner terminal set → interpretations. Valid only
+    /// within one search (cleared by `Quest::search_query_with`); the
+    /// engine state is locked for that duration by every caller.
+    pub(crate) steiner_memo: Vec<(Vec<NodeId>, Vec<Interpretation>)>,
+}
+
+impl SearchScratch {
+    /// Empty scratch; buffers grow to their steady-state sizes on first
+    /// use and are retained afterwards.
+    pub fn new() -> SearchScratch {
+        SearchScratch::default()
+    }
+
+    /// Drop the per-query memo state. [`crate::Quest::search_query_with`]
+    /// calls this itself; callers that drive the stage APIs directly
+    /// ([`crate::Quest::forward_pass_with`] +
+    /// [`crate::Quest::backward_pass_with`], as the serving layer does)
+    /// must call it once at the start of each search, because memoized
+    /// interpretations are only valid for one engine state.
+    pub fn reset_query_state(&mut self) {
+        self.steiner_memo.clear();
+    }
+
+    /// Memoized interpretations lookup for a terminal set.
+    pub(crate) fn memoized_interpretations(
+        &self,
+        terminals: &[NodeId],
+    ) -> Option<&Vec<Interpretation>> {
+        self.steiner_memo
+            .iter()
+            .find(|(t, _)| t.as_slice() == terminals)
+            .map(|(_, i)| i)
+    }
+}

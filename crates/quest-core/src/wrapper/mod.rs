@@ -16,6 +16,7 @@ pub mod annotations;
 pub mod ontology;
 pub mod pattern;
 
+use relstore::index::KeywordProbe;
 use relstore::sql::{execute, has_results, ResultSet, SelectStatement};
 use relstore::{AttrId, Catalog, Database, ForeignKey, StoreError};
 
@@ -25,6 +26,31 @@ use ontology::MiniOntology;
 
 pub use annotations::AttributeAnnotation;
 pub use pattern::{Pattern, PatternError};
+
+/// A keyword prepared once per query for repeated [`SourceWrapper`] value
+/// probes: the emission pass scores every keyword against every attribute,
+/// and preparing pays per-keyword work (tokenization, normalization) once
+/// instead of once per `(keyword, attribute)` pair.
+///
+/// Built by [`SourceWrapper::prepare_keyword`]; scored through
+/// [`SourceWrapper::value_score_prepared`], which is bit-identical to
+/// [`SourceWrapper::value_score`] on the unprepared keyword.
+#[derive(Debug, Clone)]
+pub struct PreparedKeyword {
+    /// The parsed keyword (raw + normalized forms).
+    keyword: Keyword,
+    /// Index probe for full-access sources; `None` when the keyword
+    /// normalizes away (every index score is 0) or the wrapper has no
+    /// index-backed fast path.
+    probe: Option<KeywordProbe>,
+}
+
+impl PreparedKeyword {
+    /// The underlying keyword.
+    pub fn keyword(&self) -> &Keyword {
+        &self.keyword
+    }
+}
 
 /// Uniform access to a relational source, full or hidden.
 pub trait SourceWrapper {
@@ -36,6 +62,32 @@ pub trait SourceWrapper {
     /// paper's search function over full-text indexes, or its metadata-based
     /// surrogate for hidden sources.
     fn value_score(&self, attr: AttrId, keyword: &Keyword) -> f64;
+
+    /// Prepare a keyword for repeated [`SourceWrapper::value_score_prepared`]
+    /// probes. Wrappers that override this to attach a fast-path probe must
+    /// also override `value_score_prepared` to consume it.
+    fn prepare_keyword(&self, keyword: &Keyword) -> PreparedKeyword {
+        PreparedKeyword {
+            keyword: keyword.clone(),
+            probe: None,
+        }
+    }
+
+    /// [`SourceWrapper::value_score`] for a keyword prepared with
+    /// [`SourceWrapper::prepare_keyword`] — bit-identical results, minus the
+    /// per-probe normalization work.
+    fn value_score_prepared(&self, attr: AttrId, prepared: &PreparedKeyword) -> f64 {
+        self.value_score(attr, &prepared.keyword)
+    }
+
+    /// [`SourceWrapper::value_score`] through the source's *reference*
+    /// (pre-optimization) scoring path, when one is kept: the baseline the
+    /// hot path is verified against bit for bit (`tests/perf_identity.rs`)
+    /// and measured against in the committed pipeline benchmark. Defaults
+    /// to `value_score`.
+    fn value_score_reference(&self, attr: AttrId, keyword: &Keyword) -> f64 {
+        self.value_score(attr, keyword)
+    }
 
     /// Normalized mutual information of a foreign-key join, when instance
     /// statistics are available.
@@ -115,6 +167,26 @@ impl SourceWrapper for FullAccessWrapper {
 
     fn value_score(&self, attr: AttrId, keyword: &Keyword) -> f64 {
         self.db.search_score(attr, &keyword.normalized)
+    }
+
+    fn prepare_keyword(&self, keyword: &Keyword) -> PreparedKeyword {
+        PreparedKeyword {
+            keyword: keyword.clone(),
+            probe: self.db.prepare_probe(&keyword.normalized),
+        }
+    }
+
+    fn value_score_prepared(&self, attr: AttrId, prepared: &PreparedKeyword) -> f64 {
+        match &prepared.probe {
+            Some(probe) => self.db.search_score_probe(attr, probe),
+            // The keyword normalized away: every index score is 0, which is
+            // exactly what the unprepared path returns for it.
+            None => 0.0,
+        }
+    }
+
+    fn value_score_reference(&self, attr: AttrId, keyword: &Keyword) -> f64 {
+        self.db.search_score_reference(attr, &keyword.normalized)
     }
 
     fn join_informativeness(&self, fk: ForeignKey) -> Option<f64> {

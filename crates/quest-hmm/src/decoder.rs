@@ -1,0 +1,447 @@
+//! [`ListDecoder`]: the hot-path list Viterbi — scratch-reusing and
+//! top-k-pruned, bit-identical to [`list_viterbi()`](crate::list_viterbi::list_viterbi).
+//!
+//! The textbook parallel LVA in `list_viterbi.rs` allocates a fresh lattice
+//! (`Vec<Vec<Vec<Entry>>>`) per decode and scores every state at every
+//! step. This decoder keeps all DP state in flat reusable buffers (zero
+//! allocation in steady state beyond the returned paths) and adds an
+//! **admissible prune** that skips partial paths provably outside the
+//! global top-k:
+//!
+//! 1. A standard 1-best Viterbi forward pass computes, per final state, the
+//!    best full-path score — using *exactly* the same floating-point
+//!    operation sequence as the list DP, so each value is bitwise equal to
+//!    that state's rank-0 final score. The k-th largest of these, `L`, is a
+//!    score actually achieved by k distinct state sequences: a certified
+//!    lower bound on the true k-th best score.
+//! 2. A backward max-product pass computes `bound[t][s]`: an upper bound on
+//!    the score any partial path ending in `(t, s)` can still gain.
+//! 3. During the list DP, a candidate with `score + bound[t][s] < L - ε`
+//!    can never appear in the global top-k and is skipped. Within one
+//!    predecessor's rank list, scores descend, so the first failing rank
+//!    ends that predecessor — this is where the work disappears.
+//!
+//! **Why the output is bit-identical, ties included.** All candidates at
+//! one `(t, s)` share the same `bound[t][s]`, so the prune threshold is a
+//! pure score cutoff per cell: it removes a *suffix* of the sorted
+//! candidate list, never reorders survivors. Every prefix of a true top-k
+//! path satisfies `score + bound ≥ final score ≥ L`, so it survives and
+//! keeps the per-cell rank it has in the unpruned run; everything removed
+//! has every completion strictly below `L` and thus below the k-th best,
+//! ties notwithstanding. The margin `ε` (1e-6 in log space) exists only to
+//! dominate worst-case floating-point drift between the backward bound's
+//! association order and the forward DP's — many orders of magnitude
+//! larger than the attainable rounding error, and far smaller than any
+//! score gap that could matter. The equivalence is pinned bitwise by the
+//! quest-hmm property suite across random models, floor-tied emissions,
+//! and degenerate uniform cases.
+
+use crate::error::HmmError;
+use crate::model::Hmm;
+use crate::viterbi::{ln, DecodedPath};
+
+/// Slack subtracted from the pruning bound, in log-probability units. See
+/// the module docs: it dominates floating-point drift without ever pruning
+/// a candidate that could reach the top-k.
+const PRUNE_MARGIN: f64 = 1e-6;
+
+/// Candidate-work floor (`states × k` per step) below which the prune's two
+/// auxiliary passes cost more than the candidate generation they can skip,
+/// so the decoder runs the plain flat DP instead. Pruning is lossless, so
+/// the switch is invisible in the output — it only decides whether the
+/// bound passes are worth their n² per step.
+const PRUNE_ENGAGE_WORK: usize = 4096;
+
+/// One k-best lattice entry: score plus backpointer `(prev_state,
+/// prev_rank)`.
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    score: f64,
+    prev_state: u32,
+    prev_rank: u32,
+}
+
+/// Reusable list-Viterbi decoder. Create once (per worker thread, engine,
+/// or query scratch) and call [`ListDecoder::decode`] repeatedly; all DP
+/// buffers are retained between calls and grow to the high-water mark of
+/// `steps × states × k`.
+#[derive(Debug, Clone, Default)]
+pub struct ListDecoder {
+    /// `ln(initial)` distribution.
+    ln_init: Vec<f64>,
+    /// `ln(emission)` matrix, row-major `t × n`.
+    ln_emis: Vec<f64>,
+    /// 1-best forward scores, two rolling rows.
+    delta: Vec<f64>,
+    delta_next: Vec<f64>,
+    /// Backward completion bounds, row-major `t × n`.
+    bounds: Vec<f64>,
+    /// Lattice entries, `k` slots per `(t, s)` cell.
+    entries: Vec<Entry>,
+    /// Live entry count per `(t, s)` cell.
+    lens: Vec<u32>,
+    /// Candidate buffer for one cell.
+    cands: Vec<Entry>,
+    /// Final-merge buffer: `(state, rank, score)`.
+    finals: Vec<(usize, usize, f64)>,
+    /// Scratch for the k-th-largest final-delta selection.
+    tops: Vec<f64>,
+}
+
+impl ListDecoder {
+    /// A decoder with empty buffers.
+    pub fn new() -> ListDecoder {
+        ListDecoder::default()
+    }
+
+    /// Top-`k` most probable state sequences, best first — bit-identical to
+    /// [`list_viterbi()`](crate::list_viterbi::list_viterbi) on the same inputs (scores, sequences, and
+    /// order, ties included).
+    pub fn decode(
+        &mut self,
+        model: &Hmm,
+        emissions: &[Vec<f64>],
+        k: usize,
+    ) -> Result<Vec<DecodedPath>, HmmError> {
+        // Engage the prune only when the per-step candidate work is large
+        // enough to pay for the 1-best and bound passes; below that the
+        // plain flat DP (still allocation-free) is faster. Output is
+        // identical either way — pruning is lossless.
+        let engage = emissions.len() > 1 && model.n_states() * k >= PRUNE_ENGAGE_WORK;
+        self.decode_inner(model, emissions, k, engage)
+    }
+
+    /// [`ListDecoder::decode`] with the prune forced on regardless of
+    /// lattice size. Same output, by construction; the property suite uses
+    /// this to pin prune losslessness on models small enough to brute-force.
+    pub fn decode_pruned(
+        &mut self,
+        model: &Hmm,
+        emissions: &[Vec<f64>],
+        k: usize,
+    ) -> Result<Vec<DecodedPath>, HmmError> {
+        self.decode_inner(model, emissions, k, emissions.len() > 1)
+    }
+
+    fn decode_inner(
+        &mut self,
+        model: &Hmm,
+        emissions: &[Vec<f64>],
+        k: usize,
+        engage: bool,
+    ) -> Result<Vec<DecodedPath>, HmmError> {
+        model.check_emissions(emissions)?;
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let n = model.n_states();
+        let t_len = emissions.len();
+        self.prepare(model, emissions, n, t_len);
+        let lower = if engage {
+            let l = self.one_best_lower_bound(model, n, t_len, k);
+            self.backward_bounds(model, n, t_len);
+            l
+        } else {
+            self.bounds.clear();
+            self.bounds.resize(t_len * n, 0.0);
+            f64::NEG_INFINITY
+        };
+        self.list_pass(model, n, t_len, k, lower);
+        Ok(self.merge_and_backtrack(n, t_len, k))
+    }
+
+    /// Fill the log caches and reset the lattice.
+    ///
+    /// Transition logs are deliberately *not* cached eagerly: emissions are
+    /// sparse in this pipeline (a keyword scores 0 against most states), so
+    /// every pass below evaluates `ln(transition)` lazily and only for
+    /// states whose emission is live — the same trick the reference
+    /// decoder's skip gives for free. An eager n² fill costs more than the
+    /// whole decode at realistic sparsity.
+    fn prepare(&mut self, model: &Hmm, emissions: &[Vec<f64>], n: usize, t_len: usize) {
+        self.ln_emis.clear();
+        self.ln_emis
+            .extend(emissions.iter().flat_map(|row| row.iter().map(|&e| ln(e))));
+        self.ln_init.clear();
+        self.ln_init.extend((0..n).map(|s| ln(model.initial(s))));
+        self.delta.clear();
+        self.delta
+            .extend((0..n).map(|s| self.ln_init[s] + self.ln_emis[s]));
+        self.delta_next.resize(n, f64::NEG_INFINITY);
+        self.lens.clear();
+        self.lens.resize(t_len * n, 0);
+    }
+
+    /// 1-best forward pass; returns the certified lower bound `L` on the
+    /// k-th best final score (`-inf` when fewer than `k` final states are
+    /// reachable — no pruning then).
+    fn one_best_lower_bound(&mut self, model: &Hmm, n: usize, t_len: usize, k: usize) -> f64 {
+        // self.delta already holds step 0 (filled in `prepare`).
+        for t in 1..t_len {
+            for s in 0..n {
+                let e = self.ln_emis[t * n + s];
+                if e == f64::NEG_INFINITY {
+                    self.delta_next[s] = f64::NEG_INFINITY;
+                    continue;
+                }
+                let mut best = f64::NEG_INFINITY;
+                for p in 0..n {
+                    let d = self.delta[p];
+                    if d == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    let tp = ln(model.transition(p, s));
+                    if tp == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    // Same association as the list DP: (score + tp) + e.
+                    let cand = (d + tp) + e;
+                    if cand > best {
+                        best = cand;
+                    }
+                }
+                self.delta_next[s] = best;
+            }
+            std::mem::swap(&mut self.delta, &mut self.delta_next);
+        }
+        self.tops.clear();
+        self.tops
+            .extend(self.delta.iter().copied().filter(|d| d.is_finite()));
+        if self.tops.len() < k {
+            return f64::NEG_INFINITY;
+        }
+        self.tops
+            .sort_unstable_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        self.tops[k - 1]
+    }
+
+    /// Backward max-product completion bounds: `bounds[t][s]` ≥ anything a
+    /// partial path at `(t, s)` can still add before the final step.
+    fn backward_bounds(&mut self, model: &Hmm, n: usize, t_len: usize) {
+        self.bounds.clear();
+        self.bounds.resize(t_len * n, 0.0);
+        for t in (0..t_len.saturating_sub(1)).rev() {
+            for p in 0..n {
+                let mut best = f64::NEG_INFINITY;
+                for s in 0..n {
+                    let e = self.ln_emis[(t + 1) * n + s];
+                    if e == f64::NEG_INFINITY {
+                        continue; // dead state: skip the transition log too
+                    }
+                    let tp = ln(model.transition(p, s));
+                    if tp == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    let via = (tp + e) + self.bounds[(t + 1) * n + s];
+                    if via > best {
+                        best = via;
+                    }
+                }
+                self.bounds[t * n + p] = best;
+            }
+        }
+    }
+
+    /// The pruned parallel-LVA pass over the flat lattice.
+    fn list_pass(&mut self, model: &Hmm, n: usize, t_len: usize, k: usize, lower: f64) {
+        let prune = lower != f64::NEG_INFINITY;
+        self.entries.resize(t_len * n * k, Entry::default());
+        // Step 0: one entry per reachable state, scored exactly as the
+        // reference decoder does: ln(init) + ln(e_0).
+        for s in 0..n {
+            let init_score = self.ln_init[s] + self.ln_emis[s];
+            if init_score == f64::NEG_INFINITY {
+                continue;
+            }
+            if prune && init_score + self.bounds[s] < lower - PRUNE_MARGIN {
+                continue;
+            }
+            self.entries[s * k] = Entry {
+                score: init_score,
+                prev_state: u32::MAX,
+                prev_rank: 0,
+            };
+            self.lens[s] = 1;
+        }
+        for t in 1..t_len {
+            for s in 0..n {
+                let e = self.ln_emis[t * n + s];
+                if e == f64::NEG_INFINITY {
+                    continue;
+                }
+                let threshold = if prune {
+                    (lower - PRUNE_MARGIN) - self.bounds[t * n + s]
+                } else {
+                    f64::NEG_INFINITY
+                };
+                self.cands.clear();
+                for p in 0..n {
+                    let prev_live = self.lens[(t - 1) * n + p];
+                    if prev_live == 0 {
+                        continue; // no surviving prefixes: skip the ln
+                    }
+                    let tp = ln(model.transition(p, s));
+                    if tp == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    let prev_len = prev_live as usize;
+                    let prev_base = ((t - 1) * n + p) * k;
+                    for rank in 0..prev_len {
+                        let pe = self.entries[prev_base + rank];
+                        let score = (pe.score + tp) + e;
+                        if score < threshold {
+                            // Ranks descend in score: every later rank of
+                            // this predecessor fails too.
+                            break;
+                        }
+                        self.cands.push(Entry {
+                            score,
+                            prev_state: p as u32,
+                            prev_rank: rank as u32,
+                        });
+                    }
+                }
+                // Stable sort: ties keep (p, rank) enumeration order, same
+                // as the reference decoder.
+                self.cands.sort_by(|a, b| {
+                    b.score
+                        .partial_cmp(&a.score)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let keep = self.cands.len().min(k);
+                let base = (t * n + s) * k;
+                self.entries[base..base + keep].copy_from_slice(&self.cands[..keep]);
+                self.lens[t * n + s] = keep as u32;
+            }
+        }
+    }
+
+    /// Merge the final step's per-state lists, take the global top-k, and
+    /// backtrack each path — identical ordering to the reference decoder.
+    fn merge_and_backtrack(&mut self, n: usize, t_len: usize, k: usize) -> Vec<DecodedPath> {
+        self.finals.clear();
+        for s in 0..n {
+            let base = ((t_len - 1) * n + s) * k;
+            for rank in 0..self.lens[(t_len - 1) * n + s] as usize {
+                self.finals.push((s, rank, self.entries[base + rank].score));
+            }
+        }
+        self.finals
+            .sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        self.finals.truncate(k);
+        let mut out = Vec::with_capacity(self.finals.len());
+        for &(state, rank, score) in &self.finals {
+            let mut states = vec![0usize; t_len];
+            let (mut s, mut r) = (state, rank);
+            for t in (0..t_len).rev() {
+                states[t] = s;
+                let e = self.entries[(t * n + s) * k + r];
+                s = e.prev_state as usize;
+                r = e.prev_rank as usize;
+            }
+            out.push(DecodedPath {
+                states,
+                log_prob: score,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list_viterbi::list_viterbi;
+
+    fn model() -> Hmm {
+        Hmm::from_distributions(vec![0.6, 0.4], vec![0.7, 0.3, 0.4, 0.6]).unwrap()
+    }
+
+    fn assert_bitwise_equal(model: &Hmm, emissions: &[Vec<f64>], k: usize) {
+        let reference = list_viterbi(model, emissions, k).unwrap();
+        let mut decoder = ListDecoder::new();
+        for forced in [false, true] {
+            let got = if forced {
+                decoder.decode_pruned(model, emissions, k).unwrap()
+            } else {
+                decoder.decode(model, emissions, k).unwrap()
+            };
+            assert_eq!(got.len(), reference.len(), "path count (k={k})");
+            for (a, b) in got.iter().zip(&reference) {
+                assert_eq!(a.states, b.states, "state sequence (k={k} forced={forced})");
+                assert_eq!(
+                    a.log_prob.to_bits(),
+                    b.log_prob.to_bits(),
+                    "score bits (k={k} forced={forced}): {} vs {}",
+                    a.log_prob,
+                    b.log_prob
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_textbook_example() {
+        let m = model();
+        let e = vec![vec![0.1, 0.6], vec![0.4, 0.3], vec![0.5, 0.1]];
+        for k in [1, 2, 4, 8, 16] {
+            assert_bitwise_equal(&m, &e, k);
+        }
+    }
+
+    #[test]
+    fn matches_reference_under_floor_ties() {
+        // Uniform "emission floor" rows create massive exact score ties —
+        // the case where a sloppy prune would reorder the output.
+        let m = Hmm::uniform(4).unwrap();
+        let e = vec![vec![1e-6; 4], vec![1e-6; 4], vec![1e-6; 4]];
+        for k in [1, 3, 5, 64] {
+            assert_bitwise_equal(&m, &e, k);
+        }
+    }
+
+    #[test]
+    fn matches_reference_with_blocked_states() {
+        let m = model();
+        let e = vec![vec![0.5, 0.0], vec![0.0, 0.9], vec![0.5, 0.5]];
+        for k in [1, 2, 8] {
+            assert_bitwise_equal(&m, &e, k);
+        }
+    }
+
+    #[test]
+    fn infeasible_and_k0() {
+        let m = model();
+        let mut d = ListDecoder::new();
+        assert!(d.decode(&m, &[vec![0.0, 0.0]], 3).unwrap().is_empty());
+        assert!(d
+            .decode(&m, &[vec![0.5, 0.5], vec![0.4, 0.4]], 0)
+            .unwrap()
+            .is_empty());
+        assert!(d.decode(&m, &[], 3).is_err(), "empty emissions rejected");
+    }
+
+    #[test]
+    fn scratch_reuse_across_varied_shapes() {
+        // Same decoder instance across different n, t, k: buffers must not
+        // leak state between decodes.
+        let mut d = ListDecoder::new();
+        let small = model();
+        let big = Hmm::uniform(7).unwrap();
+        for round in 0..3 {
+            let e2 = vec![vec![0.3, 0.7], vec![0.6, 0.2]];
+            let e7 = vec![vec![0.2; 7], vec![0.9; 7], vec![0.1; 7], vec![0.5; 7]];
+            let k = 1 + round * 3;
+            let a = d.decode(&small, &e2, k).unwrap();
+            let ra = list_viterbi(&small, &e2, k).unwrap();
+            assert_eq!(a.len(), ra.len());
+            let b = d.decode(&big, &e7, k).unwrap();
+            let rb = list_viterbi(&big, &e7, k).unwrap();
+            for (x, y) in b.iter().zip(&rb) {
+                assert_eq!(x.states, y.states);
+                assert_eq!(x.log_prob.to_bits(), y.log_prob.to_bits());
+            }
+            assert_eq!(a.len(), ra.len());
+        }
+    }
+}

@@ -9,6 +9,9 @@
 //! * [`viterbi()`](viterbi::viterbi) — maximum-probability decoding;
 //! * [`list_viterbi()`](list_viterbi::list_viterbi) — the top-k *list Viterbi algorithm*
 //!   (Seshadri–Sundberg), producing the top-k configurations;
+//! * [`ListDecoder`] — the hot-path form of the same algorithm: reusable
+//!   scratch buffers (no per-query lattice allocation) plus an admissible
+//!   top-k prune, bit-identical to `list_viterbi` by construction;
 //! * [`forward_backward()`](forward_backward::forward_backward) / [`baum_welch_step`] / [`train`] — scaled
 //!   Expectation-Maximization for the feedback-based operating mode;
 //! * [`SupervisedTrainer`] — count-based online training from user-validated
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod baum_welch;
+pub mod decoder;
 pub mod error;
 pub mod forward_backward;
 pub mod list_viterbi;
@@ -39,6 +43,7 @@ pub mod supervised;
 pub mod viterbi;
 
 pub use baum_welch::{baum_welch_step, train, TrainReport};
+pub use decoder::ListDecoder;
 pub use error::HmmError;
 pub use forward_backward::{forward_backward, ForwardBackward};
 pub use list_viterbi::list_viterbi;

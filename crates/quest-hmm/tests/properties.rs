@@ -1,7 +1,7 @@
 //! Property-based tests for the HMM substrate.
 
 use proptest::prelude::*;
-use quest_hmm::{baum_welch_step, forward_backward, list_viterbi, viterbi, Hmm};
+use quest_hmm::{baum_welch_step, forward_backward, list_viterbi, viterbi, Hmm, ListDecoder};
 
 /// Arbitrary small HMM from positive weights.
 fn arb_hmm(n: usize) -> impl Strategy<Value = Hmm> {
@@ -76,6 +76,61 @@ proptest! {
         bf.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
         for (got, want) in l.iter().zip(bf.iter()) {
             prop_assert!((got.log_prob - want.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pruned_decoder_bit_identical_to_list_viterbi(
+        hmm in arb_hmm(5),
+        em in arb_emissions(5, 1..7),
+        k in 1usize..12,
+    ) {
+        // The hot-path decoder (scratch reuse + admissible top-k prune)
+        // must reproduce the reference LVA bit for bit: same sequences, in
+        // the same order, with bitwise-equal scores.
+        let reference = list_viterbi(&hmm, &em, k).expect("valid");
+        let mut decoder = ListDecoder::new();
+        let pruned = decoder.decode_pruned(&hmm, &em, k).expect("valid");
+        let adaptive = decoder.decode(&hmm, &em, k).expect("valid");
+        prop_assert_eq!(pruned.len(), reference.len());
+        prop_assert_eq!(adaptive.len(), reference.len());
+        for (a, b) in pruned.iter().zip(&reference) {
+            prop_assert_eq!(&a.states, &b.states);
+            prop_assert_eq!(a.log_prob.to_bits(), b.log_prob.to_bits());
+        }
+        for (a, b) in adaptive.iter().zip(&reference) {
+            prop_assert_eq!(&a.states, &b.states);
+            prop_assert_eq!(a.log_prob.to_bits(), b.log_prob.to_bits());
+        }
+    }
+
+    #[test]
+    fn pruned_decoder_bit_identical_under_ties_and_zeros(
+        n in 2usize..5,
+        t in 1usize..5,
+        k in 1usize..10,
+        floor in prop_oneof![Just(0.0f64), Just(1e-6), Just(0.5)],
+        blocked in proptest::collection::vec(any::<bool>(), 0..12),
+    ) {
+        // Degenerate inputs: uniform models, emission-floor rows (mass
+        // exact ties), and zeroed (state, step) cells. Tie order must
+        // survive pruning bitwise.
+        let hmm = Hmm::uniform(n).expect("uniform");
+        let mut em = vec![vec![if floor > 0.0 { floor } else { 0.3 }; n]; t];
+        for (i, b) in blocked.iter().enumerate() {
+            if *b {
+                let step = i % t;
+                let state = (i / t) % n;
+                em[step][state] = 0.0;
+            }
+        }
+        let reference = list_viterbi(&hmm, &em, k).expect("valid");
+        let mut decoder = ListDecoder::new();
+        let pruned = decoder.decode_pruned(&hmm, &em, k).expect("valid");
+        prop_assert_eq!(pruned.len(), reference.len());
+        for (a, b) in pruned.iter().zip(&reference) {
+            prop_assert_eq!(&a.states, &b.states);
+            prop_assert_eq!(a.log_prob.to_bits(), b.log_prob.to_bits());
         }
     }
 

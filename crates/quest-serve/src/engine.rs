@@ -42,7 +42,7 @@ use quest_core::backward::Interpretation;
 use quest_core::term::DbTerm;
 use quest_core::{
     Configuration, Explanation, ForwardResult, FullAccessWrapper, KeywordQuery, Quest, QuestError,
-    SearchOutcome, SourceWrapper,
+    SearchOutcome, SearchScratch, SourceWrapper,
 };
 use quest_wal::ChangeRecord;
 
@@ -203,16 +203,47 @@ impl<W: SourceWrapper> CachedEngine<W> {
         self.search_query(&query)
     }
 
+    /// [`CachedEngine::search`] with a caller-owned [`SearchScratch`] —
+    /// what the [`crate::QueryService`] workers use (one scratch per worker
+    /// thread, reused across every query the worker serves).
+    pub fn search_with(
+        &self,
+        raw_query: &str,
+        scratch: &mut SearchScratch,
+    ) -> Result<SearchOutcome, QuestError> {
+        let query = KeywordQuery::parse(raw_query)?;
+        self.search_query_with(&query, scratch)
+    }
+
     /// Run Algorithm 1 on a parsed query, through the caches. Results are
     /// identical to an uncached search on the wrapped engine.
     pub fn search_query(&self, query: &KeywordQuery) -> Result<SearchOutcome, QuestError> {
+        self.search_query_with(query, &mut SearchScratch::new())
+    }
+
+    /// [`CachedEngine::search_query`] with a caller-owned scratch; cache
+    /// misses run the engine's allocation-lean hot path instead of
+    /// allocating per query. Bit-identical results either way.
+    pub fn search_query_with(
+        &self,
+        query: &KeywordQuery,
+        scratch: &mut SearchScratch,
+    ) -> Result<SearchOutcome, QuestError> {
         let t0 = Instant::now();
-        let result = self.search_inner(query);
+        let result = self.search_inner(query, scratch);
         self.recorder.record(t0.elapsed(), result.is_ok());
         result
     }
 
-    fn search_inner(&self, query: &KeywordQuery) -> Result<SearchOutcome, QuestError> {
+    fn search_inner(
+        &self,
+        query: &KeywordQuery,
+        scratch: &mut SearchScratch,
+    ) -> Result<SearchOutcome, QuestError> {
+        // Memoized Steiner interpretations are valid for one engine state
+        // only; the engine read lock below pins that state for the whole
+        // search.
+        scratch.reset_query_state();
         let engine = self.engine();
         // Both epochs are stable for the lifetime of the read guard except
         // the feedback epoch, which can advance concurrently (feedback only
@@ -232,11 +263,13 @@ impl<W: SourceWrapper> CachedEngine<W> {
         // Bind the lookup before matching: a guard born in a match
         // scrutinee lives to the end of the match and would deadlock the
         // insert below.
+        let t0 = Instant::now();
         let cached_forward = self.forward_cache().get(&key);
         let forward = match cached_forward {
             Some(hit) => (*hit).clone(), // payload copy happens off-lock
             None => {
-                let computed = engine.forward_pass(query)?;
+                let computed = engine.forward_pass_with(query, scratch)?;
+                self.recorder.record_uncached_forward(&computed.timings);
                 // Only cache if no feedback landed mid-computation; a result
                 // spanning an epoch boundary may mix old and new model state
                 // and must not be replayed.
@@ -246,6 +279,7 @@ impl<W: SourceWrapper> CachedEngine<W> {
                 computed
             }
         };
+        let forward_wall = t0.elapsed();
 
         let t0 = Instant::now();
         let mut interpretations = Vec::with_capacity(forward.configurations.len());
@@ -255,7 +289,7 @@ impl<W: SourceWrapper> CachedEngine<W> {
             let interps = match cached_backward {
                 Some(hit) => (*hit).clone(),
                 None => {
-                    let computed = engine.backward_pass(cfg)?;
+                    let computed = engine.backward_pass_with(cfg, scratch)?;
                     self.backward_cache()
                         .insert(bkey, Arc::new(computed.clone()));
                     computed
@@ -264,7 +298,11 @@ impl<W: SourceWrapper> CachedEngine<W> {
             interpretations.push(interps);
         }
         let backward_time = t0.elapsed();
-        engine.assemble(query, forward, interpretations, backward_time)
+        let t0 = Instant::now();
+        let outcome = engine.assemble(query, forward, interpretations, backward_time);
+        self.recorder
+            .record_stage_walls(forward_wall, backward_time, t0.elapsed());
+        outcome
     }
 
     /// Record user feedback on an explanation (see [`Quest::feedback`]).
@@ -552,6 +590,28 @@ mod tests {
         let stats = cached.stats();
         assert_eq!(stats.forward_cache.purge_scans, 2, "{stats}");
         assert_eq!(stats.backward_cache.purge_scans, 1, "{stats}");
+    }
+
+    #[test]
+    fn stage_latency_counters_accumulate() {
+        let cached = CachedEngine::new(engine());
+        let mut scratch = SearchScratch::new();
+        let _ = cached.search_with("wind fleming", &mut scratch).unwrap();
+        let cold = cached.stats();
+        assert_eq!(cold.stages.uncached_forward, 1, "cold search computes");
+        assert!(cold.stages.forward > std::time::Duration::ZERO);
+        assert!(cold.stages.emissions > std::time::Duration::ZERO);
+        assert!(cold.stages.assemble > std::time::Duration::ZERO);
+
+        // A warm repeat adds wall time to the stage buckets but computes no
+        // new forward pass.
+        let _ = cached.search_with("wind fleming", &mut scratch).unwrap();
+        let warm = cached.stats();
+        assert_eq!(warm.stages.uncached_forward, 1, "warm search hits");
+        assert_eq!(warm.stages.emissions, cold.stages.emissions);
+        assert!(warm.stages.forward >= cold.stages.forward);
+        let text = warm.to_string();
+        assert!(text.contains("stages:"), "{text}");
     }
 
     #[test]

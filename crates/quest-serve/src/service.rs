@@ -12,7 +12,7 @@ use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
-use quest_core::{QuestError, SearchOutcome, SourceWrapper};
+use quest_core::{QuestError, SearchOutcome, SearchScratch, SourceWrapper};
 
 use crate::engine::CachedEngine;
 use crate::error::ServeError;
@@ -77,21 +77,28 @@ impl<W: SourceWrapper + Send + Sync + 'static> QueryService<W> {
                 let engine = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("quest-serve-{i}"))
-                    .spawn(move || loop {
-                        // Hold the queue lock only for the pop, never for
-                        // the search.
-                        let job = {
-                            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
-                            guard.recv()
-                        };
-                        match job {
-                            Ok(job) => {
-                                // The submitter may have dropped its ticket;
-                                // a failed reply send is not an error.
-                                let _ = job.reply.send(engine.search(&job.raw));
+                    .spawn(move || {
+                        // One scratch per worker: emission/decoder buffers
+                        // are reused across every query this thread serves.
+                        let mut scratch = SearchScratch::new();
+                        loop {
+                            // Hold the queue lock only for the pop, never
+                            // for the search.
+                            let job = {
+                                let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+                                guard.recv()
+                            };
+                            match job {
+                                Ok(job) => {
+                                    // The submitter may have dropped its
+                                    // ticket; a failed reply send is not an
+                                    // error.
+                                    let _ =
+                                        job.reply.send(engine.search_with(&job.raw, &mut scratch));
+                                }
+                                // Queue closed: service is shutting down.
+                                Err(_) => break,
                             }
-                            // Queue closed: service is shutting down.
-                            Err(_) => break,
                         }
                     })
                     .expect("spawning a worker thread succeeds")

@@ -37,6 +37,28 @@ impl CacheStats {
     }
 }
 
+/// Cumulative wall time per pipeline stage, summed across all searches
+/// (and across threads). Divide by [`ServeStats::queries`] — or by
+/// `uncached_forward` for the fine-grained forward substages — for means.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageLatencies {
+    /// Forward stage (cache lookup, and on a miss the full computation).
+    pub forward: Duration,
+    /// Backward stage (cache lookups plus any Steiner enumeration).
+    pub backward: Duration,
+    /// Final assembly: second DST combination, SQL building, ranking.
+    pub assemble: Duration,
+    /// Emission-matrix computation inside *uncached* forward passes.
+    pub emissions: Duration,
+    /// Both HMM decodes inside uncached forward passes.
+    pub decode: Duration,
+    /// First DST combination inside uncached forward passes.
+    pub combine_configs: Duration,
+    /// Forward passes actually computed (denominator for the three
+    /// substage counters above).
+    pub uncached_forward: u64,
+}
+
 /// A point-in-time snapshot of the serving layer's counters.
 #[derive(Debug, Clone, Default)]
 pub struct ServeStats {
@@ -57,6 +79,8 @@ pub struct ServeStats {
     pub total_latency: Duration,
     /// Slowest single search.
     pub max_latency: Duration,
+    /// Cumulative per-stage wall time (see [`StageLatencies`]).
+    pub stages: StageLatencies,
 }
 
 impl ServeStats {
@@ -91,7 +115,7 @@ impl fmt::Display for ServeStats {
             self.forward_cache.entries,
             self.forward_cache.capacity
         )?;
-        write!(
+        writeln!(
             f,
             "backward cache: {}/{} hits ({:.1}%), {} of {} entries",
             self.backward_cache.hits,
@@ -99,6 +123,18 @@ impl fmt::Display for ServeStats {
             100.0 * self.backward_cache.hit_rate(),
             self.backward_cache.entries,
             self.backward_cache.capacity
+        )?;
+        write!(
+            f,
+            "stages: forward {:?}, backward {:?}, assemble {:?} \
+             (uncached fwd {}: emissions {:?}, decode {:?}, combine {:?})",
+            self.stages.forward,
+            self.stages.backward,
+            self.stages.assemble,
+            self.stages.uncached_forward,
+            self.stages.emissions,
+            self.stages.decode,
+            self.stages.combine_configs
         )
     }
 }
@@ -110,12 +146,24 @@ pub(crate) struct LatencyRecorder {
     errors: AtomicU64,
     total_nanos: AtomicU64,
     max_nanos: AtomicU64,
+    // Per-stage wall-time totals (see `StageLatencies`).
+    forward_nanos: AtomicU64,
+    backward_nanos: AtomicU64,
+    assemble_nanos: AtomicU64,
+    emissions_nanos: AtomicU64,
+    decode_nanos: AtomicU64,
+    combine_nanos: AtomicU64,
+    uncached_forward: AtomicU64,
+}
+
+fn nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 impl LatencyRecorder {
     /// Record one completed search.
     pub fn record(&self, elapsed: Duration, ok: bool) {
-        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let nanos = nanos(elapsed);
         self.queries.fetch_add(1, Ordering::Relaxed);
         if !ok {
             self.errors.fetch_add(1, Ordering::Relaxed);
@@ -124,12 +172,46 @@ impl LatencyRecorder {
         self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
     }
 
+    /// Record one search's stage wall times (what this search actually
+    /// spent — a cache hit contributes only its lookup cost).
+    pub fn record_stage_walls(&self, forward: Duration, backward: Duration, assemble: Duration) {
+        self.forward_nanos
+            .fetch_add(nanos(forward), Ordering::Relaxed);
+        self.backward_nanos
+            .fetch_add(nanos(backward), Ordering::Relaxed);
+        self.assemble_nanos
+            .fetch_add(nanos(assemble), Ordering::Relaxed);
+    }
+
+    /// Record the fine-grained timings of one forward pass that was
+    /// actually computed (a forward-cache miss).
+    pub fn record_uncached_forward(&self, timings: &quest_core::StageTimings) {
+        self.uncached_forward.fetch_add(1, Ordering::Relaxed);
+        self.emissions_nanos
+            .fetch_add(nanos(timings.emissions), Ordering::Relaxed);
+        self.decode_nanos.fetch_add(
+            nanos(timings.forward_apriori + timings.forward_feedback),
+            Ordering::Relaxed,
+        );
+        self.combine_nanos
+            .fetch_add(nanos(timings.combine_configs), Ordering::Relaxed);
+    }
+
     /// Fill the query-level fields of a snapshot.
     pub fn snapshot_into(&self, stats: &mut ServeStats) {
         stats.queries = self.queries.load(Ordering::Relaxed);
         stats.errors = self.errors.load(Ordering::Relaxed);
         stats.total_latency = Duration::from_nanos(self.total_nanos.load(Ordering::Relaxed));
         stats.max_latency = Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed));
+        stats.stages = StageLatencies {
+            forward: Duration::from_nanos(self.forward_nanos.load(Ordering::Relaxed)),
+            backward: Duration::from_nanos(self.backward_nanos.load(Ordering::Relaxed)),
+            assemble: Duration::from_nanos(self.assemble_nanos.load(Ordering::Relaxed)),
+            emissions: Duration::from_nanos(self.emissions_nanos.load(Ordering::Relaxed)),
+            decode: Duration::from_nanos(self.decode_nanos.load(Ordering::Relaxed)),
+            combine_configs: Duration::from_nanos(self.combine_nanos.load(Ordering::Relaxed)),
+            uncached_forward: self.uncached_forward.load(Ordering::Relaxed),
+        };
     }
 }
 

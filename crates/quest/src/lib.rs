@@ -32,7 +32,8 @@ pub use relstore as store;
 pub mod prelude {
     pub use quest_core::{
         AnnotationSet, Configuration, DbTerm, DeepWebWrapper, Explanation, FullAccessWrapper,
-        KeywordQuery, MiniOntology, Quest, QuestConfig, QuestError, SearchOutcome, SourceWrapper,
+        KeywordQuery, MiniOntology, Quest, QuestConfig, QuestError, SearchOutcome, SearchScratch,
+        SourceWrapper,
     };
     pub use quest_replica::{
         Consistency, Primary, Replica, ReplicaError, ReplicaSet, RoutingPolicy,

@@ -3,7 +3,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use crate::error::StoreError;
-use crate::index::inverted::AttributeIndex;
+use crate::index::inverted::{AttributeIndex, KeywordProbe};
 use crate::row::{Row, RowId};
 use crate::schema::{AttrId, Catalog, ForeignKey, TableId};
 use crate::stats::{attribute_stats, join_stats, AttributeStats, JoinStats};
@@ -313,13 +313,18 @@ impl Database {
         for attr in self.catalog.attributes() {
             let data = &self.tables[attr.table.0 as usize];
             if attr.full_text {
+                // Bulk-build path: append postings, sort each list once at
+                // the end — bit-identical to per-row sorted inserts (pinned
+                // by the relstore property suite) without the mid-list
+                // shifting.
                 let mut ix = AttributeIndex::new();
                 for (rid, row) in data.iter() {
                     let v = row.get(attr.position);
                     if !v.is_null() {
-                        ix.add(rid, &v.render());
+                        ix.add_bulk(rid, &v.render());
                     }
                 }
+                ix.finish_build();
                 self.indexes.insert(attr.id, ix);
             }
             self.attr_stats
@@ -454,6 +459,47 @@ impl Database {
                     0.0
                 } else {
                     (ix.score(keyword) / coeff).clamp(0.0, 1.0)
+                }
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Normalize a keyword into a reusable probe, paying tokenization once
+    /// per keyword instead of once per `(keyword, attribute)` pair. `None`
+    /// when the keyword normalizes away — every score for it is 0.
+    pub fn prepare_probe(&self, keyword: &str) -> Option<KeywordProbe> {
+        KeywordProbe::new(keyword)
+    }
+
+    /// [`Database::search_score`] for a keyword prepared with
+    /// [`Database::prepare_probe`]; bit-identical results.
+    pub fn search_score_probe(&self, attr: AttrId, probe: &KeywordProbe) -> f64 {
+        match self.indexes.get(&attr) {
+            Some(ix) => {
+                let coeff = ix.normalization_coefficient();
+                if coeff <= 0.0 {
+                    0.0
+                } else {
+                    (ix.score_probe(probe) / coeff).clamp(0.0, 1.0)
+                }
+            }
+            None => 0.0,
+        }
+    }
+
+    /// [`Database::search_score`] through the pre-interning scan path
+    /// ([`AttributeIndex::score_reference`]): the reference the optimized
+    /// probes are verified against, and the baseline of the committed
+    /// pipeline benchmark.
+    pub fn search_score_reference(&self, attr: AttrId, keyword: &str) -> f64 {
+        match self.indexes.get(&attr) {
+            Some(ix) => {
+                let coeff = ix.normalization_coefficient();
+                if coeff <= 0.0 {
+                    0.0
+                } else {
+                    (ix.score_reference(keyword) / coeff).clamp(0.0, 1.0)
                 }
             }
             None => 0.0,

@@ -1,0 +1,74 @@
+//! Token interning: dense `u32` ids for index tokens.
+//!
+//! The inverted index stores one posting table per *token id* instead of
+//! hashing full `String` tokens at every probe. Ids are assigned in first-
+//! appearance order, which is deterministic for a deterministic load order;
+//! nothing downstream depends on the numbering — index equality compares
+//! token *strings* (see `AttributeIndex`'s `PartialEq`).
+
+use std::collections::HashMap;
+
+/// Interns token strings to dense `u32` ids.
+#[derive(Debug, Clone, Default)]
+pub struct TokenInterner {
+    map: HashMap<String, u32>,
+    tokens: Vec<String>,
+}
+
+impl TokenInterner {
+    /// Empty interner.
+    pub fn new() -> TokenInterner {
+        TokenInterner::default()
+    }
+
+    /// Id of `token`, assigning the next dense id on first sight.
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.map.get(token) {
+            return id;
+        }
+        let id = u32::try_from(self.tokens.len()).expect("token vocabulary exceeds u32");
+        self.map.insert(token.to_string(), id);
+        self.tokens.push(token.to_string());
+        id
+    }
+
+    /// Id of `token`, if it has ever been interned.
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.map.get(token).copied()
+    }
+
+    /// The token string of an id.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.tokens[id as usize]
+    }
+
+    /// Number of interned tokens (dense id upper bound).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether no token has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut i = TokenInterner::new();
+        assert!(i.is_empty());
+        let a = i.intern("wind");
+        let b = i.intern("gone");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(i.intern("wind"), a, "re-interning returns the same id");
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), "wind");
+        assert_eq!(i.get("gone"), Some(b));
+        assert_eq!(i.get("missing"), None);
+    }
+}

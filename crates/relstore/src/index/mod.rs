@@ -1,10 +1,13 @@
-//! Indexing: tokenization and per-attribute full-text inverted indexes.
+//! Indexing: tokenization, token interning, and per-attribute full-text
+//! inverted indexes.
 
+pub mod interner;
 pub mod inverted;
 pub mod tokenizer;
 
-pub use inverted::{AttributeIndex, Posting};
+pub use interner::TokenInterner;
+pub use inverted::{AttributeIndex, KeywordProbe, Posting};
 pub use tokenizer::{
-    edit_distance, edit_similarity, is_stopword, normalize_keyword, stem, tokenize,
-    trigram_similarity, trigrams,
+    edit_distance, edit_similarity, is_stopword, normalize_keyword, stem, stem_in_place, tokenize,
+    tokenize_with, trigram_similarity, trigrams,
 };

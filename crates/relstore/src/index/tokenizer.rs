@@ -24,6 +24,15 @@ pub fn is_stopword(token: &str) -> bool {
 /// "city"). Never shrinks a token below three characters.
 pub fn stem(token: &str) -> String {
     let mut t = token.to_string();
+    stem_in_place(&mut t);
+    t
+}
+
+/// [`stem`] on an owned buffer, in place — the hot-path form: no allocation
+/// beyond the buffer the caller already holds. The suffix rules operate on
+/// byte lengths; every matched suffix is ASCII, so truncation always lands
+/// on a character boundary.
+pub fn stem_in_place(t: &mut String) {
     let n = t.len();
     if n >= 5 && t.ends_with("sses") {
         t.truncate(n - 2);
@@ -44,32 +53,46 @@ pub fn stem(token: &str) -> String {
         t.truncate(n - 2);
         t.push('y');
     }
-    t
 }
 
 /// Tokenize text into normalized index tokens.
 pub fn tokenize(text: &str) -> Vec<String> {
     let mut out = Vec::new();
-    let mut cur = String::new();
-    for ch in text.chars() {
-        if ch.is_alphanumeric() {
-            cur.extend(ch.to_lowercase());
-        } else if !cur.is_empty() {
-            push_token(&mut out, &cur);
-            cur.clear();
-        }
-    }
-    if !cur.is_empty() {
-        push_token(&mut out, &cur);
-    }
+    tokenize_with(text, |t| out.push(t.to_string()));
     out
 }
 
-fn push_token(out: &mut Vec<String>, raw: &str) {
-    if raw.is_empty() || is_stopword(raw) {
-        return;
+/// Tokenize without allocating one `String` per token: each normalized
+/// token is produced in a single reused buffer and handed to `f` as a
+/// borrowed slice. This is the allocation-lean core [`tokenize`] wraps; the
+/// two produce identical token sequences (pinned by a property test).
+///
+/// ASCII characters take a branch-free lowercase fast path; anything else
+/// falls back to the full Unicode lowercasing the old tokenizer used.
+pub fn tokenize_with(text: &str, mut f: impl FnMut(&str)) {
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            if ch.is_ascii() {
+                cur.push(ch.to_ascii_lowercase());
+            } else {
+                cur.extend(ch.to_lowercase());
+            }
+        } else if !cur.is_empty() {
+            emit_token(&mut cur, &mut f);
+        }
     }
-    out.push(stem(raw));
+    if !cur.is_empty() {
+        emit_token(&mut cur, &mut f);
+    }
+}
+
+fn emit_token(cur: &mut String, f: &mut impl FnMut(&str)) {
+    if !is_stopword(cur) {
+        stem_in_place(cur);
+        f(cur);
+    }
+    cur.clear();
 }
 
 /// Normalize a single keyword from a user query through the same pipeline.

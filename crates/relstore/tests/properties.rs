@@ -188,6 +188,177 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Hot-path properties: the allocation-lean tokenizer, the bulk-build index
+// path, and the O(1) prepared-probe scoring must each be bit-identical to
+// the straightforward implementations they replaced.
+
+/// The pre-optimization tokenizer — *including its stemmer* — kept
+/// verbatim as the reference the allocation-lean `tokenize_with` /
+/// `stem_in_place` pipeline is fuzzed against. Importing the production
+/// `stem` here would compare the refactored code against itself and pin
+/// nothing.
+mod reference_tokenizer {
+    use relstore::index::is_stopword;
+
+    pub fn stem(token: &str) -> String {
+        let mut t = token.to_string();
+        let n = t.len();
+        if n >= 5 && t.ends_with("sses") {
+            t.truncate(n - 2);
+        } else if n >= 4 && t.ends_with("ies") {
+            t.truncate(n - 3);
+            t.push('y');
+        } else if t.ends_with("ss") {
+            // keep: "class", "press"
+        } else if n >= 4 && t.ends_with('s') {
+            t.truncate(n - 1);
+        } else if n >= 6 && t.ends_with("ing") {
+            t.truncate(n - 3);
+        } else if n >= 5 && t.ends_with("ed") {
+            t.truncate(n - 2);
+        }
+        let n = t.len();
+        if n >= 4 && t.ends_with("ie") {
+            t.truncate(n - 2);
+            t.push('y');
+        }
+        t
+    }
+
+    pub fn tokenize(text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                cur.extend(ch.to_lowercase());
+            } else if !cur.is_empty() {
+                push_token(&mut out, &cur);
+                cur.clear();
+            }
+        }
+        if !cur.is_empty() {
+            push_token(&mut out, &cur);
+        }
+        out
+    }
+
+    fn push_token(out: &mut Vec<String>, raw: &str) {
+        if raw.is_empty() || is_stopword(raw) {
+            return;
+        }
+        out.push(stem(raw));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lean_tokenizer_matches_reference(s in "[A-Za-z0-9 ,.'\u{e4}\u{d6}\u{3b1}\u{130}-]{0,48}") {
+        // Mixed ASCII/Unicode, punctuation, stopwords, casing: the in-place
+        // fast path must reproduce the old per-token-allocation pipeline
+        // exactly, token for token.
+        prop_assert_eq!(tokenize(&s), reference_tokenizer::tokenize(&s));
+        let mut streamed = Vec::new();
+        relstore::index::tokenize_with(&s, |t| streamed.push(t.to_string()));
+        prop_assert_eq!(streamed, reference_tokenizer::tokenize(&s));
+    }
+
+    #[test]
+    fn stem_in_place_matches_old_stem(s in "[a-z\u{e9}]{0,12}") {
+        let mut buf = s.clone();
+        relstore::index::stem_in_place(&mut buf);
+        prop_assert_eq!(&buf, &reference_tokenizer::stem(&s));
+        prop_assert_eq!(relstore::index::stem(&s), reference_tokenizer::stem(&s));
+    }
+}
+
+/// Word pool for index property tests: token collisions, repeats (max-tf
+/// churn), stopwords, phrases, empties.
+const INDEX_WORDS: [&str; 8] = [
+    "wind",
+    "wind wind wind",
+    "gone with the wind",
+    "casablanca",
+    "the of",
+    "",
+    "kane citizen kane kane",
+    "wind rises",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bulk_build_matches_arbitrary_incremental_interleavings(
+        ops in proptest::collection::vec((0u8..3, 0u64..10, 0usize..8), 0..50)
+    ) {
+        use relstore::index::AttributeIndex;
+        // Drive the incremental index through adds/removes/re-adds; mirror
+        // the live rows; then bulk-build over the survivors (in slot order
+        // *and* reversed) and demand bitwise equality.
+        let mut live: Vec<(u64, &str)> = Vec::new();
+        let mut ix = AttributeIndex::new();
+        for &(op, rid, w) in &ops {
+            let text = INDEX_WORDS[w % INDEX_WORDS.len()];
+            match op % 3 {
+                0 => {
+                    if !live.iter().any(|(r, _)| *r == rid) {
+                        ix.add(relstore::RowId(rid), text);
+                        live.push((rid, text));
+                    }
+                }
+                _ => {
+                    if let Some(at) = live.iter().position(|(r, _)| *r == rid) {
+                        let (_, t) = live.remove(at);
+                        ix.remove(relstore::RowId(rid), t);
+                    }
+                }
+            }
+        }
+        live.sort_by_key(|(r, _)| *r);
+        let mut bulk = AttributeIndex::new();
+        for &(r, t) in &live {
+            bulk.add_bulk(relstore::RowId(r), t);
+        }
+        bulk.finish_build();
+        prop_assert_eq!(&bulk, &ix, "bulk build diverged after {} ops", ops.len());
+        let mut reversed = AttributeIndex::new();
+        for &(r, t) in live.iter().rev() {
+            reversed.add_bulk(relstore::RowId(r), t);
+        }
+        reversed.finish_build();
+        prop_assert_eq!(&reversed, &ix, "bulk load order leaked into the index");
+    }
+
+    #[test]
+    fn prepared_probe_scores_match_reference_bitwise(
+        values in proptest::collection::vec(0usize..8, 0..12),
+        probe_word in 0usize..8,
+        extra in "[a-z]{0,6}",
+    ) {
+        use relstore::index::{AttributeIndex, KeywordProbe};
+        let mut ix = AttributeIndex::new();
+        for (i, w) in values.iter().enumerate() {
+            ix.add(relstore::RowId(i as u64), INDEX_WORDS[*w % INDEX_WORDS.len()]);
+        }
+        for kw in [INDEX_WORDS[probe_word % INDEX_WORDS.len()], extra.as_str(), "wind", "the"] {
+            let fast = ix.score(kw);
+            let reference = ix.score_reference(kw);
+            prop_assert_eq!(
+                fast.to_bits(),
+                reference.to_bits(),
+                "probe diverged for {:?}: {} vs {}", kw, fast, reference
+            );
+            if let Some(p) = KeywordProbe::new(kw) {
+                prop_assert_eq!(ix.score_probe(&p).to_bits(), reference.to_bits());
+                prop_assert_eq!(ix.search_probe(&p, 5), ix.search(kw, 5));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Live-mutation properties: any interleaving of insert / delete / update
 // must leave every inverted index and all statistics bit-identical to a
 // database rebuilt from scratch over the final rows, and the instance must

@@ -1,0 +1,237 @@
+//! The hot path's non-negotiable contract: the optimized pipeline
+//! (interned O(1) index probes, prepared keywords, memoized metadata
+//! matching, scratch-reused pruned decoding, per-query Steiner memo) is
+//! **bit-identical** to the retained reference implementation — same SQL,
+//! same score bits, same ranking — across datasets, random seeds, feedback
+//! epochs, live-mutation interleavings, and the cached/pooled serving
+//! layer. Every optimization in this repo rides behind this suite.
+
+use quest::prelude::*;
+use quest_data::{imdb, mondial, FeedbackOracle};
+
+/// Bitwise comparison of two search outcomes: explanations (score bits,
+/// statements, configurations, rank order), combined configurations, and
+/// the partial per-mode lists.
+fn assert_outcomes_identical(a: &SearchOutcome, b: &SearchOutcome, context: &str) {
+    assert_eq!(
+        a.explanations.len(),
+        b.explanations.len(),
+        "explanation count ({context})"
+    );
+    for (i, (x, y)) in a.explanations.iter().zip(&b.explanations).enumerate() {
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "explanation {i} score bits ({context}): {} vs {}",
+            x.score,
+            y.score
+        );
+        assert_eq!(x.statement, y.statement, "explanation {i} SQL ({context})");
+        assert_eq!(
+            x.configuration.terms, y.configuration.terms,
+            "explanation {i} configuration ({context})"
+        );
+        assert_eq!(
+            x.interpretation.key(),
+            y.interpretation.key(),
+            "explanation {i} interpretation ({context})"
+        );
+    }
+    let pairs = [
+        (&a.configurations, &b.configurations, "combined"),
+        (&a.apriori_configs, &b.apriori_configs, "apriori"),
+        (&a.feedback_configs, &b.feedback_configs, "feedback"),
+    ];
+    for (xs, ys, which) in pairs {
+        assert_eq!(xs.len(), ys.len(), "{which} list length ({context})");
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            assert_eq!(x.terms, y.terms, "{which} terms ({context})");
+            assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "{which} score bits ({context})"
+            );
+        }
+    }
+    assert_eq!(
+        a.effective_o_cf.to_bits(),
+        b.effective_o_cf.to_bits(),
+        "effective O_Cf ({context})"
+    );
+}
+
+/// Run every workload query through the optimized scratch path and the
+/// reference path on the same engine and demand bitwise equality.
+fn assert_engine_paths_identical(
+    engine: &Quest<FullAccessWrapper>,
+    queries: &[String],
+    scratch: &mut SearchScratch,
+    context: &str,
+) {
+    for raw in queries {
+        let query = match KeywordQuery::parse(raw) {
+            Ok(q) => q,
+            Err(_) => continue,
+        };
+        let fast = engine.search_query_with(&query, scratch);
+        let reference = engine.search_query_reference(&query);
+        match (fast, reference) {
+            (Ok(a), Ok(b)) => assert_outcomes_identical(&a, &b, &format!("{context}: {raw}")),
+            (Err(a), Err(b)) => assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "error mismatch ({context}: {raw})"
+            ),
+            (a, b) => panic!("one path failed ({context}: {raw}): {a:?} vs {b:?}"),
+        }
+    }
+}
+
+fn imdb_engine(movies: usize, seed: u64) -> Quest<FullAccessWrapper> {
+    let db = imdb::generate(&imdb::ImdbScale { movies, seed }).expect("imdb generates");
+    Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("engine builds")
+}
+
+fn raw_queries(wl: &[quest_data::workload::WorkloadQuery]) -> Vec<String> {
+    wl.iter().map(|wq| wq.raw.clone()).collect()
+}
+
+#[test]
+fn optimized_path_is_bit_identical_across_datasets_and_seeds() {
+    for seed in [7u64, 42, 20260731] {
+        let engine = imdb_engine(300, seed);
+        let mut scratch = SearchScratch::new();
+        let queries = raw_queries(&imdb::workload());
+        // Two passes with one scratch: the second exercises warm buffer and
+        // memo reuse, which must change nothing.
+        for pass in 0..2 {
+            assert_engine_paths_identical(
+                &engine,
+                &queries,
+                &mut scratch,
+                &format!("imdb seed {seed} pass {pass}"),
+            );
+        }
+    }
+    let db = mondial::generate(&mondial::MondialScale::default()).expect("mondial generates");
+    let engine = Quest::new(FullAccessWrapper::new(db), QuestConfig::default()).expect("builds");
+    let mut scratch = SearchScratch::new();
+    assert_engine_paths_identical(
+        &engine,
+        &raw_queries(&mondial::workload()),
+        &mut scratch,
+        "mondial",
+    );
+}
+
+#[test]
+fn identity_holds_across_feedback_epochs() {
+    let engine = imdb_engine(300, 42);
+    let wl = imdb::workload();
+    let queries = raw_queries(&wl);
+    let mut scratch = SearchScratch::new();
+    let mut oracle = FeedbackOracle::new(0.2, 21);
+    // Interleave feedback batches (cheap supervised updates + one EM
+    // refinement) with full identity sweeps; the scratch and the engine's
+    // metadata memo survive every epoch bump.
+    for round in 0..3 {
+        for wq in wl.iter().take(4 + round) {
+            let (cfg, positive) = oracle.feedback_for(engine.wrapper().catalog(), wq);
+            engine
+                .feedback_configuration(&cfg, positive)
+                .expect("feedback records");
+        }
+        if round == 1 {
+            engine.refine_feedback_model(3).expect("EM refines");
+        }
+        assert!(engine.feedback_epoch() > 0);
+        assert_engine_paths_identical(
+            &engine,
+            &queries,
+            &mut scratch,
+            &format!("feedback round {round}"),
+        );
+    }
+}
+
+#[test]
+fn identity_holds_across_mutation_interleavings() {
+    let mut engine = imdb_engine(250, 42);
+    let queries = raw_queries(&imdb::workload());
+    let mut scratch = SearchScratch::new();
+    // Deterministic mutation rounds: insert a person+movie, retitle an
+    // existing movie, then delete the previous round's movie. After every
+    // round the optimized and reference paths must still agree bitwise —
+    // this drags the interned incremental index maintenance, the stats
+    // refresh, and the engine re-sync through the identity check.
+    for round in 0..3i64 {
+        let person_id = 900_000 + 2 * round;
+        let movie_id = person_id + 1;
+        engine
+            .mutate_source(|w| -> Result<(), relstore::StoreError> {
+                let db = w.database_mut();
+                db.insert(
+                    "person",
+                    Row::new(vec![
+                        person_id.into(),
+                        format!("Identity Director {round}").into(),
+                        1970.into(),
+                    ]),
+                )?;
+                db.insert(
+                    "movie",
+                    Row::new(vec![
+                        movie_id.into(),
+                        format!("Identity Release {round} wind").into(),
+                        2024.into(),
+                        7.5.into(),
+                        person_id.into(),
+                    ]),
+                )?;
+                if round > 0 {
+                    db.delete("movie", &[Value::Int(movie_id - 2)])?;
+                }
+                Ok(())
+            })
+            .expect("mutation closure runs")
+            .expect("mutations apply");
+        engine
+            .wrapper()
+            .database()
+            .validate()
+            .expect("instance stays consistent");
+        assert_engine_paths_identical(
+            &engine,
+            &queries,
+            &mut scratch,
+            &format!("mutation round {round}"),
+        );
+    }
+}
+
+#[test]
+fn served_results_match_the_reference_path() {
+    let engine = imdb_engine(250, 42);
+    let reference = engine.clone();
+    let service = QueryService::new(CachedEngine::new(engine), 3);
+    let queries = raw_queries(&imdb::workload());
+    // Cold pass fills the caches, warm pass replays them; both must equal
+    // the reference pipeline bit for bit, through pool scheduling and all.
+    for pass in ["cold", "warm"] {
+        let tickets = service.submit_batch(&queries);
+        for (raw, ticket) in queries.iter().zip(tickets) {
+            let served = ticket.wait().expect("query serves");
+            let query = KeywordQuery::parse(raw).expect("parses");
+            let expect = reference
+                .search_query_reference(&query)
+                .expect("reference searches");
+            assert_outcomes_identical(&served, &expect, &format!("served {pass}: {raw}"));
+        }
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.errors, 0);
+    assert!(
+        stats.forward_cache.hits >= queries.len() as u64,
+        "warm pass must hit the forward cache: {stats}"
+    );
+}

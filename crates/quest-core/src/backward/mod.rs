@@ -11,7 +11,11 @@ pub mod interpretation;
 pub mod schema_graph;
 pub mod summary;
 
-use quest_graph::{top_k_steiner, GraphError, SteinerConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+use quest_graph::{top_k_steiner, top_k_steiner_with, GraphError, SteinerConfig, SteinerScratch};
 use relstore::Catalog;
 
 use crate::error::QuestError;
@@ -22,25 +26,66 @@ pub use interpretation::{dedup_interpretations, Interpretation};
 pub use schema_graph::{hub_attr, SchemaEdgeKind, SchemaGraph, SchemaGraphWeights};
 pub use summary::{render_summary, summarize, SchemaSummary, SummaryWeights, TableImportance};
 
-/// The backward module: owns the schema graph.
-#[derive(Debug, Clone)]
+/// Join-path templates are keyed by configuration schema *shape*: the
+/// sorted, deduped terminal node set plus the requested `k` — not the
+/// query's terms. Distinct queries (and distinct configurations within one
+/// query) that anchor to the same schema elements share one template.
+type TemplateKey = (Vec<quest_graph::NodeId>, usize);
+
+/// Gauges of the per-engine join-template memo at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TemplateCacheStats {
+    /// Lookups answered from a memoized template.
+    pub hits: u64,
+    /// Lookups that ran the Steiner enumeration.
+    pub misses: u64,
+    /// Templates currently memoized.
+    pub entries: usize,
+}
+
+/// The backward module: owns the schema graph and the per-engine
+/// join-template memo.
+///
+/// The memo lives here — not in a per-query scratch — because join-path
+/// templates are a pure function of the schema graph: they stay valid for
+/// the engine's whole lifetime and are shared across queries and threads.
+/// Invalidation is structural: `Quest::resync` (the funnel for every data
+/// mutation) rebuilds the `BackwardModule`, so a schema-affecting change
+/// starts from an empty memo by construction.
+#[derive(Debug)]
 pub struct BackwardModule {
     schema: SchemaGraph,
+    templates: RwLock<HashMap<TemplateKey, Arc<Vec<Interpretation>>>>,
+    template_hits: AtomicU64,
+    template_misses: AtomicU64,
+}
+
+impl Clone for BackwardModule {
+    fn clone(&self) -> Self {
+        // A cloned engine is a fresh engine: templates are pure derived
+        // data, so the clone starts with a cold memo and zeroed gauges.
+        BackwardModule::with_schema(self.schema.clone())
+    }
 }
 
 impl BackwardModule {
+    fn with_schema(schema: SchemaGraph) -> Self {
+        BackwardModule {
+            schema,
+            templates: RwLock::new(HashMap::new()),
+            template_hits: AtomicU64::new(0),
+            template_misses: AtomicU64::new(0),
+        }
+    }
+
     /// Build from a wrapper with the given weights.
     pub fn new<W: SourceWrapper + ?Sized>(wrapper: &W, weights: &SchemaGraphWeights) -> Self {
-        BackwardModule {
-            schema: SchemaGraph::build(wrapper, weights),
-        }
+        BackwardModule::with_schema(SchemaGraph::build(wrapper, weights))
     }
 
     /// Build with the E8 ablation (uniform FK weights).
     pub fn new_uniform<W: SourceWrapper + ?Sized>(wrapper: &W) -> Self {
-        BackwardModule {
-            schema: SchemaGraph::build_uniform(wrapper),
-        }
+        BackwardModule::with_schema(SchemaGraph::build_uniform(wrapper))
     }
 
     /// The schema graph.
@@ -97,6 +142,63 @@ impl BackwardModule {
             )),
             Err(GraphError::Disconnected) => Ok(Vec::new()),
             Err(e) => Err(e.into()),
+        }
+    }
+
+    /// [`BackwardModule::interpretations_for_terminals`] through the
+    /// per-engine join-template memo and the scratch-reused, pruned Steiner
+    /// enumeration — the backward hot path.
+    ///
+    /// A miss runs `top_k_steiner_with` (bit-identical to the reference's
+    /// `top_k_steiner`, pinned by `quest-graph`'s property suite) and
+    /// memoizes the deduped interpretations; a hit clones the memoized
+    /// template. Two threads racing on the same miss both compute the same
+    /// pure value, so the second insert overwrites with an equal payload.
+    pub fn interpretations_for_terminals_cached(
+        &self,
+        terminals: &[quest_graph::NodeId],
+        k: usize,
+        scratch: &mut SteinerScratch,
+    ) -> Result<Vec<Interpretation>, QuestError> {
+        if terminals.is_empty() {
+            return Ok(Vec::new());
+        }
+        let key: TemplateKey = (terminals.to_vec(), k);
+        if let Some(hit) = self
+            .templates
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
+            self.template_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.as_ref().clone());
+        }
+        self.template_misses.fetch_add(1, Ordering::Relaxed);
+        let cfg = SteinerConfig::top_k(k);
+        let computed = match top_k_steiner_with(self.schema.graph(), terminals, &cfg, scratch) {
+            Ok(trees) => {
+                dedup_interpretations(trees.into_iter().map(Interpretation::from_tree).collect())
+            }
+            Err(GraphError::Disconnected) => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        self.templates
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, Arc::new(computed.clone()));
+        Ok(computed)
+    }
+
+    /// Hit/miss/entry gauges of the join-template memo.
+    pub fn template_stats(&self) -> TemplateCacheStats {
+        TemplateCacheStats {
+            hits: self.template_hits.load(Ordering::Relaxed),
+            misses: self.template_misses.load(Ordering::Relaxed),
+            entries: self
+                .templates
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
         }
     }
 
@@ -260,6 +362,45 @@ mod tests {
                 assert_ne!(a.key(), bb.key());
             }
         }
+    }
+
+    #[test]
+    fn template_memo_is_bit_identical_and_counts() {
+        let w = wrapper();
+        let c = w.catalog();
+        let b = BackwardModule::new(&w, &SchemaGraphWeights::default());
+        let cfg = Configuration::new(
+            vec![
+                DbTerm::Domain(c.attr_id("movie", "title").unwrap()),
+                DbTerm::Domain(c.attr_id("person", "name").unwrap()),
+            ],
+            1.0,
+        );
+        let terminals = b.terminals(c, &cfg);
+        let reference = b.interpretations_for_terminals(&terminals, 3).unwrap();
+        let mut scratch = SteinerScratch::new();
+        let cold = b
+            .interpretations_for_terminals_cached(&terminals, 3, &mut scratch)
+            .unwrap();
+        let warm = b
+            .interpretations_for_terminals_cached(&terminals, 3, &mut scratch)
+            .unwrap();
+        for got in [&cold, &warm] {
+            assert_eq!(got.len(), reference.len());
+            for (x, y) in reference.iter().zip(got.iter()) {
+                assert_eq!(x.key(), y.key());
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+        let stats = b.template_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        // Different k is a different template; a clone starts cold.
+        b.interpretations_for_terminals_cached(&terminals, 1, &mut scratch)
+            .unwrap();
+        assert_eq!(b.template_stats().entries, 2);
+        assert_eq!(b.clone().template_stats(), TemplateCacheStats::default());
     }
 
     #[test]

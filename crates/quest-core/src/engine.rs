@@ -285,13 +285,14 @@ impl<W: SourceWrapper> Quest<W> {
             interpretations.push(self.backward_pass_with(cfg, scratch)?);
         }
         let backward = t0.elapsed();
-        self.assemble(query, forward, interpretations, backward)
+        self.assemble_with(query, forward, interpretations, backward, scratch)
     }
 
     /// Run Algorithm 1 through the retained **reference** implementations
     /// of every optimized stage: per-probe keyword normalization and
     /// posting-list scans for emissions, freshly allocated unpruned list
-    /// Viterbi for both decodes, and unmemoized Steiner enumeration.
+    /// Viterbi for both decodes, unmemoized unpruned Steiner enumeration,
+    /// and freshly allocated assembly buffers.
     ///
     /// This is the pre-optimization pipeline, kept callable as the anchor
     /// of the bit-identity suite and the baseline of the committed
@@ -307,7 +308,7 @@ impl<W: SourceWrapper> Quest<W> {
             interpretations.push(self.backward_pass(cfg)?);
         }
         let backward = t0.elapsed();
-        self.assemble(query, forward, interpretations, backward)
+        self.assemble_reference(query, forward, interpretations, backward)
     }
 
     /// Forward stage of Algorithm 1: emissions, both operating-mode decodes,
@@ -429,11 +430,17 @@ impl<W: SourceWrapper> Quest<W> {
             .interpretations(self.wrapper.catalog(), config, self.config.k)
     }
 
-    /// [`Quest::backward_pass`] through the scratch's per-query memo:
-    /// distinct configurations frequently anchor to the same Steiner
-    /// terminal set, and interpretations are a pure function of
-    /// `(terminals, k)` for a fixed engine state, so repeats are served
-    /// from the memo. Bit-identical to `backward_pass`.
+    /// [`Quest::backward_pass`] through two memo layers and the pruned
+    /// enumeration — the backward hot path, bit-identical to the reference:
+    ///
+    /// 1. the scratch's **per-query memo** (distinct configurations of one
+    ///    query frequently anchor to the same Steiner terminal set);
+    /// 2. the engine's **join-template memo**, keyed by schema shape
+    ///    `(terminals, k)` and shared across queries and threads (rebuilt
+    ///    from empty whenever [`Quest::resync`] rebuilds the backward
+    ///    module);
+    /// 3. on a cold miss, the scratch-reused pruned Steiner enumeration
+    ///    (`quest_graph::top_k_steiner_with`).
     pub fn backward_pass_with(
         &self,
         config: &Configuration,
@@ -443,9 +450,11 @@ impl<W: SourceWrapper> Quest<W> {
         if let Some(hit) = scratch.memoized_interpretations(&terminals) {
             return Ok(hit.clone());
         }
-        let interps = self
-            .backward
-            .interpretations_for_terminals(&terminals, self.config.k)?;
+        let interps = self.backward.interpretations_for_terminals_cached(
+            &terminals,
+            self.config.k,
+            &mut scratch.steiner,
+        )?;
         scratch.steiner_memo.push((terminals, interps.clone()));
         Ok(interps)
     }
@@ -457,7 +466,130 @@ impl<W: SourceWrapper> Quest<W> {
     /// `forward.configurations`, as produced by [`Quest::backward_pass`];
     /// `backward_time` is charged to the backward stage in the outcome's
     /// timings (pass [`Duration::ZERO`] when replaying cached results).
+    ///
+    /// Allocates a throwaway [`SearchScratch`]; callers issuing many
+    /// searches should hold one and use [`Quest::assemble_with`].
     pub fn assemble(
+        &self,
+        query: &KeywordQuery,
+        forward: ForwardResult,
+        interpretations: Vec<Vec<Interpretation>>,
+        backward_time: Duration,
+    ) -> Result<SearchOutcome, QuestError> {
+        self.assemble_with(
+            query,
+            forward,
+            interpretations,
+            backward_time,
+            &mut SearchScratch::new(),
+        )
+    }
+
+    /// [`Quest::assemble`] through a caller-owned scratch: the flattened
+    /// `(configuration, interpretation)` pairs and both score lists are
+    /// built in the scratch's reused buffers instead of three fresh
+    /// vectors per search. Bit-identical to [`Quest::assemble_reference`]
+    /// (`tests/perf_identity.rs`).
+    pub fn assemble_with(
+        &self,
+        query: &KeywordQuery,
+        forward: ForwardResult,
+        interpretations: Vec<Vec<Interpretation>>,
+        backward_time: Duration,
+        scratch: &mut SearchScratch,
+    ) -> Result<SearchOutcome, QuestError> {
+        let ForwardResult {
+            apriori,
+            feedback,
+            mut configurations,
+            effective_o_cf,
+            mut timings,
+        } = forward;
+        if interpretations.len() != configurations.len() {
+            return Err(QuestError::BadParameter(format!(
+                "assemble: {} interpretation lists for {} configurations",
+                interpretations.len(),
+                configurations.len()
+            )));
+        }
+        timings.backward = backward_time;
+        let k = self.config.k;
+        let catalog = self.wrapper.catalog();
+        scratch.assemble_pairs.clear();
+        for (ci, interps) in interpretations.into_iter().enumerate() {
+            for i in interps {
+                scratch.assemble_pairs.push((ci, i));
+            }
+        }
+
+        // Second combination + query building.
+        let t0 = Instant::now();
+        scratch.config_scores.clear();
+        scratch
+            .config_scores
+            .extend(configurations.iter().map(|c| c.score));
+        scratch.pair_scores.clear();
+        scratch
+            .pair_scores
+            .extend(scratch.assemble_pairs.iter().map(|(ci, i)| (*ci, i.score)));
+        let scores = combine_explanation_scores(
+            &scratch.config_scores,
+            &scratch.pair_scores,
+            self.config.o_c,
+            self.config.o_i,
+        )?;
+        let mut explanations: Vec<Explanation> = Vec::with_capacity(scratch.assemble_pairs.len());
+        for ((ci, interp), score) in scratch.assemble_pairs.drain(..).zip(scores) {
+            let cfg = &configurations[ci];
+            let stmt = build_query(
+                catalog,
+                self.backward.schema_graph(),
+                query,
+                cfg,
+                &interp,
+                self.config.result_limit,
+            )?;
+            explanations.push(Explanation {
+                configuration: cfg.clone(),
+                interpretation: interp,
+                statement: stmt,
+                score,
+            });
+        }
+        explanations.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        if self.config.prune_empty {
+            explanations.retain(|e| self.wrapper.has_results(&e.statement).unwrap_or(true));
+        }
+        explanations.truncate(k);
+        timings.combine_explanations = t0.elapsed();
+
+        // Keep partial configuration lists sorted for the demo comparisons.
+        configurations.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        Ok(SearchOutcome {
+            query: query.clone(),
+            apriori_configs: apriori,
+            feedback_configs: feedback,
+            configurations,
+            explanations,
+            timings,
+            effective_o_cf,
+        })
+    }
+
+    /// The retained **reference** assembly: identical logic to
+    /// [`Quest::assemble_with`] built with freshly allocated buffers, kept
+    /// callable as the anchor of the bit-identity suite (exactly like the
+    /// decode and Steiner reference twins).
+    pub fn assemble_reference(
         &self,
         query: &KeywordQuery,
         forward: ForwardResult,

@@ -58,7 +58,9 @@ pub mod semantics;
 pub mod term;
 pub mod wrapper;
 
-pub use backward::{BackwardModule, Interpretation, SchemaGraph, SchemaGraphWeights};
+pub use backward::{
+    BackwardModule, Interpretation, SchemaGraph, SchemaGraphWeights, TemplateCacheStats,
+};
 pub use combiner::{combine_explanation_scores, combine_ranked};
 pub use engine::{ForwardResult, Quest, QuestConfig, SearchOutcome, StageTimings};
 pub use error::QuestError;

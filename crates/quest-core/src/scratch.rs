@@ -12,8 +12,13 @@
 //!   buffers serve both HMM operating modes over the *same* emission
 //!   matrix, with the admissible top-k prune;
 //! * **backward interpretation** — a per-query memo from Steiner terminal
-//!   sets to interpretation lists, because distinct configurations of one
-//!   query frequently anchor to identical terminals.
+//!   sets to interpretation lists (because distinct configurations of one
+//!   query frequently anchor to identical terminals), plus the flat
+//!   [`quest_graph::SteinerScratch`] buffers (frontier heap, state tables,
+//!   pooled edge lists) reused by the pruned enumeration on a
+//!   template-memo miss;
+//! * **assembly** — the flattened `(configuration, interpretation)` pair
+//!   and score buffers reused while ranking explanations.
 //!
 //! Results are bit-identical with or without scratch reuse (pinned by
 //! `tests/perf_identity.rs`); the scratch only changes where the memory
@@ -22,7 +27,7 @@
 //! methods of [`crate::Quest`]; the convenience methods without a scratch
 //! argument create a throwaway one per call.
 
-use quest_graph::NodeId;
+use quest_graph::{NodeId, SteinerScratch};
 use quest_hmm::{Emissions, ListDecoder};
 
 use crate::backward::Interpretation;
@@ -41,6 +46,15 @@ pub struct SearchScratch {
     /// within one search (cleared by `Quest::search_query_with`); the
     /// engine state is locked for that duration by every caller.
     pub(crate) steiner_memo: Vec<(Vec<NodeId>, Vec<Interpretation>)>,
+    /// Flat graph scratch (frontier heap, state tables, pooled edge lists)
+    /// for the pruned Steiner enumeration on template-memo misses.
+    pub(crate) steiner: SteinerScratch,
+    /// Assembly: flattened `(configuration index, interpretation)` pairs.
+    pub(crate) assemble_pairs: Vec<(usize, Interpretation)>,
+    /// Assembly: per-configuration scores for the DST combination.
+    pub(crate) config_scores: Vec<f64>,
+    /// Assembly: `(configuration index, interpretation score)` pairs.
+    pub(crate) pair_scores: Vec<(usize, f64)>,
 }
 
 impl SearchScratch {

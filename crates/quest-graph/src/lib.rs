@@ -9,6 +9,10 @@
 //! * [`Graph`] — a compact undirected weighted graph;
 //! * [`top_k_steiner`] — DPBF-based top-k Steiner tree enumeration (Ding et
 //!   al.) with duplicate and super-tree suppression;
+//! * [`top_k_steiner_with`] — the same enumeration through reusable
+//!   [`SteinerScratch`] buffers with an admissible dominance prune,
+//!   bit-identical to the reference and certified in debug builds against
+//!   [`steiner_lower_bound`] (the exact 1-best tree cost);
 //! * [`mst_approximation`] — the classic metric-closure 2-approximation,
 //!   kept as a baseline/ablation;
 //! * [`dijkstra()`](dijkstra::dijkstra) — shortest paths.
@@ -43,5 +47,8 @@ pub use dijkstra::{dijkstra, ShortestPaths};
 pub use error::GraphError;
 pub use graph::{Edge, Graph, NodeId};
 pub use mst::mst_approximation;
-pub use steiner::{top_k_steiner, SteinerConfig, MAX_TERMINALS};
+pub use steiner::{
+    steiner_lower_bound, steiner_lower_bound_with, top_k_steiner, top_k_steiner_with,
+    SteinerConfig, SteinerScratch, MAX_TERMINALS,
+};
 pub use tree::SteinerTree;

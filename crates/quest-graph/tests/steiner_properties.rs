@@ -1,0 +1,241 @@
+//! The backward hot path's contract at the graph layer: the scratch-reused,
+//! dominance-pruned Steiner enumeration ([`top_k_steiner_with`]) is
+//! **bit-identical** to the retained reference ([`top_k_steiner`]) — same
+//! tree edges, same cost bits, same tie order, same errors — over randomized
+//! schema-shaped graphs, terminal sets, and weight distributions (including
+//! exact zero-weight edges and tie-heavy discrete weights), plus the
+//! degenerate cases. Every emitted tree is additionally certified against
+//! the exact 1-best lower bound.
+
+use proptest::prelude::*;
+use quest_graph::{
+    steiner_lower_bound, top_k_steiner, top_k_steiner_with, Graph, GraphError, NodeId,
+    SteinerConfig, SteinerScratch,
+};
+
+/// A random connected graph: a spanning path plus random extra edges, with
+/// weights drawn from `weight()` (shared by both edge kinds).
+fn arb_graph_with<W, F>(n: usize, weight: F) -> impl Strategy<Value = Graph>
+where
+    W: Strategy<Value = f64>,
+    F: Fn() -> W,
+{
+    let extra = proptest::collection::vec((0..n, 0..n, weight()), 0..(n * 2));
+    let path = proptest::collection::vec(weight(), n.saturating_sub(1));
+    (path, extra).prop_map(move |(path_ws, extras)| {
+        let mut g = Graph::with_nodes(n);
+        for (i, w) in path_ws.iter().enumerate() {
+            g.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), *w)
+                .expect("valid edge");
+        }
+        for (a, b, w) in extras {
+            if a != b {
+                let _ = g.add_edge(NodeId(a as u32), NodeId(b as u32), w);
+            }
+        }
+        g
+    })
+}
+
+/// Smooth weights, like real schema graphs.
+fn arb_graph(n: usize) -> impl Strategy<Value = Graph> {
+    arb_graph_with(n, || 0.1f64..5.0)
+}
+
+/// Discrete weights with repeats and exact zeros: maximizes cost ties and
+/// zero-weight edges, the places where tie order could drift.
+fn arb_tie_graph(n: usize) -> impl Strategy<Value = Graph> {
+    arb_graph_with(n, || {
+        prop_oneof![Just(0.0f64), Just(0.5), Just(1.0), Just(1.0), Just(2.0)]
+    })
+}
+
+/// Run both entry points and demand bitwise equality: tree count, edge
+/// lists (which fixes tie order), cost bits, terminals — or identical
+/// errors.
+fn assert_twins_identical(
+    g: &Graph,
+    terms: &[NodeId],
+    cfg: &SteinerConfig,
+    scratch: &mut SteinerScratch,
+) -> Result<(), TestCaseError> {
+    let reference = top_k_steiner(g, terms, cfg);
+    let fast = top_k_steiner_with(g, terms, cfg, scratch);
+    match (reference, fast) {
+        (Ok(a), Ok(b)) => {
+            prop_assert_eq!(a.len(), b.len(), "tree count");
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                prop_assert_eq!(x.edges(), y.edges(), "tree {} edges (tie order)", i);
+                prop_assert_eq!(
+                    x.cost().to_bits(),
+                    y.cost().to_bits(),
+                    "tree {} cost bits: {} vs {}",
+                    i,
+                    x.cost(),
+                    y.cost()
+                );
+                prop_assert_eq!(x.terminals(), y.terminals(), "tree {} terminals", i);
+            }
+        }
+        (a, b) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}"), "error mismatch"),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pruned_enumeration_is_bit_identical(
+        g in arb_graph(8),
+        raw_terms in proptest::collection::vec(0u32..8, 1..5),
+        k in 0usize..6,
+        suppress in any::<bool>(),
+    ) {
+        let terms: Vec<NodeId> = raw_terms.into_iter().map(NodeId).collect();
+        let mut cfg = SteinerConfig::top_k(k);
+        cfg.suppress_supertrees = suppress;
+        assert_twins_identical(&g, &terms, &cfg, &mut SteinerScratch::new())?;
+    }
+
+    #[test]
+    fn tie_heavy_and_zero_weight_graphs_are_bit_identical(
+        g in arb_tie_graph(7),
+        raw_terms in proptest::collection::vec(0u32..7, 2..5),
+        k in 1usize..6,
+    ) {
+        let terms: Vec<NodeId> = raw_terms.into_iter().map(NodeId).collect();
+        let cfg = SteinerConfig::top_k(k);
+        assert_twins_identical(&g, &terms, &cfg, &mut SteinerScratch::new())?;
+    }
+
+    #[test]
+    fn one_dirty_scratch_serves_a_whole_query_sequence(
+        g in arb_graph(7),
+        queries in proptest::collection::vec(
+            (proptest::collection::vec(0u32..7, 1..4), 1usize..5),
+            1..6,
+        ),
+    ) {
+        // A single scratch carried across a randomized query sequence must
+        // match a fresh scratch per call — warm buffers change nothing.
+        let mut scratch = SteinerScratch::new();
+        for (raw_terms, k) in queries {
+            let terms: Vec<NodeId> = raw_terms.into_iter().map(NodeId).collect();
+            let cfg = SteinerConfig::top_k(k);
+            assert_twins_identical(&g, &terms, &cfg, &mut scratch)?;
+        }
+    }
+
+    #[test]
+    fn no_emitted_tree_undercuts_the_certified_lower_bound(
+        g in arb_graph(7),
+        raw_terms in proptest::collection::vec(0u32..7, 1..5),
+    ) {
+        // The 1-best DPBF pass computes the exact optimal Steiner cost, so
+        // it is an admissible floor for every tree the pruned enumeration
+        // emits. (The first tree need not attain it: the per-state k-cap
+        // makes the enumeration best-effort on adversarial graphs.)
+        let terms: Vec<NodeId> = raw_terms.into_iter().map(NodeId).collect();
+        let mut scratch = SteinerScratch::new();
+        let bound = steiner_lower_bound(&g, &terms).expect("connected");
+        let trees = top_k_steiner_with(&g, &terms, &SteinerConfig::top_k(4), &mut scratch)
+            .expect("connected");
+        let tol = 1e-9 * (1.0 + bound.abs());
+        prop_assert!(!trees.is_empty());
+        for t in &trees {
+            prop_assert!(t.cost() >= bound - tol, "tree {} undercuts bound {}", t.cost(), bound);
+        }
+    }
+}
+
+#[test]
+fn single_terminal_yields_one_empty_tree_on_both_paths() {
+    let mut g = Graph::with_nodes(3);
+    g.add_edge(NodeId(0), NodeId(1), 1.0).expect("edge");
+    g.add_edge(NodeId(1), NodeId(2), 1.0).expect("edge");
+    let cfg = SteinerConfig::top_k(3);
+    for terms in [vec![NodeId(1)], vec![NodeId(2), NodeId(2), NodeId(2)]] {
+        let a = top_k_steiner(&g, &terms, &cfg).expect("single terminal");
+        let b = top_k_steiner_with(&g, &terms, &cfg, &mut SteinerScratch::new())
+            .expect("single terminal");
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert!(b[0].is_empty());
+        assert_eq!(a[0].cost().to_bits(), b[0].cost().to_bits());
+        assert_eq!(a[0].terminals(), b[0].terminals());
+    }
+    assert_eq!(steiner_lower_bound(&g, &[NodeId(1)]).expect("bound"), 0.0);
+}
+
+#[test]
+fn disconnected_terminals_error_identically() {
+    let mut g = Graph::with_nodes(5);
+    g.add_edge(NodeId(0), NodeId(1), 1.0).expect("edge");
+    g.add_edge(NodeId(2), NodeId(3), 0.0).expect("edge");
+    let terms = [NodeId(0), NodeId(2)];
+    let cfg = SteinerConfig::top_k(2);
+    let a = top_k_steiner(&g, &terms, &cfg).unwrap_err();
+    let b = top_k_steiner_with(&g, &terms, &cfg, &mut SteinerScratch::new()).unwrap_err();
+    assert_eq!(a, GraphError::Disconnected);
+    assert_eq!(a, b);
+    assert_eq!(
+        steiner_lower_bound(&g, &terms).unwrap_err(),
+        GraphError::Disconnected
+    );
+}
+
+#[test]
+fn invalid_inputs_error_identically() {
+    let mut g = Graph::with_nodes(4);
+    for i in 0..3u32 {
+        g.add_edge(NodeId(i), NodeId(i + 1), 1.0).expect("edge");
+    }
+    let cfg = SteinerConfig::top_k(1);
+    let cases: Vec<Vec<NodeId>> = vec![vec![], vec![NodeId(7)], vec![NodeId(0), NodeId(9)]];
+    for terms in &cases {
+        let a = top_k_steiner(&g, terms, &cfg);
+        let b = top_k_steiner_with(&g, terms, &cfg, &mut SteinerScratch::new());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "terms {terms:?}");
+        assert!(a.is_err());
+    }
+    // 17 distinct terminals exceed the bitmask width on every path.
+    let mut big = Graph::with_nodes(20);
+    for i in 0..19u32 {
+        big.add_edge(NodeId(i), NodeId(i + 1), 1.0).expect("edge");
+    }
+    let many: Vec<NodeId> = (0..17).map(NodeId).collect();
+    assert!(matches!(
+        top_k_steiner_with(&big, &many, &cfg, &mut SteinerScratch::new()),
+        Err(GraphError::TooManyTerminals { max: 16, got: 17 })
+    ));
+    assert!(matches!(
+        steiner_lower_bound(&big, &many),
+        Err(GraphError::TooManyTerminals { max: 16, got: 17 })
+    ));
+}
+
+#[test]
+fn oversized_state_tables_fall_back_to_the_reference() {
+    // 70k nodes x 2^2 masks overflows the flat-table cap; the scratch path
+    // must delegate to the reference and still agree bitwise.
+    let n = 70_000u32;
+    let mut g = Graph::with_nodes(n as usize);
+    for i in 0..n - 1 {
+        g.add_edge(NodeId(i), NodeId(i + 1), 1.0).expect("edge");
+    }
+    let terms = [NodeId(0), NodeId(3)];
+    // k = 1 so both paths stop at the first tree; a path graph has exactly
+    // one tree for these terminals, and asking for more would force the
+    // reference to drain the entire 70k-node frontier.
+    let cfg = SteinerConfig::top_k(1);
+    let a = top_k_steiner(&g, &terms, &cfg).expect("connected");
+    let b = top_k_steiner_with(&g, &terms, &cfg, &mut SteinerScratch::new()).expect("connected");
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.edges(), y.edges());
+        assert_eq!(x.cost().to_bits(), y.cost().to_bits());
+    }
+    let bound = steiner_lower_bound(&g, &terms).expect("connected");
+    assert!((bound - 3.0).abs() < 1e-9);
+}

@@ -299,7 +299,7 @@ impl<W: SourceWrapper> CachedEngine<W> {
         }
         let backward_time = t0.elapsed();
         let t0 = Instant::now();
-        let outcome = engine.assemble(query, forward, interpretations, backward_time);
+        let outcome = engine.assemble_with(query, forward, interpretations, backward_time, scratch);
         self.recorder
             .record_stage_walls(forward_wall, backward_time, t0.elapsed());
         outcome
@@ -359,6 +359,7 @@ impl<W: SourceWrapper> CachedEngine<W> {
                 purge_scans: c.retain_scans(),
             };
         }
+        stats.join_templates = self.engine().backward().template_stats();
         stats
     }
 }

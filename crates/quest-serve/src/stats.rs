@@ -8,6 +8,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+pub use quest_core::TemplateCacheStats;
+
 /// Counters of one cache at snapshot time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -75,6 +77,10 @@ pub struct ServeStats {
     pub forward_cache: CacheStats,
     /// Configuration → interpretations cache (backward stage).
     pub backward_cache: CacheStats,
+    /// Per-engine memoized join-path templates inside the backward module
+    /// (terminal set + k → interpretations). Rebuilt from scratch — all
+    /// gauges back to zero — whenever a mutation batch resyncs the engine.
+    pub join_templates: TemplateCacheStats,
     /// Total wall time spent inside searches, summed across threads.
     pub total_latency: Duration,
     /// Slowest single search.
@@ -123,6 +129,13 @@ impl fmt::Display for ServeStats {
             100.0 * self.backward_cache.hit_rate(),
             self.backward_cache.entries,
             self.backward_cache.capacity
+        )?;
+        writeln!(
+            f,
+            "join templates: {}/{} hits, {} entries",
+            self.join_templates.hits,
+            self.join_templates.hits + self.join_templates.misses,
+            self.join_templates.entries
         )?;
         write!(
             f,
@@ -261,5 +274,6 @@ mod tests {
         assert!(text.contains("forward cache"));
         assert!(text.contains("80.0%"));
         assert!(text.contains("backward cache"));
+        assert!(text.contains("join templates"));
     }
 }

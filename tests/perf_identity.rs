@@ -1,10 +1,13 @@
 //! The hot path's non-negotiable contract: the optimized pipeline
 //! (interned O(1) index probes, prepared keywords, memoized metadata
-//! matching, scratch-reused pruned decoding, per-query Steiner memo) is
+//! matching, scratch-reused pruned decoding, per-query Steiner memo,
+//! per-engine join-path templates, scratch-buffer assembly) is
 //! **bit-identical** to the retained reference implementation — same SQL,
 //! same score bits, same ranking — across datasets, random seeds, feedback
 //! epochs, live-mutation interleavings, and the cached/pooled serving
-//! layer. Every optimization in this repo rides behind this suite.
+//! layer, at the whole-search level and stage by stage (forward, backward,
+//! assemble twins). Every optimization in this repo rides behind this
+//! suite, including the template-memo invalidation on engine resync.
 
 use quest::prelude::*;
 use quest_data::{imdb, mondial, FeedbackOracle};
@@ -207,6 +210,120 @@ fn identity_holds_across_mutation_interleavings() {
             &format!("mutation round {round}"),
         );
     }
+}
+
+#[test]
+fn backward_stages_are_bit_identical_and_templates_invalidate() {
+    let mut engine = imdb_engine(250, 42);
+    let queries = raw_queries(&imdb::workload());
+    let mut scratch = SearchScratch::new();
+
+    // Drive the stages by hand — forward, per-configuration backward,
+    // assembly — on both the scratch path and the reference twins, and
+    // demand bitwise equality at each seam. Two passes, so the second runs
+    // against a warm per-engine join-template memo.
+    for pass in 0..2 {
+        for raw in &queries {
+            let query = match KeywordQuery::parse(raw) {
+                Ok(q) => q,
+                Err(_) => continue,
+            };
+            let context = format!("stage pass {pass}: {raw}");
+            scratch.reset_query_state();
+            let fast_forward = engine.forward_pass_with(&query, &mut scratch);
+            let ref_forward = engine.forward_pass_reference(&query);
+            let (fa, fb) = match (fast_forward, ref_forward) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(a), Err(b)) => {
+                    assert_eq!(
+                        format!("{a:?}"),
+                        format!("{b:?}"),
+                        "forward error ({context})"
+                    );
+                    continue;
+                }
+                (a, b) => panic!("one forward path failed ({context}): {a:?} vs {b:?}"),
+            };
+            let fast_interps: Vec<_> = fa
+                .configurations
+                .iter()
+                .map(|cfg| {
+                    engine
+                        .backward_pass_with(cfg, &mut scratch)
+                        .expect("backward (scratch)")
+                })
+                .collect();
+            let ref_interps: Vec<_> = fb
+                .configurations
+                .iter()
+                .map(|cfg| engine.backward_pass(cfg).expect("backward (reference)"))
+                .collect();
+            assert_eq!(
+                fast_interps.len(),
+                ref_interps.len(),
+                "interpretation list count ({context})"
+            );
+            for (ci, (xs, ys)) in fast_interps.iter().zip(&ref_interps).enumerate() {
+                assert_eq!(xs.len(), ys.len(), "config {ci} interps ({context})");
+                for (ii, (x, y)) in xs.iter().zip(ys).enumerate() {
+                    assert_eq!(x.key(), y.key(), "config {ci} interp {ii} ({context})");
+                    assert_eq!(
+                        x.score.to_bits(),
+                        y.score.to_bits(),
+                        "config {ci} interp {ii} score bits ({context})"
+                    );
+                }
+            }
+            let fast_out = engine
+                .assemble_with(
+                    &query,
+                    fa,
+                    fast_interps,
+                    std::time::Duration::ZERO,
+                    &mut scratch,
+                )
+                .expect("assemble (scratch)");
+            let ref_out = engine
+                .assemble_reference(&query, fb, ref_interps, std::time::Duration::ZERO)
+                .expect("assemble (reference)");
+            assert_outcomes_identical(&fast_out, &ref_out, &context);
+        }
+    }
+    let warm = engine.backward().template_stats();
+    assert!(warm.entries > 0, "templates memoized: {warm:?}");
+    assert!(warm.misses > 0, "first pass misses: {warm:?}");
+    assert!(warm.hits > 0, "second pass hits the memo: {warm:?}");
+
+    // A source mutation resyncs the engine and rebuilds the backward
+    // module, so the template memo must start cold — stale join paths
+    // replayed against a changed schema graph would be silently wrong.
+    engine
+        .mutate_source(|w| -> Result<(), relstore::StoreError> {
+            let db = w.database_mut();
+            db.insert(
+                "person",
+                Row::new(vec![
+                    910_000.into(),
+                    "Template Reset Director".into(),
+                    1980.into(),
+                ]),
+            )?;
+            Ok(())
+        })
+        .expect("mutation closure runs")
+        .expect("mutation applies");
+    let cold = engine.backward().template_stats();
+    assert_eq!(
+        (cold.hits, cold.misses, cold.entries),
+        (0, 0, 0),
+        "resync must rebuild the template memo: {cold:?}"
+    );
+    assert_engine_paths_identical(&engine, &queries, &mut scratch, "post-mutation templates");
+    let refilled = engine.backward().template_stats();
+    assert!(
+        refilled.misses > 0 && refilled.entries > 0,
+        "post-mutation searches repopulate the memo: {refilled:?}"
+    );
 }
 
 #[test]

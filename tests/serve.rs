@@ -241,6 +241,59 @@ fn served_results_after_mutations_match_a_cold_engine() {
 }
 
 #[test]
+fn schema_affecting_mutations_rebuild_join_templates() {
+    // The backward module memoizes join-path templates per engine. A
+    // WAL-applied mutation batch resyncs the engine (schema-graph weights
+    // shift with the data), so the template memo must come back empty —
+    // and everything served afterwards must still be bit-identical to a
+    // cold engine over the mutated database, proving no stale template
+    // leaked into the SQL.
+    let engine = imdb_engine();
+    let mut shadow_db = engine.wrapper().database().clone();
+    let cached = CachedEngine::new(engine);
+    let stream = shuffled_stream(2);
+
+    for raw in &stream {
+        let _ = cached.search(raw).expect("warm fill");
+    }
+    let warm = cached.stats().join_templates;
+    assert!(
+        warm.entries > 0 && warm.misses > 0,
+        "the warm stream must populate the template memo: {warm:?}"
+    );
+
+    let batch = mutation_batches(&shadow_db).remove(0);
+    let report = cached.apply(&batch).expect("batch applies");
+    assert!(report.all_applied());
+    let cold_stats = cached.stats().join_templates;
+    assert_eq!(
+        (cold_stats.hits, cold_stats.misses, cold_stats.entries),
+        (0, 0, 0),
+        "applying a batch must rebuild the backward module cold: {cold_stats:?}"
+    );
+
+    for change in &batch {
+        change.apply(&mut shadow_db).expect("shadow applies");
+    }
+    let cold = Quest::new(FullAccessWrapper::new(shadow_db), QuestConfig::default())
+        .expect("cold engine builds");
+    let expected = serial_reference(&cold, &stream);
+    for raw in &stream {
+        let out = cached.search(raw).expect("post-apply search");
+        let got = fingerprint(&cached.engine(), &out);
+        assert_eq!(
+            &got, &expected[raw],
+            "post-apply result diverged from cold engine for {raw:?}"
+        );
+    }
+    let refilled = cached.stats().join_templates;
+    assert!(
+        refilled.misses > 0 && refilled.entries > 0,
+        "post-apply searches must recompute templates: {refilled:?}"
+    );
+}
+
+#[test]
 fn mutations_and_queries_interleave_safely_across_workers() {
     // Queries race a mutation batch from another thread; every ticket must
     // resolve against either the old or the new data (never a torn mix),

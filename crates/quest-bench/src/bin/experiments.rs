@@ -1,9 +1,9 @@
 //! Regenerates every experiment table in EXPERIMENTS.md.
 //!
 //! Usage: `cargo run --release -p quest-bench --bin experiments
-//! [e1|e2|e3|e4|e5|e7|e8|e9|e10|e11|e12|all]`
+//! [e1|e2|e3|e4|e5|e7|e8|e9|e10|e11|e12|e13|all]`
 //! (aliases: `serve-throughput` = e10, `live-update` = e11,
-//! `replication` = e12)
+//! `replication` = e12, `sharding` = e13)
 //!
 //! (E6 — per-module microbenches — lives in the criterion benches:
 //! `cargo bench -p quest-bench`.)
@@ -69,6 +69,9 @@ fn main() {
     }
     if run("e12") || run("replication") {
         e12_replication();
+    }
+    if run("e13") || run("sharding") {
+        e13_sharding();
     }
 }
 
@@ -276,6 +279,40 @@ gate is on the steady state",
                 ),
         );
 
+    // E13 companion: the shard-count sweep, with its identity gate. Fewer
+    // reps than the standalone experiment — the artifact needs the shape
+    // of the curve and the gate, not tight confidence intervals.
+    let shard_points = shard_sweep(&[1, 2, 4, 8, 16], 3);
+    assert!(
+        shard_points.iter().all(|p| p.identical),
+        "perf artifact refused: a sharded configuration diverged from the unsharded engine"
+    );
+    let json = json.obj(
+        "shard_sweep",
+        quest_bench::JsonObject::new()
+            .str(
+                "note",
+                "scatter-gather over N hash shards; every point passed the bit-identity \
+gate (full-workload SQL + score bits equal to the unsharded engine, pristine and after \
+a routed mutation burst); reads are the uncached pipeline path",
+            )
+            .arr(
+                "sweep",
+                shard_points
+                    .iter()
+                    .map(|p| {
+                        quest_bench::JsonObject::new()
+                            .num("shards", p.shards as f64)
+                            .num("build_ms", p.build.as_secs_f64() * 1e3)
+                            .num("read_p50_us", p.search_p50_us)
+                            .num("read_qps", p.search_qps)
+                            .num("write_qps", p.write_qps)
+                            .num("identity", if p.identical { 1.0 } else { 0.0 })
+                    })
+                    .collect(),
+            ),
+    );
+
     std::fs::write(path, json.render_pretty()).expect("write benchmark artifact");
     println!(
         "wrote {path}: uncached single-query speedup {total_speedup:.2}x steady / {:.2}x first pass \
@@ -313,6 +350,216 @@ gate is on the steady state",
         backward_speedup >= min_backward,
         "perf regression: steady-state backward-stage speedup \
          {backward_speedup:.2}x < {min_backward}x floor"
+    );
+}
+
+// ---------------------------------------------------------------- E13
+
+/// One measured point of the shard-count sweep.
+struct ShardPoint {
+    shards: usize,
+    build: Duration,
+    search_p50_us: f64,
+    search_qps: f64,
+    write_qps: f64,
+    identical: bool,
+}
+
+/// Deterministic write rounds for the sweep: each inserts a fresh
+/// person + movie (the movie referencing the person, so routing must
+/// satisfy a cross-shard FK check) and retires the previous round's movie.
+fn shard_write_batches() -> Vec<Vec<quest_wal::ChangeRecord>> {
+    use quest_wal::ChangeRecord;
+    (0..6i64)
+        .map(|round| {
+            let person_id = 830_000 + 2 * round;
+            let movie_id = person_id + 1;
+            let mut batch = vec![
+                ChangeRecord::Insert {
+                    table: "person".into(),
+                    row: vec![
+                        person_id.into(),
+                        format!("Sharded Director {round}").into(),
+                        1970.into(),
+                    ],
+                },
+                ChangeRecord::Insert {
+                    table: "movie".into(),
+                    row: vec![
+                        movie_id.into(),
+                        format!("Sharded Release {round}").into(),
+                        2024.into(),
+                        7.5.into(),
+                        person_id.into(),
+                    ],
+                },
+            ];
+            if round > 0 {
+                batch.push(ChangeRecord::Delete {
+                    table: "movie".into(),
+                    key: vec![(movie_id - 2).into()],
+                });
+            }
+            batch
+        })
+        .collect()
+}
+
+/// Bit-exact (SQL text, score bits) fingerprints over the workload.
+fn shard_prints(
+    workload: &[WorkloadQuery],
+    catalog: &relstore::Catalog,
+    search: impl Fn(&str) -> Option<quest_core::SearchOutcome>,
+) -> Vec<Vec<(String, u64)>> {
+    workload
+        .iter()
+        .map(|wq| match search(&wq.raw) {
+            Some(out) => out
+                .explanations
+                .iter()
+                .map(|e| (e.sql(catalog), e.score.to_bits()))
+                .collect(),
+            None => Vec::new(),
+        })
+        .collect()
+}
+
+/// Measure the sweep: per shard count, gather build time, the **uncached**
+/// pipeline read p50/throughput (`search_query_with`, no result caches —
+/// repeated streams would otherwise collapse every shard count to a cache
+/// hit), the routed write throughput, and the identity verdict against the
+/// unsharded engine before *and* after the write rounds.
+fn shard_sweep(shard_counts: &[usize], reps: usize) -> Vec<ShardPoint> {
+    use quest_serve::CachedEngine;
+    use quest_shard::{ScatterGather, ShardConfig};
+
+    let ds = Dataset::Imdb;
+    let db = ds.generate_default();
+    let workload = ds.workload();
+    let queries: Vec<KeywordQuery> = workload.iter().map(|wq| wq.parse()).collect();
+    let batches = shard_write_batches();
+    let writes: usize = batches.iter().map(Vec::len).sum();
+
+    // Unsharded reference fingerprints, pristine and post-mutation.
+    let whole = CachedEngine::new(
+        Quest::new(FullAccessWrapper::new(db.clone()), QuestConfig::default()).expect("build"),
+    );
+    let before = shard_prints(&workload, db.catalog(), |raw| whole.search(raw).ok());
+    for batch in &batches {
+        let report = whole.apply(batch).expect("unsharded apply");
+        assert!(report.all_applied(), "write rounds are designed to apply");
+    }
+    let after = shard_prints(&workload, db.catalog(), |raw| whole.search(raw).ok());
+
+    shard_counts
+        .iter()
+        .map(|&n| {
+            let config = ShardConfig {
+                shard_count: n,
+                parallel: true,
+            };
+            let (gather, build) = time(|| {
+                ScatterGather::new(&db, &config, QuestConfig::default()).expect("gather builds")
+            });
+            let mut identical =
+                shard_prints(&workload, db.catalog(), |raw| gather.search(raw).ok()) == before;
+
+            // Uncached pipeline reads: per-query timings, p50 over all reps.
+            let mut samples = Vec::with_capacity(reps * queries.len());
+            let mut scratch = quest_core::SearchScratch::new();
+            let (_, read_wall) = time(|| {
+                for _ in 0..reps {
+                    for query in &queries {
+                        let (_, d) = time(|| {
+                            let engine = gather.engine().engine();
+                            let _ = engine.search_query_with(query, &mut scratch);
+                        });
+                        samples.push(d);
+                    }
+                }
+            });
+
+            // Routed writes through the serving layer.
+            let (_, write_wall) = time(|| {
+                for batch in &batches {
+                    let report = gather.apply(batch).expect("sharded apply");
+                    assert!(report.all_applied(), "sharded write rounds all apply");
+                }
+            });
+            identical &=
+                shard_prints(&workload, db.catalog(), |raw| gather.search(raw).ok()) == after;
+
+            ShardPoint {
+                shards: n,
+                build,
+                search_p50_us: quest_bench::percentile_us(&samples, 50.0),
+                search_qps: samples.len() as f64 / read_wall.as_secs_f64().max(1e-9),
+                write_qps: writes as f64 / write_wall.as_secs_f64().max(1e-9),
+                identical,
+            }
+        })
+        .collect()
+}
+
+/// E13 — horizontal sharding: scatter-gather economics as the shard count
+/// sweeps 1/2/4/8/16, with an inline identity gate — every configuration
+/// must answer the full workload bit-identically (SQL text + score bits)
+/// to the unsharded engine, pristine and after a mutation burst.
+/// Correctness across shard counts, datasets, feedback epochs, and
+/// recovery is pinned by `tests/shard.rs`; this experiment prices the
+/// layout and refuses to report a divergent configuration.
+///
+/// Env knobs (used by the CI smoke run): `QUEST_E13_SHARDS` =
+/// comma-separated shard counts (default `1,2,4,8,16`), `QUEST_E13_REPS` =
+/// read-stream repetitions (default 6).
+fn e13_sharding() {
+    println!("\n## E13 — sharding: scatter-gather economics across shard counts (IMDB-shaped)\n");
+    let reps: usize = std::env::var("QUEST_E13_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
+    let shard_counts: Vec<usize> = std::env::var("QUEST_E13_SHARDS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or_default();
+    let shard_counts = if shard_counts.is_empty() {
+        vec![1, 2, 4, 8, 16]
+    } else {
+        shard_counts
+    };
+
+    let points = shard_sweep(&shard_counts, reps);
+    let mut t = Table::new(&[
+        "shards",
+        "build",
+        "read p50",
+        "read qps",
+        "write qps",
+        "identity",
+    ]);
+    for p in &points {
+        t.row(vec![
+            p.shards.to_string(),
+            fmt_dur(p.build),
+            format!("{:.1}us", p.search_p50_us),
+            format!("{:.0}", p.search_qps),
+            format!("{:.0}", p.write_qps),
+            if p.identical {
+                "ok".into()
+            } else {
+                "DIVERGED".into()
+            },
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\n(identity = full-workload SQL + score-bit equality with the unsharded engine, \
+checked pristine and after the write rounds; shards scatter in-process threads, so read \
+qps pins the scatter overhead per shard rather than cross-machine fan-out.)"
+    );
+    assert!(
+        points.iter().all(|p| p.identical),
+        "E13 identity gate: a sharded configuration diverged from the unsharded engine"
     );
 }
 

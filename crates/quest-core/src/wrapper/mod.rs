@@ -43,12 +43,38 @@ pub struct PreparedKeyword {
     /// normalizes away (every index score is 0) or the wrapper has no
     /// index-backed fast path.
     probe: Option<KeywordProbe>,
+    /// Fully precomputed per-attribute scores, indexed by `AttrId`.
+    /// Partitioned (sharded) wrappers fill this in one scatter per keyword
+    /// so the emission pass never re-fans out per attribute; `None` for
+    /// wrappers that score on demand.
+    value_scores: Option<std::sync::Arc<Vec<f64>>>,
 }
 
 impl PreparedKeyword {
+    /// Prepare a keyword with a fully precomputed per-attribute score
+    /// table (`scores[attr.0]` = the value the wrapper's `value_score`
+    /// would return). For wrappers — like a sharded scatter-gather store —
+    /// whose per-probe cost is high enough that one batched scatter per
+    /// keyword beats per-attribute fan-out.
+    pub fn with_value_scores(
+        keyword: Keyword,
+        scores: std::sync::Arc<Vec<f64>>,
+    ) -> PreparedKeyword {
+        PreparedKeyword {
+            keyword,
+            probe: None,
+            value_scores: Some(scores),
+        }
+    }
+
     /// The underlying keyword.
     pub fn keyword(&self) -> &Keyword {
         &self.keyword
+    }
+
+    /// The precomputed per-attribute score table, when one was attached.
+    pub fn value_scores(&self) -> Option<&[f64]> {
+        self.value_scores.as_deref().map(|v| v.as_slice())
     }
 }
 
@@ -70,6 +96,7 @@ pub trait SourceWrapper {
         PreparedKeyword {
             keyword: keyword.clone(),
             probe: None,
+            value_scores: None,
         }
     }
 
@@ -113,6 +140,13 @@ pub trait SourceWrapper {
     /// Schema annotations, when defined.
     fn annotations(&self) -> Option<&AnnotationSet> {
         None
+    }
+
+    /// Number of physical partitions behind this wrapper: 1 for ordinary
+    /// single-store wrappers, N for a sharded scatter-gather store (the
+    /// serving layer surfaces this in its stats).
+    fn shard_count(&self) -> usize {
+        1
     }
 }
 
@@ -173,6 +207,7 @@ impl SourceWrapper for FullAccessWrapper {
         PreparedKeyword {
             keyword: keyword.clone(),
             probe: self.db.prepare_probe(&keyword.normalized),
+            value_scores: None,
         }
     }
 

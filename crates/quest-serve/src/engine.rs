@@ -359,7 +359,9 @@ impl<W: SourceWrapper> CachedEngine<W> {
                 purge_scans: c.retain_scans(),
             };
         }
-        stats.join_templates = self.engine().backward().template_stats();
+        let engine = self.engine();
+        stats.join_templates = engine.backward().template_stats();
+        stats.shards = engine.wrapper().shard_count();
         stats
     }
 }
@@ -383,7 +385,38 @@ impl ApplyReport {
     }
 }
 
-impl CachedEngine<FullAccessWrapper> {
+/// A source the serving layer can mutate in place: the wrapper-specific
+/// half of [`CachedEngine::apply`].
+///
+/// Implementations route each record through the store's *checked* mutation
+/// API with the batch semantics the write-ahead protocol relies on: records
+/// apply or are rejected independently and in order, and a rejection is a
+/// deterministic function of the store state at that position (so WAL
+/// replay reproduces it exactly). [`FullAccessWrapper`] applies to its one
+/// database; a sharded wrapper routes each record to its shard after
+/// global integrity checks.
+pub trait MutableSource: SourceWrapper {
+    /// Apply each record in order, filling `report` with what happened.
+    fn apply_changes(&mut self, changes: &[ChangeRecord], report: &mut ApplyReport);
+}
+
+impl MutableSource for FullAccessWrapper {
+    fn apply_changes(&mut self, changes: &[ChangeRecord], report: &mut ApplyReport) {
+        // Defer the per-table statistics refresh to the end of the batch:
+        // indexes stay exact per-record, stats are recomputed once per
+        // dirty table instead of once per record.
+        self.database_mut().with_stats_deferred(|db| {
+            for (i, change) in changes.iter().enumerate() {
+                match change.apply(db) {
+                    Ok(_) => report.applied += 1,
+                    Err(e) => report.rejected.push((i, e)),
+                }
+            }
+        });
+    }
+}
+
+impl<W: SourceWrapper + MutableSource> CachedEngine<W> {
     /// Apply a batch of live-data mutations, serialized against searches.
     ///
     /// Each record applies — or is rejected — **independently and
@@ -418,20 +451,7 @@ impl CachedEngine<FullAccessWrapper> {
             return Ok(report);
         }
         let mut engine = self.engine.write().unwrap_or_else(PoisonError::into_inner);
-        // Defer the per-table statistics refresh to the end of the batch:
-        // indexes stay exact per-record, stats are recomputed once per
-        // dirty table instead of once per record.
-        engine
-            .source_mut()
-            .database_mut()
-            .with_stats_deferred(|db| {
-                for (i, change) in changes.iter().enumerate() {
-                    match change.apply(db) {
-                        Ok(_) => report.applied += 1,
-                        Err(e) => report.rejected.push((i, e)),
-                    }
-                }
-            });
+        engine.source_mut().apply_changes(changes, &mut report);
         if report.applied > 0 {
             // Bump the epoch and re-sync instance-derived engine state
             // (MI-weighted schema graph) while still under the write lock:

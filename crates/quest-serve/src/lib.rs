@@ -75,7 +75,7 @@ pub mod service;
 pub mod stats;
 
 pub use cache::LruCache;
-pub use engine::{ApplyReport, CacheConfig, CachedEngine};
+pub use engine::{ApplyReport, CacheConfig, CachedEngine, MutableSource};
 pub use error::ServeError;
 pub use service::{QueryService, Ticket};
 pub use stats::{CacheStats, ServeStats};

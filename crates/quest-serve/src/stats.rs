@@ -73,6 +73,10 @@ pub struct ServeStats {
     /// Externally assigned progress marker — a replication LSN for a
     /// replica engine (see the `quest-replica` crate), 0 when unused.
     pub watermark: u64,
+    /// Physical partitions behind the engine's source: 1 for an ordinary
+    /// store, N for a sharded scatter-gather store (the `quest-shard`
+    /// crate). 0 only in a default-constructed snapshot.
+    pub shards: usize,
     /// Keyword → top-k-configurations cache (forward stage).
     pub forward_cache: CacheStats,
     /// Configuration → interpretations cache (backward stage).
@@ -106,11 +110,13 @@ impl fmt::Display for ServeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "queries: {} ({} errors), mean {:?}, max {:?}",
+            "queries: {} ({} errors), mean {:?}, max {:?}, {} shard{}",
             self.queries,
             self.errors,
             self.mean_latency(),
-            self.max_latency
+            self.max_latency,
+            self.shards,
+            if self.shards == 1 { "" } else { "s" }
         )?;
         writeln!(
             f,

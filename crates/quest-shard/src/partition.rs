@@ -1,0 +1,141 @@
+//! Stable primary-key-hash routing.
+//!
+//! A row's shard is a pure function of its primary-key *values* — never of
+//! insertion order, tombstones, or compaction history — so placement is
+//! stable across any interleaving of mutations (pinned by the partitioner
+//! property suite in `tests/partition_properties.rs`).
+
+use relstore::{Catalog, Row, TableData, TableId, Value};
+
+use crate::config::ShardConfig;
+use crate::error::ShardError;
+
+/// FNV-1a, 64-bit.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Hash a primary-key tuple to a stable 64-bit partition key.
+///
+/// The encoding mirrors `Value`'s `Hash`/`Eq` canonicalization: `Int` is
+/// encoded as the bit pattern of its `f64` value, exactly like `Float`, so
+/// two keys that compare **equal** under `Value` semantics (`Int(1) ==
+/// Float(1.0)`) always hash — and therefore route — identically. Distinct
+/// values may collide (that only co-locates unrelated rows, which is
+/// harmless); equal values may not diverge (that would split one logical
+/// row identity across shards).
+pub fn partition_key(key: &[Value]) -> u64 {
+    let mut h = Fnv::new();
+    for v in key {
+        match v {
+            Value::Null => h.write(&[0]),
+            Value::Bool(b) => {
+                h.write(&[1, *b as u8]);
+            }
+            Value::Int(i) => {
+                h.write(&[2]);
+                h.write(&(*i as f64).to_bits().to_le_bytes());
+            }
+            Value::Float(f) => {
+                h.write(&[2]);
+                h.write(&f.to_bits().to_le_bytes());
+            }
+            Value::Text(s) => {
+                h.write(&[3]);
+                h.write(&(s.len() as u64).to_le_bytes());
+                h.write(s.as_bytes());
+            }
+            Value::Date(d) => {
+                h.write(&[4]);
+                h.write(&d.year.to_le_bytes());
+                h.write(&[d.month, d.day]);
+            }
+        }
+    }
+    h.0
+}
+
+/// Routes rows to shards by primary-key hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partitioner {
+    shards: u64,
+}
+
+impl Partitioner {
+    /// Build a partitioner over `config.shard_count` shards.
+    pub fn new(config: &ShardConfig) -> Result<Partitioner, ShardError> {
+        config.validate()?;
+        Ok(Partitioner {
+            shards: config.shard_count as u64,
+        })
+    }
+
+    /// Number of shards routed over.
+    pub fn shard_count(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The shard owning a primary-key tuple.
+    pub fn shard_of_key(&self, key: &[Value]) -> usize {
+        (partition_key(key) % self.shards) as usize
+    }
+
+    /// The shard owning a full row of `table`.
+    pub fn shard_of_row(&self, catalog: &Catalog, table: TableId, row: &Row) -> usize {
+        let schema = catalog.table(table);
+        self.shard_of_key(&TableData::pk_of(catalog, schema, row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::Date;
+
+    #[test]
+    fn equal_values_route_identically() {
+        // Int and Float that compare equal must land on the same shard.
+        for n in [1i64, 0, -7, 1 << 40] {
+            assert_eq!(
+                partition_key(&[Value::Int(n)]),
+                partition_key(&[Value::Float(n as f64)])
+            );
+        }
+    }
+
+    #[test]
+    fn encoding_distinguishes_tuple_shapes() {
+        // The length prefix keeps multi-value tuples unambiguous.
+        assert_ne!(
+            partition_key(&[Value::Text("ab".into()), Value::Text("c".into())]),
+            partition_key(&[Value::Text("a".into()), Value::Text("bc".into())])
+        );
+        assert_ne!(
+            partition_key(&[Value::Null]),
+            partition_key(&[Value::Bool(false)])
+        );
+        assert_ne!(
+            partition_key(&[Value::Date(Date::new(2001, 2, 3).unwrap())]),
+            partition_key(&[Value::Date(Date::new(2001, 3, 2).unwrap())])
+        );
+    }
+
+    #[test]
+    fn shard_of_key_stays_in_range() {
+        let p = Partitioner::new(&ShardConfig::new(7)).unwrap();
+        for i in 0..500i64 {
+            assert!(p.shard_of_key(&[Value::Int(i)]) < 7);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! [`ShardedPrimary`]: a shard as the unit of replication.
+//!
+//! Each shard owns a full [`Primary`] — its own write-ahead log, its own
+//! snapshots, its own recovery — over the shard's FK-less database. A
+//! gateway [`ScatterGather`] engine (over a store that mirrors the shards)
+//! performs the *global* accept/reject decisions and serves searches; the
+//! router then fans each **accepted** record out to the shard its partition
+//! key owns. Because acceptance was decided globally, a shard never rejects
+//! a record it is handed — its WAL replays deterministically — and a shard
+//! whose commit fails anyway (I/O, poisoned log) is **fenced**: the
+//! topology reports it broken and every subsequent search or commit returns
+//! a typed [`ShardError::ShardDown`] instead of silently partial results.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use quest_core::{QuestConfig, SearchOutcome};
+use quest_replica::{Primary, PrimaryOptions};
+use quest_serve::ApplyReport;
+use quest_wal::ChangeRecord;
+use relstore::{Catalog, Database, Row, TableData};
+
+use crate::config::ShardConfig;
+use crate::error::ShardError;
+use crate::partition::Partitioner;
+use crate::scatter::ScatterGather;
+use crate::store::ShardedStore;
+
+/// Subdirectory of one shard's primary inside the set's directory.
+fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:03}"))
+}
+
+/// Point-in-time view of the shard set's replication state.
+#[derive(Debug, Clone)]
+pub struct ShardTopology {
+    /// Number of shards.
+    pub shard_count: usize,
+    /// Each shard's last applied LSN (shard LSN sequences are independent).
+    pub lsns: Vec<u64>,
+    /// Fence reasons, by shard; `None` = healthy. Any `Some` means the set
+    /// refuses reads and writes until repaired.
+    pub broken: Vec<Option<String>>,
+}
+
+impl ShardTopology {
+    /// Whether every shard is serving.
+    pub fn is_healthy(&self) -> bool {
+        self.broken.iter().all(Option::is_none)
+    }
+}
+
+/// What one [`ShardedPrimary::commit`] did.
+#[derive(Debug)]
+pub struct ShardReceipt {
+    /// Per-record outcome of the *global* accept/reject pass — identical
+    /// to the report the unsharded serving layer would produce for the
+    /// same batch against the same data.
+    pub report: ApplyReport,
+    /// Each shard's last LSN after the commit — the vector to pass to
+    /// per-shard replicas for read-your-writes.
+    pub lsns: Vec<u64>,
+}
+
+/// The sharded write point: a gateway engine for global decisions and
+/// searches, plus one [`Primary`] per shard for durability.
+///
+/// The gateway's store and the shard primaries hold separate copies of the
+/// shard databases; they stay in lockstep because both apply exactly the
+/// accepted records in batch order. That duplication buys clean layering —
+/// each shard primary is a stock, independently recoverable `Primary` that
+/// existing [`Replica`](quest_replica::Replica)s can bootstrap from and
+/// tail, unchanged.
+#[derive(Debug)]
+pub struct ShardedPrimary {
+    catalog: Catalog,
+    partitioner: Partitioner,
+    shards: Vec<Primary>,
+    broken: Vec<Option<String>>,
+    gateway: ScatterGather,
+}
+
+impl ShardedPrimary {
+    /// Start a fresh sharded primary in `dir` over `db`: the database is
+    /// hash-partitioned, each shard's primary opens in `dir/shard-NNN/`
+    /// (publishing a bootstrap snapshot at LSN 0), and the gateway engine
+    /// is built over the same partitioning.
+    pub fn open(
+        dir: &Path,
+        db: Database,
+        shard_config: &ShardConfig,
+        config: QuestConfig,
+    ) -> Result<ShardedPrimary, ShardError> {
+        let store = ShardedStore::from_database(&db, shard_config)?;
+        let mut shard_engine_config = config.clone();
+        shard_engine_config.shard_count = 1; // each shard primary is a single partition
+        let mut shards = Vec::with_capacity(store.shard_count());
+        for i in 0..store.shard_count() {
+            shards.push(Primary::open(
+                &shard_dir(dir, i),
+                store.shard(i).clone(),
+                shard_engine_config.clone(),
+            )?);
+        }
+        let partitioner = *store.partitioner();
+        let catalog = store.catalog().clone();
+        let broken = vec![None; store.shard_count()];
+        let gateway = ScatterGather::from_store(store, config)?;
+        Ok(ShardedPrimary {
+            catalog,
+            partitioner,
+            shards,
+            broken,
+            gateway,
+        })
+    }
+
+    /// Resume a sharded primary: recover every shard's primary from its
+    /// snapshot + log suffix, reassemble the gateway store from the
+    /// recovered shard databases (verifying placement and global
+    /// referential integrity), and continue each shard's LSN sequence.
+    /// `catalog` is the full catalog — foreign keys included — which the
+    /// FK-less shard logs cannot carry.
+    pub fn reopen(
+        dir: &Path,
+        catalog: Catalog,
+        shard_config: &ShardConfig,
+        config: QuestConfig,
+    ) -> Result<ShardedPrimary, ShardError> {
+        shard_config.validate()?;
+        let mut shard_engine_config = config.clone();
+        shard_engine_config.shard_count = 1;
+        let mut shards = Vec::with_capacity(shard_config.shard_count);
+        let mut dbs = Vec::with_capacity(shard_config.shard_count);
+        for i in 0..shard_config.shard_count {
+            let primary = Primary::reopen(
+                &shard_dir(dir, i),
+                shard_engine_config.clone(),
+                PrimaryOptions::default(),
+            )?;
+            let db = {
+                let engine = primary.engine().engine();
+                engine.wrapper().database().clone()
+            };
+            dbs.push(db);
+            shards.push(primary);
+        }
+        let store = ShardedStore::from_shards(catalog.clone(), dbs, shard_config)?;
+        let partitioner = *store.partitioner();
+        let broken = vec![None; shard_config.shard_count];
+        let gateway = ScatterGather::from_store(store, config)?;
+        Ok(ShardedPrimary {
+            catalog,
+            partitioner,
+            shards,
+            broken,
+            gateway,
+        })
+    }
+
+    /// Commit a mutation batch.
+    ///
+    /// The gateway applies the whole batch first — global integrity checks,
+    /// per-record accept/reject, epoch bump — producing a report identical
+    /// to the unsharded serving layer's. Accepted records are then grouped
+    /// by owning shard (order preserved; a PK-moving update becomes a
+    /// delete on the old shard and an insert on the new one) and committed
+    /// through each shard's [`Primary`]. A shard that fails its commit —
+    /// or, impossibly, rejects a globally accepted record — is fenced and
+    /// the commit returns [`ShardError::ShardDown`].
+    pub fn commit(&mut self, batch: &[ChangeRecord]) -> Result<ShardReceipt, ShardError> {
+        self.ensure_healthy()?;
+        let report = self.gateway.apply(batch)?;
+        let rejected: HashSet<usize> = report.rejected.iter().map(|(i, _)| *i).collect();
+        let mut per_shard: Vec<Vec<ChangeRecord>> = vec![Vec::new(); self.shards.len()];
+        for (i, record) in batch.iter().enumerate() {
+            if rejected.contains(&i) {
+                continue;
+            }
+            self.route_record(record, &mut per_shard)?;
+        }
+        let mut lsns = vec![0u64; self.shards.len()];
+        for (s, records) in per_shard.iter().enumerate() {
+            if records.is_empty() {
+                lsns[s] = self.shards[s].last_lsn();
+                continue;
+            }
+            match self.shards[s].commit(records) {
+                Ok(receipt) => {
+                    if !receipt.report.all_applied() {
+                        // The shard's copy disagreed with the gateway's
+                        // global decision: the copies have diverged. Fence.
+                        let reason = format!(
+                            "shard rejected {} globally accepted record(s)",
+                            receipt.report.rejected.len()
+                        );
+                        self.broken[s] = Some(reason.clone());
+                        return Err(ShardError::ShardDown { shard: s, reason });
+                    }
+                    lsns[s] = receipt.last_lsn;
+                }
+                Err(e) => {
+                    let reason = e.to_string();
+                    self.broken[s] = Some(reason.clone());
+                    return Err(ShardError::ShardDown { shard: s, reason });
+                }
+            }
+        }
+        Ok(ShardReceipt { report, lsns })
+    }
+
+    /// Route one accepted record to the shard(s) that must log it.
+    fn route_record(
+        &self,
+        record: &ChangeRecord,
+        per_shard: &mut [Vec<ChangeRecord>],
+    ) -> Result<(), ShardError> {
+        match record {
+            ChangeRecord::Insert { table, row } => {
+                let tid = self.catalog.table_id(table).map_err(ShardError::Store)?;
+                let schema = self.catalog.table(tid);
+                let key = TableData::pk_of(&self.catalog, schema, &Row::new(row.clone()));
+                per_shard[self.partitioner.shard_of_key(&key)].push(record.clone());
+            }
+            ChangeRecord::Delete { key, .. } => {
+                per_shard[self.partitioner.shard_of_key(key)].push(record.clone());
+            }
+            ChangeRecord::Update { table, key, row } => {
+                let tid = self.catalog.table_id(table).map_err(ShardError::Store)?;
+                let schema = self.catalog.table(tid);
+                let new_key = TableData::pk_of(&self.catalog, schema, &Row::new(row.clone()));
+                let old_shard = self.partitioner.shard_of_key(key);
+                let new_shard = self.partitioner.shard_of_key(&new_key);
+                if old_shard == new_shard {
+                    per_shard[old_shard].push(record.clone());
+                } else {
+                    // A PK move crosses shards: the old shard logs the
+                    // disappearance, the new shard logs the appearance —
+                    // exactly the store's cross-shard update semantics.
+                    per_shard[old_shard].push(ChangeRecord::Delete {
+                        table: table.clone(),
+                        key: key.clone(),
+                    });
+                    per_shard[new_shard].push(ChangeRecord::Insert {
+                        table: table.clone(),
+                        row: row.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run one keyword search through the gateway engine. Refuses with
+    /// [`ShardError::ShardDown`] while any shard is fenced — a broken
+    /// shard means part of the data is unaccounted for, and a partial
+    /// answer would be silently wrong.
+    pub fn search(&self, raw_query: &str) -> Result<SearchOutcome, ShardError> {
+        self.ensure_healthy()?;
+        self.gateway.search(raw_query).map_err(ShardError::Engine)
+    }
+
+    /// The current replication state of the set.
+    pub fn topology(&self) -> ShardTopology {
+        ShardTopology {
+            shard_count: self.shards.len(),
+            lsns: self.shards.iter().map(Primary::last_lsn).collect(),
+            broken: self.broken.clone(),
+        }
+    }
+
+    /// Operator fence: mark a shard broken (e.g. after out-of-band
+    /// detection of a poisoned WAL or failing disk). Subsequent searches
+    /// and commits return [`ShardError::ShardDown`] until repair.
+    pub fn fence(&mut self, shard: usize, reason: impl Into<String>) {
+        self.broken[shard] = Some(reason.into());
+    }
+
+    /// Whether every shard is serving.
+    pub fn is_healthy(&self) -> bool {
+        self.broken.iter().all(Option::is_none)
+    }
+
+    fn ensure_healthy(&self) -> Result<(), ShardError> {
+        for (shard, state) in self.broken.iter().enumerate() {
+            if let Some(reason) = state {
+                return Err(ShardError::ShardDown {
+                    shard,
+                    reason: reason.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fsync every shard's log (group durability point).
+    pub fn sync(&self) -> Result<(), ShardError> {
+        for primary in &self.shards {
+            primary.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Publish a snapshot on every shard, returning each shard's snapshot
+    /// LSN. New replicas bootstrap per shard from these.
+    pub fn publish_snapshots(&self) -> Result<Vec<u64>, ShardError> {
+        self.shards
+            .iter()
+            .map(|p| p.publish_snapshot().map_err(ShardError::Replica))
+            .collect()
+    }
+
+    /// One shard's primary — the WAL/snapshot endpoints a per-shard
+    /// [`Replica`](quest_replica::Replica) bootstraps from and tails.
+    pub fn shard(&self, i: usize) -> &Primary {
+        &self.shards[i]
+    }
+
+    /// The gateway serving engine (searches, stats).
+    pub fn gateway(&self) -> &ScatterGather {
+        &self.gateway
+    }
+}

@@ -25,6 +25,7 @@ pub use quest_graph as graph;
 pub use quest_hmm as hmm;
 pub use quest_replica as replica;
 pub use quest_serve as serve;
+pub use quest_shard as shard;
 pub use quest_wal as wal;
 pub use relstore as store;
 
@@ -39,6 +40,9 @@ pub mod prelude {
         Consistency, Primary, Replica, ReplicaError, ReplicaSet, RoutingPolicy,
     };
     pub use quest_serve::{CacheConfig, CachedEngine, QueryService, ServeError, ServeStats};
+    pub use quest_shard::{
+        ScatterGather, ShardConfig, ShardError, ShardedPrimary, ShardedStore, ShardedWrapper,
+    };
     pub use quest_wal::{ChangeRecord, SyncPolicy, WalWriter};
     pub use relstore::{Catalog, DataType, Database, Row, Value};
 }

@@ -263,6 +263,15 @@ impl Database {
     /// row's key back to its slot (and nothing else); and every FK value has
     /// a target. Bulk loaders and WAL replay use this as the final gate.
     pub fn validate(&self) -> Result<(), StoreError> {
+        self.validate_structure()?;
+        self.validate_foreign_keys()
+    }
+
+    /// [`Database::validate`] minus the foreign-key pass: row shape, PK
+    /// index consistency and live counts only. This is the whole check for
+    /// a *shard* database, where FK targets may live on other shards and
+    /// referential integrity is validated globally by the sharded store.
+    pub fn validate_structure(&self) -> Result<(), StoreError> {
         for schema in self.catalog.tables() {
             let data = &self.tables[schema.id.0 as usize];
             let mut live = 0usize;
@@ -287,7 +296,7 @@ impl Database {
                 )));
             }
         }
-        self.validate_foreign_keys()
+        Ok(())
     }
 
     /// Replace one table's storage with an explicit slot layout, tombstones
@@ -426,15 +435,43 @@ impl Database {
                 }
             }
         }
-        let outermost = self.stats_dirty.is_none();
-        if outermost {
-            self.stats_dirty = Some(BTreeSet::new());
-        }
+        let outermost = self.begin_stats_deferred();
         let scope = Scope {
             db: self,
             outermost,
         };
         f(&mut *scope.db)
+    }
+
+    /// Open a statistics-deferral scope without a closure. Returns `true`
+    /// when this call opened the outermost scope; that flag must be handed
+    /// back to [`Database::end_stats_deferred`]. Prefer
+    /// [`Database::with_stats_deferred`] — this explicit pair exists for
+    /// coordinators that batch mutations across *several* databases at once
+    /// (e.g. a sharded store deferring every shard's refresh until the end
+    /// of a batch), where a single closure cannot scope all of them.
+    pub fn begin_stats_deferred(&mut self) -> bool {
+        if self.stats_dirty.is_none() {
+            self.stats_dirty = Some(BTreeSet::new());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Close a scope opened by [`Database::begin_stats_deferred`], passing
+    /// the flag it returned. When `outermost` the dirty set is drained and
+    /// each dirty table's statistics are refreshed exactly once; otherwise
+    /// this is a no-op (the enclosing scope will refresh).
+    pub fn end_stats_deferred(&mut self, outermost: bool) {
+        if !outermost {
+            return;
+        }
+        if let Some(dirty) = self.stats_dirty.take() {
+            for tid in dirty {
+                self.refresh_stats_for(tid);
+            }
+        }
     }
 
     /// Whether `finalize` has been run (mutations on a finalized database
@@ -454,12 +491,7 @@ impl Database {
     pub fn search_score(&self, attr: AttrId, keyword: &str) -> f64 {
         match self.indexes.get(&attr) {
             Some(ix) => {
-                let coeff = ix.normalization_coefficient();
-                if coeff <= 0.0 {
-                    0.0
-                } else {
-                    (ix.score(keyword) / coeff).clamp(0.0, 1.0)
-                }
+                crate::index::normalize_score(ix.score(keyword), ix.normalization_coefficient())
             }
             None => 0.0,
         }
@@ -477,12 +509,7 @@ impl Database {
     pub fn search_score_probe(&self, attr: AttrId, probe: &KeywordProbe) -> f64 {
         match self.indexes.get(&attr) {
             Some(ix) => {
-                let coeff = ix.normalization_coefficient();
-                if coeff <= 0.0 {
-                    0.0
-                } else {
-                    (ix.score_probe(probe) / coeff).clamp(0.0, 1.0)
-                }
+                crate::index::normalize_score(ix.score_probe(probe), ix.normalization_coefficient())
             }
             None => 0.0,
         }
@@ -494,14 +521,10 @@ impl Database {
     /// pipeline benchmark.
     pub fn search_score_reference(&self, attr: AttrId, keyword: &str) -> f64 {
         match self.indexes.get(&attr) {
-            Some(ix) => {
-                let coeff = ix.normalization_coefficient();
-                if coeff <= 0.0 {
-                    0.0
-                } else {
-                    (ix.score_reference(keyword) / coeff).clamp(0.0, 1.0)
-                }
-            }
+            Some(ix) => crate::index::normalize_score(
+                ix.score_reference(keyword),
+                ix.normalization_coefficient(),
+            ),
             None => 0.0,
         }
     }

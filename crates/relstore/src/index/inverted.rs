@@ -426,9 +426,7 @@ impl AttributeIndex {
     }
 
     fn idf(&self, df: u64) -> f64 {
-        // BM25 idf with +1 smoothing so every match scores positively.
-        let n = self.doc_count.max(1) as f64;
-        ((n - df as f64 + 0.5) / (df as f64 + 0.5) + 1.0).ln()
+        bm25_idf(self.doc_count, df)
     }
 
     /// The setup-phase normalization coefficient: the maximum achievable
@@ -438,6 +436,207 @@ impl AttributeIndex {
         // Max idf occurs for df=1; max tf part is the bm25 asymptote.
         let max_idf = self.idf(1);
         max_idf * bm25_tf(u32::MAX)
+    }
+
+    /// This index's summable document statistics (see [`DocPartial`]).
+    pub fn doc_partial(&self) -> DocPartial {
+        DocPartial {
+            doc_count: self.doc_count,
+            total_len: self.total_len,
+        }
+    }
+
+    /// This index's mergeable per-token state for one *normalized* token
+    /// (see [`TokenPartial`]). All-zero when the token is absent.
+    pub fn token_partial(&self, token: &str) -> TokenPartial {
+        debug_assert!(!self.bulk_dirty, "query during an unfinished bulk build");
+        match self
+            .interner
+            .get(token)
+            .and_then(|id| self.lists.get(id as usize))
+        {
+            Some(list) => TokenPartial {
+                df: list.rows.len() as u64,
+                max_tf: list.max_tf,
+            },
+            None => TokenPartial::default(),
+        }
+    }
+
+    /// Every token with live postings, sorted. The cross-partition
+    /// vocabulary of a sharded attribute is the union of these.
+    pub fn live_tokens(&self) -> Vec<&str> {
+        let mut toks: Vec<&str> = self
+            .lists
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.rows.is_empty())
+            .map(|(id, _)| self.interner.resolve(id as u32))
+            .collect();
+        toks.sort_unstable();
+        toks
+    }
+
+    /// Best conjunctive per-row sum `Σ idfs[i] * tf_part(tf_i)` over this
+    /// index's rows, with the idf of each token *injected* by the caller
+    /// instead of derived from this index's own doc count.
+    ///
+    /// This is the scatter half of phrase scoring across partitions: each
+    /// partition runs the same accumulation as [`AttributeIndex::score_probe`]
+    /// but under the *merged* idfs (see [`ScoreAccumulator::idfs`]), and the
+    /// gather step takes the max — bit-identical to the unpartitioned scan
+    /// because per-row sums only involve that row's own postings, which live
+    /// wholly in one partition. `None` when no local row contains every
+    /// token (local absence is not global absence; the caller has already
+    /// checked global dfs before scattering).
+    pub fn best_conjunctive_score(&self, tokens: &[String], idfs: &[f64]) -> Option<f64> {
+        debug_assert!(!self.bulk_dirty, "query during an unfinished bulk build");
+        debug_assert_eq!(tokens.len(), idfs.len());
+        let mut acc: HashMap<RowId, (usize, f64)> = HashMap::new();
+        for (tok, idf) in tokens.iter().zip(idfs) {
+            let plist = self.postings(tok);
+            if plist.is_empty() {
+                return None; // conjunctive phrase semantics
+            }
+            for p in plist {
+                let e = acc.entry(p.row).or_insert((0, 0.0));
+                e.0 += 1;
+                e.1 += idf * bm25_tf(p.tf);
+            }
+        }
+        let need = tokens.len();
+        acc.values()
+            .filter(|(n, _)| *n == need)
+            .map(|(_, s)| *s)
+            .fold(None, |best, s| match best {
+                Some(b) if b >= s => Some(b),
+                _ => Some(s),
+            })
+    }
+}
+
+/// Summable document statistics of one attribute index: the inputs of the
+/// idf and avg-length formulas. Partitions hold disjoint rows, so the
+/// global statistics are exact field-wise sums.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DocPartial {
+    /// Number of indexed (non-null, non-empty) values.
+    pub doc_count: u64,
+    /// Sum of token counts over all indexed values.
+    pub total_len: u64,
+}
+
+impl DocPartial {
+    /// Fold another partition's statistics into this one.
+    pub fn merge(&mut self, other: DocPartial) {
+        self.doc_count += other.doc_count;
+        self.total_len += other.total_len;
+    }
+}
+
+/// Mergeable per-token state: document frequency sums across disjoint
+/// partitions; the maximum term frequency is a max.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TokenPartial {
+    /// Rows containing the token.
+    pub df: u64,
+    /// Maximum term frequency among them (0 when absent).
+    pub max_tf: u32,
+}
+
+impl TokenPartial {
+    /// Fold another partition's state into this one.
+    pub fn merge(&mut self, other: TokenPartial) {
+        self.df += other.df;
+        self.max_tf = self.max_tf.max(other.max_tf);
+    }
+}
+
+/// Mergeable BM25 state for one `(attribute, probe)` pair across disjoint
+/// row partitions.
+///
+/// The merge law that makes sharded scoring bit-identical to the unsharded
+/// engine: every score formula is a function of *integers* (doc counts,
+/// dfs, tfs) plus per-row tf sums. Integers merge exactly (sums and maxes),
+/// and the accumulator evaluates the **same `f64` expressions** the
+/// unsharded [`AttributeIndex`] would have, once, from the merged integers
+/// — floating point is never itself summed across partitions.
+#[derive(Debug, Clone)]
+pub struct ScoreAccumulator {
+    doc: DocPartial,
+    tokens: Vec<TokenPartial>,
+}
+
+impl ScoreAccumulator {
+    /// Accumulator for a probe with `token_count` tokens, all partials zero.
+    pub fn new(token_count: usize) -> ScoreAccumulator {
+        ScoreAccumulator {
+            doc: DocPartial::default(),
+            tokens: vec![TokenPartial::default(); token_count],
+        }
+    }
+
+    /// Fold one partition's index state for `probe` into the accumulator.
+    pub fn absorb(&mut self, index: &AttributeIndex, probe: &KeywordProbe) {
+        debug_assert_eq!(self.tokens.len(), probe.tokens().len());
+        self.doc.merge(index.doc_partial());
+        for (slot, tok) in self.tokens.iter_mut().zip(probe.tokens()) {
+            slot.merge(index.token_partial(tok));
+        }
+    }
+
+    /// Fold another accumulator (over a further disjoint partition set).
+    pub fn merge(&mut self, other: &ScoreAccumulator) {
+        debug_assert_eq!(self.tokens.len(), other.tokens.len());
+        self.doc.merge(other.doc);
+        for (slot, t) in self.tokens.iter_mut().zip(&other.tokens) {
+            slot.merge(*t);
+        }
+    }
+
+    /// Merged document statistics.
+    pub fn doc(&self) -> DocPartial {
+        self.doc
+    }
+
+    /// Merged per-token partials, in probe token order.
+    pub fn tokens(&self) -> &[TokenPartial] {
+        &self.tokens
+    }
+
+    /// True when some probe token matches no row in any partition — the
+    /// conjunctive phrase score is 0 and nothing needs scattering.
+    pub fn any_token_absent(&self) -> bool {
+        self.tokens.iter().any(|t| t.df == 0)
+    }
+
+    /// Global idf of each probe token under the merged doc count — the
+    /// values to inject into [`AttributeIndex::best_conjunctive_score`].
+    pub fn idfs(&self) -> Vec<f64> {
+        self.tokens
+            .iter()
+            .map(|t| bm25_idf(self.doc.doc_count, t.df))
+            .collect()
+    }
+
+    /// The O(1) single-token score under the merged statistics: same idf,
+    /// same tf saturation, same product as
+    /// [`AttributeIndex::score_probe`] on the unpartitioned index. 0 when
+    /// the token is absent everywhere.
+    pub fn single_token_raw(&self) -> f64 {
+        debug_assert_eq!(self.tokens.len(), 1);
+        let t = self.tokens[0];
+        if t.df == 0 {
+            0.0
+        } else {
+            bm25_idf(self.doc.doc_count, t.df) * bm25_tf(t.max_tf)
+        }
+    }
+
+    /// [`AttributeIndex::normalization_coefficient`] under the merged doc
+    /// count.
+    pub fn normalization_coefficient(&self) -> f64 {
+        bm25_idf(self.doc.doc_count, 1) * bm25_tf(u32::MAX)
     }
 }
 
@@ -470,9 +669,29 @@ impl PartialEq for AttributeIndex {
 
 /// BM25 term-frequency saturation with k1 = 1.2 (no length normalization:
 /// attribute values are short and length effects washed out in testing).
-fn bm25_tf(tf: u32) -> f64 {
+pub fn bm25_tf(tf: u32) -> f64 {
     let tf = tf as f64;
     tf * 2.2 / (tf + 1.2)
+}
+
+/// BM25 idf with +1 smoothing so every match scores positively. The one
+/// idf expression of the whole engine: [`AttributeIndex`] and the sharded
+/// [`ScoreAccumulator`] both evaluate it, which is what pins their scores
+/// bit-identical.
+pub fn bm25_idf(doc_count: u64, df: u64) -> f64 {
+    let n = doc_count.max(1) as f64;
+    ((n - df as f64 + 0.5) / (df as f64 + 0.5) + 1.0).ln()
+}
+
+/// Map a raw BM25 score into the [0, 1] emission domain using the
+/// setup-phase normalization coefficient. The one normalization expression
+/// shared by [`crate::Database::search_score`] and the sharded scatter path.
+pub fn normalize_score(raw: f64, coeff: f64) -> f64 {
+    if coeff <= 0.0 {
+        0.0
+    } else {
+        (raw / coeff).clamp(0.0, 1.0)
+    }
 }
 
 #[cfg(test)]
@@ -706,6 +925,100 @@ mod tests {
         let before = ix.interner.len();
         ix.remove(RowId(77), "phantom zzz");
         assert_eq!(ix.interner.len(), before);
+    }
+
+    /// Score a probe from per-partition accumulators the way the sharded
+    /// engine does: merge integer partials, evaluate once, scatter phrases
+    /// under injected global idfs, gather the max.
+    fn merged_score(parts: &[&AttributeIndex], probe: &KeywordProbe) -> f64 {
+        let mut acc = ScoreAccumulator::new(probe.tokens().len());
+        for ix in parts {
+            acc.absorb(ix, probe);
+        }
+        let raw = if probe.tokens().len() == 1 {
+            acc.single_token_raw()
+        } else if acc.any_token_absent() {
+            0.0
+        } else {
+            let idfs = acc.idfs();
+            parts
+                .iter()
+                .filter_map(|ix| ix.best_conjunctive_score(probe.tokens(), &idfs))
+                .fold(0.0, f64::max)
+        };
+        normalize_score(raw, acc.normalization_coefficient())
+    }
+
+    #[test]
+    fn merged_partials_match_whole_index_bitwise() {
+        let values = [
+            "Gone with the Wind",
+            "wind wind wind",
+            "The Wind Rises",
+            "Casablanca",
+            "wind of change",
+            "gone wind gone",
+            "storm front",
+        ];
+        let whole = index(&values);
+        // Three partitions, deliberately uneven, rows interleaved.
+        for stride in [2usize, 3] {
+            let mut parts: Vec<AttributeIndex> =
+                (0..stride).map(|_| AttributeIndex::new()).collect();
+            for (i, v) in values.iter().enumerate() {
+                parts[i % stride].add(RowId(i as u64), v);
+            }
+            let refs: Vec<&AttributeIndex> = parts.iter().collect();
+            for kw in [
+                "wind",
+                "casablanca",
+                "gone wind",
+                "storm front",
+                "zzz",
+                "wind zzz",
+            ] {
+                let Some(probe) = KeywordProbe::new(kw) else {
+                    continue;
+                };
+                let whole_score =
+                    normalize_score(whole.score_probe(&probe), whole.normalization_coefficient());
+                let merged = merged_score(&refs, &probe);
+                assert_eq!(
+                    merged.to_bits(),
+                    whole_score.to_bits(),
+                    "kw={kw} stride={stride}: merged {merged} vs whole {whole_score}"
+                );
+            }
+            // Vocabulary and per-token integer state also merge exactly.
+            let mut union: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+            for p in &parts {
+                union.extend(p.live_tokens().iter().map(|t| t.to_string()));
+            }
+            let whole_toks: Vec<String> =
+                whole.live_tokens().iter().map(|t| t.to_string()).collect();
+            assert_eq!(union.into_iter().collect::<Vec<_>>(), whole_toks);
+            for tok in whole.live_tokens() {
+                let mut merged = TokenPartial::default();
+                for p in &parts {
+                    merged.merge(p.token_partial(tok));
+                }
+                assert_eq!(merged.df, whole.doc_freq(tok), "df of {tok}");
+                assert_eq!(merged, whole.token_partial(tok), "partial of {tok}");
+            }
+            let mut doc = DocPartial::default();
+            for p in &parts {
+                doc.merge(p.doc_partial());
+            }
+            assert_eq!(doc, whole.doc_partial());
+        }
+    }
+
+    #[test]
+    fn empty_partition_set_scores_zero() {
+        let probe = KeywordProbe::new("wind").unwrap();
+        assert_eq!(merged_score(&[], &probe), 0.0);
+        let empty = AttributeIndex::new();
+        assert_eq!(merged_score(&[&empty, &empty], &probe), 0.0);
     }
 
     #[test]

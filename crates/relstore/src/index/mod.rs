@@ -6,7 +6,10 @@ pub mod inverted;
 pub mod tokenizer;
 
 pub use interner::TokenInterner;
-pub use inverted::{AttributeIndex, KeywordProbe, Posting};
+pub use inverted::{
+    bm25_idf, bm25_tf, normalize_score, AttributeIndex, DocPartial, KeywordProbe, Posting,
+    ScoreAccumulator, TokenPartial,
+};
 pub use tokenizer::{
     edit_distance, edit_similarity, is_stopword, normalize_keyword, stem, stem_in_place, tokenize,
     tokenize_with, trigram_similarity, trigrams,

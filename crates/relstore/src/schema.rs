@@ -177,6 +177,21 @@ impl Catalog {
         &self.foreign_keys
     }
 
+    /// A copy of this catalog with every foreign key dropped. Table and
+    /// attribute ids are preserved, so rows, indexes and statistics keyed
+    /// by them stay valid.
+    ///
+    /// This is the catalog a *shard* runs under: a shard holds only a
+    /// partition of each table's rows, so a locally missing FK target may
+    /// legitimately live on another shard — referential integrity is a
+    /// global property the sharded store checks itself, before any record
+    /// reaches a shard.
+    pub fn without_foreign_keys(&self) -> Catalog {
+        let mut c = self.clone();
+        c.foreign_keys.clear();
+        c
+    }
+
     /// Number of tables.
     pub fn table_count(&self) -> usize {
         self.tables.len()

@@ -13,7 +13,7 @@
 //! distances, steering Steiner trees toward join paths that actually contain
 //! tuples.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::schema::{AttrId, Catalog, ForeignKey};
 use crate::table::TableData;
@@ -139,6 +139,14 @@ fn normalized_join_entropy(
     pairs: u64,
     referenced_rows: u64,
 ) -> f64 {
+    let counts: Vec<u64> = ref_counts.values().copied().collect();
+    normalized_entropy_of_counts(counts, pairs, referenced_rows)
+}
+
+/// The NMI core shared by [`join_stats`] and [`JoinStatsAccumulator`]: both
+/// hand it the same multiset of per-key counts, so partitioned builds are
+/// bit-identical to whole-table ones.
+fn normalized_entropy_of_counts(mut counts: Vec<u64>, pairs: u64, referenced_rows: u64) -> f64 {
     if pairs == 0 || referenced_rows <= 1 {
         return 0.0;
     }
@@ -147,7 +155,6 @@ fn normalized_join_entropy(
     // multiset of counts, and hash-order summation would make the NMI — and
     // everything downstream of the edge weights — vary between builds by
     // floating-point ulps.
-    let mut counts: Vec<u64> = ref_counts.values().copied().collect();
     counts.sort_unstable();
     let mut h = 0.0;
     for &c in &counts {
@@ -159,6 +166,138 @@ fn normalized_join_entropy(
         0.0
     } else {
         (h / hmax).clamp(0.0, 1.0)
+    }
+}
+
+/// Mergeable partial of [`attribute_stats`] over disjoint row partitions.
+///
+/// Row and null counts sum; distinct values are carried as a set so the
+/// cross-partition union counts each value once, exactly as the
+/// whole-table `HashMap` probe would (`Value` equality is total, and its
+/// `Ord` agrees with `Eq`, so set membership and hash membership coincide).
+#[derive(Debug, Clone, Default)]
+pub struct AttributeStatsAccumulator {
+    rows: u64,
+    nulls: u64,
+    distinct: BTreeSet<Value>,
+}
+
+impl AttributeStatsAccumulator {
+    /// Empty accumulator.
+    pub fn new() -> AttributeStatsAccumulator {
+        AttributeStatsAccumulator::default()
+    }
+
+    /// Fold one partition's rows for `attr` into the accumulator.
+    pub fn absorb(&mut self, catalog: &Catalog, data: &TableData, attr: AttrId) {
+        let a = catalog.attribute(attr);
+        for (_, row) in data.iter() {
+            self.rows += 1;
+            let v = row.get(a.position);
+            if v.is_null() {
+                self.nulls += 1;
+            } else if !self.distinct.contains(v) {
+                self.distinct.insert(v.clone());
+            }
+        }
+    }
+
+    /// Fold another accumulator (over further disjoint partitions).
+    pub fn merge(&mut self, other: AttributeStatsAccumulator) {
+        self.rows += other.rows;
+        self.nulls += other.nulls;
+        self.distinct.extend(other.distinct);
+    }
+
+    /// The merged statistics — bit-identical to [`attribute_stats`] over
+    /// the union of the absorbed partitions.
+    pub fn finish(self) -> AttributeStats {
+        AttributeStats {
+            rows: self.rows,
+            nulls: self.nulls,
+            distinct: self.distinct.len() as u64,
+        }
+    }
+}
+
+/// Mergeable partial of [`join_stats`] over disjoint row partitions of
+/// *both* sides of a foreign key.
+///
+/// The whole-table computation filters referencing values through the
+/// referenced table's PK index, but a partition cannot: the matching PK may
+/// live elsewhere. So the accumulator keeps the *unfiltered* non-null value
+/// counts plus the set of live referenced PK values, and performs the
+/// filter once at [`JoinStatsAccumulator::finish`] — integer state merges
+/// exactly, and the NMI is evaluated once from the merged counts through
+/// the same canonical-order entropy the whole-table path uses.
+#[derive(Debug, Clone, Default)]
+pub struct JoinStatsAccumulator {
+    /// Non-null referencing value → count, unfiltered.
+    ref_counts: BTreeMap<Value, u64>,
+    /// Live PK values of the referenced table.
+    pk_values: BTreeSet<Value>,
+    referencing_rows: u64,
+    referenced_rows: u64,
+}
+
+impl JoinStatsAccumulator {
+    /// Empty accumulator.
+    pub fn new() -> JoinStatsAccumulator {
+        JoinStatsAccumulator::default()
+    }
+
+    /// Fold one partition of the *referencing* table.
+    pub fn absorb_referencing(&mut self, catalog: &Catalog, fk: ForeignKey, data: &TableData) {
+        let from_attr = catalog.attribute(fk.from);
+        self.referencing_rows += data.len() as u64;
+        for (_, row) in data.iter() {
+            let v = row.get(from_attr.position);
+            if !v.is_null() {
+                *self.ref_counts.entry(v.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Fold one partition of the *referenced* table.
+    pub fn absorb_referenced(&mut self, catalog: &Catalog, fk: ForeignKey, data: &TableData) {
+        let to_attr = catalog.attribute(fk.to);
+        self.referenced_rows += data.len() as u64;
+        for (_, row) in data.iter() {
+            self.pk_values.insert(row.get(to_attr.position).clone());
+        }
+    }
+
+    /// Fold another accumulator (over further disjoint partitions).
+    pub fn merge(&mut self, other: JoinStatsAccumulator) {
+        for (v, c) in other.ref_counts {
+            *self.ref_counts.entry(v).or_insert(0) += c;
+        }
+        self.pk_values.extend(other.pk_values);
+        self.referencing_rows += other.referencing_rows;
+        self.referenced_rows += other.referenced_rows;
+    }
+
+    /// The merged statistics — bit-identical to [`join_stats`] over the
+    /// union of the absorbed partitions.
+    pub fn finish(self) -> JoinStats {
+        let mut pairs = 0u64;
+        let mut referenced_distinct = 0u64;
+        let mut counts = Vec::new();
+        for (v, c) in &self.ref_counts {
+            if self.pk_values.contains(v) {
+                pairs += c;
+                referenced_distinct += 1;
+                counts.push(*c);
+            }
+        }
+        let nmi = normalized_entropy_of_counts(counts, pairs, self.referenced_rows);
+        JoinStats {
+            pairs,
+            referenced_distinct,
+            referencing_rows: self.referencing_rows,
+            referenced_rows: self.referenced_rows,
+            nmi,
+        }
     }
 }
 
@@ -288,6 +427,97 @@ mod tests {
         assert_eq!(js.pairs, 4);
         assert_eq!(js.referenced_distinct, 1);
         assert_eq!(js.nmi, 0.0); // single referenced key => zero entropy
+    }
+
+    /// Split a table's rows round-robin into `n` partitions.
+    fn split(
+        c: &Catalog,
+        schema: &crate::schema::TableSchema,
+        data: &TableData,
+        n: usize,
+    ) -> Vec<TableData> {
+        let mut parts: Vec<TableData> = (0..n).map(|_| TableData::new()).collect();
+        for (i, (_, row)) in data.iter().enumerate() {
+            parts[i % n]
+                .insert(c, schema, Row::new(row.values().to_vec()))
+                .unwrap();
+        }
+        parts
+    }
+
+    #[test]
+    fn attribute_accumulator_matches_whole_bitwise() {
+        let (c, a, _, _) = fixture();
+        let schema = c.table(c.table_id("a").unwrap()).clone();
+        for attr_name in ["id", "b_id"] {
+            let attr = c.attr_id("a", attr_name).unwrap();
+            let whole = attribute_stats(&c, &a, attr);
+            for n in [1usize, 2, 3] {
+                let mut acc = AttributeStatsAccumulator::new();
+                for part in &split(&c, &schema, &a, n) {
+                    acc.absorb(&c, part, attr);
+                }
+                assert_eq!(acc.finish(), whole, "attr {attr_name}, {n} partitions");
+                // Merging sub-accumulators is the same as one big absorb.
+                let parts = split(&c, &schema, &a, n);
+                let mut merged = AttributeStatsAccumulator::new();
+                for part in &parts {
+                    let mut sub = AttributeStatsAccumulator::new();
+                    sub.absorb(&c, part, attr);
+                    merged.merge(sub);
+                }
+                assert_eq!(merged.finish(), whole);
+            }
+        }
+    }
+
+    #[test]
+    fn join_accumulator_matches_whole_bitwise() {
+        let (c, a, b, fk) = fixture();
+        let as_ = c.table(c.table_id("a").unwrap()).clone();
+        let bs = c.table(c.table_id("b").unwrap()).clone();
+        let whole = join_stats(&c, fk, &a, &b);
+        for n in [1usize, 2, 3] {
+            let mut acc = JoinStatsAccumulator::new();
+            for part in &split(&c, &as_, &a, n) {
+                acc.absorb_referencing(&c, fk, part);
+            }
+            for part in &split(&c, &bs, &b, n) {
+                acc.absorb_referenced(&c, fk, part);
+            }
+            let merged = acc.finish();
+            assert_eq!(merged.pairs, whole.pairs);
+            assert_eq!(merged.referenced_distinct, whole.referenced_distinct);
+            assert_eq!(merged.referencing_rows, whole.referencing_rows);
+            assert_eq!(merged.referenced_rows, whole.referenced_rows);
+            assert_eq!(
+                merged.nmi.to_bits(),
+                whole.nmi.to_bits(),
+                "nmi bits, {n} partitions"
+            );
+        }
+    }
+
+    #[test]
+    fn join_accumulator_filters_dangling_references_at_finish() {
+        // A referencing value whose PK lives in no absorbed partition must
+        // not count as a pair — the filter the whole-table path applies
+        // per-row happens at finish() here.
+        let (c, _, b, fk) = fixture();
+        let as_ = c.table(c.table_id("a").unwrap()).clone();
+        let mut a = TableData::new();
+        a.insert(&c, &as_, Row::new(vec![0.into(), Value::Int(99)]))
+            .unwrap();
+        a.insert(&c, &as_, Row::new(vec![1.into(), Value::Int(0)]))
+            .unwrap();
+        let mut acc = JoinStatsAccumulator::new();
+        acc.absorb_referencing(&c, fk, &a);
+        acc.absorb_referenced(&c, fk, &b);
+        let js = acc.finish();
+        assert_eq!(js.pairs, 1, "dangling 99 filtered");
+        assert_eq!(js.referenced_distinct, 1);
+        let whole = join_stats(&c, fk, &a, &b);
+        assert_eq!(js.nmi.to_bits(), whole.nmi.to_bits());
     }
 
     #[test]

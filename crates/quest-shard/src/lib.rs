@@ -56,3 +56,18 @@ pub use scatter::ScatterGather;
 pub use store::ShardedStore;
 pub use topology::{ShardReceipt, ShardTopology, ShardedPrimary};
 pub use wrapper::ShardedWrapper;
+
+/// The shard layer's metric names in the [`quest_obs::global`] registry.
+pub mod names {
+    /// Per-shard wall time inside one keyword scatter
+    /// (`quest_shard_scatter_ns{shard="<i>"}`; histogram, nanoseconds).
+    pub const SCATTER: &str = "quest_shard_scatter_ns";
+    /// Fan-out imbalance of the latest scatter: how far the busiest shard
+    /// ran over the mean, in whole percent (gauge; 0 = perfectly even).
+    pub const FANOUT_IMBALANCE: &str = "quest_shard_fanout_imbalance_pct";
+    /// Searches or commits refused because a shard was fenced (counter).
+    pub const DOWN: &str = "quest_shard_down_total";
+    /// Shards fenced — by a failed commit, a divergent copy, or an
+    /// operator (counter).
+    pub const FENCE: &str = "quest_shard_fence_total";
+}

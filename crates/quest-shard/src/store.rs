@@ -79,6 +79,30 @@ where
     })
 }
 
+/// Publish one scatter's per-shard walls: the labeled latency histograms,
+/// the thread-local handoff that feeds the serving layer's query trace, and
+/// the fan-out imbalance gauge (busiest shard's overrun of the mean, whole
+/// percent).
+fn record_scatter(sums: &[u64]) {
+    let registry = quest_obs::global();
+    for (s, &ns) in sums.iter().enumerate() {
+        registry
+            .histogram_with(crate::names::SCATTER, &[("shard", &s.to_string())])
+            .record(ns);
+        quest_obs::scatter::record(s, ns / 1_000);
+    }
+    let total: u64 = sums.iter().sum();
+    let mean = total / sums.len().max(1) as u64;
+    let max = sums.iter().copied().max().unwrap_or(0);
+    // A zero mean means the scatter was too fast to resolve: leave the
+    // gauge alone rather than publish a meaningless 0-vs-0 comparison.
+    if let Some(pct) = ((max - mean) * 100).checked_div(mean) {
+        registry
+            .gauge(crate::names::FANOUT_IMBALANCE)
+            .set(i64::try_from(pct).unwrap_or(i64::MAX));
+    }
+}
+
 /// A hash-partitioned database: one full catalog, N FK-less shards, merged
 /// statistics that are bit-identical to the unsharded computation.
 #[derive(Debug)]
@@ -637,12 +661,32 @@ impl ShardedStore {
     /// merged state, and — for phrases — rerun the conjunctive scan per
     /// shard under the merged idfs, gathering by max.
     pub fn search_score_probe(&self, attr: AttrId, probe: &KeywordProbe) -> f64 {
+        self.score_probe_timed(attr, probe, None)
+    }
+
+    /// [`ShardedStore::search_score_probe`] with optional per-shard wall
+    /// accounting: when `timings` is `Some`, each shard's share of this
+    /// probe's work (partial absorb + conjunctive rescan) is added to its
+    /// slot, in nanoseconds. The scoring arithmetic is identical either way
+    /// — the clocks wrap the per-shard sections without reordering any
+    /// float operation, so instrumented scores stay bit-identical (the
+    /// shard identity suite runs with the global registry enabled).
+    fn score_probe_timed(
+        &self,
+        attr: AttrId,
+        probe: &KeywordProbe,
+        mut timings: Option<&mut [u64]>,
+    ) -> f64 {
         let mut acc = ScoreAccumulator::new(probe.tokens().len());
         let mut any_index = false;
-        for shard in &self.shards {
+        for (s, shard) in self.shards.iter().enumerate() {
+            let start = timings.is_some().then(std::time::Instant::now);
             if let Some(ix) = shard.index(attr) {
                 any_index = true;
                 acc.absorb(ix, probe);
+            }
+            if let (Some(start), Some(t)) = (start, timings.as_deref_mut()) {
+                t[s] += quest_obs::duration_ns(start.elapsed());
             }
         }
         if !any_index {
@@ -656,14 +700,18 @@ impl ShardedStore {
         } else {
             let idfs = acc.idfs();
             let mut best: Option<f64> = None;
-            for shard in &self.shards {
+            for (s, shard) in self.shards.iter().enumerate() {
+                let start = timings.is_some().then(std::time::Instant::now);
                 if let Some(ix) = shard.index(attr) {
-                    if let Some(s) = ix.best_conjunctive_score(probe.tokens(), &idfs) {
+                    if let Some(score) = ix.best_conjunctive_score(probe.tokens(), &idfs) {
                         best = match best {
-                            Some(b) if b >= s => Some(b),
-                            _ => Some(s),
+                            Some(b) if b >= score => Some(b),
+                            _ => Some(score),
                         };
                     }
+                }
+                if let (Some(start), Some(t)) = (start, timings.as_deref_mut()) {
+                    t[s] += quest_obs::duration_ns(start.elapsed());
                 }
             }
             best.unwrap_or(0.0)
@@ -676,10 +724,34 @@ impl ShardedStore {
     /// emission pass above run from a lookup table instead of fanning out
     /// to every shard once per `(keyword, attribute)` pair, and the
     /// per-attribute work parallelizes freely (each slot is independent).
+    ///
+    /// While the global registry is enabled, each shard's share of the
+    /// scatter wall is summed across attributes (on the calling thread,
+    /// after the fan-out joins) into `quest_shard_scatter_ns{shard=<i>}`,
+    /// the fan-out imbalance gauge, and the thread-local trace handoff
+    /// ([`quest_obs::scatter`]).
     pub fn scatter_value_scores(&self, probe: &KeywordProbe) -> Vec<f64> {
-        map_range(self.catalog.attribute_count(), self.parallel, |a| {
-            self.search_score_probe(AttrId(a as u32), probe)
-        })
+        if !quest_obs::global().is_enabled() {
+            return map_range(self.catalog.attribute_count(), self.parallel, |a| {
+                self.search_score_probe(AttrId(a as u32), probe)
+            });
+        }
+        let shard_count = self.shards.len();
+        let timed = map_range(self.catalog.attribute_count(), self.parallel, |a| {
+            let mut per_shard = vec![0u64; shard_count];
+            let score = self.score_probe_timed(AttrId(a as u32), probe, Some(&mut per_shard));
+            (score, per_shard)
+        });
+        let mut sums = vec![0u64; shard_count];
+        let mut scores = Vec::with_capacity(timed.len());
+        for (score, per_shard) in timed {
+            scores.push(score);
+            for (s, ns) in per_shard.into_iter().enumerate() {
+                sums[s] += ns;
+            }
+        }
+        record_scatter(&sums);
+        scores
     }
 
     // ------------------------------------------------------------------

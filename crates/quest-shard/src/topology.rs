@@ -31,6 +31,16 @@ fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("shard-{shard:03}"))
 }
 
+/// Count one fence event (a shard marked broken) in the global registry.
+fn count_fence() {
+    quest_obs::global().counter(crate::names::FENCE).inc();
+}
+
+/// Count one refused operation (search/commit against a fenced set).
+fn count_down() {
+    quest_obs::global().counter(crate::names::DOWN).inc();
+}
+
 /// Point-in-time view of the shard set's replication state.
 #[derive(Debug, Clone)]
 pub struct ShardTopology {
@@ -195,6 +205,7 @@ impl ShardedPrimary {
                             receipt.report.rejected.len()
                         );
                         self.broken[s] = Some(reason.clone());
+                        count_fence();
                         return Err(ShardError::ShardDown { shard: s, reason });
                     }
                     lsns[s] = receipt.last_lsn;
@@ -202,6 +213,7 @@ impl ShardedPrimary {
                 Err(e) => {
                     let reason = e.to_string();
                     self.broken[s] = Some(reason.clone());
+                    count_fence();
                     return Err(ShardError::ShardDown { shard: s, reason });
                 }
             }
@@ -274,6 +286,7 @@ impl ShardedPrimary {
     /// and commits return [`ShardError::ShardDown`] until repair.
     pub fn fence(&mut self, shard: usize, reason: impl Into<String>) {
         self.broken[shard] = Some(reason.into());
+        count_fence();
     }
 
     /// Whether every shard is serving.
@@ -284,6 +297,7 @@ impl ShardedPrimary {
     fn ensure_healthy(&self) -> Result<(), ShardError> {
         for (shard, state) in self.broken.iter().enumerate() {
             if let Some(reason) = state {
+                count_down();
                 return Err(ShardError::ShardDown {
                     shard,
                     reason: reason.clone(),

@@ -86,7 +86,7 @@ use relstore::Database;
 
 pub use codec::schema_fingerprint;
 pub use error::WalError;
-pub use log::{read_log, replay, LogRecovery, ReplayReport, SyncPolicy, WalWriter};
+pub use log::{names, read_log, replay, LogRecovery, ReplayReport, SyncPolicy, WalWriter};
 pub use reader::{LogReader, TailPoll};
 pub use record::ChangeRecord;
 pub use snapshot::{read_snapshot, write_snapshot, Snapshot};
@@ -127,6 +127,7 @@ pub struct Recovery {
 /// lines do not, so this is the gate that catches a snapshot whose bytes
 /// rotted into something type-correct but referentially inconsistent.
 pub fn recover(snapshot_path: &Path, wal_path: &Path) -> Result<Recovery, WalError> {
+    let start = std::time::Instant::now();
     let snapshot = read_snapshot(snapshot_path)?;
     let mut db = snapshot.db;
     let mut reader = LogReader::open(wal_path, db.catalog())?;
@@ -134,6 +135,9 @@ pub fn recover(snapshot_path: &Path, wal_path: &Path) -> Result<Recovery, WalErr
     let tail = reader.poll()?;
     let report = replay(&mut db, &tail.records, snapshot.last_seq)?;
     db.validate()?;
+    quest_obs::global()
+        .histogram(names::RECOVER)
+        .record(quest_obs::duration_ns(start.elapsed()));
     Ok(Recovery {
         db,
         snapshot_lsn: snapshot.last_seq,

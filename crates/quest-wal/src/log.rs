@@ -20,6 +20,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::time::Instant;
 
 use relstore::{Catalog, Database};
 
@@ -31,6 +32,50 @@ use crate::record::ChangeRecord;
 const MAGIC: &str = "QUESTWAL";
 /// Format version this code writes and reads.
 const VERSION: &str = "1";
+
+/// The WAL's metric names in the [`quest_obs::global`] registry.
+pub mod names {
+    /// Wall time of one (possibly batched) append (histogram, nanoseconds).
+    pub const APPEND: &str = "quest_wal_append_ns";
+    /// Wall time of one fsync barrier (histogram, nanoseconds).
+    pub const FSYNC: &str = "quest_wal_fsync_ns";
+    /// Wall time of one full recovery — snapshot load plus log replay
+    /// (histogram, nanoseconds).
+    pub const RECOVER: &str = "quest_wal_recover_ns";
+    /// Torn (dropped) log tails observed by scans and opens (counter).
+    pub const TORN_TAIL: &str = "quest_wal_torn_tail_total";
+    /// Writers that poisoned themselves after an unrecoverable I/O failure
+    /// (counter).
+    pub const POISONED: &str = "quest_wal_poisoned_total";
+    /// Records re-rejected during replay (counter).
+    pub const REPLAY_REJECTED: &str = "quest_wal_replay_rejected_total";
+}
+
+/// Registry handles for the writer's hot paths, resolved once at open so an
+/// append touches only its own relaxed atomics.
+#[derive(Debug)]
+struct WalObs {
+    append: quest_obs::Histogram,
+    fsync: quest_obs::Histogram,
+    poisoned: quest_obs::Counter,
+}
+
+impl WalObs {
+    fn new() -> WalObs {
+        let registry = quest_obs::global();
+        WalObs {
+            append: registry.histogram(names::APPEND),
+            fsync: registry.histogram(names::FSYNC),
+            poisoned: registry.counter(names::POISONED),
+        }
+    }
+}
+
+/// Count one observed torn tail in the global registry (cold path: scans
+/// and opens only).
+fn count_torn_tail() {
+    quest_obs::global().counter(names::TORN_TAIL).inc();
+}
 
 /// When the log fsyncs on its own, independent of explicit
 /// [`WalWriter::sync`] calls.
@@ -69,6 +114,8 @@ pub struct WalWriter {
     /// Appends since the last fsync (explicit or automatic); drives
     /// [`SyncPolicy::EveryN`].
     unsynced: u32,
+    /// Global-registry handles (append/fsync latency, poison events).
+    obs: WalObs,
 }
 
 impl WalWriter {
@@ -103,6 +150,10 @@ impl WalWriter {
         // torn-but-parseable header would be truncated to zero bytes below
         // and records would then be appended to a headerless file.
         if !bytes.contains(&b'\n') {
+            if !bytes.is_empty() {
+                // A partial header is a creation-time torn tail.
+                count_torn_tail();
+            }
             file.set_len(0)?;
             file.seek(SeekFrom::Start(0))?;
             let header = format!("{MAGIC}\t{VERSION}\t{fingerprint:016x}\n");
@@ -115,9 +166,13 @@ impl WalWriter {
                 poisoned: false,
                 policy,
                 unsynced: 0,
+                obs: WalObs::new(),
             });
         }
         let scan = scan_log(&bytes, fingerprint)?;
+        if scan.torn_tail {
+            count_torn_tail();
+        }
         // Drop a torn tail so the next append starts on a clean line.
         if scan.valid_len < bytes.len() {
             file.set_len(scan.valid_len as u64)?;
@@ -131,6 +186,7 @@ impl WalWriter {
             poisoned: false,
             policy,
             unsynced: 0,
+            obs: WalObs::new(),
         })
     }
 
@@ -199,6 +255,7 @@ impl WalWriter {
         if records.is_empty() {
             return Ok((first, first - 1));
         }
+        let start = Instant::now();
         let mut buf = String::new();
         for (i, record) in records.iter().enumerate() {
             let seq = first + i as u64;
@@ -207,7 +264,7 @@ impl WalWriter {
         }
         if let Err(e) = self.file.write_all(buf.as_bytes()) {
             if self.file.set_len(self.len).is_err() || self.file.seek(SeekFrom::End(0)).is_err() {
-                self.poisoned = true;
+                self.poison();
             }
             return Err(WalError::Io(e));
         }
@@ -223,7 +280,16 @@ impl WalWriter {
             }
             SyncPolicy::Never => {}
         }
+        self.obs
+            .append
+            .record(quest_obs::duration_ns(start.elapsed()));
         Ok((first, self.next_seq - 1))
+    }
+
+    /// Refuse further appends and count the event.
+    fn poison(&mut self) {
+        self.poisoned = true;
+        self.obs.poisoned.inc();
     }
 
     /// Policy-driven durability barrier inside an append. At this point the
@@ -233,13 +299,21 @@ impl WalWriter {
     /// as "batch not written" while tailing readers may already be applying
     /// it. Recovery: reopen the log; the scan re-establishes the truth.
     fn sync_or_poison(&mut self) -> Result<(), WalError> {
-        self.sync().inspect_err(|_| self.poisoned = true)
+        if let Err(e) = self.sync() {
+            self.poison();
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// fsync the log file (durability point). Resets the
     /// [`SyncPolicy::EveryN`] append counter.
     pub fn sync(&mut self) -> Result<(), WalError> {
+        let start = Instant::now();
         self.file.sync_data()?;
+        self.obs
+            .fsync
+            .record(quest_obs::duration_ns(start.elapsed()));
         self.unsynced = 0;
         Ok(())
     }
@@ -274,6 +348,9 @@ struct LogScan {
 pub fn read_log(path: &Path, catalog: &Catalog) -> Result<LogRecovery, WalError> {
     let bytes = std::fs::read(path)?;
     let scan = scan_log(&bytes, schema_fingerprint(catalog))?;
+    if scan.torn_tail {
+        count_torn_tail();
+    }
     Ok(LogRecovery {
         records: scan.records,
         torn_tail: scan.torn_tail,
@@ -450,7 +527,7 @@ pub fn replay(
     records: &[(u64, ChangeRecord)],
     after_seq: u64,
 ) -> Result<ReplayReport, WalError> {
-    Ok(db.with_stats_deferred(|db| {
+    let report = db.with_stats_deferred(|db| {
         let mut report = ReplayReport::default();
         for (seq, record) in records {
             if *seq <= after_seq {
@@ -462,7 +539,13 @@ pub fn replay(
             }
         }
         report
-    }))
+    });
+    if report.rejected > 0 {
+        quest_obs::global()
+            .counter(names::REPLAY_REJECTED)
+            .add(report.rejected as u64);
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -710,6 +793,40 @@ mod tests {
             WalWriter::open(&path, &other).unwrap_err(),
             WalError::SchemaMismatch { .. }
         ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wal_metrics_reach_the_global_registry() {
+        // Deltas, not absolutes: the global registry is shared by every
+        // test in this binary.
+        let path = temp_path("obs");
+        let c = catalog();
+        let registry = quest_obs::global();
+        let appends =
+            |s: &quest_obs::MetricsSnapshot| s.histogram(names::APPEND).map_or(0, |h| h.count);
+        let fsyncs =
+            |s: &quest_obs::MetricsSnapshot| s.histogram(names::FSYNC).map_or(0, |h| h.count);
+        let torn = |s: &quest_obs::MetricsSnapshot| s.counter(names::TORN_TAIL).unwrap_or(0);
+        let before = registry.snapshot();
+        {
+            let mut w = WalWriter::open(&path, &c).unwrap();
+            w.append(&ins(1)).unwrap();
+            w.sync().unwrap();
+        }
+        // `>=`: sibling tests in this binary append concurrently.
+        let after = registry.snapshot();
+        assert!(appends(&after) > appends(&before));
+        assert!(fsyncs(&after) > fsyncs(&before));
+
+        // A torn tail is counted by the scan that observes it.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"2\tdead").unwrap();
+        }
+        assert!(read_log(&path, &c).unwrap().torn_tail);
+        assert!(torn(&registry.snapshot()) > torn(&after));
         std::fs::remove_file(&path).unwrap();
     }
 

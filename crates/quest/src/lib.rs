@@ -23,6 +23,7 @@ pub use quest_data as data;
 pub use quest_dst as dst;
 pub use quest_graph as graph;
 pub use quest_hmm as hmm;
+pub use quest_obs as obs;
 pub use quest_replica as replica;
 pub use quest_serve as serve;
 pub use quest_shard as shard;

@@ -1,5 +1,6 @@
 //! Serving demo: one shared, cache-backed engine answering a concurrent
-//! keyword-query stream, with live cache statistics.
+//! keyword-query stream, with live cache statistics and a Prometheus
+//! exposition of the full metrics registry at the end.
 //!
 //! Run with: `cargo run --release -p quest --example serve [workers]`
 
@@ -73,6 +74,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         after.feedback_configs.len()
     );
 
-    println!("\n{}", service.shutdown());
+    let stats = service.shutdown();
+    println!("\n{stats}");
+
+    // Prometheus exposition: the engine's registry snapshot (riding in the
+    // stats) merged with the process-wide registry (WAL/replica/shard
+    // layers — empty here, but the scrape endpoint of a real deployment
+    // serves the union). Round-trip it through the exposition parser and
+    // refuse to exit quietly if the core counters did not move.
+    let mut merged = stats.metrics.clone();
+    merged.merge(&quest::obs::global().snapshot());
+    let text = quest::obs::to_prometheus_text(&merged);
+    println!(
+        "--- prometheus exposition ({} bytes) ---\n{text}",
+        text.len()
+    );
+    let samples = quest::obs::parse_prometheus_text(&text).map_err(std::io::Error::other)?;
+    for name in [
+        quest::serve::names::QUERIES,
+        "quest_serve_latency_ns_count",
+        "quest_serve_stage_forward_ns_count",
+    ] {
+        let sample = samples
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| std::io::Error::other(format!("{name} missing from exposition")))?;
+        if sample.value <= 0.0 {
+            return Err(format!("{name} should be non-zero after serving").into());
+        }
+    }
+    println!(
+        "obs OK: {} samples parsed, {} queries counted",
+        samples.len(),
+        stats.queries
+    );
     Ok(())
 }

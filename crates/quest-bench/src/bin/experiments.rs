@@ -363,6 +363,100 @@ a routed mutation burst); reads are the uncached pipeline path",
             ),
     );
 
+    // Amplification accounting: physical work per unit of logical work,
+    // read from the process-wide registry. The shard sweep above already
+    // generated the scatter traffic; a dedicated replication exercise (one
+    // primary, two replicas tailing the same log) produces the WAL and
+    // replica volumes.
+    {
+        use quest_replica::{Primary, ReplicaSet, RoutingPolicy};
+        use quest_wal::ChangeRecord;
+        use std::sync::Arc;
+
+        let amp_dir = std::env::temp_dir().join(format!("quest-bench-amp-{}", std::process::id()));
+        std::fs::remove_dir_all(&amp_dir).ok();
+        let primary = Arc::new(
+            Primary::open(&amp_dir, ds.generate_default(), QuestConfig::default())
+                .expect("amplification primary"),
+        );
+        let mut set = ReplicaSet::new(Arc::clone(&primary), RoutingPolicy::RoundRobin);
+        for i in 0..2 {
+            set.spawn_replica(&format!("amp-r{i}"))
+                .expect("amplification replica");
+        }
+        for round in 0..8i64 {
+            let person_id = 830_000 + 2 * round;
+            primary
+                .commit(&[
+                    ChangeRecord::Insert {
+                        table: "person".into(),
+                        row: vec![
+                            person_id.into(),
+                            format!("Amplified Director {round}").into(),
+                            1970.into(),
+                        ],
+                    },
+                    ChangeRecord::Insert {
+                        table: "movie".into(),
+                        row: vec![
+                            (person_id + 1).into(),
+                            format!("Amplified Release {round}").into(),
+                            2024.into(),
+                            7.5.into(),
+                            person_id.into(),
+                        ],
+                    },
+                ])
+                .expect("amplification commit");
+            set.sync_all().expect("amplification sync");
+        }
+        primary.sync().expect("amplification fsync");
+        drop(set);
+        drop(primary);
+        std::fs::remove_dir_all(&amp_dir).ok();
+    }
+    let global = quest_obs::global().snapshot();
+    let counter = |name: &str| global.counter(name).unwrap_or(0) as f64;
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+    let wal_logical = counter(quest_wal::names::LOGICAL_BYTES);
+    let wal_physical = counter(quest_wal::names::PHYSICAL_BYTES);
+    let committed = counter(quest_replica::names::RECORDS_COMMITTED);
+    let applied = counter(quest_replica::names::RECORDS_APPLIED);
+    let probes = counter(quest_shard::names::SCATTER_PROBES);
+    let used = counter(quest_shard::names::SCATTER_USED);
+    let json = json.obj(
+        "amplification",
+        quest_bench::JsonObject::new()
+            .str(
+                "note",
+                "process-wide physical-vs-logical volume ratios: WAL bytes from the \
+replication exercise (2 tailing replicas), replica records applied vs committed \
+(~replica count), shard scatter probes issued vs nonzero results used (from the \
+shard sweep's read bursts)",
+            )
+            .obj(
+                "wal",
+                quest_bench::JsonObject::new()
+                    .num("logical_bytes", wal_logical)
+                    .num("physical_bytes", wal_physical)
+                    .num("write_amplification", ratio(wal_physical, wal_logical)),
+            )
+            .obj(
+                "replica",
+                quest_bench::JsonObject::new()
+                    .num("records_committed", committed)
+                    .num("records_applied", applied)
+                    .num("apply_ratio", ratio(applied, committed)),
+            )
+            .obj(
+                "shard",
+                quest_bench::JsonObject::new()
+                    .num("scatter_probes", probes)
+                    .num("results_used", used)
+                    .num("read_amplification", ratio(probes, used)),
+            ),
+    );
+
     std::fs::write(path, json.render_pretty()).expect("write benchmark artifact");
     println!(
         "wrote {path}: uncached single-query speedup {total_speedup:.2}x steady / {:.2}x first pass \

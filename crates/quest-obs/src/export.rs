@@ -12,15 +12,46 @@ use std::fmt::Write as _;
 
 use crate::histogram::HistogramSnapshot;
 use crate::metrics::{MetricSnapshot, MetricValue, MetricsSnapshot};
+use crate::span::SpanRecord;
+use crate::trace::QueryTrace;
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline (the three characters that would break the
+/// line/quote framing).
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape `# HELP` text: backslash and newline (quotes are legal there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 fn label_block(m: &MetricSnapshot, extra: Option<(&str, String)>) -> String {
     let mut pairs: Vec<String> = m
         .labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
         .collect();
     if let Some((k, v)) = extra {
-        pairs.push(format!("{k}=\"{v}\""));
+        pairs.push(format!("{k}=\"{}\"", escape_label_value(&v)));
     }
     if pairs.is_empty() {
         String::new()
@@ -30,7 +61,8 @@ fn label_block(m: &MetricSnapshot, extra: Option<(&str, String)>) -> String {
 }
 
 /// Render a snapshot in the Prometheus text exposition format (version
-/// 0.0.4): `# TYPE` lines, one sample per line, deterministic order.
+/// 0.0.4): `# HELP`/`# TYPE` lines, one sample per line, deterministic
+/// order, label values escaped per the format (`\\`, `\"`, `\n`).
 pub fn to_prometheus_text(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
     let mut last_typed: Option<(&str, &str)> = None;
@@ -40,8 +72,14 @@ pub fn to_prometheus_text(snapshot: &MetricsSnapshot) -> String {
             MetricValue::Gauge(_) => "gauge",
             MetricValue::Histogram(_) => "histogram",
         };
-        // One TYPE line per metric family, not per label set.
+        // One HELP + TYPE pair per metric family, not per label set.
         if last_typed != Some((m.name.as_str(), kind)) {
+            let help = snapshot
+                .help
+                .get(&m.name)
+                .map(|h| escape_help(h))
+                .unwrap_or_else(|| format!("QUEST metric {}.", m.name));
+            let _ = writeln!(out, "# HELP {} {}", m.name, help);
             let _ = writeln!(out, "# TYPE {} {}", m.name, kind);
             last_typed = Some((m.name.as_str(), kind));
         }
@@ -144,10 +182,69 @@ pub fn to_json(snapshot: &MetricsSnapshot) -> String {
 pub struct ParsedSample {
     /// Sample name (including any `_bucket`/`_sum`/`_count` suffix).
     pub name: String,
-    /// Raw label block, `{}`-stripped (empty when unlabeled).
+    /// Raw label block, `{}`-stripped (empty when unlabeled). Values keep
+    /// their escapes; [`ParsedSample::label_pairs`] decodes them.
     pub labels: String,
     /// The numeric value.
     pub value: f64,
+}
+
+impl ParsedSample {
+    /// Decode the raw label block into `(key, value)` pairs, unescaping
+    /// `\\` / `\"` / `\n` in values — the inverse of what
+    /// [`to_prometheus_text`] emits, so a scrape round-trips adversarial
+    /// label values losslessly.
+    pub fn label_pairs(&self) -> Result<Vec<(String, String)>, String> {
+        let chars: Vec<char> = self.labels.chars().collect();
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let mut key = String::new();
+            while i < chars.len() && chars[i] != '=' {
+                key.push(chars[i]);
+                i += 1;
+            }
+            if i >= chars.len() || key.is_empty() {
+                return Err(format!("bad label key in {:?}", self.labels));
+            }
+            i += 1; // '='
+            if chars.get(i) != Some(&'"') {
+                return Err(format!("unquoted label value in {:?}", self.labels));
+            }
+            i += 1;
+            let mut value = String::new();
+            loop {
+                match chars.get(i) {
+                    None => return Err(format!("unterminated label value in {:?}", self.labels)),
+                    Some('\\') => {
+                        i += 1;
+                        match chars.get(i) {
+                            Some('\\') => value.push('\\'),
+                            Some('"') => value.push('"'),
+                            Some('n') => value.push('\n'),
+                            _ => return Err(format!("bad escape in {:?}", self.labels)),
+                        }
+                        i += 1;
+                    }
+                    Some('"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&c) => {
+                        value.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            pairs.push((key, value));
+            match chars.get(i) {
+                Some(',') => i += 1,
+                None => break,
+                Some(_) => return Err(format!("expected comma in {:?}", self.labels)),
+            }
+        }
+        Ok(pairs)
+    }
 }
 
 /// Strictly parse a Prometheus text exposition: every non-comment line must
@@ -178,8 +275,15 @@ pub fn parse_prometheus_text(text: &str) -> Result<Vec<ParsedSample>, String> {
             families.push(name.to_string());
             continue;
         }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            if !valid_name(name) {
+                return Err(format!("line {}: bad HELP line {line:?}", lineno + 1));
+            }
+            continue;
+        }
         if line.starts_with('#') {
-            continue; // HELP or comment
+            continue; // comment
         }
         let (series, value) = line
             .rsplit_once(' ')
@@ -221,6 +325,151 @@ pub fn parse_prometheus_text(text: &str) -> Result<Vec<ParsedSample>, String> {
         });
     }
     Ok(samples)
+}
+
+/// Placement of one complete (`ph: "X"`) event: when, for how long, and
+/// on which process/thread lane the viewer draws it.
+struct ChromeSlot {
+    ts: u64,
+    dur: u64,
+    pid: u64,
+    tid: u64,
+}
+
+fn chrome_event(
+    out: &mut String,
+    name: &str,
+    cat: &str,
+    slot: ChromeSlot,
+    args: &[(&str, String)],
+) {
+    if !out.is_empty() {
+        out.push(',');
+    }
+    let rendered: Vec<String> = args
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", json_escape(k), v))
+        .collect();
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+         \"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
+        json_escape(name),
+        json_escape(cat),
+        slot.ts,
+        slot.dur,
+        slot.pid,
+        slot.tid,
+        rendered.join(",")
+    );
+}
+
+/// Render write-path spans and per-query traces as one Chrome trace-event
+/// JSON document, loadable in `chrome://tracing` or Perfetto.
+///
+/// Spans keep their real timeline (microsecond offsets from the
+/// collector's epoch) on the `pid` lane of their [`crate::span::TraceKind`]
+/// family, each carrying its `trace_id` so one commit's WAL append, fsync,
+/// engine apply, and cache epoch bump line up as a tree. Query traces —
+/// which record stage *durations*, not absolute starts — are synthesized
+/// onto the query lane one `tid` per query (its ring `seq`), stages laid
+/// out back-to-back from ts 0 and per-shard scatter sections alongside, so
+/// both kinds of evidence land in a single viewer-compatible file.
+pub fn to_chrome_trace_json(spans: &[SpanRecord], traces: &[QueryTrace]) -> String {
+    let mut events = String::new();
+    // Process-name metadata rows, one per lane.
+    for kind in [
+        crate::span::TraceKind::Commit,
+        crate::span::TraceKind::Query,
+        crate::span::TraceKind::Replica,
+    ] {
+        if !events.is_empty() {
+            events.push(',');
+        }
+        let _ = write!(
+            events,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            kind.pid(),
+            kind.lane()
+        );
+    }
+    for s in spans {
+        let mut args: Vec<(&str, String)> = vec![("trace_id", s.trace_id.to_string())];
+        for (k, v) in s.args.iter().flatten() {
+            args.push((k, v.to_string()));
+        }
+        chrome_event(
+            &mut events,
+            s.name,
+            s.kind.lane(),
+            ChromeSlot {
+                ts: s.start_us,
+                dur: s.dur_us,
+                pid: s.kind.pid(),
+                tid: s.tid,
+            },
+            &args,
+        );
+    }
+    let query_pid = crate::span::TraceKind::Query.pid();
+    for t in traces {
+        let tid = t.seq;
+        let root_args: Vec<(&str, String)> = vec![
+            ("seq", t.seq.to_string()),
+            ("ok", t.ok.to_string()),
+            ("forward_cache_hit", t.forward_cache_hit.to_string()),
+        ];
+        chrome_event(
+            &mut events,
+            &format!("query: {}", t.query),
+            "query",
+            ChromeSlot {
+                ts: 0,
+                dur: t.total_us,
+                pid: query_pid,
+                tid,
+            },
+            &root_args,
+        );
+        let mut ts = 0u64;
+        for (name, dur) in [
+            ("forward", t.forward_us),
+            ("backward", t.backward_us),
+            ("assemble", t.assemble_us),
+        ] {
+            chrome_event(
+                &mut events,
+                name,
+                "stage",
+                ChromeSlot {
+                    ts,
+                    dur,
+                    pid: query_pid,
+                    tid,
+                },
+                &[],
+            );
+            ts = ts.saturating_add(dur);
+        }
+        let mut scatter_ts = 0u64;
+        for &(shard, us) in &t.shard_scatter_us {
+            chrome_event(
+                &mut events,
+                &format!("scatter shard {shard}"),
+                "scatter",
+                ChromeSlot {
+                    ts: scatter_ts,
+                    dur: us,
+                    pid: query_pid,
+                    tid,
+                },
+                &[("shard", shard.to_string())],
+            );
+            scatter_ts = scatter_ts.saturating_add(us);
+        }
+    }
+    format!("{{\"traceEvents\":[{events}],\"displayTimeUnit\":\"ms\"}}")
 }
 
 #[cfg(test)]
@@ -277,6 +526,96 @@ mod tests {
         assert!(parse_prometheus_text("# TYPE x counter\nx{a=\"b\" 1").is_err());
         assert!(parse_prometheus_text("# TYPE x wibble\nx 1").is_err());
         assert!(parse_prometheus_text("# TYPE x counter\nx 1\n\n# comment\n").is_ok());
+    }
+
+    #[test]
+    fn help_lines_render_and_parse() {
+        let r = sample_registry();
+        r.describe("quest_test_queries_total", "Total queries served.");
+        let text = to_prometheus_text(&r.snapshot());
+        assert!(text.contains("# HELP quest_test_queries_total Total queries served.\n"));
+        // Families without explicit help still get a HELP line.
+        assert!(text.contains("# HELP quest_test_lag QUEST metric quest_test_lag.\n"));
+        assert!(parse_prometheus_text(&text).is_ok());
+        assert!(parse_prometheus_text("# HELP 9bad x\n").is_err());
+    }
+
+    #[test]
+    fn adversarial_label_values_escape_and_round_trip() {
+        let r = MetricsRegistry::new();
+        let hostile = "a\"b\\c\nd,e}f g";
+        r.gauge_with("quest_test_host", &[("path", hostile)]).set(4);
+        let text = to_prometheus_text(&r.snapshot());
+        assert_eq!(text.lines().count(), 3, "newline in value must be escaped");
+        let samples = parse_prometheus_text(&text).expect("escaped exposition parses");
+        let sample = samples
+            .iter()
+            .find(|s| s.name == "quest_test_host")
+            .unwrap();
+        let pairs = sample.label_pairs().expect("label block decodes");
+        assert_eq!(pairs, vec![("path".to_string(), hostile.to_string())]);
+        assert_eq!(sample.value, 4.0);
+    }
+
+    #[test]
+    fn label_pairs_rejects_malformed_blocks() {
+        let sample = |labels: &str| ParsedSample {
+            name: "x".into(),
+            labels: labels.into(),
+            value: 0.0,
+        };
+        assert_eq!(sample("").label_pairs(), Ok(vec![]));
+        assert!(sample("a=\"b\",c=\"d\"").label_pairs().is_ok());
+        assert!(sample("a=b").label_pairs().is_err());
+        assert!(sample("a=\"b").label_pairs().is_err());
+        assert!(sample("a=\"b\\x\"").label_pairs().is_err());
+        assert!(sample("a=\"b\"c=\"d\"").label_pairs().is_err());
+    }
+
+    #[test]
+    fn chrome_trace_renders_spans_and_traces() {
+        use crate::span::{SpanCollector, TraceKind};
+        use crate::trace::QueryTrace;
+        let c = SpanCollector::new(8);
+        let ctx = c.ctx(TraceKind::Commit);
+        c.record_with(ctx, "wal_append", c.start(), [Some(("records", 2)), None]);
+        let trace = QueryTrace {
+            seq: 5,
+            query: "movies with \"quotes\"".into(),
+            ok: true,
+            total_us: 100,
+            forward_us: 60,
+            backward_us: 30,
+            assemble_us: 10,
+            shard_scatter_us: vec![(0, 40), (1, 20)],
+            ..QueryTrace::default()
+        };
+        let json = to_chrome_trace_json(&c.recent(), &[trace]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
+        assert!(json.contains("\"name\":\"wal_append\""));
+        assert!(json.contains(&format!("\"trace_id\":{}", ctx.id)));
+        assert!(json.contains("\"records\":2"));
+        assert!(json.contains("movies with \\\"quotes\\\""));
+        assert!(json.contains("\"name\":\"scatter shard 1\""));
+        assert!(json.contains("\"name\":\"process_name\""));
+        // Structurally valid: every brace/bracket balances outside strings.
+        let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+        for ch in json.chars() {
+            match (in_str, esc, ch) {
+                (true, true, _) => esc = false,
+                (true, false, '\\') => esc = true,
+                (true, false, '"') => in_str = false,
+                (true, false, _) => {}
+                (false, _, '"') => in_str = true,
+                (false, _, '{' | '[') => depth += 1,
+                (false, _, '}' | ']') => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
     }
 
     #[test]

@@ -22,26 +22,52 @@
 //! Two registries matter in practice: each `CachedEngine` owns one (its
 //! snapshot rides along in `ServeStats`), and [`global()`] aggregates the
 //! layers with no natural owner — the WAL, replication, and shard fan-out
-//! paths. Env knobs: `QUEST_OBS_SLOW_QUERY_US` (slow-query threshold,
+//! paths. Beyond the registry, four observability subsystems build on it:
+//!
+//! - **Span tracing** ([`span`]): explicit-[`TraceCtx`] spans through the
+//!   write path and query path, collected in the bounded [`spans()`] ring
+//!   and exported as Chrome trace-event JSON
+//!   ([`to_chrome_trace_json`]).
+//! - **Windowed aggregation** ([`window`]): rolling-window rates, deltas,
+//!   sliding percentiles, and gauge extremes over [`MetricsSnapshot`]
+//!   samples, counter-reset tolerant.
+//! - **SLO health** ([`health`]): declarative [`SloSpec`] bounds graded
+//!   into a [`HealthReport`] — strictly observational.
+//! - **Amplification accounting**: the WAL/replica/shard layers publish
+//!   logical-vs-physical byte and probe counters here; `bench-json`
+//!   reports the ratios.
+//!
+//! Env knobs: `QUEST_OBS_SLOW_QUERY_US` (slow-query threshold,
 //! microseconds), `QUEST_OBS_TRACE_CAPACITY` (trace ring size; 0 disables
-//! tracing) — see [`TraceConfig::from_env`].
+//! tracing) — see [`TraceConfig::from_env`]; `QUEST_OBS_SPAN_CAPACITY`
+//! (span ring size; 0 disables span tracing) — see
+//! [`SpanCollector::from_env`]; `QUEST_OBS_WINDOW_SECS` (rolling window
+//! width) — see [`WindowConfig::from_env`].
 
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod health;
 pub mod histogram;
 pub mod metrics;
+pub mod span;
 pub mod trace;
+pub mod window;
 
-pub use export::{parse_prometheus_text, to_json, to_prometheus_text, ParsedSample};
+pub use export::{
+    parse_prometheus_text, to_chrome_trace_json, to_json, to_prometheus_text, ParsedSample,
+};
+pub use health::{HealthInputs, HealthReport, HealthStatus, SloSpec};
 pub use histogram::{
     bucket_index, bucket_lower_bound, bucket_upper_bound, HistogramSnapshot, BUCKETS,
 };
 pub use metrics::{
     Counter, Gauge, Histogram, Labels, MetricSnapshot, MetricValue, MetricsRegistry,
-    MetricsSnapshot,
+    MetricsSnapshot, WindowedGauge,
 };
+pub use span::{spans, SpanCollector, SpanRecord, TraceCtx, TraceKind};
 pub use trace::{scatter, QueryTrace, TemplateOutcome, TraceConfig, TraceRing, TraceSink};
+pub use window::{WindowAggregator, WindowConfig, WindowRates};
 
 use std::sync::OnceLock;
 

@@ -1,0 +1,77 @@
+//! Round-trip property suite for the Prometheus exporter/parser pair
+//! (ISSUE 9 satellite): adversarial label values — quotes, backslashes,
+//! newlines, commas, braces — escape on the way out and decode losslessly
+//! on the way back in, with `# HELP` lines accepted throughout.
+
+use proptest::prelude::*;
+use quest_obs::{parse_prometheus_text, to_prometheus_text, MetricsRegistry};
+
+/// Label values over the characters that attack the exposition framing:
+/// the escape triple (`"`, `\`, newline) plus the label-block punctuation
+/// (`,`, `=`, `{`, `}`) and spaces.
+fn hostile_value() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9\"\\\\\n,={} ]{0,16}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn counter_labels_round_trip(
+        a in hostile_value(),
+        b in hostile_value(),
+        count in 0u64..1_000_000,
+    ) {
+        let r = MetricsRegistry::new();
+        r.describe("quest_prop_series_total", "Adversarial series.");
+        r.counter_with("quest_prop_series_total", &[("ka", &a), ("kb", &b)])
+            .add(count);
+        let text = to_prometheus_text(&r.snapshot());
+        let samples = parse_prometheus_text(&text).expect("escaped exposition parses");
+        let sample = samples
+            .iter()
+            .find(|s| s.name == "quest_prop_series_total")
+            .expect("series present");
+        prop_assert_eq!(sample.value, count as f64);
+        let pairs = sample.label_pairs().expect("label block decodes");
+        prop_assert_eq!(pairs, vec![("ka".to_string(), a), ("kb".to_string(), b)]);
+    }
+
+    #[test]
+    fn histogram_labels_round_trip_with_le(
+        q in hostile_value(),
+        values in proptest::collection::vec(1u64..1_000_000, 1..20),
+    ) {
+        let r = MetricsRegistry::new();
+        let h = r.histogram_with("quest_prop_lat_ns", &[("q", &q)]);
+        for &v in &values {
+            h.record(v);
+        }
+        let text = to_prometheus_text(&r.snapshot());
+        let samples = parse_prometheus_text(&text).expect("escaped exposition parses");
+        let count_sample = samples
+            .iter()
+            .find(|s| s.name == "quest_prop_lat_ns_count")
+            .expect("_count present");
+        prop_assert_eq!(count_sample.value, values.len() as f64);
+        prop_assert_eq!(
+            count_sample.label_pairs().expect("decodes"),
+            vec![("q".to_string(), q.clone())]
+        );
+        // Bucket samples carry the synthetic `le` label alongside the
+        // hostile one, and the cumulative +Inf bucket equals the count.
+        let inf = samples
+            .iter()
+            .filter(|s| s.name == "quest_prop_lat_ns_bucket")
+            .find(|s| {
+                s.label_pairs()
+                    .is_ok_and(|p| p.iter().any(|(k, v)| k == "le" && v == "+Inf"))
+            })
+            .expect("+Inf bucket present");
+        prop_assert_eq!(inf.value, values.len() as f64);
+        prop_assert!(inf
+            .label_pairs()
+            .expect("decodes")
+            .contains(&("q".to_string(), q)));
+    }
+}

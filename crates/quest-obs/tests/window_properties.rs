@@ -1,0 +1,142 @@
+//! Property suite for the window aggregator (ISSUE 9 satellite): windowed
+//! counter deltas, per-second rates, and sliding histogram percentiles
+//! recomputed brute-force from the raw event stream, plus counter-reset
+//! and empty-window edge cases.
+
+use proptest::prelude::*;
+use quest_obs::{MetricsRegistry, WindowAggregator, WindowConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn windowed_math_matches_brute_force(
+        batches in proptest::collection::vec(
+            (1u64..400, 0u64..50, 1u64..1_000_000, 0usize..6),
+            2..12,
+        ),
+        window_ms in 200u64..2_000,
+    ) {
+        let r = MetricsRegistry::new();
+        let c = r.counter("c");
+        let h = r.histogram("h");
+        let w = WindowAggregator::new(WindowConfig {
+            window_ms,
+            max_samples: 64,
+        });
+        let mut t = 0u64;
+        let mut events: Vec<(u64, u64, u64, usize)> = Vec::new();
+        w.observe_at(0, &r.snapshot());
+        for &(dt, inc, value, reps) in &batches {
+            t += dt;
+            c.add(inc);
+            for _ in 0..reps {
+                h.record(value);
+            }
+            events.push((t, inc, value, reps));
+            w.observe_at(t, &r.snapshot());
+        }
+        let (t0, t1) = w.span_ms().expect("samples retained");
+        prop_assert_eq!(t1, t);
+        let windowed = |e: &&(u64, u64, u64, usize)| e.0 > t0 && e.0 <= t1;
+
+        // Counter delta and rate: everything recorded strictly after the
+        // baseline sample.
+        let expect_delta: u64 = events.iter().filter(windowed).map(|e| e.1).sum();
+        prop_assert_eq!(w.delta_counter("c"), Some(expect_delta));
+        let rate = w.rate_per_sec("c").expect("two samples");
+        let expect_rate = expect_delta as f64 / ((t1 - t0) as f64 / 1000.0);
+        prop_assert!((rate - expect_rate).abs() < 1e-9);
+
+        // Histogram window: bit-identical to recording only the windowed
+        // values into a fresh histogram (max aside, which is lifetime).
+        let reference = MetricsRegistry::new();
+        let rh = reference.histogram("h");
+        for e in events.iter().filter(windowed) {
+            for _ in 0..e.3 {
+                rh.record(e.2);
+            }
+        }
+        let expected = rh.snapshot();
+        let got = w.histogram_window("h").expect("two samples");
+        prop_assert_eq!(got.buckets, expected.buckets);
+        prop_assert_eq!(got.count, expected.count);
+        prop_assert_eq!(got.sum, expected.sum);
+        for p in [50.0, 95.0, 99.0] {
+            prop_assert_eq!(w.percentile("h", p), Some(expected.percentile(p)));
+        }
+    }
+
+    #[test]
+    fn counter_reset_reads_newest_as_delta(
+        before in 1u64..1_000_000,
+        after in 0u64..1_000_000,
+    ) {
+        let old = MetricsRegistry::new();
+        old.counter("c").add(before);
+        let fresh = MetricsRegistry::new();
+        fresh.counter("c").add(after);
+        let w = WindowAggregator::new(WindowConfig::default());
+        w.observe_at(0, &old.snapshot());
+        w.observe_at(1_000, &fresh.snapshot());
+        let expected = if after < before { after } else { after - before };
+        prop_assert_eq!(w.delta_counter("c"), Some(expected));
+    }
+
+    #[test]
+    fn histogram_reset_reads_newest_whole(
+        old_values in proptest::collection::vec(1u64..1_000_000, 5..20),
+        new_values in proptest::collection::vec(1u64..1_000_000, 1..5),
+    ) {
+        // Strictly fewer post-restart samples guarantees the count went
+        // backwards, so the reset is detectable.
+        let old = MetricsRegistry::new();
+        for &v in &old_values {
+            old.histogram("h").record(v);
+        }
+        let fresh = MetricsRegistry::new();
+        for &v in &new_values {
+            fresh.histogram("h").record(v);
+        }
+        let w = WindowAggregator::new(WindowConfig::default());
+        w.observe_at(0, &old.snapshot());
+        w.observe_at(1_000, &fresh.snapshot());
+        let got = w.histogram_window("h").expect("two samples");
+        let fresh_snap = fresh.snapshot();
+        prop_assert_eq!(&got, fresh_snap.histogram("h").expect("present"));
+    }
+
+    #[test]
+    fn gauge_extremes_match_brute_force(
+        values in proptest::collection::vec(-100i64..100, 1..20),
+    ) {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("g");
+        let w = WindowAggregator::new(WindowConfig {
+            window_ms: u64::MAX,
+            max_samples: 64,
+        });
+        for (i, &v) in values.iter().enumerate() {
+            g.set(v);
+            w.observe_at(i as u64 * 10, &r.snapshot());
+        }
+        let lo = *values.iter().min().expect("non-empty");
+        let hi = *values.iter().max().expect("non-empty");
+        prop_assert_eq!(w.gauge_extremes("g"), Some((lo, hi)));
+    }
+}
+
+#[test]
+fn empty_and_single_sample_windows_have_no_readings() {
+    let w = WindowAggregator::new(WindowConfig::default());
+    assert_eq!(w.span_ms(), None);
+    assert_eq!(w.delta_counter("c"), None);
+    assert_eq!(w.rate_per_sec("c"), None);
+    assert_eq!(w.percentile("h", 99.0), None);
+    assert_eq!(w.gauge_extremes("g"), None);
+    let r = MetricsRegistry::new();
+    r.counter("c").add(5);
+    w.observe_at(100, &r.snapshot());
+    assert_eq!(w.delta_counter("c"), None, "one sample has no baseline");
+    assert_eq!(w.rate_per_sec("c"), None);
+}

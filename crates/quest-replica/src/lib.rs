@@ -101,6 +101,15 @@ pub mod names {
     /// Queries the router served from the primary because no registered
     /// replica could satisfy the consistency bound (counter).
     pub const ROUTER_FALLBACK: &str = "quest_router_fallback_total";
+    /// Records committed through [`Primary::commit`](crate::Primary::commit)
+    /// — the logical write volume, the denominator of the replication
+    /// amplification ratio (counter; rejected-but-logged records count, an
+    /// unacknowledged poisoned append does not).
+    pub const RECORDS_COMMITTED: &str = "quest_replica_records_committed_total";
+    /// Records replicas consumed from the log and applied (or re-rejected)
+    /// — the physical replication volume: ≈ `records_committed × replicas`
+    /// (counter).
+    pub const RECORDS_APPLIED: &str = "quest_replica_records_applied_total";
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use quest_core::{FullAccessWrapper, Quest, QuestConfig, QuestError, SearchOutcome};
+use quest_obs::{TraceCtx, TraceKind};
 use quest_serve::{ApplyReport, CacheConfig, CachedEngine};
 use quest_wal::{recover, write_snapshot, ChangeRecord, SyncPolicy, WalWriter};
 use relstore::Database;
@@ -70,6 +71,19 @@ pub struct Primary {
     /// Published with `Release` after the apply, so a reader that observes
     /// LSN `L` here can rely on the primary serving data at or past `L`.
     last_lsn: AtomicU64,
+    /// Acknowledged records, in the global registry — the logical write
+    /// volume the replication amplification ratio divides by.
+    records_committed: quest_obs::Counter,
+}
+
+/// The committed-records counter, registered with its `# HELP` line.
+fn committed_counter() -> quest_obs::Counter {
+    let registry = quest_obs::global();
+    registry.describe(
+        crate::names::RECORDS_COMMITTED,
+        "Records committed through Primary::commit.",
+    );
+    registry.counter(crate::names::RECORDS_COMMITTED)
 }
 
 impl Primary {
@@ -105,6 +119,7 @@ impl Primary {
             engine: Arc::new(CachedEngine::with_caches(engine, options.caches)),
             wal: Mutex::new(wal),
             last_lsn: AtomicU64::new(0),
+            records_committed: committed_counter(),
         };
         primary.publish_snapshot()?;
         Ok(primary)
@@ -140,6 +155,7 @@ impl Primary {
             engine: Arc::new(CachedEngine::with_caches(engine, options.caches)),
             wal: Mutex::new(wal),
             last_lsn: AtomicU64::new(last_lsn),
+            records_committed: committed_counter(),
         })
     }
 
@@ -170,8 +186,18 @@ impl Primary {
                 report: ApplyReport::default(),
             });
         }
+        // One trace context for the whole commit: the WAL append/fsync and
+        // the engine apply below record their spans under it, so the Chrome
+        // export can reassemble this commit's full write-path timeline.
+        let collector = quest_obs::spans();
+        let ctx = if collector.is_enabled() {
+            collector.ctx(TraceKind::Commit)
+        } else {
+            TraceCtx::detached(TraceKind::Commit)
+        };
+        let commit_started = collector.start();
         let first_lsn = wal.next_seq();
-        let (first_lsn, last_lsn) = match wal.append_batch(batch) {
+        let (first_lsn, last_lsn) = match wal.append_batch_in(batch, ctx) {
             Ok(range) => range,
             Err(e) => {
                 // A *post-write* fsync failure (writer poisoned, next_seq
@@ -184,17 +210,27 @@ impl Primary {
                 // logging. Any other failure rolled the log back (or wrote
                 // nothing), so there is nothing to reconcile.
                 if wal.poisoned() && wal.next_seq() == first_lsn + batch.len() as u64 {
-                    let _ = self.engine.apply(batch);
+                    let _ = self.engine.apply_in(batch, ctx);
                     self.last_lsn.store(wal.next_seq() - 1, Ordering::Release);
                 }
                 return Err(e.into());
             }
         };
-        let report = self.engine.apply(batch)?;
+        let report = self.engine.apply_in(batch, ctx)?;
+        self.records_committed.add(batch.len() as u64);
         // Publish only after the apply: a client that reads LSN L off a
         // receipt (or off `last_lsn`) may immediately demand data at L
         // from this very primary.
         self.last_lsn.store(last_lsn, Ordering::Release);
+        collector.record_with(
+            ctx,
+            "primary_commit",
+            commit_started,
+            [
+                Some(("records", batch.len() as u64)),
+                Some(("last_lsn", last_lsn)),
+            ],
+        );
         Ok(CommitReceipt {
             first_lsn,
             last_lsn,

@@ -86,8 +86,13 @@ pub struct Replica {
     /// Apply-batch latency in the global registry.
     apply_ns: quest_obs::Histogram,
     /// This replica's lag gauge (`quest_replica_lag_lsns{replica=name}`),
-    /// refreshed by every [`Replica::lag`] computation.
-    lag_lsns: quest_obs::Gauge,
+    /// refreshed by every [`Replica::lag`] computation — windowed, so the
+    /// `_min`/`_max` siblings expose the extremes lag reached between
+    /// topology reports.
+    lag_lsns: quest_obs::WindowedGauge,
+    /// Records this replica consumed from the log and applied (or
+    /// re-rejected) — the replication-amplification numerator.
+    records_applied: quest_obs::Counter,
 }
 
 impl Replica {
@@ -142,13 +147,23 @@ impl Replica {
         let engine = Arc::new(CachedEngine::with_caches(engine, caches));
         engine.set_watermark(lsn);
         let registry = quest_obs::global();
+        registry.describe(
+            crate::names::APPLY,
+            "Wall time of one non-empty apply batch on a replica, nanoseconds.",
+        );
+        registry.describe(crate::names::LAG, "Records behind the primary.");
+        registry.describe(
+            crate::names::RECORDS_APPLIED,
+            "Records replicas consumed from the log and applied.",
+        );
         Replica {
             engine,
             reader: Mutex::new(reader),
             broken: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
             apply_ns: registry.histogram(crate::names::APPLY),
-            lag_lsns: registry.gauge_with(crate::names::LAG, &[("replica", name)]),
+            lag_lsns: registry.windowed_gauge_with(crate::names::LAG, &[("replica", name)]),
+            records_applied: registry.counter(crate::names::RECORDS_APPLIED),
             name: name.to_string(),
         }
     }
@@ -198,7 +213,25 @@ impl Replica {
                 self.name
             )));
         }
+        // One trace context per sync round: the tail and apply spans — and
+        // the engine's own apply spans underneath — share it.
+        let collector = quest_obs::spans();
+        let ctx = if collector.is_enabled() {
+            collector.ctx(quest_obs::TraceKind::Replica)
+        } else {
+            quest_obs::TraceCtx::detached(quest_obs::TraceKind::Replica)
+        };
+        let tail_started = collector.start();
         let poll = reader.poll()?;
+        collector.record_with(
+            ctx,
+            "replica_tail",
+            tail_started,
+            [
+                Some(("records", poll.records.len() as u64)),
+                Some(("pending", poll.pending)),
+            ],
+        );
         let Some(&(last_lsn, _)) = poll.records.last() else {
             return Ok(SyncReport {
                 applied: 0,
@@ -212,16 +245,27 @@ impl Replica {
         // path `CachedEngine::apply` documents as unreachable for
         // ChangeRecords) would lose them, so it marks the replica broken —
         // loudly unconvergeable — instead of silently serving behind.
+        let replica_apply_started = collector.start();
         let apply_start = std::time::Instant::now();
-        let report = self.engine.apply(&changes).inspect_err(|_| {
+        let report = self.engine.apply_in(&changes, ctx).inspect_err(|_| {
             self.broken.store(true, Ordering::Release);
         })?;
         self.apply_ns
             .record(quest_obs::duration_ns(apply_start.elapsed()));
+        self.records_applied.add(changes.len() as u64);
         // Publish after the apply so a router that observes LSN L here can
         // immediately serve data at L. Rejected records advance the LSN
         // too: the LSN is a log position, not a success count.
         self.engine.set_watermark(last_lsn);
+        collector.record_with(
+            ctx,
+            "replica_apply",
+            replica_apply_started,
+            [
+                Some(("records", changes.len() as u64)),
+                Some(("lsn", last_lsn)),
+            ],
+        );
         Ok(SyncReport {
             applied: report.applied,
             rejected: report.rejected.len(),

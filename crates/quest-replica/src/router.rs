@@ -90,6 +90,34 @@ pub struct Topology {
     pub replicas: Vec<ReplicaStatus>,
 }
 
+impl Topology {
+    /// Grade this topology against an SLO: the worst lag among healthy
+    /// replicas is the `lag` observation, and every broken replica is a
+    /// hard [`Critical`](quest_obs::HealthStatus::Critical) regardless of
+    /// bounds. Strictly observational — routing never consults the grade
+    /// (`tests/replica.rs` serves identically with or without one).
+    pub fn health(&self, spec: &quest_obs::SloSpec) -> quest_obs::HealthReport {
+        let lag = self
+            .replicas
+            .iter()
+            .filter(|r| r.healthy)
+            .map(|r| r.lag)
+            .max();
+        let mut report = spec.evaluate(&quest_obs::HealthInputs {
+            p99_us: None,
+            error_rate: None,
+            lag,
+        });
+        for broken in self.replicas.iter().filter(|r| !r.healthy) {
+            report.push(
+                quest_obs::HealthStatus::Critical,
+                format!("replica {} is broken; re-bootstrap it", broken.name),
+            );
+        }
+        report
+    }
+}
+
 impl std::fmt::Display for Topology {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "primary @ lsn {}", self.primary_lsn)?;
@@ -374,6 +402,35 @@ mod tests {
             .unwrap_or(0);
         assert!(unchanged >= before, "counter is monotonic");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn topology_health_grades_lag_and_brokenness() {
+        use quest_obs::{HealthStatus, SloSpec};
+
+        let set = set_with(2, RoutingPolicy::RoundRobin, "router-health");
+        let spec = SloSpec {
+            max_lag: Some(1),
+            ..SloSpec::default()
+        };
+        // No commits: lag 0, within bound.
+        assert_eq!(
+            set.topology().health(&spec).status,
+            HealthStatus::Healthy,
+            "in-sync topology is healthy"
+        );
+        // Two records behind, bound 1, critical factor 2.0: 2 >= 1 × 2.
+        set.primary().commit(&movie_batch(1)).unwrap();
+        let report = set.topology().health(&spec);
+        assert_eq!(report.status, HealthStatus::Critical, "{report}");
+        assert!(report.reasons[0].contains("lag"), "{report}");
+        // Caught up: healthy again. An unbounded spec never violates.
+        set.sync_all().unwrap();
+        assert_eq!(set.topology().health(&spec).status, HealthStatus::Healthy);
+        assert_eq!(
+            set.topology().health(&SloSpec::default()).status,
+            HealthStatus::Healthy
+        );
     }
 
     #[test]

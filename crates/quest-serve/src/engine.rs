@@ -44,12 +44,15 @@ use quest_core::{
     Configuration, Explanation, ForwardResult, FullAccessWrapper, KeywordQuery, Quest, QuestError,
     SearchOutcome, SearchScratch, SourceWrapper,
 };
-use quest_obs::{duration_us, MetricsRegistry, QueryTrace, TemplateOutcome, TraceConfig};
+use quest_obs::{
+    duration_us, HealthInputs, MetricsRegistry, QueryTrace, SloSpec, TemplateOutcome, TraceConfig,
+    TraceCtx, TraceKind, WindowAggregator,
+};
 use quest_wal::ChangeRecord;
 
 use crate::cache::LruCache;
 use crate::error::ServeError;
-use crate::stats::{CacheStats, ServeObs, ServeStats};
+use crate::stats::{names, CacheStats, ServeObs, ServeStats};
 
 /// Cache-tuning knobs of the serving layer.
 #[derive(Debug, Clone)]
@@ -110,6 +113,17 @@ pub struct CachedEngine<W: SourceWrapper> {
     forward: Mutex<LruCache<ForwardKey, Arc<ForwardResult>>>,
     backward: Mutex<LruCache<BackwardKey, Arc<Vec<Interpretation>>>>,
     obs: ServeObs,
+    /// Optional SLO monitor ([`CachedEngine::set_slo`]): the declarative
+    /// spec plus the rolling window [`CachedEngine::stats`] feeds. Strictly
+    /// observational — grading never feeds back into serving.
+    slo: Mutex<Option<SloMonitor>>,
+}
+
+/// See [`CachedEngine::set_slo`].
+#[derive(Debug)]
+struct SloMonitor {
+    spec: SloSpec,
+    window: WindowAggregator,
 }
 
 /// Per-search span accounting filled by `search_inner` and turned into a
@@ -169,6 +183,7 @@ impl<W: SourceWrapper> CachedEngine<W> {
             forward: Mutex::new(LruCache::new(caches.forward_capacity)),
             backward: Mutex::new(LruCache::new(caches.backward_capacity)),
             obs: ServeObs::new(registry, trace),
+            slo: Mutex::new(None),
         }
     }
 
@@ -213,6 +228,20 @@ impl<W: SourceWrapper> CachedEngine<W> {
     /// contract; the engine only stores and reports it.
     pub fn set_watermark(&self, watermark: u64) {
         self.watermark.store(watermark, Ordering::Release);
+    }
+
+    /// Install (or replace) an SLO health monitor. Every subsequent
+    /// [`CachedEngine::stats`] feeds the monitor's rolling window
+    /// (`QUEST_OBS_WINDOW_SECS` wide) with the registry snapshot and grades
+    /// the windowed p99 and error rate into [`ServeStats::health`].
+    /// Monitoring is strictly observational: served results are
+    /// byte-identical with a spec installed or not (pinned by
+    /// `tests/serve.rs`).
+    pub fn set_slo(&self, spec: SloSpec) {
+        *self.slo.lock().unwrap_or_else(PoisonError::into_inner) = Some(SloMonitor {
+            spec,
+            window: WindowAggregator::from_env(),
+        });
     }
 
     fn forward_cache(&self) -> MutexGuard<'_, LruCache<ForwardKey, Arc<ForwardResult>>> {
@@ -287,8 +316,14 @@ impl<W: SourceWrapper> CachedEngine<W> {
         // Drop any scatter deposits a panicking predecessor left on this
         // thread, so they cannot be attributed to this query.
         quest_obs::scatter::reset();
+        let collector = quest_obs::spans();
+        let ctx = if collector.is_enabled() {
+            collector.ctx(TraceKind::Query)
+        } else {
+            TraceCtx::detached(TraceKind::Query)
+        };
         let mut spans = SearchSpans::default();
-        let result = self.search_inner(query, scratch, &mut spans);
+        let result = self.search_inner(query, scratch, &mut spans, ctx);
         let elapsed = t0.elapsed();
         self.obs.record(elapsed, result.is_ok());
         let shard_scatter_us = quest_obs::scatter::take();
@@ -307,6 +342,7 @@ impl<W: SourceWrapper> CachedEngine<W> {
             template_memo: TemplateOutcome::from_delta(spans.template_hits, spans.template_misses),
             shard_scatter_us,
         });
+        collector.record_with(ctx, "query", Some(t0), [Some(("ok", ok as u64)), None]);
         result
     }
 
@@ -315,6 +351,7 @@ impl<W: SourceWrapper> CachedEngine<W> {
         query: &KeywordQuery,
         scratch: &mut SearchScratch,
         spans: &mut SearchSpans,
+        ctx: TraceCtx,
     ) -> Result<SearchOutcome, QuestError> {
         // Memoized Steiner interpretations are valid for one engine state
         // only; the engine read lock below pins that state for the whole
@@ -357,6 +394,12 @@ impl<W: SourceWrapper> CachedEngine<W> {
             }
         };
         let forward_wall = t0.elapsed();
+        quest_obs::spans().record_with(
+            ctx,
+            "query_forward",
+            Some(t0),
+            [Some(("cache_hit", spans.forward_cache_hit as u64)), None],
+        );
 
         // The template memo's counters before/after bracket this query's
         // Steiner work; shared counters make the delta best-effort under
@@ -383,6 +426,15 @@ impl<W: SourceWrapper> CachedEngine<W> {
             interpretations.push(interps);
         }
         let backward_time = t0.elapsed();
+        quest_obs::spans().record_with(
+            ctx,
+            "query_backward",
+            Some(t0),
+            [
+                Some(("cache_hits", u64::from(spans.backward_hits))),
+                Some(("cache_misses", u64::from(spans.backward_misses))),
+            ],
+        );
         let templates_after = engine.backward().template_stats();
         spans.template_hits = templates_after.hits.saturating_sub(templates_before.hits);
         spans.template_misses = templates_after
@@ -391,6 +443,7 @@ impl<W: SourceWrapper> CachedEngine<W> {
         let t0 = Instant::now();
         let outcome = engine.assemble_with(query, forward, interpretations, backward_time, scratch);
         let assemble_wall = t0.elapsed();
+        quest_obs::spans().record(ctx, "query_assemble", Some(t0));
         spans.forward = forward_wall;
         spans.backward = backward_time;
         spans.assemble = assemble_wall;
@@ -502,6 +555,24 @@ impl<W: SourceWrapper> CachedEngine<W> {
                 .set(cache.purge_scans as i64);
         }
         stats.metrics = registry.snapshot();
+        if let Some(monitor) = self
+            .slo
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+        {
+            monitor.window.observe(&stats.metrics);
+            let rates = monitor.window.query_rates(names::QUERIES, names::ERRORS);
+            let inputs = HealthInputs {
+                p99_us: monitor
+                    .window
+                    .percentile(names::LATENCY, 99.0)
+                    .map(|ns| ns / 1_000),
+                error_rate: rates.map(|r| r.error_rate),
+                lag: None,
+            };
+            stats.health = Some(monitor.spec.evaluate(&inputs));
+        }
         stats
     }
 }
@@ -586,10 +657,23 @@ impl<W: SourceWrapper + MutableSource> CachedEngine<W> {
     /// through one writer (append + `apply` under one serialization
     /// point), as the example and tests do.
     pub fn apply(&self, changes: &[ChangeRecord]) -> Result<ApplyReport, ServeError> {
+        self.apply_in(changes, TraceCtx::detached(TraceKind::Commit))
+    }
+
+    /// [`CachedEngine::apply`] under an explicit trace context, so the
+    /// `engine_apply` and `cache_epoch_bump` spans join the caller's commit
+    /// trace (`Primary::commit` in the `quest-replica` crate threads its
+    /// context through here).
+    pub fn apply_in(
+        &self,
+        changes: &[ChangeRecord],
+        ctx: TraceCtx,
+    ) -> Result<ApplyReport, ServeError> {
         let mut report = ApplyReport::default();
         if changes.is_empty() {
             return Ok(report);
         }
+        let apply_started = quest_obs::spans().start();
         let mut engine = self.engine.write().unwrap_or_else(PoisonError::into_inner);
         engine.source_mut().apply_changes(changes, &mut report);
         if report.applied > 0 {
@@ -601,13 +685,29 @@ impl<W: SourceWrapper + MutableSource> CachedEngine<W> {
             // alter the catalog) can never leave stale cache entries
             // serving over mutated data. An all-rejected batch changed
             // nothing, so it pays for none of this.
+            let bump_started = quest_obs::spans().start();
             self.data_epoch.fetch_add(1, Ordering::AcqRel);
             let resync = engine.resync();
             let (data, feedback) = (self.data_epoch(), engine.feedback_epoch());
             drop(engine);
             self.purge_stale(data, feedback);
+            quest_obs::spans().record_with(
+                ctx,
+                "cache_epoch_bump",
+                bump_started,
+                [Some(("data_epoch", data)), None],
+            );
             resync.map_err(ServeError::Engine)?;
         }
+        quest_obs::spans().record_with(
+            ctx,
+            "engine_apply",
+            apply_started,
+            [
+                Some(("applied", report.applied as u64)),
+                Some(("rejected", report.rejected.len() as u64)),
+            ],
+        );
         Ok(report)
     }
 }

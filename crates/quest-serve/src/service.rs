@@ -13,7 +13,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 use quest_core::{QuestError, SearchOutcome, SearchScratch, SourceWrapper};
-use quest_obs::Gauge;
+use quest_obs::WindowedGauge;
 
 use crate::engine::CachedEngine;
 use crate::error::ServeError;
@@ -59,8 +59,9 @@ pub struct QueryService<W: SourceWrapper + Send + Sync + 'static> {
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     /// Jobs submitted but not yet picked up by a worker, mirrored into the
-    /// engine registry's `quest_serve_queue_depth` gauge.
-    queue_depth: Gauge,
+    /// engine registry's `quest_serve_queue_depth` gauge — windowed, so a
+    /// scrape also sees the `_min`/`_max` the depth reached between scrapes.
+    queue_depth: WindowedGauge,
 }
 
 impl<W: SourceWrapper + Send + Sync + 'static> QueryService<W> {
@@ -75,7 +76,7 @@ impl<W: SourceWrapper + Send + Sync + 'static> QueryService<W> {
     pub fn over(shared: Arc<CachedEngine<W>>, workers: usize) -> QueryService<W> {
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
-        let queue_depth = shared.metrics().gauge(names::QUEUE_DEPTH);
+        let queue_depth = shared.metrics().windowed_gauge(names::QUEUE_DEPTH);
         let workers = (1..=workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
@@ -167,9 +168,13 @@ impl<W: SourceWrapper + Send + Sync + 'static> QueryService<W> {
         self.workers.len()
     }
 
-    /// A snapshot of the shared engine's serving counters.
+    /// A snapshot of the shared engine's serving counters. Queue-depth
+    /// window extremes collapse to the current depth afterwards, so each
+    /// scrape interval reports its own min/max.
     pub fn stats(&self) -> ServeStats {
-        self.shared.stats()
+        let stats = self.shared.stats();
+        self.queue_depth.reset_window();
+        stats
     }
 
     /// Close the queue, finish queued jobs, join all workers, and return the

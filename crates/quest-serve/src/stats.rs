@@ -17,8 +17,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use quest_obs::{
-    duration_us, Counter, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot, QueryTrace,
-    TraceConfig, TraceSink,
+    duration_us, Counter, HealthReport, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot,
+    QueryTrace, TraceConfig, TraceSink,
 };
 
 pub use quest_core::TemplateCacheStats;
@@ -114,6 +114,10 @@ pub struct ServeStats {
     /// the typed fields above. `Display` renders *this*, so nothing can be
     /// registered yet dropped from the rendering.
     pub metrics: MetricsSnapshot,
+    /// SLO grade of the window ending at this snapshot — `None` until a
+    /// spec is installed via `CachedEngine::set_slo`. Strictly
+    /// observational: the grade never feeds back into serving.
+    pub health: Option<HealthReport>,
 }
 
 impl ServeStats {
@@ -209,6 +213,9 @@ impl fmt::Display for ServeStats {
                 )?,
             }
         }
+        if let Some(health) = &self.health {
+            write!(f, "\nhealth: {health}")?;
+        }
         Ok(())
     }
 }
@@ -286,6 +293,14 @@ fn nanos(d: Duration) -> u64 {
 
 impl ServeObs {
     pub fn new(registry: Arc<MetricsRegistry>, trace: TraceConfig) -> ServeObs {
+        registry.describe(names::QUERIES, "Total searches served.");
+        registry.describe(names::ERRORS, "Searches that returned an error.");
+        registry.describe(names::SLOW_QUERIES, "Slow-query classifications.");
+        registry.describe(names::LATENCY, "Per-search wall time, nanoseconds.");
+        registry.describe(
+            names::QUEUE_DEPTH,
+            "Jobs submitted but not yet claimed by a worker.",
+        );
         ServeObs {
             queries: registry.counter(names::QUERIES),
             errors: registry.counter(names::ERRORS),

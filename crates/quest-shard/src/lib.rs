@@ -65,6 +65,14 @@ pub mod names {
     /// Fan-out imbalance of the latest scatter: how far the busiest shard
     /// ran over the mean, in whole percent (gauge; 0 = perfectly even).
     pub const FANOUT_IMBALANCE: &str = "quest_shard_fanout_imbalance_pct";
+    /// Per-shard probes a keyword scatter issued — every `(attribute,
+    /// shard)` pair fanned out to, whether or not it matched (counter; the
+    /// numerator of the scatter read-amplification ratio).
+    pub const SCATTER_PROBES: &str = "quest_shard_scatter_probes_total";
+    /// Scatter results the gather actually used: attribute slots whose
+    /// merged score came back nonzero (counter; the denominator of the
+    /// scatter read-amplification ratio).
+    pub const SCATTER_USED: &str = "quest_shard_scatter_results_used_total";
     /// Searches or commits refused because a shard was fenced (counter).
     pub const DOWN: &str = "quest_shard_down_total";
     /// Shards fenced — by a failed commit, a divergent copy, or an

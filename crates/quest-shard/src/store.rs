@@ -103,6 +103,32 @@ fn record_scatter(sums: &[u64]) {
     }
 }
 
+/// Count one scatter's read amplification: probes issued (every
+/// `(attribute, shard)` pair the fan-out touched) versus results the
+/// gather used (attribute slots whose merged score came back nonzero —
+/// a zero slot contributes nothing to emission downstream).
+fn record_scatter_amplification(probes: usize, scores: &[f64]) {
+    let registry = quest_obs::global();
+    static DESCRIBE: std::sync::Once = std::sync::Once::new();
+    DESCRIBE.call_once(|| {
+        registry.describe(
+            crate::names::SCATTER_PROBES,
+            "Per-shard probes issued by keyword scatters (attributes x shards).",
+        );
+        registry.describe(
+            crate::names::SCATTER_USED,
+            "Scatter results the gather used (nonzero merged attribute scores).",
+        );
+    });
+    registry
+        .counter(crate::names::SCATTER_PROBES)
+        .add(probes as u64);
+    let used = scores.iter().filter(|s| **s != 0.0).count();
+    registry
+        .counter(crate::names::SCATTER_USED)
+        .add(used as u64);
+}
+
 /// A hash-partitioned database: one full catalog, N FK-less shards, merged
 /// statistics that are bit-identical to the unsharded computation.
 #[derive(Debug)]
@@ -751,6 +777,7 @@ impl ShardedStore {
             }
         }
         record_scatter(&sums);
+        record_scatter_amplification(scores.len() * shard_count, &scores);
         scores
     }
 

@@ -58,6 +58,42 @@ impl ShardTopology {
     pub fn is_healthy(&self) -> bool {
         self.broken.iter().all(Option::is_none)
     }
+
+    /// Grade the set against `spec`. The lag observation is the commit
+    /// **skew** between the most- and least-advanced serving shards (shard
+    /// LSN sequences are independent, so skew — not absolute position — is
+    /// the meaningful staleness signal; fenced shards are excluded because
+    /// their skew grows without bound). Every fenced shard additionally
+    /// forces a [`Critical`](quest_obs::HealthStatus::Critical) reason of
+    /// its own. Purely observational: grading health never changes fencing
+    /// or routing.
+    pub fn health(&self, spec: &quest_obs::SloSpec) -> quest_obs::HealthReport {
+        let serving: Vec<u64> = self
+            .lsns
+            .iter()
+            .zip(&self.broken)
+            .filter(|(_, state)| state.is_none())
+            .map(|(&lsn, _)| lsn)
+            .collect();
+        let skew = match (serving.iter().max(), serving.iter().min()) {
+            (Some(max), Some(min)) => Some(max - min),
+            _ => None,
+        };
+        let mut report = spec.evaluate(&quest_obs::HealthInputs {
+            p99_us: None,
+            error_rate: None,
+            lag: skew,
+        });
+        for (shard, state) in self.broken.iter().enumerate() {
+            if let Some(reason) = state {
+                report.push(
+                    quest_obs::HealthStatus::Critical,
+                    format!("shard {shard} fenced: {reason}"),
+                );
+            }
+        }
+        report
+    }
 }
 
 /// What one [`ShardedPrimary::commit`] did.
@@ -333,5 +369,61 @@ impl ShardedPrimary {
     /// The gateway serving engine (searches, stats).
     pub fn gateway(&self) -> &ScatterGather {
         &self.gateway
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ShardTopology;
+    use quest_obs::{HealthStatus, SloSpec};
+
+    #[test]
+    fn topology_health_grades_skew_and_fences() {
+        let spec = SloSpec {
+            max_lag: Some(2),
+            ..SloSpec::default()
+        };
+        let mut topo = ShardTopology {
+            shard_count: 3,
+            lsns: vec![10, 7, 10],
+            broken: vec![None, None, None],
+        };
+        // Skew 3 exceeds the bound of 2 but not 2× it: degraded.
+        let report = topo.health(&spec);
+        assert_eq!(report.status, HealthStatus::Degraded);
+        assert!(
+            report.reasons.iter().any(|r| r.contains("lag")),
+            "{report:?}"
+        );
+
+        // Caught up: healthy.
+        topo.lsns = vec![10, 10, 10];
+        assert_eq!(topo.health(&spec).status, HealthStatus::Healthy);
+
+        // Skew at 2× the bound: critical.
+        topo.lsns = vec![10, 6, 10];
+        assert_eq!(topo.health(&spec).status, HealthStatus::Critical);
+
+        // A fenced shard is critical regardless of skew, with its own
+        // reason, and drops out of the skew observation.
+        topo.lsns = vec![10, 0, 10];
+        topo.broken[1] = Some("disk gone".into());
+        let report = topo.health(&spec);
+        assert_eq!(report.status, HealthStatus::Critical);
+        assert!(
+            report.reasons.iter().any(|r| r.contains("shard 1 fenced")),
+            "{report:?}"
+        );
+        assert!(
+            !report.reasons.iter().any(|r| r.contains("lag")),
+            "fenced shard must not feed the skew observation: {report:?}"
+        );
+
+        // An empty spec never violates: grading is opt-in.
+        topo.broken[1] = None;
+        assert_eq!(
+            topo.health(&SloSpec::default()).status,
+            HealthStatus::Healthy
+        );
     }
 }

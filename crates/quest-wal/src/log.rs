@@ -22,6 +22,7 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::time::Instant;
 
+use quest_obs::{TraceCtx, TraceKind};
 use relstore::{Catalog, Database};
 
 use crate::codec::{fnv64, schema_fingerprint};
@@ -49,6 +50,13 @@ pub mod names {
     pub const POISONED: &str = "quest_wal_poisoned_total";
     /// Records re-rejected during replay (counter).
     pub const REPLAY_REJECTED: &str = "quest_wal_replay_rejected_total";
+    /// Logical payload bytes appended — encoded record bodies only, before
+    /// framing (counter). `PHYSICAL_BYTES / LOGICAL_BYTES` is the log's
+    /// write amplification.
+    pub const LOGICAL_BYTES: &str = "quest_wal_logical_bytes_total";
+    /// Physical bytes appended — full framed lines including sequence
+    /// numbers and checksums (counter).
+    pub const PHYSICAL_BYTES: &str = "quest_wal_physical_bytes_total";
 }
 
 /// Registry handles for the writer's hot paths, resolved once at open so an
@@ -58,15 +66,29 @@ struct WalObs {
     append: quest_obs::Histogram,
     fsync: quest_obs::Histogram,
     poisoned: quest_obs::Counter,
+    logical_bytes: quest_obs::Counter,
+    physical_bytes: quest_obs::Counter,
 }
 
 impl WalObs {
     fn new() -> WalObs {
         let registry = quest_obs::global();
+        registry.describe(names::APPEND, "Wall time of one WAL append, ns.");
+        registry.describe(names::FSYNC, "Wall time of one WAL fsync barrier, ns.");
+        registry.describe(
+            names::LOGICAL_BYTES,
+            "Logical payload bytes appended (record bodies, pre-framing).",
+        );
+        registry.describe(
+            names::PHYSICAL_BYTES,
+            "Physical bytes appended (framed lines with seq and checksum).",
+        );
         WalObs {
             append: registry.histogram(names::APPEND),
             fsync: registry.histogram(names::FSYNC),
             poisoned: registry.counter(names::POISONED),
+            logical_bytes: registry.counter(names::LOGICAL_BYTES),
+            physical_bytes: registry.counter(names::PHYSICAL_BYTES),
         }
     }
 }
@@ -246,6 +268,18 @@ impl WalWriter {
     /// normal torn-tail story, and recovery/replicas replay exactly what
     /// the log holds.)
     pub fn append_batch(&mut self, records: &[ChangeRecord]) -> Result<(u64, u64), WalError> {
+        self.append_batch_in(records, TraceCtx::detached(TraceKind::Commit))
+    }
+
+    /// [`WalWriter::append_batch`] under an explicit trace context: the
+    /// `wal_append` (and any policy-driven `wal_fsync`) spans carry the
+    /// caller's commit id, so the whole `Primary::commit` chain reassembles
+    /// into one tree in the Chrome trace export.
+    pub fn append_batch_in(
+        &mut self,
+        records: &[ChangeRecord],
+        ctx: TraceCtx,
+    ) -> Result<(u64, u64), WalError> {
         if self.poisoned {
             return Err(WalError::Io(std::io::Error::other(
                 "writer poisoned by an earlier failed append; reopen the log",
@@ -255,11 +289,14 @@ impl WalWriter {
         if records.is_empty() {
             return Ok((first, first - 1));
         }
+        let span = quest_obs::spans().start();
         let start = Instant::now();
         let mut buf = String::new();
+        let mut logical = 0u64;
         for (i, record) in records.iter().enumerate() {
             let seq = first + i as u64;
             let body = record.encode();
+            logical += body.len() as u64;
             buf.push_str(&format!("{seq}\t{:016x}\t{body}\n", fnv64(body.as_bytes())));
         }
         if let Err(e) = self.file.write_all(buf.as_bytes()) {
@@ -271,11 +308,11 @@ impl WalWriter {
         self.len += buf.len() as u64;
         self.next_seq += records.len() as u64;
         match self.policy {
-            SyncPolicy::Always => self.sync_or_poison()?,
+            SyncPolicy::Always => self.sync_or_poison(ctx)?,
             SyncPolicy::EveryN(n) => {
                 self.unsynced += records.len() as u32;
                 if n > 0 && self.unsynced >= n {
-                    self.sync_or_poison()?;
+                    self.sync_or_poison(ctx)?;
                 }
             }
             SyncPolicy::Never => {}
@@ -283,6 +320,17 @@ impl WalWriter {
         self.obs
             .append
             .record(quest_obs::duration_ns(start.elapsed()));
+        self.obs.logical_bytes.add(logical);
+        self.obs.physical_bytes.add(buf.len() as u64);
+        quest_obs::spans().record_with(
+            ctx,
+            "wal_append",
+            span,
+            [
+                Some(("records", records.len() as u64)),
+                Some(("bytes", buf.len() as u64)),
+            ],
+        );
         Ok((first, self.next_seq - 1))
     }
 
@@ -298,8 +346,8 @@ impl WalWriter {
     /// poisons itself rather than hand back an error the caller would read
     /// as "batch not written" while tailing readers may already be applying
     /// it. Recovery: reopen the log; the scan re-establishes the truth.
-    fn sync_or_poison(&mut self) -> Result<(), WalError> {
-        if let Err(e) = self.sync() {
+    fn sync_or_poison(&mut self, ctx: TraceCtx) -> Result<(), WalError> {
+        if let Err(e) = self.sync_in(ctx) {
             self.poison();
             return Err(e);
         }
@@ -309,12 +357,20 @@ impl WalWriter {
     /// fsync the log file (durability point). Resets the
     /// [`SyncPolicy::EveryN`] append counter.
     pub fn sync(&mut self) -> Result<(), WalError> {
+        self.sync_in(TraceCtx::detached(TraceKind::Commit))
+    }
+
+    /// [`WalWriter::sync`] under an explicit trace context (the
+    /// `wal_fsync` span carries the caller's commit id).
+    pub fn sync_in(&mut self, ctx: TraceCtx) -> Result<(), WalError> {
+        let span = quest_obs::spans().start();
         let start = Instant::now();
         self.file.sync_data()?;
         self.obs
             .fsync
             .record(quest_obs::duration_ns(start.elapsed()));
         self.unsynced = 0;
+        quest_obs::spans().record(ctx, "wal_fsync", span);
         Ok(())
     }
 }

@@ -40,6 +40,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The service: same engine behind the thread pool and stage caches.
     let service = QueryService::new(CachedEngine::new(engine), workers);
+
+    // SLO monitoring: generous bounds a healthy demo never violates. The
+    // first stats() call seeds the aggregation window so the final report
+    // grades the whole serving run's deltas.
+    service.engine().set_slo(quest::obs::SloSpec {
+        max_p99_us: Some(5_000_000),
+        max_error_rate: Some(0.5),
+        ..Default::default()
+    });
+    let _ = service.engine().stats();
+
     let t0 = Instant::now();
     let tickets = service.submit_batch(&stream);
     let mut answered = 0usize;
@@ -74,8 +85,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         after.feedback_configs.len()
     );
 
+    let traces = service.engine().traces();
     let stats = service.shutdown();
     println!("\n{stats}");
+    if let Some(health) = &stats.health {
+        println!("slo verdict: {health}");
+    }
 
     // Prometheus exposition: the engine's registry snapshot (riding in the
     // stats) merged with the process-wide registry (WAL/replica/shard
@@ -108,5 +123,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         samples.len(),
         stats.queries
     );
+
+    // Chrome trace export: the write-path/query span ring merged with the
+    // per-query trace ring, loadable in chrome://tracing or Perfetto.
+    // Opt-in via env so the demo stays file-free by default.
+    if let Ok(path) = std::env::var("QUEST_OBS_CHROME_TRACE") {
+        let spans = quest::obs::spans().recent();
+        let json = quest::obs::to_chrome_trace_json(&spans, &traces);
+        std::fs::write(&path, json.as_bytes())?;
+        println!(
+            "chrome trace: {} spans + {} query traces -> {path}",
+            spans.len(),
+            traces.len()
+        );
+    }
     Ok(())
 }

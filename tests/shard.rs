@@ -484,6 +484,68 @@ fn sharded_primary_commits_recover_and_feed_replicas() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[test]
+fn topology_health_is_purely_observational() {
+    let dir = temp_dir("health");
+    let db = imdb_db(42);
+    let queries = imdb_queries();
+    let mut primary =
+        ShardedPrimary::open(&dir, db.clone(), &shard_config(3), QuestConfig::default())
+            .expect("sharded primary opens");
+    for batch in mutation_batches(&db) {
+        primary.commit(&batch).expect("sharded commit");
+    }
+    let search = |p: &ShardedPrimary| {
+        fingerprints(
+            &queries,
+            |raw| {
+                p.search(raw).map_err(|e| match e {
+                    quest::shard::ShardError::Engine(e) => e,
+                    other => panic!("unexpected error {other}"),
+                })
+            },
+            db.catalog(),
+        )
+    };
+    let before = search(&primary);
+
+    // Grade against a zero-tolerance spec: routed batches land unevenly,
+    // so the shards' independent LSN sequences skew and the verdict is
+    // unhealthy — but grading is a pure read. The set still serves, the
+    // answers are still bit-identical, and the fencing state is untouched.
+    let spec = quest::obs::SloSpec {
+        max_lag: Some(0),
+        ..Default::default()
+    };
+    let topo = primary.topology();
+    let report = topo.health(&spec);
+    if topo.lsns.iter().max() != topo.lsns.iter().min() {
+        assert_ne!(report.status, quest::obs::HealthStatus::Healthy);
+        assert!(
+            report.reasons.iter().any(|r| r.contains("lag")),
+            "{report:?}"
+        );
+    }
+    assert!(primary.is_healthy(), "grading must not fence");
+    assert_eq!(search(&primary), before, "grading changed an answer");
+
+    // A permissive spec over the same topology is healthy; fencing a
+    // shard turns any verdict critical with the shard named — and the
+    // report is still just a value, not a state change.
+    assert_eq!(
+        topo.health(&quest::obs::SloSpec::default()).status,
+        quest::obs::HealthStatus::Healthy
+    );
+    primary.fence(1, "drill");
+    let report = primary.topology().health(&quest::obs::SloSpec::default());
+    assert_eq!(report.status, quest::obs::HealthStatus::Critical);
+    assert!(
+        report.reasons.iter().any(|r| r.contains("shard 1 fenced")),
+        "{report:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 // ---------------------------------------------------------------------------
 // 6. Config validation regression: zero shards rejected everywhere.
 // ---------------------------------------------------------------------------

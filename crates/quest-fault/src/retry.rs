@@ -1,0 +1,201 @@
+//! Deterministic retry/backoff policies and injectable clocks.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::splitmix64;
+
+/// A source of time that recovery loops sleep against.
+///
+/// Production code uses [`SystemClock`]; tests use [`ManualClock`] so backoff
+/// never touches wall-clock time.
+pub trait Clock: fmt::Debug + Send + Sync {
+    /// Monotonic time elapsed since the clock was created.
+    fn now(&self) -> Duration;
+    /// Block (or pretend to) for `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// Wall-clock [`Clock`] backed by `std::time::Instant`.
+#[derive(Debug)]
+pub struct SystemClock {
+    start: std::time::Instant,
+}
+
+impl SystemClock {
+    /// A clock starting now.
+    pub fn new() -> SystemClock {
+        SystemClock {
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> SystemClock {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// A virtual [`Clock`] that only moves when told to (or slept against).
+///
+/// `sleep` advances the clock instead of blocking, so retry loops driven by a
+/// `ManualClock` complete instantly while still observing a consistent
+/// timeline (quarantine probes see `now()` past their deadline).
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    micros: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock at time zero.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Advance the clock by `d` without sleeping.
+    pub fn advance(&self, d: Duration) {
+        self.micros
+            .fetch_add(d.as_micros() as u64, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_micros(self.micros.load(Ordering::Relaxed))
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
+
+/// Bounded exponential backoff with deterministic, seeded jitter.
+///
+/// Attempt `a` (0-based) waits `min(cap, base * 2^a)` scaled by a jitter
+/// factor in `[0.75, 1.25]` drawn from `splitmix64(jitter_seed, a)`, then
+/// clamped to `cap` again. The whole schedule is a pure function of the
+/// policy, so two runs with the same seed back off identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts before giving up (0 disables retries).
+    pub retries: u32,
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Seed for the jitter stream; 0 disables jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            retries: 4,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(50),
+            jitter_seed: 0x51EE_D0FF,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Build a policy from the environment, falling back to the defaults:
+    /// `QUEST_FAULT_RETRIES`, `QUEST_FAULT_BACKOFF_BASE_MS`,
+    /// `QUEST_FAULT_BACKOFF_CAP_MS`, `QUEST_FAULT_JITTER_SEED`.
+    pub fn from_env() -> RetryPolicy {
+        fn get<T: std::str::FromStr>(name: &str, default: T) -> T {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        }
+        let defaults = RetryPolicy::default();
+        RetryPolicy {
+            retries: get("QUEST_FAULT_RETRIES", defaults.retries),
+            base: Duration::from_millis(get(
+                "QUEST_FAULT_BACKOFF_BASE_MS",
+                defaults.base.as_millis() as u64,
+            )),
+            cap: Duration::from_millis(get(
+                "QUEST_FAULT_BACKOFF_CAP_MS",
+                defaults.cap.as_millis() as u64,
+            )),
+            jitter_seed: get("QUEST_FAULT_JITTER_SEED", defaults.jitter_seed),
+        }
+    }
+
+    /// The delay before retry attempt `attempt` (0-based). Always ≤ `cap`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX));
+        let exp = exp.min(self.cap);
+        if self.jitter_seed == 0 {
+            return exp;
+        }
+        let mut state = self
+            .jitter_seed
+            .wrapping_add((attempt as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        let draw = splitmix64(&mut state) % 501; // 0..=500
+        let jittered = (exp.as_nanos() as u64).saturating_mul(750 + draw) / 1000;
+        Duration::from_nanos(jittered).min(self.cap)
+    }
+
+    /// The full backoff schedule, one delay per allowed retry.
+    pub fn schedule(&self) -> Vec<Duration> {
+        (0..self.retries).map(|a| self.delay(a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_sleep_advances() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.sleep(Duration::from_millis(5));
+        clock.advance(Duration::from_millis(7));
+        assert_eq!(clock.now(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy {
+            retries: 8,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(20),
+            jitter_seed: 0, // pure exponential
+        };
+        let schedule = policy.schedule();
+        assert_eq!(schedule.len(), 8);
+        assert_eq!(schedule[0], Duration::from_millis(1));
+        assert_eq!(schedule[1], Duration::from_millis(2));
+        assert_eq!(schedule[5], Duration::from_millis(20)); // capped at 32 → 20
+        assert!(schedule.iter().all(|d| *d <= policy.cap));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.schedule(), policy.schedule());
+        let other = RetryPolicy {
+            jitter_seed: policy.jitter_seed + 1,
+            ..policy.clone()
+        };
+        assert_ne!(policy.schedule(), other.schedule());
+    }
+}

@@ -29,6 +29,18 @@ pub enum ReplicaError {
     State(String),
 }
 
+impl ReplicaError {
+    /// Whether a retry can be expected to succeed. Only interrupted-style
+    /// WAL I/O qualifies ([`WalError::is_transient`]); engine rejections,
+    /// consistency misses, and state errors are deterministic.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ReplicaError::Wal(e) => e.is_transient(),
+            _ => false,
+        }
+    }
+}
+
 impl fmt::Display for ReplicaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use quest_core::{FullAccessWrapper, Quest, QuestConfig, QuestError, SearchOutcome};
+use quest_fault::{Clock, RetryPolicy, SystemClock};
 use quest_obs::{TraceCtx, TraceKind};
 use quest_serve::{ApplyReport, CacheConfig, CachedEngine};
 use quest_wal::{recover, write_snapshot, ChangeRecord, SyncPolicy, WalWriter};
@@ -34,13 +35,31 @@ const WAL_FILE: &str = "primary.wal";
 const SNAPSHOT_FILE: &str = "latest.snap";
 
 /// Tuning knobs of a [`Primary`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PrimaryOptions {
     /// Automatic-fsync policy of the log (default: [`SyncPolicy::Never`] —
     /// the caller owns durability points via [`Primary::sync`]).
     pub sync_policy: SyncPolicy,
     /// Cache sizing of the primary's serving engine.
     pub caches: CacheConfig,
+    /// Backoff policy for transient WAL faults inside [`Primary::commit`],
+    /// [`Primary::sync`], and [`Primary::publish_snapshot`] (default: from
+    /// the `QUEST_FAULT_*` environment knobs).
+    pub retry: RetryPolicy,
+    /// Time source the retry loops sleep against (default: wall clock;
+    /// tests inject a [`quest_fault::ManualClock`]).
+    pub clock: Arc<dyn Clock>,
+}
+
+impl Default for PrimaryOptions {
+    fn default() -> PrimaryOptions {
+        PrimaryOptions {
+            sync_policy: SyncPolicy::default(),
+            caches: CacheConfig::default(),
+            retry: RetryPolicy::from_env(),
+            clock: Arc::new(SystemClock::new()),
+        }
+    }
 }
 
 /// What one [`Primary::commit`] did.
@@ -74,6 +93,10 @@ pub struct Primary {
     /// Acknowledged records, in the global registry — the logical write
     /// volume the replication amplification ratio divides by.
     records_committed: quest_obs::Counter,
+    /// Backoff policy for transient WAL faults (see [`PrimaryOptions`]).
+    retry: RetryPolicy,
+    /// Time source the retry loops sleep against.
+    clock: Arc<dyn Clock>,
 }
 
 /// The committed-records counter, registered with its `# HELP` line.
@@ -120,6 +143,8 @@ impl Primary {
             wal: Mutex::new(wal),
             last_lsn: AtomicU64::new(0),
             records_committed: committed_counter(),
+            retry: options.retry,
+            clock: options.clock,
         };
         primary.publish_snapshot()?;
         Ok(primary)
@@ -156,6 +181,8 @@ impl Primary {
             wal: Mutex::new(wal),
             last_lsn: AtomicU64::new(last_lsn),
             records_committed: committed_counter(),
+            retry: options.retry,
+            clock: options.clock,
         })
     }
 
@@ -197,26 +224,71 @@ impl Primary {
         };
         let commit_started = collector.start();
         let first_lsn = wal.next_seq();
-        let (first_lsn, last_lsn) = match wal.append_batch_in(batch, ctx) {
-            Ok(range) => range,
-            Err(e) => {
-                // A *post-write* fsync failure (writer poisoned, next_seq
-                // advanced past the batch) leaves the records permanently
-                // in the log, where replicas may already be tailing them.
-                // Apply them here too so this primary stays consistent
-                // with its own log, then still report the failure: the
-                // commit is NOT acknowledged — its durability is unknown —
-                // but commit failure is not rollback under write-ahead
-                // logging. Any other failure rolled the log back (or wrote
-                // nothing), so there is nothing to reconcile.
-                if wal.poisoned() && wal.next_seq() == first_lsn + batch.len() as u64 {
-                    let _ = self.engine.apply_in(batch, ctx);
-                    self.last_lsn.store(wal.next_seq() - 1, Ordering::Release);
-                }
-                return Err(e.into());
+        // Transient faults are retried in place under the backoff policy:
+        // each turn first reconciles a poisoned writer (heal — see below),
+        // then (re-)appends. `landed_report` is set once the batch is known
+        // to be permanently in the log, and from then on the loop only ever
+        // heals — re-appending would duplicate the records.
+        let mut landed_report: Option<ApplyReport> = None;
+        let mut attempt: u32 = 0;
+        let backoff = |e: ReplicaError, attempt: &mut u32| -> Result<(), ReplicaError> {
+            if e.is_transient() && *attempt < self.retry.retries {
+                quest_fault::count_retry();
+                self.clock.sleep(self.retry.delay(*attempt));
+                *attempt += 1;
+                Ok(())
+            } else {
+                Err(e)
             }
         };
-        let report = self.engine.apply_in(batch, ctx)?;
+        let (first_lsn, last_lsn) = loop {
+            if wal.poisoned() {
+                match wal.heal() {
+                    Ok(()) => {
+                        if landed_report.is_some() {
+                            // The batch landed before a post-write fsync
+                            // poison; the heal's successful fsync IS the
+                            // durability barrier the append was missing, so
+                            // the commit completes without re-appending.
+                            break (first_lsn, first_lsn + batch.len() as u64 - 1);
+                        }
+                        // Healed a rollback-failure poison: the log is back
+                        // at its pre-batch state. Fall through and append.
+                    }
+                    Err(e) => {
+                        backoff(e.into(), &mut attempt)?;
+                        continue;
+                    }
+                }
+            }
+            match wal.append_batch_in(batch, ctx) {
+                Ok(range) => break range,
+                Err(e) => {
+                    // A *post-write* fsync failure (writer poisoned,
+                    // next_seq advanced past the batch) leaves the records
+                    // permanently in the log, where replicas may already be
+                    // tailing them. Apply them here too so this primary
+                    // stays consistent with its own log — whether or not
+                    // the fault turns out to be retryable. Any other
+                    // failure rolled the log back (or wrote nothing), so
+                    // there is nothing to reconcile and the re-append
+                    // reuses the same LSNs.
+                    if wal.poisoned() && wal.next_seq() == first_lsn + batch.len() as u64 {
+                        let report = self.engine.apply_in(batch, ctx)?;
+                        self.last_lsn.store(wal.next_seq() - 1, Ordering::Release);
+                        landed_report = Some(report);
+                    }
+                    // Non-retryable: the commit is NOT acknowledged — for a
+                    // landed batch its durability is unknown — but commit
+                    // failure is not rollback under write-ahead logging.
+                    backoff(e.into(), &mut attempt)?;
+                }
+            }
+        };
+        let report = match landed_report {
+            Some(report) => report,
+            None => self.engine.apply_in(batch, ctx)?,
+        };
         self.records_committed.add(batch.len() as u64);
         // Publish only after the apply: a client that reads LSN L off a
         // receipt (or off `last_lsn`) may immediately demand data at L
@@ -239,12 +311,34 @@ impl Primary {
     }
 
     /// fsync the log: everything committed so far becomes durable.
+    /// Transient faults (and a heal-able poisoned writer) are retried under
+    /// the backoff policy.
     pub fn sync(&self) -> Result<(), ReplicaError> {
-        self.wal
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .sync()?;
-        Ok(())
+        let mut wal = self.wal.lock().unwrap_or_else(PoisonError::into_inner);
+        self.sync_wal(&mut wal)
+    }
+
+    /// Heal-then-fsync with retries, for use under the writer lock.
+    fn sync_wal(&self, wal: &mut WalWriter) -> Result<(), ReplicaError> {
+        let mut attempt: u32 = 0;
+        loop {
+            // heal() truncates any torn tail and fsyncs; on a healthy
+            // writer it is a no-op, so the explicit sync below still runs.
+            let result = if wal.poisoned() {
+                wal.heal()
+            } else {
+                wal.sync()
+            };
+            match result {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < self.retry.retries => {
+                    quest_fault::count_retry();
+                    self.clock.sleep(self.retry.delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// Write a fresh snapshot of the current state at the current LSN
@@ -259,10 +353,23 @@ impl Primary {
         // watermarks: a crash in between would leave a snapshot covering
         // LSNs the log does not hold, and a resumed primary would re-issue
         // them. fsync the log first, whatever the SyncPolicy says.
-        wal.sync()?;
+        self.sync_wal(&mut wal)?;
         let lsn = self.last_lsn();
         let engine = self.engine.engine();
-        write_snapshot(engine.wrapper().database(), &self.snapshot_path(), lsn)?;
+        let mut attempt: u32 = 0;
+        loop {
+            match write_snapshot(engine.wrapper().database(), &self.snapshot_path(), lsn) {
+                Ok(()) => break,
+                Err(e) if e.is_transient() && attempt < self.retry.retries => {
+                    quest_fault::count_retry();
+                    self.clock.sleep(self.retry.delay(attempt));
+                    attempt += 1;
+                }
+                // A failed publish never harms bootstrap: the write-to-temp
+                // then rename protocol leaves the previous snapshot intact.
+                Err(e) => return Err(e.into()),
+            }
+        }
         drop(engine);
         drop(wal);
         Ok(lsn)

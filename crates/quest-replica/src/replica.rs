@@ -107,6 +107,12 @@ impl Replica {
         config: QuestConfig,
         caches: CacheConfig,
     ) -> Result<Replica, ReplicaError> {
+        if let Some(fault) = quest_fault::fire(quest_fault::sites::REPLICA_BOOTSTRAP) {
+            match fault.kind {
+                quest_fault::FaultKind::SlowIo => fault.stall(),
+                _ => return Err(quest_wal::WalError::Io(fault.io_error()).into()),
+            }
+        }
         let snapshot = read_snapshot(snapshot_path)?;
         let reader = attach_reader(wal_path, &snapshot)?;
         let engine = Quest::new(FullAccessWrapper::new(snapshot.db), config)?;
@@ -122,6 +128,12 @@ impl Replica {
     /// Bootstrap from a primary's published snapshot and log, deriving the
     /// engine configuration from the primary itself.
     pub fn from_primary(name: &str, primary: &Primary) -> Result<Replica, ReplicaError> {
+        if let Some(fault) = quest_fault::fire(quest_fault::sites::REPLICA_BOOTSTRAP) {
+            match fault.kind {
+                quest_fault::FaultKind::SlowIo => fault.stall(),
+                _ => return Err(quest_wal::WalError::Io(fault.io_error()).into()),
+            }
+        }
         let snapshot = read_snapshot(&primary.snapshot_path())?;
         let reader = attach_reader(&primary.wal_path(), &snapshot)?;
         let engine = primary
@@ -241,6 +253,17 @@ impl Replica {
             });
         };
         let changes: Vec<ChangeRecord> = poll.records.into_iter().map(|(_, r)| r).collect();
+        if let Some(fault) = quest_fault::fire(quest_fault::sites::REPLICA_APPLY) {
+            if fault.kind == quest_fault::FaultKind::SlowIo {
+                fault.stall();
+            } else {
+                // The poll above consumed these records; failing now loses
+                // them — exactly the consumed-but-not-applied shape a real
+                // apply failure has, so the replica breaks the same way.
+                self.broken.store(true, Ordering::Release);
+                return Err(quest_wal::WalError::Io(fault.io_error()).into());
+            }
+        }
         // The poll above consumed these records: an apply failure here (a
         // path `CachedEngine::apply` documents as unreachable for
         // ChangeRecords) would lose them, so it marks the replica broken —

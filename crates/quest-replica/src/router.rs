@@ -13,9 +13,11 @@
 //! consulted (`tests/replica.rs` pins this).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::Duration;
 
 use quest_core::SearchOutcome;
+use quest_fault::{Clock, RetryPolicy, SystemClock};
 use quest_serve::ServeStats;
 
 use crate::error::ReplicaError;
@@ -137,17 +139,50 @@ impl std::fmt::Display for Topology {
     }
 }
 
+/// Recovery state of one replica slot (see [`ReplicaSet::supervise`]).
+#[derive(Debug)]
+enum Quarantine {
+    /// Serving normally (or merely lagging — lag is not quarantine).
+    Active,
+    /// Broken and quarantined: re-bootstrap probes run behind backoff.
+    Probing {
+        /// Failed probes so far.
+        attempts: u32,
+        /// Clock time before which no further probe runs.
+        next_probe: Duration,
+    },
+    /// Probes exhausted the retry budget; only operator action (a manual
+    /// [`ReplicaSet::spawn_replica`] replacement) brings the slot back.
+    Permanent,
+}
+
+/// One registered replica plus its recovery state. The `Arc<Replica>` is
+/// swapped wholesale when a quarantine probe re-bootstraps it; handles from
+/// before the swap keep working (they just point at the retired instance).
+#[derive(Debug)]
+struct ReplicaSlot {
+    replica: RwLock<Arc<Replica>>,
+    state: Mutex<Quarantine>,
+}
+
 /// The router: one primary, N replicas, a default policy.
 #[derive(Debug)]
 pub struct ReplicaSet {
     primary: Arc<Primary>,
-    replicas: Vec<Arc<Replica>>,
+    slots: Vec<ReplicaSlot>,
     policy: RoutingPolicy,
     rr: AtomicUsize,
     /// Queries served by the primary because no registered replica could
     /// satisfy the bound (global-registry counter; not bumped when the set
     /// simply has no replicas).
     fallback: quest_obs::Counter,
+    /// Backoff policy for quarantine probes.
+    retry: RetryPolicy,
+    /// Time source the quarantine machinery reads (tests inject a
+    /// [`quest_fault::ManualClock`]).
+    clock: Arc<dyn Clock>,
+    /// Gauge of slots currently not Active (probing or permanent).
+    quarantined: quest_obs::Gauge,
 }
 
 impl ReplicaSet {
@@ -157,23 +192,36 @@ impl ReplicaSet {
     pub fn new(primary: Arc<Primary>, policy: RoutingPolicy) -> ReplicaSet {
         ReplicaSet {
             primary,
-            replicas: Vec::new(),
+            slots: Vec::new(),
             policy,
             rr: AtomicUsize::new(0),
             fallback: quest_obs::global().counter(crate::names::ROUTER_FALLBACK),
+            retry: RetryPolicy::from_env(),
+            clock: Arc::new(SystemClock::new()),
+            quarantined: quest_fault::quarantined("replica"),
         }
+    }
+
+    /// Override the quarantine backoff policy and clock (tests drive a
+    /// [`quest_fault::ManualClock`] so probes need no wall-clock time).
+    pub fn set_recovery(&mut self, retry: RetryPolicy, clock: Arc<dyn Clock>) {
+        self.retry = retry;
+        self.clock = clock;
     }
 
     /// Register an existing replica.
     pub fn add_replica(&mut self, replica: Arc<Replica>) {
-        self.replicas.push(replica);
+        self.slots.push(ReplicaSlot {
+            replica: RwLock::new(replica),
+            state: Mutex::new(Quarantine::Active),
+        });
     }
 
     /// Bootstrap a new replica from the primary's published snapshot,
     /// register it, and return it (e.g. to drive its sync loop).
     pub fn spawn_replica(&mut self, name: &str) -> Result<Arc<Replica>, ReplicaError> {
         let replica = Arc::new(Replica::from_primary(name, &self.primary)?);
-        self.replicas.push(Arc::clone(&replica));
+        self.add_replica(Arc::clone(&replica));
         Ok(replica)
     }
 
@@ -182,14 +230,92 @@ impl ReplicaSet {
         &self.primary
     }
 
-    /// The registered replicas, in registration order.
-    pub fn replicas(&self) -> &[Arc<Replica>] {
-        &self.replicas
+    /// The currently registered replicas, in registration order. A snapshot:
+    /// a quarantine heal swaps a slot's replica for a freshly bootstrapped
+    /// instance, so handles can retire — re-call for the live set.
+    pub fn replicas(&self) -> Vec<Arc<Replica>> {
+        self.slots
+            .iter()
+            .map(|s| Arc::clone(&s.replica.read().unwrap_or_else(PoisonError::into_inner)))
+            .collect()
+    }
+
+    /// One supervision tick: move broken replicas into quarantine and run
+    /// any due re-bootstrap probes. A successful probe builds a fresh
+    /// replica from the newest published snapshot, catches it up to the
+    /// primary, and swaps it into the slot; a failed probe backs off, and
+    /// after the retry budget is spent the slot escalates to permanent
+    /// (manual replacement only). Returns how many replicas healed.
+    ///
+    /// Runs opportunistically on every [`ReplicaSet::query`] that sees an
+    /// unhealthy replica; idle topologies can call it from a timer tick.
+    pub fn supervise(&self) -> usize {
+        let now = self.clock.now();
+        let mut healed = 0;
+        for slot in &self.slots {
+            let replica = Arc::clone(&slot.replica.read().unwrap_or_else(PoisonError::into_inner));
+            let mut state = slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if matches!(*state, Quarantine::Active) && !replica.is_healthy() {
+                // Quarantine: the router already skips unhealthy replicas;
+                // this transition is what schedules the heal probes.
+                *state = Quarantine::Probing {
+                    attempts: 0,
+                    next_probe: now,
+                };
+                self.quarantined.add(1);
+            }
+            let Quarantine::Probing {
+                attempts,
+                next_probe,
+            } = &mut *state
+            else {
+                continue;
+            };
+            if now < *next_probe {
+                continue;
+            }
+            match self.try_rebootstrap(replica.name()) {
+                Ok(fresh) => {
+                    *slot.replica.write().unwrap_or_else(PoisonError::into_inner) = fresh;
+                    *state = Quarantine::Active;
+                    self.quarantined.sub(1);
+                    quest_fault::count_heal("replica");
+                    healed += 1;
+                }
+                Err(_) if *attempts >= self.retry.retries => {
+                    // Still counted in the quarantine gauge: the slot is
+                    // out of service either way.
+                    *state = Quarantine::Permanent;
+                    quest_fault::count_escalation("replica");
+                }
+                Err(_) => {
+                    quest_fault::count_retry();
+                    *next_probe = now + self.retry.delay(*attempts);
+                    *attempts += 1;
+                }
+            }
+        }
+        healed
+    }
+
+    /// Build a replacement replica from the newest published snapshot and
+    /// catch it up to the primary's current LSN.
+    fn try_rebootstrap(&self, name: &str) -> Result<Arc<Replica>, ReplicaError> {
+        let fresh = Replica::from_primary(name, &self.primary)?;
+        fresh.sync_to(self.primary.last_lsn())?;
+        Ok(Arc::new(fresh))
     }
 
     /// Route one search under `consistency` (see the module docs for the
     /// full decision order).
     pub fn query(&self, raw_query: &str, consistency: Consistency) -> Result<Routed, ReplicaError> {
+        let mut replicas = self.replicas();
+        // Opportunistic supervision: a broken replica in the set means
+        // quarantine probes may be due; run a tick before routing so a
+        // heal-able topology heals under its own query traffic.
+        if replicas.iter().any(|r| !r.is_healthy()) && self.supervise() > 0 {
+            replicas = self.replicas();
+        }
         let min_lsn = match consistency {
             Consistency::Eventual => 0,
             Consistency::AtLeast(lsn) => lsn,
@@ -203,26 +329,26 @@ impl ReplicaSet {
                 reached: self.primary.last_lsn(),
             });
         }
-        let eligible: Vec<usize> = (0..self.replicas.len())
-            .filter(|&i| self.replicas[i].is_healthy() && self.replicas[i].applied_lsn() >= min_lsn)
+        let eligible: Vec<usize> = (0..replicas.len())
+            .filter(|&i| replicas[i].is_healthy() && replicas[i].applied_lsn() >= min_lsn)
             .collect();
-        if let Some(i) = self.pick(&eligible) {
-            return self.serve_from(i, raw_query);
+        if let Some(i) = self.pick(&replicas, &eligible) {
+            return self.serve_from(&replicas[i], raw_query);
         }
         // No replica is current. Catch one up — the log is shared, so this
         // is a bounded pull, not an open-ended wait — and fall back to the
         // primary only if even that fails.
-        let healthy: Vec<usize> = (0..self.replicas.len())
-            .filter(|&i| self.replicas[i].is_healthy())
+        let healthy: Vec<usize> = (0..replicas.len())
+            .filter(|&i| replicas[i].is_healthy())
             .collect();
-        if let Some(i) = self.pick(&healthy) {
-            if self.replicas[i].sync_to(min_lsn).is_ok() {
-                return self.serve_from(i, raw_query);
+        if let Some(i) = self.pick(&replicas, &healthy) {
+            if replicas[i].sync_to(min_lsn).is_ok() {
+                return self.serve_from(&replicas[i], raw_query);
             }
         }
         // Routing to the primary with replicas registered is a fallback
         // worth counting; with none it is simply the only server.
-        if !self.replicas.is_empty() {
+        if !replicas.is_empty() {
             self.fallback.inc();
         }
         // Stamp the LSN before searching (same rule as serve_from): the
@@ -237,9 +363,8 @@ impl ReplicaSet {
         })
     }
 
-    /// Serve from replica `i`, stamping name and LSN-at-selection.
-    fn serve_from(&self, i: usize, raw_query: &str) -> Result<Routed, ReplicaError> {
-        let replica = &self.replicas[i];
+    /// Serve from `replica`, stamping name and LSN-at-selection.
+    fn serve_from(&self, replica: &Replica, raw_query: &str) -> Result<Routed, ReplicaError> {
         // Read the LSN before searching: it only ever grows, so the stamp
         // is a lower bound on what the search actually saw.
         let lsn = replica.applied_lsn();
@@ -251,24 +376,30 @@ impl ReplicaSet {
         })
     }
 
-    /// Pick one of `candidates` (replica indexes) under the default policy.
-    fn pick(&self, candidates: &[usize]) -> Option<usize> {
+    /// Pick one of `candidates` (indexes into `replicas`) under the policy.
+    fn pick(&self, replicas: &[Arc<Replica>], candidates: &[usize]) -> Option<usize> {
         match self.policy {
             RoutingPolicy::RoundRobin => {
                 let n = candidates.len();
                 (n > 0).then(|| candidates[self.rr.fetch_add(1, Ordering::Relaxed) % n])
             }
             RoutingPolicy::LeastLoaded => candidates.iter().copied().min_by_key(|&i| {
-                let r = &self.replicas[i];
+                let r = &replicas[i];
                 (r.load(), u64::MAX - r.applied_lsn(), i)
             }),
         }
     }
 
-    /// Run one [`Replica::sync`] round on every replica (a poor operator's
-    /// replication daemon; real deployments run per-replica loops).
+    /// Run one [`Replica::sync`] round on every **healthy** replica (a poor
+    /// operator's replication daemon; real deployments run per-replica
+    /// loops). Broken replicas are skipped — they cannot converge by
+    /// syncing; [`ReplicaSet::supervise`] owns their recovery.
     pub fn sync_all(&self) -> Result<Vec<SyncReport>, ReplicaError> {
-        self.replicas.iter().map(|r| r.sync()).collect()
+        self.replicas()
+            .into_iter()
+            .filter(|r| r.is_healthy())
+            .map(|r| r.sync())
+            .collect()
     }
 
     /// Point-in-time lag and serving counters for the whole topology.
@@ -277,7 +408,7 @@ impl ReplicaSet {
         Topology {
             primary_lsn,
             replicas: self
-                .replicas
+                .replicas()
                 .iter()
                 .map(|r| ReplicaStatus {
                     name: r.name().to_string(),

@@ -197,6 +197,11 @@ impl fmt::Display for ServeStats {
         // Regenerated from the snapshot, never from a hand-kept list — a
         // metric added anywhere in the serving layer shows up here without
         // touching this function (pinned by `display_covers_every_metric`).
+        // The same property surfaces cross-cutting series: merging the
+        // global registry's snapshot into `metrics` (see
+        // `MetricsSnapshot::merge`) renders the `quest_fault_*` fault,
+        // retry, heal, and quarantine counters alongside the serving
+        // numbers — pinned by the chaos suite's exposition-coverage test.
         for m in &self.metrics.metrics {
             write!(f, "\n  {}: ", m.full_name())?;
             match &m.value {

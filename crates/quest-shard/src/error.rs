@@ -22,6 +22,11 @@ pub enum ShardError {
     Replica(ReplicaError),
     /// A row was found on a shard its primary key does not hash to.
     Placement(String),
+    /// Shard recovery could not verify the healed shard (replayed LSN
+    /// outside the fence window, pending records re-rejected, watermark
+    /// mismatch) — or the shard's copy diverged from the gateway's global
+    /// decision. The shard stays fenced.
+    Recovery(String),
     /// A shard is fenced: it failed a commit (or an operator fenced it) and
     /// the set refuses to serve queries or writes until it is repaired —
     /// a typed refusal instead of silently partial results.
@@ -33,6 +38,19 @@ pub enum ShardError {
     },
 }
 
+impl ShardError {
+    /// Whether a retry can be expected to succeed. Only interrupted-style
+    /// I/O surfaced through the replica layer qualifies
+    /// ([`ReplicaError::is_transient`]); config, placement, and fence
+    /// refusals are deterministic.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ShardError::Replica(e) => e.is_transient(),
+            _ => false,
+        }
+    }
+}
+
 impl fmt::Display for ShardError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -42,6 +60,7 @@ impl fmt::Display for ShardError {
             ShardError::Serve(e) => write!(f, "serve: {e}"),
             ShardError::Replica(e) => write!(f, "replica: {e}"),
             ShardError::Placement(m) => write!(f, "placement: {m}"),
+            ShardError::Recovery(m) => write!(f, "recovery: {m}"),
             ShardError::ShardDown { shard, reason } => {
                 write!(f, "shard {shard} is down: {reason}")
             }

@@ -13,9 +13,12 @@
 
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 use quest_core::{QuestConfig, SearchOutcome};
-use quest_replica::{Primary, PrimaryOptions};
+use quest_fault::{Clock, FaultKind, RetryPolicy, SystemClock};
+use quest_replica::{Primary, PrimaryOptions, ReplicaError};
 use quest_serve::ApplyReport;
 use quest_wal::ChangeRecord;
 use relstore::{Catalog, Database, Row, TableData};
@@ -39,6 +42,30 @@ fn count_fence() {
 /// Count one refused operation (search/commit against a fenced set).
 fn count_down() {
     quest_obs::global().counter(crate::names::DOWN).inc();
+}
+
+/// Everything a fenced shard needs to be healed in place.
+///
+/// `lsn_before` is the shard's watermark captured **before** the failed
+/// commit attempt and `pending` is the per-shard record slice that never
+/// (or only partially) reached its log; together they bound exactly what
+/// [`ShardedPrimary::recover`] must replay or re-commit, and let it verify
+/// the healed watermark to the record.
+#[derive(Debug, Clone)]
+struct FenceState {
+    /// Why the shard was fenced (updated with the latest recovery error).
+    reason: String,
+    /// The shard's last LSN before the failed commit attempt.
+    lsn_before: u64,
+    /// Records the gateway accepted for this shard that its log may miss.
+    pending: Vec<ChangeRecord>,
+    /// Failed recovery attempts so far.
+    attempts: u32,
+    /// Escalated: recovery failed [`RetryPolicy::retries`] times; only an
+    /// operator restart clears this.
+    permanent: bool,
+    /// Earliest clock reading at which the next recovery probe is due.
+    next_probe: Duration,
 }
 
 /// Point-in-time view of the shard set's replication state.
@@ -122,8 +149,16 @@ pub struct ShardedPrimary {
     catalog: Catalog,
     partitioner: Partitioner,
     shards: Vec<Primary>,
-    broken: Vec<Option<String>>,
+    fences: Vec<Option<FenceState>>,
     gateway: ScatterGather,
+    /// Root directory of the set — each shard's primary lives in
+    /// `dir/shard-NNN/`, which is where [`ShardedPrimary::recover`] reopens
+    /// it from.
+    dir: PathBuf,
+    /// The single-partition engine config every shard primary runs under.
+    shard_engine_config: QuestConfig,
+    retry: RetryPolicy,
+    clock: Arc<dyn Clock>,
 }
 
 impl ShardedPrimary {
@@ -150,14 +185,18 @@ impl ShardedPrimary {
         }
         let partitioner = *store.partitioner();
         let catalog = store.catalog().clone();
-        let broken = vec![None; store.shard_count()];
+        let fences = vec![None; store.shard_count()];
         let gateway = ScatterGather::from_store(store, config)?;
         Ok(ShardedPrimary {
             catalog,
             partitioner,
             shards,
-            broken,
+            fences,
             gateway,
+            dir: dir.to_path_buf(),
+            shard_engine_config,
+            retry: RetryPolicy::from_env(),
+            clock: Arc::new(SystemClock::new()),
         })
     }
 
@@ -193,15 +232,28 @@ impl ShardedPrimary {
         }
         let store = ShardedStore::from_shards(catalog.clone(), dbs, shard_config)?;
         let partitioner = *store.partitioner();
-        let broken = vec![None; shard_config.shard_count];
+        let fences = vec![None; shard_config.shard_count];
         let gateway = ScatterGather::from_store(store, config)?;
         Ok(ShardedPrimary {
             catalog,
             partitioner,
             shards,
-            broken,
+            fences,
             gateway,
+            dir: dir.to_path_buf(),
+            shard_engine_config,
+            retry: RetryPolicy::from_env(),
+            clock: Arc::new(SystemClock::new()),
         })
+    }
+
+    /// Override the retry policy and clock used by commit-level retries and
+    /// by [`ShardedPrimary::supervise`]'s probe-after-backoff scheduling.
+    /// Tests inject a [`ManualClock`](quest_fault::ManualClock) so no
+    /// wall-clock time passes.
+    pub fn set_recovery(&mut self, retry: RetryPolicy, clock: Arc<dyn Clock>) {
+        self.retry = retry;
+        self.clock = clock;
     }
 
     /// Commit a mutation batch.
@@ -211,9 +263,15 @@ impl ShardedPrimary {
     /// to the unsharded serving layer's. Accepted records are then grouped
     /// by owning shard (order preserved; a PK-moving update becomes a
     /// delete on the old shard and an insert on the new one) and committed
-    /// through each shard's [`Primary`]. A shard that fails its commit —
-    /// or, impossibly, rejects a globally accepted record — is fenced and
-    /// the commit returns [`ShardError::ShardDown`].
+    /// through each shard's [`Primary`]. A commit-level fault classified
+    /// transient ([`ShardError::is_transient`]) is retried under the set's
+    /// [`RetryPolicy`] before giving up. A shard whose commit still fails —
+    /// or that, impossibly, rejects a globally accepted record — is fenced
+    /// **with its pending records captured**, the remaining shards are
+    /// committed anyway (their logs must not fall behind the gateway copy),
+    /// and the commit returns the first [`ShardError::ShardDown`]. The
+    /// fence holds everything [`ShardedPrimary::recover`] needs to re-drive
+    /// the missed slice and rejoin the set.
     pub fn commit(&mut self, batch: &[ChangeRecord]) -> Result<ShardReceipt, ShardError> {
         self.ensure_healthy()?;
         let report = self.gateway.apply(batch)?;
@@ -226,35 +284,155 @@ impl ShardedPrimary {
             self.route_record(record, &mut per_shard)?;
         }
         let mut lsns = vec![0u64; self.shards.len()];
+        let mut first_down: Option<ShardError> = None;
         for (s, records) in per_shard.iter().enumerate() {
             if records.is_empty() {
                 lsns[s] = self.shards[s].last_lsn();
                 continue;
             }
-            match self.shards[s].commit(records) {
-                Ok(receipt) => {
-                    if !receipt.report.all_applied() {
-                        // The shard's copy disagreed with the gateway's
-                        // global decision: the copies have diverged. Fence.
-                        let reason = format!(
-                            "shard rejected {} globally accepted record(s)",
-                            receipt.report.rejected.len()
-                        );
-                        self.broken[s] = Some(reason.clone());
-                        count_fence();
-                        return Err(ShardError::ShardDown { shard: s, reason });
-                    }
-                    lsns[s] = receipt.last_lsn;
-                }
+            let lsn_before = self.shards[s].last_lsn();
+            match self.commit_shard(s, records) {
+                Ok(last_lsn) => lsns[s] = last_lsn,
                 Err(e) => {
                     let reason = e.to_string();
-                    self.broken[s] = Some(reason.clone());
-                    count_fence();
-                    return Err(ShardError::ShardDown { shard: s, reason });
+                    self.install_fence(s, reason.clone(), lsn_before, records.clone());
+                    lsns[s] = self.shards[s].last_lsn();
+                    if first_down.is_none() {
+                        first_down = Some(ShardError::ShardDown { shard: s, reason });
+                    }
                 }
             }
         }
-        Ok(ShardReceipt { report, lsns })
+        match first_down {
+            Some(e) => Err(e),
+            None => Ok(ShardReceipt { report, lsns }),
+        }
+    }
+
+    /// Drive `records` into shard `s`'s primary, retrying transient faults
+    /// under the set's [`RetryPolicy`].
+    fn commit_shard(&mut self, s: usize, records: &[ChangeRecord]) -> Result<u64, ShardError> {
+        let mut attempt = 0u32;
+        loop {
+            if let Some(fault) = quest_fault::fire(quest_fault::sites::SHARD_COMMIT) {
+                if matches!(fault.kind, FaultKind::SlowIo) {
+                    fault.stall();
+                } else {
+                    let err: ShardError =
+                        ReplicaError::Wal(quest_wal::WalError::Io(fault.io_error())).into();
+                    if err.is_transient() && attempt < self.retry.retries {
+                        quest_fault::count_retry();
+                        self.clock.sleep(self.retry.delay(attempt));
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(err);
+                }
+            }
+            let receipt = self.shards[s].commit(records)?;
+            if !receipt.report.all_applied() {
+                // The shard's copy disagreed with the gateway's global
+                // decision: the copies have diverged. Not retryable.
+                return Err(ShardError::Recovery(format!(
+                    "shard rejected {} globally accepted record(s)",
+                    receipt.report.rejected.len()
+                )));
+            }
+            return Ok(receipt.last_lsn);
+        }
+    }
+
+    /// Heal fenced shard `shard` in place: reopen its primary from
+    /// snapshot + log suffix, verify the replayed watermark lies inside the
+    /// fence window, re-commit whatever suffix of the fence's pending
+    /// records the log misses, verify the final watermark matches the
+    /// fence's expectation exactly, then swap the fresh primary in and lift
+    /// the fence. On any verification failure the shard stays fenced and
+    /// the error becomes the fence's new reason.
+    pub fn recover(&mut self, shard: usize) -> Result<(), ShardError> {
+        let fence = match &self.fences[shard] {
+            Some(f) => f.clone(),
+            None => return Ok(()),
+        };
+        let primary = Primary::reopen(
+            &shard_dir(&self.dir, shard),
+            self.shard_engine_config.clone(),
+            PrimaryOptions::default(),
+        )?;
+        let replayed = primary.last_lsn();
+        let expect = fence.lsn_before + fence.pending.len() as u64;
+        if replayed < fence.lsn_before || replayed > expect {
+            return Err(ShardError::Recovery(format!(
+                "shard {shard} replayed to lsn {replayed}, outside the fence \
+                 window [{}, {expect}]",
+                fence.lsn_before
+            )));
+        }
+        // The log already holds `replayed - lsn_before` of the pending
+        // records (a torn commit can land a prefix); re-drive only the
+        // missing suffix so nothing is logged twice.
+        let missing = &fence.pending[(replayed - fence.lsn_before) as usize..];
+        if !missing.is_empty() {
+            let receipt = primary.commit(missing)?;
+            if !receipt.report.all_applied() {
+                return Err(ShardError::Recovery(format!(
+                    "shard {shard} re-rejected {} pending record(s) during recovery",
+                    receipt.report.rejected.len()
+                )));
+            }
+        }
+        if primary.last_lsn() != expect {
+            return Err(ShardError::Recovery(format!(
+                "shard {shard} recovered to lsn {} but the fence expected {expect}",
+                primary.last_lsn()
+            )));
+        }
+        self.shards[shard] = primary;
+        self.fences[shard] = None;
+        quest_fault::quarantined("shard").sub(1);
+        quest_fault::count_heal("shard");
+        Ok(())
+    }
+
+    /// One supervision tick: attempt [`ShardedPrimary::recover`] on every
+    /// fenced, non-permanent shard whose backoff has elapsed. A failed
+    /// attempt reschedules the probe under the retry policy's backoff; a
+    /// shard that exhausts [`RetryPolicy::retries`] attempts escalates to
+    /// permanent and is left for the operator. Returns how many shards
+    /// healed this tick.
+    pub fn supervise(&mut self) -> usize {
+        let now = self.clock.now();
+        let mut healed = 0;
+        for shard in 0..self.fences.len() {
+            let due = matches!(
+                &self.fences[shard],
+                Some(f) if !f.permanent && now >= f.next_probe
+            );
+            if !due {
+                continue;
+            }
+            match self.recover(shard) {
+                Ok(()) => healed += 1,
+                Err(e) => {
+                    let retries = self.retry.retries;
+                    let delay = self
+                        .retry
+                        .delay(self.fences[shard].as_ref().map(|f| f.attempts).unwrap_or(0));
+                    if let Some(f) = self.fences[shard].as_mut() {
+                        f.attempts += 1;
+                        f.reason = e.to_string();
+                        if f.attempts >= retries {
+                            f.permanent = true;
+                            quest_fault::count_escalation("shard");
+                        } else {
+                            quest_fault::count_retry();
+                            f.next_probe = now + delay;
+                        }
+                    }
+                }
+            }
+        }
+        healed
     }
 
     /// Route one accepted record to the shard(s) that must log it.
@@ -313,30 +491,59 @@ impl ShardedPrimary {
         ShardTopology {
             shard_count: self.shards.len(),
             lsns: self.shards.iter().map(Primary::last_lsn).collect(),
-            broken: self.broken.clone(),
+            broken: self
+                .fences
+                .iter()
+                .map(|f| f.as_ref().map(|f| f.reason.clone()))
+                .collect(),
         }
     }
 
     /// Operator fence: mark a shard broken (e.g. after out-of-band
     /// detection of a poisoned WAL or failing disk). Subsequent searches
-    /// and commits return [`ShardError::ShardDown`] until repair.
+    /// and commits return [`ShardError::ShardDown`] until repair — which
+    /// [`ShardedPrimary::supervise`] attempts automatically (an operator
+    /// fence carries no pending records, so recovery is reopen + verify).
     pub fn fence(&mut self, shard: usize, reason: impl Into<String>) {
-        self.broken[shard] = Some(reason.into());
+        let lsn_before = self.shards[shard].last_lsn();
+        self.install_fence(shard, reason.into(), lsn_before, Vec::new());
+    }
+
+    /// Record a fence, charging the quarantine gauge only on the
+    /// not-fenced → fenced edge.
+    fn install_fence(
+        &mut self,
+        shard: usize,
+        reason: String,
+        lsn_before: u64,
+        pending: Vec<ChangeRecord>,
+    ) {
+        if self.fences[shard].is_none() {
+            quest_fault::quarantined("shard").add(1);
+        }
+        self.fences[shard] = Some(FenceState {
+            reason,
+            lsn_before,
+            pending,
+            attempts: 0,
+            permanent: false,
+            next_probe: self.clock.now(),
+        });
         count_fence();
     }
 
     /// Whether every shard is serving.
     pub fn is_healthy(&self) -> bool {
-        self.broken.iter().all(Option::is_none)
+        self.fences.iter().all(Option::is_none)
     }
 
     fn ensure_healthy(&self) -> Result<(), ShardError> {
-        for (shard, state) in self.broken.iter().enumerate() {
-            if let Some(reason) = state {
+        for (shard, state) in self.fences.iter().enumerate() {
+            if let Some(fence) = state {
                 count_down();
                 return Err(ShardError::ShardDown {
                     shard,
-                    reason: reason.clone(),
+                    reason: fence.reason.clone(),
                 });
             }
         }

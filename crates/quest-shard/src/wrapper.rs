@@ -80,6 +80,12 @@ impl SourceWrapper for ShardedWrapper {
     }
 
     fn prepare_keyword(&self, keyword: &Keyword) -> PreparedKeyword {
+        // Scatter-probe failpoint: an in-memory table scan cannot fail, so
+        // only `SlowIo` is honored here (`stall` is a no-op for every other
+        // kind). Results are bit-identical with or without an armed plan.
+        if let Some(fault) = quest_fault::fire(quest_fault::sites::SHARD_PROBE) {
+            fault.stall();
+        }
         let scores = match KeywordProbe::new(&keyword.normalized) {
             Some(probe) => self.store.scatter_value_scores(&probe),
             // Normalized away: every score is 0. An empty table makes every

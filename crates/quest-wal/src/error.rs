@@ -28,6 +28,25 @@ pub enum WalError {
     Store(StoreError),
 }
 
+impl WalError {
+    /// Whether a retry can be expected to succeed.
+    ///
+    /// Transient errors are interrupted/timed-out style I/O failures (the
+    /// kinds `quest-fault` injects for retryable faults); corruption, schema
+    /// mismatches, and store rejections are deterministic and permanent.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            WalError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+            ),
+            _ => false,
+        }
+    }
+}
+
 impl fmt::Display for WalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -82,5 +101,21 @@ mod tests {
             message: "bad".into(),
         };
         assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn transience_follows_io_kind() {
+        let transient = WalError::Io(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "injected",
+        ));
+        assert!(transient.is_transient());
+        let permanent = WalError::Io(std::io::Error::other("disk on fire"));
+        assert!(!permanent.is_transient());
+        assert!(!WalError::Corrupt {
+            line: 1,
+            message: "bad".into()
+        }
+        .is_transient());
     }
 }

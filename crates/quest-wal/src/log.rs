@@ -157,6 +157,9 @@ impl WalWriter {
         catalog: &Catalog,
         policy: SyncPolicy,
     ) -> Result<WalWriter, WalError> {
+        // Cold constructor path: arm any QUEST_FAULT_PLAN schedule before
+        // the first seam can fire.
+        quest_fault::init_from_env();
         let fingerprint = schema_fingerprint(catalog);
         let mut file = OpenOptions::new()
             .read(true)
@@ -299,6 +302,25 @@ impl WalWriter {
             logical += body.len() as u64;
             buf.push_str(&format!("{seq}\t{:016x}\t{body}\n", fnv64(body.as_bytes())));
         }
+        if let Some(fault) = quest_fault::fire(quest_fault::sites::WAL_APPEND) {
+            match fault.kind {
+                quest_fault::FaultKind::SlowIo => fault.stall(),
+                quest_fault::FaultKind::TornWrite => {
+                    // Half the framed batch reaches the file, then the write
+                    // errors. Take the real failed-append path: roll back to
+                    // the last known-good length, poisoning if that fails.
+                    let torn = &buf.as_bytes()[..buf.len() / 2];
+                    let _ = self.file.write_all(torn);
+                    if self.file.set_len(self.len).is_err()
+                        || self.file.seek(SeekFrom::End(0)).is_err()
+                    {
+                        self.poison();
+                    }
+                    return Err(WalError::Io(fault.io_error()));
+                }
+                _ => return Err(WalError::Io(fault.io_error())),
+            }
+        }
         if let Err(e) = self.file.write_all(buf.as_bytes()) {
             if self.file.set_len(self.len).is_err() || self.file.seek(SeekFrom::End(0)).is_err() {
                 self.poison();
@@ -365,12 +387,48 @@ impl WalWriter {
     pub fn sync_in(&mut self, ctx: TraceCtx) -> Result<(), WalError> {
         let span = quest_obs::spans().start();
         let start = Instant::now();
+        if let Some(fault) = quest_fault::fire(quest_fault::sites::WAL_FSYNC) {
+            match fault.kind {
+                quest_fault::FaultKind::SlowIo => fault.stall(),
+                _ => return Err(WalError::Io(fault.io_error())),
+            }
+        }
         self.file.sync_data()?;
         self.obs
             .fsync
             .record(quest_obs::duration_ns(start.elapsed()));
         self.unsynced = 0;
         quest_obs::spans().record(ctx, "wal_fsync", span);
+        Ok(())
+    }
+
+    /// Attempt to reconcile a poisoned writer in place instead of forcing a
+    /// process restart.
+    ///
+    /// Poison means one of two things, and the same repair covers both:
+    /// truncate to the last known-good length `len`, restore the append
+    /// position, and prove the file healthy with an fsync.
+    ///
+    /// * **Rollback failure** — a failed append could not truncate its torn
+    ///   line, so `len` excludes the batch; the `set_len` removes the torn
+    ///   bytes now.
+    /// * **Post-write fsync failure** — the batch is fully in the log and
+    ///   `len` includes it, so the `set_len` is a no-op and the successful
+    ///   fsync here *is* the durability barrier the append was missing.
+    ///
+    /// Only a fully successful sequence clears the poison; any failure
+    /// leaves the writer poisoned and returns the error, so callers can
+    /// retry transient faults under a backoff policy. A no-op on healthy
+    /// writers.
+    pub fn heal(&mut self) -> Result<(), WalError> {
+        if !self.poisoned {
+            return Ok(());
+        }
+        self.file.set_len(self.len)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.sync_in(TraceCtx::detached(TraceKind::Commit))?;
+        self.poisoned = false;
+        quest_fault::count_heal("wal");
         Ok(())
     }
 }

@@ -162,6 +162,12 @@ impl LogReader {
     /// with [`WalError::Corrupt`]. Sequence numbers must increase strictly
     /// across the reader's lifetime.
     pub fn poll(&mut self) -> Result<TailPoll, WalError> {
+        if let Some(fault) = quest_fault::fire(quest_fault::sites::WAL_READ) {
+            match fault.kind {
+                quest_fault::FaultKind::SlowIo => fault.stall(),
+                _ => return Err(WalError::Io(fault.io_error())),
+            }
+        }
         if !self.ensure_header()? {
             let len = std::fs::metadata(&self.path)?.len();
             return Ok(TailPoll {

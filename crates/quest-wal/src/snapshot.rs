@@ -65,6 +65,15 @@ fn parse_type(tag: &str) -> Result<DataType, String> {
 /// Write a snapshot of `db` to `path`, recording that every WAL record with
 /// sequence number `<= last_seq` is already reflected in it.
 pub fn write_snapshot(db: &Database, path: &Path, last_seq: u64) -> Result<(), WalError> {
+    // Failpoint before any byte is staged: an injected publish fault leaves
+    // the previous snapshot at `path` untouched, so bootstrap falls back to
+    // it (the same guarantee the temp-then-rename protocol gives crashes).
+    if let Some(fault) = quest_fault::fire(quest_fault::sites::WAL_SNAPSHOT) {
+        match fault.kind {
+            quest_fault::FaultKind::SlowIo => fault.stall(),
+            _ => return Err(WalError::Io(fault.io_error())),
+        }
+    }
     let catalog = db.catalog();
     let mut out = String::new();
     out.push_str(&format!(

@@ -21,6 +21,7 @@
 pub use quest_core as core;
 pub use quest_data as data;
 pub use quest_dst as dst;
+pub use quest_fault as fault;
 pub use quest_graph as graph;
 pub use quest_hmm as hmm;
 pub use quest_obs as obs;
@@ -37,6 +38,7 @@ pub mod prelude {
         KeywordQuery, MiniOntology, Quest, QuestConfig, QuestError, SearchOutcome, SearchScratch,
         SourceWrapper,
     };
+    pub use quest_fault::{FaultPlan, ManualClock, RetryPolicy};
     pub use quest_replica::{
         Consistency, Primary, Replica, ReplicaError, ReplicaSet, RoutingPolicy,
     };

@@ -1,8 +1,66 @@
 //! Failure injection: malformed schemas, hostile queries and edge-case
-//! configurations must fail cleanly (typed errors), never panic.
+//! configurations must fail cleanly (typed errors), never panic — and
+//! deterministic failpoint plans must heal through the retry/re-bootstrap
+//! machinery instead of terminating service.
 
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use quest::fault::{self, ManualClock, RetryPolicy};
 use quest::prelude::*;
+use quest::replica::PrimaryOptions;
 use quest_data::imdb::{self, ImdbScale};
+
+/// The failpoint registry is process-global, so every test in this binary
+/// that installs a plan — or that drives WAL traffic which could consume an
+/// armed plan's hits — serializes on this lock.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// A small deterministic insert batch with keys disjoint per `round`.
+fn insert_batch(round: i64) -> Vec<ChangeRecord> {
+    let base = 920_000 + round * 10;
+    vec![
+        ChangeRecord::Insert {
+            table: "person".into(),
+            row: vec![
+                (base + 1).into(),
+                format!("Injected Person {round}").into(),
+                (1940 + round).into(),
+            ],
+        },
+        ChangeRecord::Insert {
+            table: "movie".into(),
+            row: vec![
+                (base + 2).into(),
+                format!("Injected Feature {round}").into(),
+                (1970 + round).into(),
+                6.5.into(),
+                (base + 1).into(),
+            ],
+        },
+    ]
+}
+
+/// A primary wired to a manual clock so retry backoff takes no wall time.
+fn manual_primary(dir: &std::path::Path, db: Database, sync_policy: SyncPolicy) -> Primary {
+    Primary::open_with(
+        dir,
+        db,
+        QuestConfig::default(),
+        PrimaryOptions {
+            sync_policy,
+            retry: RetryPolicy {
+                retries: 4,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(4),
+                jitter_seed: 1,
+            },
+            clock: Arc::new(ManualClock::new()),
+            ..Default::default()
+        },
+    )
+    .expect("primary opens")
+}
 
 fn engine() -> Quest<FullAccessWrapper> {
     let db = imdb::generate(&ImdbScale {
@@ -161,6 +219,7 @@ fn sharded_primary_dir(name: &str) -> std::path::PathBuf {
 #[test]
 fn broken_shard_refuses_queries_with_a_typed_error() {
     use quest::shard::{ShardConfig, ShardError};
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let dir = sharded_primary_dir("fenced-read");
     let db = imdb::generate(&ImdbScale {
         movies: 40,
@@ -206,6 +265,7 @@ fn broken_shard_refuses_queries_with_a_typed_error() {
 #[test]
 fn poisoned_shard_primary_is_reported_in_the_topology() {
     use quest::shard::ShardConfig;
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let dir = sharded_primary_dir("fenced-topology");
     let db = imdb::generate(&ImdbScale {
         movies: 40,
@@ -240,5 +300,166 @@ fn poisoned_shard_primary_is_reported_in_the_topology() {
             assert!(state.is_none(), "shard {i} must stay healthy");
         }
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn failpoint_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("quest-failpoints")
+        .join(format!("{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn small_db() -> Database {
+    imdb::generate(&ImdbScale {
+        movies: 25,
+        seed: 5,
+    })
+    .expect("generate")
+}
+
+#[test]
+fn torn_append_mid_batch_heals_on_retry() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear();
+    let dir = failpoint_dir("torn-append");
+    let db = small_db();
+    let primary = manual_primary(&dir, db.clone(), SyncPolicy::Never);
+
+    // The first append tears mid-batch: half the framed bytes land, the
+    // write errors, and the writer rolls the file back. The retry loop
+    // must re-append the whole batch at the SAME LSNs — nothing torn left
+    // behind, nothing logged twice.
+    fault::install("wal.append@1=torn_write".parse().expect("plan parses"));
+    let batch = insert_batch(0);
+    let receipt = primary.commit(&batch).expect("torn write heals on retry");
+    fault::clear();
+    assert_eq!(receipt.first_lsn, 1);
+    assert_eq!(receipt.last_lsn, batch.len() as u64);
+    assert!(receipt.report.all_applied());
+
+    // The log holds exactly the batch, checksums intact, no torn tail.
+    let log = quest::wal::read_log(&primary.wal_path(), db.catalog()).expect("log reads cleanly");
+    assert_eq!(log.records.len(), batch.len());
+    assert_eq!(
+        log.records.iter().map(|(seq, _)| *seq).collect::<Vec<_>>(),
+        vec![1, 2]
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn transient_fsync_failure_no_longer_poisons_the_writer() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear();
+    let dir = failpoint_dir("fsync-heal");
+    let db = small_db();
+    // SyncPolicy::Always drives the injected fsync inside the commit path
+    // itself — the exact sequence that used to leave the writer poisoned
+    // for good and the primary refusing every later commit.
+    let primary = manual_primary(&dir, db, SyncPolicy::Always);
+
+    fault::install("wal.fsync@1=fsync_error".parse().expect("plan parses"));
+    let receipt = primary
+        .commit(&insert_batch(0))
+        .expect("transient fsync failure heals inside commit");
+    assert!(receipt.report.all_applied());
+    fault::clear();
+
+    // Regression: the writer is healed, not poisoned — later commits and
+    // explicit durability points keep working without reopening anything.
+    let receipt = primary
+        .commit(&insert_batch(1))
+        .expect("writer survives the earlier fsync fault");
+    assert!(receipt.report.all_applied());
+    primary.sync().expect("explicit sync works");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failed_snapshot_publish_leaves_prior_snapshot_bootstrappable() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear();
+    let dir = failpoint_dir("snapshot-fault");
+    let db = small_db();
+    let primary = manual_primary(&dir, db, SyncPolicy::Never);
+    let receipt = primary.commit(&insert_batch(0)).expect("commit");
+
+    // A PERMANENT snapshot fault (trailing `!`): the retry loop must not
+    // burn its budget on it, and the publish fails...
+    fault::install("wal.snapshot@1=append_error!".parse().expect("plan parses"));
+    assert!(primary.publish_snapshot().is_err());
+    fault::clear();
+
+    // ...but the snapshot written at open (LSN 0) is untouched, so a new
+    // replica still bootstraps from it and catches up over the log.
+    let replica = Replica::from_primary("fresh", &primary).expect("bootstrap uses prior snapshot");
+    let report = replica.sync_to(receipt.last_lsn).expect("catches up");
+    assert_eq!(report.lsn, primary.last_lsn());
+    assert!(replica.is_healthy());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn healed_replica_resumes_serving_bounded_reads() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear();
+    let dir = failpoint_dir("quarantine-heal");
+    let db = small_db();
+    let clock = Arc::new(ManualClock::new());
+    let retry = RetryPolicy {
+        retries: 4,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(4),
+        jitter_seed: 1,
+    };
+    let primary = Arc::new(
+        Primary::open_with(
+            &dir,
+            db,
+            QuestConfig::default(),
+            PrimaryOptions {
+                retry: retry.clone(),
+                clock: clock.clone(),
+                ..Default::default()
+            },
+        )
+        .expect("primary opens"),
+    );
+    let mut set = ReplicaSet::new(Arc::clone(&primary), RoutingPolicy::RoundRobin);
+    set.set_recovery(retry, clock.clone());
+    let victim = set.spawn_replica("victim").expect("spawn");
+    primary.commit(&insert_batch(0)).expect("commit");
+    victim.sync().expect("baseline sync");
+
+    // An injected apply fault breaks the replica mid-tail.
+    fault::install("replica.apply@1=apply_error".parse().expect("plan parses"));
+    primary.commit(&insert_batch(1)).expect("commit");
+    assert!(victim.sync().is_err(), "the injected apply fault surfaces");
+    assert!(!victim.is_healthy());
+
+    // Supervision quarantines it, probes after backoff, re-bootstraps from
+    // the latest snapshot, and swaps the healed instance back in.
+    let mut iters = 0;
+    loop {
+        clock.advance(Duration::from_millis(20));
+        let healed = set.supervise();
+        if healed > 0 {
+            break;
+        }
+        iters += 1;
+        assert!(iters < 64, "supervision never healed the replica");
+    }
+    fault::clear();
+
+    // The healed replica serves read-your-writes at the full bound again —
+    // routed by name, not via the primary fallback.
+    let last = primary.last_lsn();
+    let routed = set
+        .query("injected feature", Consistency::AtLeast(last))
+        .expect("bounded read routes");
+    assert_eq!(routed.served_by, "victim");
+    assert!(routed.lsn >= last, "{routed:?}");
     std::fs::remove_dir_all(&dir).ok();
 }
